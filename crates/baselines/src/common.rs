@@ -1,0 +1,154 @@
+//! Shared helpers for the baseline solvers.
+
+use tacc_gap::{Assignment, GapInstance};
+
+/// `true` when device `i` still fits on server `j` given current `loads`.
+pub(crate) fn fits(instance: &GapInstance, loads: &[f64], device: usize, server: usize) -> bool {
+    loads[server] + instance.demand(device, server) <= instance.capacity(server) + 1e-9
+}
+
+/// The cheapest-delay server for `device` among those it fits on, or —
+/// when nothing fits — the server with the most residual capacity (the
+/// least-bad overload). Returns `(server, fitted)`.
+pub(crate) fn cheapest_fitting_server(
+    instance: &GapInstance,
+    loads: &[f64],
+    device: usize,
+) -> (usize, bool) {
+    let mut best: Option<(usize, f64)> = None;
+    for j in 0..instance.num_servers() {
+        if fits(instance, loads, device, j) {
+            let d = instance.delay(device, j);
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((j, d));
+            }
+        }
+    }
+    if let Some((j, _)) = best {
+        return (j, true);
+    }
+    // Overflow path: minimize the resulting overload.
+    let mut fallback = 0usize;
+    let mut least_overload = f64::INFINITY;
+    for j in 0..instance.num_servers() {
+        let overload = loads[j] + instance.demand(device, j) - instance.capacity(j);
+        if overload < least_overload {
+            least_overload = overload;
+            fallback = j;
+        }
+    }
+    (fallback, false)
+}
+
+/// Constructs a complete assignment by running
+/// [`cheapest_fitting_server`] over `order`. Used as the common greedy
+/// seed of the improvement heuristics.
+pub(crate) fn greedy_fill(instance: &GapInstance, order: &[usize]) -> Assignment {
+    let mut loads = vec![0.0; instance.num_servers()];
+    let mut a = Assignment::unassigned(instance.num_devices(), instance.num_servers());
+    for &i in order {
+        let (j, _) = cheapest_fitting_server(instance, &loads, i);
+        loads[j] += instance.demand(i, j);
+        a.assign(i, j).expect("server index in range");
+    }
+    a
+}
+
+/// Device indices sorted by descending delay regret (second-best minus
+/// best delay): the devices that are hurt most by losing their preferred
+/// server decide first.
+pub(crate) fn regret_order(instance: &GapInstance) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..instance.num_devices()).collect();
+    let regret = |i: usize| {
+        let row = instance.delay_row(i);
+        let mut best = f64::INFINITY;
+        let mut second = f64::INFINITY;
+        for &d in row {
+            if d < best {
+                second = best;
+                best = d;
+            } else if d < second {
+                second = d;
+            }
+        }
+        if second.is_finite() {
+            second - best
+        } else {
+            0.0
+        }
+    };
+    order.sort_by(|&a, &b| regret(b).partial_cmp(&regret(a)).expect("delays are not NaN"));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_topology::DelayMatrix;
+
+    fn instance() -> GapInstance {
+        let delays = DelayMatrix::from_rows(vec![vec![1.0, 5.0], vec![2.0, 3.0]]);
+        GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .capacities(vec![1.0, 5.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fits_respects_capacity() {
+        let inst = instance();
+        let loads = vec![0.5, 0.0];
+        assert!(fits(&inst, &loads, 0, 1));
+        assert!(!fits(&inst, &loads, 0, 0)); // 0.5 + 1.0 > 1.0
+    }
+
+    #[test]
+    fn cheapest_fitting_prefers_low_delay() {
+        let inst = instance();
+        let loads = vec![0.0, 0.0];
+        assert_eq!(cheapest_fitting_server(&inst, &loads, 0), (0, true));
+        // Server 0 full → falls over to server 1.
+        let loads = vec![1.0, 0.0];
+        assert_eq!(cheapest_fitting_server(&inst, &loads, 0), (1, true));
+    }
+
+    #[test]
+    fn overflow_picks_least_overload() {
+        let delays = DelayMatrix::from_rows(vec![vec![1.0, 5.0]]);
+        let inst = GapInstance::builder(delays)
+            .uniform_demand(10.0)
+            .capacities(vec![1.0, 4.0])
+            .build()
+            .unwrap();
+        let loads = vec![0.0, 0.0];
+        let (j, fitted) = cheapest_fitting_server(&inst, &loads, 0);
+        assert!(!fitted);
+        assert_eq!(j, 1); // overload 6 beats overload 9
+    }
+
+    #[test]
+    fn greedy_fill_is_complete() {
+        let inst = instance();
+        let order = vec![1, 0];
+        let a = greedy_fill(&inst, &order);
+        assert!(a.is_complete());
+        // Device 1 grabs server 0 first (delay 2), device 0 overflows to 1.
+        assert_eq!(a.server_of(1), Some(0));
+        assert_eq!(a.server_of(0), Some(1));
+    }
+
+    #[test]
+    fn regret_order_puts_contested_devices_first() {
+        let delays = DelayMatrix::from_rows(vec![
+            vec![1.0, 1.5], // regret 0.5
+            vec![1.0, 9.0], // regret 8.0
+        ]);
+        let inst = GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .uniform_capacity(5.0)
+            .build()
+            .unwrap();
+        assert_eq!(regret_order(&inst), vec![1, 0]);
+    }
+}

@@ -1,0 +1,306 @@
+use std::time::Instant;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tacc_gap::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+
+use crate::common;
+
+/// Population/operator parameters for [`Genetic`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneticConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Generations to evolve.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Penalty per unit of capacity overload in the fitness.
+    pub overload_penalty: f64,
+    /// Number of top individuals copied unchanged each generation.
+    pub elites: usize,
+}
+
+impl Default for GeneticConfig {
+    /// Population 60 for 150 generations, tournament 3, 2% mutation,
+    /// 100 ms/unit overload penalty, 2 elites.
+    fn default() -> Self {
+        GeneticConfig {
+            population: 60,
+            generations: 150,
+            tournament: 3,
+            mutation_rate: 0.02,
+            overload_penalty: 100.0,
+            elites: 2,
+        }
+    }
+}
+
+impl GeneticConfig {
+    fn validate(&self) {
+        assert!(self.population >= 2, "population must be at least 2");
+        assert!(self.generations > 0, "need at least one generation");
+        assert!(
+            self.tournament >= 1 && self.tournament <= self.population,
+            "tournament size must be in [1, population]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.mutation_rate),
+            "mutation rate must be in [0, 1], got {}",
+            self.mutation_rate
+        );
+        assert!(self.overload_penalty >= 0.0, "penalty must be non-negative");
+        assert!(self.elites < self.population, "elites must leave room for offspring");
+    }
+}
+
+/// Steady-generation genetic algorithm with uniform crossover, tournament
+/// selection, elitism and a greedy repair operator.
+///
+/// Chromosomes are server vectors; fitness is the penalized objective
+/// `delay + penalty · overload`. After crossover/mutation each child runs
+/// one repair sweep that moves devices off overloaded servers onto the
+/// cheapest server with room, which keeps the population near the feasible
+/// region without constraining exploration.
+#[derive(Debug, Clone)]
+pub struct Genetic {
+    config: GeneticConfig,
+    seed: u64,
+}
+
+impl Genetic {
+    /// Creates a GA with the given configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (see [`GeneticConfig`]).
+    pub fn new(config: GeneticConfig, seed: u64) -> Self {
+        config.validate();
+        Genetic { config, seed }
+    }
+}
+
+/// One repair sweep: relocate devices from overloaded servers to the
+/// cheapest server that can absorb them.
+fn repair(instance: &GapInstance, genome: &mut [usize]) {
+    let m = instance.num_servers();
+    let mut loads = vec![0.0; m];
+    for (i, &j) in genome.iter().enumerate() {
+        loads[j] += instance.demand(i, j);
+    }
+    for i in 0..genome.len() {
+        let j = genome[i];
+        if loads[j] <= instance.capacity(j) + 1e-9 {
+            continue;
+        }
+        // Device i sits on an overloaded server: try to rehome it.
+        let mut best: Option<(usize, f64)> = None;
+        for k in 0..m {
+            if k == j {
+                continue;
+            }
+            if loads[k] + instance.demand(i, k) <= instance.capacity(k) + 1e-9 {
+                let d = instance.delay(i, k);
+                if best.map_or(true, |(_, bd)| d < bd) {
+                    best = Some((k, d));
+                }
+            }
+        }
+        if let Some((k, _)) = best {
+            loads[j] -= instance.demand(i, j);
+            loads[k] += instance.demand(i, k);
+            genome[i] = k;
+        }
+    }
+}
+
+fn fitness(instance: &GapInstance, genome: &[usize], penalty: f64) -> f64 {
+    let m = instance.num_servers();
+    let mut loads = vec![0.0; m];
+    let mut delay = 0.0;
+    for (i, &j) in genome.iter().enumerate() {
+        loads[j] += instance.demand(i, j);
+        delay += instance.delay(i, j);
+    }
+    let overload: f64 =
+        loads.iter().zip(0..m).map(|(&l, j)| (l - instance.capacity(j)).max(0.0)).sum();
+    delay + penalty * overload
+}
+
+impl Solver for Genetic {
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+        let start = Instant::now();
+        let n = instance.num_devices();
+        let m = instance.num_servers();
+        let cfg = &self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut evaluations = 0u64;
+
+        // Seed population: one greedy individual, the rest random.
+        let mut population: Vec<Vec<usize>> = Vec::with_capacity(cfg.population);
+        let greedy = common::greedy_fill(instance, &common::regret_order(instance));
+        population.push((0..n).map(|i| greedy.server_of(i).expect("complete")).collect());
+        while population.len() < cfg.population {
+            population.push((0..n).map(|_| rng.random_range(0..m)).collect());
+        }
+        let mut scores: Vec<f64> = population
+            .iter()
+            .map(|g| {
+                evaluations += 1;
+                fitness(instance, g, cfg.overload_penalty)
+            })
+            .collect();
+
+        for _ in 0..cfg.generations {
+            // Rank for elitism.
+            let mut ranking: Vec<usize> = (0..population.len()).collect();
+            ranking.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("not NaN"));
+
+            let mut next: Vec<Vec<usize>> = Vec::with_capacity(cfg.population);
+            for &e in ranking.iter().take(cfg.elites) {
+                next.push(population[e].clone());
+            }
+            while next.len() < cfg.population {
+                let pa = tournament(&mut rng, &scores, cfg.tournament);
+                let pb = tournament(&mut rng, &scores, cfg.tournament);
+                // Uniform crossover.
+                let mut child: Vec<usize> = (0..n)
+                    .map(|i| {
+                        if rng.random_bool(0.5) {
+                            population[pa][i]
+                        } else {
+                            population[pb][i]
+                        }
+                    })
+                    .collect();
+                for gene in child.iter_mut() {
+                    if rng.random::<f64>() < cfg.mutation_rate {
+                        *gene = rng.random_range(0..m);
+                    }
+                }
+                repair(instance, &mut child);
+                next.push(child);
+            }
+            population = next;
+            scores = population
+                .iter()
+                .map(|g| {
+                    evaluations += 1;
+                    fitness(instance, g, cfg.overload_penalty)
+                })
+                .collect();
+        }
+
+        // Prefer the best feasible individual; otherwise best penalized.
+        let mut best_idx = 0usize;
+        let mut best_key = f64::INFINITY;
+        for (idx, genome) in population.iter().enumerate() {
+            let feasible = {
+                let mut loads = vec![0.0; m];
+                for (i, &j) in genome.iter().enumerate() {
+                    loads[j] += instance.demand(i, j);
+                }
+                (0..m).all(|j| loads[j] <= instance.capacity(j) + 1e-9)
+            };
+            // Infeasible individuals rank after every feasible one.
+            let key = if feasible { scores[idx] } else { scores[idx] + 1e12 };
+            if key < best_key {
+                best_key = key;
+                best_idx = idx;
+            }
+        }
+        let assignment = Assignment::from_vec(population[best_idx].clone(), m)?;
+        let stats = SolveStats {
+            elapsed: start.elapsed(),
+            iterations: cfg.generations as u64,
+            evaluations,
+        };
+        Solution::evaluate(assignment, instance, stats)
+    }
+
+    fn name(&self) -> &str {
+        "genetic"
+    }
+}
+
+fn tournament(rng: &mut ChaCha8Rng, scores: &[f64], size: usize) -> usize {
+    let mut best = rng.random_range(0..scores.len());
+    for _ in 1..size {
+        let cand = rng.random_range(0..scores.len());
+        if scores[cand] < scores[best] {
+            best = cand;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceOrder, Greedy};
+    use tacc_topology::DelayMatrix;
+
+    fn instance() -> GapInstance {
+        let delays = DelayMatrix::from_rows(vec![
+            vec![1.0, 8.0, 4.0],
+            vec![7.0, 1.0, 4.0],
+            vec![4.0, 7.0, 1.0],
+            vec![2.0, 3.0, 5.0],
+            vec![5.0, 2.0, 3.0],
+            vec![3.0, 5.0, 2.0],
+        ]);
+        GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .uniform_capacity(2.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn evolves_a_feasible_near_optimal_solution() {
+        let inst = instance();
+        let s = Genetic::new(GeneticConfig::default(), 4).solve(&inst).unwrap();
+        assert!(s.feasible);
+        // Optimum is 9 (1+1+1+2+2+2); allow slack of one swap.
+        assert!(s.objective <= 12.0, "GA objective {} too far from optimum 9", s.objective);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let inst = instance();
+        let a = Genetic::new(GeneticConfig::default(), 2).solve(&inst).unwrap();
+        let b = Genetic::new(GeneticConfig::default(), 2).solve(&inst).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn repair_moves_devices_off_overloaded_servers() {
+        let inst = instance();
+        let mut genome = [0usize; 6]; // server 0 overloaded by 4
+        repair(&inst, &mut genome);
+        let mut loads = [0.0; 3];
+        for (i, &j) in genome.iter().enumerate() {
+            loads[j] += inst.demand(i, j);
+        }
+        assert!(loads.iter().enumerate().all(|(j, &l)| l <= inst.capacity(j) + 1e-9));
+    }
+
+    #[test]
+    fn seeded_greedy_floor_is_never_lost() {
+        // Elitism keeps the best individual, and greedy is in the initial
+        // population: the GA can never end worse than greedy (in penalized
+        // terms both are feasible here).
+        let inst = instance();
+        let greedy = Greedy::new(DeviceOrder::RegretDescending).solve(&inst).unwrap();
+        let ga = Genetic::new(GeneticConfig::default(), 0).solve(&inst).unwrap();
+        assert!(ga.objective <= greedy.objective + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn degenerate_config_panics() {
+        let _ = Genetic::new(GeneticConfig { population: 1, ..GeneticConfig::default() }, 0);
+    }
+}

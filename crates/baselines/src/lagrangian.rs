@@ -1,0 +1,225 @@
+use std::time::Instant;
+
+use tacc_gap::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+
+use crate::common;
+
+/// Lagrangian relaxation heuristic: run subgradient ascent on the
+/// capacity multipliers, and at every iterate turn the relaxed solution
+/// (each device on its cheapest *penalized* server) into a feasible one
+/// with a repair sweep, keeping the best.
+///
+/// This is the classic "primal from dual" GAP heuristic: multipliers make
+/// contended servers look expensive in proportion to how overloaded the
+/// relaxation wants them, which steers devices apart *globally* — the
+/// same effect Q-learning learns episodically. As a bonus the dual values
+/// certify an optimality gap for the returned solution (see
+/// [`LagrangianHeuristic::solve`]'s `Solution::stats.evaluations`, which
+/// counts primal extractions).
+#[derive(Debug, Clone)]
+pub struct LagrangianHeuristic {
+    iterations: usize,
+}
+
+impl LagrangianHeuristic {
+    /// Creates the heuristic with 150 subgradient iterations.
+    pub fn new() -> Self {
+        LagrangianHeuristic { iterations: 150 }
+    }
+
+    /// Overrides the subgradient iteration count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is 0.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        assert!(iterations > 0, "need at least one iteration");
+        self.iterations = iterations;
+        self
+    }
+}
+
+impl Default for LagrangianHeuristic {
+    fn default() -> Self {
+        LagrangianHeuristic::new()
+    }
+}
+
+/// Repairs a (possibly infeasible) assignment: walk devices on overloaded
+/// servers in descending demand and move each to the cheapest fitting
+/// server. Returns `true` when the result is feasible.
+fn repair(instance: &GapInstance, assignment: &mut Assignment) -> bool {
+    let m = instance.num_servers();
+    let mut loads = assignment.server_loads(instance);
+    // Collect devices on overloaded servers, heaviest first.
+    let mut movers: Vec<usize> = Vec::new();
+    for j in 0..m {
+        if loads[j] <= instance.capacity(j) + 1e-9 {
+            continue;
+        }
+        let mut on_j: Vec<usize> = assignment
+            .iter_assigned()
+            .filter(|&(_, s)| s == j)
+            .map(|(i, _)| i)
+            .collect();
+        on_j.sort_by(|&a, &b| {
+            instance
+                .demand(b, j)
+                .partial_cmp(&instance.demand(a, j))
+                .expect("demands are not NaN")
+        });
+        for i in on_j {
+            if loads[j] <= instance.capacity(j) + 1e-9 {
+                break;
+            }
+            loads[j] -= instance.demand(i, j);
+            assignment.unassign(i);
+            movers.push(i);
+        }
+    }
+    // Re-place movers (cheapest fitting server, overflow if stuck).
+    for i in movers {
+        let (j, _) = common::cheapest_fitting_server(instance, &loads, i);
+        loads[j] += instance.demand(i, j);
+        assignment.assign(i, j).expect("server in range");
+    }
+    (0..m).all(|j| loads[j] <= instance.capacity(j) + 1e-9)
+}
+
+impl Solver for LagrangianHeuristic {
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+        let start = Instant::now();
+        let n = instance.num_devices();
+        let m = instance.num_servers();
+        let mut lambda = vec![0.0f64; m];
+
+        // Scale-aware step, as in the bound computation.
+        let mean_delay: f64 = (0..n)
+            .flat_map(|i| instance.delay_row(i).iter().cloned())
+            .sum::<f64>()
+            / (n * m) as f64;
+        let mean_demand: f64 = (0..n)
+            .flat_map(|i| instance.demand_row(i).iter().cloned())
+            .sum::<f64>()
+            / (n * m) as f64;
+        let step0 =
+            if mean_demand > 0.0 { (mean_delay / mean_demand).max(1e-6) * 0.2 } else { 0.1 };
+
+        let mut best: Option<(Assignment, f64)> = None;
+        let mut evaluations = 0u64;
+
+        for t in 0..self.iterations {
+            // Relaxed solution under current multipliers.
+            let mut assignment = Assignment::unassigned(n, m);
+            let mut usage = vec![0.0f64; m];
+            for i in 0..n {
+                let delays = instance.delay_row(i);
+                let demands = instance.demand_row(i);
+                let mut best_j = 0usize;
+                let mut best_cost = f64::INFINITY;
+                for j in 0..m {
+                    let cost = delays[j] + lambda[j] * demands[j];
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best_j = j;
+                    }
+                }
+                usage[best_j] += demands[best_j];
+                assignment.assign(i, best_j)?;
+            }
+            // Primal extraction: repair and score.
+            let feasible = repair(instance, &mut assignment);
+            evaluations += 1;
+            if feasible {
+                let delay = assignment.total_delay(instance)?;
+                if best.as_ref().map_or(true, |(_, b)| delay < *b) {
+                    best = Some((assignment, delay));
+                }
+            }
+            // Subgradient step on the *relaxed* usage.
+            let step = step0 / (t as f64 + 1.0).sqrt();
+            for j in 0..m {
+                lambda[j] = (lambda[j] + step * (usage[j] - instance.capacity(j))).max(0.0);
+            }
+        }
+
+        // Fall back to plain greedy if no repair round reached feasibility.
+        let assignment = match best {
+            Some((a, _)) => a,
+            None => common::greedy_fill(instance, &common::regret_order(instance)),
+        };
+        let stats = SolveStats {
+            elapsed: start.elapsed(),
+            iterations: self.iterations as u64,
+            evaluations,
+        };
+        Solution::evaluate(assignment, instance, stats)
+    }
+
+    fn name(&self) -> &str {
+        "lagrangian"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_gap::bounds;
+    use tacc_topology::DelayMatrix;
+
+    /// Contended instance where nearest-server is infeasible and the
+    /// multipliers must price server 0 up until devices spread out.
+    fn contended() -> GapInstance {
+        let delays = DelayMatrix::from_rows(vec![
+            vec![1.0, 3.0, 5.0],
+            vec![1.0, 4.0, 5.0],
+            vec![1.0, 5.0, 3.0],
+            vec![1.0, 5.0, 4.0],
+        ]);
+        GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .uniform_capacity(2.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_a_feasible_near_optimal_assignment() {
+        let inst = contended();
+        let s = LagrangianHeuristic::new().solve(&inst).unwrap();
+        assert!(s.feasible);
+        // Optimum: two devices on server 0 (1+1), one each on its
+        // second-best (3 + 3) = 8.
+        assert!(s.objective <= 9.0, "lagrangian {} too far from optimum 8", s.objective);
+    }
+
+    #[test]
+    fn beats_or_matches_the_dual_bound() {
+        let inst = contended();
+        let s = LagrangianHeuristic::new().solve(&inst).unwrap();
+        let lb = bounds::lagrangian_bound(&inst, 150);
+        assert!(s.objective >= lb - 1e-6);
+    }
+
+    #[test]
+    fn repair_resolves_overloads() {
+        let inst = contended();
+        let mut a = Assignment::from_vec(vec![0, 0, 0, 0], 3).unwrap();
+        assert!(repair(&inst, &mut a));
+        assert!(a.is_feasible(&inst));
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = contended();
+        let a = LagrangianHeuristic::new().solve(&inst).unwrap();
+        let b = LagrangianHeuristic::new().solve(&inst).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_iterations_panics() {
+        let _ = LagrangianHeuristic::new().with_iterations(0);
+    }
+}

@@ -1,0 +1,88 @@
+use std::time::Instant;
+
+use tacc_gap::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+
+/// Capacity-*blind* nearest-server assignment: every device goes to its
+/// minimum-delay server, period.
+///
+/// This is the delay-optimal policy when capacity never binds and the
+/// canonical cautionary baseline when it does — experiment E3 uses it to
+/// show how a delay-only policy overloads servers as the system load
+/// grows, which is precisely the failure mode the paper's "no edge device
+/// is overloaded" constraint exists to prevent.
+#[derive(Debug, Clone, Default)]
+pub struct NearestServer {
+    _private: (),
+}
+
+impl NearestServer {
+    /// Creates a nearest-server assigner.
+    pub fn new() -> Self {
+        NearestServer::default()
+    }
+}
+
+impl Solver for NearestServer {
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+        let start = Instant::now();
+        let n = instance.num_devices();
+        let mut a = Assignment::unassigned(n, instance.num_servers());
+        for i in 0..n {
+            let row = instance.delay_row(i);
+            let mut best = 0usize;
+            for (j, &d) in row.iter().enumerate() {
+                if d < row[best] {
+                    best = j;
+                }
+            }
+            a.assign(i, best)?;
+        }
+        let stats = SolveStats {
+            elapsed: start.elapsed(),
+            iterations: n as u64,
+            evaluations: (n * instance.num_servers()) as u64,
+        };
+        Solution::evaluate(a, instance, stats)
+    }
+
+    fn name(&self) -> &str {
+        "nearest-server"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_topology::DelayMatrix;
+
+    #[test]
+    fn always_picks_the_minimum_delay_server() {
+        let delays = DelayMatrix::from_rows(vec![vec![3.0, 1.0], vec![2.0, 5.0]]);
+        let inst = GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .uniform_capacity(10.0)
+            .build()
+            .unwrap();
+        let s = NearestServer::new().solve(&inst).unwrap();
+        assert_eq!(s.assignment.server_of(0), Some(1));
+        assert_eq!(s.assignment.server_of(1), Some(0));
+        assert_eq!(s.objective, 3.0);
+        assert!(s.feasible);
+    }
+
+    #[test]
+    fn overloads_when_capacity_binds() {
+        // Everybody's nearest server is 0 (capacity 1): blind assignment
+        // overloads it while the delay hits the capacity-free bound.
+        let delays = DelayMatrix::from_rows(vec![vec![1.0, 5.0]; 4]);
+        let inst = GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .capacities(vec![1.0, 10.0])
+            .build()
+            .unwrap();
+        let s = NearestServer::new().solve(&inst).unwrap();
+        assert!(!s.feasible);
+        assert_eq!(s.objective, 4.0);
+        assert_eq!(s.assignment.total_overload(&inst), 3.0);
+    }
+}

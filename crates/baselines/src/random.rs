@@ -1,0 +1,121 @@
+use std::time::Instant;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tacc_gap::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+
+/// Uniform random assignment (seeded): the sanity floor every real
+/// algorithm must clear.
+#[derive(Debug, Clone)]
+pub struct RandomAssign {
+    seed: u64,
+}
+
+impl RandomAssign {
+    /// Creates a random assigner with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomAssign { seed }
+    }
+}
+
+impl Solver for RandomAssign {
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+        let start = Instant::now();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let m = instance.num_servers();
+        let servers: Vec<usize> =
+            (0..instance.num_devices()).map(|_| rng.random_range(0..m)).collect();
+        let a = Assignment::from_vec(servers, m)?;
+        let stats = SolveStats {
+            elapsed: start.elapsed(),
+            iterations: instance.num_devices() as u64,
+            evaluations: 1,
+        };
+        Solution::evaluate(a, instance, stats)
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+/// Round-robin assignment: device `i` to server `i mod m`. Perfectly
+/// balanced counts, completely topology-blind — the "load balancer without
+/// a map" control.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    _private: (),
+}
+
+impl RoundRobin {
+    /// Creates a round-robin assigner.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Solver for RoundRobin {
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+        let start = Instant::now();
+        let m = instance.num_servers();
+        let servers: Vec<usize> = (0..instance.num_devices()).map(|i| i % m).collect();
+        let a = Assignment::from_vec(servers, m)?;
+        let stats = SolveStats {
+            elapsed: start.elapsed(),
+            iterations: instance.num_devices() as u64,
+            evaluations: 1,
+        };
+        Solution::evaluate(a, instance, stats)
+    }
+
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_topology::DelayMatrix;
+
+    fn instance(n: usize, m: usize) -> GapInstance {
+        let rows = vec![vec![1.0; m]; n];
+        GapInstance::builder(DelayMatrix::from_rows(rows))
+            .uniform_demand(1.0)
+            .uniform_capacity(n as f64)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn random_is_deterministic_in_seed() {
+        let inst = instance(20, 4);
+        let a = RandomAssign::new(5).solve(&inst).unwrap();
+        let b = RandomAssign::new(5).solve(&inst).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        let c = RandomAssign::new(6).solve(&inst).unwrap();
+        assert_ne!(a.assignment, c.assignment);
+    }
+
+    #[test]
+    fn random_uses_all_servers_eventually() {
+        let inst = instance(100, 4);
+        let s = RandomAssign::new(1).solve(&inst).unwrap();
+        let mut seen = [false; 4];
+        for (_, j) in s.assignment.iter_assigned() {
+            seen[j] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn round_robin_balances_counts() {
+        let inst = instance(10, 3);
+        let s = RoundRobin::new().solve(&inst).unwrap();
+        let mut counts = [0usize; 3];
+        for (_, j) in s.assignment.iter_assigned() {
+            counts[j] += 1;
+        }
+        assert_eq!(counts, [4, 3, 3]);
+    }
+}

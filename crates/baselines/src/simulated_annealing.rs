@@ -1,0 +1,225 @@
+use std::time::Instant;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tacc_gap::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+
+use crate::common;
+
+/// Cooling parameters for [`SimulatedAnnealing`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealingSchedule {
+    /// Starting temperature, in objective units (ms of delay).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per step, in `(0, 1)`.
+    pub cooling: f64,
+    /// Steps to run.
+    pub steps: usize,
+    /// Penalty per unit of capacity overload in the soft objective.
+    pub overload_penalty: f64,
+}
+
+impl Default for AnnealingSchedule {
+    /// 20 000 steps from T=50 ms with 0.9995 cooling and a penalty of
+    /// 100 ms per unit overload.
+    fn default() -> Self {
+        AnnealingSchedule {
+            initial_temperature: 50.0,
+            cooling: 0.9995,
+            steps: 20_000,
+            overload_penalty: 100.0,
+        }
+    }
+}
+
+impl AnnealingSchedule {
+    fn validate(&self) {
+        assert!(self.initial_temperature > 0.0, "initial temperature must be positive");
+        assert!(
+            self.cooling > 0.0 && self.cooling < 1.0,
+            "cooling factor must be in (0, 1), got {}",
+            self.cooling
+        );
+        assert!(self.steps > 0, "need at least one step");
+        assert!(self.overload_penalty >= 0.0, "penalty must be non-negative");
+    }
+}
+
+/// Simulated annealing over the penalized objective
+/// `delay + penalty · overload`.
+///
+/// Moves are random single-device relocations; worsening moves are
+/// accepted with probability `exp(−Δ/T)` under geometric cooling. The best
+/// *feasible* assignment seen anywhere along the trajectory is returned
+/// (falling back to the best penalized state when no feasible state was
+/// visited).
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    seed: u64,
+    schedule: AnnealingSchedule,
+}
+
+impl SimulatedAnnealing {
+    /// Creates an annealer with the default schedule.
+    pub fn new(seed: u64) -> Self {
+        SimulatedAnnealing { seed, schedule: AnnealingSchedule::default() }
+    }
+
+    /// Replaces the cooling schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is degenerate (non-positive temperature,
+    /// cooling outside `(0, 1)`, zero steps, negative penalty).
+    pub fn with_schedule(mut self, schedule: AnnealingSchedule) -> Self {
+        schedule.validate();
+        self.schedule = schedule;
+        self
+    }
+}
+
+impl Solver for SimulatedAnnealing {
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+        let start = Instant::now();
+        self.schedule.validate();
+        let n = instance.num_devices();
+        let m = instance.num_servers();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+
+        // Greedy warm start keeps early exploration near feasibility.
+        let order = common::regret_order(instance);
+        let mut current = common::greedy_fill(instance, &order);
+        let penalty = self.schedule.overload_penalty;
+        let mut current_cost = current.penalized_objective(instance, penalty);
+
+        let mut best_feasible: Option<(Assignment, f64)> = if current.is_feasible(instance) {
+            Some((current.clone(), current.total_delay(instance)?))
+        } else {
+            None
+        };
+        let mut best_any = (current.clone(), current_cost);
+
+        let mut temperature = self.schedule.initial_temperature;
+        let mut evaluations = 1u64;
+        for _ in 0..self.schedule.steps {
+            if m > 1 {
+                let device = rng.random_range(0..n);
+                let old = current.server_of(device).expect("complete");
+                let mut server = rng.random_range(0..m - 1);
+                if server >= old {
+                    server += 1;
+                }
+                // Incremental cost of the relocation.
+                let old_cost = current_cost;
+                current.assign(device, server)?;
+                let new_cost = current.penalized_objective(instance, penalty);
+                evaluations += 1;
+                let delta = new_cost - old_cost;
+                let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / temperature).exp();
+                if accept {
+                    current_cost = new_cost;
+                    if new_cost < best_any.1 {
+                        best_any = (current.clone(), new_cost);
+                    }
+                    if current.is_feasible(instance) {
+                        let delay = current.total_delay(instance)?;
+                        if best_feasible.as_ref().map_or(true, |(_, d)| delay < *d) {
+                            best_feasible = Some((current.clone(), delay));
+                        }
+                    }
+                } else {
+                    current.assign(device, old)?;
+                }
+            }
+            temperature *= self.schedule.cooling;
+        }
+
+        let assignment = match best_feasible {
+            Some((a, _)) => a,
+            None => best_any.0,
+        };
+        let stats = SolveStats {
+            elapsed: start.elapsed(),
+            iterations: self.schedule.steps as u64,
+            evaluations,
+        };
+        Solution::evaluate(assignment, instance, stats)
+    }
+
+    fn name(&self) -> &str {
+        "simulated-annealing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceOrder, Greedy};
+    use tacc_topology::DelayMatrix;
+
+    fn instance() -> GapInstance {
+        let delays = DelayMatrix::from_rows(vec![
+            vec![1.0, 10.0, 5.0],
+            vec![10.0, 1.0, 5.0],
+            vec![5.0, 10.0, 1.0],
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 2.0, 1.0],
+            vec![2.0, 1.0, 3.0],
+        ]);
+        GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .uniform_capacity(2.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_a_feasible_near_optimal_solution() {
+        let inst = instance();
+        let s = SimulatedAnnealing::new(11).solve(&inst).unwrap();
+        assert!(s.feasible);
+        // Optimum is 1*6 = 6 (each device its favourite, capacities work
+        // out); SA should be close.
+        assert!(s.objective <= 9.0, "SA objective {} too far from optimum 6", s.objective);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let inst = instance();
+        let a = SimulatedAnnealing::new(3).solve(&inst).unwrap();
+        let b = SimulatedAnnealing::new(3).solve(&inst).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn never_worse_than_greedy_when_feasible_found() {
+        let inst = instance();
+        let greedy = Greedy::new(DeviceOrder::RegretDescending).solve(&inst).unwrap();
+        let sa = SimulatedAnnealing::new(0).solve(&inst).unwrap();
+        if greedy.feasible && sa.feasible {
+            assert!(sa.objective <= greedy.objective + 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_server_instance_is_a_no_op() {
+        let delays = DelayMatrix::from_rows(vec![vec![2.0], vec![3.0]]);
+        let inst = GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .capacities(vec![5.0])
+            .build()
+            .unwrap();
+        let s = SimulatedAnnealing::new(0).solve(&inst).unwrap();
+        assert_eq!(s.objective, 5.0);
+        assert!(s.feasible);
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling factor")]
+    fn invalid_schedule_panics() {
+        let _ = SimulatedAnnealing::new(0).with_schedule(AnnealingSchedule {
+            cooling: 1.5,
+            ..AnnealingSchedule::default()
+        });
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests across the baseline line-up.
+//!
+//! Invariants:
+//! - Every solver returns a complete assignment and never undercuts the
+//!   capacity-free lower bound.
+//! - Improvement heuristics never end worse than their greedy seed (when
+//!   both reach feasibility).
+//! - On loosely-capacitated instances, greedy is optimal and every
+//!   improvement heuristic matches it.
+
+use proptest::prelude::*;
+
+use tacc_baselines::{standard_lineup, DeviceOrder, Greedy, LocalSearch, TabuSearch};
+use tacc_gap::bounds::capacity_free_bound;
+use tacc_gap::{GapInstance, Solver};
+use tacc_topology::DelayMatrix;
+
+fn instance_strategy(loose: bool) -> impl Strategy<Value = GapInstance> {
+    (3usize..=10, 2usize..=4).prop_flat_map(move |(n, m)| {
+        let delays = proptest::collection::vec(1u32..50, n * m);
+        let demands = proptest::collection::vec(1u32..5, n);
+        (Just(n), Just(m), delays, demands).prop_map(move |(n, m, delays, demands)| {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|i| delays[i * m..(i + 1) * m].iter().map(|&d| f64::from(d)).collect())
+                .collect();
+            let demands: Vec<f64> = demands.iter().map(|&w| f64::from(w)).collect();
+            let total: f64 = demands.iter().sum();
+            let cap = if loose { total * 2.0 } else { (total / m as f64) * 1.5 };
+            GapInstance::builder(DelayMatrix::from_rows(rows))
+                .device_demands(demands)
+                .uniform_capacity(cap.max(5.0))
+                .build()
+                .expect("valid instance")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lineup_solvers_complete_and_respect_bound(inst in instance_strategy(false)) {
+        let lb = capacity_free_bound(&inst);
+        for solver in standard_lineup(13) {
+            let s = solver.solve(&inst).expect("solvers do not fail on valid instances");
+            prop_assert!(s.assignment.is_complete(), "{} incomplete", solver.name());
+            prop_assert!(s.objective >= lb - 1e-9,
+                "{} objective {} below bound {lb}", solver.name(), s.objective);
+        }
+    }
+
+    #[test]
+    fn improvement_never_loses_to_greedy(inst in instance_strategy(false)) {
+        let greedy = Greedy::new(DeviceOrder::RegretDescending).solve(&inst).expect("greedy");
+        if !greedy.feasible {
+            return Ok(());
+        }
+        let ls = LocalSearch::new(5).solve(&inst).expect("ls");
+        prop_assert!(ls.objective <= greedy.objective + 1e-9);
+        let tabu = TabuSearch::new(5).solve(&inst).expect("tabu");
+        prop_assert!(tabu.objective <= greedy.objective + 1e-9);
+    }
+
+    #[test]
+    fn loose_capacity_makes_nearest_assignment_optimal(inst in instance_strategy(true)) {
+        // With capacity double the total demand every device fits its
+        // cheapest server, so greedy hits the capacity-free bound exactly
+        // and local search cannot improve on it.
+        let lb = capacity_free_bound(&inst);
+        let greedy = Greedy::new(DeviceOrder::Index).solve(&inst).expect("greedy");
+        prop_assert!(greedy.feasible);
+        prop_assert!((greedy.objective - lb).abs() < 1e-9,
+            "greedy {} vs bound {lb}", greedy.objective);
+        let ls = LocalSearch::new(0).solve(&inst).expect("ls");
+        prop_assert!((ls.objective - lb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn randomized_solvers_are_seed_deterministic(inst in instance_strategy(false)) {
+        for solver_pair in [
+            (standard_lineup(21), standard_lineup(21)),
+        ] {
+            let (a_line, b_line) = solver_pair;
+            for (a, b) in a_line.iter().zip(b_line.iter()) {
+                let sa = a.solve(&inst).expect("solve");
+                let sb = b.solve(&inst).expect("solve");
+                prop_assert_eq!(sa.assignment, sb.assignment, "{} not deterministic", a.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Criterion micro-bench: GAP kernel primitives — objective evaluation,
+//! feasibility accounting and lower bounds, the inner loops of every
+//! solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tacc_core::workload::ScenarioBuilder;
+use tacc_gap::bounds::{capacity_free_bound, lagrangian_bound};
+use tacc_gap::{Assignment, GapInstance};
+
+fn instance(n: usize) -> GapInstance {
+    ScenarioBuilder::new()
+        .num_iot(n)
+        .num_servers(20)
+        .load_factor(0.7)
+        .build(3)
+        .expect("scenario")
+        .instance()
+        .clone()
+}
+
+fn nearest_assignment(inst: &GapInstance) -> Assignment {
+    let servers: Vec<usize> = (0..inst.num_devices())
+        .map(|i| {
+            let row = inst.delay_row(i);
+            let mut best = 0;
+            for (j, &d) in row.iter().enumerate() {
+                if d < row[best] {
+                    best = j;
+                }
+            }
+            best
+        })
+        .collect();
+    Assignment::from_vec(servers, inst.num_servers()).expect("in range")
+}
+
+fn bench_objective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objective_evaluation");
+    for &n in &[100usize, 400, 1600] {
+        let inst = instance(n);
+        let a = nearest_assignment(&inst);
+        group.bench_with_input(BenchmarkId::new("total_delay", n), &n, |b, _| {
+            b.iter(|| black_box(a.total_delay(&inst).expect("complete")));
+        });
+        group.bench_with_input(BenchmarkId::new("penalized", n), &n, |b, _| {
+            b.iter(|| black_box(a.penalized_objective(&inst, 100.0)));
+        });
+        group.bench_with_input(BenchmarkId::new("server_loads", n), &n, |b, _| {
+            b.iter(|| black_box(a.server_loads(&inst)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bounds");
+    for &n in &[100usize, 400] {
+        let inst = instance(n);
+        group.bench_with_input(BenchmarkId::new("capacity_free", n), &n, |b, _| {
+            b.iter(|| black_box(capacity_free_bound(&inst)));
+        });
+        group.bench_with_input(BenchmarkId::new("lagrangian_50", n), &n, |b, _| {
+            b.iter(|| black_box(lagrangian_bound(&inst, 50)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_objective, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-bench: discrete-event simulator throughput (events per
+//! second drive how long experiment E5 takes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tacc_core::sim::{SimConfig, Simulation, TrafficSpec};
+use tacc_core::workload::ScenarioBuilder;
+use tacc_core::Algorithm;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_replay");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let scenario = ScenarioBuilder::new()
+            .num_iot(n)
+            .num_servers(10)
+            .load_factor(0.7)
+            .build(5)
+            .expect("scenario");
+        let inst = scenario.instance();
+        let solution = Algorithm::greedy().solver(0).solve(inst).expect("solve");
+        let traffic =
+            TrafficSpec::from_instance(inst, &solution.assignment, 1.0).expect("traffic");
+        // Offered load ≈ total requests per ms; duration 10 s.
+        let approx_requests = (traffic.offered_load() * 10_000.0) as u64;
+        group.throughput(Throughput::Elements(approx_requests));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let sim = Simulation::new(SimConfig {
+                duration_ms: 10_000.0,
+                warmup_ms: 1_000.0,
+                ..SimConfig::default()
+            });
+            b.iter(|| black_box(sim.run(inst, &solution.assignment, &traffic).expect("run")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

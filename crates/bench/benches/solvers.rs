@@ -1,0 +1,75 @@
+//! Criterion micro-bench: end-to-end solve throughput per algorithm —
+//! the data behind experiment E8's runtime figure, measured precisely.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tacc_core::workload::ScenarioBuilder;
+use tacc_core::Algorithm;
+use tacc_gap::GapInstance;
+use tacc_rl::QLearningConfig;
+
+fn instance(n: usize) -> GapInstance {
+    ScenarioBuilder::new()
+        .num_iot(n)
+        .num_servers(10)
+        .load_factor(0.75)
+        .build(11)
+        .expect("scenario")
+        .instance()
+        .clone()
+}
+
+fn bench_constructive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constructive_solvers");
+    for &n in &[100usize, 400] {
+        let inst = instance(n);
+        for algorithm in [
+            Algorithm::greedy(),
+            Algorithm::BestFitDecreasing,
+            Algorithm::MartelloToth(tacc_core::baselines::Desirability::DelayRegret),
+            Algorithm::NearestServer,
+        ] {
+            let solver = algorithm.solver(0);
+            group.bench_with_input(BenchmarkId::new(algorithm.name(), n), &n, |b, _| {
+                b.iter(|| black_box(solver.solve(&inst).expect("solve")))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_improvement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("improvement_solvers");
+    group.sample_size(10);
+    for &n in &[100usize] {
+        let inst = instance(n);
+        for algorithm in [Algorithm::LocalSearch, Algorithm::TabuSearch] {
+            let solver = algorithm.solver(0);
+            group.bench_with_input(BenchmarkId::new(algorithm.name(), n), &n, |b, _| {
+                b.iter(|| black_box(solver.solve(&inst).expect("solve")))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_rl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rl_solvers");
+    group.sample_size(10);
+    let n = 100usize;
+    let inst = instance(n);
+    // A shorter training budget keeps the benchmark itself fast while
+    // preserving the per-episode cost being measured.
+    let ql = Algorithm::QLearning(QLearningConfig {
+        episodes: 500,
+        ..QLearningConfig::default()
+    })
+    .solver(0);
+    group.bench_with_input(BenchmarkId::new("q-learning-500ep", n), &n, |b, _| {
+        b.iter(|| black_box(ql.solve(&inst).expect("solve")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructive, bench_improvement, bench_rl);
+criterion_main!(benches);

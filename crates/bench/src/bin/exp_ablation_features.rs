@@ -1,0 +1,83 @@
+//! E11 (ablation): what does each piece of the RL design buy?
+//!
+//! Compares, at 50/100/200 devices under capacity pressure (ρ = 0.85):
+//!
+//! - tabular Q-learning (full design),
+//! - tabular Q-learning without the topology-aware delay prior,
+//! - Q-learning with topology-aware *linear features* instead of a table,
+//! - the stateless per-device bandit (no residual-capacity state at all),
+//! - greedy and random as reference points.
+//!
+//! Expected shape: removing capacity state (bandit) costs the most under
+//! pressure; the delay prior matters more as n grows (tabular coverage
+//! thins out); LFA trades a small delay premium for a constant-size model.
+//!
+//! Run: `cargo run --release -p tacc-bench --bin exp_ablation_features [--quick]`
+
+use tacc_bench::{fmt3, fmt5, run_cell, ExperimentContext};
+use tacc_core::metrics::Table;
+use tacc_core::workload::ScenarioBuilder;
+use tacc_core::Algorithm;
+use tacc_gap::GapInstance;
+use tacc_rl::QLearningConfig;
+
+fn lineup() -> Vec<(String, Algorithm)> {
+    vec![
+        ("ql-full".into(), Algorithm::q_learning()),
+        (
+            "ql-no-prior".into(),
+            Algorithm::QLearning(QLearningConfig {
+                delay_prior: false,
+                ..QLearningConfig::default()
+            }),
+        ),
+        ("ql-double".into(), Algorithm::DoubleQLearning(Default::default())),
+        ("ql-lfa".into(), Algorithm::LfaQLearning(Default::default())),
+        ("bandit".into(), Algorithm::Bandit(Default::default())),
+        ("greedy".into(), Algorithm::greedy()),
+        ("random".into(), Algorithm::Random),
+    ]
+}
+
+fn main() {
+    let ctx = ExperimentContext::from_args("exp_ablation_features", 8);
+    let sizes = ctx.sizes(&[50, 100, 200], &[50, 100]);
+
+    let mut table = Table::new(vec![
+        "num_devices".into(),
+        "variant".into(),
+        "mean_delay_ms".into(),
+        "ci95".into(),
+        "feasible_rate".into(),
+        "solve_s".into(),
+    ]);
+
+    for &n in sizes {
+        let instances: Vec<(u64, GapInstance)> = ctx
+            .trial_seeds
+            .iter()
+            .map(|&seed| {
+                let scenario = ScenarioBuilder::new()
+                    .num_iot(n)
+                    .num_servers(10)
+                    .load_factor(0.85)
+                    .build(seed)
+                    .expect("scenario");
+                (seed, scenario.instance().clone())
+            })
+            .collect();
+        for (label, algorithm) in lineup() {
+            let cell = run_cell(&algorithm, &instances);
+            table.push_row(vec![
+                n.to_string(),
+                label,
+                fmt3(cell.mean_delay.mean()),
+                fmt3(cell.mean_delay.ci95_half_width()),
+                fmt3(cell.feasible_rate()),
+                fmt5(cell.solve_seconds.mean()),
+            ]);
+        }
+        eprintln!("[exp_ablation_features] finished n = {n}");
+    }
+    ctx.finish(&table);
+}

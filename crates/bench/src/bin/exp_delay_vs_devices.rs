@@ -1,0 +1,57 @@
+//! E1 (paper Fig. 2): average communication delay vs number of IoT
+//! devices.
+//!
+//! Fixed 20 edge servers on the random-geometric default topology at load
+//! factor 0.7; the device population sweeps 50→500. Expected shape: the
+//! RL learners track local search near the bottom, clearly below greedy,
+//! far below random/round-robin, at every population size.
+//!
+//! Run: `cargo run --release -p tacc-bench --bin exp_delay_vs_devices [--quick]`
+
+use tacc_bench::{delay_lineup, fmt3, fmt5, run_cell, ExperimentContext};
+use tacc_core::metrics::Table;
+use tacc_core::workload::ScenarioBuilder;
+use tacc_gap::GapInstance;
+
+fn main() {
+    let ctx = ExperimentContext::from_args("exp_delay_vs_devices", 10);
+    let sizes = ctx.sizes(&[50, 100, 200, 300, 400, 500], &[50, 100, 200]);
+
+    let mut table = Table::new(vec![
+        "num_devices".into(),
+        "algorithm".into(),
+        "mean_delay_ms".into(),
+        "ci95".into(),
+        "feasible_rate".into(),
+        "solve_s".into(),
+    ]);
+
+    for &n in sizes {
+        let instances: Vec<(u64, GapInstance)> = ctx
+            .trial_seeds
+            .iter()
+            .map(|&seed| {
+                let scenario = ScenarioBuilder::new()
+                    .num_iot(n)
+                    .num_servers(20)
+                    .load_factor(0.7)
+                    .build(seed)
+                    .expect("scenario");
+                (seed, scenario.instance().clone())
+            })
+            .collect();
+        for algorithm in delay_lineup() {
+            let cell = run_cell(&algorithm, &instances);
+            table.push_row(vec![
+                n.to_string(),
+                algorithm.name(),
+                fmt3(cell.mean_delay.mean()),
+                fmt3(cell.mean_delay.ci95_half_width()),
+                fmt3(cell.feasible_rate()),
+                fmt5(cell.solve_seconds.mean()),
+            ]);
+        }
+        eprintln!("[exp_delay_vs_devices] finished n = {n}");
+    }
+    ctx.finish(&table);
+}

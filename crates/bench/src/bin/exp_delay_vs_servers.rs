@@ -1,0 +1,59 @@
+//! E2 (paper Fig. 3): average communication delay vs number of edge
+//! servers.
+//!
+//! Fixed 200 IoT devices at load factor 0.7; the cluster size sweeps
+//! 5→50. Expected shape: delay falls with more servers for every
+//! algorithm (more placement freedom and more capacity headroom), with
+//! the RL learners keeping a constant-factor advantage over the
+//! constructive baselines and the gap narrowing as capacity stops
+//! binding.
+//!
+//! Run: `cargo run --release -p tacc-bench --bin exp_delay_vs_servers [--quick]`
+
+use tacc_bench::{delay_lineup, fmt3, fmt5, run_cell, ExperimentContext};
+use tacc_core::metrics::Table;
+use tacc_core::workload::ScenarioBuilder;
+use tacc_gap::GapInstance;
+
+fn main() {
+    let ctx = ExperimentContext::from_args("exp_delay_vs_servers", 10);
+    let sizes = ctx.sizes(&[5, 10, 20, 30, 40, 50], &[5, 10, 20]);
+
+    let mut table = Table::new(vec![
+        "num_servers".into(),
+        "algorithm".into(),
+        "mean_delay_ms".into(),
+        "ci95".into(),
+        "feasible_rate".into(),
+        "solve_s".into(),
+    ]);
+
+    for &m in sizes {
+        let instances: Vec<(u64, GapInstance)> = ctx
+            .trial_seeds
+            .iter()
+            .map(|&seed| {
+                let scenario = ScenarioBuilder::new()
+                    .num_iot(200)
+                    .num_servers(m)
+                    .load_factor(0.7)
+                    .build(seed)
+                    .expect("scenario");
+                (seed, scenario.instance().clone())
+            })
+            .collect();
+        for algorithm in delay_lineup() {
+            let cell = run_cell(&algorithm, &instances);
+            table.push_row(vec![
+                m.to_string(),
+                algorithm.name(),
+                fmt3(cell.mean_delay.mean()),
+                fmt3(cell.mean_delay.ci95_half_width()),
+                fmt3(cell.feasible_rate()),
+                fmt5(cell.solve_seconds.mean()),
+            ]);
+        }
+        eprintln!("[exp_delay_vs_servers] finished m = {m}");
+    }
+    ctx.finish(&table);
+}

@@ -1,0 +1,59 @@
+//! E9 (paper Table 3): load-balance fairness of the resulting cluster.
+//!
+//! 200 devices, 10 servers, moderate (0.6) and high (0.9) load. Reports
+//! Jain's fairness index of server loads plus the max utilization.
+//! Expected shape: round-robin is fairest (by construction) but pays the
+//! largest delay; best-fit-decreasing concentrates load (low fairness at
+//! moderate ρ); Q-learning sits in between — fairness is a *side effect*
+//! of its capacity masking, improving as ρ grows because full servers
+//! force spreading.
+//!
+//! Run: `cargo run --release -p tacc-bench --bin exp_fairness [--quick]`
+
+use tacc_bench::{compact_lineup, fmt3, run_cell, ExperimentContext};
+use tacc_core::metrics::Table;
+use tacc_core::workload::ScenarioBuilder;
+use tacc_gap::GapInstance;
+
+fn main() {
+    let ctx = ExperimentContext::from_args("exp_fairness", 10);
+    let loads: &[f64] = &[0.6, 0.9];
+
+    let mut table = Table::new(vec![
+        "load_factor".into(),
+        "algorithm".into(),
+        "jain_fairness".into(),
+        "max_utilization".into(),
+        "mean_delay_ms".into(),
+        "feasible_rate".into(),
+    ]);
+
+    for &rho in loads {
+        let instances: Vec<(u64, GapInstance)> = ctx
+            .trial_seeds
+            .iter()
+            .map(|&seed| {
+                let scenario = ScenarioBuilder::new()
+                    .num_iot(200)
+                    .num_servers(10)
+                    .load_factor(rho)
+                    .build(seed)
+                    .expect("scenario");
+                (seed, scenario.instance().clone())
+            })
+            .collect();
+        for algorithm in compact_lineup() {
+            let cell = run_cell(&algorithm, &instances);
+            table.push_row(vec![
+                format!("{rho:.1}"),
+                algorithm.name(),
+                fmt3(cell.fairness.mean()),
+                fmt3(cell.max_utilization.mean()),
+                fmt3(cell.mean_delay.mean()),
+                fmt3(cell.feasible_rate()),
+            ]);
+        }
+        eprintln!("[exp_fairness] finished rho = {rho}");
+    }
+    ctx.finish(&table);
+}

@@ -1,0 +1,150 @@
+//! E10 (paper Fig. 9): Q-learning hyper-parameter sensitivity.
+//!
+//! 100 devices, 10 servers, load factor 0.85. One parameter varies at a
+//! time around the defaults: learning rate α, discount γ, ε-decay,
+//! overload penalty λ, capacity quantization levels, and the two design
+//! toggles (action masking, delay prior). Expected shape: a wide flat
+//! basin around the defaults; λ = 0 loses the feasibility guarantee when
+//! masking is also off; disabling the delay prior costs delay at this
+//! scale; α too large destabilizes late training.
+//!
+//! Run: `cargo run --release -p tacc-bench --bin exp_rl_sensitivity [--quick]`
+
+use tacc_bench::{fmt3, ExperimentContext};
+use tacc_core::metrics::{OnlineStats, Table};
+use tacc_core::workload::ScenarioBuilder;
+use tacc_gap::Solver;
+use tacc_rl::{EpsilonSchedule, LearningRate, QLearning, QLearningConfig};
+
+struct Variant {
+    group: &'static str,
+    label: String,
+    config: QLearningConfig,
+}
+
+fn variants(quick: bool) -> Vec<Variant> {
+    let episodes = if quick { 600 } else { 3000 };
+    let base = QLearningConfig { episodes, ..QLearningConfig::default() };
+    let mut out = vec![Variant {
+        group: "baseline",
+        label: "defaults".into(),
+        config: base.clone(),
+    }];
+    for alpha in [0.02, 0.05, 0.3, 0.6] {
+        out.push(Variant {
+            group: "alpha",
+            label: format!("alpha={alpha}"),
+            config: QLearningConfig {
+                learning_rate: LearningRate::Constant(alpha),
+                ..base.clone()
+            },
+        });
+    }
+    out.push(Variant {
+        group: "alpha",
+        label: "alpha=visit-decay".into(),
+        config: QLearningConfig {
+            learning_rate: LearningRate::VisitDecay { alpha0: 0.5, scale: 20.0 },
+            ..base.clone()
+        },
+    });
+    for gamma in [0.8, 0.9, 0.95] {
+        out.push(Variant {
+            group: "gamma",
+            label: format!("gamma={gamma}"),
+            config: QLearningConfig { gamma, ..base.clone() },
+        });
+    }
+    for decay in [0.99, 0.995, 0.9999] {
+        out.push(Variant {
+            group: "eps_decay",
+            label: format!("decay={decay}"),
+            config: QLearningConfig {
+                epsilon: EpsilonSchedule::new(0.6, 0.02, decay),
+                ..base.clone()
+            },
+        });
+    }
+    for lambda in [0.0, 10.0, 1000.0] {
+        out.push(Variant {
+            group: "penalty",
+            label: format!("lambda={lambda}"),
+            config: QLearningConfig { overload_penalty: lambda, ..base.clone() },
+        });
+    }
+    for levels in [2u8, 8, 16] {
+        out.push(Variant {
+            group: "capacity_levels",
+            label: format!("levels={levels}"),
+            config: QLearningConfig { capacity_levels: levels, ..base.clone() },
+        });
+    }
+    out.push(Variant {
+        group: "design",
+        label: "no-masking".into(),
+        config: QLearningConfig { action_masking: false, ..base.clone() },
+    });
+    out.push(Variant {
+        group: "design",
+        label: "no-delay-prior".into(),
+        config: QLearningConfig { delay_prior: false, ..base.clone() },
+    });
+    out.push(Variant {
+        group: "design",
+        label: "no-masking-no-penalty".into(),
+        config: QLearningConfig {
+            action_masking: false,
+            overload_penalty: 0.0,
+            ..base.clone()
+        },
+    });
+    out
+}
+
+fn main() {
+    let ctx = ExperimentContext::from_args("exp_rl_sensitivity", 8);
+    let mut table = Table::new(vec![
+        "group".into(),
+        "variant".into(),
+        "mean_delay_ms".into(),
+        "ci95".into(),
+        "feasible_rate".into(),
+    ]);
+
+    let instances: Vec<_> = ctx
+        .trial_seeds
+        .iter()
+        .map(|&seed| {
+            let scenario = ScenarioBuilder::new()
+                .num_iot(100)
+                .num_servers(10)
+                .load_factor(0.85)
+                .build(seed)
+                .expect("scenario");
+            (seed, scenario.instance().clone())
+        })
+        .collect();
+
+    for variant in variants(ctx.quick) {
+        let mut delay = OnlineStats::new();
+        let mut feasible = 0u64;
+        for (seed, instance) in &instances {
+            let solution = QLearning::new(variant.config.clone(), *seed)
+                .solve(instance)
+                .expect("q-learning");
+            delay.push(solution.mean_delay());
+            if solution.feasible {
+                feasible += 1;
+            }
+        }
+        table.push_row(vec![
+            variant.group.to_owned(),
+            variant.label.clone(),
+            fmt3(delay.mean()),
+            fmt3(delay.ci95_half_width()),
+            fmt3(feasible as f64 / instances.len() as f64),
+        ]);
+        eprintln!("[exp_rl_sensitivity] finished {}", variant.label);
+    }
+    ctx.finish(&table);
+}

@@ -1,0 +1,56 @@
+//! E8 (paper Fig. 8): solver wall-clock time vs instance size.
+//!
+//! 20 servers, load factor 0.7, device population sweeps 50→800.
+//! Expected shape: the constructive heuristics are microseconds and
+//! effectively flat; local search and tabu grow polynomially; the RL
+//! learners grow linearly in n (episodes × n steps) and sit between the
+//! metaheuristics — the paper's trade: orders of magnitude cheaper than
+//! exact search for a few percent of delay.
+//!
+//! Run: `cargo run --release -p tacc-bench --bin exp_runtime_scaling [--quick]`
+
+use tacc_bench::{delay_lineup, fmt3, fmt5, run_cell, ExperimentContext};
+use tacc_core::metrics::Table;
+use tacc_core::workload::ScenarioBuilder;
+use tacc_gap::GapInstance;
+
+fn main() {
+    let ctx = ExperimentContext::from_args("exp_runtime_scaling", 3);
+    let sizes = ctx.sizes(&[50, 100, 200, 400, 800], &[50, 100]);
+
+    let mut table = Table::new(vec![
+        "num_devices".into(),
+        "algorithm".into(),
+        "mean_solve_s".into(),
+        "max_solve_s".into(),
+        "mean_delay_ms".into(),
+    ]);
+
+    for &n in sizes {
+        let instances: Vec<(u64, GapInstance)> = ctx
+            .trial_seeds
+            .iter()
+            .map(|&seed| {
+                let scenario = ScenarioBuilder::new()
+                    .num_iot(n)
+                    .num_servers(20)
+                    .load_factor(0.7)
+                    .build(seed)
+                    .expect("scenario");
+                (seed, scenario.instance().clone())
+            })
+            .collect();
+        for algorithm in delay_lineup() {
+            let cell = run_cell(&algorithm, &instances);
+            table.push_row(vec![
+                n.to_string(),
+                algorithm.name(),
+                fmt5(cell.solve_seconds.mean()),
+                fmt5(cell.solve_seconds.max()),
+                fmt3(cell.mean_delay.mean()),
+            ]);
+        }
+        eprintln!("[exp_runtime_scaling] finished n = {n}");
+    }
+    ctx.finish(&table);
+}

@@ -1,0 +1,80 @@
+//! E6 (paper Fig. 7): delay across topology families.
+//!
+//! 200 devices, 20 servers, load factor 0.7, all six generator families.
+//! Because absolute delays are incomparable across families, the table
+//! reports both the raw mean delay and the ratio to the capacity-free
+//! lower bound of each instance. Expected shape: the RL/improvement
+//! algorithms sit within a few percent of the bound on *every* family
+//! (topology awareness transfers), while round-robin's penalty varies
+//! wildly with how much delay spread the family creates.
+//!
+//! Run: `cargo run --release -p tacc-bench --bin exp_topology_families [--quick]`
+
+use tacc_bench::{fmt3, ExperimentContext};
+use tacc_core::metrics::{OnlineStats, Table};
+use tacc_core::workload::{ScenarioBuilder, TopologyFamily};
+use tacc_core::Algorithm;
+use tacc_gap::bounds::capacity_free_bound;
+
+fn lineup() -> Vec<Algorithm> {
+    vec![
+        Algorithm::q_learning(),
+        Algorithm::Sarsa(Default::default()),
+        Algorithm::greedy(),
+        Algorithm::BestFitDecreasing,
+        Algorithm::LocalSearch,
+        Algorithm::RoundRobin,
+    ]
+}
+
+fn main() {
+    let ctx = ExperimentContext::from_args("exp_topology_families", 10);
+    let (n, m) = if ctx.quick { (60, 8) } else { (200, 20) };
+
+    let mut table = Table::new(vec![
+        "family".into(),
+        "algorithm".into(),
+        "mean_delay_ms".into(),
+        "ratio_to_bound".into(),
+        "feasible_rate".into(),
+    ]);
+
+    for family in TopologyFamily::ALL {
+        let instances: Vec<_> = ctx
+            .trial_seeds
+            .iter()
+            .map(|&seed| {
+                let scenario = ScenarioBuilder::new()
+                    .family(family)
+                    .num_iot(n)
+                    .num_servers(m)
+                    .load_factor(0.7)
+                    .build(seed)
+                    .expect("scenario");
+                (seed, scenario.instance().clone())
+            })
+            .collect();
+        for algorithm in lineup() {
+            let mut delay = OnlineStats::new();
+            let mut ratio = OnlineStats::new();
+            let mut feasible = 0u64;
+            for (seed, instance) in &instances {
+                let solution = algorithm.solver(*seed).solve(instance).expect("solve");
+                delay.push(solution.mean_delay());
+                ratio.push(solution.objective / capacity_free_bound(instance));
+                if solution.feasible {
+                    feasible += 1;
+                }
+            }
+            table.push_row(vec![
+                family.name().to_owned(),
+                algorithm.name(),
+                fmt3(delay.mean()),
+                fmt3(ratio.mean()),
+                fmt3(feasible as f64 / instances.len() as f64),
+            ]);
+        }
+        eprintln!("[exp_topology_families] finished {}", family.name());
+    }
+    ctx.finish(&table);
+}

@@ -1,0 +1,163 @@
+//! Renders every figure of the evaluation as SVG from the results CSVs.
+//!
+//! Run the experiments first (`exp_*` binaries), then:
+//! `cargo run --release -p tacc-bench --bin plot_figures`
+//! → `results/figures/*.svg`.
+
+use std::path::{Path, PathBuf};
+
+use tacc_bench::csv::Csv;
+use tacc_bench::plot::LineChart;
+
+fn results_dir() -> PathBuf {
+    std::env::args()
+        .skip_while(|a| a != "--results")
+        .nth(1)
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
+/// Standard "one line per algorithm over a numeric sweep" figure.
+/// The argument list mirrors the figure spec table in `main` one-to-one,
+/// which is clearer here than a builder.
+#[allow(clippy::too_many_arguments)]
+fn sweep_figure(
+    results: &Path,
+    csv_name: &str,
+    series_col: &str,
+    x_col: &str,
+    y_col: &str,
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    log_y: bool,
+) -> Option<(String, LineChart)> {
+    let path = results.join(format!("{csv_name}.csv"));
+    if !path.exists() {
+        eprintln!("[plot_figures] skipping {csv_name}: {} missing", path.display());
+        return None;
+    }
+    let csv = Csv::read(&path);
+    let mut chart = LineChart::new(title, x_label, y_label);
+    if log_y {
+        chart = chart.log_y();
+    }
+    for (name, points) in csv.series(series_col, x_col, y_col) {
+        // Log charts cannot take zero-valued series (e.g. free solvers
+        // rounding to 0 s); clamp to a visible floor instead of dropping.
+        let points = if log_y {
+            points.into_iter().map(|(x, y)| (x, y.max(1e-6))).collect()
+        } else {
+            points
+        };
+        chart.push_series(name, points);
+    }
+    Some((format!("{csv_name}.svg"), chart))
+}
+
+fn main() {
+    let results = results_dir();
+    let figures = results.join("figures");
+    let mut rendered = 0usize;
+
+    let specs: Vec<Option<(String, LineChart)>> = vec![
+        sweep_figure(
+            &results,
+            "exp_delay_vs_devices",
+            "algorithm",
+            "num_devices",
+            "mean_delay_ms",
+            "Fig. 2 — mean delay vs IoT devices (m = 20, rho = 0.7)",
+            "IoT devices",
+            "mean delay (ms)",
+            false,
+        ),
+        sweep_figure(
+            &results,
+            "exp_delay_vs_servers",
+            "algorithm",
+            "num_servers",
+            "mean_delay_ms",
+            "Fig. 3 — mean delay vs edge servers (n = 200, rho = 0.7)",
+            "edge servers",
+            "mean delay (ms)",
+            false,
+        ),
+        sweep_figure(
+            &results,
+            "exp_overload_vs_load",
+            "algorithm",
+            "load_factor",
+            "mean_overload",
+            "Fig. 4 — capacity overload vs load factor (n = 100, m = 10)",
+            "load factor",
+            "mean total overload (load units)",
+            false,
+        ),
+        sweep_figure(
+            &results,
+            "exp_rl_convergence",
+            "learner",
+            "episode",
+            "smoothed_reward",
+            "Fig. 5 — training convergence (n = 100, m = 10, rho = 0.8)",
+            "episode",
+            "smoothed episode reward",
+            false,
+        ),
+        sweep_figure(
+            &results,
+            "exp_deadline_miss",
+            "algorithm",
+            "deadline_factor",
+            "miss_ratio",
+            "Fig. 6 — deadline miss ratio vs deadline tightness (rho = 0.8)",
+            "deadline / mean static delay",
+            "miss ratio",
+            false,
+        ),
+        sweep_figure(
+            &results,
+            "exp_optimality_gap",
+            "algorithm",
+            "num_devices",
+            "mean_gap_pct",
+            "Table 2 as a figure — optimality gap vs instance size (m = 4)",
+            "IoT devices",
+            "mean gap vs optimum (%)",
+            false,
+        ),
+        sweep_figure(
+            &results,
+            "exp_runtime_scaling",
+            "algorithm",
+            "num_devices",
+            "mean_solve_s",
+            "Fig. 8 — solver runtime vs instance size (m = 20)",
+            "IoT devices",
+            "solve time (s, log)",
+            true,
+        ),
+        sweep_figure(
+            &results,
+            "exp_ablation_features",
+            "variant",
+            "num_devices",
+            "mean_delay_ms",
+            "E11 — RL design ablation (m = 10, rho = 0.85)",
+            "IoT devices",
+            "mean delay (ms)",
+            false,
+        ),
+    ];
+
+    for spec in specs.into_iter().flatten() {
+        let (file, chart) = spec;
+        let path = figures.join(&file);
+        chart
+            .write_svg(&path)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+        rendered += 1;
+    }
+    println!("{rendered} figures rendered into {}", figures.display());
+}

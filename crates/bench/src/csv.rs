@@ -1,0 +1,175 @@
+//! A tiny reader for the CSVs this workspace writes.
+//!
+//! Only supports what [`tacc_core::metrics::Table::to_csv`] emits: a
+//! header row, RFC-4180 quoting, no embedded newlines in our numeric
+//! tables. `plot_figures` uses it to turn result files back into series.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+/// A parsed CSV: header plus rows of equal width.
+#[derive(Debug, Clone)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Parses CSV text.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty input or a ragged row — our own writers never
+    /// produce either, so this indicates a corrupted results file.
+    pub fn parse(text: &str) -> Csv {
+        let mut lines = text.lines().filter(|l| !l.is_empty());
+        let header = split_row(lines.next().expect("csv has a header"));
+        let rows: Vec<Vec<String>> = lines
+            .map(|line| {
+                let row = split_row(line);
+                assert_eq!(row.len(), header.len(), "ragged csv row: {line}");
+                row
+            })
+            .collect();
+        Csv { header, rows }
+    }
+
+    /// Reads and parses a file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be read (the figure can't exist without
+    /// its data; run the experiment first).
+    pub fn read(path: &Path) -> Csv {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("reading {}: {e} (run the experiment first)", path.display()));
+        Csv::parse(&text)
+    }
+
+    /// Column index of `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column does not exist.
+    pub fn column(&self, name: &str) -> usize {
+        self.header
+            .iter()
+            .position(|h| h == name)
+            .unwrap_or_else(|| panic!("no column `{name}` in {:?}", self.header))
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Groups rows into `(x, y)` series keyed by the value of
+    /// `series_col`, parsing `x_col`/`y_col` as numbers and skipping rows
+    /// whose y cell is empty (NaN cells are written empty).
+    pub fn series(
+        &self,
+        series_col: &str,
+        x_col: &str,
+        y_col: &str,
+    ) -> Vec<(String, Vec<(f64, f64)>)> {
+        let sc = self.column(series_col);
+        let xc = self.column(x_col);
+        let yc = self.column(y_col);
+        let mut order: Vec<String> = Vec::new();
+        let mut map: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+        for row in &self.rows {
+            let key = row[sc].clone();
+            if row[yc].is_empty() {
+                continue;
+            }
+            let x: f64 = row[xc].parse().unwrap_or_else(|_| panic!("bad x `{}`", row[xc]));
+            let y: f64 = row[yc].parse().unwrap_or_else(|_| panic!("bad y `{}`", row[yc]));
+            if !map.contains_key(&key) {
+                order.push(key.clone());
+            }
+            map.entry(key).or_default().push((x, y));
+        }
+        order
+            .into_iter()
+            .map(|k| {
+                let pts = map.remove(&k).expect("key was inserted");
+                (k, pts)
+            })
+            .collect()
+    }
+}
+
+fn split_row(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cell = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cell.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                out.push(std::mem::take(&mut cell));
+            }
+            other => cell.push(other),
+        }
+    }
+    out.push(cell);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_csv() {
+        let csv = Csv::parse("a,b,c\n1,2,3\n4,5,6\n");
+        assert_eq!(csv.column("b"), 1);
+        assert_eq!(csv.rows().len(), 2);
+        assert_eq!(csv.rows()[1][2], "6");
+    }
+
+    #[test]
+    fn handles_quoted_cells() {
+        let csv = Csv::parse("name,x\n\"a,b\",1\n\"say \"\"hi\"\"\",2\n");
+        assert_eq!(csv.rows()[0][0], "a,b");
+        assert_eq!(csv.rows()[1][0], "say \"hi\"");
+    }
+
+    #[test]
+    fn groups_series_in_first_seen_order() {
+        let csv = Csv::parse("n,alg,v\n1,b,10\n1,a,20\n2,b,11\n2,a,21\n");
+        let series = csv.series("alg", "n", "v");
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, "b");
+        assert_eq!(series[0].1, vec![(1.0, 10.0), (2.0, 11.0)]);
+        assert_eq!(series[1].0, "a");
+    }
+
+    #[test]
+    fn empty_y_cells_are_skipped() {
+        let csv = Csv::parse("n,alg,v\n1,a,\n2,a,5\n");
+        let series = csv.series("alg", "n", "v");
+        assert_eq!(series[0].1, vec![(2.0, 5.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Csv::parse("a,b\n1\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn missing_column_panics() {
+        let _ = Csv::parse("a\n1\n").column("zzz");
+    }
+}

@@ -1,0 +1,358 @@
+//! Minimal SVG line charts for the experiment figures.
+//!
+//! The reproduction's figures are regenerated from the results CSVs by the
+//! `plot_figures` binary using this renderer — no external plotting stack,
+//! so `cargo run -p tacc-bench --bin plot_figures` works anywhere the
+//! tests do.
+
+use std::fmt::Write as _;
+
+/// One named line of a chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A multi-series line chart rendered to standalone SVG.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    log_y: bool,
+}
+
+/// A colorblind-safe qualitative palette (Okabe–Ito), cycled.
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
+];
+
+const WIDTH: f64 = 760.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_RIGHT: f64 = 190.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_BOTTOM: f64 = 55.0;
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            log_y: false,
+        }
+    }
+
+    /// Switches the y axis to log₁₀ scale (all y values must be > 0).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a series; points are sorted by x.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a point is not finite, or non-positive on a log-scale
+    /// chart.
+    pub fn push_series(&mut self, name: impl Into<String>, mut points: Vec<(f64, f64)>) {
+        for &(x, y) in &points {
+            assert!(x.is_finite() && y.is_finite(), "non-finite point ({x}, {y})");
+            assert!(!self.log_y || y > 0.0, "log-scale chart got y = {y}");
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        self.series.push(Series { name: name.into(), points });
+    }
+
+    /// Number of series added so far.
+    pub fn num_series(&self) -> usize {
+        self.series.len()
+    }
+
+    fn y_transform(&self, y: f64) -> f64 {
+        if self.log_y {
+            y.log10()
+        } else {
+            y
+        }
+    }
+
+    /// Renders the chart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series with at least one point was added.
+    pub fn to_svg(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        assert!(!all.is_empty(), "chart has no data");
+
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            let ty = self.y_transform(y);
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(ty);
+            y_max = y_max.max(ty);
+        }
+        if (x_max - x_min).abs() < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_max = y_min + 1.0;
+        }
+        // 5% headroom on y.
+        let pad = (y_max - y_min) * 0.05;
+        let (y_lo, y_hi) = (y_min - pad, y_max + pad);
+
+        let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+        let sx = |x: f64| MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_w;
+        let sy = |y: f64| {
+            let t = self.y_transform(y);
+            MARGIN_TOP + (1.0 - (t - y_lo) / (y_hi - y_lo)) * plot_h
+        };
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = writeln!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="24" text-anchor="middle" font-size="16">{}</text>"#,
+            MARGIN_LEFT + plot_w / 2.0,
+            escape(&self.title)
+        );
+
+        // Axes.
+        let x0 = MARGIN_LEFT;
+        let y0 = MARGIN_TOP + plot_h;
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{x0}" y1="{y0}" x2="{}" y2="{y0}" stroke="black"/>"#,
+            x0 + plot_w
+        );
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{x0}" y1="{}" x2="{x0}" y2="{y0}" stroke="black"/>"#,
+            MARGIN_TOP
+        );
+
+        // Ticks (5 per axis) + grid.
+        for k in 0..=4 {
+            let fx = x_min + (x_max - x_min) * f64::from(k) / 4.0;
+            let px = sx(fx);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{px}" y1="{y0}" x2="{px}" y2="{}" stroke="#dddddd"/>"##,
+                MARGIN_TOP
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{px}" y="{}" text-anchor="middle" font-size="11">{}</text>"#,
+                y0 + 18.0,
+                fmt_tick(fx)
+            );
+
+            let ty = y_lo + (y_hi - y_lo) * f64::from(k) / 4.0;
+            let display = if self.log_y { 10f64.powf(ty) } else { ty };
+            let py = MARGIN_TOP + (1.0 - f64::from(k) / 4.0) * plot_h;
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{x0}" y1="{py}" x2="{}" y2="{py}" stroke="#dddddd"/>"##,
+                x0 + plot_w
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="end" font-size="11">{}</text>"#,
+                x0 - 6.0,
+                py + 4.0,
+                fmt_tick(display)
+            );
+        }
+
+        // Axis labels.
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-size="13">{}</text>"#,
+            MARGIN_LEFT + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" font-size="13" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_TOP + plot_h / 2.0,
+            MARGIN_TOP + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Series + legend.
+        for (idx, series) in self.series.iter().enumerate() {
+            let color = PALETTE[idx % PALETTE.len()];
+            let path: Vec<String> = series
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                path.join(" ")
+            );
+            for &(x, y) in &series.points {
+                let _ = writeln!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            let ly = MARGIN_TOP + 14.0 + idx as f64 * 18.0;
+            let lx = WIDTH - MARGIN_RIGHT + 12.0;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                lx + 18.0
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{}" y="{}" font-size="11">{}</text>"#,
+                lx + 24.0,
+                ly + 4.0,
+                escape(&series.name)
+            );
+        }
+
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Writes the SVG to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory creation or the write.
+    pub fn write_svg(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_svg())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LineChart {
+        let mut c = LineChart::new("Test", "x", "y (ms)");
+        c.push_series("alpha", vec![(1.0, 2.0), (2.0, 4.0), (3.0, 3.0)]);
+        c.push_series("beta", vec![(1.0, 1.0), (3.0, 9.0)]);
+        c
+    }
+
+    #[test]
+    fn svg_has_structure() {
+        let svg = sample().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("alpha"));
+        assert!(svg.contains("beta"));
+        assert!(svg.contains("y (ms)"));
+        // 3 + 2 data point markers.
+        assert_eq!(svg.matches("<circle").count(), 5);
+    }
+
+    #[test]
+    fn points_are_sorted_by_x() {
+        let mut c = LineChart::new("t", "x", "y");
+        c.push_series("s", vec![(3.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
+        // Internal order is ascending; rendering cannot zig-zag.
+        let svg = c.to_svg();
+        let poly = svg.split("points=\"").nth(1).unwrap();
+        let xs: Vec<f64> = poly
+            .split('"')
+            .next()
+            .unwrap()
+            .split(' ')
+            .map(|p| p.split(',').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn log_scale_rejects_non_positive() {
+        let mut c = LineChart::new("t", "x", "y").log_y();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.push_series("s", vec![(1.0, 0.0)]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn log_scale_renders_decades() {
+        let mut c = LineChart::new("runtime", "n", "seconds").log_y();
+        c.push_series("s", vec![(1.0, 0.001), (2.0, 1.0), (3.0, 1000.0)]);
+        let svg = c.to_svg();
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_chart_panics() {
+        let _ = LineChart::new("t", "x", "y").to_svg();
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let mut c = LineChart::new("a < b & c", "x", "y");
+        c.push_series("s", vec![(0.0, 1.0)]);
+        let svg = c.to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn write_svg_creates_directories() {
+        let dir = std::env::temp_dir().join("tacc-plot-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("figs").join("t.svg");
+        sample().write_svg(&path).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("<svg"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

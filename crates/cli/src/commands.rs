@@ -1,0 +1,276 @@
+//! The `tacc` subcommands.
+
+use tacc_core::sim::SimConfig;
+use tacc_core::workload::{DemandModel, Scenario, ScenarioBuilder, TopologyFamily};
+use tacc_core::{Algorithm, ClusterConfigurator};
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+tacc — topology aware cluster configuration
+
+USAGE:
+  tacc solve     [OPTIONS]   configure a generated scenario with one algorithm
+  tacc compare   [OPTIONS]   run a line-up of algorithms on the same scenario
+  tacc simulate  [OPTIONS]   configure, then replay under Poisson traffic
+  tacc topology  [OPTIONS]   emit a generated topology as Graphviz DOT
+  tacc algorithms            list algorithm names
+  tacc families              list topology families
+
+OPTIONS (all subcommands):
+  --devices N        IoT devices                [default 100]
+  --servers M        edge servers               [default 10]
+  --load RHO         target load factor         [default 0.7]
+  --family NAME      topology family            [default random-geometric]
+  --demand MODEL     uniform | zipf | lognormal [default uniform]
+  --seed S           scenario + solver seed     [default 42]
+  --algorithm NAME   solver (see `tacc algorithms`) [default q-learning]
+  --json             machine-readable output (solve/simulate)
+
+simulate only:
+  --duration-ms D    simulated time             [default 30000]
+  --deadline-ms D    per-request deadline       [default none]
+  --round-trip       count the downlink delay too";
+
+fn family_by_name(name: &str) -> Result<TopologyFamily, String> {
+    TopologyFamily::ALL
+        .into_iter()
+        .find(|f| f.name() == name)
+        .ok_or_else(|| format!("unknown family `{name}` (see `tacc families`)"))
+}
+
+fn demand_by_name(name: &str) -> Result<DemandModel, String> {
+    match name {
+        "uniform" => Ok(DemandModel::Uniform { lo: 0.5, hi: 2.0 }),
+        "zipf" => Ok(DemandModel::Zipf { base: 0.3, exponent: 1.5, num_ranks: 20 }),
+        "lognormal" => Ok(DemandModel::LogNormal { mu: 0.0, sigma: 0.5 }),
+        "constant" => Ok(DemandModel::Constant { value: 1.0 }),
+        other => Err(format!("unknown demand model `{other}`")),
+    }
+}
+
+fn scenario_from(args: &Args) -> Result<(Scenario, u64), String> {
+    let devices = args.num_or("devices", 100usize)?;
+    let servers = args.num_or("servers", 10usize)?;
+    let load = args.num_or("load", 0.7f64)?;
+    let seed = args.num_or("seed", 42u64)?;
+    let family = family_by_name(args.str_or("family", "random-geometric"))?;
+    let demand = demand_by_name(args.str_or("demand", "uniform"))?;
+    let scenario = ScenarioBuilder::new()
+        .family(family)
+        .num_iot(devices)
+        .num_servers(servers)
+        .load_factor(load)
+        .demand_model(demand)
+        .build(seed)
+        .map_err(|e| e.to_string())?;
+    Ok((scenario, seed))
+}
+
+fn algorithm_from(args: &Args) -> Result<Algorithm, String> {
+    let name = args.str_or("algorithm", "q-learning");
+    Algorithm::by_name(name).ok_or_else(|| {
+        format!("unknown algorithm `{name}` (see `tacc algorithms`)")
+    })
+}
+
+/// `tacc solve`
+pub fn solve(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let (scenario, seed) = scenario_from(&args)?;
+    let algorithm = algorithm_from(&args)?;
+    let config = ClusterConfigurator::from_scenario(&scenario)
+        .algorithm(algorithm)
+        .seed(seed)
+        .configure()
+        .map_err(|e| e.to_string())?;
+    if args.has("json") {
+        let assignment: Vec<usize> =
+            (0..config.instance().num_devices()).map(|i| config.server_for(i)).collect();
+        let doc = serde_json::json!({
+            "algorithm": config.algorithm_name(),
+            "feasible": config.is_feasible(),
+            "total_delay_ms": config.total_delay_ms(),
+            "mean_delay_ms": config.mean_delay_ms(),
+            "load_fairness": config.load_fairness(),
+            "server_loads": config.server_loads(),
+            "assignment": assignment,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("serializable"));
+    } else {
+        println!("{}", config.report());
+    }
+    Ok(())
+}
+
+/// `tacc compare`
+pub fn compare(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let (scenario, seed) = scenario_from(&args)?;
+    println!(
+        "{:<22} {:>12} {:>9} {:>9} {:>12}",
+        "algorithm", "delay(ms)", "feasible", "fairness", "solve"
+    );
+    for algorithm in Algorithm::standard_set() {
+        let config = ClusterConfigurator::from_scenario(&scenario)
+            .algorithm(algorithm)
+            .seed(seed)
+            .configure()
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{:<22} {:>12.3} {:>9} {:>9.3} {:>12.2?}",
+            config.algorithm_name(),
+            config.mean_delay_ms(),
+            config.is_feasible(),
+            config.load_fairness(),
+            config.solution().stats.elapsed,
+        );
+    }
+    Ok(())
+}
+
+/// `tacc simulate`
+pub fn simulate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let (scenario, seed) = scenario_from(&args)?;
+    let algorithm = algorithm_from(&args)?;
+    let duration_ms = args.num_or("duration-ms", 30_000.0f64)?;
+    let deadline_ms = args.num_or("deadline-ms", f64::INFINITY)?;
+    let config = ClusterConfigurator::from_scenario(&scenario)
+        .algorithm(algorithm)
+        .seed(seed)
+        .configure()
+        .map_err(|e| e.to_string())?;
+    let report = config
+        .simulate(SimConfig {
+            duration_ms,
+            warmup_ms: duration_ms * 0.1,
+            seed,
+            round_trip: args.has("round-trip"),
+            deadline_ms,
+        })
+        .map_err(|e| e.to_string())?;
+    if args.has("json") {
+        let doc = serde_json::json!({
+            "algorithm": config.algorithm_name(),
+            "static_mean_delay_ms": config.mean_delay_ms(),
+            "completed_requests": report.completed_requests(),
+            "mean_latency_ms": report.latency_stats().mean(),
+            "p50_latency_ms": report.latency_percentile(50.0),
+            "p99_latency_ms": report.latency_percentile(99.0),
+            "deadline_miss_ratio": report.deadline_miss_ratio(),
+            "server_utilization": report.server_utilization(),
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("serializable"));
+    } else {
+        println!("{}", config.report());
+        println!("--- simulation ({duration_ms:.0} ms) ---");
+        println!("completed requests: {}", report.completed_requests());
+        println!("mean latency: {:.3} ms", report.latency_stats().mean());
+        println!("p99 latency:  {:.3} ms", report.latency_percentile(99.0));
+        if deadline_ms.is_finite() {
+            println!("deadline miss ratio: {:.2}%", report.deadline_miss_ratio() * 100.0);
+        }
+    }
+    Ok(())
+}
+
+/// `tacc topology`
+pub fn topology(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let (scenario, _) = scenario_from(&args)?;
+    print!("{}", tacc_core::topology::export::to_dot(scenario.topology()));
+    Ok(())
+}
+
+/// `tacc algorithms`
+pub fn algorithms() -> Result<(), String> {
+    for algorithm in Algorithm::standard_set() {
+        println!("{}", algorithm.name());
+    }
+    println!("nearest-server");
+    println!("branch-and-bound");
+    println!("brute-force");
+    Ok(())
+}
+
+/// `tacc families`
+pub fn families() -> Result<(), String> {
+    for family in TopologyFamily::ALL {
+        println!("{}", family.name());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn solve_runs_with_a_fast_algorithm() {
+        solve(&argv(&[
+            "--devices", "12", "--servers", "3", "--algorithm", "greedy-regret", "--json",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        assert!(solve(&argv(&["--algorithm", "nope"])).is_err());
+        assert!(solve(&argv(&["--family", "nope"])).is_err());
+        assert!(solve(&argv(&["--demand", "nope"])).is_err());
+    }
+
+    #[test]
+    fn lists_never_fail() {
+        algorithms().unwrap();
+        families().unwrap();
+    }
+
+    #[test]
+    fn every_listed_family_and_demand_parses() {
+        for family in TopologyFamily::ALL {
+            family_by_name(family.name()).unwrap();
+        }
+        for demand in ["uniform", "zipf", "lognormal", "constant"] {
+            demand_by_name(demand).unwrap();
+        }
+    }
+
+    #[test]
+    fn simulate_runs_quickly_on_a_small_scenario() {
+        simulate(&argv(&[
+            "--devices",
+            "10",
+            "--servers",
+            "2",
+            "--algorithm",
+            "greedy-regret",
+            "--duration-ms",
+            "2000",
+            "--deadline-ms",
+            "50",
+            "--json",
+        ]))
+        .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod topology_tests {
+    use super::*;
+
+    #[test]
+    fn topology_emits_dot() {
+        let argv: Vec<String> = ["--devices", "5", "--servers", "2"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        topology(&argv).unwrap();
+    }
+}

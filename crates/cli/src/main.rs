@@ -1,0 +1,41 @@
+//! `tacc` — configure edge clusters from the command line.
+//!
+//! ```text
+//! tacc solve     --devices 100 --servers 10 --algorithm q-learning
+//! tacc compare   --devices 100 --servers 10 --load 0.85
+//! tacc simulate  --devices 100 --servers 10 --deadline-ms 50
+//! tacc algorithms | tacc families
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "solve" => commands::solve(rest),
+        "compare" => commands::compare(rest),
+        "simulate" => commands::simulate(rest),
+        "topology" => commands::topology(rest),
+        "algorithms" => commands::algorithms(),
+        "families" => commands::families(),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,445 @@
+use tacc_gap::{GapInstance, Solution};
+use tacc_sim::{SimConfig, SimReport, Simulation, TrafficSpec};
+use tacc_topology::{DelayMatrix, DelayModel, Topology};
+use tacc_workload::Scenario;
+
+use crate::{Algorithm, CoreError};
+
+/// The one-stop API: topology + workload + algorithm → deployable
+/// configuration.
+///
+/// See the crate-level example. The configurator owns a [`Topology`] (or a
+/// raw [`DelayMatrix`] when no graph is available), the per-device demands
+/// and per-server capacities, and produces a [`ClusterConfiguration`].
+#[derive(Debug)]
+pub struct ClusterConfigurator {
+    delays: DelaySource,
+    delay_model: DelayModel,
+    demands: Option<Vec<f64>>,
+    uniform_demand_value: Option<f64>,
+    capacities: Option<Vec<f64>>,
+    uniform_capacity_value: Option<f64>,
+    algorithm: Algorithm,
+    seed: u64,
+}
+
+#[derive(Debug)]
+enum DelaySource {
+    Topology(Topology),
+    Matrix(DelayMatrix),
+}
+
+impl ClusterConfigurator {
+    /// Starts configuring a cluster on a network topology.
+    pub fn new(topology: Topology) -> Self {
+        Self::from_source(DelaySource::Topology(topology))
+    }
+
+    fn from_source(delays: DelaySource) -> Self {
+        ClusterConfigurator {
+            delays,
+            delay_model: DelayModel::default(),
+            demands: None,
+            uniform_demand_value: None,
+            capacities: None,
+            uniform_capacity_value: None,
+            algorithm: Algorithm::q_learning(),
+            seed: 0,
+        }
+    }
+
+    /// Starts from a precomputed delay matrix (e.g. from measurements)
+    /// instead of a topology graph.
+    pub fn from_delay_matrix(delays: DelayMatrix) -> Self {
+        Self::from_source(DelaySource::Matrix(delays))
+    }
+
+    /// Builds a configurator from a generated scenario (topology, demands
+    /// and capacities all come from the scenario's instance).
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        let instance = scenario.instance();
+        let n = instance.num_devices();
+        let demands: Vec<f64> = (0..n).map(|i| instance.demand(i, 0)).collect();
+        let mut c = Self::from_source(DelaySource::Matrix(instance.delays().clone()));
+        c.demands = Some(demands);
+        c.capacities = Some(instance.capacities().to_vec());
+        c.seed = scenario.seed();
+        c
+    }
+
+    /// Sets the link-delay model used to derive the delay matrix from the
+    /// topology (ignored when constructed from a matrix).
+    pub fn delay_model(mut self, model: DelayModel) -> Self {
+        self.delay_model = model;
+        self
+    }
+
+    /// Per-device demands (load units).
+    pub fn device_demands(mut self, demands: Vec<f64>) -> Self {
+        self.demands = Some(demands);
+        self
+    }
+
+    /// Every device demands the same load.
+    pub fn uniform_demand(mut self, demand: f64) -> Self {
+        self.uniform_demand_value = Some(demand);
+        self
+    }
+
+    /// Per-server capacities (load units).
+    pub fn server_capacities(mut self, capacities: Vec<f64>) -> Self {
+        self.capacities = Some(capacities);
+        self
+    }
+
+    /// Every server gets the same capacity.
+    pub fn uniform_capacity(mut self, capacity: f64) -> Self {
+        self.uniform_capacity_value = Some(capacity);
+        self
+    }
+
+    /// Selects the assignment algorithm (default:
+    /// [`Algorithm::q_learning`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Seed for randomized algorithms (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the selected algorithm and packages the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfiguration`] when demands or
+    /// capacities were never provided or have the wrong length, and
+    /// propagates solver errors (e.g. [`tacc_gap::GapError::Infeasible`]
+    /// from the exact solvers).
+    pub fn configure(self) -> Result<ClusterConfiguration, CoreError> {
+        let delays = match &self.delays {
+            DelaySource::Topology(t) => t.delay_matrix(&self.delay_model),
+            DelaySource::Matrix(m) => m.clone(),
+        };
+        let n = delays.num_iot();
+        let m = delays.num_servers();
+
+        let demands = match (self.demands, self.uniform_demand_value) {
+            (Some(d), None) => d,
+            (None, Some(v)) => vec![v; n],
+            (Some(_), Some(_)) => {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: "both per-device and uniform demands were provided".to_owned(),
+                })
+            }
+            (None, None) => {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: "device demands were not provided".to_owned(),
+                })
+            }
+        };
+        if demands.len() != n {
+            return Err(CoreError::InvalidConfiguration {
+                reason: format!("{} demands provided for {n} devices", demands.len()),
+            });
+        }
+        let capacities = match (self.capacities, self.uniform_capacity_value) {
+            (Some(c), None) => c,
+            (None, Some(v)) => vec![v; m],
+            (Some(_), Some(_)) => {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: "both per-server and uniform capacities were provided".to_owned(),
+                })
+            }
+            (None, None) => {
+                return Err(CoreError::InvalidConfiguration {
+                    reason: "server capacities were not provided".to_owned(),
+                })
+            }
+        };
+        if capacities.len() != m {
+            return Err(CoreError::InvalidConfiguration {
+                reason: format!("{} capacities provided for {m} servers", capacities.len()),
+            });
+        }
+
+        let instance = GapInstance::builder(delays)
+            .device_demands(demands)
+            .capacities(capacities)
+            .build()?;
+        let solver = self.algorithm.solver(self.seed);
+        let solution = solver.solve(&instance)?;
+        Ok(ClusterConfiguration {
+            algorithm_name: solver.name().to_owned(),
+            instance,
+            solution,
+        })
+    }
+}
+
+/// A finished cluster configuration: the assignment plus everything an
+/// operator wants to inspect before deploying it.
+#[derive(Debug, Clone)]
+pub struct ClusterConfiguration {
+    algorithm_name: String,
+    instance: GapInstance,
+    solution: Solution,
+}
+
+impl ClusterConfiguration {
+    /// The algorithm that produced this configuration.
+    pub fn algorithm_name(&self) -> &str {
+        &self.algorithm_name
+    }
+
+    /// The underlying GAP instance (delays, demands, capacities).
+    pub fn instance(&self) -> &GapInstance {
+        &self.instance
+    }
+
+    /// The raw solver output.
+    pub fn solution(&self) -> &Solution {
+        &self.solution
+    }
+
+    /// The edge server assigned to an IoT device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn server_for(&self, device: usize) -> usize {
+        self.solution
+            .assignment
+            .server_of(device)
+            .expect("configurations are complete")
+    }
+
+    /// `true` when no server exceeds its capacity.
+    pub fn is_feasible(&self) -> bool {
+        self.solution.feasible
+    }
+
+    /// Total communication delay, in milliseconds.
+    pub fn total_delay_ms(&self) -> f64 {
+        self.solution.objective
+    }
+
+    /// Mean per-device communication delay, in milliseconds.
+    pub fn mean_delay_ms(&self) -> f64 {
+        self.solution.mean_delay()
+    }
+
+    /// Load of every server under this configuration.
+    pub fn server_loads(&self) -> Vec<f64> {
+        self.solution.assignment.server_loads(&self.instance)
+    }
+
+    /// Utilization (load ÷ capacity) of every server.
+    pub fn server_utilization(&self) -> Vec<f64> {
+        self.server_loads()
+            .iter()
+            .enumerate()
+            .map(|(j, &l)| l / self.instance.capacity(j))
+            .collect()
+    }
+
+    /// Jain's fairness index of the server loads.
+    pub fn load_fairness(&self) -> f64 {
+        tacc_metrics::jains_index(&self.server_loads())
+    }
+
+    /// Validates the static configuration under dynamic traffic: replays
+    /// it in the discrete-event simulator with Poisson arrivals whose
+    /// offered load matches the GAP demands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (degenerate `config`).
+    pub fn simulate(&self, config: SimConfig) -> Result<SimReport, CoreError> {
+        let traffic = TrafficSpec::from_instance(&self.instance, &self.solution.assignment, 1.0)?;
+        Ok(Simulation::new(config).run(&self.instance, &self.solution.assignment, &traffic)?)
+    }
+
+    /// Link-level congestion this configuration induces on a topology:
+    /// every device's demand flows over its shortest path to its assigned
+    /// server.
+    ///
+    /// The topology must be the one the delay matrix came from (or at
+    /// least have the same device/server counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology`'s role counts disagree with the instance.
+    pub fn network_congestion(
+        &self,
+        topology: &Topology,
+        model: &DelayModel,
+    ) -> tacc_topology::routing::CongestionReport {
+        assert_eq!(topology.num_iot(), self.instance.num_devices(), "device count mismatch");
+        assert_eq!(topology.num_servers(), self.instance.num_servers(), "server count mismatch");
+        let n = self.instance.num_devices();
+        let assignment: Vec<usize> = (0..n).map(|i| self.server_for(i)).collect();
+        let flow: Vec<f64> =
+            (0..n).map(|i| self.instance.demand(i, assignment[i])).collect();
+        tacc_topology::routing::congestion(topology, model, &assignment, &flow)
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn report(&self) -> String {
+        let utils = self.server_utilization();
+        let max_util = utils.iter().cloned().fold(0.0, f64::max);
+        format!(
+            "algorithm: {}\ndevices: {}\nservers: {}\nfeasible: {}\ntotal delay: {:.3} ms\nmean delay: {:.3} ms\nmax utilization: {:.1}%\nload fairness: {:.3}\nsolve time: {:?}",
+            self.algorithm_name,
+            self.instance.num_devices(),
+            self.instance.num_servers(),
+            self.is_feasible(),
+            self.total_delay_ms(),
+            self.mean_delay_ms(),
+            max_util * 100.0,
+            self.load_fairness(),
+            self.solution.stats.elapsed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_gap::GapError;
+    use tacc_topology::{Graph, NodeKind};
+
+    fn tiny_topology() -> Topology {
+        let mut g = Graph::new();
+        let r = g.add_node(NodeKind::Router);
+        for _ in 0..4 {
+            let d = g.add_node(NodeKind::IotDevice);
+            g.add_link(d, r, 1.0, 100.0).unwrap();
+        }
+        for i in 0..2 {
+            let s = g.add_node(NodeKind::EdgeServer);
+            g.add_link(s, r, 1.0 + i as f64, 100.0).unwrap();
+        }
+        Topology::new(g).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_configuration() {
+        let config = ClusterConfigurator::new(tiny_topology())
+            .uniform_demand(1.0)
+            .uniform_capacity(2.0)
+            .algorithm(Algorithm::greedy())
+            .configure()
+            .unwrap();
+        assert!(config.is_feasible());
+        assert_eq!(config.server_loads().iter().sum::<f64>(), 4.0);
+        assert!(config.total_delay_ms() > 0.0);
+        assert_eq!(config.mean_delay_ms(), config.total_delay_ms() / 4.0);
+        assert!(config.load_fairness() > 0.5);
+        assert_eq!(config.algorithm_name(), "greedy-regret");
+        let report = config.report();
+        assert!(report.contains("feasible: true"));
+        // Every device got a server in range.
+        for i in 0..4 {
+            assert!(config.server_for(i) < 2);
+        }
+    }
+
+    #[test]
+    fn missing_inputs_are_reported() {
+        let err = ClusterConfigurator::new(tiny_topology())
+            .uniform_capacity(2.0)
+            .configure()
+            .unwrap_err();
+        assert!(err.to_string().contains("demands"));
+        let err = ClusterConfigurator::new(tiny_topology())
+            .uniform_demand(1.0)
+            .configure()
+            .unwrap_err();
+        assert!(err.to_string().contains("capacities"));
+    }
+
+    #[test]
+    fn conflicting_inputs_are_reported() {
+        let err = ClusterConfigurator::new(tiny_topology())
+            .device_demands(vec![1.0; 4])
+            .uniform_demand(1.0)
+            .uniform_capacity(2.0)
+            .configure()
+            .unwrap_err();
+        assert!(err.to_string().contains("both"));
+    }
+
+    #[test]
+    fn wrong_lengths_are_reported() {
+        let err = ClusterConfigurator::new(tiny_topology())
+            .device_demands(vec![1.0; 3])
+            .uniform_capacity(2.0)
+            .configure()
+            .unwrap_err();
+        assert!(err.to_string().contains("3 demands"));
+        let err = ClusterConfigurator::new(tiny_topology())
+            .uniform_demand(1.0)
+            .server_capacities(vec![2.0; 5])
+            .configure()
+            .unwrap_err();
+        assert!(err.to_string().contains("5 capacities"));
+    }
+
+    #[test]
+    fn exact_solver_reports_infeasibility() {
+        let err = ClusterConfigurator::new(tiny_topology())
+            .uniform_demand(2.0)
+            .uniform_capacity(1.0)
+            .algorithm(Algorithm::BranchAndBound)
+            .configure()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Gap(GapError::Infeasible)));
+    }
+
+    #[test]
+    fn from_delay_matrix_works_without_topology() {
+        let delays = DelayMatrix::from_rows(vec![vec![1.0, 3.0], vec![2.0, 1.0]]);
+        let config = ClusterConfigurator::from_delay_matrix(delays)
+            .uniform_demand(1.0)
+            .uniform_capacity(1.0)
+            .algorithm(Algorithm::BruteForce)
+            .configure()
+            .unwrap();
+        assert_eq!(config.total_delay_ms(), 2.0);
+    }
+
+    #[test]
+    fn from_scenario_inherits_workload() {
+        let scenario = tacc_workload::ScenarioBuilder::new()
+            .num_iot(12)
+            .num_servers(3)
+            .build(5)
+            .unwrap();
+        let config = ClusterConfigurator::from_scenario(&scenario)
+            .algorithm(Algorithm::greedy())
+            .configure()
+            .unwrap();
+        assert_eq!(config.instance().num_devices(), 12);
+        assert!(config.is_feasible());
+    }
+
+    #[test]
+    fn simulation_validates_configuration() {
+        let config = ClusterConfigurator::new(tiny_topology())
+            .uniform_demand(0.3)
+            .uniform_capacity(1.0)
+            .algorithm(Algorithm::greedy())
+            .configure()
+            .unwrap();
+        let report = config
+            .simulate(SimConfig { duration_ms: 20_000.0, warmup_ms: 1000.0, ..SimConfig::default() })
+            .unwrap();
+        assert!(report.completed_requests() > 100);
+        // Latency at least the network delay (2 ms via the router).
+        assert!(report.latency_stats().min() >= 2.0);
+    }
+}

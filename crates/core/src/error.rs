@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+use tacc_gap::GapError;
+use tacc_sim::SimError;
+use tacc_topology::TopologyError;
+use tacc_workload::WorkloadError;
+
+/// Unified error of the facade layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The configurator was missing or given inconsistent inputs.
+    InvalidConfiguration {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// Topology construction or validation failed.
+    Topology(TopologyError),
+    /// GAP construction or solving failed.
+    Gap(GapError),
+    /// Simulation failed.
+    Sim(SimError),
+    /// Scenario generation failed.
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfiguration { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+            CoreError::Topology(e) => write!(f, "topology error: {e}"),
+            CoreError::Gap(e) => write!(f, "assignment error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Workload(e) => write!(f, "workload error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::InvalidConfiguration { .. } => None,
+            CoreError::Topology(e) => Some(e),
+            CoreError::Gap(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::Workload(e) => Some(e),
+        }
+    }
+}
+
+impl From<TopologyError> for CoreError {
+    fn from(e: TopologyError) -> Self {
+        CoreError::Topology(e)
+    }
+}
+
+impl From<GapError> for CoreError {
+    fn from(e: GapError) -> Self {
+        CoreError::Gap(e)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<WorkloadError> for CoreError {
+    fn from(e: WorkloadError) -> Self {
+        CoreError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: CoreError = TopologyError::Disconnected.into();
+        assert!(e.to_string().contains("topology"));
+        assert!(e.source().is_some());
+        let e: CoreError = GapError::Infeasible.into();
+        assert!(e.to_string().contains("assignment"));
+        let e = CoreError::InvalidConfiguration { reason: "no demands".into() };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("no demands"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

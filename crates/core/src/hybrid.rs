@@ -1,0 +1,100 @@
+use tacc_baselines::LocalSearch;
+use tacc_gap::{GapError, GapInstance, Solution, Solver};
+use tacc_rl::{QLearning, QLearningConfig};
+
+/// Q-learning followed by a local-search polish — the natural hybrid the
+/// paper's "RL based heuristics" plural invites.
+///
+/// The RL stage handles the global, capacity-coupled structure (which
+/// devices must yield their nearest server); the shift+swap descent then
+/// cleans up residual pairwise inefficiencies that tabular exploration
+/// happens to leave behind. The polish preserves feasibility by
+/// construction, so the hybrid is never worse than plain
+/// [`QLearning`] on either objective or feasibility.
+#[derive(Debug, Clone)]
+pub struct QLearningPolished {
+    ql: QLearning,
+    ls: LocalSearch,
+}
+
+impl QLearningPolished {
+    /// Creates the hybrid with the given Q-learning configuration; the
+    /// polish uses [`LocalSearch`] defaults under the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is degenerate (see
+    /// [`QLearningConfig`]).
+    pub fn new(config: QLearningConfig, seed: u64) -> Self {
+        QLearningPolished { ql: QLearning::new(config, seed), ls: LocalSearch::new(seed) }
+    }
+}
+
+impl Solver for QLearningPolished {
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+        let rl = self.ql.solve(instance)?;
+        let rl_stats = rl.stats;
+        let mut polished = self.ls.improve(instance, rl.assignment)?;
+        polished.stats.iterations += rl_stats.iterations;
+        polished.stats.evaluations += rl_stats.evaluations;
+        polished.stats.elapsed += rl_stats.elapsed;
+        Ok(polished)
+    }
+
+    fn name(&self) -> &str {
+        "q-learning+ls"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_topology::DelayMatrix;
+
+    fn instance() -> GapInstance {
+        let delays = DelayMatrix::from_rows(vec![
+            vec![1.0, 9.0, 5.0],
+            vec![1.0, 2.0, 7.0],
+            vec![1.0, 8.0, 2.0],
+            vec![4.0, 1.0, 3.0],
+            vec![6.0, 2.0, 1.0],
+            vec![3.0, 4.0, 1.0],
+        ]);
+        GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .uniform_capacity(2.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn polish_never_hurts() {
+        let inst = instance();
+        for seed in 0..4 {
+            let plain = QLearning::new(QLearningConfig::default(), seed).solve(&inst).unwrap();
+            let hybrid =
+                QLearningPolished::new(QLearningConfig::default(), seed).solve(&inst).unwrap();
+            assert!(hybrid.feasible);
+            assert!(
+                hybrid.objective <= plain.objective + 1e-9,
+                "seed {seed}: hybrid {} worse than plain {}",
+                hybrid.objective,
+                plain.objective
+            );
+        }
+    }
+
+    #[test]
+    fn name_is_distinct() {
+        let h = QLearningPolished::new(QLearningConfig::default(), 0);
+        assert_eq!(h.name(), "q-learning+ls");
+    }
+
+    #[test]
+    fn stats_accumulate_both_stages() {
+        let inst = instance();
+        let hybrid = QLearningPolished::new(QLearningConfig::default(), 1).solve(&inst).unwrap();
+        // At least the QL episodes are counted.
+        assert!(hybrid.stats.iterations >= 3000);
+    }
+}

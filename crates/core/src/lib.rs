@@ -1,0 +1,92 @@
+//! # TACC — Topology Aware Cluster Configuration
+//!
+//! A faithful, from-scratch reproduction of *"Topology Aware Cluster
+//! Configuration for Minimizing Communication Delay in Edge Computing"*
+//! (ICDCS 2022): assign IoT devices to an edge cluster so that total
+//! communication delay is minimized and no edge server is overloaded,
+//! using reinforcement-learning heuristics on the underlying generalized
+//! assignment problem (GAP).
+//!
+//! This crate is the **facade**: it re-exports the workspace's layers and
+//! offers [`ClusterConfigurator`], a one-stop builder that takes a network
+//! topology plus a workload and returns a ready
+//! [`ClusterConfiguration`] — the artifact an edge orchestrator would
+//! deploy.
+//!
+//! ## Layers
+//!
+//! | Layer | Crate | Re-exported as |
+//! |-------|-------|----------------|
+//! | network model & generators | `tacc-topology` | [`topology`] |
+//! | GAP kernel & exact solvers | `tacc-gap` | [`gap`] |
+//! | classical baselines | `tacc-baselines` | [`baselines`] |
+//! | RL heuristics (the paper) | `tacc-rl` | [`rl`] |
+//! | discrete-event simulator | `tacc-sim` | [`sim`] |
+//! | scenario generation | `tacc-workload` | [`workload`] |
+//! | statistics & reporting | `tacc-metrics` | [`metrics`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tacc_core::{Algorithm, ClusterConfigurator};
+//! use tacc_core::topology::generators::{RandomGeometric, TopologyGenerator};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), tacc_core::CoreError> {
+//! // 1. A city-scale network: 50 sensors, 6 edge servers.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let topology = RandomGeometric::builder()
+//!     .num_iot(50)
+//!     .num_servers(6)
+//!     .build()?
+//!     .generate(&mut rng)?;
+//!
+//! // 2. Configure the cluster with the paper's Q-learning heuristic.
+//! let configuration = ClusterConfigurator::new(topology)
+//!     .uniform_demand(1.0)
+//!     .uniform_capacity(10.0)
+//!     .algorithm(Algorithm::q_learning())
+//!     .seed(42)
+//!     .configure()?;
+//!
+//! assert!(configuration.is_feasible());
+//! println!("mean delay: {:.2} ms", configuration.mean_delay_ms());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod algorithm;
+mod configurator;
+pub mod dynamics;
+mod error;
+mod hybrid;
+
+pub use algorithm::Algorithm;
+pub use configurator::{ClusterConfiguration, ClusterConfigurator};
+pub use dynamics::DynamicCluster;
+pub use error::CoreError;
+pub use hybrid::QLearningPolished;
+
+/// Re-export of the network topology layer (`tacc-topology`).
+pub use tacc_topology as topology;
+
+/// Re-export of the GAP kernel (`tacc-gap`).
+pub use tacc_gap as gap;
+
+/// Re-export of the classical baselines (`tacc-baselines`).
+pub use tacc_baselines as baselines;
+
+/// Re-export of the RL heuristics (`tacc-rl`).
+pub use tacc_rl as rl;
+
+/// Re-export of the discrete-event simulator (`tacc-sim`).
+pub use tacc_sim as sim;
+
+/// Re-export of scenario generation (`tacc-workload`).
+pub use tacc_workload as workload;
+
+/// Re-export of statistics and reporting (`tacc-metrics`).
+pub use tacc_metrics as metrics;

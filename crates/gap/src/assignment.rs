@@ -1,0 +1,355 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GapError, GapInstance};
+
+/// A (possibly partial) mapping of IoT devices to edge servers.
+///
+/// Device `i` maps to `Some(j)` once assigned. Solvers mutate assignments
+/// through [`Assignment::assign`] / [`Assignment::unassign`] and query cost
+/// and feasibility against a [`GapInstance`].
+///
+/// # Example
+///
+/// ```
+/// use tacc_gap::Assignment;
+///
+/// let mut a = Assignment::unassigned(3, 2);
+/// a.assign(0, 1).unwrap();
+/// a.assign(1, 0).unwrap();
+/// assert!(!a.is_complete());
+/// assert_eq!(a.server_of(0), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Assignment {
+    servers: Vec<Option<u32>>,
+    num_servers: usize,
+}
+
+impl Assignment {
+    /// Creates an assignment with every one of `num_devices` devices
+    /// unassigned, over `num_servers` servers.
+    pub fn unassigned(num_devices: usize, num_servers: usize) -> Self {
+        Assignment { servers: vec![None; num_devices], num_servers }
+    }
+
+    /// Creates a complete assignment from a device-indexed server vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GapError::ServerOutOfRange`] if any entry is `>=
+    /// num_servers`.
+    pub fn from_vec(servers: Vec<usize>, num_servers: usize) -> Result<Self, GapError> {
+        let mut out = Vec::with_capacity(servers.len());
+        for &j in &servers {
+            if j >= num_servers {
+                return Err(GapError::ServerOutOfRange { server: j, num_servers });
+            }
+            out.push(Some(j as u32));
+        }
+        Ok(Assignment { servers: out, num_servers })
+    }
+
+    /// Number of devices this assignment covers.
+    pub fn num_devices(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of servers this assignment ranges over.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Server currently hosting `device`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn server_of(&self, device: usize) -> Option<usize> {
+        self.servers[device].map(|j| j as usize)
+    }
+
+    /// Assigns `device` to `server`, replacing any previous assignment and
+    /// returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GapError::ServerOutOfRange`] if `server` is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn assign(&mut self, device: usize, server: usize) -> Result<Option<usize>, GapError> {
+        if server >= self.num_servers {
+            return Err(GapError::ServerOutOfRange { server, num_servers: self.num_servers });
+        }
+        let old = self.servers[device].map(|j| j as usize);
+        self.servers[device] = Some(server as u32);
+        Ok(old)
+    }
+
+    /// Removes the assignment of `device`, returning the server it was on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn unassign(&mut self, device: usize) -> Option<usize> {
+        self.servers[device].take().map(|j| j as usize)
+    }
+
+    /// `true` when every device is assigned.
+    pub fn is_complete(&self) -> bool {
+        self.servers.iter().all(Option::is_some)
+    }
+
+    /// Index of the first unassigned device, if any.
+    pub fn first_unassigned(&self) -> Option<usize> {
+        self.servers.iter().position(Option::is_none)
+    }
+
+    /// Iterates over `(device, server)` pairs of assigned devices.
+    pub fn iter_assigned(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.servers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|j| (i, j as usize)))
+    }
+
+    /// Load on every server under `instance`'s demand model (assigned
+    /// devices only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's dimensions disagree with the instance.
+    pub fn server_loads(&self, instance: &GapInstance) -> Vec<f64> {
+        self.check_dims(instance);
+        let mut loads = vec![0.0; self.num_servers];
+        for (i, j) in self.iter_assigned() {
+            loads[j] += instance.demand(i, j);
+        }
+        loads
+    }
+
+    /// `true` when the assignment is complete and no server exceeds its
+    /// capacity.
+    pub fn is_feasible(&self, instance: &GapInstance) -> bool {
+        self.is_complete() && self.capacity_violations(instance).is_empty()
+    }
+
+    /// Servers whose load exceeds capacity, with the excess amount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's dimensions disagree with the instance.
+    pub fn capacity_violations(&self, instance: &GapInstance) -> Vec<(usize, f64)> {
+        let loads = self.server_loads(instance);
+        loads
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &l)| {
+                let excess = l - instance.capacity(j);
+                (excess > 1e-9).then_some((j, excess))
+            })
+            .collect()
+    }
+
+    /// Total overload across all servers (0.0 when capacity-respecting).
+    pub fn total_overload(&self, instance: &GapInstance) -> f64 {
+        self.capacity_violations(instance).iter().map(|(_, e)| e).sum()
+    }
+
+    /// Total communication delay of a complete assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GapError::IncompleteAssignment`] if some device is
+    /// unassigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's dimensions disagree with the instance.
+    pub fn total_delay(&self, instance: &GapInstance) -> Result<f64, GapError> {
+        self.check_dims(instance);
+        if let Some(device) = self.first_unassigned() {
+            return Err(GapError::IncompleteAssignment { device });
+        }
+        Ok(self.partial_delay(instance))
+    }
+
+    /// Total delay over the *assigned* devices only (0.0 when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's dimensions disagree with the instance.
+    pub fn partial_delay(&self, instance: &GapInstance) -> f64 {
+        self.check_dims(instance);
+        self.iter_assigned().map(|(i, j)| instance.delay(i, j)).sum()
+    }
+
+    /// Largest single-device delay of the assigned devices (0.0 when
+    /// empty).
+    pub fn max_delay(&self, instance: &GapInstance) -> f64 {
+        self.check_dims(instance);
+        self.iter_assigned()
+            .map(|(i, j)| instance.delay(i, j))
+            .fold(0.0, f64::max)
+    }
+
+    /// Delay plus `penalty` per unit of capacity overload — the soft
+    /// objective used by penalty-based heuristics (SA, GA, RL).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's dimensions disagree with the instance,
+    /// or (in debug builds) if `penalty` is negative.
+    pub fn penalized_objective(&self, instance: &GapInstance, penalty: f64) -> f64 {
+        debug_assert!(penalty >= 0.0);
+        self.partial_delay(instance) + penalty * self.total_overload(instance)
+    }
+
+    fn check_dims(&self, instance: &GapInstance) {
+        assert_eq!(
+            self.servers.len(),
+            instance.num_devices(),
+            "assignment covers {} devices, instance has {}",
+            self.servers.len(),
+            instance.num_devices()
+        );
+        assert_eq!(
+            self.num_servers,
+            instance.num_servers(),
+            "assignment ranges over {} servers, instance has {}",
+            self.num_servers,
+            instance.num_servers()
+        );
+    }
+}
+
+impl std::fmt::Display for Assignment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.servers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            match s {
+                Some(j) => write!(f, "{j}")?,
+                None => write!(f, "-")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_topology::DelayMatrix;
+
+    fn instance() -> GapInstance {
+        let delays = DelayMatrix::from_rows(vec![
+            vec![1.0, 5.0],
+            vec![4.0, 2.0],
+            vec![3.0, 3.0],
+        ]);
+        GapInstance::builder(delays)
+            .device_demands(vec![2.0, 2.0, 2.0])
+            .capacities(vec![4.0, 2.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn assignment_lifecycle() {
+        let mut a = Assignment::unassigned(3, 2);
+        assert!(!a.is_complete());
+        assert_eq!(a.first_unassigned(), Some(0));
+        assert_eq!(a.assign(0, 0).unwrap(), None);
+        assert_eq!(a.assign(0, 1).unwrap(), Some(0));
+        assert_eq!(a.unassign(0), Some(1));
+        assert_eq!(a.unassign(0), None);
+    }
+
+    #[test]
+    fn out_of_range_server_is_an_error() {
+        let mut a = Assignment::unassigned(1, 2);
+        assert!(matches!(a.assign(0, 2), Err(GapError::ServerOutOfRange { .. })));
+        assert!(matches!(
+            Assignment::from_vec(vec![3], 2),
+            Err(GapError::ServerOutOfRange { server: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn loads_and_feasibility() {
+        let inst = instance();
+        let a = Assignment::from_vec(vec![0, 1, 0], 2).unwrap();
+        assert_eq!(a.server_loads(&inst), vec![4.0, 2.0]);
+        assert!(a.is_feasible(&inst));
+
+        // All three on server 1 (capacity 2.0): overload 4.0.
+        let a = Assignment::from_vec(vec![1, 1, 1], 2).unwrap();
+        assert!(!a.is_feasible(&inst));
+        assert_eq!(a.capacity_violations(&inst), vec![(1, 4.0)]);
+        assert_eq!(a.total_overload(&inst), 4.0);
+    }
+
+    #[test]
+    fn delays_and_objectives() {
+        let inst = instance();
+        let a = Assignment::from_vec(vec![0, 1, 0], 2).unwrap();
+        assert_eq!(a.total_delay(&inst).unwrap(), 1.0 + 2.0 + 3.0);
+        assert_eq!(a.max_delay(&inst), 3.0);
+        assert_eq!(a.penalized_objective(&inst, 10.0), 6.0);
+
+        let overloaded = Assignment::from_vec(vec![1, 1, 1], 2).unwrap();
+        let delay = 5.0 + 2.0 + 3.0;
+        assert_eq!(overloaded.penalized_objective(&inst, 10.0), delay + 10.0 * 4.0);
+    }
+
+    #[test]
+    fn incomplete_assignment_has_no_total_delay() {
+        let inst = instance();
+        let mut a = Assignment::unassigned(3, 2);
+        a.assign(0, 0).unwrap();
+        assert!(matches!(
+            a.total_delay(&inst),
+            Err(GapError::IncompleteAssignment { device: 1 })
+        ));
+        assert_eq!(a.partial_delay(&inst), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment covers")]
+    fn dimension_mismatch_panics() {
+        let inst = instance();
+        let a = Assignment::unassigned(5, 2);
+        let _ = a.server_loads(&inst);
+    }
+
+    #[test]
+    fn display_renders_partial_assignments() {
+        let mut a = Assignment::unassigned(3, 2);
+        a.assign(1, 0).unwrap();
+        assert_eq!(a.to_string(), "[- 0 -]");
+        let full = Assignment::from_vec(vec![0, 1, 1], 2).unwrap();
+        assert_eq!(full.to_string(), "[0 1 1]");
+    }
+
+    #[test]
+    fn iter_assigned_skips_gaps() {
+        let mut a = Assignment::unassigned(4, 2);
+        a.assign(1, 0).unwrap();
+        a.assign(3, 1).unwrap();
+        let pairs: Vec<_> = a.iter_assigned().collect();
+        assert_eq!(pairs, vec![(1, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn empty_assignment_edge_cases() {
+        let inst = instance();
+        let a = Assignment::unassigned(3, 2);
+        assert_eq!(a.partial_delay(&inst), 0.0);
+        assert_eq!(a.max_delay(&inst), 0.0);
+        assert_eq!(a.total_overload(&inst), 0.0);
+    }
+}

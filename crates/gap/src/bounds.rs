@@ -1,0 +1,157 @@
+//! Lower bounds on the optimal total delay.
+//!
+//! Bounds serve two purposes in TACC: pruning in
+//! [`crate::exact::BranchAndBound`] and optimality-gap reporting on
+//! instances too large to solve exactly (experiment E7).
+
+use crate::GapInstance;
+
+/// The capacity-free bound: every device takes its cheapest server.
+///
+/// `Σ_i min_j d(i, j)` — ignores capacities entirely, so it is a valid
+/// (often loose) lower bound on any feasible assignment's total delay.
+///
+/// # Example
+///
+/// ```
+/// use tacc_gap::{GapInstance, bounds};
+/// use tacc_topology::DelayMatrix;
+///
+/// # fn main() -> Result<(), tacc_gap::GapError> {
+/// let delays = DelayMatrix::from_rows(vec![vec![1.0, 9.0], vec![8.0, 2.0]]);
+/// let instance = GapInstance::builder(delays)
+///     .uniform_demand(1.0)
+///     .uniform_capacity(1.0)
+///     .build()?;
+/// assert_eq!(bounds::capacity_free_bound(&instance), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn capacity_free_bound(instance: &GapInstance) -> f64 {
+    (0..instance.num_devices())
+        .map(|i| instance.delay_row(i).iter().cloned().fold(f64::INFINITY, f64::min))
+        .sum()
+}
+
+/// Lagrangian lower bound from relaxing the capacity constraints.
+///
+/// For multipliers `λ ≥ 0`, the Lagrangian
+///
+/// ```text
+/// L(λ) = Σ_i min_j ( d(i,j) + λ_j · w(i,j) )  −  Σ_j λ_j · c(j)
+/// ```
+///
+/// is a lower bound on the optimum for *every* `λ`; this routine runs
+/// `iterations` steps of projected subgradient ascent with a diminishing
+/// step and returns the best `L(λ)` seen (never below
+/// [`capacity_free_bound`], which is `L(0)`).
+///
+/// # Panics
+///
+/// Panics if `iterations` is 0.
+pub fn lagrangian_bound(instance: &GapInstance, iterations: usize) -> f64 {
+    assert!(iterations > 0, "need at least one subgradient iteration");
+    let n = instance.num_devices();
+    let m = instance.num_servers();
+    let mut lambda = vec![0.0f64; m];
+    let mut best = f64::NEG_INFINITY;
+
+    // Scale-aware initial step: mean delay over mean demand keeps the first
+    // multipliers in the neighbourhood where they matter.
+    let mean_delay: f64 =
+        (0..n).flat_map(|i| instance.delay_row(i).iter().cloned()).sum::<f64>() / (n * m) as f64;
+    let mean_demand: f64 =
+        (0..n).flat_map(|i| instance.demand_row(i).iter().cloned()).sum::<f64>() / (n * m) as f64;
+    let step0 = if mean_demand > 0.0 { (mean_delay / mean_demand).max(1e-6) * 0.2 } else { 0.1 };
+
+    for t in 0..iterations {
+        // Evaluate L(λ): each device independently picks its cheapest
+        // penalized server; accumulate the capacity usage subgradient.
+        let mut value = -lambda
+            .iter()
+            .zip(instance.capacities())
+            .map(|(l, c)| l * c)
+            .sum::<f64>();
+        let mut usage = vec![0.0f64; m];
+        for i in 0..n {
+            let delays = instance.delay_row(i);
+            let demands = instance.demand_row(i);
+            let mut best_j = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for j in 0..m {
+                let cost = delays[j] + lambda[j] * demands[j];
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_j = j;
+                }
+            }
+            value += best_cost;
+            usage[best_j] += demands[best_j];
+        }
+        if value > best {
+            best = value;
+        }
+        // Projected subgradient step: λ_j ← max(0, λ_j + μ_t (usage - c)).
+        let step = step0 / (t as f64 + 1.0).sqrt();
+        for j in 0..m {
+            lambda[j] = (lambda[j] + step * (usage[j] - instance.capacity(j))).max(0.0);
+        }
+    }
+    best.max(capacity_free_bound(instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_topology::DelayMatrix;
+
+    /// Two devices both prefer server 0 but its capacity only fits one:
+    /// the optimum (3.0) is strictly above the capacity-free bound (2.0),
+    /// and the Lagrangian bound should close part of that gap.
+    fn contended_instance() -> GapInstance {
+        let delays = DelayMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 2.0]]);
+        GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .capacities(vec![1.0, 1.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn capacity_free_bound_sums_row_minima() {
+        let inst = contended_instance();
+        assert_eq!(capacity_free_bound(&inst), 2.0);
+    }
+
+    #[test]
+    fn lagrangian_bound_dominates_capacity_free() {
+        let inst = contended_instance();
+        let lb = lagrangian_bound(&inst, 200);
+        assert!(lb >= capacity_free_bound(&inst) - 1e-9);
+        // The true optimum is 3.0; the Lagrangian dual optimum for this
+        // instance is strictly above 2.0.
+        assert!(lb > 2.05, "lagrangian bound {lb} did not improve on 2.0");
+        assert!(lb <= 3.0 + 1e-9, "lagrangian bound {lb} exceeds the optimum 3.0");
+    }
+
+    #[test]
+    fn bound_is_tight_when_capacity_is_slack() {
+        // With huge capacities the relaxation is exact.
+        let delays = DelayMatrix::from_rows(vec![vec![1.0, 5.0], vec![4.0, 2.0]]);
+        let inst = GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .uniform_capacity(100.0)
+            .build()
+            .unwrap();
+        assert_eq!(capacity_free_bound(&inst), 3.0);
+        let lb = lagrangian_bound(&inst, 50);
+        assert!((lb - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_iterations_panics() {
+        let inst = contended_instance();
+        let _ = lagrangian_bound(&inst, 0);
+    }
+}

@@ -1,0 +1,127 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by GAP construction and solving.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GapError {
+    /// Matrix/vector dimensions disagree.
+    DimensionMismatch {
+        /// What was being matched (e.g. "capacities").
+        what: &'static str,
+        /// The expected length.
+        expected: usize,
+        /// The length actually supplied.
+        actual: usize,
+    },
+    /// A demand value was non-positive or non-finite.
+    InvalidDemand {
+        /// Device index.
+        device: usize,
+        /// Server index.
+        server: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A capacity value was non-positive or non-finite.
+    InvalidCapacity {
+        /// Server index.
+        server: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A priority weight was non-positive or non-finite.
+    InvalidPriority {
+        /// Device index.
+        device: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A delay value was negative or NaN.
+    InvalidDelay {
+        /// Device index.
+        device: usize,
+        /// Server index.
+        server: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A server index was out of range.
+    ServerOutOfRange {
+        /// The offending index.
+        server: usize,
+        /// Number of servers in the instance.
+        num_servers: usize,
+    },
+    /// An operation required a complete assignment but some device was
+    /// unassigned.
+    IncompleteAssignment {
+        /// The first unassigned device.
+        device: usize,
+    },
+    /// The exact solver proved that no feasible assignment exists.
+    Infeasible,
+    /// The instance exceeds a solver's hard size limit.
+    TooLarge {
+        /// Name of the limit that was exceeded.
+        limit: &'static str,
+        /// The configured maximum.
+        max: usize,
+        /// The instance's actual size.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for GapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GapError::DimensionMismatch { what, expected, actual } => {
+                write!(f, "{what} has length {actual}, expected {expected}")
+            }
+            GapError::InvalidDemand { device, server, value } => {
+                write!(f, "demand({device}, {server}) = {value} is not positive and finite")
+            }
+            GapError::InvalidCapacity { server, value } => {
+                write!(f, "capacity({server}) = {value} is not positive and finite")
+            }
+            GapError::InvalidPriority { device, value } => {
+                write!(f, "priority({device}) = {value} is not positive and finite")
+            }
+            GapError::InvalidDelay { device, server, value } => {
+                write!(f, "delay({device}, {server}) = {value} is negative or NaN")
+            }
+            GapError::ServerOutOfRange { server, num_servers } => {
+                write!(f, "server index {server} out of range (instance has {num_servers})")
+            }
+            GapError::IncompleteAssignment { device } => {
+                write!(f, "device {device} is unassigned")
+            }
+            GapError::Infeasible => write!(f, "no feasible assignment exists"),
+            GapError::TooLarge { limit, max, actual } => {
+                write!(f, "instance exceeds {limit} limit: {actual} > {max}")
+            }
+        }
+    }
+}
+
+impl Error for GapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GapError::DimensionMismatch { what: "capacities", expected: 3, actual: 2 };
+        assert_eq!(e.to_string(), "capacities has length 2, expected 3");
+        assert!(GapError::Infeasible.to_string().contains("feasible"));
+        let e = GapError::TooLarge { limit: "brute-force devices", max: 16, actual: 20 };
+        assert!(e.to_string().contains("20 > 16"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<GapError>();
+    }
+}

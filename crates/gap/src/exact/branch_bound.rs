@@ -1,0 +1,324 @@
+use std::time::Instant;
+
+use crate::{bounds, Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+
+/// Depth-first branch-and-bound, the workhorse exact solver.
+///
+/// Improvements over [`crate::exact::BruteForce`]:
+///
+/// - **Device ordering by regret** (gap between a device's best and
+///   second-best delay, descending) so the most constrained decisions are
+///   taken near the root.
+/// - **Admissible lower bound**: accumulated cost + each remaining device's
+///   cheapest *capacity-fitting* server (falling back to the unconstrained
+///   minimum), pruning any branch that cannot beat the incumbent.
+/// - **Greedy warm start** providing an initial incumbent so pruning is
+///   effective from the first node.
+/// - A node budget (`max_nodes`) after which the best incumbent is
+///   returned with `Solution::stats.iterations == max_nodes` — callers can
+///   detect a possibly-non-optimal result that way; the returned flag is
+///   exact otherwise.
+#[derive(Debug, Clone)]
+pub struct BranchAndBound {
+    max_nodes: u64,
+}
+
+impl BranchAndBound {
+    /// Creates a solver with a custom node budget.
+    pub fn with_max_nodes(max_nodes: u64) -> Self {
+        BranchAndBound { max_nodes }
+    }
+
+    /// `true` when `solution` exhausted the node budget, i.e. optimality
+    /// was *not* proven.
+    pub fn budget_exhausted(&self, solution: &Solution) -> bool {
+        solution.stats.iterations >= self.max_nodes
+    }
+}
+
+impl Default for BranchAndBound {
+    /// Allows 50 million nodes, comfortably enough for the n ≤ 30
+    /// instances used in the optimality-gap experiment.
+    fn default() -> Self {
+        BranchAndBound { max_nodes: 50_000_000 }
+    }
+}
+
+struct Search<'a> {
+    instance: &'a GapInstance,
+    /// Devices in branch order (highest regret first).
+    order: Vec<usize>,
+    loads: Vec<f64>,
+    /// `chosen[k]` = server of `order[k]` on the current path.
+    chosen: Vec<usize>,
+    current_cost: f64,
+    best: Option<(Vec<usize>, f64)>,
+    nodes: u64,
+    max_nodes: u64,
+}
+
+impl Search<'_> {
+    /// Cheapest delay for `device` among servers it still fits on, or its
+    /// unconstrained minimum when nothing fits (keeps the bound admissible
+    /// while the branch will die on capacity anyway).
+    fn remaining_bound(&self, from_rank: usize) -> f64 {
+        let mut sum = 0.0;
+        for &i in &self.order[from_rank..] {
+            let delays = self.instance.delay_row(i);
+            let demands = self.instance.demand_row(i);
+            let mut best_fit = f64::INFINITY;
+            let mut best_any = f64::INFINITY;
+            for j in 0..self.instance.num_servers() {
+                best_any = best_any.min(delays[j]);
+                if self.loads[j] + demands[j] <= self.instance.capacity(j) + 1e-9 {
+                    best_fit = best_fit.min(delays[j]);
+                }
+            }
+            sum += if best_fit.is_finite() { best_fit } else { best_any };
+        }
+        sum
+    }
+
+    fn recurse(&mut self, rank: usize) {
+        if self.nodes >= self.max_nodes {
+            return;
+        }
+        self.nodes += 1;
+        if rank == self.order.len() {
+            if self.best.as_ref().map_or(true, |(_, c)| self.current_cost < *c) {
+                self.best = Some((self.chosen.clone(), self.current_cost));
+            }
+            return;
+        }
+        // Bound: can this branch still beat the incumbent?
+        if let Some((_, best_cost)) = &self.best {
+            if self.current_cost + self.remaining_bound(rank) >= *best_cost - 1e-12 {
+                return;
+            }
+        }
+        let device = self.order[rank];
+        // Try servers cheapest-first so good incumbents appear early.
+        let mut servers: Vec<usize> = (0..self.instance.num_servers()).collect();
+        servers.sort_by(|&a, &b| {
+            self.instance
+                .delay(device, a)
+                .partial_cmp(&self.instance.delay(device, b))
+                .expect("delays are not NaN")
+        });
+        for j in servers {
+            let w = self.instance.demand(device, j);
+            if self.loads[j] + w > self.instance.capacity(j) + 1e-9 {
+                continue;
+            }
+            let d = self.instance.delay(device, j);
+            self.loads[j] += w;
+            self.chosen.push(j);
+            self.current_cost += d;
+            self.recurse(rank + 1);
+            self.current_cost -= d;
+            self.chosen.pop();
+            self.loads[j] -= w;
+        }
+    }
+}
+
+/// Greedy warm start: devices by descending regret, each to its cheapest
+/// fitting server. Returns `None` when greedy dead-ends.
+#[allow(clippy::needless_range_loop)] // parallel loads/capacity arrays
+fn greedy_incumbent(instance: &GapInstance, order: &[usize]) -> Option<(Vec<usize>, f64)> {
+    let mut loads = vec![0.0; instance.num_servers()];
+    let mut servers = vec![usize::MAX; instance.num_devices()];
+    let mut cost = 0.0;
+    for &i in order {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..instance.num_servers() {
+            if loads[j] + instance.demand(i, j) <= instance.capacity(j) + 1e-9 {
+                let d = instance.delay(i, j);
+                if best.map_or(true, |(_, bd)| d < bd) {
+                    best = Some((j, d));
+                }
+            }
+        }
+        let (j, d) = best?;
+        loads[j] += instance.demand(i, j);
+        servers[i] = j;
+        cost += d;
+    }
+    Some((servers, cost))
+}
+
+impl Solver for BranchAndBound {
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+        let start = Instant::now();
+        let n = instance.num_devices();
+
+        // Regret order: biggest (second-best − best) delay gap first.
+        let mut order: Vec<usize> = (0..n).collect();
+        let regret = |i: usize| {
+            let row = instance.delay_row(i);
+            let mut best = f64::INFINITY;
+            let mut second = f64::INFINITY;
+            for &d in row {
+                if d < best {
+                    second = best;
+                    best = d;
+                } else if d < second {
+                    second = d;
+                }
+            }
+            if second.is_finite() { second - best } else { 0.0 }
+        };
+        order.sort_by(|&a, &b| regret(b).partial_cmp(&regret(a)).expect("regret is not NaN"));
+
+        let mut search = Search {
+            instance,
+            loads: vec![0.0; instance.num_servers()],
+            chosen: Vec::with_capacity(n),
+            current_cost: 0.0,
+            best: None,
+            nodes: 0,
+            max_nodes: self.max_nodes,
+            order,
+        };
+
+        // Warm start. greedy_incumbent returns servers indexed by *device*.
+        if let Some((servers, cost)) = greedy_incumbent(instance, &search.order) {
+            let in_branch_order: Vec<usize> =
+                search.order.iter().map(|&i| servers[i]).collect();
+            search.best = Some((in_branch_order, cost));
+        }
+
+        search.recurse(0);
+
+        let order = std::mem::take(&mut search.order);
+        let (chosen, _) = search.best.ok_or(GapError::Infeasible)?;
+        let mut servers = vec![0usize; n];
+        for (rank, &device) in order.iter().enumerate() {
+            servers[device] = chosen[rank];
+        }
+        let assignment = Assignment::from_vec(servers, instance.num_servers())?;
+        let stats = SolveStats {
+            elapsed: start.elapsed(),
+            iterations: search.nodes,
+            evaluations: search.nodes,
+        };
+        Solution::evaluate(assignment, instance, stats)
+    }
+
+    fn name(&self) -> &str {
+        "branch-and-bound"
+    }
+}
+
+/// Reports the relative optimality gap `(objective − lower) / lower` of a
+/// solution against the Lagrangian lower bound — used when instances are
+/// too large for exact solving.
+pub(crate) fn _relative_gap(instance: &GapInstance, objective: f64) -> f64 {
+    let lb = bounds::lagrangian_bound(instance, 100);
+    if lb <= 0.0 {
+        0.0
+    } else {
+        (objective - lb) / lb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::BruteForce;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use tacc_topology::DelayMatrix;
+
+    fn random_instance(seed: u64, n: usize, m: usize, tight: bool) -> GapInstance {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..m).map(|_| rng.random_range(1.0..20.0)).collect())
+            .collect();
+        let demands: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..2.0)).collect();
+        let total: f64 = demands.iter().sum();
+        let cap = if tight { total / m as f64 * 1.3 } else { total };
+        GapInstance::builder(DelayMatrix::from_rows(rows))
+            .device_demands(demands)
+            .uniform_capacity(cap)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        for seed in 0..30 {
+            let inst = random_instance(seed, 8, 3, seed % 2 == 0);
+            let bb = BranchAndBound::default().solve(&inst);
+            let bf = BruteForce::default().solve(&inst);
+            match (bb, bf) {
+                (Ok(bb), Ok(bf)) => {
+                    assert!(
+                        (bb.objective - bf.objective).abs() < 1e-9,
+                        "seed {seed}: bb {} vs bf {}",
+                        bb.objective,
+                        bf.objective
+                    );
+                    assert!(bb.feasible);
+                }
+                (Err(GapError::Infeasible), Err(GapError::Infeasible)) => {}
+                (bb, bf) => panic!("seed {seed}: divergent results {bb:?} vs {bf:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn objective_respects_lagrangian_bound() {
+        for seed in 100..110 {
+            let inst = random_instance(seed, 10, 3, true);
+            if let Ok(s) = BranchAndBound::default().solve(&inst) {
+                let lb = bounds::lagrangian_bound(&inst, 100);
+                assert!(
+                    s.objective >= lb - 1e-6,
+                    "seed {seed}: optimum {} below bound {lb}",
+                    s.objective
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proves_infeasibility() {
+        let delays = DelayMatrix::from_rows(vec![vec![1.0], vec![1.0]]);
+        let inst = GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .capacities(vec![1.5])
+            .build()
+            .unwrap();
+        assert_eq!(
+            BranchAndBound::default().solve(&inst).unwrap_err(),
+            GapError::Infeasible
+        );
+    }
+
+    #[test]
+    fn node_budget_returns_incumbent() {
+        let inst = random_instance(7, 10, 4, false);
+        // A zero-node budget forces the solver to fall back on its greedy
+        // warm start without exploring at all.
+        let bb = BranchAndBound::with_max_nodes(0);
+        let s = bb.solve(&inst).unwrap();
+        assert!(s.feasible);
+        assert!(bb.budget_exhausted(&s));
+        assert_eq!(s.stats.iterations, 0);
+
+        // With the default budget the same instance is solved to proven
+        // optimality at least as cheaply.
+        let full = BranchAndBound::default().solve(&inst).unwrap();
+        assert!(full.objective <= s.objective + 1e-9);
+        assert!(!BranchAndBound::default().budget_exhausted(&full));
+    }
+
+    #[test]
+    fn handles_larger_instances_than_brute_force() {
+        let inst = random_instance(3, 25, 4, true);
+        let s = BranchAndBound::default().solve(&inst).unwrap();
+        assert!(s.feasible);
+        assert!(s.stats.iterations > 0);
+    }
+}

@@ -1,0 +1,184 @@
+use std::time::Instant;
+
+use crate::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+
+/// Exhaustive search over all `m^n` assignments with capacity pruning.
+///
+/// Only intended as a correctness oracle for the other solvers: the hard
+/// device limit (default 12) keeps runtime bounded. Prefer
+/// [`crate::exact::BranchAndBound`] for anything larger.
+///
+/// # Example
+///
+/// ```
+/// use tacc_gap::exact::BruteForce;
+/// use tacc_gap::{GapInstance, Solver};
+/// use tacc_topology::DelayMatrix;
+///
+/// # fn main() -> Result<(), tacc_gap::GapError> {
+/// let delays = DelayMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 2.0]]);
+/// let instance = GapInstance::builder(delays)
+///     .uniform_demand(1.0)
+///     .capacities(vec![1.0, 1.0])
+///     .build()?;
+/// let solution = BruteForce::default().solve(&instance)?;
+/// assert_eq!(solution.objective, 3.0); // one device must take server 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BruteForce {
+    max_devices: usize,
+}
+
+impl BruteForce {
+    /// Creates a brute-force solver with a custom device limit.
+    pub fn with_max_devices(max_devices: usize) -> Self {
+        BruteForce { max_devices }
+    }
+}
+
+impl Default for BruteForce {
+    /// Limits instances to 12 devices (`m^12` leaves at most).
+    fn default() -> Self {
+        BruteForce { max_devices: 12 }
+    }
+}
+
+struct Search<'a> {
+    instance: &'a GapInstance,
+    loads: Vec<f64>,
+    current: Vec<usize>,
+    current_cost: f64,
+    best: Option<(Vec<usize>, f64)>,
+    nodes: u64,
+}
+
+impl Search<'_> {
+    fn recurse(&mut self, device: usize) {
+        self.nodes += 1;
+        let n = self.instance.num_devices();
+        if device == n {
+            if self.best.as_ref().map_or(true, |(_, c)| self.current_cost < *c) {
+                self.best = Some((self.current.clone(), self.current_cost));
+            }
+            return;
+        }
+        // Even the oracle prunes on cost and capacity — correctness is
+        // unaffected because delays are non-negative.
+        if let Some((_, best_cost)) = &self.best {
+            if self.current_cost >= *best_cost {
+                return;
+            }
+        }
+        for j in 0..self.instance.num_servers() {
+            let w = self.instance.demand(device, j);
+            if self.loads[j] + w > self.instance.capacity(j) + 1e-9 {
+                continue;
+            }
+            let d = self.instance.delay(device, j);
+            self.loads[j] += w;
+            self.current.push(j);
+            self.current_cost += d;
+            self.recurse(device + 1);
+            self.current_cost -= d;
+            self.current.pop();
+            self.loads[j] -= w;
+        }
+    }
+}
+
+impl Solver for BruteForce {
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+        if instance.num_devices() > self.max_devices {
+            return Err(GapError::TooLarge {
+                limit: "brute-force devices",
+                max: self.max_devices,
+                actual: instance.num_devices(),
+            });
+        }
+        let start = Instant::now();
+        let mut search = Search {
+            instance,
+            loads: vec![0.0; instance.num_servers()],
+            current: Vec::with_capacity(instance.num_devices()),
+            current_cost: 0.0,
+            best: None,
+            nodes: 0,
+        };
+        search.recurse(0);
+        let (servers, _) = search.best.ok_or(GapError::Infeasible)?;
+        let assignment = Assignment::from_vec(servers, instance.num_servers())?;
+        let stats = SolveStats {
+            elapsed: start.elapsed(),
+            iterations: search.nodes,
+            evaluations: search.nodes,
+        };
+        Solution::evaluate(assignment, instance, stats)
+    }
+
+    fn name(&self) -> &str {
+        "brute-force"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_topology::DelayMatrix;
+
+    #[test]
+    fn finds_optimum_under_contention() {
+        // Both devices prefer server 0 (capacity 1): optimum splits them.
+        let delays = DelayMatrix::from_rows(vec![vec![1.0, 10.0], vec![2.0, 3.0]]);
+        let inst = GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .capacities(vec![1.0, 1.0])
+            .build()
+            .unwrap();
+        let s = BruteForce::default().solve(&inst).unwrap();
+        // Options: [0,1] = 4.0, [1,0] = 12.0 → optimum 4.0.
+        assert_eq!(s.objective, 4.0);
+        assert!(s.feasible);
+        assert_eq!(s.assignment.server_of(0), Some(0));
+        assert_eq!(s.assignment.server_of(1), Some(1));
+    }
+
+    #[test]
+    fn proves_infeasibility() {
+        let delays = DelayMatrix::from_rows(vec![vec![1.0], vec![1.0]]);
+        let inst = GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .capacities(vec![1.5])
+            .build()
+            .unwrap();
+        assert_eq!(BruteForce::default().solve(&inst).unwrap_err(), GapError::Infeasible);
+    }
+
+    #[test]
+    fn respects_device_limit() {
+        let delays = DelayMatrix::from_rows(vec![vec![1.0]; 20]);
+        let inst = GapInstance::builder(delays)
+            .uniform_demand(0.1)
+            .capacities(vec![100.0])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            BruteForce::default().solve(&inst),
+            Err(GapError::TooLarge { .. })
+        ));
+        assert!(BruteForce::with_max_devices(20).solve(&inst).is_ok());
+    }
+
+    #[test]
+    fn single_device_single_server() {
+        let delays = DelayMatrix::from_rows(vec![vec![7.0]]);
+        let inst = GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .capacities(vec![1.0])
+            .build()
+            .unwrap();
+        let s = BruteForce::default().solve(&inst).unwrap();
+        assert_eq!(s.objective, 7.0);
+    }
+}

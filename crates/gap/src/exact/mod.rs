@@ -1,0 +1,12 @@
+//! Exact (provably optimal) GAP solvers.
+//!
+//! Both solvers return the minimum-total-delay *feasible* assignment or
+//! prove infeasibility. They are exponential-time and guarded by hard size
+//! limits; the evaluation uses them as the "optimal" yardstick on small
+//! instances (experiment E7).
+
+mod branch_bound;
+mod brute_force;
+
+pub use branch_bound::BranchAndBound;
+pub use brute_force::BruteForce;

@@ -1,0 +1,55 @@
+//! Generalized assignment problem (GAP) kernel for TACC.
+//!
+//! The paper casts cluster configuration as a GAP: assign every IoT device
+//! `i` to exactly one edge server `j`, paying the topology-derived
+//! communication delay `d(i, j)`, such that no server's capacity is
+//! exceeded. This crate owns the problem representation and everything
+//! solvers share:
+//!
+//! - [`GapInstance`]: delays + demands + capacities, validated.
+//! - [`Assignment`] / [`Solution`]: candidate and finished solutions with
+//!   feasibility accounting.
+//! - [`Solver`]: the object-safe trait every algorithm (classical baselines
+//!   in `tacc-baselines`, RL heuristics in `tacc-rl`) implements.
+//! - [`exact`]: brute force and branch-and-bound optimal solvers, the
+//!   "optimal" yardstick for small instances.
+//! - [`bounds`]: capacity-free and Lagrangian lower bounds used for pruning
+//!   and for optimality-gap reporting.
+//!
+//! # Example
+//!
+//! ```
+//! use tacc_gap::{GapInstance, Assignment};
+//! use tacc_topology::DelayMatrix;
+//!
+//! # fn main() -> Result<(), tacc_gap::GapError> {
+//! // Two devices, two servers: device 0 is near server 0, device 1 near
+//! // server 1, and each server only has room for one unit of demand.
+//! let delays = DelayMatrix::from_rows(vec![vec![1.0, 9.0], vec![8.0, 2.0]]);
+//! let instance = GapInstance::builder(delays)
+//!     .uniform_demand(1.0)
+//!     .capacities(vec![1.0, 1.0])
+//!     .build()?;
+//! let assignment = Assignment::from_vec(vec![0, 1], instance.num_servers())?;
+//! assert!(assignment.is_feasible(&instance));
+//! assert_eq!(assignment.total_delay(&instance)?, 3.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod assignment;
+pub mod bounds;
+mod error;
+pub mod exact;
+mod instance;
+mod solution;
+mod solver;
+
+pub use assignment::Assignment;
+pub use error::GapError;
+pub use instance::{GapInstance, GapInstanceBuilder};
+pub use solution::{Solution, SolveStats};
+pub use solver::Solver;

@@ -1,0 +1,101 @@
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Assignment, GapError, GapInstance};
+
+/// Counters a solver reports alongside its assignment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Wall-clock time spent solving.
+    pub elapsed: Duration,
+    /// Algorithm-specific iteration count (episodes, generations, nodes
+    /// expanded, …).
+    pub iterations: u64,
+    /// Number of full objective evaluations performed.
+    pub evaluations: u64,
+}
+
+/// A finished solver run: the assignment it settled on plus bookkeeping.
+///
+/// `objective` caches the total communication delay; `feasible` records
+/// whether the assignment respects every capacity. Heuristics may
+/// legitimately return infeasible solutions (e.g. a delay-greedy baseline
+/// under heavy load) — experiment code decides how to score those.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// The assignment produced by the solver.
+    pub assignment: Assignment,
+    /// Total communication delay of `assignment`, in milliseconds.
+    pub objective: f64,
+    /// Whether `assignment` is complete and capacity-respecting.
+    pub feasible: bool,
+    /// Solver counters.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Evaluates a complete assignment against `instance` and packages it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GapError::IncompleteAssignment`] if some device is
+    /// unassigned.
+    pub fn evaluate(
+        assignment: Assignment,
+        instance: &GapInstance,
+        stats: SolveStats,
+    ) -> Result<Self, GapError> {
+        let objective = assignment.total_delay(instance)?;
+        let feasible = assignment.is_feasible(instance);
+        Ok(Solution { assignment, objective, feasible, stats })
+    }
+
+    /// Mean per-device delay, in milliseconds.
+    pub fn mean_delay(&self) -> f64 {
+        self.objective / self.assignment.num_devices() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_topology::DelayMatrix;
+
+    fn instance() -> GapInstance {
+        GapInstance::builder(DelayMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]))
+            .uniform_demand(1.0)
+            .uniform_capacity(1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn evaluate_computes_objective_and_feasibility() {
+        let inst = instance();
+        let a = Assignment::from_vec(vec![0, 1], 2).unwrap();
+        let s = Solution::evaluate(a, &inst, SolveStats::default()).unwrap();
+        assert_eq!(s.objective, 5.0);
+        assert!(s.feasible);
+        assert_eq!(s.mean_delay(), 2.5);
+    }
+
+    #[test]
+    fn evaluate_flags_infeasible() {
+        let inst = instance();
+        let a = Assignment::from_vec(vec![0, 0], 2).unwrap();
+        let s = Solution::evaluate(a, &inst, SolveStats::default()).unwrap();
+        assert!(!s.feasible);
+        assert_eq!(s.objective, 4.0);
+    }
+
+    #[test]
+    fn evaluate_rejects_incomplete() {
+        let inst = instance();
+        let a = Assignment::unassigned(2, 2);
+        assert!(matches!(
+            Solution::evaluate(a, &inst, SolveStats::default()),
+            Err(GapError::IncompleteAssignment { .. })
+        ));
+    }
+}

@@ -1,0 +1,91 @@
+use crate::{GapError, GapInstance, Solution};
+
+/// The interface every TACC assignment algorithm implements.
+///
+/// The trait is object-safe so experiment harnesses can hold heterogeneous
+/// solver line-ups as `Vec<Box<dyn Solver>>`. Solvers must be deterministic:
+/// randomized algorithms own a seed (or a seeded RNG factory) in their
+/// configuration rather than drawing entropy from the environment.
+///
+/// # Example
+///
+/// ```
+/// use tacc_gap::{GapInstance, Solver, Solution, SolveStats, Assignment, GapError};
+///
+/// /// A toy solver that puts every device on its minimum-delay server,
+/// /// ignoring capacity.
+/// #[derive(Debug)]
+/// struct NearestServer;
+///
+/// impl Solver for NearestServer {
+///     fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+///         let mut a = Assignment::unassigned(instance.num_devices(), instance.num_servers());
+///         for i in 0..instance.num_devices() {
+///             let (j, _) = instance
+///                 .delay_row(i)
+///                 .iter()
+///                 .enumerate()
+///                 .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+///                 .expect("at least one server");
+///             a.assign(i, j)?;
+///         }
+///         Solution::evaluate(a, instance, SolveStats::default())
+///     }
+///
+///     fn name(&self) -> &str {
+///         "nearest-server"
+///     }
+/// }
+/// ```
+pub trait Solver: std::fmt::Debug {
+    /// Produces an assignment for `instance`.
+    ///
+    /// Implementations should return a *complete* assignment whenever one
+    /// exists, marking it infeasible via [`Solution::feasible`] if they
+    /// could not respect capacities.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`GapError::Infeasible`] when they can prove
+    /// no feasible assignment exists, [`GapError::TooLarge`] when the
+    /// instance exceeds a hard limit, or other [`GapError`] variants on
+    /// internal failure.
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError>;
+
+    /// Short identifier used in experiment tables (e.g. `"q-learning"`).
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assignment, SolveStats};
+    use tacc_topology::DelayMatrix;
+
+    #[derive(Debug)]
+    struct FixedSolver(Vec<usize>);
+
+    impl Solver for FixedSolver {
+        fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+            let a = Assignment::from_vec(self.0.clone(), instance.num_servers())?;
+            Solution::evaluate(a, instance, SolveStats::default())
+        }
+
+        fn name(&self) -> &str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn solver_is_object_safe() {
+        let inst = GapInstance::builder(DelayMatrix::from_rows(vec![vec![1.0, 2.0]]))
+            .uniform_demand(1.0)
+            .uniform_capacity(1.0)
+            .build()
+            .unwrap();
+        let solvers: Vec<Box<dyn Solver>> = vec![Box::new(FixedSolver(vec![0]))];
+        let s = solvers[0].solve(&inst).unwrap();
+        assert_eq!(s.objective, 1.0);
+        assert_eq!(solvers[0].name(), "fixed");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the GAP kernel.
+//!
+//! Invariants:
+//! - Exact solvers agree with each other and never beat the Lagrangian
+//!   lower bound from below.
+//! - The optimum never improves when capacities shrink (monotonicity).
+//! - Assignment accounting (loads, overload, penalized objective) is
+//!   self-consistent.
+
+use proptest::prelude::*;
+
+use tacc_gap::bounds::{capacity_free_bound, lagrangian_bound};
+use tacc_gap::exact::{BranchAndBound, BruteForce};
+use tacc_gap::{Assignment, GapError, GapInstance, Solver};
+use tacc_topology::DelayMatrix;
+
+/// Strategy producing small random instances (n ≤ 7, m ≤ 3).
+fn small_instance() -> impl Strategy<Value = GapInstance> {
+    (2usize..=7, 2usize..=3).prop_flat_map(|(n, m)| {
+        let delays = proptest::collection::vec(1u32..100, n * m);
+        let demands = proptest::collection::vec(1u32..10, n);
+        let slack = 10u32..30;
+        (Just(n), Just(m), delays, demands, slack).prop_map(|(n, m, delays, demands, slack)| {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|i| delays[i * m..(i + 1) * m].iter().map(|&d| f64::from(d)).collect())
+                .collect();
+            let demands: Vec<f64> = demands.iter().map(|&w| f64::from(w)).collect();
+            let total: f64 = demands.iter().sum();
+            // Capacity between just-enough and generous.
+            let cap = total / m as f64 * (f64::from(slack) / 10.0);
+            GapInstance::builder(DelayMatrix::from_rows(rows))
+                .device_demands(demands)
+                .uniform_capacity(cap.max(1.0))
+                .build()
+                .expect("valid instance")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_solvers_agree(inst in small_instance()) {
+        let bb = BranchAndBound::default().solve(&inst);
+        let bf = BruteForce::default().solve(&inst);
+        match (bb, bf) {
+            (Ok(bb), Ok(bf)) => {
+                prop_assert!((bb.objective - bf.objective).abs() < 1e-9,
+                    "bb {} vs bf {}", bb.objective, bf.objective);
+                prop_assert!(bb.feasible && bf.feasible);
+            }
+            (Err(GapError::Infeasible), Err(GapError::Infeasible)) => {}
+            (bb, bf) => prop_assert!(false, "divergent: {bb:?} vs {bf:?}"),
+        }
+    }
+
+    #[test]
+    fn optimum_respects_lower_bounds(inst in small_instance()) {
+        if let Ok(s) = BruteForce::default().solve(&inst) {
+            let cf = capacity_free_bound(&inst);
+            let lg = lagrangian_bound(&inst, 60);
+            prop_assert!(s.objective >= cf - 1e-9, "optimum {} < capacity-free {cf}", s.objective);
+            prop_assert!(s.objective >= lg - 1e-6, "optimum {} < lagrangian {lg}", s.objective);
+            prop_assert!(lg >= cf - 1e-9, "lagrangian {lg} < capacity-free {cf}");
+        }
+    }
+
+    #[test]
+    fn shrinking_capacity_never_improves_optimum(inst in small_instance()) {
+        let loose = BruteForce::default().solve(&inst);
+        // Rebuild with 70% capacity.
+        let n = inst.num_devices();
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| inst.delay_row(i).to_vec()).collect();
+        let demand_rows: Vec<f64> =
+            (0..n).flat_map(|i| inst.demand_row(i).to_vec()).collect();
+        let tight_caps: Vec<f64> = inst.capacities().iter().map(|c| c * 0.7).collect();
+        let tight_inst = GapInstance::builder(DelayMatrix::from_rows(rows))
+            .demand_matrix(demand_rows)
+            .capacities(tight_caps)
+            .build()
+            .expect("valid instance");
+        let tight = BruteForce::default().solve(&tight_inst);
+        match (loose, tight) {
+            (Ok(l), Ok(t)) => prop_assert!(t.objective >= l.objective - 1e-9),
+            (Err(GapError::Infeasible), Ok(_)) =>
+                prop_assert!(false, "tightening capacity cannot create feasibility"),
+            _ => {} // tight infeasible is always allowed
+        }
+    }
+
+    #[test]
+    fn assignment_accounting_is_consistent(
+        inst in small_instance(),
+        choice_seed in proptest::collection::vec(0usize..3, 7),
+    ) {
+        let n = inst.num_devices();
+        let m = inst.num_servers();
+        let servers: Vec<usize> = (0..n).map(|i| choice_seed[i] % m).collect();
+        let a = Assignment::from_vec(servers, m).expect("in range");
+        let loads = a.server_loads(&inst);
+        let total_load: f64 = loads.iter().sum();
+        let expected: f64 = (0..n).map(|i| inst.demand(i, a.server_of(i).unwrap())).sum();
+        prop_assert!((total_load - expected).abs() < 1e-9);
+
+        let overload = a.total_overload(&inst);
+        prop_assert!(overload >= 0.0);
+        let delay = a.total_delay(&inst).expect("complete");
+        prop_assert!((a.penalized_objective(&inst, 5.0) - (delay + 5.0 * overload)).abs() < 1e-9);
+        prop_assert_eq!(a.is_feasible(&inst), overload == 0.0);
+        prop_assert!(a.max_delay(&inst) <= delay + 1e-9);
+    }
+}

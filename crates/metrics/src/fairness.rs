@@ -1,0 +1,76 @@
+/// Jain's fairness index of a non-negative allocation vector:
+/// `(Σx)² / (n · Σx²)`.
+///
+/// Ranges from `1/n` (one server carries everything) to `1.0` (perfectly
+/// even). Returns NaN for an empty slice and 1.0 for an all-zero
+/// allocation (conventional: nothing allocated is trivially fair).
+///
+/// # Panics
+///
+/// Panics if any value is negative or NaN.
+///
+/// # Example
+///
+/// ```
+/// use tacc_metrics::jains_index;
+///
+/// assert_eq!(jains_index(&[1.0, 1.0, 1.0]), 1.0);
+/// assert!((jains_index(&[3.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn jains_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for &x in values {
+        assert!(!x.is_nan() && x >= 0.0, "fairness requires non-negative values, got {x}");
+        sum += x;
+        sum_sq += x * x;
+    }
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_allocation_is_perfectly_fair() {
+        assert_eq!(jains_index(&[5.0; 10]), 1.0);
+    }
+
+    #[test]
+    fn single_user_allocation_is_maximally_unfair() {
+        let n = 8;
+        let mut v = vec![0.0; n];
+        v[3] = 42.0;
+        assert!((jains_index(&v) - 1.0 / n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_is_scale_invariant() {
+        let a = jains_index(&[1.0, 2.0, 3.0]);
+        let b = jains_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_allocation_is_fair_by_convention() {
+        assert_eq!(jains_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        assert!(jains_index(&[]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_values_panic() {
+        let _ = jains_index(&[1.0, -1.0]);
+    }
+}

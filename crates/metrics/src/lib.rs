@@ -1,0 +1,31 @@
+//! Statistics, fairness indices and tabular reporting for TACC
+//! experiments.
+//!
+//! Everything the experiment harness needs to turn raw measurements into
+//! the rows the paper reports: streaming moments ([`OnlineStats`]),
+//! order statistics ([`percentile`]), Jain's fairness index
+//! ([`jains_index`]), and an ASCII/CSV [`Table`] writer.
+//!
+//! # Example
+//!
+//! ```
+//! use tacc_metrics::OnlineStats;
+//!
+//! let mut stats = OnlineStats::new();
+//! for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+//!     stats.push(x);
+//! }
+//! assert_eq!(stats.mean(), 5.0);
+//! assert_eq!(stats.population_std_dev(), 2.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod fairness;
+mod stats;
+mod table;
+
+pub use fairness::jains_index;
+pub use stats::{percentile, OnlineStats};
+pub use table::Table;

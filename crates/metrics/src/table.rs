@@ -1,0 +1,203 @@
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-oriented results table that renders to aligned ASCII
+/// (for terminal output) and CSV (for archival under `results/`).
+///
+/// # Example
+///
+/// ```
+/// use tacc_metrics::Table;
+///
+/// let mut t = Table::new(vec!["algorithm".into(), "delay_ms".into()]);
+/// t.push_row(vec!["q-learning".into(), "12.3".into()]);
+/// t.push_row(vec!["greedy".into(), "15.9".into()]);
+/// let ascii = t.to_ascii();
+/// assert!(ascii.contains("q-learning"));
+/// assert_eq!(t.to_csv().lines().count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "table needs at least one column");
+        Table { header, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row has {} cells, table has {} columns",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Convenience: appends a row of mixed displayable values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn push_display_row(&mut self, row: Vec<Box<dyn std::fmt::Display>>) {
+        self.push_row(row.into_iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Renders an aligned ASCII table with a separator under the header.
+    pub fn to_ascii(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[c]);
+            }
+            out.push('\n');
+        };
+        render(&mut out, &self.header);
+        for (c, w) in widths.iter().enumerate().take(cols) {
+            if c > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&"-".repeat(*w));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-style CSV (quoting cells containing commas,
+    /// quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let write_row = |cells: &[String], out: &mut String| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.header, &mut out);
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory creation or the write.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.push_row(vec!["alpha".into(), "1".into()]);
+        t.push_row(vec!["b".into(), "22.5".into()]);
+        t
+    }
+
+    #[test]
+    fn ascii_aligns_columns() {
+        let ascii = sample().to_ascii();
+        let lines: Vec<&str> = ascii.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{ascii}");
+        assert!(lines[1].chars().all(|c| c == '-' || c == ' '));
+    }
+
+    #[test]
+    fn csv_roundtrip_basics() {
+        let csv = sample().to_csv();
+        assert_eq!(csv, "name,value\nalpha,1\nb,22.5\n");
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.push_row(vec!["x,y".into()]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_directories() {
+        let dir = std::env::temp_dir().join("tacc-metrics-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("out.csv");
+        sample().write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("name,value"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn display_row_convenience() {
+        let mut t = Table::new(vec!["n".into(), "x".into()]);
+        t.push_display_row(vec![Box::new(3usize), Box::new(1.5f64)]);
+        assert_eq!(t.to_csv().lines().nth(1), Some("3,1.5"));
+    }
+}

@@ -1,0 +1,323 @@
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+use tacc_gap::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+
+use crate::report::EpisodePoint;
+use crate::{AssignmentMdp, QLearningConfig, QTable, StateKey, TrainingReport};
+
+/// Double Q-learning over the sequential-assignment MDP.
+///
+/// Standard Q-learning's `max_a Q(s′, a)` target overestimates in noisy
+/// states (maximization bias); with stochastic demands and coarse residual
+/// quantization several actions look spuriously good early, and the bias
+/// slows convergence. Double Q-learning (van Hasselt, 2010) keeps two
+/// tables and bootstraps each from the *other*'s value at its own argmax:
+///
+/// ```text
+/// target_A = r + γ · Q_B(s′, argmax_a Q_A(s′, a))
+/// ```
+///
+/// Action selection uses `Q_A + Q_B`. Configuration is shared with
+/// [`crate::QLearning`] — same masking, delay prior, schedules — so the
+/// two are directly comparable in the sensitivity experiment.
+#[derive(Debug, Clone)]
+pub struct DoubleQLearning {
+    config: QLearningConfig,
+    seed: u64,
+}
+
+impl DoubleQLearning {
+    /// Creates a double Q-learning solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (see
+    /// [`QLearningConfig`]).
+    pub fn new(config: QLearningConfig, seed: u64) -> Self {
+        // Reuse QLearning's validation by constructing one.
+        let _ = crate::QLearning::new(config.clone(), seed);
+        DoubleQLearning { config, seed }
+    }
+
+    /// Trains on `instance`, returning the best solution and the
+    /// convergence record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GapError`] from assignment bookkeeping; never fails on
+    /// a valid instance.
+    pub fn train(&self, instance: &GapInstance) -> Result<(Solution, TrainingReport), GapError> {
+        let start = Instant::now();
+        let cfg = &self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut mdp =
+            AssignmentMdp::new(instance, cfg.order, cfg.capacity_levels, cfg.overload_penalty);
+        let m = mdp.num_actions();
+        let mut qa = QTable::new(m);
+        let mut qb = QTable::new(m);
+
+        let mut best: Option<(Assignment, f64)> = None;
+        let mut history = Vec::with_capacity(cfg.episodes);
+        let mut evaluations = 0u64;
+
+        // Prior-seeded incumbent, mirroring QLearning::train.
+        let seed_rollout = self.rollout(instance, &mut mdp, &mut qa, &mut qb)?;
+        evaluations += 1;
+        if seed_rollout.is_feasible(instance) {
+            let delay = seed_rollout.total_delay(instance)?;
+            best = Some((seed_rollout, delay));
+        }
+
+        for episode in 0..cfg.episodes {
+            let epsilon = cfg.epsilon.at(episode);
+            mdp.reset();
+            let mut assignment = Assignment::unassigned(instance.num_devices(), m);
+            let mut episode_return = 0.0;
+
+            while !mdp.is_done() {
+                self.ensure_priors(instance, &mdp, &mut qa, &mut qb);
+                let state = mdp.state_key();
+                let action = self.pick(&mdp, &qa, &qb, state, epsilon, &mut rng);
+                let device = mdp.current_device();
+                let reward = mdp.apply(action);
+                assignment.assign(device, action)?;
+                episode_return += reward;
+
+                // Flip a coin: update one table with the other's estimate.
+                let update_a = rng.random_bool(0.5);
+                let target = if mdp.is_done() {
+                    reward
+                } else {
+                    self.ensure_priors(instance, &mdp, &mut qa, &mut qb);
+                    let next = mdp.state_key();
+                    let (own, other): (&QTable, &QTable) =
+                        if update_a { (&qa, &qb) } else { (&qb, &qa) };
+                    let a_star = self.masked_argmax(&mdp, own, next);
+                    reward + cfg.gamma * other.get(next, a_star)
+                };
+                let table = if update_a { &mut qa } else { &mut qb };
+                let alpha = cfg.learning_rate.at(table.visit_count(state, action));
+                table.update(state, action, alpha, target);
+            }
+
+            evaluations += 1;
+            if assignment.is_feasible(instance) {
+                let delay = assignment.total_delay(instance)?;
+                if best.as_ref().map_or(true, |(_, b)| delay < *b) {
+                    best = Some((assignment.clone(), delay));
+                }
+            }
+            history.push(EpisodePoint {
+                episode,
+                reward: episode_return,
+                best_objective: best.as_ref().map_or(f64::INFINITY, |(_, b)| *b),
+                epsilon,
+            });
+        }
+
+        let rollout = self.rollout(instance, &mut mdp, &mut qa, &mut qb)?;
+        evaluations += 1;
+        let rollout_feasible = rollout.is_feasible(instance);
+        let rollout_delay = rollout.total_delay(instance)?;
+        let use_rollout = match &best {
+            None => true,
+            Some((_, best_delay)) => rollout_feasible && rollout_delay < *best_delay,
+        };
+        let assignment = if use_rollout {
+            rollout
+        } else {
+            best.expect("best is Some when rollout is not used").0
+        };
+
+        let stats = SolveStats {
+            elapsed: start.elapsed(),
+            iterations: cfg.episodes as u64,
+            evaluations,
+        };
+        let report = TrainingReport::new(history, qa.num_states().max(qb.num_states()));
+        Ok((Solution::evaluate(assignment, instance, stats)?, report))
+    }
+
+    fn ensure_priors(
+        &self,
+        instance: &GapInstance,
+        mdp: &AssignmentMdp<'_>,
+        qa: &mut QTable,
+        qb: &mut QTable,
+    ) {
+        if self.config.delay_prior && !mdp.is_done() {
+            let device = mdp.current_device();
+            let key = mdp.state_key();
+            qa.ensure_row(key, || instance.delay_row(device).iter().map(|d| -d).collect());
+            qb.ensure_row(key, || instance.delay_row(device).iter().map(|d| -d).collect());
+        }
+    }
+
+    /// Argmax of one table under the capacity mask.
+    fn masked_argmax(&self, mdp: &AssignmentMdp<'_>, q: &QTable, state: StateKey) -> usize {
+        let m = mdp.num_actions();
+        if self.config.action_masking {
+            let row = q.row(state);
+            let mut best: Option<usize> = None;
+            for (j, &value) in row.iter().enumerate().take(m) {
+                if mdp.action_fits(j) && best.map_or(true, |b| value > row[b]) {
+                    best = Some(j);
+                }
+            }
+            if let Some(j) = best {
+                return j;
+            }
+        }
+        q.greedy_action(state)
+    }
+
+    /// ε-greedy over the sum of the two tables.
+    fn pick(
+        &self,
+        mdp: &AssignmentMdp<'_>,
+        qa: &QTable,
+        qb: &QTable,
+        state: StateKey,
+        epsilon: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> usize {
+        let m = mdp.num_actions();
+        let masking = self.config.action_masking;
+        if epsilon > 0.0 && rng.random::<f64>() < epsilon {
+            if masking {
+                let fitting: Vec<usize> = (0..m).filter(|&j| mdp.action_fits(j)).collect();
+                if !fitting.is_empty() {
+                    return fitting[rng.random_range(0..fitting.len())];
+                }
+            }
+            return rng.random_range(0..m);
+        }
+        let row_a = qa.row(state);
+        let row_b = qb.row(state);
+        let value = |j: usize| row_a[j] + row_b[j];
+        let candidates: Vec<usize> = if masking {
+            let fitting: Vec<usize> = (0..m).filter(|&j| mdp.action_fits(j)).collect();
+            if fitting.is_empty() {
+                (0..m).collect()
+            } else {
+                fitting
+            }
+        } else {
+            (0..m).collect()
+        };
+        let mut best = candidates[0];
+        for &j in &candidates {
+            if value(j) > value(best) {
+                best = j;
+            }
+        }
+        best
+    }
+
+    fn rollout(
+        &self,
+        instance: &GapInstance,
+        mdp: &mut AssignmentMdp<'_>,
+        qa: &mut QTable,
+        qb: &mut QTable,
+    ) -> Result<Assignment, GapError> {
+        mdp.reset();
+        let mut rollout = Assignment::unassigned(instance.num_devices(), mdp.num_actions());
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        while !mdp.is_done() {
+            self.ensure_priors(instance, mdp, qa, qb);
+            let state = mdp.state_key();
+            let action = self.pick(mdp, qa, qb, state, 0.0, &mut rng);
+            let device = mdp.current_device();
+            mdp.apply(action);
+            rollout.assign(device, action)?;
+        }
+        Ok(rollout)
+    }
+}
+
+impl Solver for DoubleQLearning {
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+        Ok(self.train(instance)?.0)
+    }
+
+    fn name(&self) -> &str {
+        "double-q-learning"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EpsilonSchedule;
+    use tacc_gap::exact::BruteForce;
+    use tacc_topology::DelayMatrix;
+
+    fn trap_instance() -> GapInstance {
+        let delays = DelayMatrix::from_rows(vec![
+            vec![1.0, 9.0],
+            vec![1.0, 2.0],
+            vec![1.0, 8.0],
+        ]);
+        GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .capacities(vec![2.0, 2.0])
+            .build()
+            .unwrap()
+    }
+
+    fn quick(episodes: usize) -> QLearningConfig {
+        QLearningConfig {
+            episodes,
+            epsilon: EpsilonSchedule::new(1.0, 0.05, 0.99),
+            ..QLearningConfig::default()
+        }
+    }
+
+    #[test]
+    fn reaches_the_optimum_on_a_small_trap() {
+        let inst = trap_instance();
+        let optimum = BruteForce::default().solve(&inst).unwrap().objective;
+        let s = DoubleQLearning::new(quick(800), 7).solve(&inst).unwrap();
+        assert!(s.feasible);
+        assert_eq!(s.objective, optimum);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let inst = trap_instance();
+        let a = DoubleQLearning::new(quick(200), 3).solve(&inst).unwrap();
+        let b = DoubleQLearning::new(quick(200), 3).solve(&inst).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn produces_history_and_states() {
+        let inst = trap_instance();
+        let (_, report) = DoubleQLearning::new(quick(120), 1).train(&inst).unwrap();
+        assert_eq!(report.history().len(), 120);
+        assert!(report.num_states() > 0);
+    }
+
+    #[test]
+    fn never_loses_to_greedy_with_prior() {
+        use tacc_baselines::{DeviceOrder, Greedy};
+        for seed in 0..4u64 {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed + 50);
+            let rows: Vec<Vec<f64>> = (0..10)
+                .map(|_| (0..3).map(|_| rng.random_range(1.0..15.0)).collect())
+                .collect();
+            let inst = GapInstance::builder(DelayMatrix::from_rows(rows))
+                .uniform_demand(1.0)
+                .uniform_capacity(4.0)
+                .build()
+                .unwrap();
+            let greedy = Greedy::new(DeviceOrder::RegretDescending).solve(&inst).unwrap();
+            let dq = DoubleQLearning::new(quick(300), seed).solve(&inst).unwrap();
+            assert!(dq.feasible);
+            assert!(dq.objective <= greedy.objective + 1e-9, "seed {seed}");
+        }
+    }
+}

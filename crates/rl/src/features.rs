@@ -1,0 +1,148 @@
+use tacc_gap::GapInstance;
+
+use crate::AssignmentMdp;
+
+/// Number of features produced by [`FeatureExtractor`].
+pub const NUM_FEATURES: usize = 7;
+
+/// Topology-aware state-action features for linear value approximation.
+///
+/// The features are the crate's answer to "what does *topology-aware* RL
+/// mean beyond memorizing a table": instead of a tabular cell per
+/// (device, residual) combination, a state-action pair is summarized by
+/// scale-free quantities that transfer across devices and instances —
+/// normalized delay, delay *rank*, residual headroom, fit/overflow flags.
+///
+/// | idx | feature | range |
+/// |-----|---------|-------|
+/// | 0 | bias | 1 |
+/// | 1 | delay ÷ device's max delay | [0, 1] |
+/// | 2 | delay rank of the server for this device ÷ (m−1) | [0, 1] |
+/// | 3 | residual fraction of the server | [0, 1] |
+/// | 4 | fits flag (demand ≤ residual) | {0, 1} |
+/// | 5 | overflow fraction `max(0, w−residual)/w` | [0, 1] |
+/// | 6 | server residual ÷ max residual across servers | [0, 1] |
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    /// `max_j d(i, j)` per device.
+    row_max: Vec<f64>,
+    /// `rank[i*m + j]`: position of server j in device i's delay order.
+    rank: Vec<f64>,
+    num_servers: usize,
+}
+
+impl FeatureExtractor {
+    /// Precomputes per-instance normalizers.
+    pub fn new(instance: &GapInstance) -> Self {
+        let n = instance.num_devices();
+        let m = instance.num_servers();
+        let mut row_max = Vec::with_capacity(n);
+        let mut rank = vec![0.0; n * m];
+        for i in 0..n {
+            let row = instance.delay_row(i);
+            row_max.push(row.iter().cloned().fold(0.0, f64::max).max(1e-12));
+            let mut order: Vec<usize> = (0..m).collect();
+            order.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).expect("delays are not NaN"));
+            for (pos, &j) in order.iter().enumerate() {
+                rank[i * m + j] = if m > 1 { pos as f64 / (m - 1) as f64 } else { 0.0 };
+            }
+        }
+        FeatureExtractor { row_max, rank, num_servers: m }
+    }
+
+    /// Features of assigning the MDP's current device to `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the episode is done or `server` is out of range.
+    pub fn extract(&self, mdp: &AssignmentMdp<'_>, server: usize) -> [f64; NUM_FEATURES] {
+        let instance = mdp.instance();
+        let device = mdp.current_device();
+        let delay = instance.delay(device, server);
+        let demand = instance.demand(device, server);
+        let residual = mdp.residuals()[server];
+        let capacity = instance.capacity(server);
+        let max_residual = mdp
+            .residuals()
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
+            .max(1e-12);
+        [
+            1.0,
+            delay / self.row_max[device],
+            self.rank[device * self.num_servers + server],
+            (residual / capacity).clamp(0.0, 1.0),
+            f64::from(u8::from(demand <= residual + 1e-9)),
+            ((demand - residual).max(0.0) / demand).min(1.0),
+            (residual / max_residual).clamp(0.0, 1.0),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EpisodeOrder;
+    use tacc_topology::DelayMatrix;
+
+    fn instance() -> GapInstance {
+        let delays = DelayMatrix::from_rows(vec![vec![2.0, 4.0, 8.0], vec![6.0, 3.0, 9.0]]);
+        GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .uniform_capacity(2.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn features_are_normalized() {
+        let inst = instance();
+        let fx = FeatureExtractor::new(&inst);
+        let mdp = AssignmentMdp::new(&inst, EpisodeOrder::Index, 4, 100.0);
+        for j in 0..3 {
+            let f = fx.extract(&mdp, j);
+            assert_eq!(f[0], 1.0);
+            for (k, &v) in f.iter().enumerate() {
+                assert!((0.0..=1.0).contains(&v), "feature {k} = {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn delay_rank_orders_servers() {
+        let inst = instance();
+        let fx = FeatureExtractor::new(&inst);
+        let mdp = AssignmentMdp::new(&inst, EpisodeOrder::Index, 4, 100.0);
+        // Device 0's delays are 2 < 4 < 8: ranks 0, 0.5, 1.
+        assert_eq!(fx.extract(&mdp, 0)[2], 0.0);
+        assert_eq!(fx.extract(&mdp, 1)[2], 0.5);
+        assert_eq!(fx.extract(&mdp, 2)[2], 1.0);
+    }
+
+    #[test]
+    fn fit_and_overflow_flags_track_residuals() {
+        let inst = instance();
+        let fx = FeatureExtractor::new(&inst);
+        let mut mdp = AssignmentMdp::new(&inst, EpisodeOrder::Index, 4, 100.0);
+        // Fresh server: fits, no overflow.
+        let f = fx.extract(&mdp, 0);
+        assert_eq!(f[4], 1.0);
+        assert_eq!(f[5], 0.0);
+        // Drain server 0 (capacity 2, two unit demands) then check device 1.
+        mdp.apply(0);
+        // Device 1 now decides; server 0 has residual 1 → still fits.
+        let f = fx.extract(&mdp, 0);
+        assert_eq!(f[4], 1.0);
+        assert!(f[3] <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn normalized_delay_uses_row_maximum() {
+        let inst = instance();
+        let fx = FeatureExtractor::new(&inst);
+        let mdp = AssignmentMdp::new(&inst, EpisodeOrder::Index, 4, 100.0);
+        assert!((fx.extract(&mdp, 0)[1] - 0.25).abs() < 1e-12);
+        assert!((fx.extract(&mdp, 2)[1] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,69 @@
+//! Reinforcement-learning assignment heuristics — the primary contribution
+//! of *"Topology Aware Cluster Configuration for Minimizing Communication
+//! Delay in Edge Computing"* (ICDCS 2022).
+//!
+//! The GAP is solved episodically: an episode walks the IoT devices in a
+//! fixed (topology-aware) order and picks an edge server for each. The
+//! state captures the deciding device plus the *quantized residual
+//! capacities* of every server; the reward is the negative communication
+//! delay minus an overload penalty. Training converges to a policy whose
+//! greedy rollout is a near-optimal, never-overloaded assignment.
+//!
+//! Five learners are provided (all implement [`tacc_gap::Solver`]):
+//!
+//! | Learner | State | Update | Role |
+//! |---------|-------|--------|------|
+//! | [`QLearning`] | tabular (device × residual levels) | off-policy TD(0) | the paper's headline algorithm |
+//! | [`DoubleQLearning`] | two tables | double TD(0) | maximization-bias-corrected variant |
+//! | [`Sarsa`] | tabular | on-policy TD(0) | variant |
+//! | [`LfaQLearning`] | topology-aware features | linear TD(0) | generalizing ablation |
+//! | [`BanditAssign`] | none (per-device arms) | incremental mean | "does state matter?" ablation |
+//!
+//! # Example
+//!
+//! ```
+//! use tacc_rl::{QLearning, QLearningConfig};
+//! use tacc_gap::{GapInstance, Solver};
+//! use tacc_topology::DelayMatrix;
+//!
+//! # fn main() -> Result<(), tacc_gap::GapError> {
+//! let delays = DelayMatrix::from_rows(vec![
+//!     vec![1.0, 5.0],
+//!     vec![4.0, 2.0],
+//!     vec![3.0, 3.0],
+//! ]);
+//! let instance = GapInstance::builder(delays)
+//!     .uniform_demand(1.0)
+//!     .capacities(vec![2.0, 1.0])
+//!     .build()?;
+//! let solver = QLearning::new(QLearningConfig::default(), 42);
+//! let solution = solver.solve(&instance)?;
+//! assert!(solution.feasible);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bandit;
+mod double_q;
+mod features;
+mod lfa;
+mod mdp;
+mod qlearning;
+mod qtable;
+mod report;
+mod sarsa;
+mod schedule;
+
+pub use bandit::{BanditAssign, BanditConfig};
+pub use double_q::DoubleQLearning;
+pub use features::{FeatureExtractor, NUM_FEATURES};
+pub use lfa::{LfaConfig, LfaQLearning};
+pub use mdp::{AssignmentMdp, EpisodeOrder, StateKey};
+pub use qlearning::{QLearning, QLearningConfig};
+pub use qtable::QTable;
+pub use report::{EpisodePoint, TrainingReport};
+pub use sarsa::{Sarsa, SarsaConfig};
+pub use schedule::{EpsilonSchedule, LearningRate};

@@ -1,0 +1,189 @@
+use std::collections::HashMap;
+
+use crate::StateKey;
+
+/// A tabular action-value store over hashed MDP states.
+///
+/// Unvisited state-actions default to 0.0, which is *optimistic* for this
+/// MDP (all true returns are negative) and therefore encourages systematic
+/// early exploration. Per-pair visit counts support visit-decayed learning
+/// rates.
+#[derive(Debug, Clone, Default)]
+pub struct QTable {
+    values: HashMap<StateKey, Vec<f64>>,
+    visits: HashMap<StateKey, Vec<u32>>,
+    num_actions: usize,
+}
+
+impl QTable {
+    /// Creates an empty table for `num_actions` actions per state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_actions` is 0.
+    pub fn new(num_actions: usize) -> Self {
+        assert!(num_actions > 0, "need at least one action");
+        QTable { values: HashMap::new(), visits: HashMap::new(), num_actions }
+    }
+
+    /// Q(s, a), defaulting to 0.0 for unvisited pairs.
+    pub fn get(&self, state: StateKey, action: usize) -> f64 {
+        self.values.get(&state).map_or(0.0, |row| row[action])
+    }
+
+    /// All action values of a state (0.0 defaults).
+    pub fn row(&self, state: StateKey) -> Vec<f64> {
+        self.values
+            .get(&state)
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; self.num_actions])
+    }
+
+    /// `max_a Q(s, a)`.
+    pub fn max_value(&self, state: StateKey) -> f64 {
+        self.values
+            .get(&state)
+            .map_or(0.0, |row| row.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// The greedy action of a state: the argmax with ties broken toward
+    /// the lowest index (deterministic extraction).
+    pub fn greedy_action(&self, state: StateKey) -> usize {
+        match self.values.get(&state) {
+            None => 0,
+            Some(row) => {
+                let mut best = 0usize;
+                for (a, &q) in row.iter().enumerate() {
+                    if q > row[best] {
+                        best = a;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Number of updates applied so far to `(state, action)`.
+    pub fn visit_count(&self, state: StateKey, action: usize) -> u32 {
+        self.visits.get(&state).map_or(0, |row| row[action])
+    }
+
+    /// Initializes a state's action values if the state has never been
+    /// seen, using `init` to produce the row. Subsequent calls are no-ops.
+    ///
+    /// This is how the *topology-aware delay prior* enters the table:
+    /// the Q-learning solver seeds every new state with `−d(i, a)` so the
+    /// untrained greedy policy already equals delay-greedy and training
+    /// can only refine it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` returns a row of the wrong width.
+    pub fn ensure_row(&mut self, state: StateKey, init: impl FnOnce() -> Vec<f64>) {
+        if !self.values.contains_key(&state) {
+            let row = init();
+            assert_eq!(row.len(), self.num_actions, "prior row has the wrong width");
+            self.values.insert(state, row);
+        }
+    }
+
+    /// Applies the TD update `Q(s,a) += α · (target − Q(s,a))` and bumps
+    /// the visit counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of range.
+    pub fn update(&mut self, state: StateKey, action: usize, alpha: f64, target: f64) {
+        assert!(action < self.num_actions, "action {action} out of range");
+        let row = self
+            .values
+            .entry(state)
+            .or_insert_with(|| vec![0.0; self.num_actions]);
+        row[action] += alpha * (target - row[action]);
+        let visits = self
+            .visits
+            .entry(state)
+            .or_insert_with(|| vec![0; self.num_actions]);
+        visits[action] = visits[action].saturating_add(1);
+    }
+
+    /// Number of distinct states visited.
+    pub fn num_states(&self) -> usize {
+        self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> StateKey {
+        // Build distinct keys through the MDP-independent debug surface:
+        // hashing different devices yields different keys in practice; for
+        // unit tests we only need *some* distinct keys, so reuse raw
+        // construction via a tiny MDP-free helper.
+        use tacc_gap::GapInstance;
+        use tacc_topology::DelayMatrix;
+        let delays = DelayMatrix::from_rows(vec![vec![1.0, 1.0]; 8]);
+        let inst = GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .uniform_capacity(10.0)
+            .build()
+            .unwrap();
+        let mut mdp =
+            crate::AssignmentMdp::new(&inst, crate::EpisodeOrder::Index, 4, 1.0);
+        for _ in 0..n {
+            mdp.apply(0);
+        }
+        mdp.state_key()
+    }
+
+    #[test]
+    fn defaults_are_zero_and_optimistic() {
+        let q = QTable::new(3);
+        let s = key(0);
+        assert_eq!(q.get(s, 0), 0.0);
+        assert_eq!(q.max_value(s), 0.0);
+        assert_eq!(q.greedy_action(s), 0);
+        assert_eq!(q.row(s), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn update_moves_toward_target() {
+        let mut q = QTable::new(2);
+        let s = key(1);
+        q.update(s, 1, 0.5, -10.0);
+        assert_eq!(q.get(s, 1), -5.0);
+        q.update(s, 1, 0.5, -10.0);
+        assert_eq!(q.get(s, 1), -7.5);
+        assert_eq!(q.visit_count(s, 1), 2);
+        assert_eq!(q.visit_count(s, 0), 0);
+    }
+
+    #[test]
+    fn greedy_action_prefers_higher_value() {
+        let mut q = QTable::new(3);
+        let s = key(2);
+        q.update(s, 0, 1.0, -5.0);
+        q.update(s, 1, 1.0, -1.0);
+        q.update(s, 2, 1.0, -3.0);
+        assert_eq!(q.greedy_action(s), 1);
+        assert_eq!(q.max_value(s), -1.0);
+    }
+
+    #[test]
+    fn states_are_counted() {
+        let mut q = QTable::new(2);
+        q.update(key(0), 0, 0.1, 1.0);
+        q.update(key(0), 1, 0.1, 1.0);
+        q.update(key(3), 0, 0.1, 1.0);
+        assert_eq!(q.num_states(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_action_panics() {
+        let mut q = QTable::new(2);
+        q.update(key(0), 2, 0.1, 0.0);
+    }
+}

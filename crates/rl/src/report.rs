@@ -1,0 +1,105 @@
+use serde::{Deserialize, Serialize};
+
+/// One sampled point of a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpisodePoint {
+    /// Episode index (0-based).
+    pub episode: usize,
+    /// Undiscounted return of this episode (negative penalized objective).
+    pub reward: f64,
+    /// Best feasible total delay found so far, `f64::INFINITY` until the
+    /// first feasible episode.
+    pub best_objective: f64,
+    /// Exploration rate used during this episode.
+    pub epsilon: f64,
+}
+
+/// Convergence record of a training run — the data behind the paper's
+/// "reward vs. episodes" figure (experiment E4).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    history: Vec<EpisodePoint>,
+    num_states: usize,
+}
+
+impl TrainingReport {
+    /// Creates a report from raw history.
+    pub fn new(history: Vec<EpisodePoint>, num_states: usize) -> Self {
+        TrainingReport { history, num_states }
+    }
+
+    /// The per-episode samples, in episode order.
+    pub fn history(&self) -> &[EpisodePoint] {
+        &self.history
+    }
+
+    /// Number of distinct tabular states visited (0 for non-tabular
+    /// learners).
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Episode at which the final best objective was first reached, if a
+    /// feasible solution was found at all.
+    pub fn convergence_episode(&self) -> Option<usize> {
+        let last = self.history.last()?;
+        if !last.best_objective.is_finite() {
+            return None;
+        }
+        self.history
+            .iter()
+            .find(|p| (p.best_objective - last.best_objective).abs() < 1e-9)
+            .map(|p| p.episode)
+    }
+
+    /// Mean episode reward over the final `window` episodes.
+    pub fn final_mean_reward(&self, window: usize) -> f64 {
+        let n = self.history.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let take = window.min(n);
+        self.history[n - take..].iter().map(|p| p.reward).sum::<f64>() / take as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(e: usize, r: f64, b: f64) -> EpisodePoint {
+        EpisodePoint { episode: e, reward: r, best_objective: b, epsilon: 0.1 }
+    }
+
+    #[test]
+    fn convergence_episode_finds_first_attainment() {
+        let r = TrainingReport::new(
+            vec![
+                point(0, -30.0, f64::INFINITY),
+                point(1, -20.0, 20.0),
+                point(2, -15.0, 15.0),
+                point(3, -18.0, 15.0),
+            ],
+            10,
+        );
+        assert_eq!(r.convergence_episode(), Some(2));
+        assert_eq!(r.num_states(), 10);
+    }
+
+    #[test]
+    fn convergence_none_without_feasible() {
+        let r = TrainingReport::new(vec![point(0, -5.0, f64::INFINITY)], 1);
+        assert_eq!(r.convergence_episode(), None);
+    }
+
+    #[test]
+    fn final_mean_reward_windows() {
+        let r = TrainingReport::new(
+            vec![point(0, -10.0, 1.0), point(1, -4.0, 1.0), point(2, -2.0, 1.0)],
+            0,
+        );
+        assert_eq!(r.final_mean_reward(2), -3.0);
+        assert_eq!(r.final_mean_reward(10), -16.0 / 3.0);
+        assert!(TrainingReport::default().final_mean_reward(5).is_nan());
+    }
+}

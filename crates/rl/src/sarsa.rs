@@ -1,0 +1,317 @@
+use std::time::Instant;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tacc_gap::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+
+use crate::report::EpisodePoint;
+use crate::{
+    AssignmentMdp, EpisodeOrder, EpsilonSchedule, LearningRate, QTable, StateKey, TrainingReport,
+};
+
+/// Hyper-parameters of [`Sarsa`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SarsaConfig {
+    /// Training episodes.
+    pub episodes: usize,
+    /// Discount factor.
+    pub gamma: f64,
+    /// TD step-size schedule.
+    pub learning_rate: LearningRate,
+    /// Exploration schedule.
+    pub epsilon: EpsilonSchedule,
+    /// Penalty λ per unit of capacity overload in the reward.
+    pub overload_penalty: f64,
+    /// Residual-capacity quantization levels.
+    pub capacity_levels: u8,
+    /// Device visiting order within an episode.
+    pub order: EpisodeOrder,
+    /// Restrict action choice to fitting servers when possible.
+    pub action_masking: bool,
+    /// Initialize unseen states with `Q(s, a) = −d(i, a)` (the
+    /// topology-aware delay prior); see
+    /// [`crate::QLearningConfig::delay_prior`].
+    pub delay_prior: bool,
+}
+
+impl Default for SarsaConfig {
+    /// Mirrors [`crate::QLearningConfig::default`].
+    fn default() -> Self {
+        SarsaConfig {
+            episodes: 3000,
+            gamma: 1.0,
+            learning_rate: LearningRate::default(),
+            epsilon: EpsilonSchedule::new(0.6, 0.02, 0.999),
+            overload_penalty: 100.0,
+            capacity_levels: 4,
+            order: EpisodeOrder::default(),
+            action_masking: true,
+            delay_prior: true,
+        }
+    }
+}
+
+impl SarsaConfig {
+    fn validate(&self) {
+        assert!(self.episodes > 0, "need at least one episode");
+        assert!(
+            self.gamma > 0.0 && self.gamma <= 1.0,
+            "gamma must be in (0, 1], got {}",
+            self.gamma
+        );
+        assert!(self.overload_penalty >= 0.0, "penalty must be non-negative");
+        assert!(self.capacity_levels >= 2, "need at least 2 capacity levels");
+    }
+}
+
+/// On-policy SARSA over the sequential-assignment MDP.
+///
+/// Identical state/action/reward design to [`crate::QLearning`], but the
+/// TD target bootstraps from the action the ε-greedy behaviour policy
+/// *actually* takes next (`r + γ·Q(s′, a′)`), making the learned values
+/// exploration-aware. On this problem SARSA typically converges to the
+/// same assignments as Q-learning, slightly more conservatively near
+/// capacity boundaries — it is included as the paper's "RL heuristics"
+/// plural and as a robustness check.
+#[derive(Debug, Clone)]
+pub struct Sarsa {
+    config: SarsaConfig,
+    seed: u64,
+}
+
+impl Sarsa {
+    /// Creates a SARSA solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (see [`SarsaConfig`]).
+    pub fn new(config: SarsaConfig, seed: u64) -> Self {
+        config.validate();
+        Sarsa { config, seed }
+    }
+
+    /// Trains on `instance`, returning the best solution and the
+    /// convergence record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GapError`] from assignment bookkeeping; never fails on
+    /// a valid instance.
+    pub fn train(&self, instance: &GapInstance) -> Result<(Solution, TrainingReport), GapError> {
+        let start = Instant::now();
+        let cfg = &self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut mdp =
+            AssignmentMdp::new(instance, cfg.order, cfg.capacity_levels, cfg.overload_penalty);
+        let mut q = QTable::new(mdp.num_actions());
+
+        let mut best: Option<(Assignment, f64)> = None;
+        let mut history = Vec::with_capacity(cfg.episodes);
+        let mut evaluations = 0u64;
+
+        // Seed the incumbent with the prior's greedy rollout (see
+        // `QLearning::train`).
+        let seed_rollout = self.greedy_rollout(instance, &mut mdp, &mut q)?;
+        evaluations += 1;
+        if seed_rollout.is_feasible(instance) {
+            let delay = seed_rollout.total_delay(instance)?;
+            best = Some((seed_rollout, delay));
+        }
+
+        for episode in 0..cfg.episodes {
+            let epsilon = cfg.epsilon.at(episode);
+            mdp.reset();
+            let mut assignment =
+                Assignment::unassigned(instance.num_devices(), mdp.num_actions());
+            let mut episode_return = 0.0;
+
+            self.ensure_prior(instance, &mdp, &mut q);
+            let mut state = mdp.state_key();
+            let mut action = self.pick(&mdp, &q, state, epsilon, &mut rng);
+            loop {
+                let device = mdp.current_device();
+                let reward = mdp.apply(action);
+                assignment.assign(device, action)?;
+                episode_return += reward;
+
+                if mdp.is_done() {
+                    let alpha = cfg.learning_rate.at(q.visit_count(state, action));
+                    q.update(state, action, alpha, reward);
+                    break;
+                }
+                self.ensure_prior(instance, &mdp, &mut q);
+                let next_state = mdp.state_key();
+                let next_action = self.pick(&mdp, &q, next_state, epsilon, &mut rng);
+                let target = reward + cfg.gamma * q.get(next_state, next_action);
+                let alpha = cfg.learning_rate.at(q.visit_count(state, action));
+                q.update(state, action, alpha, target);
+                state = next_state;
+                action = next_action;
+            }
+
+            evaluations += 1;
+            if assignment.is_feasible(instance) {
+                let delay = assignment.total_delay(instance)?;
+                if best.as_ref().map_or(true, |(_, b)| delay < *b) {
+                    best = Some((assignment.clone(), delay));
+                }
+            }
+            history.push(EpisodePoint {
+                episode,
+                reward: episode_return,
+                best_objective: best.as_ref().map_or(f64::INFINITY, |(_, b)| *b),
+                epsilon,
+            });
+        }
+
+        // Greedy extraction.
+        let rollout = self.greedy_rollout(instance, &mut mdp, &mut q)?;
+        evaluations += 1;
+        let rollout_feasible = rollout.is_feasible(instance);
+        let rollout_delay = rollout.total_delay(instance)?;
+        let use_rollout = match &best {
+            None => true,
+            Some((_, best_delay)) => rollout_feasible && rollout_delay < *best_delay,
+        };
+        let assignment = if use_rollout {
+            rollout
+        } else {
+            best.expect("best is Some when rollout is not used").0
+        };
+
+        let stats = SolveStats {
+            elapsed: start.elapsed(),
+            iterations: cfg.episodes as u64,
+            evaluations,
+        };
+        let report = TrainingReport::new(history, q.num_states());
+        Ok((Solution::evaluate(assignment, instance, stats)?, report))
+    }
+
+    /// Initializes the current state's row with the delay prior.
+    fn ensure_prior(&self, instance: &GapInstance, mdp: &AssignmentMdp<'_>, q: &mut QTable) {
+        if self.config.delay_prior && !mdp.is_done() {
+            let device = mdp.current_device();
+            let key = mdp.state_key();
+            q.ensure_row(key, || instance.delay_row(device).iter().map(|d| -d).collect());
+        }
+    }
+
+    /// One ε=0 rollout of the current table.
+    fn greedy_rollout(
+        &self,
+        instance: &GapInstance,
+        mdp: &mut AssignmentMdp<'_>,
+        q: &mut QTable,
+    ) -> Result<Assignment, GapError> {
+        mdp.reset();
+        let mut rollout = Assignment::unassigned(instance.num_devices(), mdp.num_actions());
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        while !mdp.is_done() {
+            self.ensure_prior(instance, mdp, q);
+            let state = mdp.state_key();
+            let action = self.pick(mdp, q, state, 0.0, &mut rng);
+            let device = mdp.current_device();
+            mdp.apply(action);
+            rollout.assign(device, action)?;
+        }
+        Ok(rollout)
+    }
+
+    fn pick(
+        &self,
+        mdp: &AssignmentMdp<'_>,
+        q: &QTable,
+        state: StateKey,
+        epsilon: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> usize {
+        let m = mdp.num_actions();
+        let masking = self.config.action_masking;
+        if epsilon > 0.0 && rng.random::<f64>() < epsilon {
+            if masking {
+                let fitting: Vec<usize> = (0..m).filter(|&j| mdp.action_fits(j)).collect();
+                if !fitting.is_empty() {
+                    return fitting[rng.random_range(0..fitting.len())];
+                }
+            }
+            return rng.random_range(0..m);
+        }
+        if masking {
+            let row = q.row(state);
+            let mut best: Option<usize> = None;
+            for (j, &value) in row.iter().enumerate().take(m) {
+                if mdp.action_fits(j) && best.map_or(true, |b| value > row[b]) {
+                    best = Some(j);
+                }
+            }
+            if let Some(j) = best {
+                return j;
+            }
+        }
+        q.greedy_action(state)
+    }
+}
+
+impl Solver for Sarsa {
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+        Ok(self.train(instance)?.0)
+    }
+
+    fn name(&self) -> &str {
+        "sarsa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_gap::exact::BruteForce;
+    use tacc_topology::DelayMatrix;
+
+    fn trap_instance() -> GapInstance {
+        let delays = DelayMatrix::from_rows(vec![
+            vec![1.0, 9.0],
+            vec![1.0, 2.0],
+            vec![1.0, 8.0],
+        ]);
+        GapInstance::builder(delays)
+            .uniform_demand(1.0)
+            .capacities(vec![2.0, 2.0])
+            .build()
+            .unwrap()
+    }
+
+    fn quick(episodes: usize) -> SarsaConfig {
+        SarsaConfig {
+            episodes,
+            epsilon: EpsilonSchedule::new(1.0, 0.05, 0.99),
+            ..SarsaConfig::default()
+        }
+    }
+
+    #[test]
+    fn reaches_the_optimum_on_a_small_trap() {
+        let inst = trap_instance();
+        let optimum = BruteForce::default().solve(&inst).unwrap().objective;
+        let s = Sarsa::new(quick(800), 5).solve(&inst).unwrap();
+        assert!(s.feasible);
+        assert_eq!(s.objective, optimum);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let inst = trap_instance();
+        let a = Sarsa::new(quick(150), 2).solve(&inst).unwrap();
+        let b = Sarsa::new(quick(150), 2).solve(&inst).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn produces_training_history() {
+        let inst = trap_instance();
+        let (_, report) = Sarsa::new(quick(100), 1).train(&inst).unwrap();
+        assert_eq!(report.history().len(), 100);
+        assert!(report.num_states() > 0);
+    }
+}

@@ -1,0 +1,138 @@
+use serde::{Deserialize, Serialize};
+
+/// Exploration-rate schedule for ε-greedy policies.
+///
+/// ε decays exponentially from `start` toward `end` over the training run:
+/// `ε(t) = end + (start − end) · decay^t`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonSchedule {
+    start: f64,
+    end: f64,
+    decay: f64,
+}
+
+impl EpsilonSchedule {
+    /// Creates a schedule decaying from `start` to `end` with per-episode
+    /// factor `decay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ end ≤ start ≤ 1` and `0 < decay ≤ 1`.
+    pub fn new(start: f64, end: f64, decay: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end) && end <= start,
+            "epsilon must satisfy 0 <= end <= start <= 1, got start {start} end {end}"
+        );
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1], got {decay}");
+        EpsilonSchedule { start, end, decay }
+    }
+
+    /// A constant exploration rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ epsilon ≤ 1`.
+    pub fn constant(epsilon: f64) -> Self {
+        EpsilonSchedule::new(epsilon, epsilon, 1.0)
+    }
+
+    /// ε at episode `t`.
+    pub fn at(&self, episode: usize) -> f64 {
+        self.end + (self.start - self.end) * self.decay.powi(episode as i32)
+    }
+}
+
+impl Default for EpsilonSchedule {
+    /// Decays from 1.0 to 0.02 with factor 0.999 — roughly 2300 episodes
+    /// to halve the exploration excess.
+    fn default() -> Self {
+        EpsilonSchedule::new(1.0, 0.02, 0.999)
+    }
+}
+
+/// Learning-rate schedule for TD updates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LearningRate {
+    /// A fixed step size.
+    Constant(f64),
+    /// `α / (1 + visits/scale)` per state-action pair — the Robbins–Monro
+    /// style decay that guarantees tabular convergence.
+    VisitDecay {
+        /// Initial step size.
+        alpha0: f64,
+        /// Number of visits after which the rate has halved.
+        scale: f64,
+    },
+}
+
+impl LearningRate {
+    /// Step size after `visits` prior updates of the same state-action.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the configured rates are outside
+    /// `(0, 1]`.
+    pub fn at(&self, visits: u32) -> f64 {
+        match *self {
+            LearningRate::Constant(a) => {
+                debug_assert!(a > 0.0 && a <= 1.0);
+                a
+            }
+            LearningRate::VisitDecay { alpha0, scale } => {
+                debug_assert!(alpha0 > 0.0 && alpha0 <= 1.0 && scale > 0.0);
+                alpha0 / (1.0 + f64::from(visits) / scale)
+            }
+        }
+    }
+}
+
+impl Default for LearningRate {
+    /// Constant 0.1, the conventional tabular default.
+    fn default() -> Self {
+        LearningRate::Constant(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_decays_toward_end() {
+        let s = EpsilonSchedule::new(1.0, 0.1, 0.99);
+        assert_eq!(s.at(0), 1.0);
+        assert!(s.at(100) < s.at(10));
+        assert!(s.at(100_000) >= 0.1 - 1e-12);
+        assert!((s.at(100_000) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_epsilon_never_moves() {
+        let s = EpsilonSchedule::constant(0.3);
+        assert_eq!(s.at(0), 0.3);
+        assert_eq!(s.at(999), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn end_above_start_panics() {
+        let _ = EpsilonSchedule::new(0.1, 0.5, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn zero_decay_panics() {
+        let _ = EpsilonSchedule::new(1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn learning_rates() {
+        assert_eq!(LearningRate::Constant(0.2).at(0), 0.2);
+        assert_eq!(LearningRate::Constant(0.2).at(100), 0.2);
+        let d = LearningRate::VisitDecay { alpha0: 0.5, scale: 10.0 };
+        assert_eq!(d.at(0), 0.5);
+        assert_eq!(d.at(10), 0.25);
+        assert!(d.at(100) < d.at(10));
+    }
+}

@@ -1,0 +1,142 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A request from `device` reaches its server's ingress queue.
+    Arrival {
+        /// The originating IoT device.
+        device: usize,
+    },
+    /// The request at the head of `server`'s queue finishes service.
+    Departure {
+        /// The serving edge server.
+        server: usize,
+    },
+}
+
+/// A timestamped simulation event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulation time in milliseconds.
+    pub time: f64,
+    /// Payload.
+    pub kind: EventKind,
+    /// Monotonic sequence number: ties in `time` fire in insertion order,
+    /// which keeps runs deterministic.
+    pub seq: u64,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse so the earliest event pops
+        // first, with the sequence number as a deterministic tiebreak.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events pop in non-decreasing time order; equal-time events pop in
+/// insertion order.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is negative or not finite.
+    pub fn schedule(&mut self, time: f64, kind: EventKind) {
+        assert!(time.is_finite() && time >= 0.0, "event time must be finite and >= 0, got {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, kind, seq });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, EventKind::Arrival { device: 0 });
+        q.schedule(1.0, EventKind::Arrival { device: 1 });
+        q.schedule(2.0, EventKind::Departure { server: 0 });
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, EventKind::Arrival { device: 10 });
+        q.schedule(1.0, EventKind::Arrival { device: 20 });
+        q.schedule(1.0, EventKind::Arrival { device: 30 });
+        let devices: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Arrival { device } => device,
+                EventKind::Departure { .. } => unreachable!(),
+            })
+            .collect();
+        assert_eq!(devices, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(0.0, EventKind::Departure { server: 1 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "event time")]
+    fn negative_time_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(-1.0, EventKind::Arrival { device: 0 });
+    }
+}

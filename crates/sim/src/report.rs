@@ -1,0 +1,125 @@
+use tacc_metrics::{percentile, OnlineStats};
+
+/// Measurements from one simulation run (post-warmup).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    latency_stats: OnlineStats,
+    latencies: Vec<f64>,
+    completed: u64,
+    deadline_misses: u64,
+    censored_misses: u64,
+    server_busy_ms: Vec<f64>,
+    duration_ms: f64,
+}
+
+impl SimReport {
+    pub(crate) fn new(
+        latencies: Vec<f64>,
+        deadline_misses: u64,
+        censored_misses: u64,
+        server_busy_ms: Vec<f64>,
+        duration_ms: f64,
+    ) -> Self {
+        let latency_stats: OnlineStats = latencies.iter().copied().collect();
+        SimReport {
+            completed: latencies.len() as u64,
+            latency_stats,
+            latencies,
+            deadline_misses,
+            censored_misses,
+            server_busy_ms,
+            duration_ms,
+        }
+    }
+
+    /// Requests that completed service inside the measurement window.
+    pub fn completed_requests(&self) -> u64 {
+        self.completed
+    }
+
+    /// Streaming statistics over end-to-end latencies (ms).
+    pub fn latency_stats(&self) -> &OnlineStats {
+        &self.latency_stats
+    }
+
+    /// The `p`-th latency percentile in milliseconds (NaN when no request
+    /// completed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        percentile(&self.latencies, p)
+    }
+
+    /// Requests whose end-to-end latency exceeded their deadline,
+    /// including *censored misses*: requests still queued at the horizon
+    /// that had already outlived the deadline (otherwise an unstable,
+    /// overloaded server would paradoxically report a low miss rate).
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses + self.censored_misses
+    }
+
+    /// Of those, the requests that never finished inside the horizon.
+    pub fn censored_misses(&self) -> u64 {
+        self.censored_misses
+    }
+
+    /// Fraction of measured requests (completed + censored misses) that
+    /// missed their deadline; NaN when nothing was measured.
+    pub fn deadline_miss_ratio(&self) -> f64 {
+        let measured = self.completed + self.censored_misses;
+        if measured == 0 {
+            f64::NAN
+        } else {
+            (self.deadline_misses + self.censored_misses) as f64 / measured as f64
+        }
+    }
+
+    /// Fraction of the measurement window each server spent serving.
+    pub fn server_utilization(&self) -> Vec<f64> {
+        self.server_busy_ms
+            .iter()
+            .map(|b| (b / self.duration_ms).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Length of the measurement window, in milliseconds.
+    pub fn duration_ms(&self) -> f64 {
+        self.duration_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates() {
+        let r = SimReport::new(vec![1.0, 2.0, 3.0, 10.0], 1, 0, vec![50.0, 100.0], 100.0);
+        assert_eq!(r.completed_requests(), 4);
+        assert_eq!(r.latency_stats().mean(), 4.0);
+        assert_eq!(r.latency_percentile(50.0), 2.5);
+        assert_eq!(r.deadline_misses(), 1);
+        assert_eq!(r.deadline_miss_ratio(), 0.25);
+        assert_eq!(r.server_utilization(), vec![0.5, 1.0]);
+        assert_eq!(r.duration_ms(), 100.0);
+    }
+
+    #[test]
+    fn censored_misses_count_toward_the_ratio() {
+        // 3 completed (1 missed) + 2 stuck-past-deadline in a queue.
+        let r = SimReport::new(vec![1.0, 2.0, 3.0], 1, 2, vec![100.0], 100.0);
+        assert_eq!(r.deadline_misses(), 3);
+        assert_eq!(r.censored_misses(), 2);
+        assert_eq!(r.deadline_miss_ratio(), 3.0 / 5.0);
+    }
+
+    #[test]
+    fn empty_run_yields_nan_ratios() {
+        let r = SimReport::new(vec![], 0, 0, vec![0.0], 100.0);
+        assert!(r.deadline_miss_ratio().is_nan());
+        assert!(r.latency_percentile(99.0).is_nan());
+        assert_eq!(r.completed_requests(), 0);
+    }
+}

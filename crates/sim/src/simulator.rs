@@ -1,0 +1,431 @@
+use std::collections::VecDeque;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rand_distr::{Distribution, Exp};
+use tacc_gap::{Assignment, GapInstance};
+
+use crate::{EventKind, EventQueue, SimError, SimReport, TrafficSpec};
+
+/// Run parameters of a [`Simulation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Total simulated time, in milliseconds.
+    pub duration_ms: f64,
+    /// Initial transient excluded from statistics, in milliseconds.
+    pub warmup_ms: f64,
+    /// RNG seed for arrivals and service draws.
+    pub seed: u64,
+    /// When `true`, the response traverses the network back to the device
+    /// and the downlink delay counts toward latency.
+    pub round_trip: bool,
+    /// Per-request deadline in milliseconds (measured end-to-end);
+    /// `f64::INFINITY` disables deadline accounting.
+    pub deadline_ms: f64,
+}
+
+impl Default for SimConfig {
+    /// 10 s of simulated time with a 1 s warm-up, one-way latency, no
+    /// deadline.
+    fn default() -> Self {
+        SimConfig {
+            duration_ms: 10_000.0,
+            warmup_ms: 1_000.0,
+            seed: 0,
+            round_trip: false,
+            deadline_ms: f64::INFINITY,
+        }
+    }
+}
+
+impl SimConfig {
+    fn validate(&self) -> Result<(), SimError> {
+        if !self.duration_ms.is_finite() || self.duration_ms <= 0.0 {
+            return Err(SimError::InvalidParameter {
+                reason: format!("duration must be positive, got {}", self.duration_ms),
+            });
+        }
+        if !self.warmup_ms.is_finite()
+            || self.warmup_ms < 0.0
+            || self.warmup_ms >= self.duration_ms
+        {
+            return Err(SimError::InvalidParameter {
+                reason: format!(
+                    "warmup must be in [0, duration), got {} of {}",
+                    self.warmup_ms, self.duration_ms
+                ),
+            });
+        }
+        if self.deadline_ms.is_nan() || self.deadline_ms <= 0.0 {
+            return Err(SimError::InvalidParameter {
+                reason: format!("deadline must be positive, got {}", self.deadline_ms),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// An in-flight request parked in a server queue.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    device: usize,
+    generated_at: f64,
+    work: f64,
+}
+
+#[derive(Debug)]
+struct ServerState {
+    queue: VecDeque<Job>,
+    busy: bool,
+    busy_since: f64,
+    busy_ms: f64,
+    current: Option<Job>,
+}
+
+/// The discrete-event simulator.
+///
+/// One [`Simulation`] value can replay many (instance, assignment,
+/// traffic) triples; each [`Simulation::run`] is deterministic in
+/// `config.seed`.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Simulation { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Replays `assignment` under `traffic` and reports latency, deadline
+    /// and utilization measurements.
+    ///
+    /// Request lifecycle: generated at the device → travels `d(i, x(i))`
+    /// ms uplink → FIFO queue at the server → service `work / c(j)` ms →
+    /// (optionally) travels back. Latency is measured from generation to
+    /// final completion; requests still in flight at the horizon are
+    /// discarded (standard right-censoring).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IncompleteAssignment`] for partial assignments,
+    /// [`SimError::DimensionMismatch`] when `traffic` does not cover every
+    /// device, and [`SimError::InvalidParameter`] for a degenerate
+    /// configuration.
+    pub fn run(
+        &self,
+        instance: &GapInstance,
+        assignment: &Assignment,
+        traffic: &TrafficSpec,
+    ) -> Result<SimReport, SimError> {
+        self.config.validate()?;
+        let n = instance.num_devices();
+        let m = instance.num_servers();
+        if traffic.num_devices() != n {
+            return Err(SimError::DimensionMismatch {
+                what: "traffic spec",
+                expected: n,
+                actual: traffic.num_devices(),
+            });
+        }
+        let mut server_of = Vec::with_capacity(n);
+        for i in 0..n {
+            server_of
+                .push(assignment.server_of(i).ok_or(SimError::IncompleteAssignment { device: i })?);
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut queue = EventQueue::new();
+        let horizon = self.config.duration_ms;
+        let warmup = self.config.warmup_ms;
+
+        // Pre-generate Poisson arrival processes per device. The arrival
+        // event is scheduled at *reach* time (generation + uplink delay),
+        // so server queues are FIFO in reach order — exact, because the
+        // uplink delay of a device is fixed. Generating up front keeps the
+        // event loop simple; memory is O(total arrivals).
+        let mut pending: Vec<VecDeque<Job>> = vec![VecDeque::new(); n];
+        for i in 0..n {
+            let inter = Exp::new(traffic.arrival_rate(i)).map_err(|e| {
+                SimError::InvalidParameter { reason: format!("arrival rate of device {i}: {e}") }
+            })?;
+            let service = Exp::new(1.0 / traffic.mean_work(i)).map_err(|e| {
+                SimError::InvalidParameter { reason: format!("mean work of device {i}: {e}") }
+            })?;
+            let uplink = instance.delay(i, server_of[i]);
+            let mut t = inter.sample(&mut rng);
+            while t < horizon {
+                let reach = t + uplink;
+                if reach <= horizon {
+                    queue.schedule(reach, EventKind::Arrival { device: i });
+                    pending[i].push_back(Job {
+                        device: i,
+                        generated_at: t,
+                        work: service.sample(&mut rng),
+                    });
+                } else {
+                    // Generated before the horizon but still in flight at
+                    // the end: right-censored. Keep the RNG stream aligned.
+                    let _ = service.sample(&mut rng);
+                }
+                t += inter.sample(&mut rng);
+            }
+        }
+
+        let mut servers: Vec<ServerState> = (0..m)
+            .map(|_| ServerState {
+                queue: VecDeque::new(),
+                busy: false,
+                busy_since: 0.0,
+                busy_ms: 0.0,
+                current: None,
+            })
+            .collect();
+
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut deadline_misses = 0u64;
+
+        while let Some(event) = queue.pop() {
+            if event.time > horizon {
+                break;
+            }
+            match event.kind {
+                EventKind::Arrival { device } => {
+                    let j = server_of[device];
+                    let job = pending[device].pop_front().expect("one job per arrival event");
+                    let state = &mut servers[j];
+                    if state.busy {
+                        state.queue.push_back(job);
+                        continue;
+                    }
+                    state.busy = true;
+                    state.busy_since = event.time;
+                    state.current = Some(job);
+                    let service_ms = job.work / instance.capacity(j);
+                    queue.schedule(event.time + service_ms, EventKind::Departure { server: j });
+                }
+                EventKind::Departure { server } => {
+                    let (finished, next_start) = {
+                        let state = &mut servers[server];
+                        let job = state.current.take().expect("departure without a job");
+                        state.busy_ms += event.time - state.busy_since;
+                        let next = state.queue.pop_front();
+                        if let Some(next_job) = next {
+                            state.busy_since = event.time;
+                            state.current = Some(next_job);
+                            (job, Some(event.time))
+                        } else {
+                            state.busy = false;
+                            (job, None)
+                        }
+                    };
+                    if let Some(start) = next_start {
+                        let next_job = servers[server].current.expect("just set");
+                        let service_ms = next_job.work / instance.capacity(server);
+                        queue.schedule(start + service_ms, EventKind::Departure { server });
+                    }
+                    // Account the finished job.
+                    let mut completion = event.time;
+                    if self.config.round_trip {
+                        completion += instance.delay(finished.device, server);
+                        if completion > horizon {
+                            continue;
+                        }
+                    }
+                    if finished.generated_at >= warmup {
+                        let latency = completion - finished.generated_at;
+                        if latency > self.config.deadline_ms {
+                            deadline_misses += 1;
+                        }
+                        latencies.push(latency);
+                    }
+                }
+            }
+        }
+
+        // Close busy intervals at the horizon, and count requests still in
+        // a queue that have already outlived the deadline (censored
+        // misses) — without this an unstable server would hide its misses
+        // behind the horizon.
+        let mut censored_misses = 0u64;
+        for state in &mut servers {
+            if state.busy {
+                state.busy_ms += horizon - state.busy_since;
+            }
+            if self.config.deadline_ms.is_finite() {
+                for job in state.current.iter().chain(state.queue.iter()) {
+                    if job.generated_at >= warmup
+                        && horizon - job.generated_at > self.config.deadline_ms
+                    {
+                        censored_misses += 1;
+                    }
+                }
+            }
+        }
+        let busy: Vec<f64> = servers.iter().map(|s| s.busy_ms).collect();
+
+        Ok(SimReport::new(latencies, deadline_misses, censored_misses, busy, horizon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_topology::DelayMatrix;
+
+    fn instance(delay: f64, capacity: f64) -> GapInstance {
+        GapInstance::builder(DelayMatrix::from_rows(vec![vec![delay]]))
+            .uniform_demand(0.5)
+            .uniform_capacity(capacity)
+            .build()
+            .unwrap()
+    }
+
+    fn config(duration: f64) -> SimConfig {
+        SimConfig { duration_ms: duration, warmup_ms: duration * 0.1, ..SimConfig::default() }
+    }
+
+    #[test]
+    fn latency_includes_network_delay_and_service() {
+        // Single device, rate 0.01/ms (sparse: almost no queueing), delay
+        // 5 ms, mean work 1 at capacity 1 → mean latency ≈ 6 ms.
+        let inst = instance(5.0, 1.0);
+        let a = Assignment::from_vec(vec![0], 1).unwrap();
+        let traffic = TrafficSpec::new(vec![0.01], vec![1.0]).unwrap();
+        let report = Simulation::new(config(200_000.0)).run(&inst, &a, &traffic).unwrap();
+        assert!(report.completed_requests() > 500);
+        let mean = report.latency_stats().mean();
+        assert!((mean - 6.0).abs() < 0.5, "mean latency {mean} should be ~6 ms");
+        // Minimum possible latency is delay + (tiny service).
+        assert!(report.latency_stats().min() >= 5.0);
+    }
+
+    #[test]
+    fn round_trip_doubles_network_delay() {
+        let inst = instance(5.0, 1.0);
+        let a = Assignment::from_vec(vec![0], 1).unwrap();
+        let traffic = TrafficSpec::new(vec![0.005], vec![1.0]).unwrap();
+        let cfg = SimConfig { round_trip: true, ..config(200_000.0) };
+        let report = Simulation::new(cfg).run(&inst, &a, &traffic).unwrap();
+        assert!(report.latency_stats().min() >= 10.0);
+    }
+
+    #[test]
+    fn higher_load_means_higher_latency() {
+        let inst = instance(1.0, 1.0);
+        let a = Assignment::from_vec(vec![0], 1).unwrap();
+        let light = TrafficSpec::new(vec![0.1], vec![1.0]).unwrap();
+        let heavy = TrafficSpec::new(vec![0.85], vec![1.0]).unwrap();
+        let sim = Simulation::new(config(100_000.0));
+        let light_report = sim.run(&inst, &a, &light).unwrap();
+        let heavy_report = sim.run(&inst, &a, &heavy).unwrap();
+        assert!(
+            heavy_report.latency_stats().mean() > light_report.latency_stats().mean() * 2.0,
+            "queueing must bite: light {} vs heavy {}",
+            light_report.latency_stats().mean(),
+            heavy_report.latency_stats().mean()
+        );
+        let light_util = light_report.server_utilization()[0];
+        let heavy_util = heavy_report.server_utilization()[0];
+        assert!((light_util - 0.1).abs() < 0.03, "utilization {light_util} should be ~0.1");
+        assert!((heavy_util - 0.85).abs() < 0.05, "utilization {heavy_util} should be ~0.85");
+    }
+
+    #[test]
+    fn mm1_mean_latency_matches_theory() {
+        // M/M/1: W = 1/(μ−λ). λ = 0.5/ms, μ = 1/ms → W = 2 ms, plus the
+        // 0.0-delay network → mean ≈ 2 ms.
+        let inst = GapInstance::builder(DelayMatrix::from_rows(vec![vec![0.0]]))
+            .uniform_demand(0.5)
+            .uniform_capacity(1.0)
+            .build()
+            .unwrap();
+        let a = Assignment::from_vec(vec![0], 1).unwrap();
+        let traffic = TrafficSpec::new(vec![0.5], vec![1.0]).unwrap();
+        let report = Simulation::new(config(400_000.0)).run(&inst, &a, &traffic).unwrap();
+        let mean = report.latency_stats().mean();
+        assert!((mean - 2.0).abs() < 0.25, "M/M/1 W should be ~2 ms, got {mean}");
+    }
+
+    #[test]
+    fn deadline_misses_are_counted() {
+        let inst = instance(5.0, 1.0);
+        let a = Assignment::from_vec(vec![0], 1).unwrap();
+        let traffic = TrafficSpec::new(vec![0.3], vec![1.0]).unwrap();
+        // Impossible deadline: everything misses.
+        let cfg = SimConfig { deadline_ms: 1.0, ..config(50_000.0) };
+        let report = Simulation::new(cfg).run(&inst, &a, &traffic).unwrap();
+        assert_eq!(report.deadline_miss_ratio(), 1.0);
+        // Generous deadline: nothing misses.
+        let cfg = SimConfig { deadline_ms: 1e9, ..config(50_000.0) };
+        let report = Simulation::new(cfg).run(&inst, &a, &traffic).unwrap();
+        assert_eq!(report.deadline_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let inst = instance(2.0, 1.0);
+        let a = Assignment::from_vec(vec![0], 1).unwrap();
+        let traffic = TrafficSpec::new(vec![0.2], vec![1.0]).unwrap();
+        let r1 = Simulation::new(config(20_000.0)).run(&inst, &a, &traffic).unwrap();
+        let r2 = Simulation::new(config(20_000.0)).run(&inst, &a, &traffic).unwrap();
+        assert_eq!(r1, r2);
+        let cfg = SimConfig { seed: 99, ..config(20_000.0) };
+        let r3 = Simulation::new(cfg).run(&inst, &a, &traffic).unwrap();
+        assert_ne!(r1, r3);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let inst = instance(1.0, 1.0);
+        let a = Assignment::from_vec(vec![0], 1).unwrap();
+        let traffic = TrafficSpec::new(vec![0.1], vec![1.0]).unwrap();
+        for cfg in [
+            SimConfig { duration_ms: 0.0, ..SimConfig::default() },
+            SimConfig { warmup_ms: 20_000.0, ..SimConfig::default() },
+            SimConfig { deadline_ms: 0.0, ..SimConfig::default() },
+        ] {
+            assert!(Simulation::new(cfg).run(&inst, &a, &traffic).is_err());
+        }
+    }
+
+    #[test]
+    fn incomplete_assignment_is_rejected() {
+        let inst = instance(1.0, 1.0);
+        let a = Assignment::unassigned(1, 1);
+        let traffic = TrafficSpec::new(vec![0.1], vec![1.0]).unwrap();
+        assert!(matches!(
+            Simulation::new(SimConfig::default()).run(&inst, &a, &traffic),
+            Err(SimError::IncompleteAssignment { device: 0 })
+        ));
+    }
+
+    #[test]
+    fn two_servers_split_the_load() {
+        let delays = DelayMatrix::from_rows(vec![vec![1.0, 9.0], vec![9.0, 1.0]]);
+        let inst = GapInstance::builder(delays)
+            .uniform_demand(0.4)
+            .uniform_capacity(1.0)
+            .build()
+            .unwrap();
+        let good = Assignment::from_vec(vec![0, 1], 2).unwrap();
+        let bad = Assignment::from_vec(vec![1, 0], 2).unwrap();
+        let traffic = TrafficSpec::from_instance(&inst, &good, 1.0).unwrap();
+        let sim = Simulation::new(config(100_000.0));
+        let good_report = sim.run(&inst, &good, &traffic).unwrap();
+        let bad_report = sim.run(&inst, &bad, &traffic).unwrap();
+        // The topology-aware assignment wins by ~8 ms of network delay.
+        assert!(
+            good_report.latency_stats().mean() + 6.0 < bad_report.latency_stats().mean(),
+            "good {} vs bad {}",
+            good_report.latency_stats().mean(),
+            bad_report.latency_stats().mean()
+        );
+    }
+}

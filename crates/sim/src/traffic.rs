@@ -1,0 +1,188 @@
+use tacc_gap::{Assignment, GapInstance};
+
+use crate::SimError;
+
+/// Per-device traffic parameters: Poisson arrival rates and mean work per
+/// request.
+///
+/// The invariant linking the static GAP layer to the dynamic layer is
+///
+/// ```text
+/// arrival_rate(i) · mean_work(i) = w(i, x(i))
+/// ```
+///
+/// — each device's offered work rate equals its GAP demand on its assigned
+/// server. [`TrafficSpec::from_instance`] derives rates that way; custom
+/// specs can model anything else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSpec {
+    arrival_rate_per_ms: Vec<f64>,
+    mean_work: Vec<f64>,
+}
+
+impl TrafficSpec {
+    /// Builds a spec from explicit rates and work sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for non-positive or
+    /// non-finite entries and [`SimError::DimensionMismatch`] when the two
+    /// vectors differ in length.
+    pub fn new(arrival_rate_per_ms: Vec<f64>, mean_work: Vec<f64>) -> Result<Self, SimError> {
+        if arrival_rate_per_ms.len() != mean_work.len() {
+            return Err(SimError::DimensionMismatch {
+                what: "mean_work",
+                expected: arrival_rate_per_ms.len(),
+                actual: mean_work.len(),
+            });
+        }
+        for (i, &r) in arrival_rate_per_ms.iter().enumerate() {
+            if !r.is_finite() || r <= 0.0 {
+                return Err(SimError::InvalidParameter {
+                    reason: format!("arrival rate of device {i} must be positive, got {r}"),
+                });
+            }
+        }
+        for (i, &w) in mean_work.iter().enumerate() {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(SimError::InvalidParameter {
+                    reason: format!("mean work of device {i} must be positive, got {w}"),
+                });
+            }
+        }
+        Ok(TrafficSpec { arrival_rate_per_ms, mean_work })
+    }
+
+    /// Derives traffic from a GAP instance and assignment: every device
+    /// gets `mean_work` work units per request and an arrival rate of
+    /// `w(i, x(i)) / mean_work`, so offered load matches the GAP demands
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IncompleteAssignment`] when a device is
+    /// unassigned and [`SimError::InvalidParameter`] for a non-positive
+    /// `mean_work`.
+    pub fn from_instance(
+        instance: &GapInstance,
+        assignment: &Assignment,
+        mean_work: f64,
+    ) -> Result<Self, SimError> {
+        if !mean_work.is_finite() || mean_work <= 0.0 {
+            return Err(SimError::InvalidParameter {
+                reason: format!("mean work must be positive, got {mean_work}"),
+            });
+        }
+        let n = instance.num_devices();
+        let mut rates = Vec::with_capacity(n);
+        for i in 0..n {
+            let j = assignment
+                .server_of(i)
+                .ok_or(SimError::IncompleteAssignment { device: i })?;
+            rates.push(instance.demand(i, j) / mean_work);
+        }
+        Ok(TrafficSpec { arrival_rate_per_ms: rates, mean_work: vec![mean_work; n] })
+    }
+
+    /// Number of devices covered.
+    pub fn num_devices(&self) -> usize {
+        self.arrival_rate_per_ms.len()
+    }
+
+    /// Poisson arrival rate of `device`, in requests per millisecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn arrival_rate(&self, device: usize) -> f64 {
+        self.arrival_rate_per_ms[device]
+    }
+
+    /// Mean work units per request of `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn mean_work(&self, device: usize) -> f64 {
+        self.mean_work[device]
+    }
+
+    /// Total offered work rate across devices (work units per ms).
+    pub fn offered_load(&self) -> f64 {
+        self.arrival_rate_per_ms
+            .iter()
+            .zip(&self.mean_work)
+            .map(|(r, w)| r * w)
+            .sum()
+    }
+
+    /// Returns a copy with every arrival rate scaled by `factor` —
+    /// the load-sweep knob of experiment E5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if `factor` is not positive
+    /// and finite.
+    pub fn scaled(&self, factor: f64) -> Result<Self, SimError> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(SimError::InvalidParameter {
+                reason: format!("scale factor must be positive, got {factor}"),
+            });
+        }
+        TrafficSpec::new(
+            self.arrival_rate_per_ms.iter().map(|r| r * factor).collect(),
+            self.mean_work.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_topology::DelayMatrix;
+
+    fn instance() -> GapInstance {
+        GapInstance::builder(DelayMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]))
+            .device_demands(vec![0.4, 0.6])
+            .uniform_capacity(1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn from_instance_matches_offered_load_to_demands() {
+        let inst = instance();
+        let a = Assignment::from_vec(vec![0, 1], 2).unwrap();
+        let t = TrafficSpec::from_instance(&inst, &a, 2.0).unwrap();
+        assert_eq!(t.num_devices(), 2);
+        assert!((t.arrival_rate(0) - 0.2).abs() < 1e-12);
+        assert!((t.arrival_rate(1) - 0.3).abs() < 1e-12);
+        assert!((t.offered_load() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_assignment_is_an_error() {
+        let inst = instance();
+        let a = Assignment::unassigned(2, 2);
+        assert!(matches!(
+            TrafficSpec::from_instance(&inst, &a, 1.0),
+            Err(SimError::IncompleteAssignment { device: 0 })
+        ));
+    }
+
+    #[test]
+    fn scaling_multiplies_rates_only() {
+        let t = TrafficSpec::new(vec![0.1, 0.2], vec![1.0, 1.0]).unwrap();
+        let s = t.scaled(2.0).unwrap();
+        assert!((s.arrival_rate(0) - 0.2).abs() < 1e-12);
+        assert_eq!(s.mean_work(0), 1.0);
+        assert!(t.scaled(0.0).is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(TrafficSpec::new(vec![0.0], vec![1.0]).is_err());
+        assert!(TrafficSpec::new(vec![1.0], vec![-1.0]).is_err());
+        assert!(TrafficSpec::new(vec![1.0], vec![1.0, 2.0]).is_err());
+    }
+}

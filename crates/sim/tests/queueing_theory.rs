@@ -1,0 +1,95 @@
+//! The simulator against closed-form queueing theory — if these hold, the
+//! deadline experiment's numbers are trustworthy.
+
+use proptest::prelude::*;
+use tacc_gap::{Assignment, GapInstance};
+use tacc_sim::{SimConfig, Simulation, TrafficSpec};
+use tacc_topology::DelayMatrix;
+
+/// One device, one server, zero network delay: a textbook M/M/1 queue.
+fn mm1_instance() -> GapInstance {
+    GapInstance::builder(DelayMatrix::from_rows(vec![vec![0.0]]))
+        .uniform_demand(0.5)
+        .uniform_capacity(1.0)
+        .build()
+        .expect("valid")
+}
+
+fn run_mm1(lambda: f64, seed: u64, duration_ms: f64) -> tacc_sim::SimReport {
+    let inst = mm1_instance();
+    let a = Assignment::from_vec(vec![0], 1).expect("in range");
+    let traffic = TrafficSpec::new(vec![lambda], vec![1.0]).expect("valid");
+    Simulation::new(SimConfig {
+        duration_ms,
+        warmup_ms: duration_ms * 0.2,
+        seed,
+        ..SimConfig::default()
+    })
+    .run(&inst, &a, &traffic)
+    .expect("run")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// M/M/1 sojourn time: W = 1 / (μ − λ), here μ = 1/ms.
+    #[test]
+    fn mm1_sojourn_time_matches_theory(
+        lambda_pct in 20u32..70,
+        seed in 0u64..100,
+    ) {
+        let lambda = f64::from(lambda_pct) / 100.0;
+        let theory = 1.0 / (1.0 - lambda);
+        let report = run_mm1(lambda, seed, 300_000.0);
+        let measured = report.latency_stats().mean();
+        let tolerance = theory * 0.15;
+        prop_assert!(
+            (measured - theory).abs() < tolerance,
+            "λ={lambda}: measured W {measured:.3} vs theory {theory:.3}"
+        );
+    }
+
+    /// Utilization equals the offered load ρ = λ/μ.
+    #[test]
+    fn mm1_utilization_matches_offered_load(
+        lambda_pct in 10u32..80,
+        seed in 0u64..100,
+    ) {
+        let lambda = f64::from(lambda_pct) / 100.0;
+        let report = run_mm1(lambda, seed, 200_000.0);
+        let util = report.server_utilization()[0];
+        prop_assert!(
+            (util - lambda).abs() < 0.05,
+            "λ={lambda}: utilization {util:.3}"
+        );
+    }
+
+    /// Completed-request throughput equals the arrival rate (stable queue).
+    #[test]
+    fn mm1_throughput_matches_arrivals(seed in 0u64..50) {
+        let lambda = 0.4;
+        let duration = 200_000.0;
+        let report = run_mm1(lambda, seed, duration);
+        // Measurement window is the post-warmup 80%.
+        let expected = lambda * duration * 0.8;
+        let measured = report.completed_requests() as f64;
+        prop_assert!(
+            (measured - expected).abs() < expected * 0.05,
+            "completed {measured} vs expected {expected}"
+        );
+    }
+}
+
+/// P[W > t] for M/M/1 is exp(−(μ−λ)t): check one quantile.
+#[test]
+fn mm1_tail_quantile_is_exponential() {
+    let lambda = 0.5;
+    let report = run_mm1(lambda, 7, 400_000.0);
+    // P99: t such that exp(-(1-λ)t) = 0.01 → t = ln(100)/(1-λ) ≈ 9.21.
+    let theory = (100.0f64).ln() / (1.0 - lambda);
+    let measured = report.latency_percentile(99.0);
+    assert!(
+        (measured - theory).abs() < theory * 0.2,
+        "p99 {measured:.2} vs theory {theory:.2}"
+    );
+}

@@ -1,0 +1,106 @@
+//! Graphviz DOT export for visual inspection of topologies.
+//!
+//! ```sh
+//! tacc topology --devices 30 --servers 4 --dot | dot -Tsvg > topo.svg
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::{NodeKind, Topology};
+
+/// Renders a topology in Graphviz DOT format.
+///
+/// IoT devices are small grey circles, edge servers orange boxes, routers
+/// blue diamonds; edges carry the link latency as a label. Node names are
+/// stable (`n<i>`) so diffs across runs of the same seed are meaningful.
+///
+/// # Example
+///
+/// ```
+/// use tacc_topology::{export::to_dot, Graph, NodeKind, Topology};
+///
+/// # fn main() -> Result<(), tacc_topology::TopologyError> {
+/// let mut g = Graph::new();
+/// let d = g.add_node(NodeKind::IotDevice);
+/// let s = g.add_node(NodeKind::EdgeServer);
+/// g.add_link(d, s, 2.5, 100.0)?;
+/// let dot = to_dot(&Topology::new(g)?);
+/// assert!(dot.starts_with("graph tacc"));
+/// assert!(dot.contains("n0 -- n1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(topology: &Topology) -> String {
+    let graph = topology.graph();
+    let mut out = String::new();
+    out.push_str("graph tacc {\n");
+    out.push_str("  layout=neato;\n  overlap=false;\n  node [fontsize=10];\n");
+    for (id, node) in graph.nodes() {
+        let (shape, color) = match node.kind() {
+            NodeKind::IotDevice => ("circle", "#bbbbbb"),
+            NodeKind::EdgeServer => ("box", "#e69f00"),
+            NodeKind::Router => ("diamond", "#56b4e9"),
+        };
+        let pos = node
+            .position()
+            .map(|p| format!(", pos=\"{:.2},{:.2}!\"", p.x, p.y))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  {id} [shape={shape}, style=filled, fillcolor=\"{color}\"{pos}];"
+        );
+    }
+    for (_, link) in graph.links() {
+        let _ = writeln!(
+            out,
+            "  {} -- {} [label=\"{:.1}ms\", fontsize=8];",
+            link.a(),
+            link.b(),
+            link.latency_ms()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn sample() -> Topology {
+        let mut g = Graph::new();
+        let d = g.add_node(NodeKind::IotDevice);
+        let r = g.add_node_at(NodeKind::Router, crate::Point::new(1.0, 2.0));
+        let s = g.add_node(NodeKind::EdgeServer);
+        g.add_link(d, r, 1.5, 100.0).unwrap();
+        g.add_link(r, s, 0.5, 100.0).unwrap();
+        Topology::new(g).unwrap()
+    }
+
+    #[test]
+    fn dot_contains_every_node_and_link() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("graph tacc {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for node in ["n0", "n1", "n2"] {
+            assert!(dot.contains(&format!("  {node} [")), "{node} missing:\n{dot}");
+        }
+        assert!(dot.contains("n0 -- n1 [label=\"1.5ms\""));
+        assert!(dot.contains("n1 -- n2 [label=\"0.5ms\""));
+    }
+
+    #[test]
+    fn node_kinds_get_distinct_shapes() {
+        let dot = to_dot(&sample());
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=diamond"));
+    }
+
+    #[test]
+    fn positions_are_pinned_when_available() {
+        let dot = to_dot(&sample());
+        assert!(dot.contains("pos=\"1.00,2.00!\""));
+    }
+}

@@ -1,0 +1,278 @@
+use rand::{Rng, RngCore};
+
+use super::support;
+use super::TopologyGenerator;
+use crate::{Graph, NodeId, NodeKind, Topology, TopologyError};
+
+/// Barabási–Albert topology: a scale-free router backbone grown by
+/// preferential attachment; edge servers co-locate with the highest-degree
+/// routers (hubs), IoT devices attach uniformly at random.
+///
+/// Models ISP-like cores where a few well-connected points of presence
+/// host the edge capacity — the structure that makes hub placement vs
+/// device location an interesting assignment trade-off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarabasiAlbert {
+    num_iot: usize,
+    num_servers: usize,
+    num_routers: usize,
+    links_per_router: usize,
+    latency_ms: (f64, f64),
+    bandwidth_mbps: (f64, f64),
+}
+
+impl BarabasiAlbert {
+    /// Starts building a Barabási–Albert generator with default parameters
+    /// (50 IoT devices, 5 servers, 15 routers, 2 links per new router).
+    pub fn builder() -> BarabasiAlbertBuilder {
+        BarabasiAlbertBuilder::default()
+    }
+}
+
+/// Builder for [`BarabasiAlbert`].
+#[derive(Debug, Clone)]
+pub struct BarabasiAlbertBuilder {
+    num_iot: usize,
+    num_servers: usize,
+    num_routers: usize,
+    links_per_router: usize,
+    latency_ms: (f64, f64),
+    bandwidth_mbps: (f64, f64),
+}
+
+impl Default for BarabasiAlbertBuilder {
+    fn default() -> Self {
+        BarabasiAlbertBuilder {
+            num_iot: 50,
+            num_servers: 5,
+            num_routers: 15,
+            links_per_router: 2,
+            latency_ms: (0.5, 4.0),
+            bandwidth_mbps: (100.0, 1000.0),
+        }
+    }
+}
+
+impl BarabasiAlbertBuilder {
+    /// Number of IoT devices.
+    pub fn num_iot(&mut self, n: usize) -> &mut Self {
+        self.num_iot = n;
+        self
+    }
+
+    /// Number of edge servers.
+    pub fn num_servers(&mut self, m: usize) -> &mut Self {
+        self.num_servers = m;
+        self
+    }
+
+    /// Number of backbone routers.
+    pub fn num_routers(&mut self, r: usize) -> &mut Self {
+        self.num_routers = r;
+        self
+    }
+
+    /// How many existing routers each new router links to (the BA `m`
+    /// parameter).
+    pub fn links_per_router(&mut self, k: usize) -> &mut Self {
+        self.links_per_router = k;
+        self
+    }
+
+    /// Latency range of every link, in milliseconds.
+    pub fn latency_ms(&mut self, range: (f64, f64)) -> &mut Self {
+        self.latency_ms = range;
+        self
+    }
+
+    /// Bandwidth range of every link, in Mbps.
+    pub fn bandwidth_mbps(&mut self, range: (f64, f64)) -> &mut Self {
+        self.bandwidth_mbps = range;
+        self
+    }
+
+    /// Validates the configuration and produces the generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidConfig`] when a count is zero,
+    /// `links_per_router` is zero or not smaller than `num_routers`, or a
+    /// range is invalid.
+    pub fn build(&self) -> Result<BarabasiAlbert, TopologyError> {
+        support::check_count("num_iot", self.num_iot)?;
+        support::check_count("num_servers", self.num_servers)?;
+        support::check_count("num_routers", self.num_routers)?;
+        support::check_count("links_per_router", self.links_per_router)?;
+        if self.links_per_router >= self.num_routers {
+            return Err(TopologyError::InvalidConfig {
+                reason: format!(
+                    "links_per_router ({}) must be smaller than num_routers ({})",
+                    self.links_per_router, self.num_routers
+                ),
+            });
+        }
+        support::check_range("latency", self.latency_ms, false)?;
+        support::check_range("bandwidth", self.bandwidth_mbps, false)?;
+        Ok(BarabasiAlbert {
+            num_iot: self.num_iot,
+            num_servers: self.num_servers,
+            num_routers: self.num_routers,
+            links_per_router: self.links_per_router,
+            latency_ms: self.latency_ms,
+            bandwidth_mbps: self.bandwidth_mbps,
+        })
+    }
+}
+
+impl TopologyGenerator for BarabasiAlbert {
+    fn generate(&self, rng: &mut dyn RngCore) -> Result<Topology, TopologyError> {
+        let mut graph = Graph::new();
+        let k = self.links_per_router;
+
+        // Seed clique of k+1 routers guarantees every node has degree >= k.
+        let mut routers: Vec<NodeId> = Vec::with_capacity(self.num_routers);
+        for _ in 0..(k + 1).min(self.num_routers) {
+            routers.push(graph.add_node(NodeKind::Router));
+        }
+        for (i, &a) in routers.iter().enumerate() {
+            for &b in &routers[i + 1..] {
+                let lat = support::sample_latency(rng, self.latency_ms);
+                let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+                graph.add_link(a, b, lat, bw)?;
+            }
+        }
+
+        // `targets` repeats each router once per incident link (the classic
+        // degree-proportional urn).
+        let mut urn: Vec<NodeId> = Vec::new();
+        for &r in &routers {
+            for _ in 0..graph.degree(r) {
+                urn.push(r);
+            }
+        }
+
+        while routers.len() < self.num_routers {
+            let new = graph.add_node(NodeKind::Router);
+            let mut chosen: Vec<NodeId> = Vec::with_capacity(k);
+            let mut guard = 0usize;
+            while chosen.len() < k {
+                let cand = urn[rng.random_range(0..urn.len())];
+                if !chosen.contains(&cand) {
+                    chosen.push(cand);
+                }
+                guard += 1;
+                assert!(guard < 10_000, "preferential attachment failed to find targets");
+            }
+            for &t in &chosen {
+                let lat = support::sample_latency(rng, self.latency_ms);
+                let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+                graph.add_link(new, t, lat, bw)?;
+                urn.push(t);
+                urn.push(new);
+            }
+            routers.push(new);
+        }
+
+        // Servers co-locate with the highest-degree routers.
+        let mut by_degree: Vec<NodeId> = routers.clone();
+        by_degree.sort_by_key(|&r| std::cmp::Reverse(graph.degree(r)));
+        for j in 0..self.num_servers {
+            let hub = by_degree[j % by_degree.len()];
+            let s = graph.add_node(NodeKind::EdgeServer);
+            let lat = support::sample_latency(rng, self.latency_ms);
+            let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+            graph.add_link(s, hub, lat, bw)?;
+        }
+
+        // IoT devices attach uniformly at random.
+        for _ in 0..self.num_iot {
+            let d = graph.add_node(NodeKind::IotDevice);
+            let r = routers[rng.random_range(0..routers.len())];
+            let lat = support::sample_latency(rng, self.latency_ms);
+            let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+            graph.add_link(d, r, lat, bw)?;
+        }
+
+        Topology::new(graph)
+    }
+
+    fn family_name(&self) -> &'static str {
+        "barabasi-albert"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn backbone_is_connected_with_expected_link_count() {
+        let gen = BarabasiAlbert::builder()
+            .num_routers(12)
+            .links_per_router(2)
+            .num_iot(5)
+            .num_servers(2)
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let t = gen.generate(&mut rng).unwrap();
+        assert!(t.graph().is_connected());
+        // Seed clique C(3,2)=3 links + 9 new routers * 2 links + 7 access.
+        assert_eq!(t.graph().link_count(), 3 + 9 * 2 + 7);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let gen = BarabasiAlbert::builder()
+            .num_routers(60)
+            .links_per_router(2)
+            .num_iot(1)
+            .num_servers(1)
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let t = gen.generate(&mut rng).unwrap();
+        let mut degrees: Vec<usize> = t
+            .graph()
+            .nodes_of_kind(NodeKind::Router)
+            .iter()
+            .map(|&r| t.graph().degree(r))
+            .collect();
+        degrees.sort_unstable();
+        let max = *degrees.last().unwrap();
+        let median = degrees[degrees.len() / 2];
+        // Scale-free: the hub is far better connected than the median node.
+        assert!(max >= 3 * median, "max {max} vs median {median} not hub-like");
+    }
+
+    #[test]
+    fn k_must_be_smaller_than_router_count() {
+        assert!(BarabasiAlbert::builder().num_routers(3).links_per_router(3).build().is_err());
+        assert!(BarabasiAlbert::builder().links_per_router(0).build().is_err());
+    }
+
+    #[test]
+    fn servers_attach_to_hubs() {
+        let gen = BarabasiAlbert::builder()
+            .num_routers(30)
+            .num_servers(1)
+            .num_iot(1)
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let t = gen.generate(&mut rng).unwrap();
+        let server = t.server_nodes()[0];
+        let hub = t.graph().neighbors(server)[0].node;
+        let hub_degree = t.graph().degree(hub);
+        let max_degree = t
+            .graph()
+            .nodes_of_kind(NodeKind::Router)
+            .iter()
+            .map(|&r| t.graph().degree(r))
+            .max()
+            .unwrap();
+        assert_eq!(hub_degree, max_degree);
+    }
+}

@@ -1,0 +1,215 @@
+use rand::{Rng, RngCore};
+
+use super::support;
+use super::TopologyGenerator;
+use crate::{Graph, NodeKind, Topology, TopologyError};
+
+/// Erdős–Rényi topology: a `G(n, p)` random mesh of routers with latencies
+/// drawn i.i.d. from a range; servers and IoT devices attach to uniformly
+/// random routers.
+///
+/// This is the *unstructured* control family — the delay matrix has little
+/// spatial correlation, which stresses solvers differently from the
+/// geometric families.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErdosRenyi {
+    num_iot: usize,
+    num_servers: usize,
+    num_routers: usize,
+    edge_probability: f64,
+    latency_ms: (f64, f64),
+    bandwidth_mbps: (f64, f64),
+}
+
+impl ErdosRenyi {
+    /// Starts building an Erdős–Rényi generator with default parameters
+    /// (50 IoT devices, 5 servers, 15 routers, p = 0.3).
+    pub fn builder() -> ErdosRenyiBuilder {
+        ErdosRenyiBuilder::default()
+    }
+}
+
+/// Builder for [`ErdosRenyi`].
+#[derive(Debug, Clone)]
+pub struct ErdosRenyiBuilder {
+    num_iot: usize,
+    num_servers: usize,
+    num_routers: usize,
+    edge_probability: f64,
+    latency_ms: (f64, f64),
+    bandwidth_mbps: (f64, f64),
+}
+
+impl Default for ErdosRenyiBuilder {
+    fn default() -> Self {
+        ErdosRenyiBuilder {
+            num_iot: 50,
+            num_servers: 5,
+            num_routers: 15,
+            edge_probability: 0.3,
+            latency_ms: (0.5, 5.0),
+            bandwidth_mbps: (50.0, 500.0),
+        }
+    }
+}
+
+impl ErdosRenyiBuilder {
+    /// Number of IoT devices.
+    pub fn num_iot(&mut self, n: usize) -> &mut Self {
+        self.num_iot = n;
+        self
+    }
+
+    /// Number of edge servers.
+    pub fn num_servers(&mut self, m: usize) -> &mut Self {
+        self.num_servers = m;
+        self
+    }
+
+    /// Number of backbone routers.
+    pub fn num_routers(&mut self, r: usize) -> &mut Self {
+        self.num_routers = r;
+        self
+    }
+
+    /// Probability that any router pair is directly linked.
+    pub fn edge_probability(&mut self, p: f64) -> &mut Self {
+        self.edge_probability = p;
+        self
+    }
+
+    /// Latency range of every link, in milliseconds.
+    pub fn latency_ms(&mut self, range: (f64, f64)) -> &mut Self {
+        self.latency_ms = range;
+        self
+    }
+
+    /// Bandwidth range of every link, in Mbps.
+    pub fn bandwidth_mbps(&mut self, range: (f64, f64)) -> &mut Self {
+        self.bandwidth_mbps = range;
+        self
+    }
+
+    /// Validates the configuration and produces the generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidConfig`] when a count is zero,
+    /// `edge_probability` is outside `[0, 1]`, or a range is invalid.
+    pub fn build(&self) -> Result<ErdosRenyi, TopologyError> {
+        support::check_count("num_iot", self.num_iot)?;
+        support::check_count("num_servers", self.num_servers)?;
+        support::check_count("num_routers", self.num_routers)?;
+        if !(0.0..=1.0).contains(&self.edge_probability) {
+            return Err(TopologyError::InvalidConfig {
+                reason: format!(
+                    "edge_probability must be in [0, 1], got {}",
+                    self.edge_probability
+                ),
+            });
+        }
+        support::check_range("latency", self.latency_ms, false)?;
+        support::check_range("bandwidth", self.bandwidth_mbps, false)?;
+        Ok(ErdosRenyi {
+            num_iot: self.num_iot,
+            num_servers: self.num_servers,
+            num_routers: self.num_routers,
+            edge_probability: self.edge_probability,
+            latency_ms: self.latency_ms,
+            bandwidth_mbps: self.bandwidth_mbps,
+        })
+    }
+}
+
+impl TopologyGenerator for ErdosRenyi {
+    fn generate(&self, rng: &mut dyn RngCore) -> Result<Topology, TopologyError> {
+        let mut graph = Graph::new();
+        let routers: Vec<_> =
+            (0..self.num_routers).map(|_| graph.add_node(NodeKind::Router)).collect();
+        for (i, &a) in routers.iter().enumerate() {
+            for &b in &routers[i + 1..] {
+                if rng.random_bool(self.edge_probability) {
+                    let lat = support::sample_latency(rng, self.latency_ms);
+                    let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+                    graph.add_link(a, b, lat, bw)?;
+                }
+            }
+        }
+        support::connect_subset(
+            &mut graph,
+            &routers,
+            // Patch links get a latency from the middle of the range.
+            (self.latency_ms.0 + self.latency_ms.1) / 2.0,
+            0.0,
+            self.bandwidth_mbps,
+            rng,
+        )?;
+
+        for _ in 0..self.num_servers {
+            let s = graph.add_node(NodeKind::EdgeServer);
+            let r = routers[rng.random_range(0..routers.len())];
+            let lat = support::sample_latency(rng, self.latency_ms);
+            let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+            graph.add_link(s, r, lat, bw)?;
+        }
+        for _ in 0..self.num_iot {
+            let d = graph.add_node(NodeKind::IotDevice);
+            let r = routers[rng.random_range(0..routers.len())];
+            let lat = support::sample_latency(rng, self.latency_ms);
+            let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+            graph.add_link(d, r, lat, bw)?;
+        }
+
+        Topology::new(graph)
+    }
+
+    fn family_name(&self) -> &'static str {
+        "erdos-renyi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zero_probability_is_patched_into_connectivity() {
+        let gen = ErdosRenyi::builder().edge_probability(0.0).num_routers(6).build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let t = gen.generate(&mut rng).unwrap();
+        assert!(t.graph().is_connected());
+    }
+
+    #[test]
+    fn full_probability_yields_dense_backbone() {
+        let gen = ErdosRenyi::builder()
+            .edge_probability(1.0)
+            .num_routers(5)
+            .num_iot(2)
+            .num_servers(1)
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let t = gen.generate(&mut rng).unwrap();
+        // 5 choose 2 backbone links + 3 access links.
+        assert_eq!(t.graph().link_count(), 10 + 3);
+    }
+
+    #[test]
+    fn invalid_probability_is_rejected() {
+        assert!(ErdosRenyi::builder().edge_probability(1.5).build().is_err());
+        assert!(ErdosRenyi::builder().edge_probability(-0.1).build().is_err());
+    }
+
+    #[test]
+    fn latencies_fall_in_configured_range() {
+        let gen = ErdosRenyi::builder().latency_ms((2.0, 3.0)).build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let t = gen.generate(&mut rng).unwrap();
+        for (_, link) in t.graph().links() {
+            assert!(link.latency_ms() >= 2.0 && link.latency_ms() <= 3.0);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+use rand::{Rng, RngCore};
+
+use super::support;
+use super::TopologyGenerator;
+use crate::{Graph, NodeId, NodeKind, Topology, TopologyError};
+
+/// k-ary fat-tree switch fabric, the standard micro-datacenter topology.
+///
+/// For even `k`: `(k/2)²` core switches, `k` pods each with `k/2`
+/// aggregation and `k/2` edge switches. Every edge switch links to every
+/// aggregation switch in its pod; aggregation switch `a` of every pod links
+/// to core switches `a·k/2 .. (a+1)·k/2`. Edge servers hang off edge
+/// switches round-robin; IoT devices attach to random edge switches —
+/// modelling sensors wired into a top-of-rack fabric of an on-premises edge
+/// cloud.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FatTree {
+    num_iot: usize,
+    num_servers: usize,
+    k: usize,
+    fabric_latency_ms: (f64, f64),
+    access_latency_ms: (f64, f64),
+    bandwidth_mbps: (f64, f64),
+}
+
+impl FatTree {
+    /// Starts building a fat-tree generator with default parameters
+    /// (50 IoT devices, 5 servers, k = 4).
+    pub fn builder() -> FatTreeBuilder {
+        FatTreeBuilder::default()
+    }
+}
+
+/// Builder for [`FatTree`].
+#[derive(Debug, Clone)]
+pub struct FatTreeBuilder {
+    num_iot: usize,
+    num_servers: usize,
+    k: usize,
+    fabric_latency_ms: (f64, f64),
+    access_latency_ms: (f64, f64),
+    bandwidth_mbps: (f64, f64),
+}
+
+impl Default for FatTreeBuilder {
+    fn default() -> Self {
+        FatTreeBuilder {
+            num_iot: 50,
+            num_servers: 5,
+            k: 4,
+            fabric_latency_ms: (0.1, 0.5),
+            access_latency_ms: (0.5, 2.0),
+            bandwidth_mbps: (1000.0, 10_000.0),
+        }
+    }
+}
+
+impl FatTreeBuilder {
+    /// Number of IoT devices.
+    pub fn num_iot(&mut self, n: usize) -> &mut Self {
+        self.num_iot = n;
+        self
+    }
+
+    /// Number of edge servers.
+    pub fn num_servers(&mut self, m: usize) -> &mut Self {
+        self.num_servers = m;
+        self
+    }
+
+    /// Fat-tree arity (must be even and at least 2).
+    pub fn k(&mut self, k: usize) -> &mut Self {
+        self.k = k;
+        self
+    }
+
+    /// Latency range of switch-to-switch fabric links, in milliseconds.
+    pub fn fabric_latency_ms(&mut self, range: (f64, f64)) -> &mut Self {
+        self.fabric_latency_ms = range;
+        self
+    }
+
+    /// Latency range of device/server access links, in milliseconds.
+    pub fn access_latency_ms(&mut self, range: (f64, f64)) -> &mut Self {
+        self.access_latency_ms = range;
+        self
+    }
+
+    /// Bandwidth range of every link, in Mbps.
+    pub fn bandwidth_mbps(&mut self, range: (f64, f64)) -> &mut Self {
+        self.bandwidth_mbps = range;
+        self
+    }
+
+    /// Validates the configuration and produces the generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidConfig`] when a count is zero, `k`
+    /// is odd or below 2, or a range is invalid.
+    pub fn build(&self) -> Result<FatTree, TopologyError> {
+        support::check_count("num_iot", self.num_iot)?;
+        support::check_count("num_servers", self.num_servers)?;
+        if self.k < 2 || self.k % 2 != 0 {
+            return Err(TopologyError::InvalidConfig {
+                reason: format!("fat-tree arity k must be even and >= 2, got {}", self.k),
+            });
+        }
+        support::check_range("fabric latency", self.fabric_latency_ms, false)?;
+        support::check_range("access latency", self.access_latency_ms, false)?;
+        support::check_range("bandwidth", self.bandwidth_mbps, false)?;
+        Ok(FatTree {
+            num_iot: self.num_iot,
+            num_servers: self.num_servers,
+            k: self.k,
+            fabric_latency_ms: self.fabric_latency_ms,
+            access_latency_ms: self.access_latency_ms,
+            bandwidth_mbps: self.bandwidth_mbps,
+        })
+    }
+}
+
+impl TopologyGenerator for FatTree {
+    fn generate(&self, rng: &mut dyn RngCore) -> Result<Topology, TopologyError> {
+        let k = self.k;
+        let half = k / 2;
+        let mut graph = Graph::new();
+
+        let cores: Vec<NodeId> =
+            (0..half * half).map(|_| graph.add_node(NodeKind::Router)).collect();
+
+        let mut edge_switches: Vec<NodeId> = Vec::with_capacity(k * half);
+        for _pod in 0..k {
+            let aggs: Vec<NodeId> = (0..half).map(|_| graph.add_node(NodeKind::Router)).collect();
+            let edges: Vec<NodeId> = (0..half).map(|_| graph.add_node(NodeKind::Router)).collect();
+            // Full bipartite agg × edge inside the pod.
+            for &a in &aggs {
+                for &e in &edges {
+                    let lat = support::sample_latency(rng, self.fabric_latency_ms);
+                    let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+                    graph.add_link(a, e, lat, bw)?;
+                }
+            }
+            // Aggregation switch `a` uplinks to its core stripe.
+            for (ai, &a) in aggs.iter().enumerate() {
+                for ci in ai * half..(ai + 1) * half {
+                    let lat = support::sample_latency(rng, self.fabric_latency_ms);
+                    let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+                    graph.add_link(a, cores[ci], lat, bw)?;
+                }
+            }
+            edge_switches.extend(edges);
+        }
+
+        for j in 0..self.num_servers {
+            let tor = edge_switches[j % edge_switches.len()];
+            let s = graph.add_node(NodeKind::EdgeServer);
+            let lat = support::sample_latency(rng, self.access_latency_ms);
+            let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+            graph.add_link(s, tor, lat, bw)?;
+        }
+        for _ in 0..self.num_iot {
+            let tor = edge_switches[rng.random_range(0..edge_switches.len())];
+            let d = graph.add_node(NodeKind::IotDevice);
+            let lat = support::sample_latency(rng, self.access_latency_ms);
+            let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+            graph.add_link(d, tor, lat, bw)?;
+        }
+
+        Topology::new(graph)
+    }
+
+    fn family_name(&self) -> &'static str {
+        "fat-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn k4_fabric_has_canonical_shape() {
+        let gen = FatTree::builder().k(4).num_iot(8).num_servers(4).build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        let t = gen.generate(&mut rng).unwrap();
+        // k=4: 4 cores + 4 pods * (2 agg + 2 edge) = 20 switches.
+        assert_eq!(t.graph().nodes_of_kind(NodeKind::Router).len(), 20);
+        // Fabric links: per pod 2*2 (agg-edge) + 2*2 (agg-core) = 8; 4 pods
+        // = 32, plus 12 access links.
+        assert_eq!(t.graph().link_count(), 32 + 12);
+        assert!(t.graph().is_connected());
+    }
+
+    #[test]
+    fn odd_k_is_rejected() {
+        assert!(FatTree::builder().k(3).build().is_err());
+        assert!(FatTree::builder().k(0).build().is_err());
+    }
+
+    #[test]
+    fn k2_degenerate_fabric_still_connects() {
+        let gen = FatTree::builder().k(2).num_iot(4).num_servers(2).build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let t = gen.generate(&mut rng).unwrap();
+        assert!(t.graph().is_connected());
+        assert!(t.delay_matrix(&crate::DelayModel::default()).is_fully_reachable());
+    }
+
+    #[test]
+    fn intra_rack_cheaper_than_cross_pod() {
+        // A device on the same edge switch as a server must see strictly
+        // lower delay than to a server in another pod (k=4 puts the 4
+        // servers round-robin on the first 4 of 8 edge switches).
+        let gen = FatTree::builder()
+            .k(4)
+            .num_iot(40)
+            .num_servers(4)
+            .fabric_latency_ms((0.5, 0.5))
+            .access_latency_ms((0.1, 0.1))
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let t = gen.generate(&mut rng).unwrap();
+        let dm = t.delay_matrix(&crate::DelayModel::new(0.0, 0.0));
+        // Some device shares a rack with server 0: its delay is exactly
+        // 0.1 + 0.1 = 0.2, while a cross-pod trip crosses >= 4 fabric links.
+        let mut saw_intra_rack = false;
+        for i in 0..t.num_iot() {
+            let d = dm.get(i, 0);
+            if (d - 0.2).abs() < 1e-9 {
+                saw_intra_rack = true;
+                // Its delay to a different-pod server crosses the fabric.
+                let far = dm.row(i).iter().cloned().fold(0.0, f64::max);
+                assert!(far >= 0.2 + 4.0 * 0.5 - 1e-9);
+            }
+        }
+        assert!(saw_intra_rack, "expected at least one intra-rack device with 40 devices");
+    }
+}

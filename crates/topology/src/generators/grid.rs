@@ -1,0 +1,221 @@
+use rand::{Rng, RngCore};
+
+use super::support;
+use super::TopologyGenerator;
+use crate::{Graph, NodeId, NodeKind, Point, Topology, TopologyError};
+
+/// Grid topology: routers on a `rows × cols` lattice with 4-neighbour
+/// links; servers and IoT devices attach to random lattice routers.
+///
+/// Models industrial floors and street-grid deployments where hop count,
+/// not Euclidean distance, dominates delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    num_iot: usize,
+    num_servers: usize,
+    rows: usize,
+    cols: usize,
+    link_latency_ms: (f64, f64),
+    access_latency_ms: (f64, f64),
+    bandwidth_mbps: (f64, f64),
+}
+
+impl Grid {
+    /// Starts building a grid generator with default parameters
+    /// (50 IoT devices, 5 servers, 4×4 lattice).
+    pub fn builder() -> GridBuilder {
+        GridBuilder::default()
+    }
+}
+
+/// Builder for [`Grid`].
+#[derive(Debug, Clone)]
+pub struct GridBuilder {
+    num_iot: usize,
+    num_servers: usize,
+    rows: usize,
+    cols: usize,
+    link_latency_ms: (f64, f64),
+    access_latency_ms: (f64, f64),
+    bandwidth_mbps: (f64, f64),
+}
+
+impl Default for GridBuilder {
+    fn default() -> Self {
+        GridBuilder {
+            num_iot: 50,
+            num_servers: 5,
+            rows: 4,
+            cols: 4,
+            link_latency_ms: (1.0, 2.0),
+            access_latency_ms: (0.3, 1.0),
+            bandwidth_mbps: (100.0, 1000.0),
+        }
+    }
+}
+
+impl GridBuilder {
+    /// Number of IoT devices.
+    pub fn num_iot(&mut self, n: usize) -> &mut Self {
+        self.num_iot = n;
+        self
+    }
+
+    /// Number of edge servers.
+    pub fn num_servers(&mut self, m: usize) -> &mut Self {
+        self.num_servers = m;
+        self
+    }
+
+    /// Lattice rows.
+    pub fn rows(&mut self, rows: usize) -> &mut Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Lattice columns.
+    pub fn cols(&mut self, cols: usize) -> &mut Self {
+        self.cols = cols;
+        self
+    }
+
+    /// Latency range of lattice links, in milliseconds.
+    pub fn link_latency_ms(&mut self, range: (f64, f64)) -> &mut Self {
+        self.link_latency_ms = range;
+        self
+    }
+
+    /// Latency range of device/server access links, in milliseconds.
+    pub fn access_latency_ms(&mut self, range: (f64, f64)) -> &mut Self {
+        self.access_latency_ms = range;
+        self
+    }
+
+    /// Bandwidth range of every link, in Mbps.
+    pub fn bandwidth_mbps(&mut self, range: (f64, f64)) -> &mut Self {
+        self.bandwidth_mbps = range;
+        self
+    }
+
+    /// Validates the configuration and produces the generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidConfig`] when a count is zero or a
+    /// range is invalid.
+    pub fn build(&self) -> Result<Grid, TopologyError> {
+        support::check_count("num_iot", self.num_iot)?;
+        support::check_count("num_servers", self.num_servers)?;
+        support::check_count("rows", self.rows)?;
+        support::check_count("cols", self.cols)?;
+        support::check_range("link latency", self.link_latency_ms, false)?;
+        support::check_range("access latency", self.access_latency_ms, false)?;
+        support::check_range("bandwidth", self.bandwidth_mbps, false)?;
+        Ok(Grid {
+            num_iot: self.num_iot,
+            num_servers: self.num_servers,
+            rows: self.rows,
+            cols: self.cols,
+            link_latency_ms: self.link_latency_ms,
+            access_latency_ms: self.access_latency_ms,
+            bandwidth_mbps: self.bandwidth_mbps,
+        })
+    }
+}
+
+impl TopologyGenerator for Grid {
+    fn generate(&self, rng: &mut dyn RngCore) -> Result<Topology, TopologyError> {
+        let mut graph = Graph::new();
+        let mut lattice: Vec<NodeId> = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                lattice
+                    .push(graph.add_node_at(NodeKind::Router, Point::new(c as f64, r as f64)));
+            }
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let here = lattice[r * self.cols + c];
+                if c + 1 < self.cols {
+                    let right = lattice[r * self.cols + c + 1];
+                    let lat = support::sample_latency(rng, self.link_latency_ms);
+                    let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+                    graph.add_link(here, right, lat, bw)?;
+                }
+                if r + 1 < self.rows {
+                    let down = lattice[(r + 1) * self.cols + c];
+                    let lat = support::sample_latency(rng, self.link_latency_ms);
+                    let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+                    graph.add_link(here, down, lat, bw)?;
+                }
+            }
+        }
+
+        for _ in 0..self.num_servers {
+            let r = lattice[rng.random_range(0..lattice.len())];
+            let s = graph.add_node(NodeKind::EdgeServer);
+            let lat = support::sample_latency(rng, self.access_latency_ms);
+            let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+            graph.add_link(s, r, lat, bw)?;
+        }
+        for _ in 0..self.num_iot {
+            let r = lattice[rng.random_range(0..lattice.len())];
+            let d = graph.add_node(NodeKind::IotDevice);
+            let lat = support::sample_latency(rng, self.access_latency_ms);
+            let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+            graph.add_link(d, r, lat, bw)?;
+        }
+
+        Topology::new(graph)
+    }
+
+    fn family_name(&self) -> &'static str {
+        "grid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn lattice_link_count_is_exact() {
+        // rows*(cols-1) + cols*(rows-1) lattice links + n + m access links.
+        let gen = Grid::builder().rows(3).cols(4).num_iot(5).num_servers(2).build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(30);
+        let t = gen.generate(&mut rng).unwrap();
+        assert_eq!(t.graph().link_count(), 3 * 3 + 4 * 2 + 5 + 2);
+        assert!(t.graph().is_connected());
+    }
+
+    #[test]
+    fn single_cell_grid_works() {
+        let gen = Grid::builder().rows(1).cols(1).num_iot(3).num_servers(1).build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let t = gen.generate(&mut rng).unwrap();
+        assert!(t.graph().is_connected());
+        assert_eq!(t.graph().nodes_of_kind(NodeKind::Router).len(), 1);
+    }
+
+    #[test]
+    fn corner_to_corner_requires_many_hops() {
+        let gen = Grid::builder()
+            .rows(5)
+            .cols(5)
+            .num_iot(1)
+            .num_servers(1)
+            .link_latency_ms((1.0, 1.0))
+            .access_latency_ms((0.5, 0.5))
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let t = gen.generate(&mut rng).unwrap();
+        let dm = t.delay_matrix(&crate::DelayModel::new(0.0, 0.0));
+        // Best case both attach to the same router: 1.0 total access.
+        // Worst case corners: 8 hops of 1ms + 1.0 access = 9.0.
+        let d = dm.get(0, 0);
+        assert!((1.0..=9.0).contains(&d), "delay {d} outside lattice bounds");
+    }
+}

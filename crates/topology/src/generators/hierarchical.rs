@@ -1,0 +1,237 @@
+use rand::{Rng, RngCore};
+
+use super::support;
+use super::TopologyGenerator;
+use crate::{Graph, NodeId, NodeKind, Topology, TopologyError};
+
+/// Hierarchical gateway tree: a root core router with `branching` children
+/// per level, `levels` levels deep. Edge servers sit next to the
+/// bottom-level gateways; IoT devices attach to random bottom-level
+/// gateways.
+///
+/// Tier `d` links (0 = root's links) have latency drawn from
+/// `tier_latency_ms` scaled by `tier_scale^(levels-1-d)` — links nearer
+/// the core are slower (WAN-like), links at the edge are fast LAN/wireless
+/// hops. This is the classic cloud→fog→edge hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalTree {
+    num_iot: usize,
+    num_servers: usize,
+    levels: usize,
+    branching: usize,
+    tier_latency_ms: (f64, f64),
+    tier_scale: f64,
+    bandwidth_mbps: (f64, f64),
+}
+
+impl HierarchicalTree {
+    /// Starts building a hierarchical tree generator with default
+    /// parameters (50 IoT devices, 5 servers, 3 levels, branching 3).
+    pub fn builder() -> HierarchicalTreeBuilder {
+        HierarchicalTreeBuilder::default()
+    }
+}
+
+/// Builder for [`HierarchicalTree`].
+#[derive(Debug, Clone)]
+pub struct HierarchicalTreeBuilder {
+    num_iot: usize,
+    num_servers: usize,
+    levels: usize,
+    branching: usize,
+    tier_latency_ms: (f64, f64),
+    tier_scale: f64,
+    bandwidth_mbps: (f64, f64),
+}
+
+impl Default for HierarchicalTreeBuilder {
+    fn default() -> Self {
+        HierarchicalTreeBuilder {
+            num_iot: 50,
+            num_servers: 5,
+            levels: 3,
+            branching: 3,
+            tier_latency_ms: (0.5, 1.5),
+            tier_scale: 3.0,
+            bandwidth_mbps: (100.0, 1000.0),
+        }
+    }
+}
+
+impl HierarchicalTreeBuilder {
+    /// Number of IoT devices.
+    pub fn num_iot(&mut self, n: usize) -> &mut Self {
+        self.num_iot = n;
+        self
+    }
+
+    /// Number of edge servers.
+    pub fn num_servers(&mut self, m: usize) -> &mut Self {
+        self.num_servers = m;
+        self
+    }
+
+    /// Depth of the gateway tree (number of router levels below the root).
+    pub fn levels(&mut self, levels: usize) -> &mut Self {
+        self.levels = levels;
+        self
+    }
+
+    /// Children per gateway.
+    pub fn branching(&mut self, b: usize) -> &mut Self {
+        self.branching = b;
+        self
+    }
+
+    /// Base latency range of bottom-tier links, in milliseconds.
+    pub fn tier_latency_ms(&mut self, range: (f64, f64)) -> &mut Self {
+        self.tier_latency_ms = range;
+        self
+    }
+
+    /// Multiplier applied per tier toward the core (≥ 1 makes core links
+    /// slower).
+    pub fn tier_scale(&mut self, scale: f64) -> &mut Self {
+        self.tier_scale = scale;
+        self
+    }
+
+    /// Bandwidth range of every link, in Mbps.
+    pub fn bandwidth_mbps(&mut self, range: (f64, f64)) -> &mut Self {
+        self.bandwidth_mbps = range;
+        self
+    }
+
+    /// Validates the configuration and produces the generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidConfig`] when a count is zero, the
+    /// tree shape is degenerate, or a range is invalid.
+    pub fn build(&self) -> Result<HierarchicalTree, TopologyError> {
+        support::check_count("num_iot", self.num_iot)?;
+        support::check_count("num_servers", self.num_servers)?;
+        support::check_count("levels", self.levels)?;
+        support::check_count("branching", self.branching)?;
+        if !self.tier_scale.is_finite() || self.tier_scale < 1.0 {
+            return Err(TopologyError::InvalidConfig {
+                reason: format!("tier_scale must be >= 1, got {}", self.tier_scale),
+            });
+        }
+        support::check_range("tier latency", self.tier_latency_ms, false)?;
+        support::check_range("bandwidth", self.bandwidth_mbps, false)?;
+        Ok(HierarchicalTree {
+            num_iot: self.num_iot,
+            num_servers: self.num_servers,
+            levels: self.levels,
+            branching: self.branching,
+            tier_latency_ms: self.tier_latency_ms,
+            tier_scale: self.tier_scale,
+            bandwidth_mbps: self.bandwidth_mbps,
+        })
+    }
+}
+
+impl TopologyGenerator for HierarchicalTree {
+    fn generate(&self, rng: &mut dyn RngCore) -> Result<Topology, TopologyError> {
+        let mut graph = Graph::new();
+        let root = graph.add_node(NodeKind::Router);
+        let mut frontier = vec![root];
+
+        // Tier d (0-based from the root): latency multiplier shrinks toward
+        // the leaves.
+        for depth in 0..self.levels {
+            let scale = self.tier_scale.powi((self.levels - 1 - depth) as i32);
+            let mut next = Vec::with_capacity(frontier.len() * self.branching);
+            for &parent in &frontier {
+                for _ in 0..self.branching {
+                    let child = graph.add_node(NodeKind::Router);
+                    let lat = support::sample_latency(rng, self.tier_latency_ms) * scale;
+                    let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+                    graph.add_link(parent, child, lat, bw)?;
+                    next.push(child);
+                }
+            }
+            frontier = next;
+        }
+        let leaves: Vec<NodeId> = frontier;
+
+        // Servers spread round-robin across the leaf gateways.
+        for j in 0..self.num_servers {
+            let gw = leaves[j % leaves.len()];
+            let s = graph.add_node(NodeKind::EdgeServer);
+            let lat = support::sample_latency(rng, self.tier_latency_ms);
+            let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+            graph.add_link(s, gw, lat, bw)?;
+        }
+
+        // IoT devices attach to random leaf gateways.
+        for _ in 0..self.num_iot {
+            let gw = leaves[rng.random_range(0..leaves.len())];
+            let d = graph.add_node(NodeKind::IotDevice);
+            let lat = support::sample_latency(rng, self.tier_latency_ms);
+            let bw = support::sample_bandwidth(rng, self.bandwidth_mbps);
+            graph.add_link(d, gw, lat, bw)?;
+        }
+
+        Topology::new(graph)
+    }
+
+    fn family_name(&self) -> &'static str {
+        "hierarchical-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn tree_has_expected_router_count() {
+        // levels=2, branching=3: 1 + 3 + 9 = 13 routers.
+        let gen = HierarchicalTree::builder()
+            .levels(2)
+            .branching(3)
+            .num_iot(4)
+            .num_servers(2)
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        let t = gen.generate(&mut rng).unwrap();
+        assert_eq!(t.graph().nodes_of_kind(NodeKind::Router).len(), 13);
+        assert!(t.graph().is_connected());
+    }
+
+    #[test]
+    fn same_gateway_pairs_are_cheap_cross_tree_pairs_expensive() {
+        let gen = HierarchicalTree::builder()
+            .levels(2)
+            .branching(2)
+            .num_iot(8)
+            .num_servers(4)
+            .tier_latency_ms((1.0, 1.0))
+            .tier_scale(10.0)
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let t = gen.generate(&mut rng).unwrap();
+        let dm = t.delay_matrix(&crate::DelayModel::new(0.0, 0.0));
+        // For every device the nearest server must be strictly cheaper than
+        // the farthest: the hierarchy creates real delay spread.
+        for i in 0..t.num_iot() {
+            let row = dm.row(i);
+            let min = row.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = row.iter().cloned().fold(0.0, f64::max);
+            assert!(max > min * 2.0, "no hierarchy spread: min {min}, max {max}");
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_rejected() {
+        assert!(HierarchicalTree::builder().levels(0).build().is_err());
+        assert!(HierarchicalTree::builder().branching(0).build().is_err());
+        assert!(HierarchicalTree::builder().tier_scale(0.5).build().is_err());
+    }
+}

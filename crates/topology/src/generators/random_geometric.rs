@@ -1,0 +1,329 @@
+use rand::RngCore;
+
+use super::support;
+use super::TopologyGenerator;
+use crate::{Graph, NodeKind, Topology, TopologyError};
+
+/// Random geometric topology: routers scattered on a square area, linked
+/// when within a connection radius; servers and IoT devices attach to their
+/// nearest router.
+///
+/// Link latency grows linearly with Euclidean distance
+/// (`base + per_unit × distance`), which is what makes assignments
+/// *topology-aware*: a device's cheap servers are the geographically close
+/// ones, and the cost matrix has strong spatial correlation rather than
+/// being i.i.d. This family is the evaluation default.
+///
+/// # Example
+///
+/// ```
+/// use tacc_topology::generators::{RandomGeometric, TopologyGenerator};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), tacc_topology::TopologyError> {
+/// let gen = RandomGeometric::builder()
+///     .num_iot(100)
+///     .num_servers(10)
+///     .num_routers(25)
+///     .build()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let topo = gen.generate(&mut rng)?;
+/// assert_eq!(topo.num_servers(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomGeometric {
+    num_iot: usize,
+    num_servers: usize,
+    num_routers: usize,
+    area_side: f64,
+    connect_radius: f64,
+    base_latency_ms: f64,
+    latency_per_unit_ms: f64,
+    backbone_bandwidth_mbps: (f64, f64),
+    access_bandwidth_mbps: (f64, f64),
+}
+
+impl RandomGeometric {
+    /// Starts building a random geometric generator with default
+    /// parameters (50 IoT devices, 5 servers, 15 routers on a 100×100
+    /// area).
+    pub fn builder() -> RandomGeometricBuilder {
+        RandomGeometricBuilder::default()
+    }
+}
+
+/// Builder for [`RandomGeometric`].
+#[derive(Debug, Clone)]
+pub struct RandomGeometricBuilder {
+    num_iot: usize,
+    num_servers: usize,
+    num_routers: usize,
+    area_side: f64,
+    connect_radius: f64,
+    base_latency_ms: f64,
+    latency_per_unit_ms: f64,
+    backbone_bandwidth_mbps: (f64, f64),
+    access_bandwidth_mbps: (f64, f64),
+}
+
+impl Default for RandomGeometricBuilder {
+    fn default() -> Self {
+        RandomGeometricBuilder {
+            num_iot: 50,
+            num_servers: 5,
+            num_routers: 15,
+            area_side: 100.0,
+            connect_radius: 35.0,
+            base_latency_ms: 0.2,
+            latency_per_unit_ms: 0.05,
+            backbone_bandwidth_mbps: (200.0, 1000.0),
+            access_bandwidth_mbps: (20.0, 100.0),
+        }
+    }
+}
+
+impl RandomGeometricBuilder {
+    /// Number of IoT devices to place.
+    pub fn num_iot(&mut self, n: usize) -> &mut Self {
+        self.num_iot = n;
+        self
+    }
+
+    /// Number of edge servers to place.
+    pub fn num_servers(&mut self, m: usize) -> &mut Self {
+        self.num_servers = m;
+        self
+    }
+
+    /// Number of backbone routers.
+    pub fn num_routers(&mut self, r: usize) -> &mut Self {
+        self.num_routers = r;
+        self
+    }
+
+    /// Side length of the square deployment area (distance units).
+    pub fn area_side(&mut self, side: f64) -> &mut Self {
+        self.area_side = side;
+        self
+    }
+
+    /// Radius within which two routers are directly linked.
+    pub fn connect_radius(&mut self, radius: f64) -> &mut Self {
+        self.connect_radius = radius;
+        self
+    }
+
+    /// Fixed latency floor of every link, in milliseconds.
+    pub fn base_latency_ms(&mut self, ms: f64) -> &mut Self {
+        self.base_latency_ms = ms;
+        self
+    }
+
+    /// Latency added per distance unit, in milliseconds.
+    pub fn latency_per_unit_ms(&mut self, ms: f64) -> &mut Self {
+        self.latency_per_unit_ms = ms;
+        self
+    }
+
+    /// Bandwidth range for router–router links, in Mbps.
+    pub fn backbone_bandwidth_mbps(&mut self, range: (f64, f64)) -> &mut Self {
+        self.backbone_bandwidth_mbps = range;
+        self
+    }
+
+    /// Bandwidth range for device/server access links, in Mbps.
+    pub fn access_bandwidth_mbps(&mut self, range: (f64, f64)) -> &mut Self {
+        self.access_bandwidth_mbps = range;
+        self
+    }
+
+    /// Validates the configuration and produces the generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidConfig`] when any count is zero, the
+    /// geometry is degenerate, or a range is invalid.
+    pub fn build(&self) -> Result<RandomGeometric, TopologyError> {
+        support::check_count("num_iot", self.num_iot)?;
+        support::check_count("num_servers", self.num_servers)?;
+        support::check_count("num_routers", self.num_routers)?;
+        if !self.area_side.is_finite() || self.area_side <= 0.0 {
+            return Err(TopologyError::InvalidConfig {
+                reason: format!("area_side must be positive, got {}", self.area_side),
+            });
+        }
+        if !self.connect_radius.is_finite() || self.connect_radius <= 0.0 {
+            return Err(TopologyError::InvalidConfig {
+                reason: format!("connect_radius must be positive, got {}", self.connect_radius),
+            });
+        }
+        if !self.base_latency_ms.is_finite() || self.base_latency_ms < 0.0 {
+            return Err(TopologyError::InvalidConfig {
+                reason: format!("base_latency_ms must be >= 0, got {}", self.base_latency_ms),
+            });
+        }
+        if !self.latency_per_unit_ms.is_finite() || self.latency_per_unit_ms < 0.0 {
+            return Err(TopologyError::InvalidConfig {
+                reason: format!(
+                    "latency_per_unit_ms must be >= 0, got {}",
+                    self.latency_per_unit_ms
+                ),
+            });
+        }
+        if self.base_latency_ms == 0.0 && self.latency_per_unit_ms == 0.0 {
+            return Err(TopologyError::InvalidConfig {
+                reason: "base and per-unit latency cannot both be zero".to_owned(),
+            });
+        }
+        support::check_range("backbone bandwidth", self.backbone_bandwidth_mbps, false)?;
+        support::check_range("access bandwidth", self.access_bandwidth_mbps, false)?;
+        Ok(RandomGeometric {
+            num_iot: self.num_iot,
+            num_servers: self.num_servers,
+            num_routers: self.num_routers,
+            area_side: self.area_side,
+            connect_radius: self.connect_radius,
+            base_latency_ms: self.base_latency_ms,
+            latency_per_unit_ms: self.latency_per_unit_ms,
+            backbone_bandwidth_mbps: self.backbone_bandwidth_mbps,
+            access_bandwidth_mbps: self.access_bandwidth_mbps,
+        })
+    }
+}
+
+impl RandomGeometric {
+    fn latency_of(&self, distance: f64) -> f64 {
+        self.base_latency_ms + self.latency_per_unit_ms * distance
+    }
+}
+
+impl TopologyGenerator for RandomGeometric {
+    fn generate(&self, rng: &mut dyn RngCore) -> Result<Topology, TopologyError> {
+        let mut graph = Graph::with_capacity(
+            self.num_iot + self.num_servers + self.num_routers,
+            self.num_iot + self.num_servers + self.num_routers * 4,
+        );
+
+        // 1. Backbone routers on the area, linked within the radius.
+        let routers: Vec<_> = (0..self.num_routers)
+            .map(|_| {
+                graph.add_node_at(NodeKind::Router, support::sample_point(rng, self.area_side))
+            })
+            .collect();
+        for (i, &a) in routers.iter().enumerate() {
+            for &b in &routers[i + 1..] {
+                let pa = graph.node(a).position().expect("router has position");
+                let pb = graph.node(b).position().expect("router has position");
+                let d = pa.distance(&pb);
+                if d <= self.connect_radius {
+                    let bw = support::sample_bandwidth(rng, self.backbone_bandwidth_mbps);
+                    graph.add_link(a, b, self.latency_of(d), bw)?;
+                }
+            }
+        }
+        // 2. Patch the backbone into one component.
+        support::connect_subset(
+            &mut graph,
+            &routers,
+            self.base_latency_ms,
+            self.latency_per_unit_ms,
+            self.backbone_bandwidth_mbps,
+            rng,
+        )?;
+
+        // 3. Edge servers attach to their nearest router over a fast link.
+        for _ in 0..self.num_servers {
+            let p = support::sample_point(rng, self.area_side);
+            let s = graph.add_node_at(NodeKind::EdgeServer, p);
+            let nearest = routers[support::nearest_positioned(&graph, &routers, p)];
+            let d = graph.node(nearest).position().expect("router has position").distance(&p);
+            let bw = support::sample_bandwidth(rng, self.backbone_bandwidth_mbps);
+            graph.add_link(s, nearest, self.latency_of(d), bw)?;
+        }
+
+        // 4. IoT devices attach to their nearest router over an access link.
+        for _ in 0..self.num_iot {
+            let p = support::sample_point(rng, self.area_side);
+            let dev = graph.add_node_at(NodeKind::IotDevice, p);
+            let nearest = routers[support::nearest_positioned(&graph, &routers, p)];
+            let d = graph.node(nearest).position().expect("router has position").distance(&p);
+            let bw = support::sample_bandwidth(rng, self.access_bandwidth_mbps);
+            graph.add_link(dev, nearest, self.latency_of(d), bw)?;
+        }
+
+        Topology::new(graph)
+    }
+
+    fn family_name(&self) -> &'static str {
+        "random-geometric"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generates_requested_counts() {
+        let gen =
+            RandomGeometric::builder().num_iot(20).num_servers(3).num_routers(8).build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = gen.generate(&mut rng).unwrap();
+        assert_eq!(t.num_iot(), 20);
+        assert_eq!(t.num_servers(), 3);
+        assert_eq!(t.graph().node_count(), 20 + 3 + 8);
+        assert!(t.graph().is_connected());
+    }
+
+    #[test]
+    fn every_device_has_exactly_one_access_link() {
+        let gen = RandomGeometric::builder().num_iot(10).build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let t = gen.generate(&mut rng).unwrap();
+        for &d in t.iot_nodes() {
+            assert_eq!(t.graph().degree(d), 1);
+        }
+    }
+
+    #[test]
+    fn tiny_radius_still_connected_via_patching() {
+        let gen = RandomGeometric::builder()
+            .num_routers(10)
+            .connect_radius(0.001)
+            .build()
+            .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = gen.generate(&mut rng).unwrap();
+        assert!(t.graph().is_connected());
+    }
+
+    #[test]
+    fn zero_counts_are_rejected() {
+        assert!(RandomGeometric::builder().num_iot(0).build().is_err());
+        assert!(RandomGeometric::builder().num_servers(0).build().is_err());
+        assert!(RandomGeometric::builder().num_routers(0).build().is_err());
+    }
+
+    #[test]
+    fn degenerate_geometry_is_rejected() {
+        assert!(RandomGeometric::builder().area_side(0.0).build().is_err());
+        assert!(RandomGeometric::builder().connect_radius(-1.0).build().is_err());
+        assert!(RandomGeometric::builder()
+            .base_latency_ms(0.0)
+            .latency_per_unit_ms(0.0)
+            .build()
+            .is_err());
+        assert!(RandomGeometric::builder().access_bandwidth_mbps((5.0, 1.0)).build().is_err());
+    }
+
+    #[test]
+    fn latencies_grow_with_distance() {
+        // With per-unit latency, distant router pairs must cost more.
+        let gen = RandomGeometric::builder().build().unwrap();
+        assert!(gen.latency_of(10.0) < gen.latency_of(50.0));
+    }
+}

@@ -1,0 +1,288 @@
+//! Shortest-path *routes* (not just distances) and link-level load
+//! analysis.
+//!
+//! The delay matrix tells a solver what an assignment costs; this module
+//! tells an operator what it does to the *network*: every IoT→server flow
+//! follows its shortest path, so each assignment induces a load on every
+//! link. Topology-blind assignments drag traffic across the backbone;
+//! topology-aware ones keep it local — experiment E13 quantifies exactly
+//! that.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{DelayModel, LinkId, NodeId, Topology};
+
+/// Precomputed shortest routes from every edge server to every node.
+///
+/// Built once per (topology, delay model) — O(m · E log V) — and then
+/// queried per flow. Routes are unique given the deterministic tiebreak
+/// (lowest predecessor id), so induced link loads are reproducible.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    /// `incoming[j][v]` = the link over which server `j`'s shortest path
+    /// tree reaches node `v` (None at the server itself and at
+    /// unreachable nodes).
+    incoming: Vec<Vec<Option<LinkId>>>,
+    /// `parent[j][v]` = previous node on the path from server `j` to `v`.
+    parent: Vec<Vec<Option<NodeId>>>,
+    num_links: usize,
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.index().cmp(&self.node.index()))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl RoutingTable {
+    /// Computes the routing table for `topology` under `model`.
+    pub fn compute(topology: &Topology, model: &DelayModel) -> Self {
+        let graph = topology.graph();
+        let n_nodes = graph.node_count();
+        let mut incoming = Vec::with_capacity(topology.num_servers());
+        let mut parent = Vec::with_capacity(topology.num_servers());
+        for &server in topology.server_nodes() {
+            let mut dist = vec![f64::INFINITY; n_nodes];
+            let mut prev_link: Vec<Option<LinkId>> = vec![None; n_nodes];
+            let mut prev_node: Vec<Option<NodeId>> = vec![None; n_nodes];
+            let mut heap = BinaryHeap::new();
+            dist[server.index()] = 0.0;
+            heap.push(HeapEntry { cost: 0.0, node: server });
+            while let Some(HeapEntry { cost, node }) = heap.pop() {
+                if cost > dist[node.index()] {
+                    continue;
+                }
+                for nb in graph.neighbors(node) {
+                    let link = graph.link(nb.link);
+                    let next = cost + model.link_delay_ms(link);
+                    if next < dist[nb.node.index()] {
+                        dist[nb.node.index()] = next;
+                        prev_link[nb.node.index()] = Some(nb.link);
+                        prev_node[nb.node.index()] = Some(node);
+                        heap.push(HeapEntry { cost: next, node: nb.node });
+                    }
+                }
+            }
+            incoming.push(prev_link);
+            parent.push(prev_node);
+        }
+        RoutingTable { incoming, parent, num_links: graph.link_count() }
+    }
+
+    /// The links on the route between IoT device `iot` (role index) and
+    /// server `server` (role index), in device→server order. `None` when
+    /// the pair is unreachable.
+    pub fn route(
+        &self,
+        topology: &Topology,
+        iot: usize,
+        server: usize,
+    ) -> Option<Vec<LinkId>> {
+        let device_node = topology.iot_nodes()[iot];
+        let server_node = topology.server_nodes()[server];
+        let mut links = Vec::new();
+        let mut cur = device_node;
+        while cur != server_node {
+            let link = self.incoming[server][cur.index()]?;
+            links.push(link);
+            cur = self.parent[server][cur.index()].expect("link implies parent");
+        }
+        Some(links)
+    }
+
+    /// Per-link load induced by an assignment: for every device, its
+    /// `flow[i]` units traverse every link of its route. Returns one load
+    /// per link id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree with the topology, a device is
+    /// unassigned (`assignment[i] >= num_servers`), or a route does not
+    /// exist.
+    pub fn link_loads(
+        &self,
+        topology: &Topology,
+        assignment: &[usize],
+        flow: &[f64],
+    ) -> Vec<f64> {
+        assert_eq!(assignment.len(), topology.num_iot(), "one server per device");
+        assert_eq!(flow.len(), topology.num_iot(), "one flow per device");
+        let mut loads = vec![0.0; self.num_links];
+        for (i, (&j, &f)) in assignment.iter().zip(flow).enumerate() {
+            assert!(j < topology.num_servers(), "device {i} has no server");
+            let route = self
+                .route(topology, i, j)
+                .unwrap_or_else(|| panic!("device {i} cannot reach server {j}"));
+            for link in route {
+                loads[link.index()] += f;
+            }
+        }
+        loads
+    }
+}
+
+/// Summary of what an assignment does to the network fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionReport {
+    /// Load per link (flow units), indexed by link id.
+    pub link_loads: Vec<f64>,
+    /// Total flow × hops — the aggregate bandwidth the assignment consumes.
+    pub total_link_traffic: f64,
+    /// The most loaded link and its load.
+    pub bottleneck: (LinkId, f64),
+    /// Mean number of links a unit of flow crosses.
+    pub mean_hops: f64,
+}
+
+/// Computes the congestion induced by `assignment` (role-index server per
+/// device) with per-device `flow` units.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`RoutingTable::link_loads`].
+pub fn congestion(
+    topology: &Topology,
+    model: &DelayModel,
+    assignment: &[usize],
+    flow: &[f64],
+) -> CongestionReport {
+    let table = RoutingTable::compute(topology, model);
+    let link_loads = table.link_loads(topology, assignment, flow);
+    let total_link_traffic: f64 = link_loads.iter().sum();
+    let mut bottleneck = (LinkId(0), 0.0);
+    for (idx, &load) in link_loads.iter().enumerate() {
+        if load > bottleneck.1 {
+            bottleneck = (LinkId(idx as u32), load);
+        }
+    }
+    let total_flow: f64 = flow.iter().sum();
+    let mean_hops = if total_flow > 0.0 { total_link_traffic / total_flow } else { 0.0 };
+    CongestionReport { link_loads, total_link_traffic, bottleneck, mean_hops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Graph, NodeKind};
+
+    /// d0 - r0 - s0 ; d1 - r0 - r1 - s1 (and r0-s1 direct but slower)
+    fn topo() -> Topology {
+        let mut g = Graph::new();
+        let d0 = g.add_node(NodeKind::IotDevice);
+        let d1 = g.add_node(NodeKind::IotDevice);
+        let r0 = g.add_node(NodeKind::Router);
+        let r1 = g.add_node(NodeKind::Router);
+        let s0 = g.add_node(NodeKind::EdgeServer);
+        let s1 = g.add_node(NodeKind::EdgeServer);
+        g.add_link(d0, r0, 1.0, 1000.0).unwrap(); // l0
+        g.add_link(d1, r0, 1.0, 1000.0).unwrap(); // l1
+        g.add_link(r0, s0, 1.0, 1000.0).unwrap(); // l2
+        g.add_link(r0, r1, 1.0, 1000.0).unwrap(); // l3
+        g.add_link(r1, s1, 1.0, 1000.0).unwrap(); // l4
+        g.add_link(r0, s1, 9.0, 1000.0).unwrap(); // l5 (slow direct)
+        Topology::new(g).unwrap()
+    }
+
+    fn model() -> DelayModel {
+        DelayModel::new(0.0, 0.0)
+    }
+
+    #[test]
+    fn routes_follow_shortest_paths() {
+        let t = topo();
+        let table = RoutingTable::compute(&t, &model());
+        // d0 -> s0: l0, l2.
+        assert_eq!(table.route(&t, 0, 0).unwrap(), vec![LinkId(0), LinkId(2)]);
+        // d0 -> s1: prefers l0, l3, l4 (cost 3) over l0, l5 (cost 10).
+        assert_eq!(
+            table.route(&t, 0, 1).unwrap(),
+            vec![LinkId(0), LinkId(3), LinkId(4)]
+        );
+    }
+
+    #[test]
+    fn route_cost_matches_delay_matrix() {
+        let t = topo();
+        let m = model();
+        let table = RoutingTable::compute(&t, &m);
+        let dm = t.delay_matrix(&m);
+        for i in 0..t.num_iot() {
+            for j in 0..t.num_servers() {
+                let route = table.route(&t, i, j).unwrap();
+                let cost: f64 =
+                    route.iter().map(|&l| m.link_delay_ms(t.graph().link(l))).sum();
+                assert!(
+                    (cost - dm.get(i, j)).abs() < 1e-9,
+                    "route cost {cost} vs matrix {} for ({i},{j})",
+                    dm.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn link_loads_accumulate_flows() {
+        let t = topo();
+        let table = RoutingTable::compute(&t, &model());
+        // d0 -> s0 (flow 2), d1 -> s1 (flow 3).
+        let loads = table.link_loads(&t, &[0, 1], &[2.0, 3.0]);
+        assert_eq!(loads[0], 2.0); // d0 access
+        assert_eq!(loads[1], 3.0); // d1 access
+        assert_eq!(loads[2], 2.0); // r0-s0
+        assert_eq!(loads[3], 3.0); // r0-r1
+        assert_eq!(loads[4], 3.0); // r1-s1
+        assert_eq!(loads[5], 0.0); // slow direct unused
+    }
+
+    #[test]
+    fn congestion_report_identifies_bottleneck() {
+        let t = topo();
+        // Both devices on s1: the r0-r1 trunk carries everything.
+        let report = congestion(&t, &model(), &[1, 1], &[1.0, 1.0]);
+        assert_eq!(report.bottleneck.0, LinkId(3));
+        assert_eq!(report.bottleneck.1, 2.0);
+        // d0: 3 hops, d1: 3 hops → 6 link-traffic units over 2 flow units.
+        assert_eq!(report.total_link_traffic, 6.0);
+        assert_eq!(report.mean_hops, 3.0);
+    }
+
+    #[test]
+    fn local_assignment_reduces_backbone_traffic() {
+        let t = topo();
+        // Both devices are one hop from s0 but two backbone hops from s1.
+        let near = congestion(&t, &model(), &[0, 0], &[1.0, 1.0]);
+        let far = congestion(&t, &model(), &[1, 1], &[1.0, 1.0]);
+        assert_eq!(near.total_link_traffic, 4.0);
+        assert_eq!(far.total_link_traffic, 6.0);
+        assert!(near.total_link_traffic < far.total_link_traffic);
+    }
+
+    #[test]
+    fn unreachable_routes_are_none() {
+        let t = topo();
+        let degraded = t.with_failed_link(LinkId(0));
+        let table = RoutingTable::compute(&degraded, &model());
+        assert_eq!(table.route(&degraded, 0, 0), None);
+        // Other device unaffected.
+        assert!(table.route(&degraded, 1, 0).is_some());
+    }
+}

@@ -1,0 +1,61 @@
+//! Serialization round-trips: a deployed configuration must be able to
+//! persist its topology and delay matrix and reload them bit-for-bit.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tacc_topology::generators::{HierarchicalTree, RandomGeometric, TopologyGenerator};
+use tacc_topology::{DelayMatrix, DelayModel, Topology};
+
+fn sample_topology() -> Topology {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    RandomGeometric::builder()
+        .num_iot(20)
+        .num_servers(3)
+        .num_routers(6)
+        .build()
+        .unwrap()
+        .generate(&mut rng)
+        .unwrap()
+}
+
+#[test]
+fn topology_json_roundtrip_is_lossless() {
+    let topo = sample_topology();
+    let json = serde_json::to_string(&topo).expect("serialize");
+    let back: Topology = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(topo, back);
+    // Derived products agree too.
+    let model = DelayModel::default();
+    assert_eq!(topo.delay_matrix(&model), back.delay_matrix(&model));
+}
+
+#[test]
+fn delay_matrix_json_roundtrip_is_lossless() {
+    let dm = sample_topology().delay_matrix(&DelayModel::default());
+    let json = serde_json::to_string(&dm).expect("serialize");
+    let back: DelayMatrix = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(dm, back);
+}
+
+#[test]
+fn delay_model_json_roundtrip_is_lossless() {
+    let model = DelayModel::new(123.0, 0.25);
+    let json = serde_json::to_string(&model).expect("serialize");
+    let back: DelayModel = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(model, back);
+}
+
+#[test]
+fn roundtrip_works_across_generator_families() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let topo = HierarchicalTree::builder()
+        .num_iot(12)
+        .num_servers(2)
+        .build()
+        .unwrap()
+        .generate(&mut rng)
+        .unwrap();
+    let json = serde_json::to_string(&topo).expect("serialize");
+    let back: Topology = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(topo, back);
+}

@@ -1,0 +1,161 @@
+use rand::{Rng, RngCore};
+use rand_distr::{Distribution, LogNormal, Zipf};
+
+use crate::WorkloadError;
+
+/// The distribution device demands are drawn from.
+///
+/// Demands are per-device (server-independent), matching the paper's
+/// device-load model; all variants produce strictly positive values.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DemandModel {
+    /// Every device demands exactly `value`.
+    Constant {
+        /// The shared demand.
+        value: f64,
+    },
+    /// Uniform in `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Zipf-skewed: a few heavy devices, many light ones. Demand of a
+    /// device is `base · rank_sample` where `rank_sample` follows
+    /// `Zipf(num_ranks, exponent)`.
+    Zipf {
+        /// Scale of the lightest demand.
+        base: f64,
+        /// Skew exponent (> 0; larger = heavier skew).
+        exponent: f64,
+        /// Number of distinct demand ranks.
+        num_ranks: u32,
+    },
+    /// Log-normal with the given location/scale of the underlying normal.
+    LogNormal {
+        /// Mean of the underlying normal (`μ`).
+        mu: f64,
+        /// Standard deviation of the underlying normal (`σ`).
+        sigma: f64,
+    },
+}
+
+impl DemandModel {
+    /// Draws `n` demands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] when the distribution
+    /// parameters are degenerate.
+    pub fn sample(&self, n: usize, rng: &mut dyn RngCore) -> Result<Vec<f64>, WorkloadError> {
+        match *self {
+            DemandModel::Constant { value } => {
+                if !value.is_finite() || value <= 0.0 {
+                    return Err(WorkloadError::InvalidConfig {
+                        reason: format!("constant demand must be positive, got {value}"),
+                    });
+                }
+                Ok(vec![value; n])
+            }
+            DemandModel::Uniform { lo, hi } => {
+                if !lo.is_finite() || !hi.is_finite() || lo <= 0.0 || hi <= lo {
+                    return Err(WorkloadError::InvalidConfig {
+                        reason: format!("uniform demand needs 0 < lo < hi, got [{lo}, {hi})"),
+                    });
+                }
+                Ok((0..n).map(|_| rng.random_range(lo..hi)).collect())
+            }
+            DemandModel::Zipf { base, exponent, num_ranks } => {
+                if !base.is_finite() || base <= 0.0 {
+                    return Err(WorkloadError::InvalidConfig {
+                        reason: format!("zipf base must be positive, got {base}"),
+                    });
+                }
+                if num_ranks == 0 {
+                    return Err(WorkloadError::InvalidConfig {
+                        reason: "zipf needs at least one rank".to_owned(),
+                    });
+                }
+                let zipf = Zipf::new(f64::from(num_ranks), exponent).map_err(|e| {
+                    WorkloadError::InvalidConfig { reason: format!("zipf parameters: {e}") }
+                })?;
+                Ok((0..n).map(|_| base * zipf.sample(rng)).collect())
+            }
+            DemandModel::LogNormal { mu, sigma } => {
+                if !mu.is_finite() || !sigma.is_finite() || sigma <= 0.0 {
+                    return Err(WorkloadError::InvalidConfig {
+                        reason: format!(
+                            "log-normal needs finite mu and positive sigma, got mu {mu} sigma {sigma}"
+                        ),
+                    });
+                }
+                let dist = LogNormal::new(mu, sigma).map_err(|e| {
+                    WorkloadError::InvalidConfig { reason: format!("log-normal parameters: {e}") }
+                })?;
+                Ok((0..n).map(|_| dist.sample(rng)).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn constant_repeats_value() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let d = DemandModel::Constant { value: 2.5 }.sample(4, &mut rng).unwrap();
+        assert_eq!(d, vec![2.5; 4]);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = DemandModel::Uniform { lo: 1.0, hi: 3.0 }.sample(500, &mut rng).unwrap();
+        assert!(d.iter().all(|&x| (1.0..3.0).contains(&x)));
+        // Both halves of the range get hit.
+        assert!(d.iter().any(|&x| x < 2.0) && d.iter().any(|&x| x > 2.0));
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let d = DemandModel::Zipf { base: 1.0, exponent: 2.0, num_ranks: 100 }
+            .sample(1000, &mut rng)
+            .unwrap();
+        let light = d.iter().filter(|&&x| x <= 2.0).count();
+        assert!(light > 600, "zipf should produce mostly light demands, got {light}/1000");
+        assert!(d.iter().cloned().fold(0.0, f64::max) > 5.0, "zipf should have a heavy tail");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let d = DemandModel::LogNormal { mu: 0.0, sigma: 1.0 }.sample(200, &mut rng).unwrap();
+        assert!(d.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn degenerate_parameters_error() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert!(DemandModel::Constant { value: 0.0 }.sample(1, &mut rng).is_err());
+        assert!(DemandModel::Uniform { lo: 2.0, hi: 1.0 }.sample(1, &mut rng).is_err());
+        assert!(DemandModel::Zipf { base: -1.0, exponent: 1.0, num_ranks: 10 }
+            .sample(1, &mut rng)
+            .is_err());
+        assert!(DemandModel::LogNormal { mu: 0.0, sigma: -1.0 }.sample(1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed() {
+        let model = DemandModel::Uniform { lo: 0.5, hi: 1.5 };
+        let a = model.sample(10, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
+        let b = model.sample(10, &mut ChaCha8Rng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+use tacc_gap::GapError;
+use tacc_topology::TopologyError;
+
+/// Errors raised while generating scenarios.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A scenario parameter was out of range.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// Topology generation failed.
+    Topology(TopologyError),
+    /// GAP instance construction failed.
+    Gap(GapError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidConfig { reason } => {
+                write!(f, "invalid scenario configuration: {reason}")
+            }
+            WorkloadError::Topology(e) => write!(f, "topology generation failed: {e}"),
+            WorkloadError::Gap(e) => write!(f, "instance construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::InvalidConfig { .. } => None,
+            WorkloadError::Topology(e) => Some(e),
+            WorkloadError::Gap(e) => Some(e),
+        }
+    }
+}
+
+impl From<TopologyError> for WorkloadError {
+    fn from(e: TopologyError) -> Self {
+        WorkloadError::Topology(e)
+    }
+}
+
+impl From<GapError> for WorkloadError {
+    fn from(e: GapError) -> Self {
+        WorkloadError::Gap(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources_chain() {
+        let e = WorkloadError::from(TopologyError::Disconnected);
+        assert!(e.to_string().contains("topology"));
+        assert!(e.source().is_some());
+        let e = WorkloadError::InvalidConfig { reason: "bad".into() };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,349 @@
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tacc_gap::GapInstance;
+use tacc_topology::generators::{
+    BarabasiAlbert, ErdosRenyi, FatTree, Grid, HierarchicalTree, RandomGeometric,
+    TopologyGenerator,
+};
+use tacc_topology::{DelayModel, Topology};
+
+use crate::{DemandModel, WorkloadError};
+
+/// The topology families a scenario can use (experiment E6 sweeps all of
+/// them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum TopologyFamily {
+    /// Routers on a plane, delay ∝ distance (the evaluation default).
+    #[default]
+    RandomGeometric,
+    /// Unstructured `G(n, p)` router mesh.
+    ErdosRenyi,
+    /// Scale-free preferential-attachment backbone, servers at hubs.
+    BarabasiAlbert,
+    /// Cloud→fog→edge gateway tree.
+    Hierarchical,
+    /// Router lattice.
+    Grid,
+    /// k-ary fat-tree switch fabric.
+    FatTree,
+}
+
+impl TopologyFamily {
+    /// All families, in a stable order.
+    pub const ALL: [TopologyFamily; 6] = [
+        TopologyFamily::RandomGeometric,
+        TopologyFamily::ErdosRenyi,
+        TopologyFamily::BarabasiAlbert,
+        TopologyFamily::Hierarchical,
+        TopologyFamily::Grid,
+        TopologyFamily::FatTree,
+    ];
+
+    /// The family's display name (matches the generator's
+    /// `family_name()`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyFamily::RandomGeometric => "random-geometric",
+            TopologyFamily::ErdosRenyi => "erdos-renyi",
+            TopologyFamily::BarabasiAlbert => "barabasi-albert",
+            TopologyFamily::Hierarchical => "hierarchical-tree",
+            TopologyFamily::Grid => "grid",
+            TopologyFamily::FatTree => "fat-tree",
+        }
+    }
+
+    /// Instantiates the generator with counts scaled to the scenario.
+    fn generator(
+        self,
+        num_iot: usize,
+        num_servers: usize,
+    ) -> Result<Box<dyn TopologyGenerator>, WorkloadError> {
+        // Infrastructure scales gently with the device population so
+        // larger scenarios stay realistic.
+        let routers = (num_iot / 8).clamp(8, 64);
+        Ok(match self {
+            TopologyFamily::RandomGeometric => Box::new(
+                RandomGeometric::builder()
+                    .num_iot(num_iot)
+                    .num_servers(num_servers)
+                    .num_routers(routers)
+                    .build()?,
+            ),
+            TopologyFamily::ErdosRenyi => Box::new(
+                ErdosRenyi::builder()
+                    .num_iot(num_iot)
+                    .num_servers(num_servers)
+                    .num_routers(routers)
+                    .build()?,
+            ),
+            TopologyFamily::BarabasiAlbert => Box::new(
+                BarabasiAlbert::builder()
+                    .num_iot(num_iot)
+                    .num_servers(num_servers)
+                    .num_routers(routers)
+                    .build()?,
+            ),
+            TopologyFamily::Hierarchical => Box::new(
+                HierarchicalTree::builder()
+                    .num_iot(num_iot)
+                    .num_servers(num_servers)
+                    .levels(3)
+                    .branching(3)
+                    .build()?,
+            ),
+            TopologyFamily::Grid => {
+                let side = ((routers as f64).sqrt().ceil() as usize).max(2);
+                Box::new(
+                    Grid::builder()
+                        .num_iot(num_iot)
+                        .num_servers(num_servers)
+                        .rows(side)
+                        .cols(side)
+                        .build()?,
+                )
+            }
+            TopologyFamily::FatTree => Box::new(
+                FatTree::builder().num_iot(num_iot).num_servers(num_servers).k(4).build()?,
+            ),
+        })
+    }
+}
+
+/// A fully materialized experimental trial: topology + delay matrix +
+/// GAP instance.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    topology: Topology,
+    instance: GapInstance,
+    family: TopologyFamily,
+    seed: u64,
+}
+
+impl Scenario {
+    /// The generated network.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The assignment problem derived from the network and workload.
+    pub fn instance(&self) -> &GapInstance {
+        &self.instance
+    }
+
+    /// The topology family that produced this scenario.
+    pub fn family(&self) -> TopologyFamily {
+        self.family
+    }
+
+    /// The seed this scenario was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Builder of [`Scenario`]s; see the crate-level example.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    family: TopologyFamily,
+    num_iot: usize,
+    num_servers: usize,
+    load_factor: f64,
+    demand_model: DemandModel,
+    delay_model: DelayModel,
+    capacity_spread: f64,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder::new()
+    }
+}
+
+impl ScenarioBuilder {
+    /// Starts a builder with the evaluation defaults: random-geometric
+    /// topology, 100 devices, 10 servers, load factor 0.7, uniform demands
+    /// in `[0.5, 2.0)`, homogeneous capacities.
+    pub fn new() -> Self {
+        ScenarioBuilder {
+            family: TopologyFamily::default(),
+            num_iot: 100,
+            num_servers: 10,
+            load_factor: 0.7,
+            demand_model: DemandModel::Uniform { lo: 0.5, hi: 2.0 },
+            delay_model: DelayModel::default(),
+            capacity_spread: 0.0,
+        }
+    }
+
+    /// Selects the topology family.
+    pub fn family(&mut self, family: TopologyFamily) -> &mut Self {
+        self.family = family;
+        self
+    }
+
+    /// Number of IoT devices.
+    pub fn num_iot(&mut self, n: usize) -> &mut Self {
+        self.num_iot = n;
+        self
+    }
+
+    /// Number of edge servers.
+    pub fn num_servers(&mut self, m: usize) -> &mut Self {
+        self.num_servers = m;
+        self
+    }
+
+    /// Target system load factor ρ = total demand / total capacity.
+    /// Capacities are sized as `total_demand / (ρ · m)` per server.
+    pub fn load_factor(&mut self, rho: f64) -> &mut Self {
+        self.load_factor = rho;
+        self
+    }
+
+    /// Demand distribution.
+    pub fn demand_model(&mut self, model: DemandModel) -> &mut Self {
+        self.demand_model = model;
+        self
+    }
+
+    /// Link-delay model used for the delay matrix.
+    pub fn delay_model(&mut self, model: DelayModel) -> &mut Self {
+        self.delay_model = model;
+        self
+    }
+
+    /// Heterogeneity of server capacities: 0.0 = identical servers, `s`
+    /// = capacities drawn uniformly in `mean · [1−s, 1+s]` (renormalized
+    /// so the total matches the load factor).
+    pub fn capacity_spread(&mut self, spread: f64) -> &mut Self {
+        self.capacity_spread = spread;
+        self
+    }
+
+    /// Materializes the scenario for a seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] for out-of-range
+    /// parameters and propagates topology/instance construction failures.
+    pub fn build(&self, seed: u64) -> Result<Scenario, WorkloadError> {
+        if self.num_iot == 0 || self.num_servers == 0 {
+            return Err(WorkloadError::InvalidConfig {
+                reason: "device and server counts must be positive".to_owned(),
+            });
+        }
+        if !self.load_factor.is_finite() || self.load_factor <= 0.0 || self.load_factor > 1.0 {
+            return Err(WorkloadError::InvalidConfig {
+                reason: format!("load factor must be in (0, 1], got {}", self.load_factor),
+            });
+        }
+        if !(0.0..1.0).contains(&self.capacity_spread) {
+            return Err(WorkloadError::InvalidConfig {
+                reason: format!("capacity spread must be in [0, 1), got {}", self.capacity_spread),
+            });
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let generator = self.family.generator(self.num_iot, self.num_servers)?;
+        let topology = generator.generate(&mut rng)?;
+        let delays = topology.delay_matrix(&self.delay_model);
+
+        let demands = self.demand_model.sample(self.num_iot, &mut rng)?;
+        let total_demand: f64 = demands.iter().sum();
+        let mean_capacity = total_demand / (self.load_factor * self.num_servers as f64);
+        let capacities = if self.capacity_spread == 0.0 {
+            vec![mean_capacity; self.num_servers]
+        } else {
+            use rand::Rng;
+            let raw: Vec<f64> = (0..self.num_servers)
+                .map(|_| {
+                    mean_capacity
+                        * rng.random_range(
+                            1.0 - self.capacity_spread..1.0 + self.capacity_spread,
+                        )
+                })
+                .collect();
+            // Renormalize so Σc = total_demand / ρ exactly.
+            let target = total_demand / self.load_factor;
+            let raw_total: f64 = raw.iter().sum();
+            raw.iter().map(|c| c * target / raw_total).collect()
+        };
+
+        let instance = GapInstance::builder(delays)
+            .device_demands(demands)
+            .capacities(capacities)
+            .build()?;
+        Ok(Scenario { topology, instance, family: self.family, seed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_has_requested_shape() {
+        let s = ScenarioBuilder::new().build(1).unwrap();
+        assert_eq!(s.instance().num_devices(), 100);
+        assert_eq!(s.instance().num_servers(), 10);
+        assert_eq!(s.topology().num_iot(), 100);
+        assert_eq!(s.family(), TopologyFamily::RandomGeometric);
+        assert_eq!(s.seed(), 1);
+        // Load factor lands near the 0.7 target (demand model is
+        // per-device so load_factor() uses exactly those demands).
+        assert!((s.instance().load_factor() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_families_build() {
+        for family in TopologyFamily::ALL {
+            let s = ScenarioBuilder::new()
+                .family(family)
+                .num_iot(30)
+                .num_servers(4)
+                .build(3)
+                .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+            assert!(s.instance().delays().is_fully_reachable(), "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = ScenarioBuilder::new().num_iot(20).num_servers(3).build(9).unwrap();
+        let b = ScenarioBuilder::new().num_iot(20).num_servers(3).build(9).unwrap();
+        assert_eq!(a.instance(), b.instance());
+        let c = ScenarioBuilder::new().num_iot(20).num_servers(3).build(10).unwrap();
+        assert_ne!(a.instance(), c.instance());
+    }
+
+    #[test]
+    fn capacity_spread_renormalizes_total() {
+        let s = ScenarioBuilder::new()
+            .num_iot(50)
+            .num_servers(5)
+            .load_factor(0.8)
+            .capacity_spread(0.5)
+            .build(4)
+            .unwrap();
+        let caps = s.instance().capacities();
+        let min = caps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = caps.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min * 1.05, "spread should differentiate servers");
+        assert!((s.instance().load_factor() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(ScenarioBuilder::new().load_factor(0.0).build(0).is_err());
+        assert!(ScenarioBuilder::new().load_factor(1.5).build(0).is_err());
+        assert!(ScenarioBuilder::new().num_iot(0).build(0).is_err());
+        assert!(ScenarioBuilder::new().capacity_spread(1.0).build(0).is_err());
+    }
+
+    #[test]
+    fn family_names_match_generators() {
+        assert_eq!(TopologyFamily::FatTree.name(), "fat-tree");
+        assert_eq!(TopologyFamily::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,60 @@
+//! Capacity planning: how many edge servers does a deployment need?
+//!
+//! Sweeps the cluster size for a fixed device population and reports the
+//! delay/feasibility frontier under the Q-learning configurator — the
+//! planning loop an operator would run before ordering hardware. Results
+//! are also written to `results/capacity_planning.csv`.
+//!
+//! Run with: `cargo run --release -p tacc-core --example capacity_planning`
+
+use std::path::Path;
+
+use tacc_core::metrics::Table;
+use tacc_core::workload::{DemandModel, ScenarioBuilder};
+use tacc_core::{Algorithm, ClusterConfigurator, CoreError};
+
+fn main() -> Result<(), CoreError> {
+    let device_population = 150;
+    let mut table = Table::new(vec![
+        "servers".into(),
+        "load_factor".into(),
+        "mean_delay_ms".into(),
+        "max_utilization".into(),
+        "feasible".into(),
+    ]);
+
+    println!("planning for {device_population} IoT devices\n");
+    for num_servers in [4, 6, 8, 12, 16, 24] {
+        let scenario = ScenarioBuilder::new()
+            .num_iot(device_population)
+            .num_servers(num_servers)
+            .load_factor(0.8)
+            .demand_model(DemandModel::Uniform { lo: 0.5, hi: 1.5 })
+            .build(21)?;
+        let config = ClusterConfigurator::from_scenario(&scenario)
+            .algorithm(Algorithm::q_learning())
+            .seed(1)
+            .configure()?;
+        let max_util = config.server_utilization().iter().cloned().fold(0.0, f64::max);
+        println!(
+            "m = {num_servers:>2}: mean delay {:>7.2} ms, max utilization {:>5.1}%, feasible {}",
+            config.mean_delay_ms(),
+            max_util * 100.0,
+            config.is_feasible()
+        );
+        table.push_row(vec![
+            num_servers.to_string(),
+            format!("{:.2}", scenario.instance().load_factor()),
+            format!("{:.3}", config.mean_delay_ms()),
+            format!("{max_util:.3}"),
+            config.is_feasible().to_string(),
+        ]);
+    }
+
+    let out = Path::new("results/capacity_planning.csv");
+    table.write_csv(out).map_err(|e| CoreError::InvalidConfiguration {
+        reason: format!("failed to write {}: {e}", out.display()),
+    })?;
+    println!("\nwrote {}", out.display());
+    Ok(())
+}

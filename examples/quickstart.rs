@@ -1,0 +1,40 @@
+//! Quickstart: configure an edge cluster on a generated topology and
+//! compare the paper's Q-learning heuristic with a greedy baseline.
+//!
+//! Run with: `cargo run --release -p tacc-core --example quickstart`
+
+use rand::SeedableRng;
+use tacc_core::topology::generators::{RandomGeometric, TopologyGenerator};
+use tacc_core::{Algorithm, ClusterConfigurator, CoreError};
+
+fn main() -> Result<(), CoreError> {
+    // A metropolitan deployment: 80 IoT sensors, 8 edge servers, 20
+    // routers scattered over a 100×100 area.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2022);
+    let topology = RandomGeometric::builder()
+        .num_iot(80)
+        .num_servers(8)
+        .num_routers(20)
+        .build()?
+        .generate(&mut rng)?;
+
+    println!(
+        "topology: {} devices, {} servers, {} nodes, {} links\n",
+        topology.num_iot(),
+        topology.num_servers(),
+        topology.graph().node_count(),
+        topology.graph().link_count()
+    );
+
+    for algorithm in [Algorithm::q_learning(), Algorithm::greedy(), Algorithm::Random] {
+        let configuration = ClusterConfigurator::new(topology.clone())
+            .uniform_demand(1.0)
+            .uniform_capacity(14.0) // load factor ~0.71
+            .algorithm(algorithm)
+            .seed(42)
+            .configure()?;
+        println!("--- {} ---", configuration.algorithm_name());
+        println!("{}\n", configuration.report());
+    }
+    Ok(())
+}

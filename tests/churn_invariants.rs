@@ -1,0 +1,113 @@
+//! Invariants of the dynamic-cluster layer under arbitrary churn
+//! sequences: load accounting never drifts, feasibility is monotone in
+//! the obvious directions, and rebalancing never increases delay.
+
+use rand::seq::IteratorRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tacc_core::dynamics::DynamicCluster;
+use tacc_core::workload::ScenarioBuilder;
+
+fn fresh_cluster(seed: u64) -> DynamicCluster {
+    let scenario = ScenarioBuilder::new()
+        .num_iot(30)
+        .num_servers(4)
+        .load_factor(0.7)
+        .build(seed)
+        .expect("scenario");
+    DynamicCluster::new(scenario.instance().clone())
+}
+
+#[test]
+fn load_accounting_never_drifts_under_random_churn() {
+    for seed in 0..5u64 {
+        let mut cluster = fresh_cluster(seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD);
+        for step in 0..300 {
+            let active: Vec<usize> = (0..30).filter(|&d| cluster.is_active(d)).collect();
+            let inactive: Vec<usize> = (0..30).filter(|&d| !cluster.is_active(d)).collect();
+            // Join / leave / rebalance at random.
+            match rng.random_range(0..3u8) {
+                0 if !inactive.is_empty() => {
+                    let d = *inactive.iter().choose(&mut rng).expect("non-empty");
+                    cluster.join(d).expect("join");
+                }
+                1 if !active.is_empty() => {
+                    let d = *active.iter().choose(&mut rng).expect("non-empty");
+                    cluster.leave(d);
+                }
+                _ => {
+                    cluster.rebalance(2);
+                }
+            }
+            // Invariant: tracked loads equal recomputed loads.
+            let recomputed: f64 = (0..30)
+                .filter_map(|d| cluster.server_of(d).map(|j| cluster.instance().demand(d, j)))
+                .sum();
+            let tracked: f64 = cluster.server_loads().iter().sum();
+            assert!(
+                (recomputed - tracked).abs() < 1e-6,
+                "seed {seed} step {step}: tracked {tracked} vs recomputed {recomputed}"
+            );
+            // Invariant: active count matches assignment coverage.
+            let assigned = (0..30).filter(|&d| cluster.server_of(d).is_some()).count();
+            assert_eq!(assigned, cluster.active_count());
+        }
+    }
+}
+
+#[test]
+fn rebalance_is_monotone_in_delay() {
+    for seed in 5..10u64 {
+        let mut cluster = fresh_cluster(seed);
+        // Activate a random two thirds of the devices.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for d in (0..30usize).choose_multiple(&mut rng, 20) {
+            cluster.join(d).expect("join");
+        }
+        let mut last = cluster.total_delay();
+        loop {
+            let moved = cluster.rebalance(1);
+            let now = cluster.total_delay();
+            assert!(now <= last + 1e-9, "seed {seed}: rebalance increased delay");
+            if moved == 0 {
+                break;
+            }
+            last = now;
+        }
+    }
+}
+
+#[test]
+fn joins_prefer_feasibility_over_delay() {
+    // As long as *any* server has room, joins must keep the cluster
+    // feasible, even if every low-delay server is full.
+    for seed in 10..15u64 {
+        let scenario = ScenarioBuilder::new()
+            .num_iot(20)
+            .num_servers(3)
+            .load_factor(0.95)
+            .build(seed)
+            .expect("scenario");
+        let mut cluster = DynamicCluster::new(scenario.instance().clone());
+        for d in 0..20 {
+            cluster.join(d).expect("join");
+            if !cluster.is_feasible() {
+                // Only acceptable if literally nothing had room *before*
+                // this join: reconstruct pre-join loads by removing d's
+                // contribution from its chosen server.
+                let chosen = cluster.server_of(d).expect("just joined");
+                let mut pre = cluster.server_loads().to_vec();
+                pre[chosen] -= cluster.instance().demand(d, chosen);
+                let had_room = (0..3).any(|j| {
+                    pre[j] + cluster.instance().demand(d, j)
+                        <= cluster.instance().capacity(j) + 1e-9
+                });
+                assert!(
+                    !had_room,
+                    "seed {seed}: join {d} overloaded although a server had room"
+                );
+            }
+        }
+    }
+}

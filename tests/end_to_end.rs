@@ -1,0 +1,139 @@
+//! Cross-crate integration: scenario generation → every algorithm →
+//! feasibility, bounds and facade behaviour.
+
+use tacc_core::gap::bounds::capacity_free_bound;
+use tacc_core::workload::{DemandModel, ScenarioBuilder, TopologyFamily};
+use tacc_core::{Algorithm, ClusterConfigurator};
+
+#[test]
+fn every_algorithm_configures_a_generated_scenario() {
+    let scenario = ScenarioBuilder::new()
+        .num_iot(40)
+        .num_servers(5)
+        .load_factor(0.7)
+        .build(11)
+        .expect("scenario");
+    let lb = capacity_free_bound(scenario.instance());
+
+    for algorithm in Algorithm::standard_set() {
+        let config = ClusterConfigurator::from_scenario(&scenario)
+            .algorithm(algorithm)
+            .seed(5)
+            .configure()
+            .expect("configure");
+        assert!(
+            config.total_delay_ms() >= lb - 1e-9,
+            "{} undercut the lower bound",
+            config.algorithm_name()
+        );
+        // Every device must land on a real server.
+        for i in 0..40 {
+            assert!(config.server_for(i) < 5, "{}", config.algorithm_name());
+        }
+        // Loads must account for all demand.
+        let total_demand: f64 = (0..40).map(|i| scenario.instance().demand(i, 0)).sum();
+        let total_load: f64 = config.server_loads().iter().sum();
+        assert!(
+            (total_demand - total_load).abs() < 1e-6,
+            "{} lost demand: {total_demand} vs {total_load}",
+            config.algorithm_name()
+        );
+    }
+}
+
+#[test]
+fn rl_beats_or_matches_greedy_across_seeds() {
+    // The paper's claim, in miniature: averaged over seeds, Q-learning's
+    // delay is no worse than one-shot greedy (it revisits decisions).
+    let mut ql_total = 0.0;
+    let mut greedy_total = 0.0;
+    for seed in 0..5u64 {
+        let scenario = ScenarioBuilder::new()
+            .num_iot(30)
+            .num_servers(4)
+            .load_factor(0.85)
+            .build(seed)
+            .expect("scenario");
+        let ql = ClusterConfigurator::from_scenario(&scenario)
+            .algorithm(Algorithm::q_learning())
+            .seed(seed)
+            .configure()
+            .expect("ql");
+        let greedy = ClusterConfigurator::from_scenario(&scenario)
+            .algorithm(Algorithm::greedy())
+            .configure()
+            .expect("greedy");
+        assert!(ql.is_feasible(), "QL overloaded on seed {seed}");
+        ql_total += ql.total_delay_ms();
+        greedy_total += greedy.total_delay_ms();
+    }
+    assert!(
+        ql_total <= greedy_total * 1.02,
+        "QL ({ql_total:.2}) should at least match greedy ({greedy_total:.2}) on average"
+    );
+}
+
+#[test]
+fn all_topology_families_support_the_full_pipeline() {
+    for family in TopologyFamily::ALL {
+        let scenario = ScenarioBuilder::new()
+            .family(family)
+            .num_iot(24)
+            .num_servers(4)
+            .demand_model(DemandModel::Uniform { lo: 0.5, hi: 1.5 })
+            .build(3)
+            .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+        let config = ClusterConfigurator::from_scenario(&scenario)
+            .algorithm(Algorithm::greedy())
+            .configure()
+            .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+        assert!(config.is_feasible(), "{}", family.name());
+        assert!(config.total_delay_ms() > 0.0, "{}", family.name());
+    }
+}
+
+#[test]
+fn facade_and_direct_solver_agree() {
+    let scenario = ScenarioBuilder::new().num_iot(20).num_servers(3).build(9).expect("scenario");
+    let config = ClusterConfigurator::from_scenario(&scenario)
+        .algorithm(Algorithm::greedy())
+        .configure()
+        .expect("configure");
+    let direct = Algorithm::greedy().solver(0).solve(scenario.instance()).expect("direct");
+    assert_eq!(config.total_delay_ms(), direct.objective);
+    assert_eq!(config.is_feasible(), direct.feasible);
+}
+
+#[test]
+fn congestion_analysis_matches_delay_mechanism() {
+    use tacc_core::topology::DelayModel;
+    // The delay advantage of topology-aware assignment must show up as
+    // fewer hops at the link level too.
+    let scenario = ScenarioBuilder::new()
+        .num_iot(40)
+        .num_servers(5)
+        .load_factor(0.7)
+        .build(77)
+        .expect("scenario");
+    let model = DelayModel::default();
+    let aware = ClusterConfigurator::from_scenario(&scenario)
+        .algorithm(Algorithm::greedy())
+        .configure()
+        .expect("greedy");
+    let blind = ClusterConfigurator::from_scenario(&scenario)
+        .algorithm(Algorithm::RoundRobin)
+        .configure()
+        .expect("round robin");
+    let aware_net = aware.network_congestion(scenario.topology(), &model);
+    let blind_net = blind.network_congestion(scenario.topology(), &model);
+    assert!(
+        aware_net.mean_hops <= blind_net.mean_hops,
+        "aware {} hops vs blind {} hops",
+        aware_net.mean_hops,
+        blind_net.mean_hops
+    );
+    // Flow conservation: every link load is non-negative and the report
+    // covers every link of the graph.
+    assert_eq!(aware_net.link_loads.len(), scenario.topology().graph().link_count());
+    assert!(aware_net.link_loads.iter().all(|&l| l >= 0.0));
+}
