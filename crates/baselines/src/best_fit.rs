@@ -66,8 +66,7 @@ impl Solver for BestFitDecreasing {
             loads[j] += instance.demand(i, j);
             a.assign(i, j)?;
         }
-        let stats =
-            SolveStats { elapsed: start.elapsed(), iterations: n as u64, evaluations };
+        let stats = SolveStats { elapsed: start.elapsed(), iterations: n as u64, evaluations };
         Solution::evaluate(a, instance, stats)
     }
 
@@ -124,11 +123,8 @@ mod tests {
     #[test]
     fn overflow_is_marked_infeasible() {
         let delays = DelayMatrix::from_rows(vec![vec![1.0]; 3]);
-        let inst = GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![2.0])
-            .build()
-            .unwrap();
+        let inst =
+            GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![2.0]).build().unwrap();
         let s = BestFitDecreasing::new().solve(&inst).unwrap();
         assert!(!s.feasible);
         assert!(s.assignment.is_complete());

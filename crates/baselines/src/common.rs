@@ -88,11 +88,7 @@ mod tests {
 
     fn instance() -> GapInstance {
         let delays = DelayMatrix::from_rows(vec![vec![1.0, 5.0], vec![2.0, 3.0]]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![1.0, 5.0])
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![1.0, 5.0]).build().unwrap()
     }
 
     #[test]
@@ -144,11 +140,8 @@ mod tests {
             vec![1.0, 1.5], // regret 0.5
             vec![1.0, 9.0], // regret 8.0
         ]);
-        let inst = GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .uniform_capacity(5.0)
-            .build()
-            .unwrap();
+        let inst =
+            GapInstance::builder(delays).uniform_demand(1.0).uniform_capacity(5.0).build().unwrap();
         assert_eq!(regret_order(&inst), vec![1, 0]);
     }
 }

@@ -166,15 +166,16 @@ impl Solver for Genetic {
                 let pa = tournament(&mut rng, &scores, cfg.tournament);
                 let pb = tournament(&mut rng, &scores, cfg.tournament);
                 // Uniform crossover.
-                let mut child: Vec<usize> = (0..n)
-                    .map(|i| {
-                        if rng.random_bool(0.5) {
-                            population[pa][i]
-                        } else {
-                            population[pb][i]
-                        }
-                    })
-                    .collect();
+                let mut child: Vec<usize> =
+                    (0..n)
+                        .map(|i| {
+                            if rng.random_bool(0.5) {
+                                population[pa][i]
+                            } else {
+                                population[pb][i]
+                            }
+                        })
+                        .collect();
                 for gene in child.iter_mut() {
                     if rng.random::<f64>() < cfg.mutation_rate {
                         *gene = rng.random_range(0..m);
@@ -251,11 +252,7 @@ mod tests {
             vec![5.0, 2.0, 3.0],
             vec![3.0, 5.0, 2.0],
         ]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .uniform_capacity(2.0)
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).uniform_capacity(2.0).build().unwrap()
     }
 
     #[test]

@@ -103,11 +103,7 @@ mod tests {
     fn contended() -> GapInstance {
         // Both devices want server 0; capacity only fits one.
         let delays = DelayMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 9.0]]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![1.0, 5.0])
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![1.0, 5.0]).build().unwrap()
     }
 
     #[test]
@@ -131,11 +127,8 @@ mod tests {
     #[test]
     fn overload_marks_infeasible_but_complete() {
         let delays = DelayMatrix::from_rows(vec![vec![1.0], vec![1.0], vec![1.0]]);
-        let inst = GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![2.0])
-            .build()
-            .unwrap();
+        let inst =
+            GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![2.0]).build().unwrap();
         let s = Greedy::default().solve(&inst).unwrap();
         assert!(s.assignment.is_complete());
         assert!(!s.feasible);

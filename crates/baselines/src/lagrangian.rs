@@ -57,16 +57,10 @@ fn repair(instance: &GapInstance, assignment: &mut Assignment) -> bool {
         if loads[j] <= instance.capacity(j) + 1e-9 {
             continue;
         }
-        let mut on_j: Vec<usize> = assignment
-            .iter_assigned()
-            .filter(|&(_, s)| s == j)
-            .map(|(i, _)| i)
-            .collect();
+        let mut on_j: Vec<usize> =
+            assignment.iter_assigned().filter(|&(_, s)| s == j).map(|(i, _)| i).collect();
         on_j.sort_by(|&a, &b| {
-            instance
-                .demand(b, j)
-                .partial_cmp(&instance.demand(a, j))
-                .expect("demands are not NaN")
+            instance.demand(b, j).partial_cmp(&instance.demand(a, j)).expect("demands are not NaN")
         });
         for i in on_j {
             if loads[j] <= instance.capacity(j) + 1e-9 {
@@ -94,14 +88,12 @@ impl Solver for LagrangianHeuristic {
         let mut lambda = vec![0.0f64; m];
 
         // Scale-aware step, as in the bound computation.
-        let mean_delay: f64 = (0..n)
-            .flat_map(|i| instance.delay_row(i).iter().cloned())
-            .sum::<f64>()
-            / (n * m) as f64;
-        let mean_demand: f64 = (0..n)
-            .flat_map(|i| instance.demand_row(i).iter().cloned())
-            .sum::<f64>()
-            / (n * m) as f64;
+        let mean_delay: f64 =
+            (0..n).flat_map(|i| instance.delay_row(i).iter().cloned()).sum::<f64>()
+                / (n * m) as f64;
+        let mean_demand: f64 =
+            (0..n).flat_map(|i| instance.demand_row(i).iter().cloned()).sum::<f64>()
+                / (n * m) as f64;
         let step0 =
             if mean_demand > 0.0 { (mean_delay / mean_demand).max(1e-6) * 0.2 } else { 0.1 };
 
@@ -176,11 +168,7 @@ mod tests {
             vec![1.0, 5.0, 3.0],
             vec![1.0, 5.0, 4.0],
         ]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .uniform_capacity(2.0)
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).uniform_capacity(2.0).build().unwrap()
     }
 
     #[test]

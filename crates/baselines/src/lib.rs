@@ -54,12 +54,12 @@ mod simulated_annealing;
 mod tabu;
 
 pub use best_fit::BestFitDecreasing;
-pub use lagrangian::LagrangianHeuristic;
-pub use nearest::NearestServer;
 pub use genetic::{Genetic, GeneticConfig};
 pub use greedy::{DeviceOrder, Greedy};
+pub use lagrangian::LagrangianHeuristic;
 pub use local_search::{LocalSearch, Neighborhood};
 pub use martello_toth::{Desirability, MartelloToth};
+pub use nearest::NearestServer;
 pub use random::{RandomAssign, RoundRobin};
 pub use simulated_annealing::{AnnealingSchedule, SimulatedAnnealing};
 pub use tabu::TabuSearch;
@@ -97,11 +97,8 @@ mod tests {
             vec![6.0, 2.0, 1.0],
             vec![3.0, 3.0, 3.0],
         ]);
-        let inst = GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .uniform_capacity(2.0)
-            .build()
-            .unwrap();
+        let inst =
+            GapInstance::builder(delays).uniform_demand(1.0).uniform_capacity(2.0).build().unwrap();
         let lineup = standard_lineup(7);
         let mut names: Vec<String> = lineup.iter().map(|s| s.name().to_owned()).collect();
         names.sort();

@@ -174,11 +174,7 @@ mod tests {
     /// preferred servers, both servers full.
     fn swap_trap() -> GapInstance {
         let delays = DelayMatrix::from_rows(vec![vec![1.0, 10.0], vec![10.0, 1.0]]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![1.0, 1.0])
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![1.0, 1.0]).build().unwrap()
     }
 
     #[test]

@@ -43,9 +43,7 @@ impl MartelloToth {
         match self.desirability {
             Desirability::DelayRegret => instance.delay(i, j),
             Desirability::DemandRegret => instance.demand(i, j),
-            Desirability::NormalizedDemandRegret => {
-                instance.demand(i, j) / instance.capacity(j)
-            }
+            Desirability::NormalizedDemandRegret => instance.demand(i, j) / instance.capacity(j),
         }
     }
 }
@@ -154,11 +152,7 @@ mod tests {
         // Three devices, two servers. Static regret order is misleading:
         // after device 2 takes server 0, device 0's options change. MTHG
         // recomputes and stays optimal.
-        let delays = DelayMatrix::from_rows(vec![
-            vec![1.0, 2.0],
-            vec![1.0, 4.0],
-            vec![1.0, 6.0],
-        ]);
+        let delays = DelayMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 4.0], vec![1.0, 6.0]]);
         let inst = GapInstance::builder(delays)
             .uniform_demand(1.0)
             .capacities(vec![1.0, 5.0])

@@ -166,11 +166,7 @@ mod tests {
             vec![3.0, 2.0, 1.0],
             vec![2.0, 1.0, 3.0],
         ]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .uniform_capacity(2.0)
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).uniform_capacity(2.0).build().unwrap()
     }
 
     #[test]
@@ -204,11 +200,8 @@ mod tests {
     #[test]
     fn single_server_instance_is_a_no_op() {
         let delays = DelayMatrix::from_rows(vec![vec![2.0], vec![3.0]]);
-        let inst = GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![5.0])
-            .build()
-            .unwrap();
+        let inst =
+            GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![5.0]).build().unwrap();
         let s = SimulatedAnnealing::new(0).solve(&inst).unwrap();
         assert_eq!(s.objective, 5.0);
         assert!(s.feasible);
@@ -217,9 +210,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cooling factor")]
     fn invalid_schedule_panics() {
-        let _ = SimulatedAnnealing::new(0).with_schedule(AnnealingSchedule {
-            cooling: 1.5,
-            ..AnnealingSchedule::default()
-        });
+        let _ = SimulatedAnnealing::new(0)
+            .with_schedule(AnnealingSchedule { cooling: 1.5, ..AnnealingSchedule::default() });
     }
 }

@@ -65,11 +65,8 @@ impl Solver for TabuSearch {
         let mut current_delay = current.partial_delay(instance);
 
         let mut best = current.clone();
-        let mut best_delay = if current.is_feasible(instance) {
-            current_delay
-        } else {
-            f64::INFINITY
-        };
+        let mut best_delay =
+            if current.is_feasible(instance) { current_delay } else { f64::INFINITY };
 
         // Tabu set of (device, server) arrivals, with FIFO expiry.
         let mut tabu: Vec<Vec<bool>> = vec![vec![false; m]; n];
@@ -157,11 +154,7 @@ mod tests {
             vec![9.0, 2.0, 1.0],
             vec![1.0, 9.0, 2.0],
         ]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .uniform_capacity(2.0)
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).uniform_capacity(2.0).build().unwrap()
     }
 
     #[test]

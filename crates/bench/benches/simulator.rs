@@ -19,8 +19,7 @@ fn bench_simulation(c: &mut Criterion) {
             .expect("scenario");
         let inst = scenario.instance();
         let solution = Algorithm::greedy().solver(0).solve(inst).expect("solve");
-        let traffic =
-            TrafficSpec::from_instance(inst, &solution.assignment, 1.0).expect("traffic");
+        let traffic = TrafficSpec::from_instance(inst, &solution.assignment, 1.0).expect("traffic");
         // Offered load ≈ total requests per ms; duration 10 s.
         let approx_requests = (traffic.offered_load() * 10_000.0) as u64;
         group.throughput(Throughput::Elements(approx_requests));

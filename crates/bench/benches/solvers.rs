@@ -60,11 +60,8 @@ fn bench_rl(c: &mut Criterion) {
     let inst = instance(n);
     // A shorter training budget keeps the benchmark itself fast while
     // preserving the per-episode cost being measured.
-    let ql = Algorithm::QLearning(QLearningConfig {
-        episodes: 500,
-        ..QLearningConfig::default()
-    })
-    .solver(0);
+    let ql = Algorithm::QLearning(QLearningConfig { episodes: 500, ..QLearningConfig::default() })
+        .solver(0);
     group.bench_with_input(BenchmarkId::new("q-learning-500ep", n), &n, |b, _| {
         b.iter(|| black_box(ql.solve(&inst).expect("solve")))
     });

@@ -45,8 +45,7 @@ impl Policy {
 fn main() {
     let ctx = ExperimentContext::from_args("exp_churn", 5);
     let rounds = if ctx.quick { 40 } else { 200 };
-    let policies =
-        [Policy::Never, Policy::RebalanceK(1), Policy::RebalanceK(5), Policy::Resolve];
+    let policies = [Policy::Never, Policy::RebalanceK(1), Policy::RebalanceK(5), Policy::Resolve];
 
     let mut table = Table::new(vec![
         "policy".into(),
@@ -73,13 +72,9 @@ fn main() {
             let instance = scenario.instance().clone();
             // Initial configuration over a random 80-device active set:
             // start from QL on the full instance, then deactivate 20.
-            let initial = Algorithm::q_learning()
-                .solver(seed)
-                .solve(&instance)
-                .expect("initial");
-            let mut cluster =
-                DynamicCluster::from_assignment(instance.clone(), initial.assignment)
-                    .expect("complete");
+            let initial = Algorithm::q_learning().solver(seed).solve(&instance).expect("initial");
+            let mut cluster = DynamicCluster::from_assignment(instance.clone(), initial.assignment)
+                .expect("complete");
             let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0FFEE);
             for device in (0..100usize).choose_multiple(&mut rng, 20) {
                 cluster.leave(device);

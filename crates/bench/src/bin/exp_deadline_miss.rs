@@ -48,10 +48,7 @@ fn main() {
     let reference_ms: f64 = {
         let mut stats = OnlineStats::new();
         for s in &scenarios {
-            let sol = tacc_core::Algorithm::greedy()
-                .solver(0)
-                .solve(s.instance())
-                .expect("greedy");
+            let sol = tacc_core::Algorithm::greedy().solver(0).solve(s.instance()).expect("greedy");
             stats.push(sol.mean_delay());
         }
         stats.mean()
@@ -66,8 +63,7 @@ fn main() {
             for (trial, scenario) in scenarios.iter().enumerate() {
                 let seed = ctx.trial_seeds[trial];
                 let instance = scenario.instance();
-                let solution =
-                    algorithm.solver(seed).solve(instance).expect("solve");
+                let solution = algorithm.solver(seed).solve(instance).expect("solve");
                 let traffic = TrafficSpec::from_instance(instance, &solution.assignment, 1.0)
                     .expect("traffic");
                 let report = Simulation::new(SimConfig {

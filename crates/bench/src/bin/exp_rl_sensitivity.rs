@@ -25,11 +25,8 @@ struct Variant {
 fn variants(quick: bool) -> Vec<Variant> {
     let episodes = if quick { 600 } else { 3000 };
     let base = QLearningConfig { episodes, ..QLearningConfig::default() };
-    let mut out = vec![Variant {
-        group: "baseline",
-        label: "defaults".into(),
-        config: base.clone(),
-    }];
+    let mut out =
+        vec![Variant { group: "baseline", label: "defaults".into(), config: base.clone() }];
     for alpha in [0.02, 0.05, 0.3, 0.6] {
         out.push(Variant {
             group: "alpha",
@@ -92,11 +89,7 @@ fn variants(quick: bool) -> Vec<Variant> {
     out.push(Variant {
         group: "design",
         label: "no-masking-no-penalty".into(),
-        config: QLearningConfig {
-            action_masking: false,
-            overload_penalty: 0.0,
-            ..base.clone()
-        },
+        config: QLearningConfig { action_masking: false, overload_penalty: 0.0, ..base.clone() },
     });
     out
 }
@@ -129,9 +122,8 @@ fn main() {
         let mut delay = OnlineStats::new();
         let mut feasible = 0u64;
         for (seed, instance) in &instances {
-            let solution = QLearning::new(variant.config.clone(), *seed)
-                .solve(instance)
-                .expect("q-learning");
+            let solution =
+                QLearning::new(variant.config.clone(), *seed).solve(instance).expect("q-learning");
             delay.push(solution.mean_delay());
             if solution.feasible {
                 feasible += 1;

@@ -153,9 +153,7 @@ fn main() {
     for spec in specs.into_iter().flatten() {
         let (file, chart) = spec;
         let path = figures.join(&file);
-        chart
-            .write_svg(&path)
-            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        chart.write_svg(&path).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
         println!("wrote {}", path.display());
         rendered += 1;
     }

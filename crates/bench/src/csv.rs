@@ -41,8 +41,9 @@ impl Csv {
     /// Panics if the file cannot be read (the figure can't exist without
     /// its data; run the experiment first).
     pub fn read(path: &Path) -> Csv {
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("reading {}: {e} (run the experiment first)", path.display()));
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            panic!("reading {}: {e} (run the experiment first)", path.display())
+        });
         Csv::parse(&text)
     }
 

@@ -170,11 +170,8 @@ impl CellStats {
         self.solve_seconds.push(solution.stats.elapsed.as_secs_f64());
         self.overload.push(solution.assignment.total_overload(instance));
         let loads = solution.assignment.server_loads(instance);
-        let max_util = loads
-            .iter()
-            .enumerate()
-            .map(|(j, &l)| l / instance.capacity(j))
-            .fold(0.0, f64::max);
+        let max_util =
+            loads.iter().enumerate().map(|(j, &l)| l / instance.capacity(j)).fold(0.0, f64::max);
         self.max_utilization.push(max_util);
         self.fairness.push(tacc_core::metrics::jains_index(&loads));
     }
@@ -195,9 +192,8 @@ pub fn run_cell(algorithm: &Algorithm, instances: &[(u64, GapInstance)]) -> Cell
     let mut cell = CellStats::default();
     for (seed, instance) in instances {
         let solver = algorithm.solver(*seed);
-        let solution = solver
-            .solve(instance)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", solver.name()));
+        let solution =
+            solver.solve(instance).unwrap_or_else(|e| panic!("{} failed: {e}", solver.name()));
         cell.push(instance, &solution);
     }
     cell

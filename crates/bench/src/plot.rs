@@ -27,9 +27,8 @@ pub struct LineChart {
 }
 
 /// A colorblind-safe qualitative palette (Okabe–Ito), cycled.
-const PALETTE: [&str; 8] = [
-    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
-];
+const PALETTE: [&str; 8] =
+    ["#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000"];
 
 const WIDTH: f64 = 760.0;
 const HEIGHT: f64 = 440.0;
@@ -94,11 +93,8 @@ impl LineChart {
     ///
     /// Panics if no series with at least one point was added.
     pub fn to_svg(&self) -> String {
-        let all: Vec<(f64, f64)> = self
-            .series
-            .iter()
-            .flat_map(|s| s.points.iter().copied())
-            .collect();
+        let all: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
         assert!(!all.is_empty(), "chart has no data");
 
         let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -207,11 +203,8 @@ impl LineChart {
         // Series + legend.
         for (idx, series) in self.series.iter().enumerate() {
             let color = PALETTE[idx % PALETTE.len()];
-            let path: Vec<String> = series
-                .points
-                .iter()
-                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
-                .collect();
+            let path: Vec<String> =
+                series.points.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
             let _ = writeln!(
                 svg,
                 r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,

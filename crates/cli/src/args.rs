@@ -35,13 +35,16 @@ impl Args {
         self.values.get(key).map_or(default, String::as_str)
     }
 
+    /// A string value, or `None` when absent.
+    pub fn str_opt(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
     /// A parsed numeric value, or `default` when absent.
     pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.values.get(key) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("--{key} got `{raw}`, expected a number")),
+            Some(raw) => raw.parse().map_err(|_| format!("--{key} got `{raw}`, expected a number")),
         }
     }
 
@@ -65,6 +68,8 @@ mod tests {
             .unwrap();
         assert_eq!(a.num_or("devices", 0usize).unwrap(), 50);
         assert_eq!(a.str_or("algorithm", "x"), "greedy-regret");
+        assert_eq!(a.str_opt("algorithm"), Some("greedy-regret"));
+        assert_eq!(a.str_opt("trace"), None);
         assert!(a.has("json"));
         assert!(!a.has("quiet"));
     }

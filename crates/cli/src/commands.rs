@@ -1,8 +1,11 @@
 //! The `tacc` subcommands.
 
 use tacc_core::sim::SimConfig;
-use tacc_core::workload::{DemandModel, Scenario, ScenarioBuilder, TopologyFamily};
+use tacc_core::workload::{
+    DemandModel, Scenario, ScenarioBuilder, TopologyFamily, Trace, TraceGenerator, TraceScenario,
+};
 use tacc_core::{Algorithm, ClusterConfigurator};
+use tacc_runtime::{ReassignPolicy, Runtime, RuntimeConfig, RuntimeSnapshot};
 
 use crate::args::Args;
 
@@ -15,6 +18,8 @@ USAGE:
   tacc compare   [OPTIONS]   run a line-up of algorithms on the same scenario
   tacc simulate  [OPTIONS]   configure, then replay under Poisson traffic
   tacc topology  [OPTIONS]   emit a generated topology as Graphviz DOT
+  tacc gen-trace [OPTIONS]   generate an online-reconfiguration event trace
+  tacc run-trace [OPTIONS]   replay a trace through the online runtime
   tacc algorithms            list algorithm names
   tacc families              list topology families
 
@@ -31,7 +36,23 @@ OPTIONS (all subcommands):
 simulate only:
   --duration-ms D    simulated time             [default 30000]
   --deadline-ms D    per-request deadline       [default none]
-  --round-trip       count the downlink delay too";
+  --round-trip       count the downlink delay too
+
+gen-trace only:
+  --events N         events to generate         [default 200]
+  --mean-gap-ms G    mean event inter-arrival   [default 250]
+  --out FILE         write the trace here       [default stdout]
+
+run-trace only:
+  --trace FILE       trace to replay (required)
+  --policy NAME      greedy | q-learning        [default greedy]
+  --budget N         migrations per reconfiguration pass [default 4]
+  --refresh-every N  policy re-solve cadence    [default 0 = never]
+  --full-recompute   rebuild all shortest paths per change
+  --stop-after N     process only the first N events
+  --snapshot-out F   write a resumable snapshot when stopping
+  --resume FILE      resume from a snapshot (its config wins)
+  --timing           include wall-clock latency histograms in the report";
 
 fn family_by_name(name: &str) -> Result<TopologyFamily, String> {
     TopologyFamily::ALL
@@ -70,9 +91,8 @@ fn scenario_from(args: &Args) -> Result<(Scenario, u64), String> {
 
 fn algorithm_from(args: &Args) -> Result<Algorithm, String> {
     let name = args.str_or("algorithm", "q-learning");
-    Algorithm::by_name(name).ok_or_else(|| {
-        format!("unknown algorithm `{name}` (see `tacc algorithms`)")
-    })
+    Algorithm::by_name(name)
+        .ok_or_else(|| format!("unknown algorithm `{name}` (see `tacc algorithms`)"))
 }
 
 /// `tacc solve`
@@ -184,6 +204,86 @@ pub fn topology(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `tacc gen-trace`
+pub fn gen_trace(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let json = gen_trace_json(&args)?;
+    match args.str_opt("out") {
+        Some(path) => std::fs::write(path, json).map_err(|e| format!("writing `{path}`: {e}"))?,
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn gen_trace_json(args: &Args) -> Result<String, String> {
+    let seed = args.num_or("seed", 42u64)?;
+    let scenario = TraceScenario {
+        family: family_by_name(args.str_or("family", "random-geometric"))?,
+        num_iot: args.num_or("devices", 100usize)?,
+        num_servers: args.num_or("servers", 10usize)?,
+        load_factor: args.num_or("load", 0.7f64)?,
+        seed,
+    };
+    let trace = TraceGenerator::new(scenario)
+        .num_events(args.num_or("events", 200usize)?)
+        .mean_interarrival_ms(args.num_or("mean-gap-ms", 250.0f64)?)
+        .generate(seed)
+        .map_err(|e| e.to_string())?;
+    Ok(trace.to_json())
+}
+
+/// `tacc run-trace`
+pub fn run_trace(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    println!("{}", run_trace_report(&args)?);
+    Ok(())
+}
+
+fn run_trace_report(args: &Args) -> Result<String, String> {
+    let path = args.str_opt("trace").ok_or("run-trace needs --trace FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
+    let trace = Trace::from_json(&text).map_err(|e| e.to_string())?;
+
+    let mut runtime = match args.str_opt("resume") {
+        Some(snap_path) => {
+            let snap_text = std::fs::read_to_string(snap_path)
+                .map_err(|e| format!("reading `{snap_path}`: {e}"))?;
+            let snapshot = RuntimeSnapshot::from_json(&snap_text).map_err(|e| e.to_string())?;
+            Runtime::restore(snapshot, &trace).map_err(|e| e.to_string())?
+        }
+        None => {
+            let policy_name = args.str_or("policy", "greedy");
+            let policy = ReassignPolicy::from_name(policy_name)
+                .ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
+            let refresh = args.num_or("refresh-every", 0u64)?;
+            let config = RuntimeConfig {
+                policy,
+                seed: args.num_or("seed", 42u64)?,
+                migration_budget: args.num_or("budget", 4usize)?,
+                refresh_every: (refresh > 0).then_some(refresh),
+                full_recompute: args.has("full-recompute"),
+                ..RuntimeConfig::default()
+            };
+            Runtime::from_trace(&trace, config).map_err(|e| e.to_string())?
+        }
+    };
+
+    let stop_after = args.num_or("stop-after", u64::MAX)?;
+    let end = trace.events.len().min(usize::try_from(stop_after).unwrap_or(usize::MAX));
+    while (runtime.cursor() as usize) < end {
+        let index = runtime.cursor() as usize;
+        runtime.step(index, &trace.events[index]).map_err(|e| e.to_string())?;
+    }
+
+    if let Some(snap_path) = args.str_opt("snapshot-out") {
+        std::fs::write(snap_path, runtime.snapshot().to_json())
+            .map_err(|e| format!("writing `{snap_path}`: {e}"))?;
+    }
+
+    serde_json::to_string_pretty(&runtime.report_json(args.has("timing")))
+        .map_err(|e| e.to_string())
+}
+
 /// `tacc algorithms`
 pub fn algorithms() -> Result<(), String> {
     for algorithm in Algorithm::standard_set() {
@@ -214,7 +314,13 @@ mod tests {
     #[test]
     fn solve_runs_with_a_fast_algorithm() {
         solve(&argv(&[
-            "--devices", "12", "--servers", "3", "--algorithm", "greedy-regret", "--json",
+            "--devices",
+            "12",
+            "--servers",
+            "3",
+            "--algorithm",
+            "greedy-regret",
+            "--json",
         ]))
         .unwrap();
     }
@@ -243,6 +349,63 @@ mod tests {
     }
 
     #[test]
+    fn trace_round_trip_is_deterministic_even_across_interruption() {
+        let dir = std::env::temp_dir().join("tacc-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json");
+        let snap_path = dir.join("snapshot.json");
+
+        let gen_args = Args::parse(&argv(&[
+            "--devices",
+            "15",
+            "--servers",
+            "3",
+            "--events",
+            "50",
+            "--seed",
+            "42",
+        ]))
+        .unwrap();
+        let json = gen_trace_json(&gen_args).unwrap();
+        std::fs::write(&trace_path, &json).unwrap();
+        // Regenerating produces the identical trace.
+        assert_eq!(json, gen_trace_json(&gen_args).unwrap());
+
+        let trace_flag = trace_path.to_str().unwrap();
+        let base = ["--trace", trace_flag, "--seed", "42"];
+
+        let run = |extra: &[&str]| {
+            let mut a: Vec<&str> = base.to_vec();
+            a.extend_from_slice(extra);
+            run_trace_report(&Args::parse(&argv(&a)).unwrap()).unwrap()
+        };
+
+        // Two uninterrupted runs are byte-identical.
+        let whole = run(&[]);
+        assert_eq!(whole, run(&[]));
+
+        // Stop at event 25, snapshot, resume: still byte-identical.
+        run(&["--stop-after", "25", "--snapshot-out", snap_path.to_str().unwrap()]);
+        let resumed = run(&["--resume", snap_path.to_str().unwrap()]);
+        assert_eq!(whole, resumed);
+    }
+
+    #[test]
+    fn run_trace_rejects_missing_inputs() {
+        let args = Args::parse(&argv(&[])).unwrap();
+        assert!(run_trace_report(&args).is_err());
+        let args = Args::parse(&argv(&["--trace", "/nonexistent/trace.json"])).unwrap();
+        assert!(run_trace_report(&args).is_err());
+        let dir = std::env::temp_dir().join("tacc-cli-trace-test-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        std::fs::write(&path, "{}").unwrap();
+        let args =
+            Args::parse(&argv(&["--trace", path.to_str().unwrap(), "--policy", "nope"])).unwrap();
+        assert!(run_trace_report(&args).is_err());
+    }
+
+    #[test]
     fn simulate_runs_quickly_on_a_small_scenario() {
         simulate(&argv(&[
             "--devices",
@@ -267,10 +430,8 @@ mod topology_tests {
 
     #[test]
     fn topology_emits_dot() {
-        let argv: Vec<String> = ["--devices", "5", "--servers", "2"]
-            .iter()
-            .map(|s| (*s).to_owned())
-            .collect();
+        let argv: Vec<String> =
+            ["--devices", "5", "--servers", "2"].iter().map(|s| (*s).to_owned()).collect();
         topology(&argv).unwrap();
     }
 }

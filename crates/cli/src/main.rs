@@ -4,6 +4,8 @@
 //! tacc solve     --devices 100 --servers 10 --algorithm q-learning
 //! tacc compare   --devices 100 --servers 10 --load 0.85
 //! tacc simulate  --devices 100 --servers 10 --deadline-ms 50
+//! tacc gen-trace --devices 100 --servers 10 --events 500 --out trace.json
+//! tacc run-trace --trace trace.json --seed 42
 //! tacc algorithms | tacc families
 //! ```
 
@@ -23,6 +25,8 @@ fn main() -> ExitCode {
         "compare" => commands::compare(rest),
         "simulate" => commands::simulate(rest),
         "topology" => commands::topology(rest),
+        "gen-trace" => commands::gen_trace(rest),
+        "run-trace" => commands::run_trace(rest),
         "algorithms" => commands::algorithms(),
         "families" => commands::families(),
         "help" | "--help" | "-h" => {

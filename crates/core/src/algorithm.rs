@@ -150,11 +150,7 @@ mod tests {
             vec![2.0, 5.0, 1.0],
             vec![3.0, 2.0, 4.0],
         ]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .uniform_capacity(2.0)
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).uniform_capacity(2.0).build().unwrap()
     }
 
     #[test]

@@ -166,17 +166,11 @@ impl ClusterConfigurator {
             });
         }
 
-        let instance = GapInstance::builder(delays)
-            .device_demands(demands)
-            .capacities(capacities)
-            .build()?;
+        let instance =
+            GapInstance::builder(delays).device_demands(demands).capacities(capacities).build()?;
         let solver = self.algorithm.solver(self.seed);
         let solution = solver.solve(&instance)?;
-        Ok(ClusterConfiguration {
-            algorithm_name: solver.name().to_owned(),
-            instance,
-            solution,
-        })
+        Ok(ClusterConfiguration { algorithm_name: solver.name().to_owned(), instance, solution })
     }
 }
 
@@ -211,10 +205,7 @@ impl ClusterConfiguration {
     ///
     /// Panics if `device` is out of range.
     pub fn server_for(&self, device: usize) -> usize {
-        self.solution
-            .assignment
-            .server_of(device)
-            .expect("configurations are complete")
+        self.solution.assignment.server_of(device).expect("configurations are complete")
     }
 
     /// `true` when no server exceeds its capacity.
@@ -282,8 +273,7 @@ impl ClusterConfiguration {
         assert_eq!(topology.num_servers(), self.instance.num_servers(), "server count mismatch");
         let n = self.instance.num_devices();
         let assignment: Vec<usize> = (0..n).map(|i| self.server_for(i)).collect();
-        let flow: Vec<f64> =
-            (0..n).map(|i| self.instance.demand(i, assignment[i])).collect();
+        let flow: Vec<f64> = (0..n).map(|i| self.instance.demand(i, assignment[i])).collect();
         tacc_topology::routing::congestion(topology, model, &assignment, &flow)
     }
 
@@ -355,10 +345,8 @@ mod tests {
             .configure()
             .unwrap_err();
         assert!(err.to_string().contains("demands"));
-        let err = ClusterConfigurator::new(tiny_topology())
-            .uniform_demand(1.0)
-            .configure()
-            .unwrap_err();
+        let err =
+            ClusterConfigurator::new(tiny_topology()).uniform_demand(1.0).configure().unwrap_err();
         assert!(err.to_string().contains("capacities"));
     }
 
@@ -414,11 +402,8 @@ mod tests {
 
     #[test]
     fn from_scenario_inherits_workload() {
-        let scenario = tacc_workload::ScenarioBuilder::new()
-            .num_iot(12)
-            .num_servers(3)
-            .build(5)
-            .unwrap();
+        let scenario =
+            tacc_workload::ScenarioBuilder::new().num_iot(12).num_servers(3).build(5).unwrap();
         let config = ClusterConfigurator::from_scenario(&scenario)
             .algorithm(Algorithm::greedy())
             .configure()
@@ -436,7 +421,11 @@ mod tests {
             .configure()
             .unwrap();
         let report = config
-            .simulate(SimConfig { duration_ms: 20_000.0, warmup_ms: 1000.0, ..SimConfig::default() })
+            .simulate(SimConfig {
+                duration_ms: 20_000.0,
+                warmup_ms: 1000.0,
+                ..SimConfig::default()
+            })
             .unwrap();
         assert!(report.completed_requests() > 100);
         // Latency at least the network delay (2 ms via the router).

@@ -37,7 +37,7 @@ impl DynamicCluster {
             active: vec![false; n],
             loads: vec![0.0; m],
             instance,
-        // Migration counting starts at zero; joins are not migrations.
+            // Migration counting starts at zero; joins are not migrations.
             migrations: 0,
         }
     }
@@ -58,18 +58,52 @@ impl DynamicCluster {
         }
         let loads = assignment.server_loads(&instance);
         let n = instance.num_devices();
-        Ok(DynamicCluster {
-            assignment,
-            active: vec![true; n],
-            loads,
-            instance,
-            migrations: 0,
-        })
+        Ok(DynamicCluster { assignment, active: vec![true; n], loads, instance, migrations: 0 })
+    }
+
+    /// Rebuilds a cluster from a possibly partial assignment: unassigned
+    /// devices are inactive, loads are recomputed, and `migrations`
+    /// restores the migration counter. This is the restore path of
+    /// runtime snapshots, where [`DynamicCluster::from_assignment`]'s
+    /// everyone-active precondition does not hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GapError::DimensionMismatch`] when the assignment's
+    /// device or server count disagrees with the instance.
+    pub fn from_partial(
+        instance: GapInstance,
+        assignment: Assignment,
+        migrations: u64,
+    ) -> Result<Self, GapError> {
+        if assignment.num_devices() != instance.num_devices() {
+            return Err(GapError::DimensionMismatch {
+                what: "assignment devices",
+                expected: instance.num_devices(),
+                actual: assignment.num_devices(),
+            });
+        }
+        if assignment.num_servers() != instance.num_servers() {
+            return Err(GapError::DimensionMismatch {
+                what: "assignment servers",
+                expected: instance.num_servers(),
+                actual: assignment.num_servers(),
+            });
+        }
+        let loads = assignment.server_loads(&instance);
+        let active: Vec<bool> =
+            (0..instance.num_devices()).map(|i| assignment.server_of(i).is_some()).collect();
+        Ok(DynamicCluster { assignment, active, loads, instance, migrations })
     }
 
     /// The underlying instance.
     pub fn instance(&self) -> &GapInstance {
         &self.instance
+    }
+
+    /// The current assignment; inactive devices read as unassigned.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
     }
 
     /// Whether `device` is currently active.
@@ -143,9 +177,7 @@ impl DynamicCluster {
         let m = self.instance.num_servers();
         let mut best: Option<(usize, f64)> = None;
         for j in 0..m {
-            if self.loads[j] + self.instance.demand(device, j)
-                <= self.instance.capacity(j) + 1e-9
-            {
+            if self.loads[j] + self.instance.demand(device, j) <= self.instance.capacity(j) + 1e-9 {
                 let d = self.instance.delay(device, j);
                 if best.map_or(true, |(_, bd)| d < bd) {
                     best = Some((j, d));
@@ -171,6 +203,48 @@ impl DynamicCluster {
         self.assignment.assign(device, j)?;
         self.active[device] = true;
         Ok(j)
+    }
+
+    /// Whether placing `device` on `server` would respect capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn fits(&self, device: usize, server: usize) -> bool {
+        self.loads[server] + self.instance.demand(device, server)
+            <= self.instance.capacity(server) + 1e-9
+    }
+
+    /// Activates a device on an explicit server, unlike
+    /// [`DynamicCluster::join`] which picks one. Returns `false` (leaving
+    /// the cluster untouched) when the placement would overload the
+    /// server — the caller decides what degradation looks like.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range or already active, or if
+    /// `server` is out of range.
+    pub fn try_place(&mut self, device: usize, server: usize) -> bool {
+        assert!(!self.active[device], "device {device} is already active");
+        if !self.fits(device, server) {
+            return false;
+        }
+        self.loads[server] += self.instance.demand(device, server);
+        self.assignment.assign(device, server).expect("server index checked by fits");
+        self.active[device] = true;
+        true
+    }
+
+    /// Swaps in a new delay matrix (same devices, servers, demands and
+    /// capacities) — the hook for online delay maintenance. Loads and the
+    /// assignment are unchanged; only delay-derived quantities move.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GapInstance::with_delays`] validation errors.
+    pub fn update_delays(&mut self, delays: tacc_topology::DelayMatrix) -> Result<(), GapError> {
+        self.instance = self.instance.with_delays(delays)?;
+        Ok(())
     }
 
     /// Deactivates a device, freeing its server capacity.
@@ -239,11 +313,7 @@ mod tests {
             vec![6.0, 1.0],
             vec![4.0, 2.0],
         ]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .uniform_capacity(2.0)
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).uniform_capacity(2.0).build().unwrap()
     }
 
     #[test]
@@ -281,11 +351,8 @@ mod tests {
             vec![6.0, 1.0],
             vec![4.0, 2.0],
         ]);
-        let inst = GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .uniform_capacity(3.0)
-            .build()
-            .unwrap();
+        let inst =
+            GapInstance::builder(delays).uniform_demand(1.0).uniform_capacity(3.0).build().unwrap();
         let crossed = Assignment::from_vec(vec![1, 1, 0, 0], 2).unwrap();
         let mut c = DynamicCluster::from_assignment(inst, crossed).unwrap();
         assert_eq!(c.total_delay(), 5.0 + 3.0 + 6.0 + 4.0);
@@ -309,9 +376,9 @@ mod tests {
         let mut c = DynamicCluster::new(instance());
         c.join(2).unwrap(); // s1 (1.0)
         c.join(3).unwrap(); // s1 (2.0) — s1 now full
-        // Put both onto their worst servers by simulating churn: leave and
-        // rejoin in an order that forces bad placement is convoluted;
-        // instead verify budget 0 does nothing.
+                            // Put both onto their worst servers by simulating churn: leave and
+                            // rejoin in an order that forces bad placement is convoluted;
+                            // instead verify budget 0 does nothing.
         assert_eq!(c.rebalance(0), 0);
         assert_eq!(c.migrations(), 0);
     }
@@ -355,11 +422,8 @@ mod tests {
     #[test]
     fn overflow_join_marks_infeasible() {
         let delays = DelayMatrix::from_rows(vec![vec![1.0]; 3]);
-        let inst = GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![2.0])
-            .build()
-            .unwrap();
+        let inst =
+            GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![2.0]).build().unwrap();
         let mut c = DynamicCluster::new(inst);
         c.join(0).unwrap();
         c.join(1).unwrap();

@@ -60,11 +60,7 @@ mod tests {
             vec![6.0, 2.0, 1.0],
             vec![3.0, 4.0, 1.0],
         ]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .uniform_capacity(2.0)
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).uniform_capacity(2.0).build().unwrap()
     }
 
     #[test]

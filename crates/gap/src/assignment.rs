@@ -108,10 +108,7 @@ impl Assignment {
 
     /// Iterates over `(device, server)` pairs of assigned devices.
     pub fn iter_assigned(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.servers
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.map(|j| (i, j as usize)))
+        self.servers.iter().enumerate().filter_map(|(i, s)| s.map(|j| (i, j as usize)))
     }
 
     /// Load on every server under `instance`'s demand model (assigned
@@ -189,9 +186,7 @@ impl Assignment {
     /// empty).
     pub fn max_delay(&self, instance: &GapInstance) -> f64 {
         self.check_dims(instance);
-        self.iter_assigned()
-            .map(|(i, j)| instance.delay(i, j))
-            .fold(0.0, f64::max)
+        self.iter_assigned().map(|(i, j)| instance.delay(i, j)).fold(0.0, f64::max)
     }
 
     /// Delay plus `penalty` per unit of capacity overload — the soft
@@ -246,11 +241,7 @@ mod tests {
     use tacc_topology::DelayMatrix;
 
     fn instance() -> GapInstance {
-        let delays = DelayMatrix::from_rows(vec![
-            vec![1.0, 5.0],
-            vec![4.0, 2.0],
-            vec![3.0, 3.0],
-        ]);
+        let delays = DelayMatrix::from_rows(vec![vec![1.0, 5.0], vec![4.0, 2.0], vec![3.0, 3.0]]);
         GapInstance::builder(delays)
             .device_demands(vec![2.0, 2.0, 2.0])
             .capacities(vec![4.0, 2.0])
@@ -311,10 +302,7 @@ mod tests {
         let inst = instance();
         let mut a = Assignment::unassigned(3, 2);
         a.assign(0, 0).unwrap();
-        assert!(matches!(
-            a.total_delay(&inst),
-            Err(GapError::IncompleteAssignment { device: 1 })
-        ));
+        assert!(matches!(a.total_delay(&inst), Err(GapError::IncompleteAssignment { device: 1 })));
         assert_eq!(a.partial_delay(&inst), 1.0);
     }
 

@@ -67,11 +67,7 @@ pub fn lagrangian_bound(instance: &GapInstance, iterations: usize) -> f64 {
     for t in 0..iterations {
         // Evaluate L(λ): each device independently picks its cheapest
         // penalized server; accumulate the capacity usage subgradient.
-        let mut value = -lambda
-            .iter()
-            .zip(instance.capacities())
-            .map(|(l, c)| l * c)
-            .sum::<f64>();
+        let mut value = -lambda.iter().zip(instance.capacities()).map(|(l, c)| l * c).sum::<f64>();
         let mut usage = vec![0.0f64; m];
         for i in 0..n {
             let delays = instance.delay_row(i);
@@ -110,11 +106,7 @@ mod tests {
     /// and the Lagrangian bound should close part of that gap.
     fn contended_instance() -> GapInstance {
         let delays = DelayMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 2.0]]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![1.0, 1.0])
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![1.0, 1.0]).build().unwrap()
     }
 
     #[test]

@@ -166,7 +166,11 @@ impl Solver for BranchAndBound {
                     second = d;
                 }
             }
-            if second.is_finite() { second - best } else { 0.0 }
+            if second.is_finite() {
+                second - best
+            } else {
+                0.0
+            }
         };
         order.sort_by(|&a, &b| regret(b).partial_cmp(&regret(a)).expect("regret is not NaN"));
 
@@ -183,8 +187,7 @@ impl Solver for BranchAndBound {
 
         // Warm start. greedy_incumbent returns servers indexed by *device*.
         if let Some((servers, cost)) = greedy_incumbent(instance, &search.order) {
-            let in_branch_order: Vec<usize> =
-                search.order.iter().map(|&i| servers[i]).collect();
+            let in_branch_order: Vec<usize> = search.order.iter().map(|&i| servers[i]).collect();
             search.best = Some((in_branch_order, cost));
         }
 
@@ -232,9 +235,8 @@ mod tests {
 
     fn random_instance(seed: u64, n: usize, m: usize, tight: bool) -> GapInstance {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| (0..m).map(|_| rng.random_range(1.0..20.0)).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..m).map(|_| rng.random_range(1.0..20.0)).collect()).collect();
         let demands: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..2.0)).collect();
         let total: f64 = demands.iter().sum();
         let cap = if tight { total / m as f64 * 1.3 } else { total };
@@ -285,15 +287,9 @@ mod tests {
     #[test]
     fn proves_infeasibility() {
         let delays = DelayMatrix::from_rows(vec![vec![1.0], vec![1.0]]);
-        let inst = GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![1.5])
-            .build()
-            .unwrap();
-        assert_eq!(
-            BranchAndBound::default().solve(&inst).unwrap_err(),
-            GapError::Infeasible
-        );
+        let inst =
+            GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![1.5]).build().unwrap();
+        assert_eq!(BranchAndBound::default().solve(&inst).unwrap_err(), GapError::Infeasible);
     }
 
     #[test]

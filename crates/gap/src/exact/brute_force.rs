@@ -147,11 +147,8 @@ mod tests {
     #[test]
     fn proves_infeasibility() {
         let delays = DelayMatrix::from_rows(vec![vec![1.0], vec![1.0]]);
-        let inst = GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![1.5])
-            .build()
-            .unwrap();
+        let inst =
+            GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![1.5]).build().unwrap();
         assert_eq!(BruteForce::default().solve(&inst).unwrap_err(), GapError::Infeasible);
     }
 
@@ -163,21 +160,15 @@ mod tests {
             .capacities(vec![100.0])
             .build()
             .unwrap();
-        assert!(matches!(
-            BruteForce::default().solve(&inst),
-            Err(GapError::TooLarge { .. })
-        ));
+        assert!(matches!(BruteForce::default().solve(&inst), Err(GapError::TooLarge { .. })));
         assert!(BruteForce::with_max_devices(20).solve(&inst).is_ok());
     }
 
     #[test]
     fn single_device_single_server() {
         let delays = DelayMatrix::from_rows(vec![vec![7.0]]);
-        let inst = GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![1.0])
-            .build()
-            .unwrap();
+        let inst =
+            GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![1.0]).build().unwrap();
         let s = BruteForce::default().solve(&inst).unwrap();
         assert_eq!(s.objective, 7.0);
     }

@@ -94,6 +94,44 @@ impl GapInstance {
         &self.demands[device * self.num_servers()..(device + 1) * self.num_servers()]
     }
 
+    /// A copy of this instance with the delay matrix replaced — the hook
+    /// the online runtime uses when link drift or server failure changes
+    /// `d(i, j)` while demands and capacities stay put.
+    ///
+    /// # Errors
+    ///
+    /// - [`GapError::DimensionMismatch`] when `delays` is not `n × m`.
+    /// - [`GapError::InvalidDelay`] for a NaN or negative entry
+    ///   (`f64::INFINITY` is allowed and marks an unreachable pair).
+    pub fn with_delays(&self, delays: DelayMatrix) -> Result<GapInstance, GapError> {
+        if delays.num_iot() != self.num_devices() {
+            return Err(GapError::DimensionMismatch {
+                what: "delay matrix rows",
+                expected: self.num_devices(),
+                actual: delays.num_iot(),
+            });
+        }
+        if delays.num_servers() != self.num_servers() {
+            return Err(GapError::DimensionMismatch {
+                what: "delay matrix columns",
+                expected: self.num_servers(),
+                actual: delays.num_servers(),
+            });
+        }
+        for i in 0..self.num_devices() {
+            for (j, &d) in delays.row(i).iter().enumerate() {
+                if d.is_nan() || d < 0.0 {
+                    return Err(GapError::InvalidDelay { device: i, server: j, value: d });
+                }
+            }
+        }
+        Ok(GapInstance {
+            delays,
+            demands: self.demands.clone(),
+            capacities: self.capacities.clone(),
+        })
+    }
+
     /// System load factor: total minimum demand divided by total capacity.
     ///
     /// Uses each device's *minimum* demand over servers, so a value above
@@ -115,9 +153,8 @@ impl GapInstance {
         if self.load_factor() > 1.0 {
             return false;
         }
-        (0..self.num_devices()).all(|i| {
-            (0..self.num_servers()).any(|j| self.demand(i, j) <= self.capacity(j))
-        })
+        (0..self.num_devices())
+            .all(|i| (0..self.num_servers()).any(|j| self.demand(i, j) <= self.capacity(j)))
     }
 }
 
@@ -336,11 +373,8 @@ mod tests {
         // *infinite* delay is a legal "unreachable pair" marker that the
         // instance must carry through so solvers can route around it.
         let delays = DelayMatrix::from_rows(vec![vec![f64::INFINITY, 1.0]]);
-        let inst = GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .uniform_capacity(5.0)
-            .build()
-            .unwrap();
+        let inst =
+            GapInstance::builder(delays).uniform_demand(1.0).uniform_capacity(5.0).build().unwrap();
         assert!(inst.delay(0, 0).is_infinite());
     }
 

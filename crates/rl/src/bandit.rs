@@ -153,11 +153,8 @@ impl BanditAssign {
             best.expect("best is Some when rollout is not used").0
         };
 
-        let stats = SolveStats {
-            elapsed: start.elapsed(),
-            iterations: cfg.episodes as u64,
-            evaluations,
-        };
+        let stats =
+            SolveStats { elapsed: start.elapsed(), iterations: cfg.episodes as u64, evaluations };
         Ok((Solution::evaluate(assignment, instance, stats)?, TrainingReport::new(history, 0)))
     }
 }
@@ -180,11 +177,7 @@ mod tests {
     fn easy_instance() -> GapInstance {
         // Loose capacity: the bandit should learn each device's favourite.
         let delays = DelayMatrix::from_rows(vec![vec![1.0, 5.0], vec![6.0, 2.0]]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .uniform_capacity(5.0)
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).uniform_capacity(5.0).build().unwrap()
     }
 
     #[test]

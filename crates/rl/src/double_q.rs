@@ -130,11 +130,8 @@ impl DoubleQLearning {
             best.expect("best is Some when rollout is not used").0
         };
 
-        let stats = SolveStats {
-            elapsed: start.elapsed(),
-            iterations: cfg.episodes as u64,
-            evaluations,
-        };
+        let stats =
+            SolveStats { elapsed: start.elapsed(), iterations: cfg.episodes as u64, evaluations };
         let report = TrainingReport::new(history, qa.num_states().max(qb.num_states()));
         Ok((Solution::evaluate(assignment, instance, stats)?, report))
     }
@@ -255,16 +252,8 @@ mod tests {
     use tacc_topology::DelayMatrix;
 
     fn trap_instance() -> GapInstance {
-        let delays = DelayMatrix::from_rows(vec![
-            vec![1.0, 9.0],
-            vec![1.0, 2.0],
-            vec![1.0, 8.0],
-        ]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![2.0, 2.0])
-            .build()
-            .unwrap()
+        let delays = DelayMatrix::from_rows(vec![vec![1.0, 9.0], vec![1.0, 2.0], vec![1.0, 8.0]]);
+        GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![2.0, 2.0]).build().unwrap()
     }
 
     fn quick(episodes: usize) -> QLearningConfig {
@@ -306,9 +295,8 @@ mod tests {
         for seed in 0..4u64 {
             use rand::{Rng, SeedableRng};
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed + 50);
-            let rows: Vec<Vec<f64>> = (0..10)
-                .map(|_| (0..3).map(|_| rng.random_range(1.0..15.0)).collect())
-                .collect();
+            let rows: Vec<Vec<f64>> =
+                (0..10).map(|_| (0..3).map(|_| rng.random_range(1.0..15.0)).collect()).collect();
             let inst = GapInstance::builder(DelayMatrix::from_rows(rows))
                 .uniform_demand(1.0)
                 .uniform_capacity(4.0)

@@ -62,12 +62,7 @@ impl FeatureExtractor {
         let demand = instance.demand(device, server);
         let residual = mdp.residuals()[server];
         let capacity = instance.capacity(server);
-        let max_residual = mdp
-            .residuals()
-            .iter()
-            .cloned()
-            .fold(0.0, f64::max)
-            .max(1e-12);
+        let max_residual = mdp.residuals().iter().cloned().fold(0.0, f64::max).max(1e-12);
         [
             1.0,
             delay / self.row_max[device],
@@ -88,11 +83,7 @@ mod tests {
 
     fn instance() -> GapInstance {
         let delays = DelayMatrix::from_rows(vec![vec![2.0, 4.0, 8.0], vec![6.0, 3.0, 9.0]]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .uniform_capacity(2.0)
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).uniform_capacity(2.0).build().unwrap()
     }
 
     #[test]

@@ -106,16 +106,14 @@ impl LfaQLearning {
         for episode in 0..cfg.episodes {
             let epsilon = cfg.epsilon.at(episode);
             mdp.reset();
-            let mut assignment =
-                Assignment::unassigned(instance.num_devices(), mdp.num_actions());
+            let mut assignment = Assignment::unassigned(instance.num_devices(), mdp.num_actions());
             let mut episode_return = 0.0;
 
             while !mdp.is_done() {
                 let device = mdp.current_device();
                 let phi_by_action: Vec<[f64; NUM_FEATURES]> =
                     (0..mdp.num_actions()).map(|j| fx.extract(&mdp, j)).collect();
-                let action =
-                    self.pick(&mdp, &theta, &phi_by_action, epsilon, &mut rng);
+                let action = self.pick(&mdp, &theta, &phi_by_action, epsilon, &mut rng);
                 let phi = phi_by_action[action];
                 let q_sa = dot(&theta, &phi);
                 let reward = mdp.apply(action);
@@ -183,11 +181,8 @@ impl LfaQLearning {
             best.expect("best is Some when rollout is not used").0
         };
 
-        let stats = SolveStats {
-            elapsed: start.elapsed(),
-            iterations: cfg.episodes as u64,
-            evaluations,
-        };
+        let stats =
+            SolveStats { elapsed: start.elapsed(), iterations: cfg.episodes as u64, evaluations };
         Ok((Solution::evaluate(assignment, instance, stats)?, TrainingReport::new(history, 0)))
     }
 
@@ -259,11 +254,7 @@ mod tests {
             vec![5.0, 1.0],
             vec![4.0, 2.0],
         ]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![2.0, 2.0])
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![2.0, 2.0]).build().unwrap()
     }
 
     fn quick(episodes: usize) -> LfaConfig {

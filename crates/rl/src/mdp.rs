@@ -240,11 +240,7 @@ mod tests {
 
     fn instance() -> GapInstance {
         let delays = DelayMatrix::from_rows(vec![vec![1.0, 5.0], vec![4.0, 2.0]]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![2.0, 2.0])
-            .build()
-            .unwrap()
+        GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![2.0, 2.0]).build().unwrap()
     }
 
     #[test]
@@ -277,11 +273,8 @@ mod tests {
         assert!(mdp.is_done());
         // Third assignment would overflow: simulate with a 3-device run.
         let delays = DelayMatrix::from_rows(vec![vec![1.0], vec![1.0], vec![1.0]]);
-        let tight = GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![2.0])
-            .build()
-            .unwrap();
+        let tight =
+            GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![2.0]).build().unwrap();
         let mut mdp = AssignmentMdp::new(&tight, EpisodeOrder::Index, 4, 100.0);
         mdp.apply(0);
         mdp.apply(0);
@@ -293,11 +286,8 @@ mod tests {
     #[test]
     fn episode_return_equals_negative_penalized_objective() {
         let delays = DelayMatrix::from_rows(vec![vec![2.0], vec![3.0], vec![4.0]]);
-        let inst = GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![2.0])
-            .build()
-            .unwrap();
+        let inst =
+            GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![2.0]).build().unwrap();
         let mut mdp = AssignmentMdp::new(&inst, EpisodeOrder::Index, 4, 50.0);
         let mut ret = 0.0;
         ret += mdp.apply(0);
@@ -314,7 +304,7 @@ mod tests {
         let fresh = mdp.state_key();
         mdp.reset();
         mdp.apply(0); // consumes half of server 0
-        // Now deciding device 1 with different residuals.
+                      // Now deciding device 1 with different residuals.
         let later = mdp.state_key();
         assert_ne!(fresh, later);
     }
@@ -333,11 +323,8 @@ mod tests {
     #[test]
     fn residual_levels_span_full_to_empty() {
         let delays = DelayMatrix::from_rows(vec![vec![1.0]; 4]);
-        let inst = GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![4.0])
-            .build()
-            .unwrap();
+        let inst =
+            GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![4.0]).build().unwrap();
         let mut mdp = AssignmentMdp::new(&inst, EpisodeOrder::Index, 4, 100.0);
         let mut levels = vec![mdp.residual_level(0)];
         for _ in 0..4 {

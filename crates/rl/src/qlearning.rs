@@ -4,10 +4,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use tacc_gap::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
 
-use crate::{
-    AssignmentMdp, EpisodeOrder, EpsilonSchedule, LearningRate, QTable, TrainingReport,
-};
 use crate::report::EpisodePoint;
+use crate::{AssignmentMdp, EpisodeOrder, EpsilonSchedule, LearningRate, QTable, TrainingReport};
 
 /// Hyper-parameters of [`QLearning`].
 #[derive(Debug, Clone, PartialEq)]
@@ -200,11 +198,8 @@ impl QLearning {
             best.expect("best is Some when rollout is not used").0
         };
 
-        let stats = SolveStats {
-            elapsed: start.elapsed(),
-            iterations: cfg.episodes as u64,
-            evaluations,
-        };
+        let stats =
+            SolveStats { elapsed: start.elapsed(), iterations: cfg.episodes as u64, evaluations };
         let report = TrainingReport::new(history, q.num_states());
         Ok((Solution::evaluate(assignment, instance, stats)?, report))
     }
@@ -321,16 +316,8 @@ mod tests {
     /// Greedy traps: device 0 decides first (highest regret) and its
     /// myopically best server starves device 2.
     fn trap_instance() -> GapInstance {
-        let delays = DelayMatrix::from_rows(vec![
-            vec![1.0, 9.0],
-            vec![1.0, 2.0],
-            vec![1.0, 8.0],
-        ]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![2.0, 2.0])
-            .build()
-            .unwrap()
+        let delays = DelayMatrix::from_rows(vec![vec![1.0, 9.0], vec![1.0, 2.0], vec![1.0, 8.0]]);
+        GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![2.0, 2.0]).build().unwrap()
     }
 
     fn quick_config(episodes: usize) -> QLearningConfig {
@@ -365,10 +352,7 @@ mod tests {
         let (_, report) = QLearning::new(quick_config(600), 11).train(&inst).unwrap();
         let early: f64 = report.history()[..50].iter().map(|p| p.reward).sum::<f64>() / 50.0;
         let late = report.final_mean_reward(50);
-        assert!(
-            late >= early,
-            "training regressed: early mean {early}, late mean {late}"
-        );
+        assert!(late >= early, "training regressed: early mean {early}, late mean {late}");
     }
 
     #[test]
@@ -417,9 +401,8 @@ mod tests {
         for seed in 0..6u64 {
             use rand::{Rng, SeedableRng};
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-            let rows: Vec<Vec<f64>> = (0..12)
-                .map(|_| (0..3).map(|_| rng.random_range(1.0..20.0)).collect())
-                .collect();
+            let rows: Vec<Vec<f64>> =
+                (0..12).map(|_| (0..3).map(|_| rng.random_range(1.0..20.0)).collect()).collect();
             let inst = GapInstance::builder(DelayMatrix::from_rows(rows))
                 .uniform_demand(1.0)
                 .uniform_capacity(5.0)

@@ -33,10 +33,7 @@ impl QTable {
 
     /// All action values of a state (0.0 defaults).
     pub fn row(&self, state: StateKey) -> Vec<f64> {
-        self.values
-            .get(&state)
-            .cloned()
-            .unwrap_or_else(|| vec![0.0; self.num_actions])
+        self.values.get(&state).cloned().unwrap_or_else(|| vec![0.0; self.num_actions])
     }
 
     /// `max_a Q(s, a)`.
@@ -95,15 +92,9 @@ impl QTable {
     /// Panics if `action` is out of range.
     pub fn update(&mut self, state: StateKey, action: usize, alpha: f64, target: f64) {
         assert!(action < self.num_actions, "action {action} out of range");
-        let row = self
-            .values
-            .entry(state)
-            .or_insert_with(|| vec![0.0; self.num_actions]);
+        let row = self.values.entry(state).or_insert_with(|| vec![0.0; self.num_actions]);
         row[action] += alpha * (target - row[action]);
-        let visits = self
-            .visits
-            .entry(state)
-            .or_insert_with(|| vec![0; self.num_actions]);
+        let visits = self.visits.entry(state).or_insert_with(|| vec![0; self.num_actions]);
         visits[action] = visits[action].saturating_add(1);
     }
 
@@ -130,8 +121,7 @@ mod tests {
             .uniform_capacity(10.0)
             .build()
             .unwrap();
-        let mut mdp =
-            crate::AssignmentMdp::new(&inst, crate::EpisodeOrder::Index, 4, 1.0);
+        let mut mdp = crate::AssignmentMdp::new(&inst, crate::EpisodeOrder::Index, 4, 1.0);
         for _ in 0..n {
             mdp.apply(0);
         }

@@ -121,8 +121,7 @@ impl Sarsa {
         for episode in 0..cfg.episodes {
             let epsilon = cfg.epsilon.at(episode);
             mdp.reset();
-            let mut assignment =
-                Assignment::unassigned(instance.num_devices(), mdp.num_actions());
+            let mut assignment = Assignment::unassigned(instance.num_devices(), mdp.num_actions());
             let mut episode_return = 0.0;
 
             self.ensure_prior(instance, &mdp, &mut q);
@@ -179,11 +178,8 @@ impl Sarsa {
             best.expect("best is Some when rollout is not used").0
         };
 
-        let stats = SolveStats {
-            elapsed: start.elapsed(),
-            iterations: cfg.episodes as u64,
-            evaluations,
-        };
+        let stats =
+            SolveStats { elapsed: start.elapsed(), iterations: cfg.episodes as u64, evaluations };
         let report = TrainingReport::new(history, q.num_states());
         Ok((Solution::evaluate(assignment, instance, stats)?, report))
     }
@@ -270,16 +266,8 @@ mod tests {
     use tacc_topology::DelayMatrix;
 
     fn trap_instance() -> GapInstance {
-        let delays = DelayMatrix::from_rows(vec![
-            vec![1.0, 9.0],
-            vec![1.0, 2.0],
-            vec![1.0, 8.0],
-        ]);
-        GapInstance::builder(delays)
-            .uniform_demand(1.0)
-            .capacities(vec![2.0, 2.0])
-            .build()
-            .unwrap()
+        let delays = DelayMatrix::from_rows(vec![vec![1.0, 9.0], vec![1.0, 2.0], vec![1.0, 8.0]]);
+        GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![2.0, 2.0]).build().unwrap()
     }
 
     fn quick(episodes: usize) -> SarsaConfig {

@@ -1,0 +1,100 @@
+use std::error::Error;
+use std::fmt;
+
+use tacc_gap::GapError;
+use tacc_topology::TopologyError;
+use tacc_workload::WorkloadError;
+
+/// Errors raised by the online reconfiguration runtime.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A runtime configuration parameter was out of range or inconsistent
+    /// with the scenario.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A trace event referenced something outside the deployment (e.g. a
+    /// link index past the topology's links).
+    InvalidEvent {
+        /// Position of the offending event in the trace.
+        index: usize,
+        /// Description of the violation.
+        reason: String,
+    },
+    /// A snapshot could not be parsed or does not fit this runtime.
+    InvalidSnapshot {
+        /// Description of the violation.
+        reason: String,
+    },
+    /// Assignment-layer failure (initial solve or instance rebuild).
+    Gap(GapError),
+    /// Topology-layer failure.
+    Topology(TopologyError),
+    /// Scenario/trace-layer failure.
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidConfig { reason } => {
+                write!(f, "invalid runtime configuration: {reason}")
+            }
+            RuntimeError::InvalidEvent { index, reason } => {
+                write!(f, "invalid trace event {index}: {reason}")
+            }
+            RuntimeError::InvalidSnapshot { reason } => write!(f, "invalid snapshot: {reason}"),
+            RuntimeError::Gap(e) => write!(f, "assignment failure: {e}"),
+            RuntimeError::Topology(e) => write!(f, "topology failure: {e}"),
+            RuntimeError::Workload(e) => write!(f, "workload failure: {e}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Gap(e) => Some(e),
+            RuntimeError::Topology(e) => Some(e),
+            RuntimeError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GapError> for RuntimeError {
+    fn from(e: GapError) -> Self {
+        RuntimeError::Gap(e)
+    }
+}
+
+impl From<TopologyError> for RuntimeError {
+    fn from(e: TopologyError) -> Self {
+        RuntimeError::Topology(e)
+    }
+}
+
+impl From<WorkloadError> for RuntimeError {
+    fn from(e: WorkloadError) -> Self {
+        RuntimeError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources_chain() {
+        let e = RuntimeError::from(TopologyError::Disconnected);
+        assert!(e.to_string().contains("topology"));
+        assert!(e.source().is_some());
+        let e = RuntimeError::InvalidConfig { reason: "bad".into() };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("bad"));
+        let e = RuntimeError::InvalidEvent { index: 3, reason: "nope".into() };
+        assert!(e.to_string().contains("event 3"));
+    }
+}

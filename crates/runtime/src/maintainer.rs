@@ -1,0 +1,382 @@
+//! Incremental maintenance of the IoT × server delay matrix.
+//!
+//! [`DelayMaintainer`] owns one [`SsspTree`] per edge server plus the
+//! effective per-link cost array, and repairs both in place as link
+//! latencies drift and servers fail or recover. In incremental mode only
+//! the shortest-path trees actually affected by a change are re-relaxed
+//! (debug builds assert agreement with a from-scratch Dijkstra after
+//! every repair); the full-recompute fallback rebuilds every tree on
+//! every change and serves as the correctness oracle and worst-case
+//! bound.
+//!
+//! Server failure is modeled as *node* failure (matching
+//! [`tacc_topology::Topology::with_failed_node`]): every link incident to
+//! the failed server's node gets an infinite cost, which simultaneously
+//! blanks the server's own column and reroutes any other server's paths
+//! that ran through it. Links are reference-counted so two failed
+//! endpoints must both recover before the link carries traffic again.
+
+use serde::{Deserialize, Serialize};
+use tacc_topology::incremental::{SsspTree, UpdateStats};
+use tacc_topology::{DelayMatrix, DelayModel, LinkId, Topology};
+
+/// Maintains per-server shortest-path trees and the delay matrix across
+/// topology changes. Serializes as part of runtime snapshots; the restored
+/// value is field-for-field identical, so resumed runs repair the exact
+/// same tree structures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayMaintainer {
+    model: DelayModel,
+    /// Per-link cost under `model` with the link's *current* latency,
+    /// ignoring failures.
+    base_costs: Vec<f64>,
+    /// Per-link count of failed endpoints (0, 1 or 2); the effective cost
+    /// is infinite while non-zero.
+    disabled: Vec<u32>,
+    /// Effective costs: `base_costs` with disabled links at infinity.
+    costs: Vec<f64>,
+    /// One tree per server column, in role order.
+    trees: Vec<SsspTree>,
+    matrix: DelayMatrix,
+    failed: Vec<bool>,
+    /// Fallback mode: rebuild every tree from scratch on every change.
+    full_mode: bool,
+    /// Work of one full rebuild of all trees (measured at construction) —
+    /// the baseline that incremental savings are reported against.
+    baseline: UpdateStats,
+}
+
+impl DelayMaintainer {
+    /// Builds the trees and matrix for a healthy topology.
+    pub fn new(topology: &Topology, model: DelayModel, full_mode: bool) -> Self {
+        let graph = topology.graph();
+        let base_costs: Vec<f64> =
+            graph.links().map(|(_, link)| model.link_delay_ms(link)).collect();
+        let costs = base_costs.clone();
+        let mut baseline = UpdateStats::default();
+        let trees: Vec<SsspTree> = topology
+            .server_nodes()
+            .iter()
+            .map(|&server| {
+                let (tree, stats) = SsspTree::build(graph, server, &costs);
+                baseline.absorb(stats);
+                tree
+            })
+            .collect();
+        let matrix = matrix_from_trees(&trees, topology);
+        DelayMaintainer {
+            model,
+            base_costs,
+            disabled: vec![0; graph.link_count()],
+            costs,
+            trees,
+            matrix,
+            failed: vec![false; topology.num_servers()],
+            full_mode,
+            baseline,
+        }
+    }
+
+    /// The maintained delay matrix.
+    pub fn matrix(&self) -> &DelayMatrix {
+        &self.matrix
+    }
+
+    /// The link-delay model the costs derive from.
+    pub fn model(&self) -> &DelayModel {
+        &self.model
+    }
+
+    /// Whether server column `server` is currently failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn is_failed(&self, server: usize) -> bool {
+        self.failed[server]
+    }
+
+    /// Number of currently alive servers.
+    pub fn alive_count(&self) -> usize {
+        self.failed.iter().filter(|&&f| !f).count()
+    }
+
+    /// The measured work of one from-scratch rebuild of every tree — what
+    /// each change would cost without incremental repair.
+    pub fn full_rebuild_baseline(&self) -> UpdateStats {
+        self.baseline
+    }
+
+    /// Applies a latency drift that the caller has already written into
+    /// `topology` (via [`Topology::set_link_latency`]). Returns the repair
+    /// work performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` does not belong to the topology the maintainer
+    /// was built from.
+    pub fn drift(&mut self, topology: &Topology, link: LinkId) -> UpdateStats {
+        let new_base = self.model.link_delay_ms(topology.graph().link(link));
+        self.base_costs[link.index()] = new_base;
+        if self.disabled[link.index()] > 0 {
+            // The link is failed: its effective cost stays infinite, so no
+            // tree can change. The new base takes effect on recovery.
+            return UpdateStats::default();
+        }
+        let old = self.costs[link.index()];
+        self.costs[link.index()] = new_base;
+        let stats = self.repair(topology, link, old);
+        self.matrix = matrix_from_trees(&self.trees, topology);
+        stats
+    }
+
+    /// Fails a server: all links incident to its node become infinite.
+    /// Idempotence is the caller's concern ([`DelayMaintainer::is_failed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range or already failed.
+    pub fn fail_server(&mut self, topology: &Topology, server: usize) -> UpdateStats {
+        assert!(!self.failed[server], "server {server} is already failed");
+        self.failed[server] = true;
+        let stats = self.set_incident_links(topology, server, true);
+        self.matrix = matrix_from_trees(&self.trees, topology);
+        stats
+    }
+
+    /// Recovers a failed server: incident links whose other endpoint is
+    /// alive return to their base cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range or not failed.
+    pub fn recover_server(&mut self, topology: &Topology, server: usize) -> UpdateStats {
+        assert!(self.failed[server], "server {server} is not failed");
+        self.failed[server] = false;
+        let stats = self.set_incident_links(topology, server, false);
+        self.matrix = matrix_from_trees(&self.trees, topology);
+        stats
+    }
+
+    /// Disables (`disable = true`) or re-enables the links incident to a
+    /// server's node, repairing every tree per changed link.
+    // Exact float equality is deliberate: an unchanged cost (bitwise)
+    // needs no repair, and any numeric change does.
+    #[allow(clippy::float_cmp)]
+    fn set_incident_links(
+        &mut self,
+        topology: &Topology,
+        server: usize,
+        disable: bool,
+    ) -> UpdateStats {
+        let node = topology.server_nodes()[server];
+        let incident: Vec<LinkId> =
+            topology.graph().neighbors(node).iter().map(|n| n.link).collect();
+        let mut total = UpdateStats::default();
+        for link in incident {
+            let idx = link.index();
+            let old = self.costs[idx];
+            if disable {
+                self.disabled[idx] += 1;
+                self.costs[idx] = f64::INFINITY;
+            } else {
+                self.disabled[idx] -= 1;
+                if self.disabled[idx] > 0 {
+                    continue; // other endpoint still failed
+                }
+                self.costs[idx] = self.base_costs[idx];
+            }
+            if self.costs[idx] != old {
+                total.absorb(self.repair(topology, link, old));
+            }
+        }
+        total
+    }
+
+    /// Repairs every tree after `costs[link]` changed from `old_cost`,
+    /// honoring the full-recompute fallback mode.
+    fn repair(&mut self, topology: &Topology, link: LinkId, old_cost: f64) -> UpdateStats {
+        let graph = topology.graph();
+        let mut total = UpdateStats::default();
+        for tree in &mut self.trees {
+            if self.full_mode {
+                total.absorb(tree.rebuild(graph, &self.costs));
+            } else {
+                total.absorb(tree.apply_cost_change(graph, &self.costs, link, old_cost));
+                debug_assert!(
+                    tree.matches_full(graph, &self.costs),
+                    "incremental repair diverged from full Dijkstra for server at {:?}",
+                    tree.source()
+                );
+            }
+        }
+        total
+    }
+
+    /// Correctness oracle: the maintained matrix must equal the one
+    /// derived from scratch on the equivalent degraded topology (failed
+    /// servers' nodes disconnected). Used by tests and debug assertions.
+    // The contract is *bit-for-bit* agreement, so exact comparison is
+    // the point, not an accident.
+    #[allow(clippy::float_cmp)]
+    pub fn matches_full_recompute(&self, topology: &Topology) -> bool {
+        let mut degraded = topology.clone();
+        for (server, &failed) in self.failed.iter().enumerate() {
+            if failed {
+                degraded = degraded.with_failed_node(topology.server_nodes()[server]);
+            }
+        }
+        let fresh = degraded.delay_matrix(&self.model);
+        // with_failed_node reassigns link ids, so compare matrices (the
+        // externally visible product), not trees.
+        let m = self.matrix.num_servers();
+        (0..self.matrix.num_iot()).all(|i| {
+            (0..m).all(|j| {
+                let a = self.matrix.get(i, j);
+                let b = fresh.get(i, j);
+                a == b || (a.is_infinite() && b.is_infinite())
+            })
+        })
+    }
+}
+
+/// Reads the matrix out of the trees. Columns of failed servers come out
+/// infinite because all their incident links do.
+fn matrix_from_trees(trees: &[SsspTree], topology: &Topology) -> DelayMatrix {
+    let rows: Vec<Vec<f64>> = topology
+        .iot_nodes()
+        .iter()
+        .map(|&iot| trees.iter().map(|tree| tree.distance(iot)).collect())
+        .collect();
+    DelayMatrix::from_rows_with_nodes(
+        rows,
+        topology.iot_nodes().to_vec(),
+        topology.server_nodes().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_workload::{ScenarioBuilder, TopologyFamily};
+
+    fn topology() -> Topology {
+        ScenarioBuilder::new()
+            .num_iot(20)
+            .num_servers(4)
+            .family(TopologyFamily::RandomGeometric)
+            .build(11)
+            .unwrap()
+            .topology()
+            .clone()
+    }
+
+    #[test]
+    fn initial_matrix_matches_topology_derivation() {
+        let topo = topology();
+        let model = DelayModel::default();
+        let maintainer = DelayMaintainer::new(&topo, model.clone(), false);
+        assert_eq!(maintainer.matrix(), &topo.delay_matrix(&model));
+    }
+
+    #[test]
+    fn drift_tracks_full_recompute() {
+        let mut topo = topology();
+        let model = DelayModel::default();
+        let mut maintainer = DelayMaintainer::new(&topo, model.clone(), false);
+        for (step, raw) in [(0usize, 9.0f64), (3, 0.1), (7, 4.5), (3, 2.0)] {
+            let link = topo.graph().link_id(step % topo.graph().link_count());
+            topo.set_link_latency(link, raw).unwrap();
+            maintainer.drift(&topo, link);
+            assert_eq!(maintainer.matrix(), &topo.delay_matrix(&model), "after drift to {raw}");
+        }
+    }
+
+    #[test]
+    fn fail_and_recover_round_trip() {
+        let topo = topology();
+        let model = DelayModel::default();
+        let mut maintainer = DelayMaintainer::new(&topo, model.clone(), false);
+        let before = maintainer.matrix().clone();
+
+        maintainer.fail_server(&topo, 1);
+        assert!(maintainer.is_failed(1));
+        assert_eq!(maintainer.alive_count(), 3);
+        // The failed column is unreachable for every device.
+        for i in 0..before.num_iot() {
+            assert!(maintainer.matrix().get(i, 1).is_infinite());
+        }
+        assert!(maintainer.matches_full_recompute(&topo));
+
+        maintainer.recover_server(&topo, 1);
+        assert_eq!(maintainer.matrix(), &before, "recovery restores the original matrix");
+    }
+
+    #[test]
+    fn overlapping_failures_reference_count_links() {
+        let topo = topology();
+        let mut maintainer = DelayMaintainer::new(&topo, DelayModel::default(), false);
+        let before = maintainer.matrix().clone();
+        maintainer.fail_server(&topo, 0);
+        maintainer.fail_server(&topo, 2);
+        assert!(maintainer.matches_full_recompute(&topo));
+        maintainer.recover_server(&topo, 0);
+        assert!(maintainer.matches_full_recompute(&topo));
+        maintainer.recover_server(&topo, 2);
+        assert_eq!(maintainer.matrix(), &before);
+    }
+
+    #[test]
+    fn drift_on_failed_link_applies_after_recovery() {
+        let mut topo = topology();
+        let model = DelayModel::default();
+        let mut maintainer = DelayMaintainer::new(&topo, model.clone(), false);
+        let node = topo.server_nodes()[2];
+        let link = topo.graph().neighbors(node)[0].link;
+
+        maintainer.fail_server(&topo, 2);
+        topo.set_link_latency(link, 50.0).unwrap();
+        let stats = maintainer.drift(&topo, link);
+        assert_eq!(stats, UpdateStats::default(), "failed link drift does no tree work");
+
+        maintainer.recover_server(&topo, 2);
+        assert_eq!(maintainer.matrix(), &topo.delay_matrix(&model));
+    }
+
+    #[test]
+    fn full_mode_agrees_with_incremental() {
+        let mut topo_a = topology();
+        let mut topo_b = topology();
+        let mut inc = DelayMaintainer::new(&topo_a, DelayModel::default(), false);
+        let mut full = DelayMaintainer::new(&topo_b, DelayModel::default(), true);
+        let link_count = topo_a.graph().link_count();
+        for step in 0..6 {
+            let link_a = topo_a.graph().link_id(step * 3 % link_count);
+            let link_b = topo_b.graph().link_id(step * 3 % link_count);
+            topo_a.set_link_latency(link_a, 1.0 + step as f64).unwrap();
+            topo_b.set_link_latency(link_b, 1.0 + step as f64).unwrap();
+            let inc_stats = inc.drift(&topo_a, link_a);
+            let full_stats = full.drift(&topo_b, link_b);
+            assert_eq!(inc.matrix(), full.matrix());
+            assert!(
+                inc_stats.settled <= full_stats.settled,
+                "incremental repair must not settle more than a rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_exact() {
+        let mut topo = topology();
+        let mut maintainer = DelayMaintainer::new(&topo, DelayModel::default(), false);
+        let link = topo.graph().link_id(2);
+        topo.set_link_latency(link, 7.25).unwrap();
+        maintainer.drift(&topo, link);
+        maintainer.fail_server(&topo, 3);
+
+        let json = serde_json::to_string(&maintainer).unwrap();
+        let value = serde_json::from_str(&json).unwrap();
+        let back: DelayMaintainer = serde_json::from_value(&value).unwrap();
+        assert_eq!(maintainer, back);
+    }
+}

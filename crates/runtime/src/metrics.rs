@@ -1,0 +1,285 @@
+//! Runtime observability: event counters, migration/eviction accounting,
+//! incremental-vs-full repair savings, and per-event-kind latency
+//! histograms.
+//!
+//! The metrics split in two. [`CoreMetrics`] is *deterministic*: it is a
+//! pure function of the trace and configuration, travels inside
+//! snapshots, and is what byte-identical replay is checked against.
+//! Wall-clock latency histograms are *measurements* of a particular
+//! machine and run; they are reported separately ([`RuntimeMetrics`]
+//! keeps them out of the deterministic JSON) and reset on restore.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+// `Serialize::to_value` is called directly when hand-assembling ordered
+// JSON objects below.
+use tacc_topology::incremental::UpdateStats;
+use tacc_workload::TraceEvent;
+
+/// Events processed, by kind, plus events that were ignored because the
+/// deployment was already in the requested state (e.g. a join for an
+/// active device).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// `DeviceJoin` events applied.
+    pub device_join: u64,
+    /// `DeviceLeave` events applied.
+    pub device_leave: u64,
+    /// `ServerFail` events applied.
+    pub server_fail: u64,
+    /// `ServerRecover` events applied.
+    pub server_recover: u64,
+    /// `LinkLatencyDrift` events applied.
+    pub link_latency_drift: u64,
+    /// Events dropped as no-ops (already in the requested state).
+    pub ignored: u64,
+}
+
+impl EventCounts {
+    /// Total events that reached the runtime (applied + ignored).
+    pub fn total(&self) -> u64 {
+        self.device_join
+            + self.device_leave
+            + self.server_fail
+            + self.server_recover
+            + self.link_latency_drift
+            + self.ignored
+    }
+
+    /// Bumps the counter for an applied event.
+    pub fn count(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::DeviceJoin { .. } => self.device_join += 1,
+            TraceEvent::DeviceLeave { .. } => self.device_leave += 1,
+            TraceEvent::ServerFail { .. } => self.server_fail += 1,
+            TraceEvent::ServerRecover { .. } => self.server_recover += 1,
+            TraceEvent::LinkLatencyDrift { .. } => self.link_latency_drift += 1,
+        }
+    }
+}
+
+/// The deterministic metrics of a runtime: identical across replays of
+/// the same trace and configuration, snapshotted and restored verbatim.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreMetrics {
+    /// Per-kind event counters.
+    pub events: EventCounts,
+    /// Devices moved between servers (rebalances, evacuations and policy
+    /// refreshes; joins and leaves do not count).
+    pub migrations: u64,
+    /// Devices shed because no alive server could hold them.
+    pub evictions: u64,
+    /// Shed devices brought back once capacity freed up.
+    pub readmissions: u64,
+    /// Devices shed, in eviction order (repeats possible if a device is
+    /// re-joined and shed again).
+    pub shed_devices: Vec<usize>,
+    /// Assignment-policy refreshes performed.
+    pub refreshes: u64,
+    /// Shortest-path repair work actually performed.
+    pub repair_work: UpdateStats,
+    /// What the same changes would have cost with a full rebuild of every
+    /// tree per change (measured baseline × changes).
+    pub full_equivalent_work: UpdateStats,
+    /// Delay-matrix changes processed (drift + fail + recover).
+    pub delay_updates: u64,
+}
+
+impl CoreMetrics {
+    /// Fraction of shortest-path settle work avoided by incremental
+    /// repair, in `[0, 1]`; 0.0 when nothing was repaired (or in full
+    /// mode, where repair work equals the full-equivalent work).
+    pub fn savings_ratio(&self) -> f64 {
+        if self.full_equivalent_work.settled == 0 {
+            return 0.0;
+        }
+        1.0 - self.repair_work.settled as f64 / self.full_equivalent_work.settled as f64
+    }
+
+    /// Deterministic JSON rendering (insertion-ordered keys).
+    pub fn to_json(&self) -> Value {
+        let mut value = serde_json::to_value(self);
+        if let Value::Object(fields) = &mut value {
+            fields.push(("savings_ratio".to_owned(), self.savings_ratio().to_value()));
+        }
+        value
+    }
+}
+
+/// A fixed-bucket log₂ histogram of per-event processing latencies.
+///
+/// Bucket `i` counts events with latency in `[2^i, 2^(i+1))` nanoseconds
+/// (bucket 0 also holds sub-nanosecond readings); 48 buckets cover
+/// anything up to ~78 hours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 48],
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; 48], count: 0, total_ns: 0, max_ns: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        let bucket = (63 - ns.max(1).leading_zeros() as usize).min(47);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0.0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// JSON rendering listing only the occupied buckets.
+    pub fn to_json(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| json!({"le_ns": (1u64 << (i + 1)), "count": c}))
+            .collect();
+        let mut value = json!({
+            "count": self.count,
+            "mean_ns": self.mean_ns(),
+            "max_ns": self.max_ns
+        });
+        if let Value::Object(fields) = &mut value {
+            fields.push(("buckets".to_owned(), Value::Array(buckets)));
+        }
+        value
+    }
+}
+
+/// All runtime metrics: the deterministic core plus wall-clock latency
+/// histograms per event kind.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuntimeMetrics {
+    /// Deterministic, snapshotted metrics.
+    pub core: CoreMetrics,
+    /// Wall-clock processing-latency histograms, indexed like
+    /// [`TraceEvent::KIND_NAMES`]. Measurement, not state: excluded from
+    /// deterministic JSON and reset by snapshot restore.
+    pub latency: [LatencyHistogram; 5],
+}
+
+impl RuntimeMetrics {
+    /// Records the processing latency of one event.
+    pub fn record_latency(&mut self, event: &TraceEvent, elapsed: Duration) {
+        let idx = match event {
+            TraceEvent::DeviceJoin { .. } => 0,
+            TraceEvent::DeviceLeave { .. } => 1,
+            TraceEvent::ServerFail { .. } => 2,
+            TraceEvent::ServerRecover { .. } => 3,
+            TraceEvent::LinkLatencyDrift { .. } => 4,
+        };
+        self.latency[idx].record(elapsed);
+    }
+
+    /// JSON rendering. The deterministic section is always present and
+    /// byte-identical across replays; `include_timing` appends the
+    /// machine-dependent latency histograms.
+    pub fn to_json(&self, include_timing: bool) -> Value {
+        let mut fields = vec![("deterministic".to_owned(), self.core.to_json())];
+        if include_timing {
+            let timing: Vec<(String, Value)> = TraceEvent::KIND_NAMES
+                .iter()
+                .zip(self.latency.iter())
+                .map(|(name, hist)| ((*name).to_owned(), hist.to_json()))
+                .collect();
+            fields.push(("timing".to_owned(), Value::Object(timing)));
+        }
+        Value::Object(fields)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // exact values are part of the contract here
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_counts_track_kinds_and_total() {
+        let mut counts = EventCounts::default();
+        counts.count(&TraceEvent::DeviceJoin { device: 0 });
+        counts.count(&TraceEvent::LinkLatencyDrift { link: 0, latency_ms: 1.0 });
+        counts.count(&TraceEvent::LinkLatencyDrift { link: 1, latency_ms: 2.0 });
+        counts.ignored += 1;
+        assert_eq!(counts.device_join, 1);
+        assert_eq!(counts.link_latency_drift, 2);
+        assert_eq!(counts.total(), 4);
+    }
+
+    #[test]
+    fn savings_ratio_bounds() {
+        let mut core = CoreMetrics::default();
+        assert_eq!(core.savings_ratio(), 0.0);
+        core.repair_work = UpdateStats { settled: 20, edges_scanned: 60 };
+        core.full_equivalent_work = UpdateStats { settled: 100, edges_scanned: 400 };
+        assert!((core.savings_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_nanos(3));
+        h.record(Duration::from_nanos(1024));
+        assert_eq!(h.count(), 3);
+        assert!(h.mean_ns() > 0.0);
+        let json = h.to_json();
+        let rendered = serde_json::to_string(&json).unwrap();
+        assert!(rendered.contains("\"count\":3"));
+    }
+
+    #[test]
+    fn deterministic_json_omits_timing_by_default() {
+        let mut m = RuntimeMetrics::default();
+        m.record_latency(&TraceEvent::DeviceJoin { device: 0 }, Duration::from_micros(5));
+        let without = serde_json::to_string(&m.to_json(false)).unwrap();
+        assert!(!without.contains("timing"));
+        let with = serde_json::to_string(&m.to_json(true)).unwrap();
+        assert!(with.contains("timing"));
+        assert!(with.contains("device-join"));
+    }
+
+    #[test]
+    fn core_metrics_snapshot_round_trip() {
+        let core = CoreMetrics {
+            migrations: 7,
+            evictions: 2,
+            shed_devices: vec![4, 9],
+            refreshes: 1,
+            repair_work: UpdateStats { settled: 10, edges_scanned: 30 },
+            full_equivalent_work: UpdateStats { settled: 50, edges_scanned: 200 },
+            delay_updates: 3,
+            ..CoreMetrics::default()
+        };
+        let json = serde_json::to_string(&core).unwrap();
+        let back: CoreMetrics =
+            serde_json::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(core, back);
+    }
+}

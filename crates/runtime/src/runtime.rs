@@ -1,0 +1,869 @@
+//! The online reconfiguration control plane.
+//!
+//! [`Runtime`] wires the pieces together: it ingests a [`Trace`]'s event
+//! stream, keeps the delay matrix current through a [`DelayMaintainer`],
+//! and drives the [`DynamicCluster`] — placing joining devices,
+//! evacuating failed servers with priority-aware shedding, and spending a
+//! bounded migration budget after every topology change to win back
+//! delay. Everything is deterministic: replaying the same trace with the
+//! same [`RuntimeConfig`] produces bit-identical assignments and
+//! [`CoreMetrics`], including across a snapshot/restore interruption.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+use tacc_core::{Algorithm, DynamicCluster};
+use tacc_gap::GapInstance;
+use tacc_topology::{DelayModel, LinkId, Topology};
+use tacc_workload::{Scenario, TimedEvent, Trace, TraceEvent};
+
+use crate::maintainer::DelayMaintainer;
+use crate::metrics::RuntimeMetrics;
+use crate::{RuntimeError, RuntimeSnapshot};
+
+/// Which solver produces the initial assignment and periodic refreshes.
+///
+/// A deliberately small, serializable selector (snapshots must capture
+/// it): both variants use the workspace defaults of the underlying
+/// algorithm. The full [`Algorithm`] registry remains available through
+/// [`tacc_core`] for offline experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReassignPolicy {
+    /// Constructive greedy with regret ordering — fast and deterministic.
+    Greedy,
+    /// The paper's tabular Q-learning with default hyper-parameters,
+    /// retrained from a per-refresh seed.
+    QLearning,
+}
+
+impl ReassignPolicy {
+    /// The corresponding solver selector.
+    pub fn algorithm(self) -> Algorithm {
+        match self {
+            ReassignPolicy::Greedy => Algorithm::greedy(),
+            ReassignPolicy::QLearning => Algorithm::q_learning(),
+        }
+    }
+
+    /// CLI/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReassignPolicy::Greedy => "greedy",
+            ReassignPolicy::QLearning => "q-learning",
+        }
+    }
+
+    /// Looks a policy up by its [`ReassignPolicy::name`].
+    pub fn from_name(name: &str) -> Option<ReassignPolicy> {
+        match name {
+            "greedy" => Some(ReassignPolicy::Greedy),
+            "q-learning" => Some(ReassignPolicy::QLearning),
+            _ => None,
+        }
+    }
+}
+
+/// Tunables of the online control plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Solver for the initial assignment and refreshes.
+    pub policy: ReassignPolicy,
+    /// Seed of the initial solve; refresh `r` re-derives its own seed
+    /// from `(seed, r)` so retraining is deterministic but decorrelated.
+    pub seed: u64,
+    /// Maximum migrations spent per reconfiguration pass (after each
+    /// delay-changing event and per policy refresh).
+    pub migration_budget: usize,
+    /// Re-solve with the policy every this many events (`None` = never);
+    /// the result is applied under the migration budget.
+    pub refresh_every: Option<u64>,
+    /// Per-device priorities governing shedding (higher sheds later).
+    /// Empty means all `1.0`.
+    pub priorities: Vec<f64>,
+    /// Delay-maintenance fallback: rebuild every shortest-path tree on
+    /// every change instead of incremental repair.
+    pub full_recompute: bool,
+    /// Link-delay model; must match the one the scenario's instance was
+    /// derived with.
+    pub delay_model: DelayModel,
+}
+
+impl Default for RuntimeConfig {
+    /// Greedy policy, seed 0, budget 4, no periodic refresh, uniform
+    /// priorities, incremental maintenance, default delay model.
+    fn default() -> Self {
+        RuntimeConfig {
+            policy: ReassignPolicy::Greedy,
+            seed: 0,
+            migration_budget: 4,
+            refresh_every: None,
+            priorities: Vec::new(),
+            full_recompute: false,
+            delay_model: DelayModel::default(),
+        }
+    }
+}
+
+/// What happened to a device that needed a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Placement {
+    /// Placed on this server (possibly after shedding others).
+    Placed(usize),
+    /// No alive server could hold it; the device itself was shed.
+    Shed,
+}
+
+/// The online reconfiguration runtime. See the crate-level docs for the
+/// event semantics and the module docs for the determinism contract.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    config: RuntimeConfig,
+    topology: Topology,
+    maintainer: DelayMaintainer,
+    cluster: DynamicCluster,
+    priorities: Vec<f64>,
+    /// Which devices currently *want* service. Differs from the cluster's
+    /// active set exactly on shed devices: they are unassigned but still
+    /// wanted, and are re-admitted when capacity frees up.
+    wanted: Vec<bool>,
+    /// Trace events consumed so far (the resume point of snapshots).
+    cursor: u64,
+    metrics: RuntimeMetrics,
+}
+
+impl Runtime {
+    /// Builds the runtime a trace describes: materializes the scenario,
+    /// solves the initial assignment with the configured policy, and
+    /// starts delay maintenance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace validation, scenario construction and initial
+    /// solve failures, and rejects configs inconsistent with the
+    /// scenario.
+    pub fn from_trace(trace: &Trace, config: RuntimeConfig) -> Result<Runtime, RuntimeError> {
+        trace.validate()?;
+        let scenario = trace.scenario.build()?;
+        Runtime::new(&scenario, config)
+    }
+
+    /// Builds the runtime over an already-materialized scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for bad priorities or a
+    /// delay model that disagrees with the scenario's instance, and
+    /// propagates initial-solve failures.
+    pub fn new(scenario: &Scenario, config: RuntimeConfig) -> Result<Runtime, RuntimeError> {
+        let n = scenario.instance().num_devices();
+        let priorities = if config.priorities.is_empty() {
+            vec![1.0; n]
+        } else {
+            if config.priorities.len() != n {
+                return Err(RuntimeError::InvalidConfig {
+                    reason: format!("{} priorities for {n} devices", config.priorities.len()),
+                });
+            }
+            if config.priorities.iter().any(|p| !p.is_finite() || *p <= 0.0) {
+                return Err(RuntimeError::InvalidConfig {
+                    reason: "priorities must be finite and positive".to_owned(),
+                });
+            }
+            config.priorities.clone()
+        };
+
+        let maintainer = DelayMaintainer::new(
+            scenario.topology(),
+            config.delay_model.clone(),
+            config.full_recompute,
+        );
+        if maintainer.matrix() != scenario.instance().delays() {
+            return Err(RuntimeError::InvalidConfig {
+                reason: "delay model does not reproduce the scenario's delay matrix".to_owned(),
+            });
+        }
+
+        let solver = config.policy.algorithm().solver(config.seed);
+        let solution = solver.solve(scenario.instance())?;
+        let cluster =
+            DynamicCluster::from_assignment(scenario.instance().clone(), solution.assignment)?;
+
+        Ok(Runtime {
+            config,
+            topology: scenario.topology().clone(),
+            maintainer,
+            cluster,
+            priorities,
+            wanted: vec![true; n],
+            cursor: 0,
+            metrics: RuntimeMetrics::default(),
+        })
+    }
+
+    /// Replays every not-yet-consumed event of `trace` (all of them on a
+    /// fresh runtime; the remainder after a restore).
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first structurally invalid event (e.g. a link index
+    /// past the topology). State-inconsistent but well-formed events —
+    /// joining an active device, failing a failed server — are counted
+    /// as ignored and never error.
+    pub fn run(&mut self, trace: &Trace) -> Result<(), RuntimeError> {
+        trace.validate()?;
+        while (self.cursor as usize) < trace.events.len() {
+            let index = self.cursor as usize;
+            self.step(index, &trace.events[index])?;
+        }
+        Ok(())
+    }
+
+    /// Processes a single event (the unit of [`Runtime::run`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::run`].
+    pub fn step(&mut self, index: usize, timed: &TimedEvent) -> Result<(), RuntimeError> {
+        let started = Instant::now();
+        self.apply(index, &timed.event)?;
+        self.metrics.record_latency(&timed.event, started.elapsed());
+        self.cursor += 1;
+        if let Some(every) = self.config.refresh_every {
+            if every > 0 && self.cursor % every == 0 {
+                self.refresh();
+            }
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, index: usize, event: &TraceEvent) -> Result<(), RuntimeError> {
+        match *event {
+            TraceEvent::DeviceJoin { device } => {
+                self.wanted[device] = true;
+                if self.cluster.is_active(device) {
+                    self.metrics.core.events.ignored += 1;
+                    return Ok(());
+                }
+                self.metrics.core.events.count(event);
+                self.place_with_shedding(device);
+            }
+            TraceEvent::DeviceLeave { device } => {
+                self.wanted[device] = false;
+                if !self.cluster.is_active(device) {
+                    self.metrics.core.events.ignored += 1;
+                    return Ok(());
+                }
+                self.metrics.core.events.count(event);
+                self.cluster.leave(device);
+                self.readmit();
+            }
+            TraceEvent::ServerFail { server } => {
+                if self.maintainer.is_failed(server) {
+                    self.metrics.core.events.ignored += 1;
+                    return Ok(());
+                }
+                self.metrics.core.events.count(event);
+                let stats = self.maintainer.fail_server(&self.topology, server);
+                self.account_delay_update(stats);
+                self.push_delays();
+                self.evacuate(server);
+            }
+            TraceEvent::ServerRecover { server } => {
+                if !self.maintainer.is_failed(server) {
+                    self.metrics.core.events.ignored += 1;
+                    return Ok(());
+                }
+                self.metrics.core.events.count(event);
+                let stats = self.maintainer.recover_server(&self.topology, server);
+                self.account_delay_update(stats);
+                self.push_delays();
+                self.rebalance_budgeted();
+                self.readmit();
+            }
+            TraceEvent::LinkLatencyDrift { link, latency_ms } => {
+                if link >= self.topology.graph().link_count() {
+                    return Err(RuntimeError::InvalidEvent {
+                        index,
+                        reason: format!(
+                            "link {link} out of range ({})",
+                            self.topology.graph().link_count()
+                        ),
+                    });
+                }
+                let id: LinkId = self.topology.graph().link_id(link);
+                self.topology
+                    .set_link_latency(id, latency_ms)
+                    .map_err(|e| RuntimeError::InvalidEvent { index, reason: e.to_string() })?;
+                self.metrics.core.events.count(event);
+                let stats = self.maintainer.drift(&self.topology, id);
+                self.account_delay_update(stats);
+                self.push_delays();
+                self.rebalance_budgeted();
+            }
+        }
+        Ok(())
+    }
+
+    /// Books the repair work of one delay-changing event against the
+    /// measured full-rebuild baseline.
+    fn account_delay_update(&mut self, stats: tacc_topology::incremental::UpdateStats) {
+        self.metrics.core.delay_updates += 1;
+        self.metrics.core.repair_work.absorb(stats);
+        self.metrics.core.full_equivalent_work.absorb(self.maintainer.full_rebuild_baseline());
+    }
+
+    /// Propagates the maintained matrix into the cluster's instance.
+    fn push_delays(&mut self) {
+        self.cluster
+            .update_delays(self.maintainer.matrix().clone())
+            .expect("maintained matrix has the instance's dimensions");
+    }
+
+    /// Moves every device off a failed server, highest priority first.
+    fn evacuate(&mut self, server: usize) {
+        let mut evacuees: Vec<usize> = (0..self.cluster.instance().num_devices())
+            .filter(|&d| self.cluster.server_of(d) == Some(server))
+            .collect();
+        // Highest priority places first (gets the pick of the remaining
+        // capacity); ties resolve toward the lower device index.
+        evacuees.sort_by(|&a, &b| {
+            self.priorities[b]
+                .partial_cmp(&self.priorities[a])
+                .expect("priorities are finite")
+                .then(a.cmp(&b))
+        });
+        for &device in &evacuees {
+            self.cluster.leave(device);
+        }
+        for &device in &evacuees {
+            if let Placement::Placed(_) = self.place_with_shedding(device) {
+                self.metrics.core.migrations += 1;
+            }
+        }
+    }
+
+    /// Brings shed-but-still-wanted devices back once capacity frees up
+    /// (a server recovered, or a device left). Highest priority returns
+    /// first; placement is strictly non-disruptive — no shedding, no
+    /// migrations of already-served devices.
+    fn readmit(&mut self) {
+        let mut waiting: Vec<usize> = (0..self.cluster.instance().num_devices())
+            .filter(|&d| self.wanted[d] && !self.cluster.is_active(d))
+            .collect();
+        waiting.sort_by(|&a, &b| {
+            self.priorities[b]
+                .partial_cmp(&self.priorities[a])
+                .expect("priorities are finite")
+                .then(a.cmp(&b))
+        });
+        for device in waiting {
+            let m = self.cluster.instance().num_servers();
+            let delay = |j: usize| self.cluster.instance().delay(device, j);
+            let mut best: Option<(f64, usize)> = None;
+            for j in (0..m).filter(|&j| !self.maintainer.is_failed(j) && delay(j).is_finite()) {
+                if self.cluster.fits(device, j) && best.map_or(true, |(d, _)| delay(j) < d) {
+                    best = Some((delay(j), j));
+                }
+            }
+            if let Some((_, j)) = best {
+                let placed = self.cluster.try_place(device, j);
+                debug_assert!(placed, "fits() held under the same loads");
+                self.metrics.core.readmissions += 1;
+            }
+        }
+    }
+
+    /// Places an inactive device on the best alive server, shedding
+    /// strictly-lower-priority devices if that is the only way to make
+    /// room, or shedding the device itself as a last resort. Never
+    /// panics and never overloads a server.
+    fn place_with_shedding(&mut self, device: usize) -> Placement {
+        let m = self.cluster.instance().num_servers();
+        let delay = |j: usize| self.cluster.instance().delay(device, j);
+        let usable = |j: usize| !self.maintainer.is_failed(j) && delay(j).is_finite();
+
+        // Preferred path: the cheapest alive server with room.
+        let mut best: Option<(f64, usize)> = None;
+        for j in (0..m).filter(|&j| usable(j)) {
+            if self.cluster.fits(device, j) && best.map_or(true, |(d, _)| delay(j) < d) {
+                best = Some((delay(j), j));
+            }
+        }
+        if let Some((_, j)) = best {
+            let placed = self.cluster.try_place(device, j);
+            debug_assert!(placed, "fits() held under the same loads");
+            return Placement::Placed(j);
+        }
+
+        // Degraded path: shed strictly-lower-priority devices from the
+        // cheapest server where that frees enough room.
+        let mut servers: Vec<usize> = (0..m).filter(|&j| usable(j)).collect();
+        servers.sort_by(|&a, &b| {
+            delay(a).partial_cmp(&delay(b)).expect("finite by usable()").then(a.cmp(&b))
+        });
+        for j in servers {
+            let needed = self.cluster.server_loads()[j] + self.cluster.instance().demand(device, j)
+                - self.cluster.instance().capacity(j);
+            // Lowest priority sheds first; ties resolve toward the lower
+            // device index.
+            let mut victims: Vec<usize> = (0..self.cluster.instance().num_devices())
+                .filter(|&d| {
+                    self.cluster.server_of(d) == Some(j)
+                        && self.priorities[d] < self.priorities[device]
+                })
+                .collect();
+            victims.sort_by(|&a, &b| {
+                self.priorities[a]
+                    .partial_cmp(&self.priorities[b])
+                    .expect("priorities are finite")
+                    .then(a.cmp(&b))
+            });
+            let mut freed = 0.0;
+            let mut chosen = Vec::new();
+            for d in victims {
+                if freed >= needed {
+                    break;
+                }
+                freed += self.cluster.instance().demand(d, j);
+                chosen.push(d);
+            }
+            if freed >= needed {
+                for d in chosen {
+                    self.cluster.leave(d);
+                    self.metrics.core.evictions += 1;
+                    self.metrics.core.shed_devices.push(d);
+                }
+                let placed = self.cluster.try_place(device, j);
+                debug_assert!(placed, "shedding freed the required capacity");
+                return Placement::Placed(j);
+            }
+        }
+
+        // Last resort: the device itself stays out.
+        self.metrics.core.evictions += 1;
+        self.metrics.core.shed_devices.push(device);
+        Placement::Shed
+    }
+
+    /// One migration-budgeted greedy rebalance pass.
+    fn rebalance_budgeted(&mut self) {
+        let moved = self.cluster.rebalance(self.config.migration_budget);
+        self.metrics.core.migrations += moved as u64;
+    }
+
+    /// Re-solves the assignment of active devices over alive servers with
+    /// the configured policy and applies the best migrations under the
+    /// budget. Solver failures skip the refresh (the seed sequence still
+    /// advances, keeping replays aligned).
+    fn refresh(&mut self) {
+        self.metrics.core.refreshes += 1;
+        let refresh_seed = self
+            .config
+            .seed
+            .wrapping_add(self.metrics.core.refreshes.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+        let instance = self.cluster.instance();
+        let active: Vec<usize> =
+            (0..instance.num_devices()).filter(|&d| self.cluster.is_active(d)).collect();
+        let alive: Vec<usize> =
+            (0..instance.num_servers()).filter(|&j| !self.maintainer.is_failed(j)).collect();
+        if active.is_empty() || alive.is_empty() {
+            return;
+        }
+
+        let rows: Vec<Vec<f64>> =
+            active.iter().map(|&d| alive.iter().map(|&j| instance.delay(d, j)).collect()).collect();
+        let demands: Vec<f64> = active
+            .iter()
+            .flat_map(|&d| alive.iter().map(move |&j| instance.demand(d, j)))
+            .collect();
+        let capacities: Vec<f64> = alive.iter().map(|&j| instance.capacity(j)).collect();
+        let Ok(sub) = GapInstance::builder(tacc_topology::DelayMatrix::from_rows(rows))
+            .demand_matrix(demands)
+            .capacities(capacities)
+            .build()
+        else {
+            return;
+        };
+
+        let Ok(solution) = self.config.policy.algorithm().solver(refresh_seed).solve(&sub) else {
+            return;
+        };
+
+        // Candidate moves toward the refreshed assignment, best gain
+        // first (ties toward the lower device index).
+        let mut moves: Vec<(f64, usize, usize)> = Vec::new();
+        for (row, &device) in active.iter().enumerate() {
+            let Some(sub_server) = solution.assignment.server_of(row) else { continue };
+            let target = alive[sub_server];
+            let current = self.cluster.server_of(device).expect("active devices are assigned");
+            if target == current {
+                continue;
+            }
+            let gain = instance.delay(device, current) - instance.delay(device, target);
+            if gain > 1e-12 {
+                moves.push((gain, device, target));
+            }
+        }
+        moves.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("gains are finite").then(a.1.cmp(&b.1)));
+
+        let mut budget = self.config.migration_budget;
+        for (_, device, target) in moves {
+            if budget == 0 {
+                break;
+            }
+            if self.cluster.fits(device, target) {
+                self.cluster.leave(device);
+                let placed = self.cluster.try_place(device, target);
+                debug_assert!(placed, "fits() held under the same loads");
+                self.metrics.core.migrations += 1;
+                budget -= 1;
+            }
+        }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The (possibly drifted) topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The delay maintenance engine.
+    pub fn maintainer(&self) -> &DelayMaintainer {
+        &self.maintainer
+    }
+
+    /// The live cluster configuration.
+    pub fn cluster(&self) -> &DynamicCluster {
+        &self.cluster
+    }
+
+    /// Events consumed so far.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// All metrics collected so far.
+    pub fn metrics(&self) -> &RuntimeMetrics {
+        &self.metrics
+    }
+
+    /// The deterministic end-of-run report: cursor, per-device
+    /// assignment, delay/feasibility summary and metrics.
+    /// `include_timing` appends the machine-dependent latency histograms
+    /// (excluded by default so reports are byte-comparable).
+    pub fn report_json(&self, include_timing: bool) -> Value {
+        let instance = self.cluster.instance();
+        let assignment: Vec<Value> = (0..instance.num_devices())
+            .map(|d| match self.cluster.server_of(d) {
+                Some(j) => Value::UInt(j as u64),
+                None => Value::Null,
+            })
+            .collect();
+        let mut value = json!({
+            "cursor": self.cursor,
+            "active_devices": self.cluster.active_count(),
+            "alive_servers": self.maintainer.alive_count(),
+            "total_delay_ms": self.cluster.total_delay(),
+            "feasible": self.cluster.is_feasible()
+        });
+        if let Value::Object(fields) = &mut value {
+            fields.push(("assignment".to_owned(), Value::Array(assignment)));
+            fields.push(("metrics".to_owned(), self.metrics.to_json(include_timing)));
+        }
+        value
+    }
+
+    /// Captures the complete resumable state. Restoring with
+    /// [`Runtime::restore`] and finishing the trace produces bit-identical
+    /// results to an uninterrupted run (wall-clock latency histograms
+    /// excepted — they are measurements, not state).
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            version: RuntimeSnapshot::FORMAT_VERSION,
+            config: self.config.clone(),
+            topology: self.topology.clone(),
+            maintainer: self.maintainer.clone(),
+            assignment: self.cluster.assignment().clone(),
+            wanted: self.wanted.clone(),
+            migrations: self.cluster.migrations(),
+            cursor: self.cursor,
+            metrics: self.metrics.core.clone(),
+        }
+    }
+
+    /// Rebuilds a runtime from a snapshot plus the trace it was taken
+    /// from (the trace supplies what the snapshot deliberately omits:
+    /// demands and capacities, which never change).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidSnapshot`] for version or shape
+    /// mismatches with the trace's scenario.
+    pub fn restore(snapshot: RuntimeSnapshot, trace: &Trace) -> Result<Runtime, RuntimeError> {
+        if snapshot.version != RuntimeSnapshot::FORMAT_VERSION {
+            return Err(RuntimeError::InvalidSnapshot {
+                reason: format!(
+                    "snapshot format version {} (this build reads {})",
+                    snapshot.version,
+                    RuntimeSnapshot::FORMAT_VERSION
+                ),
+            });
+        }
+        trace.validate()?;
+        let scenario = trace.scenario.build()?;
+        if snapshot.topology.num_iot() != scenario.topology().num_iot()
+            || snapshot.topology.num_servers() != scenario.topology().num_servers()
+        {
+            return Err(RuntimeError::InvalidSnapshot {
+                reason: "snapshot topology does not match the trace's scenario".to_owned(),
+            });
+        }
+        if (snapshot.cursor as usize) > trace.events.len() {
+            return Err(RuntimeError::InvalidSnapshot {
+                reason: format!(
+                    "snapshot cursor {} past the trace's {} events",
+                    snapshot.cursor,
+                    trace.events.len()
+                ),
+            });
+        }
+        let n = scenario.instance().num_devices();
+        let priorities = if snapshot.config.priorities.is_empty() {
+            vec![1.0; n]
+        } else if snapshot.config.priorities.len() == n {
+            snapshot.config.priorities.clone()
+        } else {
+            return Err(RuntimeError::InvalidSnapshot {
+                reason: "snapshot priorities do not match the scenario".to_owned(),
+            });
+        };
+        if snapshot.wanted.len() != n {
+            return Err(RuntimeError::InvalidSnapshot {
+                reason: "snapshot wanted set does not match the scenario".to_owned(),
+            });
+        }
+        let instance = scenario.instance().with_delays(snapshot.maintainer.matrix().clone())?;
+        let cluster =
+            DynamicCluster::from_partial(instance, snapshot.assignment, snapshot.migrations)?;
+        Ok(Runtime {
+            config: snapshot.config,
+            topology: snapshot.topology,
+            maintainer: snapshot.maintainer,
+            cluster,
+            priorities,
+            wanted: snapshot.wanted,
+            cursor: snapshot.cursor,
+            metrics: RuntimeMetrics { core: snapshot.metrics, ..RuntimeMetrics::default() },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_workload::{TraceGenerator, TraceScenario};
+
+    fn small_trace(seed: u64, events: usize) -> Trace {
+        TraceGenerator::new(TraceScenario {
+            num_iot: 20,
+            num_servers: 4,
+            ..TraceScenario::default()
+        })
+        .num_events(events)
+        .generate(seed)
+        .unwrap()
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for policy in [ReassignPolicy::Greedy, ReassignPolicy::QLearning] {
+            assert_eq!(ReassignPolicy::from_name(policy.name()), Some(policy));
+        }
+        assert_eq!(ReassignPolicy::from_name("annealing"), None);
+    }
+
+    #[test]
+    fn full_run_processes_every_event_and_stays_consistent() {
+        let trace = small_trace(11, 60);
+        let mut rt = Runtime::from_trace(&trace, RuntimeConfig::default()).unwrap();
+        rt.run(&trace).unwrap();
+        assert_eq!(rt.cursor(), 60);
+        assert_eq!(rt.metrics().core.events.total(), 60);
+        assert!(rt.cluster().is_feasible());
+        assert!(rt.maintainer().matches_full_recompute(rt.topology()));
+        // Active devices sit on alive servers with finite delay.
+        for d in 0..rt.cluster().instance().num_devices() {
+            if let Some(j) = rt.cluster().server_of(d) {
+                assert!(!rt.maintainer().is_failed(j), "device {d} on failed server {j}");
+                assert!(rt.cluster().instance().delay(d, j).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace = small_trace(23, 80);
+        let config = RuntimeConfig { refresh_every: Some(25), ..RuntimeConfig::default() };
+        let mut a = Runtime::from_trace(&trace, config.clone()).unwrap();
+        a.run(&trace).unwrap();
+        let mut b = Runtime::from_trace(&trace, config).unwrap();
+        b.run(&trace).unwrap();
+        let ja = serde_json::to_string(&a.report_json(false)).unwrap();
+        let jb = serde_json::to_string(&b.report_json(false)).unwrap();
+        assert_eq!(ja, jb);
+    }
+
+    #[test]
+    fn snapshot_restore_continue_matches_uninterrupted() {
+        let trace = small_trace(5, 70);
+        let config = RuntimeConfig { refresh_every: Some(20), ..RuntimeConfig::default() };
+
+        let mut whole = Runtime::from_trace(&trace, config.clone()).unwrap();
+        whole.run(&trace).unwrap();
+
+        let mut first = Runtime::from_trace(&trace, config).unwrap();
+        for index in 0..35 {
+            first.step(index, &trace.events[index]).unwrap();
+        }
+        let json = first.snapshot().to_json();
+        let snapshot = RuntimeSnapshot::from_json(&json).unwrap();
+        let mut resumed = Runtime::restore(snapshot, &trace).unwrap();
+        resumed.run(&trace).unwrap();
+
+        assert_eq!(
+            serde_json::to_string(&whole.report_json(false)).unwrap(),
+            serde_json::to_string(&resumed.report_json(false)).unwrap()
+        );
+        assert_eq!(whole.snapshot(), resumed.snapshot());
+    }
+
+    #[test]
+    fn failed_server_is_evacuated_and_recovery_rebalances() {
+        let trace = small_trace(3, 0);
+        let mut rt = Runtime::from_trace(&trace, RuntimeConfig::default()).unwrap();
+        let server = rt.cluster().server_of(0).unwrap();
+        rt.step(0, &TimedEvent { time_ms: 1.0, event: TraceEvent::ServerFail { server } }).unwrap();
+        for d in 0..rt.cluster().instance().num_devices() {
+            assert_ne!(rt.cluster().server_of(d), Some(server));
+        }
+        assert!(rt.metrics().core.events.server_fail == 1);
+        rt.step(1, &TimedEvent { time_ms: 2.0, event: TraceEvent::ServerRecover { server } })
+            .unwrap();
+        assert!(rt.cluster().is_feasible());
+        assert!(rt.maintainer().matches_full_recompute(rt.topology()));
+    }
+
+    #[test]
+    fn inconsistent_events_are_ignored_not_fatal() {
+        let trace = small_trace(9, 0);
+        let mut rt = Runtime::from_trace(&trace, RuntimeConfig::default()).unwrap();
+        // Joining an already-active device and recovering a healthy server
+        // are no-ops.
+        rt.step(0, &TimedEvent { time_ms: 0.0, event: TraceEvent::DeviceJoin { device: 0 } })
+            .unwrap();
+        rt.step(1, &TimedEvent { time_ms: 1.0, event: TraceEvent::ServerRecover { server: 0 } })
+            .unwrap();
+        assert_eq!(rt.metrics().core.events.ignored, 2);
+        // A link index past the topology is a hard error.
+        let bad = TimedEvent {
+            time_ms: 2.0,
+            event: TraceEvent::LinkLatencyDrift { link: usize::MAX, latency_ms: 1.0 },
+        };
+        assert!(matches!(rt.step(2, &bad), Err(RuntimeError::InvalidEvent { index: 2, .. })));
+    }
+
+    #[test]
+    fn shedding_prefers_low_priority_and_reports() {
+        let trace = small_trace(17, 0);
+        let n = 20;
+        let mut priorities = vec![1.0; n];
+        priorities[0] = 10.0; // device 0 outranks everyone
+        let config = RuntimeConfig { priorities, ..RuntimeConfig::default() };
+        let mut rt = Runtime::from_trace(&trace, config).unwrap();
+        // Fail every server but one: the survivor cannot hold everybody,
+        // so low-priority devices get shed — but never device 0.
+        let m = rt.cluster().instance().num_servers();
+        for (i, server) in (1..m).enumerate() {
+            rt.step(i, &TimedEvent { time_ms: i as f64, event: TraceEvent::ServerFail { server } })
+                .unwrap();
+        }
+        assert!(rt.cluster().is_feasible());
+        assert!(rt.metrics().core.evictions > 0, "one server cannot hold all 20 devices");
+        assert!(rt.cluster().is_active(0), "highest-priority device survives");
+        assert!(!rt.metrics().core.shed_devices.contains(&0));
+    }
+
+    #[test]
+    fn shed_devices_return_when_the_cluster_recovers() {
+        let trace = small_trace(17, 0);
+        let mut rt = Runtime::from_trace(&trace, RuntimeConfig::default()).unwrap();
+        let n = rt.cluster().instance().num_devices();
+        let m = rt.cluster().instance().num_servers();
+        // Crash everything but server 0: some of the 20 devices must be
+        // shed. They stay *wanted*, so recovery brings them all back.
+        for (i, server) in (1..m).enumerate() {
+            rt.step(i, &TimedEvent { time_ms: i as f64, event: TraceEvent::ServerFail { server } })
+                .unwrap();
+        }
+        assert!(rt.cluster().active_count() < n, "one server cannot hold all devices");
+        for (i, server) in (1..m).enumerate() {
+            let index = (m - 1) + i;
+            rt.step(
+                index,
+                &TimedEvent { time_ms: index as f64, event: TraceEvent::ServerRecover { server } },
+            )
+            .unwrap();
+        }
+        assert_eq!(rt.cluster().active_count(), n, "every shed device is re-admitted");
+        assert!(rt.metrics().core.readmissions > 0);
+        assert!(rt.cluster().is_feasible());
+        // A device that deliberately left is *not* re-admitted.
+        let index = 2 * (m - 1);
+        rt.step(
+            index,
+            &TimedEvent { time_ms: index as f64, event: TraceEvent::DeviceLeave { device: 3 } },
+        )
+        .unwrap();
+        assert!(!rt.cluster().is_active(3));
+    }
+
+    #[test]
+    fn q_learning_policy_runs_deterministically() {
+        let trace = TraceGenerator::new(TraceScenario {
+            num_iot: 12,
+            num_servers: 3,
+            ..TraceScenario::default()
+        })
+        .num_events(20)
+        .generate(2)
+        .unwrap();
+        let config = RuntimeConfig {
+            policy: ReassignPolicy::QLearning,
+            refresh_every: Some(10),
+            ..RuntimeConfig::default()
+        };
+        let mut a = Runtime::from_trace(&trace, config.clone()).unwrap();
+        a.run(&trace).unwrap();
+        let mut b = Runtime::from_trace(&trace, config).unwrap();
+        b.run(&trace).unwrap();
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn incremental_savings_are_reported() {
+        let trace = small_trace(29, 120);
+        let mut rt = Runtime::from_trace(&trace, RuntimeConfig::default()).unwrap();
+        rt.run(&trace).unwrap();
+        let core = &rt.metrics().core;
+        if core.delay_updates > 0 {
+            assert!(core.full_equivalent_work.settled > 0);
+            assert!(core.savings_ratio() > 0.0, "incremental repair should beat full rebuilds");
+        }
+    }
+}

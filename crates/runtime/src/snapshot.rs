@@ -1,0 +1,69 @@
+//! Serializable runtime state.
+//!
+//! A [`RuntimeSnapshot`] captures everything [`crate::Runtime`] needs to
+//! resume a trace replay bit-for-bit: the configuration, the drifted
+//! topology, the delay-maintenance state (trees, disabled links,
+//! failures), the assignment, and the deterministic metrics. Demands and
+//! capacities are deliberately *not* stored — they never change, so the
+//! restore path re-derives them from the trace's scenario.
+
+use serde::{Deserialize, Serialize};
+use tacc_gap::Assignment;
+use tacc_topology::Topology;
+
+use crate::maintainer::DelayMaintainer;
+use crate::metrics::CoreMetrics;
+use crate::runtime::RuntimeConfig;
+use crate::RuntimeError;
+
+/// The complete resumable state of a [`crate::Runtime`], produced by
+/// [`crate::Runtime::snapshot`] and consumed by [`crate::Runtime::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeSnapshot {
+    /// Snapshot format version; restore rejects other versions.
+    pub version: u32,
+    /// The runtime's configuration, restored verbatim.
+    pub config: RuntimeConfig,
+    /// The topology including all applied latency drifts.
+    pub topology: Topology,
+    /// Delay-maintenance state: shortest-path trees, link disable
+    /// refcounts, failed servers and the savings baseline.
+    pub maintainer: DelayMaintainer,
+    /// The device → server assignment at the snapshot point.
+    pub assignment: Assignment,
+    /// Which devices want service (shed devices stay wanted and are
+    /// re-admitted when capacity frees up).
+    pub wanted: Vec<bool>,
+    /// The cluster's internal migration counter (kept so
+    /// `DynamicCluster::migrations` stays continuous across a restore).
+    pub migrations: u64,
+    /// Trace events consumed before the snapshot; replay resumes here.
+    pub cursor: u64,
+    /// Deterministic metrics accumulated so far. Wall-clock latency
+    /// histograms are measurements, not state, and are not snapshotted.
+    pub metrics: CoreMetrics,
+}
+
+impl RuntimeSnapshot {
+    /// The snapshot format this build writes and reads.
+    pub const FORMAT_VERSION: u32 = 1;
+
+    /// Serializes the snapshot to deterministic, pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Parses a snapshot previously produced by [`RuntimeSnapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidSnapshot`] on malformed JSON or a
+    /// shape mismatch.
+    pub fn from_json(text: &str) -> Result<RuntimeSnapshot, RuntimeError> {
+        let value = serde_json::from_str(text).map_err(|e| RuntimeError::InvalidSnapshot {
+            reason: format!("malformed JSON: {e}"),
+        })?;
+        serde_json::from_value(&value)
+            .map_err(|e| RuntimeError::InvalidSnapshot { reason: e.to_string() })
+    }
+}

@@ -67,11 +67,23 @@ impl EventQueue {
 
     /// Schedules `kind` at `time`.
     ///
+    /// Event times must be finite and non-negative: [`Event`]'s ordering
+    /// maps incomparable (NaN) times to `Equal`, so admitting a single NaN
+    /// would silently corrupt the pop order of every later event. Debug
+    /// builds therefore panic on a bad time; release builds clamp it —
+    /// negative (including `-inf`) to `0.0`, NaN and `+inf` to `f64::MAX`
+    /// (after every legitimate event) — so the queue's ordering invariant
+    /// holds for whatever actually enters the heap.
+    ///
     /// # Panics
     ///
-    /// Panics if `time` is negative or not finite.
+    /// Panics if `time` is negative or not finite (debug builds only).
     pub fn schedule(&mut self, time: f64, kind: EventKind) {
-        assert!(time.is_finite() && time >= 0.0, "event time must be finite and >= 0, got {time}");
+        debug_assert!(
+            time.is_finite() && time >= 0.0,
+            "event time must be finite and >= 0, got {time}"
+        );
+        let time = sanitize_time(time);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Event { time, kind, seq });
@@ -90,6 +102,19 @@ impl EventQueue {
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+}
+
+/// Release-mode fallback for [`EventQueue::schedule`]: maps any time the
+/// debug assertion would reject onto the nearest value that keeps
+/// [`Event`]'s `Ord` total over the heap contents.
+fn sanitize_time(time: f64) -> f64 {
+    if time.is_nan() || time == f64::INFINITY {
+        f64::MAX
+    } else if time < 0.0 {
+        0.0
+    } else {
+        time
     }
 }
 
@@ -133,10 +158,45 @@ mod tests {
         assert!(q.pop().is_none());
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "event time")]
     fn negative_time_panics() {
         let mut q = EventQueue::new();
         q.schedule(-1.0, EventKind::Arrival { device: 0 });
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "event time")]
+    fn nan_time_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, EventKind::Arrival { device: 0 });
+    }
+
+    // Regression: `Event::cmp` maps NaN comparisons to `Equal`, so one
+    // NaN-timed event used to scramble the pop order of everything pushed
+    // after it. `sanitize_time` is the release-mode guard.
+    #[test]
+    fn sanitize_time_restores_total_order() {
+        assert_eq!(sanitize_time(f64::NAN), f64::MAX);
+        assert_eq!(sanitize_time(f64::INFINITY), f64::MAX);
+        assert_eq!(sanitize_time(f64::NEG_INFINITY), 0.0);
+        assert_eq!(sanitize_time(-1.0), 0.0);
+        assert_eq!(sanitize_time(2.5), 2.5);
+        assert_eq!(sanitize_time(0.0), 0.0);
+    }
+
+    // Release builds clamp instead of panicking; the queue must stay in
+    // non-decreasing time order even when fed a NaN.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn nan_time_is_clamped_last_in_release() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, EventKind::Arrival { device: 0 });
+        q.schedule(f64::NAN, EventKind::Arrival { device: 1 });
+        q.schedule(1.0, EventKind::Arrival { device: 2 });
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![1.0, 2.0, f64::MAX]);
     }
 }

@@ -78,10 +78,7 @@ impl SimReport {
 
     /// Fraction of the measurement window each server spent serving.
     pub fn server_utilization(&self) -> Vec<f64> {
-        self.server_busy_ms
-            .iter()
-            .map(|b| (b / self.duration_ms).clamp(0.0, 1.0))
-            .collect()
+        self.server_busy_ms.iter().map(|b| (b / self.duration_ms).clamp(0.0, 1.0)).collect()
     }
 
     /// Length of the measurement window, in milliseconds.

@@ -45,9 +45,7 @@ impl SimConfig {
                 reason: format!("duration must be positive, got {}", self.duration_ms),
             });
         }
-        if !self.warmup_ms.is_finite()
-            || self.warmup_ms < 0.0
-            || self.warmup_ms >= self.duration_ms
+        if !self.warmup_ms.is_finite() || self.warmup_ms < 0.0 || self.warmup_ms >= self.duration_ms
         {
             return Err(SimError::InvalidParameter {
                 reason: format!(
@@ -409,11 +407,8 @@ mod tests {
     #[test]
     fn two_servers_split_the_load() {
         let delays = DelayMatrix::from_rows(vec![vec![1.0, 9.0], vec![9.0, 1.0]]);
-        let inst = GapInstance::builder(delays)
-            .uniform_demand(0.4)
-            .uniform_capacity(1.0)
-            .build()
-            .unwrap();
+        let inst =
+            GapInstance::builder(delays).uniform_demand(0.4).uniform_capacity(1.0).build().unwrap();
         let good = Assignment::from_vec(vec![0, 1], 2).unwrap();
         let bad = Assignment::from_vec(vec![1, 0], 2).unwrap();
         let traffic = TrafficSpec::from_instance(&inst, &good, 1.0).unwrap();

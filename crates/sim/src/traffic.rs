@@ -76,9 +76,7 @@ impl TrafficSpec {
         let n = instance.num_devices();
         let mut rates = Vec::with_capacity(n);
         for i in 0..n {
-            let j = assignment
-                .server_of(i)
-                .ok_or(SimError::IncompleteAssignment { device: i })?;
+            let j = assignment.server_of(i).ok_or(SimError::IncompleteAssignment { device: i })?;
             rates.push(instance.demand(i, j) / mean_work);
         }
         Ok(TrafficSpec { arrival_rate_per_ms: rates, mean_work: vec![mean_work; n] })
@@ -109,11 +107,7 @@ impl TrafficSpec {
 
     /// Total offered work rate across devices (work units per ms).
     pub fn offered_load(&self) -> f64 {
-        self.arrival_rate_per_ms
-            .iter()
-            .zip(&self.mean_work)
-            .map(|(r, w)| r * w)
-            .sum()
+        self.arrival_rate_per_ms.iter().zip(&self.mean_work).map(|(r, w)| r * w).sum()
     }
 
     /// Returns a copy with every arrival rate scaled by `factor` —

@@ -88,8 +88,5 @@ fn mm1_tail_quantile_is_exponential() {
     // P99: t such that exp(-(1-λ)t) = 0.01 → t = ln(100)/(1-λ) ≈ 9.21.
     let theory = (100.0f64).ln() / (1.0 - lambda);
     let measured = report.latency_percentile(99.0);
-    assert!(
-        (measured - theory).abs() < theory * 0.2,
-        "p99 {measured:.2} vs theory {theory:.2}"
-    );
+    assert!((measured - theory).abs() < theory * 0.2, "p99 {measured:.2} vs theory {theory:.2}");
 }

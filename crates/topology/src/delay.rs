@@ -137,6 +137,29 @@ impl DelayMatrix {
         }
     }
 
+    /// Builds a delay matrix from a dense row-major delay table plus the
+    /// graph [`NodeId`]s each row (IoT device) and column (edge server)
+    /// refers to, validating like [`DelayMatrix::from_rows`]. This is how
+    /// matrices maintained *outside* this crate (e.g. incrementally by an
+    /// online runtime) stay comparable with topology-derived ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty, ragged, or contains a negative or NaN
+    /// delay, or if the node lists disagree with the table's shape.
+    pub fn from_rows_with_nodes(
+        rows: Vec<Vec<f64>>,
+        iot_nodes: Vec<NodeId>,
+        server_nodes: Vec<NodeId>,
+    ) -> Self {
+        let mut matrix = DelayMatrix::from_rows(rows);
+        assert_eq!(matrix.num_iot, iot_nodes.len(), "one node id per row");
+        assert_eq!(matrix.num_servers, server_nodes.len(), "one node id per column");
+        matrix.iot_nodes = iot_nodes;
+        matrix.server_nodes = server_nodes;
+        matrix
+    }
+
     /// Number of IoT devices (rows).
     pub fn num_iot(&self) -> usize {
         self.num_iot
@@ -210,6 +233,25 @@ impl DelayMatrix {
     /// Panics if `server` is out of range.
     pub fn server_node(&self, server: usize) -> NodeId {
         self.server_nodes[server]
+    }
+
+    /// Overwrites one entry — the incremental-maintenance hook used by
+    /// the online runtime when a server's shortest-path tree changes.
+    /// `f64::INFINITY` marks the pair unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or `delay_ms` is negative
+    /// or NaN.
+    pub fn set(&mut self, iot: usize, server: usize, delay_ms: f64) {
+        assert!(iot < self.num_iot, "iot index {iot} out of range ({})", self.num_iot);
+        assert!(
+            server < self.num_servers,
+            "server index {server} out of range ({})",
+            self.num_servers
+        );
+        assert!(delay_ms >= 0.0, "delay must be non-negative, got {delay_ms}");
+        self.data[iot * self.num_servers + server] = delay_ms;
     }
 
     /// `true` when every entry is finite, i.e. every IoT device can reach

@@ -45,10 +45,7 @@ pub fn to_dot(topology: &Topology) -> String {
             .position()
             .map(|p| format!(", pos=\"{:.2},{:.2}!\"", p.x, p.y))
             .unwrap_or_default();
-        let _ = writeln!(
-            out,
-            "  {id} [shape={shape}, style=filled, fillcolor=\"{color}\"{pos}];"
-        );
+        let _ = writeln!(out, "  {id} [shape={shape}, style=filled, fillcolor=\"{color}\"{pos}];");
     }
     for (_, link) in graph.links() {
         let _ = writeln!(

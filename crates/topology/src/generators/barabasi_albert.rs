@@ -255,12 +255,8 @@ mod tests {
 
     #[test]
     fn servers_attach_to_hubs() {
-        let gen = BarabasiAlbert::builder()
-            .num_routers(30)
-            .num_servers(1)
-            .num_iot(1)
-            .build()
-            .unwrap();
+        let gen =
+            BarabasiAlbert::builder().num_routers(30).num_servers(1).num_iot(1).build().unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let t = gen.generate(&mut rng).unwrap();
         let server = t.server_nodes()[0];

@@ -129,8 +129,7 @@ impl TopologyGenerator for Grid {
         let mut lattice: Vec<NodeId> = Vec::with_capacity(self.rows * self.cols);
         for r in 0..self.rows {
             for c in 0..self.cols {
-                lattice
-                    .push(graph.add_node_at(NodeKind::Router, Point::new(c as f64, r as f64)));
+                lattice.push(graph.add_node_at(NodeKind::Router, Point::new(c as f64, r as f64)));
             }
         }
         for r in 0..self.rows {

@@ -291,11 +291,7 @@ mod tests {
 
     #[test]
     fn tiny_radius_still_connected_via_patching() {
-        let gen = RandomGeometric::builder()
-            .num_routers(10)
-            .connect_radius(0.001)
-            .build()
-            .unwrap();
+        let gen = RandomGeometric::builder().num_routers(10).connect_radius(0.001).build().unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let t = gen.generate(&mut rng).unwrap();
         assert!(t.graph().is_connected());

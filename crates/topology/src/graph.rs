@@ -256,6 +256,30 @@ impl Graph {
         Ok(id)
     }
 
+    /// Overwrites the propagation latency of an existing link — the
+    /// mutation behind `LinkLatencyDrift` events in the online runtime.
+    /// Endpoints, bandwidth and the link id are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownNode`] — never; and
+    /// [`TopologyError::InvalidLink`] if `latency_ms` is negative or not
+    /// finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn set_link_latency(&mut self, id: LinkId, latency_ms: f64) -> Result<(), TopologyError> {
+        assert!(id.index() < self.links.len(), "unknown link {id}");
+        if !latency_ms.is_finite() || latency_ms < 0.0 {
+            return Err(TopologyError::InvalidLink {
+                reason: format!("latency must be finite and non-negative, got {latency_ms}"),
+            });
+        }
+        self.links[id.index()].latency_ms = latency_ms;
+        Ok(())
+    }
+
     fn check_node(&self, id: NodeId) -> Result<(), TopologyError> {
         if id.index() < self.nodes.len() {
             Ok(())
@@ -321,12 +345,21 @@ impl Graph {
         self.links.iter().enumerate().map(|(i, l)| (LinkId(i as u32), l))
     }
 
+    /// The id of the link at `index`, in insertion order — the inverse of
+    /// [`LinkId::index`], used when replaying traces that reference links
+    /// by position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.link_count()`.
+    pub fn link_id(&self, index: usize) -> LinkId {
+        assert!(index < self.links.len(), "link index {index} out of range");
+        LinkId(index as u32)
+    }
+
     /// Node ids whose [`NodeKind`] equals `kind`, in id order.
     pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
-        self.nodes()
-            .filter(|(_, n)| n.kind() == kind)
-            .map(|(id, _)| id)
-            .collect()
+        self.nodes().filter(|(_, n)| n.kind() == kind).map(|(id, _)| id).collect()
     }
 
     /// Returns a copy of the graph with one link removed — the
@@ -482,14 +515,8 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add_node(NodeKind::Router);
         let b = g.add_node(NodeKind::Router);
-        assert!(matches!(
-            g.add_link(a, b, -1.0, 10.0),
-            Err(TopologyError::InvalidLink { .. })
-        ));
-        assert!(matches!(
-            g.add_link(a, b, f64::NAN, 10.0),
-            Err(TopologyError::InvalidLink { .. })
-        ));
+        assert!(matches!(g.add_link(a, b, -1.0, 10.0), Err(TopologyError::InvalidLink { .. })));
+        assert!(matches!(g.add_link(a, b, f64::NAN, 10.0), Err(TopologyError::InvalidLink { .. })));
     }
 
     #[test]
@@ -497,10 +524,7 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add_node(NodeKind::Router);
         let b = g.add_node(NodeKind::Router);
-        assert!(matches!(
-            g.add_link(a, b, 1.0, 0.0),
-            Err(TopologyError::InvalidLink { .. })
-        ));
+        assert!(matches!(g.add_link(a, b, 1.0, 0.0), Err(TopologyError::InvalidLink { .. })));
         assert!(matches!(
             g.add_link(a, b, 1.0, f64::INFINITY),
             Err(TopologyError::InvalidLink { .. })

@@ -1,0 +1,489 @@
+//! Incrementally maintained single-source shortest-path trees.
+//!
+//! The online reconfiguration runtime (`tacc-runtime`) keeps one
+//! shortest-path tree per edge server and must update the IoT→server
+//! delay matrix whenever a link's cost drifts or a node's links are
+//! taken down. Recomputing every tree from scratch on each event is
+//! `O(m · (E log V))`; most events touch a small region of one or two
+//! trees, so a [`SsspTree`] instead repairs only the affected part:
+//!
+//! - **Cost decrease** — seed a Dijkstra re-relaxation from the changed
+//!   link's endpoints; only nodes whose distance actually improves are
+//!   re-settled.
+//! - **Cost increase** (including disabling a link by raising its cost
+//!   to `f64::INFINITY`) — if the link is not a tree edge the tree is
+//!   untouched; otherwise the subtree hanging off the link is
+//!   invalidated and re-grown from its boundary (Ramalingam–Reps
+//!   style).
+//!
+//! Costs live in an external per-link array so callers can disable
+//! links (server failure) without mutating the [`Graph`]. Every
+//! operation reports [`UpdateStats`] — the runtime uses them to report
+//! incremental-vs-full work savings.
+//!
+//! The distances produced are *exactly* (bit-for-bit) those of a fresh
+//! [`dijkstra`](crate::shortest_path::dijkstra) run: both compute each
+//! distance as the same left-to-right sum of link costs along a
+//! shortest path, and both take exact minima over the same candidate
+//! set. [`SsspTree::matches_full`] checks this and backs the debug
+//! assertions in the runtime.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{Graph, LinkId, NodeId};
+
+/// Work performed by one tree operation, in relaxation units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateStats {
+    /// Nodes settled (popped from the heap with a current distance).
+    pub settled: u64,
+    /// Incident links examined during relaxation.
+    pub edges_scanned: u64,
+}
+
+impl UpdateStats {
+    /// Accumulates another operation's work into this one.
+    pub fn absorb(&mut self, other: UpdateStats) {
+        self.settled += other.settled;
+        self.edges_scanned += other.edges_scanned;
+    }
+}
+
+/// Min-heap entry (reversed for `BinaryHeap`); ties break on node index
+/// so heap order — and therefore floating-point settle order — is
+/// deterministic.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.index().cmp(&self.node.index()))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A single-source shortest-path tree that can be repaired in place
+/// after link-cost changes.
+///
+/// The tree does not borrow the graph; every method takes the graph
+/// and the current per-link cost array (`f64::INFINITY` = unusable
+/// link). The caller must present a cost array consistent with the
+/// sequence of [`SsspTree::apply_cost_change`] calls.
+///
+/// # Example
+///
+/// ```
+/// use tacc_topology::incremental::SsspTree;
+/// use tacc_topology::{Graph, NodeKind};
+///
+/// # fn main() -> Result<(), tacc_topology::TopologyError> {
+/// let mut g = Graph::new();
+/// let a = g.add_node(NodeKind::Router);
+/// let b = g.add_node(NodeKind::Router);
+/// let c = g.add_node(NodeKind::Router);
+/// let ab = g.add_link(a, b, 1.0, 100.0)?;
+/// let _bc = g.add_link(b, c, 1.0, 100.0)?;
+/// let mut costs = vec![1.0, 1.0];
+/// let (mut tree, _) = SsspTree::build(&g, a, &costs);
+/// assert_eq!(tree.distance(c), 2.0);
+///
+/// costs[ab.index()] = 5.0; // drift on a—b
+/// tree.apply_cost_change(&g, &costs, ab, 1.0);
+/// assert_eq!(tree.distance(c), 6.0);
+/// assert!(tree.matches_full(&g, &costs));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsspTree {
+    source: NodeId,
+    /// Distance from the source, `f64::INFINITY` when unreachable.
+    dist: Vec<f64>,
+    /// The link to each node's tree parent (`None` for the source and
+    /// unreachable nodes).
+    parent_link: Vec<Option<LinkId>>,
+}
+
+impl SsspTree {
+    /// Builds the tree with a full Dijkstra run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a node of `graph` or `costs` is not
+    /// one entry per link.
+    pub fn build(graph: &Graph, source: NodeId, costs: &[f64]) -> (Self, UpdateStats) {
+        assert!(source.index() < graph.node_count(), "source {source} not in graph");
+        let mut tree = SsspTree {
+            source,
+            dist: vec![f64::INFINITY; graph.node_count()],
+            parent_link: vec![None; graph.node_count()],
+        };
+        let stats = tree.rebuild(graph, costs);
+        (tree, stats)
+    }
+
+    /// The tree's source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance from the source to `node` (`f64::INFINITY` when
+    /// unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn distance(&self, node: NodeId) -> f64 {
+        self.dist[node.index()]
+    }
+
+    /// All distances, indexed by [`NodeId::index`].
+    pub fn distances(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Recomputes the whole tree from scratch — the fallback path, and
+    /// the baseline that incremental repairs are measured against.
+    pub fn rebuild(&mut self, graph: &Graph, costs: &[f64]) -> UpdateStats {
+        self.check_dimensions(graph, costs);
+        self.dist.fill(f64::INFINITY);
+        self.parent_link.fill(None);
+        self.dist[self.source.index()] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry { cost: 0.0, node: self.source });
+        self.run_dijkstra(graph, costs, heap)
+    }
+
+    /// Repairs the tree after the cost of `changed` moved from
+    /// `old_cost` to `costs[changed.index()]`.
+    ///
+    /// The cost array must already hold the new value. Raising a cost
+    /// to `f64::INFINITY` removes the link from consideration (the
+    /// failure primitive); lowering it from `f64::INFINITY` re-adds it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `changed` is out of range, `costs` has the wrong
+    /// length, or (in debug builds) a finite cost is negative.
+    pub fn apply_cost_change(
+        &mut self,
+        graph: &Graph,
+        costs: &[f64],
+        changed: LinkId,
+        old_cost: f64,
+    ) -> UpdateStats {
+        self.check_dimensions(graph, costs);
+        let new_cost = costs[changed.index()];
+        debug_assert!(
+            new_cost >= 0.0,
+            "link cost must be non-negative, got {new_cost} for {changed}"
+        );
+        if new_cost == old_cost {
+            return UpdateStats::default();
+        }
+        if new_cost < old_cost {
+            self.apply_decrease(graph, costs, changed)
+        } else {
+            self.apply_increase(graph, costs, changed)
+        }
+    }
+
+    /// Cost went down: distances can only improve. Seed the heap with
+    /// whichever endpoints improve through the cheaper link and
+    /// re-relax forward.
+    fn apply_decrease(&mut self, graph: &Graph, costs: &[f64], changed: LinkId) -> UpdateStats {
+        let link = graph.link(changed);
+        let c = costs[changed.index()];
+        let mut heap = BinaryHeap::new();
+        for (from, to) in [(link.a(), link.b()), (link.b(), link.a())] {
+            let candidate = self.dist[from.index()] + c;
+            if candidate < self.dist[to.index()] {
+                self.dist[to.index()] = candidate;
+                self.parent_link[to.index()] = Some(changed);
+                heap.push(HeapEntry { cost: candidate, node: to });
+            }
+        }
+        self.run_dijkstra(graph, costs, heap)
+    }
+
+    /// Cost went up: only nodes whose tree path crosses the changed
+    /// link can move. Invalidate that subtree, then re-grow it from
+    /// boundary candidates.
+    fn apply_increase(&mut self, graph: &Graph, costs: &[f64], changed: LinkId) -> UpdateStats {
+        let link = graph.link(changed);
+        // The child endpoint is the one that reaches its parent through
+        // the changed link. If neither endpoint does, no shortest path
+        // uses the link and nothing can get worse.
+        let child = if self.parent_link[link.a().index()] == Some(changed) {
+            link.a()
+        } else if self.parent_link[link.b().index()] == Some(changed) {
+            link.b()
+        } else {
+            return UpdateStats::default();
+        };
+
+        // Collect the subtree under `child` (its tree path uses the
+        // changed link). One pass over the adjacency of invalidated
+        // nodes; membership spreads along parent links.
+        let mut invalid = vec![false; self.dist.len()];
+        invalid[child.index()] = true;
+        let mut frontier = vec![child];
+        let mut subtree = vec![child];
+        while let Some(u) = frontier.pop() {
+            for nb in graph.neighbors(u) {
+                let v = nb.node;
+                if !invalid[v.index()] && self.parent_link[v.index()] == Some(nb.link) {
+                    invalid[v.index()] = true;
+                    frontier.push(v);
+                    subtree.push(v);
+                }
+            }
+        }
+        let mut stats = UpdateStats::default();
+        for &v in &subtree {
+            self.dist[v.index()] = f64::INFINITY;
+            self.parent_link[v.index()] = None;
+        }
+
+        // Boundary relaxation: the best way back into the subtree is
+        // through some link from a still-valid node (the changed link
+        // itself included, at its new cost).
+        let mut heap = BinaryHeap::new();
+        for &v in &subtree {
+            for nb in graph.neighbors(v) {
+                stats.edges_scanned += 1;
+                let u = nb.node;
+                if invalid[u.index()] {
+                    continue;
+                }
+                let candidate = self.dist[u.index()] + costs[nb.link.index()];
+                if candidate < self.dist[v.index()] {
+                    self.dist[v.index()] = candidate;
+                    self.parent_link[v.index()] = Some(nb.link);
+                    heap.push(HeapEntry { cost: candidate, node: v });
+                }
+            }
+        }
+        stats.absorb(self.run_dijkstra(graph, costs, heap));
+        stats
+    }
+
+    /// Standard relaxation loop over an already-seeded heap.
+    fn run_dijkstra(
+        &mut self,
+        graph: &Graph,
+        costs: &[f64],
+        mut heap: BinaryHeap<HeapEntry>,
+    ) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        while let Some(HeapEntry { cost, node }) = heap.pop() {
+            if cost > self.dist[node.index()] {
+                continue; // stale entry
+            }
+            stats.settled += 1;
+            for nb in graph.neighbors(node) {
+                stats.edges_scanned += 1;
+                let c = costs[nb.link.index()];
+                debug_assert!(!c.is_nan() && c >= 0.0, "link cost must be non-negative, got {c}");
+                let next = cost + c;
+                if next < self.dist[nb.node.index()] {
+                    self.dist[nb.node.index()] = next;
+                    self.parent_link[nb.node.index()] = Some(nb.link);
+                    heap.push(HeapEntry { cost: next, node: nb.node });
+                }
+            }
+        }
+        stats
+    }
+
+    /// `true` when the maintained distances equal (bit-for-bit) a fresh
+    /// full recomputation — the consistency oracle behind the runtime's
+    /// debug assertions and the property tests.
+    pub fn matches_full(&self, graph: &Graph, costs: &[f64]) -> bool {
+        let (fresh, _) = SsspTree::build(graph, self.source, costs);
+        self.dist == fresh.dist
+    }
+
+    fn check_dimensions(&self, graph: &Graph, costs: &[f64]) {
+        assert_eq!(costs.len(), graph.link_count(), "cost array must have one entry per link");
+        assert_eq!(self.dist.len(), graph.node_count(), "tree was built for a different graph");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeKind;
+
+    /// A 4-cycle with a chord:
+    ///
+    /// ```text
+    ///   n0 ──0── n1
+    ///   │2        │1
+    ///   n3 ──3── n2
+    ///    \___4___/   (n0—n2 chord)
+    /// ```
+    fn diamond() -> (Graph, Vec<f64>) {
+        let mut g = Graph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(NodeKind::Router)).collect();
+        g.add_link(n[0], n[1], 1.0, 100.0).unwrap();
+        g.add_link(n[1], n[2], 1.0, 100.0).unwrap();
+        g.add_link(n[0], n[3], 1.0, 100.0).unwrap();
+        g.add_link(n[3], n[2], 1.0, 100.0).unwrap();
+        g.add_link(n[0], n[2], 5.0, 100.0).unwrap();
+        let costs = vec![1.0, 1.0, 1.0, 1.0, 5.0];
+        (g, costs)
+    }
+
+    #[test]
+    fn build_matches_dijkstra() {
+        let (g, costs) = diamond();
+        let (tree, stats) = SsspTree::build(&g, NodeId(0), &costs);
+        assert_eq!(tree.distances(), &[0.0, 1.0, 2.0, 1.0]);
+        assert!(stats.settled >= 4);
+    }
+
+    #[test]
+    fn decrease_improves_through_chord() {
+        let (g, mut costs) = diamond();
+        let (mut tree, _) = SsspTree::build(&g, NodeId(0), &costs);
+        costs[4] = 0.5; // chord n0—n2 now cheapest
+        tree.apply_cost_change(&g, &costs, LinkId(4), 5.0);
+        assert_eq!(tree.distance(NodeId(2)), 0.5);
+        assert!(tree.matches_full(&g, &costs));
+    }
+
+    #[test]
+    fn increase_on_non_tree_link_is_free() {
+        let (g, mut costs) = diamond();
+        let (mut tree, _) = SsspTree::build(&g, NodeId(0), &costs);
+        costs[4] = 50.0; // chord is not a tree edge
+        let stats = tree.apply_cost_change(&g, &costs, LinkId(4), 5.0);
+        assert_eq!(stats, UpdateStats::default());
+        assert!(tree.matches_full(&g, &costs));
+    }
+
+    #[test]
+    fn increase_reroutes_subtree() {
+        let (g, mut costs) = diamond();
+        let (mut tree, _) = SsspTree::build(&g, NodeId(0), &costs);
+        // n1 is reached via link 0; raising it reroutes n1 through n2.
+        costs[0] = 10.0;
+        tree.apply_cost_change(&g, &costs, LinkId(0), 1.0);
+        assert_eq!(tree.distance(NodeId(1)), 3.0); // n0→n3→n2→n1
+        assert!(tree.matches_full(&g, &costs));
+    }
+
+    #[test]
+    fn disable_and_reenable_roundtrips() {
+        let (g, mut costs) = diamond();
+        let (mut tree, _) = SsspTree::build(&g, NodeId(0), &costs);
+        let before = tree.clone();
+
+        costs[0] = f64::INFINITY;
+        tree.apply_cost_change(&g, &costs, LinkId(0), 1.0);
+        assert!(tree.matches_full(&g, &costs));
+        assert_eq!(tree.distance(NodeId(1)), 3.0);
+
+        costs[0] = 1.0;
+        tree.apply_cost_change(&g, &costs, LinkId(0), f64::INFINITY);
+        assert!(tree.matches_full(&g, &costs));
+        assert_eq!(tree.distances(), before.distances());
+    }
+
+    #[test]
+    fn disconnection_marks_subtree_unreachable() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Router);
+        let b = g.add_node(NodeKind::Router);
+        let c = g.add_node(NodeKind::Router);
+        let ab = g.add_link(a, b, 1.0, 100.0).unwrap();
+        g.add_link(b, c, 1.0, 100.0).unwrap();
+        let mut costs = vec![1.0, 1.0];
+        let (mut tree, _) = SsspTree::build(&g, a, &costs);
+
+        costs[ab.index()] = f64::INFINITY;
+        tree.apply_cost_change(&g, &costs, ab, 1.0);
+        assert!(tree.distance(b).is_infinite());
+        assert!(tree.distance(c).is_infinite());
+        assert!(tree.matches_full(&g, &costs));
+    }
+
+    #[test]
+    fn unchanged_cost_is_a_noop() {
+        let (g, costs) = diamond();
+        let (mut tree, _) = SsspTree::build(&g, NodeId(0), &costs);
+        let stats = tree.apply_cost_change(&g, &costs, LinkId(1), costs[1]);
+        assert_eq!(stats, UpdateStats::default());
+    }
+
+    #[test]
+    fn random_change_sequences_stay_consistent() {
+        // Deterministic pseudo-random walk over cost changes on a grid
+        // with chords; after every step the tree must match a fresh
+        // Dijkstra bit-for-bit.
+        let mut g = Graph::new();
+        let nodes: Vec<_> = (0..12).map(|_| g.add_node(NodeKind::Router)).collect();
+        let mut links = Vec::new();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                if (i * 7 + j * 3) % 4 == 0 {
+                    let base = 1.0 + ((i * 13 + j) % 9) as f64;
+                    links.push((g.add_link(nodes[i], nodes[j], base, 100.0).unwrap(), base));
+                }
+            }
+        }
+        let mut costs: Vec<f64> = links.iter().map(|&(_, c)| c).collect();
+        let (mut tree, _) = SsspTree::build(&g, nodes[0], &costs);
+
+        let mut state = 0x1234_5678_u64;
+        for step in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let idx = (state >> 33) as usize % costs.len();
+            let old = costs[idx];
+            costs[idx] = match state % 4 {
+                0 => f64::INFINITY,
+                1 => old / 2.0,
+                2 => (step % 11) as f64 + 0.5,
+                _ => old * 3.0 + 1.0,
+            };
+            if costs[idx] == old {
+                continue;
+            }
+            tree.apply_cost_change(&g, &costs, links[idx].0, old);
+            assert!(tree.matches_full(&g, &costs), "diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_tree() {
+        let (g, costs) = diamond();
+        let (tree, _) = SsspTree::build(&g, NodeId(0), &costs);
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: SsspTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tree);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per link")]
+    fn wrong_cost_length_panics() {
+        let (g, _) = diamond();
+        let _ = SsspTree::build(&g, NodeId(0), &[1.0]);
+    }
+}

@@ -18,6 +18,8 @@
 //!   Erdős–Rényi, Barabási–Albert, hierarchical gateway tree, grid,
 //!   fat-tree).
 //! - [`shortest_path`]: Dijkstra and Floyd–Warshall kernels.
+//! - [`incremental`]: shortest-path trees repaired in place after
+//!   link-cost drift or link failure, for the online runtime.
 //!
 //! # Example
 //!
@@ -54,6 +56,7 @@ mod error;
 pub mod export;
 pub mod generators;
 mod graph;
+pub mod incremental;
 pub mod routing;
 pub mod shortest_path;
 mod topology;

@@ -91,12 +91,7 @@ impl RoutingTable {
     /// The links on the route between IoT device `iot` (role index) and
     /// server `server` (role index), in device→server order. `None` when
     /// the pair is unreachable.
-    pub fn route(
-        &self,
-        topology: &Topology,
-        iot: usize,
-        server: usize,
-    ) -> Option<Vec<LinkId>> {
+    pub fn route(&self, topology: &Topology, iot: usize, server: usize) -> Option<Vec<LinkId>> {
         let device_node = topology.iot_nodes()[iot];
         let server_node = topology.server_nodes()[server];
         let mut links = Vec::new();
@@ -118,12 +113,7 @@ impl RoutingTable {
     /// Panics if the slices disagree with the topology, a device is
     /// unassigned (`assignment[i] >= num_servers`), or a route does not
     /// exist.
-    pub fn link_loads(
-        &self,
-        topology: &Topology,
-        assignment: &[usize],
-        flow: &[f64],
-    ) -> Vec<f64> {
+    pub fn link_loads(&self, topology: &Topology, assignment: &[usize], flow: &[f64]) -> Vec<f64> {
         assert_eq!(assignment.len(), topology.num_iot(), "one server per device");
         assert_eq!(flow.len(), topology.num_iot(), "one flow per device");
         let mut loads = vec![0.0; self.num_links];
@@ -213,10 +203,7 @@ mod tests {
         // d0 -> s0: l0, l2.
         assert_eq!(table.route(&t, 0, 0).unwrap(), vec![LinkId(0), LinkId(2)]);
         // d0 -> s1: prefers l0, l3, l4 (cost 3) over l0, l5 (cost 10).
-        assert_eq!(
-            table.route(&t, 0, 1).unwrap(),
-            vec![LinkId(0), LinkId(3), LinkId(4)]
-        );
+        assert_eq!(table.route(&t, 0, 1).unwrap(), vec![LinkId(0), LinkId(3), LinkId(4)]);
     }
 
     #[test]
@@ -228,8 +215,7 @@ mod tests {
         for i in 0..t.num_iot() {
             for j in 0..t.num_servers() {
                 let route = table.route(&t, i, j).unwrap();
-                let cost: f64 =
-                    route.iter().map(|&l| m.link_delay_ms(t.graph().link(l))).sum();
+                let cost: f64 = route.iter().map(|&l| m.link_delay_ms(t.graph().link(l))).sum();
                 assert!(
                     (cost - dm.get(i, j)).abs() < 1e-9,
                     "route cost {cost} vs matrix {} for ({i},{j})",

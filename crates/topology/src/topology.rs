@@ -84,6 +84,26 @@ impl Topology {
         DelayMatrix::from_parts(data, self.iot.clone(), self.servers.clone())
     }
 
+    /// Overwrites the propagation latency of one link — see
+    /// [`crate::Graph::set_link_latency`]. This is how the online runtime
+    /// applies `LinkLatencyDrift` events without rebuilding the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TopologyError::InvalidLink`] if `latency_ms` is
+    /// negative or not finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the underlying graph.
+    pub fn set_link_latency(
+        &mut self,
+        id: crate::LinkId,
+        latency_ms: f64,
+    ) -> Result<(), TopologyError> {
+        self.graph.set_link_latency(id, latency_ms)
+    }
+
     /// Fault injection: a copy of this topology with one link failed.
     /// Roles are unchanged; reachability may be reduced — check with
     /// [`Topology::validate_reachability`] before reconfiguring.

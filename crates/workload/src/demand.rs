@@ -91,8 +91,8 @@ impl DemandModel {
                         ),
                     });
                 }
-                let dist = LogNormal::new(mu, sigma).map_err(|e| {
-                    WorkloadError::InvalidConfig { reason: format!("log-normal parameters: {e}") }
+                let dist = LogNormal::new(mu, sigma).map_err(|e| WorkloadError::InvalidConfig {
+                    reason: format!("log-normal parameters: {e}"),
                 })?;
                 Ok((0..n).map(|_| dist.sample(rng)).collect())
             }

@@ -34,8 +34,10 @@ mod demand;
 mod error;
 mod scenario;
 mod sweep;
+mod trace;
 
 pub use demand::DemandModel;
 pub use error::WorkloadError;
 pub use scenario::{Scenario, ScenarioBuilder, TopologyFamily};
 pub use sweep::seeds;
+pub use trace::{TimedEvent, Trace, TraceEvent, TraceGenerator, TraceScenario};

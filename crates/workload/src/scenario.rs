@@ -2,8 +2,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use tacc_gap::GapInstance;
 use tacc_topology::generators::{
-    BarabasiAlbert, ErdosRenyi, FatTree, Grid, HierarchicalTree, RandomGeometric,
-    TopologyGenerator,
+    BarabasiAlbert, ErdosRenyi, FatTree, Grid, HierarchicalTree, RandomGeometric, TopologyGenerator,
 };
 use tacc_topology::{DelayModel, Topology};
 
@@ -51,6 +50,12 @@ impl TopologyFamily {
             TopologyFamily::Grid => "grid",
             TopologyFamily::FatTree => "fat-tree",
         }
+    }
+
+    /// Looks a family up by its [`TopologyFamily::name`] string. Returns
+    /// `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<TopologyFamily> {
+        TopologyFamily::ALL.into_iter().find(|f| f.name() == name)
     }
 
     /// Instantiates the generator with counts scaled to the scenario.
@@ -103,10 +108,28 @@ impl TopologyFamily {
                         .build()?,
                 )
             }
-            TopologyFamily::FatTree => Box::new(
-                FatTree::builder().num_iot(num_iot).num_servers(num_servers).k(4).build()?,
-            ),
+            TopologyFamily::FatTree => {
+                Box::new(FatTree::builder().num_iot(num_iot).num_servers(num_servers).k(4).build()?)
+            }
         })
+    }
+}
+
+// Families serialize as their kebab-case `name()` so trace files use the
+// same spelling as the CLI (`--family random-geometric`).
+impl serde::Serialize for TopologyFamily {
+    fn to_value(&self) -> serde::__private::Value {
+        serde::__private::Value::Str(self.name().to_owned())
+    }
+}
+
+impl serde::Deserialize for TopologyFamily {
+    fn from_value(value: &serde::__private::Value) -> Result<Self, serde::DeError> {
+        match value {
+            serde::__private::Value::Str(s) => TopologyFamily::from_name(s)
+                .ok_or_else(|| serde::DeError::new(format!("unknown topology family `{s}`"))),
+            _ => Err(serde::DeError::new("expected a topology family name string")),
+        }
     }
 }
 
@@ -259,9 +282,7 @@ impl ScenarioBuilder {
             let raw: Vec<f64> = (0..self.num_servers)
                 .map(|_| {
                     mean_capacity
-                        * rng.random_range(
-                            1.0 - self.capacity_spread..1.0 + self.capacity_spread,
-                        )
+                        * rng.random_range(1.0 - self.capacity_spread..1.0 + self.capacity_spread)
                 })
                 .collect();
             // Renormalize so Σc = total_demand / ρ exactly.
@@ -270,10 +291,8 @@ impl ScenarioBuilder {
             raw.iter().map(|c| c * target / raw_total).collect()
         };
 
-        let instance = GapInstance::builder(delays)
-            .device_demands(demands)
-            .capacities(capacities)
-            .build()?;
+        let instance =
+            GapInstance::builder(delays).device_demands(demands).capacities(capacities).build()?;
         Ok(Scenario { topology, instance, family: self.family, seed })
     }
 }

@@ -22,10 +22,8 @@ fn rescore(
     capacity: f64,
 ) -> Result<Solution, CoreError> {
     let delays = topology.delay_matrix(&DelayModel::default());
-    let instance = GapInstance::builder(delays)
-        .uniform_demand(demand)
-        .uniform_capacity(capacity)
-        .build()?;
+    let instance =
+        GapInstance::builder(delays).uniform_demand(demand).uniform_capacity(capacity).build()?;
     Ok(Solution::evaluate(assignment, &instance, SolveStats::default())?)
 }
 
@@ -66,12 +64,7 @@ fn main() -> Result<(), CoreError> {
 
     // 3. Compare: keep the stale assignment vs. reconfigure.
     let degraded = topology.with_failed_link(failed_link);
-    let stale = rescore(
-        &degraded,
-        nominal.solution().assignment.clone(),
-        demand,
-        capacity,
-    )?;
+    let stale = rescore(&degraded, nominal.solution().assignment.clone(), demand, capacity)?;
     let reconfigured = ClusterConfigurator::new(degraded)
         .uniform_demand(demand)
         .uniform_capacity(capacity)

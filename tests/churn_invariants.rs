@@ -103,10 +103,7 @@ fn joins_prefer_feasibility_over_delay() {
                     pre[j] + cluster.instance().demand(d, j)
                         <= cluster.instance().capacity(j) + 1e-9
                 });
-                assert!(
-                    !had_room,
-                    "seed {seed}: join {d} overloaded although a server had room"
-                );
+                assert!(!had_room, "seed {seed}: join {d} overloaded although a server had room");
             }
         }
     }

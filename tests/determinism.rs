@@ -8,11 +8,8 @@ use tacc_core::{Algorithm, ClusterConfigurator};
 #[test]
 fn identical_seeds_reproduce_the_entire_pipeline() {
     let run = |seed: u64| {
-        let scenario = ScenarioBuilder::new()
-            .num_iot(25)
-            .num_servers(4)
-            .build(seed)
-            .expect("scenario");
+        let scenario =
+            ScenarioBuilder::new().num_iot(25).num_servers(4).build(seed).expect("scenario");
         let config = ClusterConfigurator::from_scenario(&scenario)
             .algorithm(Algorithm::q_learning())
             .seed(seed)
@@ -71,13 +68,7 @@ fn scenarios_differ_across_trial_seeds() {
     let trial_seeds = seeds(7, 3);
     let instances: Vec<_> = trial_seeds
         .iter()
-        .map(|&s| {
-            ScenarioBuilder::new()
-                .num_iot(15)
-                .num_servers(3)
-                .build(s)
-                .expect("scenario")
-        })
+        .map(|&s| ScenarioBuilder::new().num_iot(15).num_servers(3).build(s).expect("scenario"))
         .collect();
     assert_ne!(instances[0].instance(), instances[1].instance());
     assert_ne!(instances[1].instance(), instances[2].instance());

@@ -14,8 +14,7 @@ fn reconfiguring_after_a_failure_never_does_worse_than_staying_put() {
         .build(13)
         .expect("scenario");
     let topology = scenario.topology();
-    let demands: Vec<f64> =
-        (0..30).map(|i| scenario.instance().demand(i, 0)).collect();
+    let demands: Vec<f64> = (0..30).map(|i| scenario.instance().demand(i, 0)).collect();
     let capacities = scenario.instance().capacities().to_vec();
 
     let nominal = ClusterConfigurator::new(topology.clone())
@@ -35,13 +34,12 @@ fn reconfiguring_after_a_failure_never_does_worse_than_staying_put() {
         // The realistic recovery procedure: re-score the old assignment on
         // the degraded delay matrix, then improve *from it* with local
         // search — which by construction can only help.
-        let degraded_instance = tacc_core::gap::GapInstance::builder(
-            degraded.delay_matrix(&DelayModel::default()),
-        )
-        .device_demands(demands.clone())
-        .capacities(capacities.clone())
-        .build()
-        .expect("instance");
+        let degraded_instance =
+            tacc_core::gap::GapInstance::builder(degraded.delay_matrix(&DelayModel::default()))
+                .device_demands(demands.clone())
+                .capacities(capacities.clone())
+                .build()
+                .expect("instance");
         let stale = nominal.solution().assignment.clone();
         let stale_delay = stale.total_delay(&degraded_instance).expect("complete");
 
@@ -62,11 +60,7 @@ fn reconfiguring_after_a_failure_never_does_worse_than_staying_put() {
 
 #[test]
 fn failed_router_removes_paths_consistently() {
-    let scenario = ScenarioBuilder::new()
-        .num_iot(20)
-        .num_servers(3)
-        .build(21)
-        .expect("scenario");
+    let scenario = ScenarioBuilder::new().num_iot(20).num_servers(3).build(21).expect("scenario");
     let topology = scenario.topology();
     let routers = topology.graph().nodes_of_kind(NodeKind::Router);
     let nominal = topology.delay_matrix(&DelayModel::default());

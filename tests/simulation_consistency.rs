@@ -39,9 +39,8 @@ fn static_delay_ranking_predicts_simulated_latency_ranking_at_light_load() {
             .expect("traffic")
             .scaled(0.3)
             .expect("scaled");
-        let report = Simulation::new(sim_config(3))
-            .run(instance, assignment, &traffic)
-            .expect("simulate");
+        let report =
+            Simulation::new(sim_config(3)).run(instance, assignment, &traffic).expect("simulate");
         measured.push((
             config.algorithm_name().to_owned(),
             config.mean_delay_ms(),
@@ -54,12 +53,7 @@ fn static_delay_ranking_predicts_simulated_latency_ranking_at_light_load() {
     let (ql, greedy, rr) = (&measured[0], &measured[1], &measured[2]);
     assert!(ql.1 <= greedy.1 * 1.05, "static: QL {} vs greedy {}", ql.1, greedy.1);
     assert!(greedy.1 <= rr.1 + 1e-9, "static: greedy {} vs rr {}", greedy.1, rr.1);
-    assert!(
-        ql.2 <= rr.2,
-        "simulated: QL {} should beat round-robin {} at light load",
-        ql.2,
-        rr.2
-    );
+    assert!(ql.2 <= rr.2, "simulated: QL {} should beat round-robin {} at light load", ql.2, rr.2);
 }
 
 #[test]
@@ -78,17 +72,13 @@ fn simulated_utilization_matches_static_loads() {
     let instance = config.instance();
     let assignment = &config.solution().assignment;
     let traffic = TrafficSpec::from_instance(instance, assignment, 1.0).expect("traffic");
-    let report = Simulation::new(sim_config(7))
-        .run(instance, assignment, &traffic)
-        .expect("simulate");
+    let report =
+        Simulation::new(sim_config(7)).run(instance, assignment, &traffic).expect("simulate");
 
     let static_util = config.server_utilization();
     let sim_util = report.server_utilization();
     for (j, (s, d)) in static_util.iter().zip(&sim_util).enumerate() {
-        assert!(
-            (s - d).abs() < 0.08,
-            "server {j}: static utilization {s:.3} vs simulated {d:.3}"
-        );
+        assert!((s - d).abs() < 0.08, "server {j}: static utilization {s:.3} vs simulated {d:.3}");
     }
 }
 

@@ -57,8 +57,7 @@ fn heuristics_stay_within_ten_percent_of_optimal_on_small_instances() {
     assert!(!gaps.is_empty(), "no feasible trials");
     // Per-solver mean gap must stay under 10%.
     for name in ["q-learning", "sarsa", "local-search", "simulated-annealing", "tabu-search"] {
-        let series: Vec<f64> =
-            gaps.iter().filter(|(n, _)| n == name).map(|(_, g)| *g).collect();
+        let series: Vec<f64> = gaps.iter().filter(|(n, _)| n == name).map(|(_, g)| *g).collect();
         let mean = series.iter().sum::<f64>() / series.len() as f64;
         assert!(mean < 0.10, "{name}: mean optimality gap {:.1}% too large", mean * 100.0);
     }

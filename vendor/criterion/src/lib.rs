@@ -1,0 +1,332 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock harness with criterion's API shape:
+//! `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_with_input`/`bench_function`, `BenchmarkId`, `Throughput`
+//! and `Bencher::iter`. Each benchmark is warmed up briefly, then
+//! timed over `sample_size` samples; median and min/max are printed
+//! to stdout. No statistics engine, plots or HTML reports.
+//!
+//! Like upstream, the harness understands `--bench` (ignored) and a
+//! substring filter argument, plus `--quick` to cut sample counts —
+//! so `cargo bench <filter>` behaves as expected.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--benches" => {}
+                "--quick" => quick = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_owned()),
+            }
+        }
+        Criterion { filter, quick, default_sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None, throughput: None }
+    }
+
+    /// Runs a free-standing benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(""), &(), {
+            let mut f = f;
+            move |b, ()| f(b)
+        });
+        group.finish();
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_id.contains(f))
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter label.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// An id distinguished only by its parameter label.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+
+    fn render(&self, group: &str) -> String {
+        match (self.function.is_empty(), self.parameter.is_empty()) {
+            (true, true) => group.to_owned(),
+            (true, false) => format!("{group}/{}", self.parameter),
+            (false, true) => format!("{group}/{}", self.function),
+            (false, false) => format!("{group}/{}/{}", self.function, self.parameter),
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements handled per iteration.
+    Elements(u64),
+    /// Bytes handled per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in keeps fixed timing.
+    pub fn measurement_time(&mut self, _: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with access to `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = id.render(&self.name);
+        if !self.criterion.matches(&full_id) {
+            return self;
+        }
+        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size).max(2);
+        let samples = if self.criterion.quick { samples.min(10) } else { samples };
+
+        let mut bencher = Bencher { sample: Duration::ZERO, iters: 0 };
+        // Warm-up: one untimed sample.
+        f(&mut bencher, input);
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            bencher.sample = Duration::ZERO;
+            bencher.iters = 0;
+            f(&mut bencher, input);
+            if bencher.iters > 0 {
+                times.push(bencher.sample.as_secs_f64() / bencher.iters as f64);
+            }
+        }
+        report(&full_id, &times, self.throughput);
+        self
+    }
+
+    /// Benchmarks `f` without an input value.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id.into_benchmark_id(), &(), move |b, ()| f(b))
+    }
+
+    /// Ends the group (prints nothing extra; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function` ergonomics.
+pub trait IntoBenchmarkId {
+    /// Converts to an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function: self.to_owned(), parameter: String::new() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function: self, parameter: String::new() }
+    }
+}
+
+/// Times the routine under measurement.
+pub struct Bencher {
+    sample: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, keeping its return value alive
+    /// via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate an iteration count aiming at ~10ms per sample so
+        // fast routines are not dominated by timer resolution.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(10);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.sample += start.elapsed();
+        self.iters += iters;
+    }
+}
+
+fn report(id: &str, times: &[f64], throughput: Option<Throughput>) {
+    if times.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let mut sorted = times.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = sorted[sorted.len() / 2];
+    let lo = sorted[0];
+    let hi = sorted[sorted.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / median)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / median)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<50} time: [{} {} {}]{rate}",
+        format_time(lo),
+        format_time(median),
+        format_time(hi)
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_hierarchically() {
+        assert_eq!(BenchmarkId::new("f", 10).render("g"), "g/f/10");
+        assert_eq!(BenchmarkId::from_parameter(5).render("g"), "g/5");
+        assert_eq!(BenchmarkId::from_parameter("").render("g"), "g");
+    }
+
+    #[test]
+    fn bencher_accumulates_samples() {
+        let mut c = Criterion { filter: None, quick: true, default_sample_size: 3 };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &7u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c =
+            Criterion { filter: Some("nomatch".to_owned()), quick: true, default_sample_size: 3 };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &(), |b, ()| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn format_time_picks_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for `rand_distr`: exactly the distributions TACC
+//! samples — [`Exp`], [`LogNormal`], [`Zipf`] — behind the standard
+//! [`Distribution`] trait.
+
+use rand::RngCore;
+
+/// Types that produce samples of `T` from a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+#[inline]
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Uniform in (0, 1]: never zero, so ln() below is always finite.
+    let u = (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
+    1.0 - u
+}
+
+/// Error of an invalid distribution parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The exponential distribution `Exp(λ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with rate `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `lambda` is finite and strictly positive.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("rate parameter of Exp must be finite and positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln() / self.lambda
+    }
+}
+
+/// The log-normal distribution: `exp(N(μ, σ²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with location `mu` and scale
+    /// `sigma` of the underlying normal.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `sigma` is finite and non-negative and
+    /// `mu` is finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if mu.is_finite() && sigma.is_finite() && sigma >= 0.0 {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(ParamError("LogNormal requires finite mu and non-negative finite sigma"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller, stateless (one of the two normals is discarded so
+        // the draw count per sample is fixed — important for replay).
+        let u1 = unit_open(rng);
+        let u2 = unit_open(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// The Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^-s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Cumulative probabilities for ranks `1..=n`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `n >= 1` and `s` is finite and
+    /// non-negative.
+    pub fn new(n: f64, s: f64) -> Result<Self, ParamError> {
+        if !(n.is_finite() && n >= 1.0) {
+            return Err(ParamError("number of Zipf ranks must be at least 1"));
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(ParamError("Zipf exponent must be finite and non-negative"));
+        }
+        let n = n.floor() as usize;
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = unit_open(rng);
+        // First rank whose cumulative probability reaches u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(2.0).unwrap();
+        let mut r = rng();
+        let mean: f64 = (0..20_000).map(|_| d.sample(&mut r)).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..10_001).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[5000];
+        assert!((median - 1f64.exp()).abs() < 0.15, "median {median}");
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn zipf_is_rank_skewed() {
+        let d = Zipf::new(10.0, 1.5).unwrap();
+        let mut r = rng();
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            let k = d.sample(&mut r) as usize;
+            assert!((1..=10).contains(&k));
+            counts[k - 1] += 1;
+        }
+        assert!(counts[0] > counts[1], "rank 1 must dominate: {counts:?}");
+        assert!(counts[1] > counts[4]);
+        assert!(Zipf::new(0.0, 1.0).is_err());
+        assert!(Zipf::new(10.0, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,551 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the slice of serde the workspace uses: a value-tree
+//! data model ([`__private::Value`]), [`Serialize`]/[`Deserialize`]
+//! traits over it, impls for the primitive and container types that
+//! appear in TACC's serialized structs, and re-exported derive macros
+//! (hand-rolled in `serde_derive`, no syn/quote).
+//!
+//! Differences from upstream worth knowing:
+//! - Serialization is two-phase (type → `Value` → text) instead of
+//!   streaming. Fine at TACC's data sizes.
+//! - Non-finite floats serialize as the strings `"inf"`, `"-inf"` and
+//!   `"nan"` (and deserialize back). Upstream serde_json emits `null`
+//!   and cannot round-trip them; TACC's delay matrices and training
+//!   reports legitimately contain `f64::INFINITY`.
+//! - Enum representation matches upstream's externally-tagged default:
+//!   unit variants as `"Name"`, payload variants as `{"Name": ...}`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A deserialization error: a human-readable message naming the type
+/// and field that failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself into the JSON-like value tree.
+pub trait Serialize {
+    /// Converts `self` into a [`__private::Value`].
+    fn to_value(&self) -> __private::Value;
+}
+
+/// A type that can reconstruct itself from the JSON-like value tree.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a [`__private::Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first mismatch between the
+    /// value tree and the expected shape.
+    fn from_value(value: &__private::Value) -> Result<Self, DeError>;
+}
+
+/// The data model shared between the derive macros, the trait impls and
+/// `serde_json`. Public so generated code can reach it; not part of the
+/// upstream-compatible API surface.
+pub mod __private {
+    use super::{DeError, Deserialize};
+
+    /// An ordered JSON value. Objects preserve insertion order (a
+    /// `Vec`, not a map) so serialized output is byte-deterministic.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        /// Non-negative integer (the common case for counts and ids).
+        UInt(u64),
+        /// Negative integer.
+        Int(i64),
+        Float(f64),
+        Str(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    static NULL: Value = Value::Null;
+
+    impl Value {
+        /// Looks up a key in an object value.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Extracts the fields of an object, or errors naming `ty`.
+    pub fn as_object<'v>(value: &'v Value, ty: &str) -> Result<&'v [(String, Value)], DeError> {
+        match value {
+            Value::Object(fields) => Ok(fields),
+            other => Err(DeError::new(format!("{ty}: expected object, got {other:?}"))),
+        }
+    }
+
+    /// Extracts an array of exactly `arity` elements, or errors naming `ty`.
+    pub fn as_array<'v>(value: &'v Value, ty: &str, arity: usize) -> Result<&'v [Value], DeError> {
+        match value {
+            Value::Array(items) if items.len() == arity => Ok(items),
+            Value::Array(items) => {
+                Err(DeError::new(format!("{ty}: expected {arity} elements, got {}", items.len())))
+            }
+            other => Err(DeError::new(format!("{ty}: expected array, got {other:?}"))),
+        }
+    }
+
+    /// Deserializes the field `name` out of an object's fields.
+    pub fn field<T: Deserialize>(
+        fields: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, DeError> {
+        match fields.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v).map_err(|e| DeError::new(format!("{ty}.{name}: {e}"))),
+            None => Err(DeError::new(format!("{ty}: missing field `{name}`"))),
+        }
+    }
+
+    /// Splits an externally-tagged enum value into `(tag, payload)`.
+    /// A bare string is a unit variant with a null payload.
+    pub fn as_enum<'v>(value: &'v Value, ty: &str) -> Result<(&'v str, &'v Value), DeError> {
+        match value {
+            Value::Str(tag) => Ok((tag.as_str(), &NULL)),
+            Value::Object(fields) if fields.len() == 1 => Ok((fields[0].0.as_str(), &fields[0].1)),
+            other => Err(DeError::new(format!(
+                "{ty}: expected variant string or single-key object, got {other:?}"
+            ))),
+        }
+    }
+}
+
+use __private::Value;
+
+// ------------------------------------------------------------ primitives
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = match value {
+                    Value::UInt(u) => *u,
+                    other => {
+                        return Err(DeError::new(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError::new(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let raw = u64::from_value(value)?;
+        usize::try_from(raw)
+            .map_err(|_| DeError::new(format!("integer {raw} out of range for usize")))
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u).map_err(|_| {
+                        DeError::new(format!("integer {u} out of range for i64"))
+                    })?,
+                    other => {
+                        return Err(DeError::new(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError::new(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let raw = i64::from_value(value)?;
+        isize::try_from(raw)
+            .map_err(|_| DeError::new(format!("integer {raw} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else if self.is_nan() {
+            Value::Str("nan".to_owned())
+        } else if *self > 0.0 {
+            Value::Str("inf".to_owned())
+        } else {
+            Value::Str("-inf".to_owned())
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            Value::Str(s) => match s.as_str() {
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                "nan" => Ok(f64::NAN),
+                other => Err(DeError::new(format!("expected number, got string {other:?}"))),
+            },
+            other => Err(DeError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected {N} elements, got {n}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                const ARITY: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = __private::as_array(value, "tuple", ARITY)?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K, V> Serialize for std::collections::BTreeMap<K, V>
+where
+    K: fmt::Display,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = __private::as_object(value, "map")?;
+        fields.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        // Matches upstream serde's {secs, nanos} representation.
+        Value::Object(vec![
+            ("secs".to_owned(), Value::UInt(self.as_secs())),
+            ("nanos".to_owned(), Value::UInt(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = __private::as_object(value, "Duration")?;
+        let secs: u64 = __private::field(fields, "secs", "Duration")?;
+        let nanos: u32 = __private::field(fields, "nanos", "Duration")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::new(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + fmt::Debug>(x: T) {
+        let v = x.to_value();
+        let back = T::from_value(&v).expect("roundtrip");
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(true);
+        roundtrip(42u32);
+        roundtrip(u64::MAX);
+        roundtrip(-17i64);
+        roundtrip(3.5f64);
+        roundtrip(String::from("hello"));
+        roundtrip('x');
+        roundtrip(Some(5u8));
+        roundtrip(Option::<u8>::None);
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip((1usize, -2i32, 3.0f64));
+        roundtrip([1u8, 2, 3]);
+        roundtrip(std::time::Duration::new(7, 123_456_789));
+    }
+
+    #[test]
+    fn nonfinite_floats_roundtrip() {
+        roundtrip(f64::INFINITY);
+        roundtrip(f64::NEG_INFINITY);
+        let v = f64::NAN.to_value();
+        assert!(f64::from_value(&v).unwrap().is_nan());
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        let v = Value::UInt(300);
+        assert!(u8::from_value(&v).is_err());
+        let v = Value::Int(-1);
+        assert!(u64::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let v = Value::Object(vec![("a".to_owned(), Value::UInt(1))]);
+        assert_eq!(v.get("a"), Some(&Value::UInt(1)));
+        assert_eq!(v.get("b"), None);
+        let fields = __private::as_object(&v, "T").unwrap();
+        let a: u32 = __private::field(fields, "a", "T").unwrap();
+        assert_eq!(a, 1);
+        assert!(__private::field::<u32>(fields, "missing", "T").is_err());
+    }
+}

@@ -1,0 +1,482 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — structs with named fields,
+//! tuple structs, unit structs, and enums whose variants are unit,
+//! newtype, tuple or struct-like — *without* `syn`/`quote` (the build
+//! environment has no crates.io access). The token stream of the item
+//! is parsed by hand; generated impls target the vendored `serde`
+//! crate's value-tree model (`serde::__private::Value`).
+//!
+//! Unsupported (panics with a clear message): generic parameters and
+//! `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[derive(Debug)]
+enum Shape {
+    /// `struct S { a: A, b: B }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(A, B);` — one field serializes as a newtype.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_serialize(&shape).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_deserialize(&shape).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                // `pub(crate)` etc: skip the restriction group.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize) stub does not support generics on `{name}`");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct { name, arity: count_top_level_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}`"),
+    }
+}
+
+/// Parses `a: A, pub b: B, ...` returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("expected field name, found {tree:?}");
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated fields of a tuple struct/variant.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_token = false;
+    for tree in body {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments) on the variant.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(vname) = tree else {
+            panic!("expected variant name, found {tree:?}");
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+        variants.push(Variant { name: vname.to_string(), kind });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(shape: &Shape) -> String {
+    let mut out = String::new();
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = String::new();
+            for f in fields {
+                let _ = write!(
+                    body,
+                    "__fields.push((String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));"
+                );
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::__private::Value {{\
+                         let mut __fields: Vec<(String, ::serde::__private::Value)> = Vec::new();\
+                         {body}\
+                         ::serde::__private::Value::Object(__fields)\
+                     }}\
+                 }}"
+            );
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_owned()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::__private::Value::Array(vec![{}])", items.join(","))
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::__private::Value {{ {body} }}\
+                 }}"
+            );
+        }
+        Shape::UnitStruct { name } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::__private::Value {{\
+                         ::serde::__private::Value::Null\
+                     }}\
+                 }}"
+            );
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => ::serde::__private::Value::Str(String::from(\"{vn}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__x{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__x0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::__private::Value::Array(vec![{}])", items.join(","))
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({binds}) => ::serde::__private::Value::Object(vec![(String::from(\"{vn}\"), {payload})]),",
+                            binds = binds.join(",")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(",");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {binds} }} => ::serde::__private::Value::Object(vec![(String::from(\"{vn}\"), ::serde::__private::Value::Object(vec![{}]))]),",
+                            items.join(",")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::__private::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            );
+        }
+    }
+    out
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let mut out = String::new();
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__obj, \"{f}\", \"{name}\")?"))
+                .collect();
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::__private::Value) -> Result<Self, ::serde::DeError> {{\
+                         let __obj = ::serde::__private::as_object(__v, \"{name}\")?;\
+                         Ok({name} {{ {} }})\
+                     }}\
+                 }}",
+                inits.join(",")
+            );
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                    .collect();
+                format!(
+                    "let __arr = ::serde::__private::as_array(__v, \"{name}\", {arity})?;\
+                     Ok({name}({}))",
+                    items.join(",")
+                )
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::__private::Value) -> Result<Self, ::serde::DeError> {{\
+                         {body}\
+                     }}\
+                 }}"
+            );
+        }
+        Shape::UnitStruct { name } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(_: &::serde::__private::Value) -> Result<Self, ::serde::DeError> {{\
+                         Ok({name})\
+                     }}\
+                 }}"
+            );
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(unit_arms, "\"{vn}\" => return Ok({name}::{vn}),");
+                        // A unit variant may also arrive tagged with a null payload.
+                        let _ = write!(tagged_arms, "\"{vn}\" => Ok({name}::{vn}),");
+                    }
+                    VariantKind::Tuple(arity) => {
+                        if *arity == 1 {
+                            let _ = write!(
+                                tagged_arms,
+                                "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+                            );
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                                .collect();
+                            let _ = write!(
+                                tagged_arms,
+                                "\"{vn}\" => {{\
+                                     let __arr = ::serde::__private::as_array(__payload, \"{name}::{vn}\", {arity})?;\
+                                     Ok({name}::{vn}({}))\
+                                 }},",
+                                items.join(",")
+                            );
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::__private::field(__vobj, \"{f}\", \"{name}::{vn}\")?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{vn}\" => {{\
+                                 let __vobj = ::serde::__private::as_object(__payload, \"{name}::{vn}\")?;\
+                                 Ok({name}::{vn} {{ {} }})\
+                             }},",
+                            inits.join(",")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::__private::Value) -> Result<Self, ::serde::DeError> {{\
+                         if let ::serde::__private::Value::Str(__s) = __v {{\
+                             match __s.as_str() {{ {unit_arms} _ => {{}} }}\
+                         }}\
+                         let (__tag, __payload) = ::serde::__private::as_enum(__v, \"{name}\")?;\
+                         match __tag {{\
+                             {tagged_arms}\
+                             __other => Err(::serde::DeError::new(format!(\
+                                 \"unknown variant `{{__other}}` of {name}\"))),\
+                         }}\
+                     }}\
+                 }}"
+            );
+        }
+    }
+    out
+}
