@@ -17,6 +17,10 @@
 //! the online rows — the fraction of shortest-path settle work the
 //! incremental delay maintenance avoided versus full recomputes.
 //!
+//! Trials are independent (one trace per seed), so seeds replay
+//! concurrently on `tacc-par` workers and fold back in seed order — the
+//! table is identical at any `TACC_THREADS`.
+//!
 //! Run: `cargo run --release -p tacc-bench --bin exp_online_vs_static [--quick]`
 
 use tacc_bench::{fmt3, ExperimentContext};
@@ -150,7 +154,7 @@ fn main() {
     let mut evictions = [OnlineStats::default(); 3];
     let mut savings = [OnlineStats::default(); 3];
 
-    for &seed in &ctx.trial_seeds {
+    let trials = tacc_par::par_map(&ctx.trial_seeds, |&seed| {
         let trace = TraceGenerator::new(TraceScenario {
             num_iot: 100,
             num_servers: 10,
@@ -181,6 +185,10 @@ fn main() {
                 (a, m, e, s)
             },
         ];
+        eprintln!("[exp_online_vs_static] finished seed = {seed}");
+        results
+    });
+    for results in trials {
         for (row, (accum, migs, evs, save)) in results.into_iter().enumerate() {
             delay[row].push(accum.mean_delay());
             served[row].push(accum.served_fraction());
@@ -190,7 +198,6 @@ fn main() {
                 savings[row].push(save);
             }
         }
-        eprintln!("[exp_online_vs_static] finished seed = {seed}");
     }
 
     for (row, name) in ["static", "online", "online-unbounded"].into_iter().enumerate() {

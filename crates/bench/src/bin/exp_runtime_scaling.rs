@@ -7,6 +7,12 @@
 //! metaheuristics — the paper's trade: orders of magnitude cheaper than
 //! exact search for a few percent of delay.
 //!
+//! Instance generation fans out across trial seeds, and the solver
+//! portfolio races on `tacc-par` workers — one thread per algorithm, so
+//! each algorithm's per-solve wall-clock samples stay serial and clean.
+//! Results are merged in algorithm order: the table is identical at any
+//! `TACC_THREADS`.
+//!
 //! Run: `cargo run --release -p tacc-bench --bin exp_runtime_scaling [--quick]`
 
 use tacc_bench::{delay_lineup, fmt3, fmt5, run_cell, ExperimentContext};
@@ -27,21 +33,20 @@ fn main() {
     ]);
 
     for &n in sizes {
-        let instances: Vec<(u64, GapInstance)> = ctx
-            .trial_seeds
-            .iter()
-            .map(|&seed| {
-                let scenario = ScenarioBuilder::new()
-                    .num_iot(n)
-                    .num_servers(20)
-                    .load_factor(0.7)
-                    .build(seed)
-                    .expect("scenario");
-                (seed, scenario.instance().clone())
-            })
-            .collect();
-        for algorithm in delay_lineup() {
-            let cell = run_cell(&algorithm, &instances);
+        let instances: Vec<(u64, GapInstance)> = tacc_par::par_map(&ctx.trial_seeds, |&seed| {
+            let scenario = ScenarioBuilder::new()
+                .num_iot(n)
+                .num_servers(20)
+                .load_factor(0.7)
+                .build(seed)
+                .expect("scenario");
+            (seed, scenario.instance().clone())
+        });
+        // Race the portfolio: each algorithm keeps its trials on one
+        // thread (clean per-solve timing); rows merge in lineup order.
+        let lineup = delay_lineup();
+        let cells = tacc_par::par_map(&lineup, |algorithm| run_cell(algorithm, &instances));
+        for (algorithm, cell) in lineup.iter().zip(cells) {
             table.push_row(vec![
                 n.to_string(),
                 algorithm.name(),

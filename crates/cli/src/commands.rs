@@ -20,6 +20,7 @@ USAGE:
   tacc topology  [OPTIONS]   emit a generated topology as Graphviz DOT
   tacc gen-trace [OPTIONS]   generate an online-reconfiguration event trace
   tacc run-trace [OPTIONS]   replay a trace through the online runtime
+  tacc bench-report [OPTIONS] measure serial vs parallel hot paths, write JSON
   tacc algorithms            list algorithm names
   tacc families              list topology families
 
@@ -52,7 +53,12 @@ run-trace only:
   --stop-after N     process only the first N events
   --snapshot-out F   write a resumable snapshot when stopping
   --resume FILE      resume from a snapshot (its config wins)
-  --timing           include wall-clock latency histograms in the report";
+  --timing           include wall-clock latency histograms in the report
+
+bench-report only:
+  --out DIR          where to write BENCH_*.json [default .]
+  --reps N           timing repetitions, best-of  [default 3]
+  --quick            smaller sizes for CI smoke runs";
 
 fn family_by_name(name: &str) -> Result<TopologyFamily, String> {
     TopologyFamily::ALL
@@ -284,6 +290,146 @@ fn run_trace_report(args: &Args) -> Result<String, String> {
         .map_err(|e| e.to_string())
 }
 
+/// `tacc bench-report`
+///
+/// Times the two hot paths the `tacc-par` layer accelerates — the
+/// per-server SSSP fan-out behind the delay matrix, and the solver
+/// portfolio — serial vs parallel, and writes one JSON report per path
+/// (`BENCH_delay_matrix.json`, `BENCH_solvers.json`) for tracking across
+/// revisions. The parallel lanes are bit-for-bit identical to the serial
+/// ones; the report records the check alongside the timings.
+pub fn bench_report(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let out_dir = std::path::PathBuf::from(args.str_or("out", "."));
+    let reps = args.num_or("reps", 3usize)?.max(1);
+    let quick = args.has("quick");
+    let threads = tacc_par::worker_count();
+    let rev = git_rev();
+
+    let delay_doc = bench_delay_matrix(quick, reps, threads, &rev)?;
+    write_report(&out_dir.join("BENCH_delay_matrix.json"), &delay_doc)?;
+    let solver_doc = bench_solvers(quick, reps, threads, &rev)?;
+    write_report(&out_dir.join("BENCH_solvers.json"), &solver_doc)?;
+    Ok(())
+}
+
+/// `git rev-parse --short HEAD`, or `"unknown"` outside a work tree.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Best-of-`reps` wall-clock milliseconds, plus the last result.
+fn best_of_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        result = Some(r);
+    }
+    (best, result.expect("reps >= 1"))
+}
+
+fn write_report(path: &std::path::Path, doc: &serde_json::Value) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(doc).expect("serializable");
+    std::fs::write(path, json + "\n").map_err(|e| format!("writing `{}`: {e}", path.display()))?;
+    eprintln!("[bench-report] wrote {}", path.display());
+    Ok(())
+}
+
+fn bench_delay_matrix(
+    quick: bool,
+    reps: usize,
+    threads: usize,
+    rev: &str,
+) -> Result<serde_json::Value, String> {
+    let model = tacc_core::topology::DelayModel::default();
+    let sizes: &[(usize, usize)] = if quick { &[(100, 8)] } else { &[(400, 16), (1600, 32)] };
+    let mut rows = Vec::new();
+    for &(devices, servers) in sizes {
+        let scenario = ScenarioBuilder::new()
+            .num_iot(devices)
+            .num_servers(servers)
+            .build(2022)
+            .map_err(|e| e.to_string())?;
+        let topo = scenario.topology();
+        let (serial_ms, serial) = best_of_ms(reps, || topo.delay_matrix_serial(&model));
+        let (parallel_ms, parallel) =
+            best_of_ms(reps, || topo.delay_matrix_with_threads(&model, threads));
+        let identical = serial.iter().map(f64::to_bits).eq(parallel.iter().map(f64::to_bits));
+        rows.push(serde_json::json!({
+            "devices": devices,
+            "servers": servers,
+            "serial_ms": serial_ms,
+            "parallel_ms": parallel_ms,
+            "speedup": serial_ms / parallel_ms,
+            "identical": identical,
+        }));
+    }
+    Ok(serde_json::json!({
+        "bench": "delay_matrix",
+        "git_rev": rev,
+        "threads": threads,
+        "reps": reps,
+        "sizes": rows,
+    }))
+}
+
+fn bench_solvers(
+    quick: bool,
+    reps: usize,
+    threads: usize,
+    rev: &str,
+) -> Result<serde_json::Value, String> {
+    let (devices, servers) = if quick { (40, 5) } else { (200, 10) };
+    let scenario = ScenarioBuilder::new()
+        .num_iot(devices)
+        .num_servers(servers)
+        .load_factor(0.7)
+        .build(2022)
+        .map_err(|e| e.to_string())?;
+    let portfolio = Algorithm::standard_set();
+    let solve = |algorithm: &Algorithm| {
+        ClusterConfigurator::from_scenario(&scenario)
+            .algorithm(algorithm.clone())
+            .seed(2022)
+            .configure()
+            .map(|config| config.total_delay_ms())
+            .map_err(|e| e.to_string())
+    };
+    // Serial reference: the portfolio one algorithm at a time.
+    let (serial_ms, serial) =
+        best_of_ms(reps, || portfolio.iter().map(solve).collect::<Result<Vec<f64>, String>>());
+    let serial = serial?;
+    // Parallel: race the portfolio, one thread per algorithm.
+    let (parallel_ms, parallel) =
+        best_of_ms(reps, || tacc_par::par_map(&portfolio, |algorithm| solve(algorithm)));
+    let parallel: Vec<f64> = parallel.into_iter().collect::<Result<_, _>>()?;
+    let identical = serial.iter().map(|d| d.to_bits()).eq(parallel.iter().map(|d| d.to_bits()));
+    Ok(serde_json::json!({
+        "bench": "solver_portfolio",
+        "git_rev": rev,
+        "threads": threads,
+        "reps": reps,
+        "devices": devices,
+        "servers": servers,
+        "algorithms": portfolio.iter().map(Algorithm::name).collect::<Vec<String>>(),
+        "serial_ms": serial_ms,
+        "parallel_ms": parallel_ms,
+        "speedup": serial_ms / parallel_ms,
+        "identical": identical,
+    }))
+}
+
 /// `tacc algorithms`
 pub fn algorithms() -> Result<(), String> {
     for algorithm in Algorithm::standard_set() {
@@ -403,6 +549,32 @@ mod tests {
         let args =
             Args::parse(&argv(&["--trace", path.to_str().unwrap(), "--policy", "nope"])).unwrap();
         assert!(run_trace_report(&args).is_err());
+    }
+
+    #[test]
+    fn bench_report_writes_valid_json() {
+        use serde_json::Value;
+        let dir = std::env::temp_dir().join("tacc-cli-bench-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        bench_report(&argv(&["--quick", "--reps", "1", "--out", dir.to_str().unwrap()])).unwrap();
+        let load = |name: &str| -> Value {
+            let text = std::fs::read_to_string(dir.join(name)).unwrap();
+            serde_json::from_str(&text).unwrap()
+        };
+        for name in ["BENCH_delay_matrix.json", "BENCH_solvers.json"] {
+            let doc = load(name);
+            assert!(matches!(doc.get("threads"), Some(Value::UInt(t)) if *t >= 1), "{name}");
+            assert!(matches!(doc.get("git_rev"), Some(Value::Str(_))), "{name}");
+        }
+        let delay = load("BENCH_delay_matrix.json");
+        let Some(Value::Array(rows)) = delay.get("sizes") else { panic!("sizes missing") };
+        assert!(!rows.is_empty());
+        for row in rows {
+            assert_eq!(row.get("identical"), Some(&Value::Bool(true)));
+            assert!(matches!(row.get("serial_ms"), Some(Value::Float(ms)) if *ms > 0.0));
+        }
+        let solvers = load("BENCH_solvers.json");
+        assert_eq!(solvers.get("identical"), Some(&Value::Bool(true)));
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Property tests of the determinism contract: for any input, any
+//! worker count (including 1 and oversubscribed), the parallel result
+//! is the `Vec` the serial map would produce — element-for-element,
+//! and for floats bit-for-bit.
+
+use proptest::prelude::*;
+
+use tacc_par::{par_chunks_with, par_map_with};
+
+proptest! {
+    #[test]
+    fn par_map_equals_serial_map(
+        items in proptest::collection::vec(-1_000_000_000i64..1_000_000_000, 0..300),
+        threads in 1usize..40,
+    ) {
+        let serial: Vec<i64> = items.iter().map(|&x| x.wrapping_mul(31).wrapping_add(7)).collect();
+        let par = par_map_with(threads, &items, |&x| x.wrapping_mul(31).wrapping_add(7));
+        prop_assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn par_map_float_results_are_bit_identical(
+        items in proptest::collection::vec(0u32..1_000_000, 0..200),
+        threads in 1usize..24,
+    ) {
+        let f = |&x: &u32| ((f64::from(x) + 0.25).sqrt() * 3.7).ln_1p();
+        let serial: Vec<f64> = items.iter().map(f).collect();
+        let par = par_map_with(threads, &items, f);
+        prop_assert_eq!(par.len(), serial.len());
+        for (i, (a, b)) in par.iter().zip(&serial).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "index {}", i);
+        }
+    }
+
+    #[test]
+    fn par_chunks_equals_serial_chunks(
+        items in proptest::collection::vec(0u16..=u16::MAX, 0..300),
+        chunk_size in 1usize..50,
+        threads in 1usize..24,
+    ) {
+        let serial: Vec<(usize, u64)> = items
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(c, chunk)| (c * chunk_size, chunk.iter().map(|&x| u64::from(x)).sum()))
+            .collect();
+        let par = par_chunks_with(threads, &items, chunk_size, |offset, chunk| {
+            (offset, chunk.iter().map(|&x| u64::from(x)).sum::<u64>())
+        });
+        prop_assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_answer(
+        items in proptest::collection::vec(0u32..=u32::MAX, 1..150),
+    ) {
+        let reference = par_map_with(1, &items, |&x| u64::from(x) * u64::from(x));
+        for threads in [2usize, 3, 7, 200] {
+            let other = par_map_with(threads, &items, |&x| u64::from(x) * u64::from(x));
+            prop_assert_eq!(&other, &reference, "threads = {}", threads);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Flat compressed-sparse-row (CSR) mirror of [`Graph`] with
+//! cached-cost Dijkstra kernels.
+//!
+//! The pointer-chasing `Vec<Vec<Neighbor>>` adjacency list is the right
+//! structure for *building* a graph; it is the wrong one for running
+//! thousands of shortest-path sweeps over it. [`CsrGraph`] snapshots a
+//! graph (under one link-cost function) into four flat arrays — edge
+//! offsets, edge targets, **pre-evaluated** edge costs, and the
+//! originating link ids — so the inner Dijkstra loop is sequential
+//! array traversal with no per-relaxation cost-closure calls and no
+//! per-node indirection.
+//!
+//! # Determinism contract
+//!
+//! [`CsrGraph::sssp_into`] is bit-for-bit identical to
+//! [`crate::shortest_path::dijkstra`] on the source graph:
+//!
+//! - CSR rows preserve the adjacency-list order of
+//!   [`Graph::neighbors`], so relaxations happen in the same sequence;
+//! - each directed edge's cost is the same `f64` the closure would
+//!   return at relaxation time (it is a pure function of the link), so
+//!   every distance is the same left-to-right sum;
+//! - the heap breaks cost ties on the smaller node index, exactly like
+//!   the adjacency-list kernel, so the settle order is identical.
+//!
+//! The property tests in `tests/par_equivalence.rs` enforce this across
+//! every topology-generator family.
+//!
+//! Because the kernel borrows its working memory from an [`SsspScratch`],
+//! a caller sweeping many sources (the delay matrix runs one SSSP per
+//! edge server) allocates once per worker instead of once per source.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{Graph, Link, LinkId, NodeId};
+
+/// Min-heap entry (reversed for `BinaryHeap`); ties break on node index
+/// so the settle order — and therefore floating-point relaxation order —
+/// is deterministic and matches the adjacency-list kernels.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable working memory for the CSR shortest-path kernels: the
+/// distance array and the binary heap survive across runs, so a sweep
+/// over many sources performs two allocations total (per worker), not
+/// two per source.
+#[derive(Debug, Default)]
+pub struct SsspScratch {
+    dist: Vec<f64>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl SsspScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        SsspScratch::default()
+    }
+}
+
+/// A read-only CSR snapshot of a [`Graph`] under one link-cost
+/// function.
+///
+/// Edge costs are evaluated once at construction and stored per
+/// *directed* edge (each undirected link appears twice). Costs must not
+/// be NaN; `f64::INFINITY` is permitted and marks a link unusable, the
+/// same convention as [`crate::incremental::SsspTree`] cost arrays.
+///
+/// # Example
+///
+/// ```
+/// use tacc_topology::csr::{CsrGraph, SsspScratch};
+/// use tacc_topology::{Graph, NodeKind};
+///
+/// # fn main() -> Result<(), tacc_topology::TopologyError> {
+/// let mut g = Graph::new();
+/// let a = g.add_node(NodeKind::Router);
+/// let b = g.add_node(NodeKind::Router);
+/// let c = g.add_node(NodeKind::Router);
+/// g.add_link(a, b, 1.0, 100.0)?;
+/// g.add_link(b, c, 2.0, 100.0)?;
+/// let csr = CsrGraph::from_graph(&g, |l| l.latency_ms());
+/// let mut scratch = SsspScratch::new();
+/// let dist = csr.sssp_into(a, &mut scratch);
+/// assert_eq!(dist[c.index()], 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes node `v`'s directed edges.
+    offsets: Vec<u32>,
+    /// Target node of each directed edge.
+    targets: Vec<u32>,
+    /// Pre-evaluated cost of each directed edge.
+    costs: Vec<f64>,
+    /// The undirected [`LinkId`] each directed edge came from.
+    links: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Snapshots `graph` with each link's cost evaluated once through
+    /// `link_cost`. Row order mirrors [`Graph::neighbors`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `link_cost` returns NaN or a
+    /// negative cost.
+    pub fn from_graph(graph: &Graph, link_cost: impl Fn(&Link) -> f64) -> Self {
+        let link_costs: Vec<f64> = graph.links().map(|(_, link)| link_cost(link)).collect();
+        Self::from_link_costs(graph, &link_costs)
+    }
+
+    /// Snapshots `graph` with an explicit per-link cost array — the
+    /// form maintained by [`crate::incremental`] and the online
+    /// runtime, where failed links carry `f64::INFINITY`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is not one entry per link, or (in debug
+    /// builds) if a cost is NaN or negative.
+    pub fn from_link_costs(graph: &Graph, costs: &[f64]) -> Self {
+        assert_eq!(costs.len(), graph.link_count(), "one cost per link");
+        let n = graph.node_count();
+        let directed = graph.link_count() * 2;
+        let mut csr = CsrGraph {
+            offsets: Vec::with_capacity(n + 1),
+            targets: Vec::with_capacity(directed),
+            costs: Vec::with_capacity(directed),
+            links: Vec::with_capacity(directed),
+        };
+        csr.offsets.push(0);
+        for v in 0..n {
+            for nb in graph.neighbors(NodeId(v as u32)) {
+                let c = costs[nb.link.index()];
+                debug_assert!(!c.is_nan() && c >= 0.0, "link cost must be non-negative, got {c}");
+                csr.targets.push(nb.node.0);
+                csr.costs.push(c);
+                csr.links.push(nb.link.0);
+            }
+            csr.offsets.push(csr.targets.len() as u32);
+        }
+        csr
+    }
+
+    /// Number of nodes in the snapshot.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges (twice the source graph's link count).
+    pub fn directed_edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Single-source shortest-path distances from `source`, writing
+    /// into (and borrowing from) `scratch`. Unreachable nodes get
+    /// `f64::INFINITY`. Bit-for-bit identical to
+    /// [`crate::shortest_path::dijkstra`] under the snapshot's cost
+    /// function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a node of the snapshot.
+    pub fn sssp_into<'a>(&self, source: NodeId, scratch: &'a mut SsspScratch) -> &'a [f64] {
+        self.run(source, scratch, |_, _, _| {});
+        &scratch.dist
+    }
+
+    /// Like [`CsrGraph::sssp_into`], but also records each node's
+    /// shortest-path tree parent (`parent_node`) and the link reaching
+    /// it (`parent_link`) — the inputs `RoutingTable` needs. Both
+    /// slices must be one entry per node; entries for the source and
+    /// unreachable nodes come back `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or either slice has the wrong
+    /// length.
+    pub fn sssp_tree_into<'a>(
+        &self,
+        source: NodeId,
+        scratch: &'a mut SsspScratch,
+        parent_node: &mut [Option<NodeId>],
+        parent_link: &mut [Option<LinkId>],
+    ) -> &'a [f64] {
+        let n = self.node_count();
+        assert_eq!(parent_node.len(), n, "one parent entry per node");
+        assert_eq!(parent_link.len(), n, "one parent-link entry per node");
+        parent_node.fill(None);
+        parent_link.fill(None);
+        self.run(source, scratch, |improved, from, link| {
+            parent_node[improved as usize] = Some(NodeId(from));
+            parent_link[improved as usize] = Some(LinkId(link));
+        });
+        &scratch.dist
+    }
+
+    /// The shared relaxation loop; `on_improve(node, parent, link)`
+    /// fires exactly when `dist[node]` is lowered.
+    fn run(
+        &self,
+        source: NodeId,
+        scratch: &mut SsspScratch,
+        mut on_improve: impl FnMut(u32, u32, u32),
+    ) {
+        let n = self.node_count();
+        assert!(source.index() < n, "source {source} not in graph");
+        scratch.dist.clear();
+        scratch.dist.resize(n, f64::INFINITY);
+        scratch.heap.clear();
+        scratch.dist[source.index()] = 0.0;
+        scratch.heap.push(HeapEntry { cost: 0.0, node: source.0 });
+        while let Some(HeapEntry { cost, node }) = scratch.heap.pop() {
+            if cost > scratch.dist[node as usize] {
+                continue; // stale entry
+            }
+            let lo = self.offsets[node as usize] as usize;
+            let hi = self.offsets[node as usize + 1] as usize;
+            for e in lo..hi {
+                let next = cost + self.costs[e];
+                let t = self.targets[e];
+                if next < scratch.dist[t as usize] {
+                    scratch.dist[t as usize] = next;
+                    on_improve(t, node, self.links[e]);
+                    scratch.heap.push(HeapEntry { cost: next, node: t });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortest_path::{dijkstra, dijkstra_with_predecessors};
+    use crate::NodeKind;
+
+    /// A graph with parallel links, a zero-cost link and an isolated
+    /// node — the corner cases the kernels must agree on.
+    fn gnarly() -> Graph {
+        let mut g = Graph::new();
+        let n: Vec<_> = (0..6).map(|_| g.add_node(NodeKind::Router)).collect();
+        g.add_link(n[0], n[1], 1.0, 100.0).unwrap();
+        g.add_link(n[1], n[2], 2.0, 100.0).unwrap();
+        g.add_link(n[0], n[2], 5.0, 100.0).unwrap();
+        g.add_link(n[0], n[2], 2.5, 100.0).unwrap(); // parallel, cheaper
+        g.add_link(n[2], n[3], 0.0, 100.0).unwrap(); // zero cost
+        g.add_link(n[3], n[4], 4.0, 100.0).unwrap();
+        // n[5] stays isolated.
+        g
+    }
+
+    #[test]
+    fn csr_mirrors_adjacency_shape() {
+        let g = gnarly();
+        let csr = CsrGraph::from_graph(&g, |l| l.latency_ms());
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.directed_edge_count(), 2 * g.link_count());
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra_bit_for_bit_from_every_source() {
+        let g = gnarly();
+        let csr = CsrGraph::from_graph(&g, |l| l.latency_ms());
+        let mut scratch = SsspScratch::new();
+        for s in 0..g.node_count() {
+            let source = NodeId(s as u32);
+            let reference = dijkstra(&g, source, |l| l.latency_ms());
+            let dist = csr.sssp_into(source, &mut scratch);
+            assert_eq!(dist.len(), reference.len());
+            for (v, (a, b)) in dist.iter().zip(&reference).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "source {s}, node {v}: csr {a} vs dijkstra {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_state_between_sources() {
+        let g = gnarly();
+        let csr = CsrGraph::from_graph(&g, |l| l.latency_ms());
+        let mut reused = SsspScratch::new();
+        let first = csr.sssp_into(NodeId(0), &mut reused).to_vec();
+        let _ = csr.sssp_into(NodeId(4), &mut reused);
+        let again = csr.sssp_into(NodeId(0), &mut reused).to_vec();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn tree_parents_match_predecessor_dijkstra() {
+        let g = gnarly();
+        let csr = CsrGraph::from_graph(&g, |l| l.latency_ms());
+        let mut scratch = SsspScratch::new();
+        let n = g.node_count();
+        let mut parent_node = vec![None; n];
+        let mut parent_link = vec![None; n];
+        for s in 0..n {
+            let source = NodeId(s as u32);
+            let (ref_dist, ref_prev) = dijkstra_with_predecessors(&g, source, |l| l.latency_ms());
+            let dist = csr.sssp_tree_into(source, &mut scratch, &mut parent_node, &mut parent_link);
+            assert_eq!(dist, &ref_dist[..], "distances from {s}");
+            assert_eq!(parent_node, ref_prev, "parents from {s}");
+        }
+    }
+
+    #[test]
+    fn infinite_link_costs_disable_links() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Router);
+        let b = g.add_node(NodeKind::Router);
+        let c = g.add_node(NodeKind::Router);
+        g.add_link(a, b, 1.0, 100.0).unwrap();
+        g.add_link(b, c, 1.0, 100.0).unwrap();
+        let csr = CsrGraph::from_link_costs(&g, &[f64::INFINITY, 1.0]);
+        let mut scratch = SsspScratch::new();
+        let dist = csr.sssp_into(a, &mut scratch);
+        assert_eq!(dist[a.index()], 0.0);
+        assert!(dist[b.index()].is_infinite());
+        assert!(dist[c.index()].is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost per link")]
+    fn wrong_cost_length_panics() {
+        let g = gnarly();
+        let _ = CsrGraph::from_link_costs(&g, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in graph")]
+    fn foreign_source_panics() {
+        let g = gnarly();
+        let csr = CsrGraph::from_graph(&g, |l| l.latency_ms());
+        let _ = csr.sssp_into(NodeId(99), &mut SsspScratch::new());
+    }
+}

@@ -17,9 +17,17 @@
 //! - [`generators`]: six seeded topology families (random geometric,
 //!   Erdős–Rényi, Barabási–Albert, hierarchical gateway tree, grid,
 //!   fat-tree).
-//! - [`shortest_path`]: Dijkstra and Floyd–Warshall kernels.
+//! - [`shortest_path`]: Dijkstra, parallel multi-source all-pairs, and
+//!   the Floyd–Warshall test oracle.
+//! - [`csr`]: flat compressed-sparse-row graph snapshot with cached-cost
+//!   Dijkstra kernels — the hot-path engine behind
+//!   [`Topology::delay_matrix`] and [`routing::RoutingTable`].
 //! - [`incremental`]: shortest-path trees repaired in place after
 //!   link-cost drift or link failure, for the online runtime.
+//!
+//! The shortest-path sweeps fan out over `tacc-par` workers
+//! (`TACC_THREADS` to override) and are bit-for-bit identical to their
+//! serial counterparts at any worker count.
 //!
 //! # Example
 //!
@@ -51,6 +59,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod csr;
 mod delay;
 mod error;
 pub mod export;

@@ -8,9 +8,7 @@
 //! topology-aware ones keep it local — experiment E13 quantifies exactly
 //! that.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use crate::csr::{CsrGraph, SsspScratch};
 use crate::{DelayModel, LinkId, NodeId, Topology};
 
 /// Precomputed shortest routes from every edge server to every node.
@@ -29,59 +27,39 @@ pub struct RoutingTable {
     num_links: usize,
 }
 
-#[derive(Debug, PartialEq)]
-struct HeapEntry {
-    cost: f64,
-    node: NodeId,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .cost
-            .partial_cmp(&self.cost)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.index().cmp(&self.node.index()))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 impl RoutingTable {
-    /// Computes the routing table for `topology` under `model`.
+    /// Computes the routing table for `topology` under `model`: one
+    /// cached-cost CSR shortest-path tree per edge server
+    /// ([`CsrGraph::sssp_tree_into`]), fanned out over
+    /// [`tacc_par::worker_count`] workers and merged in server order —
+    /// the table is identical whatever the worker count.
     pub fn compute(topology: &Topology, model: &DelayModel) -> Self {
+        Self::compute_with_threads(topology, model, tacc_par::worker_count())
+    }
+
+    /// [`RoutingTable::compute`] with an explicit worker count
+    /// (1 = serial on the calling thread).
+    pub fn compute_with_threads(topology: &Topology, model: &DelayModel, threads: usize) -> Self {
         let graph = topology.graph();
         let n_nodes = graph.node_count();
-        let mut incoming = Vec::with_capacity(topology.num_servers());
-        let mut parent = Vec::with_capacity(topology.num_servers());
-        for &server in topology.server_nodes() {
-            let mut dist = vec![f64::INFINITY; n_nodes];
-            let mut prev_link: Vec<Option<LinkId>> = vec![None; n_nodes];
-            let mut prev_node: Vec<Option<NodeId>> = vec![None; n_nodes];
-            let mut heap = BinaryHeap::new();
-            dist[server.index()] = 0.0;
-            heap.push(HeapEntry { cost: 0.0, node: server });
-            while let Some(HeapEntry { cost, node }) = heap.pop() {
-                if cost > dist[node.index()] {
-                    continue;
+        let csr = CsrGraph::from_graph(graph, |l| model.link_delay_ms(l));
+        let m = topology.num_servers();
+        let chunk = m.div_ceil(threads.max(1)).max(1);
+        let blocks =
+            tacc_par::par_chunks_with(threads, topology.server_nodes(), chunk, |_, servers| {
+                let mut scratch = SsspScratch::new();
+                let mut trees = Vec::with_capacity(servers.len());
+                for &server in servers {
+                    let mut prev_node: Vec<Option<NodeId>> = vec![None; n_nodes];
+                    let mut prev_link: Vec<Option<LinkId>> = vec![None; n_nodes];
+                    csr.sssp_tree_into(server, &mut scratch, &mut prev_node, &mut prev_link);
+                    trees.push((prev_link, prev_node));
                 }
-                for nb in graph.neighbors(node) {
-                    let link = graph.link(nb.link);
-                    let next = cost + model.link_delay_ms(link);
-                    if next < dist[nb.node.index()] {
-                        dist[nb.node.index()] = next;
-                        prev_link[nb.node.index()] = Some(nb.link);
-                        prev_node[nb.node.index()] = Some(node);
-                        heap.push(HeapEntry { cost: next, node: nb.node });
-                    }
-                }
-            }
+                trees
+            });
+        let mut incoming = Vec::with_capacity(m);
+        let mut parent = Vec::with_capacity(m);
+        for (prev_link, prev_node) in blocks.into_iter().flatten() {
             incoming.push(prev_link);
             parent.push(prev_node);
         }
@@ -260,6 +238,25 @@ mod tests {
         assert_eq!(near.total_link_traffic, 4.0);
         assert_eq!(far.total_link_traffic, 6.0);
         assert!(near.total_link_traffic < far.total_link_traffic);
+    }
+
+    #[test]
+    fn routing_table_is_thread_count_invariant() {
+        let t = topo();
+        let m = model();
+        let reference = RoutingTable::compute_with_threads(&t, &m, 1);
+        for threads in [2, 3, 8] {
+            let table = RoutingTable::compute_with_threads(&t, &m, threads);
+            for i in 0..t.num_iot() {
+                for j in 0..t.num_servers() {
+                    assert_eq!(
+                        table.route(&t, i, j),
+                        reference.route(&t, i, j),
+                        "threads={threads} ({i},{j})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

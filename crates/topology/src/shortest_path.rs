@@ -1,14 +1,17 @@
 //! Shortest-path kernels over a [`Graph`].
 //!
-//! Two algorithms are provided: binary-heap Dijkstra (single source, used by
-//! [`crate::Topology::delay_matrix`] with one run per edge server) and
-//! Floyd–Warshall (all pairs, used as a cross-check oracle in tests and for
-//! small dense graphs). Both take an arbitrary link-cost function so that
-//! different [`crate::DelayModel`]s can reuse the kernels.
+//! Three algorithms are provided: binary-heap Dijkstra (single source,
+//! with a scratch-buffer variant for sweeps), [`all_pairs`] (multi-source
+//! CSR Dijkstra, parallel over sources — the production all-pairs path)
+//! and Floyd–Warshall (O(V³), retained purely as a cross-check oracle in
+//! tests for small dense graphs). All take an arbitrary link-cost
+//! function so that different [`crate::DelayModel`]s can reuse the
+//! kernels.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::csr::{CsrGraph, SsspScratch};
 use crate::{Graph, Link, NodeId};
 
 /// A heap entry ordered by smallest cost first.
@@ -71,6 +74,60 @@ pub fn dijkstra(graph: &Graph, source: NodeId, link_cost: impl Fn(&Link) -> f64)
     dijkstra_with_predecessors(graph, source, link_cost).0
 }
 
+/// Reusable working memory for [`dijkstra_into`]: the distance array and
+/// the heap survive across calls, so a loop over many sources (one
+/// Dijkstra per edge server in [`crate::Topology::delay_matrix_serial`])
+/// performs two allocations total instead of two per source.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl DijkstraScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        DijkstraScratch::default()
+    }
+}
+
+/// [`dijkstra`] writing into (and borrowing from) a caller-provided
+/// scratch buffer. Produces bit-for-bit the same distances.
+///
+/// # Panics
+///
+/// Panics if `source` is not a node of `graph`, or (in debug builds) if
+/// `link_cost` returns a negative or non-finite cost.
+pub fn dijkstra_into<'a>(
+    graph: &Graph,
+    source: NodeId,
+    link_cost: impl Fn(&Link) -> f64,
+    scratch: &'a mut DijkstraScratch,
+) -> &'a [f64] {
+    assert!(source.index() < graph.node_count(), "source {source} not in graph");
+    scratch.dist.clear();
+    scratch.dist.resize(graph.node_count(), f64::INFINITY);
+    scratch.heap.clear();
+    scratch.dist[source.index()] = 0.0;
+    scratch.heap.push(HeapEntry { cost: 0.0, node: source });
+    while let Some(HeapEntry { cost, node }) = scratch.heap.pop() {
+        if cost > scratch.dist[node.index()] {
+            continue; // stale entry
+        }
+        for nb in graph.neighbors(node) {
+            let link = graph.link(nb.link);
+            let c = link_cost(link);
+            debug_assert!(c.is_finite() && c >= 0.0, "link cost must be finite and >= 0, got {c}");
+            let next = cost + c;
+            if next < scratch.dist[nb.node.index()] {
+                scratch.dist[nb.node.index()] = next;
+                scratch.heap.push(HeapEntry { cost: next, node: nb.node });
+            }
+        }
+    }
+    &scratch.dist
+}
+
 /// Like [`dijkstra`], but also returns the predecessor of every node on its
 /// shortest path from `source` (or `None` for the source itself and
 /// unreachable nodes). Use [`extract_path`] to materialize a route.
@@ -131,36 +188,134 @@ pub fn extract_path(
     None
 }
 
+/// A dense `n × n` node-to-node distance matrix in flat row-major
+/// storage — the return type of [`all_pairs`] and [`floyd_warshall`].
+///
+/// Replaces the old `Vec<Vec<f64>>` shape: one contiguous allocation,
+/// cache-friendly row access, no per-row indirection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SquareMatrix {
+    /// A matrix filled with `value`.
+    fn filled(n: usize, value: f64) -> Self {
+        SquareMatrix { n, data: vec![value; n * n] }
+    }
+
+    /// Assembles a matrix from flat row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n`.
+    pub fn from_flat(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "flat data must hold n × n entries");
+        SquareMatrix { n, data }
+    }
+
+    /// Number of rows (= columns = graph nodes).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance from node `i` to node `j`; `f64::INFINITY` when
+    /// unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index ({i},{j}) out of range ({})", self.n);
+        self.data[i * self.n + j]
+    }
+
+    /// All distances from node `i`, in node-index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n, "row {i} out of range ({})", self.n);
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Iterates over all entries in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.data.iter().copied()
+    }
+}
+
+/// All-pairs shortest path distances under `link_cost` — the production
+/// replacement for [`floyd_warshall`]. Runs one cached-cost CSR Dijkstra
+/// per source node ([`crate::csr::CsrGraph`]), O(V · E log V) total,
+/// parallelized over sources on [`tacc_par::worker_count`] workers with a
+/// deterministic in-order merge: the result is bit-for-bit independent of
+/// the worker count.
+pub fn all_pairs(graph: &Graph, link_cost: impl Fn(&Link) -> f64) -> SquareMatrix {
+    all_pairs_with_threads(graph, link_cost, tacc_par::worker_count())
+}
+
+/// [`all_pairs`] with an explicit worker count (1 = serial on the
+/// calling thread).
+pub fn all_pairs_with_threads(
+    graph: &Graph,
+    link_cost: impl Fn(&Link) -> f64,
+    threads: usize,
+) -> SquareMatrix {
+    let n = graph.node_count();
+    if n == 0 {
+        return SquareMatrix::filled(0, f64::INFINITY);
+    }
+    let csr = CsrGraph::from_graph(graph, link_cost);
+    let sources: Vec<u32> = (0..n as u32).collect();
+    // One contiguous chunk of sources per worker; the scratch buffers
+    // are reused across every source inside a chunk.
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    let blocks = tacc_par::par_chunks_with(threads, &sources, chunk, |_, chunk_sources| {
+        let mut scratch = SsspScratch::new();
+        let mut rows = Vec::with_capacity(chunk_sources.len() * n);
+        for &s in chunk_sources {
+            rows.extend_from_slice(csr.sssp_into(NodeId(s), &mut scratch));
+        }
+        rows
+    });
+    SquareMatrix::from_flat(n, blocks.concat())
+}
+
 /// All-pairs shortest path distances under `link_cost` via Floyd–Warshall.
 ///
-/// Returns a dense `n × n` matrix in row-major order; `result[u][v]` is the
+/// Returns a dense `n × n` [`SquareMatrix`]; `result.get(u, v)` is the
 /// distance from node `u` to node `v`, `f64::INFINITY` when unreachable.
-/// O(n³) — intended for small graphs and as a test oracle for [`dijkstra`].
-pub fn floyd_warshall(graph: &Graph, link_cost: impl Fn(&Link) -> f64) -> Vec<Vec<f64>> {
+/// O(n³) — retained as a structurally independent test oracle for
+/// [`dijkstra`] and [`all_pairs`]; production code wanting all-pairs
+/// distances should call [`all_pairs`].
+pub fn floyd_warshall(graph: &Graph, link_cost: impl Fn(&Link) -> f64) -> SquareMatrix {
     let n = graph.node_count();
-    let mut dist = vec![vec![f64::INFINITY; n]; n];
-    for (i, row) in dist.iter_mut().enumerate() {
-        row[i] = 0.0;
+    let mut dist = SquareMatrix::filled(n, f64::INFINITY);
+    for i in 0..n {
+        dist.data[i * n + i] = 0.0;
     }
     for (_, link) in graph.links() {
         let c = link_cost(link);
         let (a, b) = (link.a().index(), link.b().index());
         // Parallel links: keep the cheaper one.
-        if c < dist[a][b] {
-            dist[a][b] = c;
-            dist[b][a] = c;
+        if c < dist.data[a * n + b] {
+            dist.data[a * n + b] = c;
+            dist.data[b * n + a] = c;
         }
     }
     for k in 0..n {
         for i in 0..n {
-            let dik = dist[i][k];
+            let dik = dist.data[i * n + k];
             if dik.is_infinite() {
                 continue;
             }
             for j in 0..n {
-                let through = dik + dist[k][j];
-                if through < dist[i][j] {
-                    dist[i][j] = through;
+                let through = dik + dist.data[k * n + j];
+                if through < dist.data[i * n + j] {
+                    dist.data[i * n + j] = through;
                 }
             }
         }
@@ -268,7 +423,7 @@ mod tests {
         for s in 0..6 {
             let d = dijkstra(&g, NodeId(s as u32), |l| l.latency_ms());
             for t in 0..6 {
-                assert_eq!(fw[s][t], d[t], "mismatch {s}->{t}");
+                assert_eq!(fw.get(s, t), d[t], "mismatch {s}->{t}");
             }
         }
     }
@@ -277,9 +432,67 @@ mod tests {
     fn floyd_warshall_diagonal_is_zero() {
         let g = line_graph(4);
         let fw = floyd_warshall(&g, |l| l.latency_ms());
-        for (i, row) in fw.iter().enumerate() {
-            assert_eq!(row[i], 0.0);
+        for i in 0..fw.n() {
+            assert_eq!(fw.get(i, i), 0.0);
+            assert_eq!(fw.row(i)[i], 0.0);
         }
+    }
+
+    #[test]
+    fn all_pairs_matches_floyd_warshall() {
+        let mut g = line_graph(7);
+        let lonely = g.add_node(NodeKind::Router);
+        g.add_link(NodeId(0), NodeId(4), 0.5, 100.0).unwrap(); // shortcut
+        let fw = floyd_warshall(&g, |l| l.latency_ms());
+        for threads in [1, 2, 5, 32] {
+            let ap = all_pairs_with_threads(&g, |l| l.latency_ms(), threads);
+            assert_eq!(ap.n(), g.node_count());
+            for s in 0..ap.n() {
+                for t in 0..ap.n() {
+                    let (a, b) = (ap.get(s, t), fw.get(s, t));
+                    assert!(
+                        a == b || (a.is_infinite() && b.is_infinite()),
+                        "threads={threads} {s}->{t}: all_pairs {a} vs fw {b}"
+                    );
+                }
+            }
+            assert!(ap.get(0, lonely.index()).is_infinite());
+        }
+    }
+
+    #[test]
+    fn all_pairs_is_thread_count_invariant_bitwise() {
+        let g = line_graph(9);
+        let reference = all_pairs_with_threads(&g, |l| l.latency_ms(), 1);
+        for threads in [2, 3, 17] {
+            let other = all_pairs_with_threads(&g, |l| l.latency_ms(), threads);
+            assert_eq!(other, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn all_pairs_of_empty_graph_is_empty() {
+        let ap = all_pairs(&Graph::new(), |l| l.latency_ms());
+        assert_eq!(ap.n(), 0);
+        assert_eq!(ap.iter().count(), 0);
+    }
+
+    #[test]
+    fn dijkstra_into_reuses_scratch_without_leaking_state() {
+        let g = line_graph(5);
+        let mut scratch = DijkstraScratch::new();
+        let fresh = dijkstra(&g, NodeId(0), |l| l.latency_ms());
+        let a = dijkstra_into(&g, NodeId(0), |l| l.latency_ms(), &mut scratch).to_vec();
+        let _ = dijkstra_into(&g, NodeId(4), |l| l.latency_ms(), &mut scratch);
+        let b = dijkstra_into(&g, NodeId(0), |l| l.latency_ms(), &mut scratch).to_vec();
+        assert_eq!(a, fresh);
+        assert_eq!(b, fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "n × n entries")]
+    fn from_flat_rejects_wrong_shape() {
+        let _ = SquareMatrix::from_flat(2, vec![0.0; 3]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 use serde::{Deserialize, Serialize};
 
-use crate::shortest_path::dijkstra;
+use crate::csr::{CsrGraph, SsspScratch};
+use crate::shortest_path::{dijkstra_into, DijkstraScratch};
 use crate::{DelayMatrix, DelayModel, Graph, NodeId, NodeKind, TopologyError};
 
 /// A network graph together with its IoT / edge-server role inventory.
@@ -66,17 +67,64 @@ impl Topology {
 
     /// Computes the IoT × server shortest-path delay matrix under `model`.
     ///
-    /// Runs one Dijkstra per edge server (servers are typically far fewer
-    /// than IoT devices), with link costs from
-    /// [`DelayModel::link_delay_ms`]. Unreachable pairs yield
-    /// `f64::INFINITY`; call [`DelayMatrix::is_fully_reachable`] or
+    /// Runs one cached-cost CSR Dijkstra per edge server (servers are
+    /// typically far fewer than IoT devices), with link costs from
+    /// [`DelayModel::link_delay_ms`], fanned out over
+    /// [`tacc_par::worker_count`] workers. The merge is by server index,
+    /// so the result is **bit-for-bit identical** to
+    /// [`Topology::delay_matrix_serial`] regardless of the worker count
+    /// (property-tested in `tests/par_equivalence.rs`). Unreachable pairs
+    /// yield `f64::INFINITY`; call [`DelayMatrix::is_fully_reachable`] or
     /// [`Topology::validate_reachability`] to detect them.
     pub fn delay_matrix(&self, model: &DelayModel) -> DelayMatrix {
+        self.delay_matrix_with_threads(model, tacc_par::worker_count())
+    }
+
+    /// [`Topology::delay_matrix`] with an explicit worker count
+    /// (1 = serial on the calling thread).
+    pub fn delay_matrix_with_threads(&self, model: &DelayModel, threads: usize) -> DelayMatrix {
+        let n = self.iot.len();
+        let m = self.servers.len();
+        let csr = CsrGraph::from_graph(&self.graph, |l| model.link_delay_ms(l));
+        // One contiguous chunk of server columns per worker; each worker
+        // reuses one scratch buffer across all its servers and returns
+        // its columns server-major.
+        let chunk = m.div_ceil(threads.max(1)).max(1);
+        let blocks = tacc_par::par_chunks_with(threads, &self.servers, chunk, |_, servers| {
+            let mut scratch = SsspScratch::new();
+            let mut columns = Vec::with_capacity(servers.len() * n);
+            for &server in servers {
+                let dist = csr.sssp_into(server, &mut scratch);
+                columns.extend(self.iot.iter().map(|iot| dist[iot.index()]));
+            }
+            columns
+        });
+        // Transpose the server-major blocks into the row-major matrix.
+        let mut data = vec![f64::INFINITY; n * m];
+        let mut j = 0usize;
+        for block in blocks {
+            for column in block.chunks_exact(n.max(1)) {
+                for (i, &d) in column.iter().enumerate() {
+                    data[i * m + j] = d;
+                }
+                j += 1;
+            }
+        }
+        DelayMatrix::from_parts(data, self.iot.clone(), self.servers.clone())
+    }
+
+    /// The serial adjacency-list reference implementation of
+    /// [`Topology::delay_matrix`]: one [`dijkstra_into`] run per edge
+    /// server through a reused scratch buffer. Kept as the baseline the
+    /// parallel CSR path is property-tested against, and as the
+    /// comparison lane of `tacc bench-report`.
+    pub fn delay_matrix_serial(&self, model: &DelayModel) -> DelayMatrix {
         let n = self.iot.len();
         let m = self.servers.len();
         let mut data = vec![f64::INFINITY; n * m];
+        let mut scratch = DijkstraScratch::new();
         for (j, &server) in self.servers.iter().enumerate() {
-            let dist = dijkstra(&self.graph, server, |l| model.link_delay_ms(l));
+            let dist = dijkstra_into(&self.graph, server, |l| model.link_delay_ms(l), &mut scratch);
             for (i, &iot) in self.iot.iter().enumerate() {
                 data[i * m + j] = dist[iot.index()];
             }
@@ -257,6 +305,17 @@ mod tests {
         let failed = t.with_failed_node(router);
         let dm = failed.delay_matrix(&DelayModel::default());
         assert!(dm.iter().all(|d| d.is_infinite()));
+    }
+
+    #[test]
+    fn parallel_delay_matrix_equals_serial_reference() {
+        let t = star();
+        let model = DelayModel::new(100.0, 0.2);
+        let serial = t.delay_matrix_serial(&model);
+        for threads in [1, 2, 3, 16] {
+            assert_eq!(t.delay_matrix_with_threads(&model, threads), serial, "t={threads}");
+        }
+        assert_eq!(t.delay_matrix(&model), serial);
     }
 
     #[test]
