@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+use tacc_runtime::RuntimeError;
+use tacc_workload::WorkloadError;
+
+/// Errors raised by the chaos harness.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChaosError {
+    /// A filesystem operation on the journal failed.
+    Io {
+        /// The journal path involved.
+        path: String,
+        /// The underlying I/O failure (stringified: `std::io::Error` is
+        /// neither `Clone` nor comparable).
+        reason: String,
+    },
+    /// The journal's contents are unusable: wrong version, wrong trace
+    /// fingerprint, a corrupt record before the final line, or no
+    /// `Begin` record at all. A torn *final* line is not an error — that
+    /// is exactly what a crash leaves behind.
+    Journal {
+        /// Description of the violation.
+        reason: String,
+    },
+    /// The crash-recovery contract was violated: a recovered run did not
+    /// reproduce the uninterrupted run byte-for-byte, or a transient
+    /// overload appeared.
+    Mismatch {
+        /// Description of the divergence.
+        reason: String,
+    },
+    /// Runtime-layer failure during replay or recovery.
+    Runtime(RuntimeError),
+    /// Workload-layer failure (trace generation or validation).
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::Io { path, reason } => write!(f, "journal I/O on {path}: {reason}"),
+            ChaosError::Journal { reason } => write!(f, "unusable journal: {reason}"),
+            ChaosError::Mismatch { reason } => write!(f, "recovery mismatch: {reason}"),
+            ChaosError::Runtime(e) => write!(f, "runtime failure: {e}"),
+            ChaosError::Workload(e) => write!(f, "workload failure: {e}"),
+        }
+    }
+}
+
+impl Error for ChaosError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ChaosError::Runtime(e) => Some(e),
+            ChaosError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for ChaosError {
+    fn from(e: RuntimeError) -> Self {
+        ChaosError::Runtime(e)
+    }
+}
+
+impl From<WorkloadError> for ChaosError {
+    fn from(e: WorkloadError) -> Self {
+        ChaosError::Workload(e)
+    }
+}
+
+impl ChaosError {
+    /// Wraps an I/O failure with the journal path it happened on.
+    pub fn io(path: &std::path::Path, error: &std::io::Error) -> ChaosError {
+        ChaosError::Io { path: path.display().to_string(), reason: error.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources_chain() {
+        let e = ChaosError::from(RuntimeError::InvalidSnapshot { reason: "nope".into() });
+        assert!(e.to_string().contains("runtime failure"));
+        assert!(e.source().is_some());
+        let e = ChaosError::Journal { reason: "no Begin record".into() };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("no Begin record"));
+        let e = ChaosError::Mismatch { reason: "diverged".into() };
+        assert!(e.to_string().contains("recovery mismatch"));
+    }
+}

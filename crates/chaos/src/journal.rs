@@ -1,0 +1,327 @@
+//! Crash-recovery journaling for trace replays.
+//!
+//! A [`Journal`] is an append-only JSONL file, fsync'd after every
+//! record, that makes a `run-trace` replay recoverable from a hard kill
+//! at *any* event boundary:
+//!
+//! - a `Begin` record pins the journal format version, the trace's
+//!   [`Trace::fingerprint`] and the [`RuntimeConfig`], so a journal can
+//!   never silently resume against the wrong trace or configuration;
+//! - a `Step` record lands after every fully-processed event;
+//! - a `Snapshot` record (the full [`RuntimeSnapshot`]) lands on a
+//!   configurable cadence and is the restore point;
+//! - a `Recovered` record marks each successful recovery, after which
+//!   `Step` indices may legitimately replay (replay is deterministic, so
+//!   re-processing an event reproduces the same state).
+//!
+//! [`recover`] tolerates exactly one kind of damage: a torn *final*
+//! line, which is what an fsync'd append leaves behind when the process
+//! dies mid-write. Corruption anywhere earlier is a hard
+//! [`ChaosError::Journal`].
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use tacc_runtime::{Runtime, RuntimeConfig, RuntimeSnapshot};
+use tacc_workload::Trace;
+
+use crate::ChaosError;
+
+/// The journal format this build writes and reads.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// One line of the journal.
+///
+/// `Snapshot` dwarfs the other variants by design — records are written
+/// and read one line at a time, never held in bulk, so boxing would buy
+/// nothing and cost a serialization-shape change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum JournalRecord {
+    /// First record of every journal: format version, trace fingerprint
+    /// and the replay configuration.
+    Begin {
+        /// Journal format version; see [`JOURNAL_VERSION`].
+        journal_version: u32,
+        /// [`Trace::fingerprint`] of the trace being replayed.
+        trace_fingerprint: u64,
+        /// The configuration the replay runs under.
+        config: RuntimeConfig,
+    },
+    /// Event `index` was fully processed.
+    Step {
+        /// Index of the processed event in the trace.
+        index: u64,
+    },
+    /// A restore point: the complete runtime state after `snapshot.cursor`
+    /// events.
+    Snapshot {
+        /// The captured state.
+        snapshot: RuntimeSnapshot,
+    },
+    /// A recovery re-attached to this journal at `cursor`; `Step` indices
+    /// from `cursor` onward may repeat records from before the crash.
+    Recovered {
+        /// The cursor the recovered runtime resumed from.
+        cursor: u64,
+    },
+}
+
+/// An open, append-only journal. Every [`Journal::append`] flushes and
+/// fsyncs before returning, so a record that was appended survives any
+/// subsequent kill.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates (truncating) a journal and writes the `Begin` record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosError::Io`] on filesystem failures.
+    pub fn create(
+        path: &Path,
+        trace: &Trace,
+        config: &RuntimeConfig,
+    ) -> Result<Journal, ChaosError> {
+        let file = File::create(path).map_err(|e| ChaosError::io(path, &e))?;
+        let mut journal = Journal { file, path: path.to_path_buf() };
+        journal.append(&JournalRecord::Begin {
+            journal_version: JOURNAL_VERSION,
+            trace_fingerprint: trace.fingerprint(),
+            config: config.clone(),
+        })?;
+        Ok(journal)
+    }
+
+    /// Re-opens an existing journal for appending (the recovery path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosError::Io`] on filesystem failures.
+    pub fn open_append(path: &Path) -> Result<Journal, ChaosError> {
+        let file =
+            OpenOptions::new().append(true).open(path).map_err(|e| ChaosError::io(path, &e))?;
+        Ok(Journal { file, path: path.to_path_buf() })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record as a single JSON line and fsyncs it to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosError::Io`] on filesystem failures.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), ChaosError> {
+        let value = serde_json::to_value(record);
+        let mut line = serde_json::to_string(&value).expect("journal records are serializable");
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| ChaosError::io(&self.path, &e))
+    }
+}
+
+/// What [`recover`] reconstructed from a journal.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The runtime, restored from the last intact snapshot (or rebuilt
+    /// from the trace under the journaled config when no snapshot had
+    /// landed yet). Re-running the remaining trace events reproduces the
+    /// uninterrupted run byte-for-byte.
+    pub runtime: Runtime,
+    /// Whether a snapshot record provided the restore point.
+    pub from_snapshot: bool,
+    /// Highest event index with a durable `Step` record (`None` when the
+    /// crash preceded the first step).
+    pub last_step: Option<u64>,
+    /// Whether the journal ended in a torn (unparseable) final line —
+    /// expected after a mid-write kill, and the only damage tolerated.
+    pub torn_tail: bool,
+    /// Intact records read.
+    pub records: usize,
+}
+
+/// Rebuilds a runtime from a journal plus the trace it was recorded
+/// against.
+///
+/// # Errors
+///
+/// Returns [`ChaosError::Io`] if the journal cannot be read,
+/// [`ChaosError::Journal`] if it is empty, does not start with a `Begin`
+/// record, pins a different journal version or trace fingerprint, or has
+/// a corrupt record anywhere before the final line, and propagates
+/// runtime restore failures.
+pub fn recover(path: &Path, trace: &Trace) -> Result<Recovery, ChaosError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ChaosError::io(path, &e))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        return Err(ChaosError::Journal { reason: "journal is empty".to_owned() });
+    }
+
+    let mut records: Vec<JournalRecord> = Vec::with_capacity(lines.len());
+    let mut torn_tail = false;
+    for (i, line) in lines.iter().enumerate() {
+        let parsed = serde_json::from_str(line)
+            .ok()
+            .and_then(|v| serde_json::from_value::<JournalRecord>(&v).ok());
+        match parsed {
+            Some(record) => records.push(record),
+            None if i + 1 == lines.len() => torn_tail = true,
+            None => {
+                return Err(ChaosError::Journal {
+                    reason: format!("corrupt record at line {} (not the final line)", i + 1),
+                });
+            }
+        }
+    }
+
+    let Some(JournalRecord::Begin { journal_version, trace_fingerprint, config }) = records.first()
+    else {
+        return Err(ChaosError::Journal {
+            reason: "journal does not start with a Begin record".to_owned(),
+        });
+    };
+    if *journal_version != JOURNAL_VERSION {
+        return Err(ChaosError::Journal {
+            reason: format!(
+                "journal version {journal_version} (this build reads {JOURNAL_VERSION})"
+            ),
+        });
+    }
+    if *trace_fingerprint != trace.fingerprint() {
+        return Err(ChaosError::Journal {
+            reason: format!(
+                "journal was recorded against trace {trace_fingerprint:#018x}, \
+                 not {:#018x}",
+                trace.fingerprint()
+            ),
+        });
+    }
+    let config = config.clone();
+
+    let mut last_snapshot: Option<&RuntimeSnapshot> = None;
+    let mut last_step: Option<u64> = None;
+    for record in &records {
+        match record {
+            JournalRecord::Snapshot { snapshot } => last_snapshot = Some(snapshot),
+            JournalRecord::Step { index } => {
+                last_step = Some(last_step.map_or(*index, |s| s.max(*index)));
+            }
+            JournalRecord::Begin { .. } | JournalRecord::Recovered { .. } => {}
+        }
+    }
+
+    let (runtime, from_snapshot) = match last_snapshot {
+        Some(snapshot) => (Runtime::restore(snapshot.clone(), trace)?, true),
+        None => (Runtime::from_trace(trace, config)?, false),
+    };
+    Ok(Recovery { runtime, from_snapshot, last_step, torn_tail, records: records.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_workload::{TraceGenerator, TraceScenario};
+
+    fn trace() -> Trace {
+        TraceGenerator::new(TraceScenario {
+            num_iot: 15,
+            num_servers: 3,
+            ..TraceScenario::default()
+        })
+        .num_events(20)
+        .generate(3)
+        .unwrap()
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tacc-journal-test-{name}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn journal_round_trips_and_recovers_fresh() {
+        let trace = trace();
+        let config = RuntimeConfig::default();
+        let path = temp_path("fresh");
+        let mut journal = Journal::create(&path, &trace, &config).unwrap();
+        journal.append(&JournalRecord::Step { index: 0 }).unwrap();
+        drop(journal);
+
+        let recovery = recover(&path, &trace).unwrap();
+        assert!(!recovery.from_snapshot, "no snapshot record yet");
+        assert_eq!(recovery.last_step, Some(0));
+        assert!(!recovery.torn_tail);
+        assert_eq!(recovery.runtime.cursor(), 0, "fresh rebuild starts at the top");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_torn_final_line_is_tolerated_but_earlier_corruption_is_not() {
+        let trace = trace();
+        let config = RuntimeConfig::default();
+        let path = temp_path("torn");
+        let mut journal = Journal::create(&path, &trace, &config).unwrap();
+        journal.append(&JournalRecord::Step { index: 0 }).unwrap();
+        journal.append(&JournalRecord::Step { index: 1 }).unwrap();
+        drop(journal);
+
+        // Tear the tail the way a mid-write kill would.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"Step\":{\"ind");
+        std::fs::write(&path, &text).unwrap();
+        let recovery = recover(&path, &trace).unwrap();
+        assert!(recovery.torn_tail);
+        assert_eq!(recovery.last_step, Some(1));
+
+        // Corruption *before* the final line is a hard error.
+        let mut lines: Vec<String> =
+            std::fs::read_to_string(&path).unwrap().lines().map(str::to_owned).collect();
+        lines[1] = "garbage".to_owned();
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let err = recover(&path, &trace).unwrap_err();
+        assert!(matches!(err, ChaosError::Journal { .. }), "got {err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recovery_rejects_the_wrong_trace() {
+        let trace = trace();
+        let config = RuntimeConfig::default();
+        let path = temp_path("wrong-trace");
+        Journal::create(&path, &trace, &config).unwrap();
+
+        let other = TraceGenerator::new(TraceScenario {
+            num_iot: 15,
+            num_servers: 3,
+            ..TraceScenario::default()
+        })
+        .num_events(20)
+        .generate(99)
+        .unwrap();
+        let err = recover(&path, &other).unwrap_err();
+        let ChaosError::Journal { reason } = &err else { panic!("got {err:?}") };
+        assert!(reason.contains("recorded against trace"), "got: {reason}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recovery_rejects_a_missing_begin_record() {
+        let trace = trace();
+        let path = temp_path("no-begin");
+        std::fs::write(&path, "{\"Step\":{\"index\":0}}\n").unwrap();
+        let err = recover(&path, &trace).unwrap_err();
+        let ChaosError::Journal { reason } = &err else { panic!("got {err:?}") };
+        assert!(reason.contains("Begin"), "got: {reason}");
+        std::fs::remove_file(&path).ok();
+    }
+}

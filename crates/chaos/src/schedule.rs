@@ -1,0 +1,443 @@
+//! Adversarial fault-schedule generation.
+//!
+//! The polite [`tacc_workload::TraceGenerator`] samples churn the way a
+//! healthy deployment experiences it — independent events, never failing
+//! the last alive server. Real incidents are nothing like that: racks
+//! fail together, flaky hardware flaps, and partitions cut whole device
+//! populations off at once. [`ChaosGenerator`] produces exactly those
+//! schedules — seeded, replayable, and emitted as ordinary format-v1
+//! [`Trace`]s, so every downstream tool (the runtime, the CLI, the crash
+//! harness) consumes them with no special cases.
+//!
+//! Every schedule is still *state-consistent* (devices only leave while
+//! active, servers only fail while alive), so metrics stay meaningful;
+//! what changes is the correlation structure and the willingness to take
+//! the cluster all the way down.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tacc_workload::{TimedEvent, Trace, TraceEvent, TraceScenario, WorkloadError};
+
+/// The adversarial shapes [`ChaosGenerator`] knows how to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosProfile {
+    /// `burst` servers fail back-to-back at the same instant (a rack or
+    /// power-domain failure), recover together later.
+    CorrelatedFailures,
+    /// One server fails and recovers in rapid alternation — the
+    /// flaky-hardware pattern that punishes any hysteresis bug in
+    /// evacuation/re-admission.
+    Flapping,
+    /// Servers fail one by one until a single survivor carries the whole
+    /// fleet, forcing sustained shedding, then capacity returns.
+    CapacityCrunch,
+    /// Bursts of simultaneous leaves and joins (equal timestamps), the
+    /// thundering-herd pattern.
+    BurstChurn,
+    /// Every server goes down — including the last one, which the polite
+    /// generator refuses to fail — leaving all devices unreachable until
+    /// the partition heals.
+    Partition,
+    /// A seeded rotation through all of the above.
+    Mixed,
+}
+
+impl ChaosProfile {
+    /// Every profile, in a stable order.
+    pub const ALL: [ChaosProfile; 6] = [
+        ChaosProfile::CorrelatedFailures,
+        ChaosProfile::Flapping,
+        ChaosProfile::CapacityCrunch,
+        ChaosProfile::BurstChurn,
+        ChaosProfile::Partition,
+        ChaosProfile::Mixed,
+    ];
+
+    /// CLI/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosProfile::CorrelatedFailures => "correlated-failures",
+            ChaosProfile::Flapping => "flapping",
+            ChaosProfile::CapacityCrunch => "capacity-crunch",
+            ChaosProfile::BurstChurn => "burst-churn",
+            ChaosProfile::Partition => "partition",
+            ChaosProfile::Mixed => "mixed",
+        }
+    }
+
+    /// Looks a profile up by its [`ChaosProfile::name`].
+    pub fn from_name(name: &str) -> Option<ChaosProfile> {
+        ChaosProfile::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// Seeded generator of adversarial [`Trace`]s.
+///
+/// # Example
+///
+/// ```
+/// use tacc_chaos::{ChaosGenerator, ChaosProfile};
+/// use tacc_workload::TraceScenario;
+///
+/// # fn main() -> Result<(), tacc_workload::WorkloadError> {
+/// let trace = ChaosGenerator::new(TraceScenario::default(), ChaosProfile::Partition)
+///     .num_events(40)
+///     .generate(7)?;
+/// assert_eq!(trace.events.len(), 40);
+/// trace.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaosGenerator {
+    scenario: TraceScenario,
+    profile: ChaosProfile,
+    num_events: usize,
+    mean_gap_ms: f64,
+    burst: usize,
+}
+
+/// Mutable schedule state: the event list under construction plus the
+/// deployment state that keeps it consistent.
+struct Emitter {
+    events: Vec<TimedEvent>,
+    time_ms: f64,
+    active: Vec<bool>,
+    alive: Vec<bool>,
+}
+
+impl Emitter {
+    fn push(&mut self, gap_ms: f64, event: TraceEvent) {
+        self.time_ms += gap_ms;
+        match event {
+            TraceEvent::DeviceJoin { device } => self.active[device] = true,
+            TraceEvent::DeviceLeave { device } => self.active[device] = false,
+            TraceEvent::ServerFail { server } => self.alive[server] = false,
+            TraceEvent::ServerRecover { server } => self.alive[server] = true,
+            TraceEvent::LinkLatencyDrift { .. } => {}
+        }
+        self.events.push(TimedEvent { time_ms: self.time_ms, event });
+    }
+
+    fn alive_servers(&self) -> Vec<usize> {
+        (0..self.alive.len()).filter(|&j| self.alive[j]).collect()
+    }
+
+    fn failed_servers(&self) -> Vec<usize> {
+        (0..self.alive.len()).filter(|&j| !self.alive[j]).collect()
+    }
+
+    fn active_devices(&self) -> Vec<usize> {
+        (0..self.active.len()).filter(|&d| self.active[d]).collect()
+    }
+
+    fn inactive_devices(&self) -> Vec<usize> {
+        (0..self.active.len()).filter(|&d| !self.active[d]).collect()
+    }
+}
+
+impl ChaosGenerator {
+    /// Starts a generator with defaults: 100 events, 50 ms mean gap,
+    /// burst width 3.
+    pub fn new(scenario: TraceScenario, profile: ChaosProfile) -> Self {
+        ChaosGenerator { scenario, profile, num_events: 100, mean_gap_ms: 50.0, burst: 3 }
+    }
+
+    /// Number of events to generate (the schedule is truncated to exactly
+    /// this length; a prefix of a consistent schedule stays consistent).
+    #[must_use]
+    pub fn num_events(mut self, n: usize) -> Self {
+        self.num_events = n;
+        self
+    }
+
+    /// Mean gap between *rounds*, in milliseconds. Events within a burst
+    /// share a timestamp regardless.
+    #[must_use]
+    pub fn mean_gap_ms(mut self, mean: f64) -> Self {
+        self.mean_gap_ms = mean;
+        self
+    }
+
+    /// Burst width: servers per correlated failure, devices per churn
+    /// burst. Clamped to the deployment's sizes.
+    #[must_use]
+    pub fn burst(mut self, k: usize) -> Self {
+        self.burst = k.max(1);
+        self
+    }
+
+    /// Generates the schedule. A pure function of the generator
+    /// parameters and `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] for a non-positive mean
+    /// gap and propagates scenario construction failures (the scenario is
+    /// materialized once to learn the link universe for drift events).
+    pub fn generate(&self, seed: u64) -> Result<Trace, WorkloadError> {
+        if !self.mean_gap_ms.is_finite() || self.mean_gap_ms <= 0.0 {
+            return Err(WorkloadError::InvalidConfig {
+                reason: format!("mean gap must be positive, got {}", self.mean_gap_ms),
+            });
+        }
+        let deployment = self.scenario.build()?;
+        let base_latency: Vec<f64> =
+            deployment.topology().graph().links().map(|(_, l)| l.latency_ms()).collect();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut emit = Emitter {
+            events: Vec::with_capacity(self.num_events + 16),
+            time_ms: 0.0,
+            active: vec![true; self.scenario.num_iot],
+            alive: vec![true; self.scenario.num_servers],
+        };
+
+        while emit.events.len() < self.num_events {
+            let profile = match self.profile {
+                ChaosProfile::Mixed => {
+                    ChaosProfile::ALL[rng.random_range(0..ChaosProfile::ALL.len() - 1)]
+                }
+                p => p,
+            };
+            self.round(profile, &mut emit, &mut rng, &base_latency);
+        }
+        emit.events.truncate(self.num_events);
+
+        let trace = Trace {
+            version: Trace::FORMAT_VERSION,
+            scenario: self.scenario.clone(),
+            events: emit.events,
+        };
+        debug_assert!(trace.validate().is_ok());
+        Ok(trace)
+    }
+
+    /// Emits one adversarial round of `profile`.
+    fn round(
+        &self,
+        profile: ChaosProfile,
+        emit: &mut Emitter,
+        rng: &mut ChaCha8Rng,
+        base_latency: &[f64],
+    ) {
+        let gap = self.mean_gap_ms;
+        match profile {
+            ChaosProfile::CorrelatedFailures => {
+                // A power domain dies: `burst` alive servers at one instant.
+                let alive = emit.alive_servers();
+                let k = self.burst.min(alive.len());
+                let victims = pick_k(&alive, k, rng);
+                for (i, &server) in victims.iter().enumerate() {
+                    emit.push(if i == 0 { gap } else { 0.0 }, TraceEvent::ServerFail { server });
+                }
+                self.churn(emit, rng, 2);
+                for (i, &server) in victims.iter().enumerate() {
+                    emit.push(if i == 0 { gap } else { 0.0 }, TraceEvent::ServerRecover { server });
+                }
+                self.churn(emit, rng, 1);
+            }
+            ChaosProfile::Flapping => {
+                // One flaky server, several fast fail/recover cycles.
+                let alive = emit.alive_servers();
+                if !alive.is_empty() {
+                    let target = alive[rng.random_range(0..alive.len())];
+                    for _ in 0..3 {
+                        emit.push(gap * 0.1, TraceEvent::ServerFail { server: target });
+                        emit.push(gap * 0.1, TraceEvent::ServerRecover { server: target });
+                    }
+                }
+                Self::drift(emit, rng, base_latency, gap);
+            }
+            ChaosProfile::CapacityCrunch => {
+                // Grind down to a single survivor, hold under churn, heal.
+                let alive = emit.alive_servers();
+                for &server in alive.iter().skip(1) {
+                    emit.push(gap * 0.5, TraceEvent::ServerFail { server });
+                }
+                self.churn(emit, rng, 3);
+                for server in emit.failed_servers() {
+                    emit.push(gap * 0.5, TraceEvent::ServerRecover { server });
+                }
+                self.churn(emit, rng, 1);
+            }
+            ChaosProfile::BurstChurn => {
+                // Thundering herd: simultaneous leaves, then simultaneous
+                // joins of a (possibly different) burst.
+                let active = emit.active_devices();
+                let leavers = pick_k(&active, self.burst.min(active.len()), rng);
+                for (i, &device) in leavers.iter().enumerate() {
+                    emit.push(if i == 0 { gap } else { 0.0 }, TraceEvent::DeviceLeave { device });
+                }
+                let inactive = emit.inactive_devices();
+                let joiners = pick_k(&inactive, self.burst.min(inactive.len()), rng);
+                for (i, &device) in joiners.iter().enumerate() {
+                    emit.push(if i == 0 { gap } else { 0.0 }, TraceEvent::DeviceJoin { device });
+                }
+            }
+            ChaosProfile::Partition => {
+                // Everything goes down — including the last server.
+                for (i, server) in emit.alive_servers().into_iter().enumerate() {
+                    emit.push(if i == 0 { gap } else { 0.0 }, TraceEvent::ServerFail { server });
+                }
+                // Churn against a dead cluster: joins land unreachable.
+                self.churn(emit, rng, 2);
+                for (i, server) in emit.failed_servers().into_iter().enumerate() {
+                    emit.push(if i == 0 { gap } else { 0.0 }, TraceEvent::ServerRecover { server });
+                }
+            }
+            ChaosProfile::Mixed => unreachable!("Mixed resolves to a concrete profile per round"),
+        }
+    }
+
+    /// A few device leave/join events driven by the current state.
+    fn churn(&self, emit: &mut Emitter, rng: &mut ChaCha8Rng, rounds: usize) {
+        for _ in 0..rounds {
+            let active = emit.active_devices();
+            if !active.is_empty() && rng.random_bool(0.5) {
+                let device = active[rng.random_range(0..active.len())];
+                emit.push(self.mean_gap_ms * 0.2, TraceEvent::DeviceLeave { device });
+            } else {
+                let inactive = emit.inactive_devices();
+                if !inactive.is_empty() {
+                    let device = inactive[rng.random_range(0..inactive.len())];
+                    emit.push(self.mean_gap_ms * 0.2, TraceEvent::DeviceJoin { device });
+                }
+            }
+        }
+    }
+
+    /// One latency-drift event scaled from a link's base latency.
+    fn drift(emit: &mut Emitter, rng: &mut ChaCha8Rng, base_latency: &[f64], gap: f64) {
+        if base_latency.is_empty() {
+            return;
+        }
+        let link = rng.random_range(0..base_latency.len());
+        let factor: f64 = 0.25 + rng.random::<f64>() * 3.75;
+        emit.push(
+            gap,
+            TraceEvent::LinkLatencyDrift { link, latency_ms: base_latency[link] * factor },
+        );
+    }
+}
+
+/// `k` distinct elements of `pool`, in a seeded but stable order.
+fn pick_k(pool: &[usize], k: usize, rng: &mut ChaCha8Rng) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..pool.len()).collect();
+    for i in (1..indices.len()).rev() {
+        let j = rng.random_range(0..=i);
+        indices.swap(i, j);
+    }
+    indices.truncate(k);
+    indices.sort_unstable();
+    indices.into_iter().map(|i| pool[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> TraceScenario {
+        TraceScenario { num_iot: 20, num_servers: 4, ..TraceScenario::default() }
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for profile in ChaosProfile::ALL {
+            assert_eq!(ChaosProfile::from_name(profile.name()), Some(profile));
+        }
+        assert_eq!(ChaosProfile::from_name("gentle"), None);
+    }
+
+    #[test]
+    fn schedules_are_deterministic_valid_and_exact_length() {
+        for profile in ChaosProfile::ALL {
+            let g = ChaosGenerator::new(scenario(), profile).num_events(60);
+            let a = g.generate(9).unwrap();
+            let b = g.generate(9).unwrap();
+            assert_eq!(a, b, "{} must replay identically", profile.name());
+            assert_eq!(a.events.len(), 60);
+            a.validate().unwrap_or_else(|e| panic!("{}: {e}", profile.name()));
+            assert_ne!(a, g.generate(10).unwrap(), "{} must vary with the seed", profile.name());
+        }
+    }
+
+    #[test]
+    fn partition_fails_every_server_including_the_last() {
+        let trace = ChaosGenerator::new(scenario(), ChaosProfile::Partition)
+            .num_events(30)
+            .generate(1)
+            .unwrap();
+        let mut alive = [true; 4];
+        let mut fully_down = false;
+        for timed in &trace.events {
+            match timed.event {
+                TraceEvent::ServerFail { server } => alive[server] = false,
+                TraceEvent::ServerRecover { server } => alive[server] = true,
+                _ => {}
+            }
+            fully_down |= alive.iter().all(|a| !a);
+        }
+        assert!(fully_down, "the partition profile must take the whole cluster down");
+    }
+
+    #[test]
+    fn correlated_failures_share_a_timestamp() {
+        let trace = ChaosGenerator::new(scenario(), ChaosProfile::CorrelatedFailures)
+            .num_events(40)
+            .burst(3)
+            .generate(2)
+            .unwrap();
+        let simultaneous = trace.events.windows(2).any(|w| {
+            w[0].time_ms.to_bits() == w[1].time_ms.to_bits()
+                && matches!(w[0].event, TraceEvent::ServerFail { .. })
+                && matches!(w[1].event, TraceEvent::ServerFail { .. })
+        });
+        assert!(simultaneous, "correlated failures must land at the same instant");
+    }
+
+    #[test]
+    fn schedules_stay_state_consistent() {
+        for profile in ChaosProfile::ALL {
+            let trace =
+                ChaosGenerator::new(scenario(), profile).num_events(120).generate(5).unwrap();
+            let mut active = [true; 20];
+            let mut alive = [true; 4];
+            for (i, timed) in trace.events.iter().enumerate() {
+                match timed.event {
+                    TraceEvent::DeviceJoin { device } => {
+                        assert!(
+                            !active[device],
+                            "{}: event {i} joins active device",
+                            profile.name()
+                        );
+                        active[device] = true;
+                    }
+                    TraceEvent::DeviceLeave { device } => {
+                        assert!(
+                            active[device],
+                            "{}: event {i} leaves inactive device",
+                            profile.name()
+                        );
+                        active[device] = false;
+                    }
+                    TraceEvent::ServerFail { server } => {
+                        assert!(alive[server], "{}: event {i} fails failed server", profile.name());
+                        alive[server] = false;
+                    }
+                    TraceEvent::ServerRecover { server } => {
+                        assert!(
+                            !alive[server],
+                            "{}: event {i} recovers alive server",
+                            profile.name()
+                        );
+                        alive[server] = true;
+                    }
+                    TraceEvent::LinkLatencyDrift { latency_ms, .. } => {
+                        assert!(latency_ms.is_finite() && latency_ms >= 0.0);
+                    }
+                }
+            }
+        }
+    }
+}

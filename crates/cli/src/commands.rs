@@ -1,5 +1,10 @@
 //! The `tacc` subcommands.
 
+use std::path::Path;
+
+use tacc_chaos::{
+    recover, run_with_crashes, ChaosGenerator, ChaosProfile, CrashPlan, Journal, JournalRecord,
+};
 use tacc_core::sim::SimConfig;
 use tacc_core::workload::{
     DemandModel, Scenario, ScenarioBuilder, TopologyFamily, Trace, TraceGenerator, TraceScenario,
@@ -20,6 +25,7 @@ USAGE:
   tacc topology  [OPTIONS]   emit a generated topology as Graphviz DOT
   tacc gen-trace [OPTIONS]   generate an online-reconfiguration event trace
   tacc run-trace [OPTIONS]   replay a trace through the online runtime
+  tacc chaos     [OPTIONS]   adversarial faults + crash injection, prove recovery
   tacc bench-report [OPTIONS] measure serial vs parallel hot paths, write JSON
   tacc algorithms            list algorithm names
   tacc families              list topology families
@@ -53,7 +59,21 @@ run-trace only:
   --stop-after N     process only the first N events
   --snapshot-out F   write a resumable snapshot when stopping
   --resume FILE      resume from a snapshot (its config wins)
+  --journal FILE     append-only fsync'd journal of the replay
+  --snapshot-every N journal a full snapshot every N events [default 5]
+  --recover          resume from --journal FILE after a crash
   --timing           include wall-clock latency histograms in the report
+
+chaos only:
+  --profile NAME     correlated-failures | flapping | capacity-crunch |
+                     burst-churn | partition | mixed  [default mixed]
+  --events N         adversarial events to generate  [default 100]
+  --burst K          faults per correlated burst     [default 3]
+  --crash-every K    hard-kill every K events (0 = never) [default 7]
+  --snapshot-every N journal snapshot cadence        [default 5]
+  --journal FILE     keep the journal here           [default temp, removed]
+  (plus --devices/--servers/--load/--family/--seed and the run-trace
+   policy flags; exits non-zero unless recovery is byte-identical)
 
 bench-report only:
   --out DIR          where to write BENCH_*.json [default .]
@@ -245,40 +265,81 @@ pub fn run_trace(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn runtime_config_from(args: &Args) -> Result<RuntimeConfig, String> {
+    let policy_name = args.str_or("policy", "greedy");
+    let policy = ReassignPolicy::from_name(policy_name)
+        .ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
+    let refresh = args.num_or("refresh-every", 0u64)?;
+    Ok(RuntimeConfig {
+        policy,
+        seed: args.num_or("seed", 42u64)?,
+        migration_budget: args.num_or("budget", 4usize)?,
+        refresh_every: (refresh > 0).then_some(refresh),
+        full_recompute: args.has("full-recompute"),
+        ..RuntimeConfig::default()
+    })
+}
+
 fn run_trace_report(args: &Args) -> Result<String, String> {
+    let journal_path = args.str_opt("journal");
+    if args.has("recover") && journal_path.is_none() {
+        return Err("--recover needs --journal FILE".to_owned());
+    }
+    if journal_path.is_some() && args.str_opt("resume").is_some() {
+        return Err(
+            "--journal and --resume are mutually exclusive (use --recover to resume from a journal)"
+                .to_owned(),
+        );
+    }
+
     let path = args.str_opt("trace").ok_or("run-trace needs --trace FILE")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
     let trace = Trace::from_json(&text).map_err(|e| e.to_string())?;
 
-    let mut runtime = match args.str_opt("resume") {
-        Some(snap_path) => {
-            let snap_text = std::fs::read_to_string(snap_path)
-                .map_err(|e| format!("reading `{snap_path}`: {e}"))?;
-            let snapshot = RuntimeSnapshot::from_json(&snap_text).map_err(|e| e.to_string())?;
-            Runtime::restore(snapshot, &trace).map_err(|e| e.to_string())?
+    let mut journal = None;
+    let mut runtime = if let Some(journal_file) = journal_path.filter(|_| args.has("recover")) {
+        // Crash recovery: rebuild from the fsync'd journal, then keep
+        // journaling the rest of the replay to the same file.
+        let recovery = recover(Path::new(journal_file), &trace).map_err(|e| e.to_string())?;
+        let mut handle =
+            Journal::open_append(Path::new(journal_file)).map_err(|e| e.to_string())?;
+        handle
+            .append(&JournalRecord::Recovered { cursor: recovery.runtime.cursor() })
+            .map_err(|e| e.to_string())?;
+        journal = Some(handle);
+        recovery.runtime
+    } else if let Some(snap_path) = args.str_opt("resume") {
+        let snap_text = std::fs::read_to_string(snap_path)
+            .map_err(|e| format!("reading `{snap_path}`: {e}"))?;
+        let snapshot = RuntimeSnapshot::from_json(&snap_text).map_err(|e| e.to_string())?;
+        Runtime::restore(snapshot, &trace).map_err(|e| e.to_string())?
+    } else {
+        let config = runtime_config_from(args)?;
+        if let Some(journal_file) = journal_path {
+            journal = Some(
+                Journal::create(Path::new(journal_file), &trace, &config)
+                    .map_err(|e| e.to_string())?,
+            );
         }
-        None => {
-            let policy_name = args.str_or("policy", "greedy");
-            let policy = ReassignPolicy::from_name(policy_name)
-                .ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
-            let refresh = args.num_or("refresh-every", 0u64)?;
-            let config = RuntimeConfig {
-                policy,
-                seed: args.num_or("seed", 42u64)?,
-                migration_budget: args.num_or("budget", 4usize)?,
-                refresh_every: (refresh > 0).then_some(refresh),
-                full_recompute: args.has("full-recompute"),
-                ..RuntimeConfig::default()
-            };
-            Runtime::from_trace(&trace, config).map_err(|e| e.to_string())?
-        }
+        Runtime::from_trace(&trace, config).map_err(|e| e.to_string())?
     };
 
+    let snapshot_every = args.num_or("snapshot-every", 5u64)?;
     let stop_after = args.num_or("stop-after", u64::MAX)?;
     let end = trace.events.len().min(usize::try_from(stop_after).unwrap_or(usize::MAX));
     while (runtime.cursor() as usize) < end {
         let index = runtime.cursor() as usize;
         runtime.step(index, &trace.events[index]).map_err(|e| e.to_string())?;
+        if let Some(handle) = journal.as_mut() {
+            handle
+                .append(&JournalRecord::Step { index: index as u64 })
+                .map_err(|e| e.to_string())?;
+            if snapshot_every > 0 && runtime.cursor() % snapshot_every == 0 {
+                handle
+                    .append(&JournalRecord::Snapshot { snapshot: runtime.snapshot() })
+                    .map_err(|e| e.to_string())?;
+            }
+        }
     }
 
     if let Some(snap_path) = args.str_opt("snapshot-out") {
@@ -288,6 +349,66 @@ fn run_trace_report(args: &Args) -> Result<String, String> {
 
     serde_json::to_string_pretty(&runtime.report_json(args.has("timing")))
         .map_err(|e| e.to_string())
+}
+
+/// `tacc chaos`
+///
+/// Generates an adversarial fault schedule, replays it through the
+/// runtime under crash injection (journaled, hard-killed every
+/// `--crash-every` events, recovered from the journal), and prints the
+/// survival report. Exits non-zero unless the recovered run is
+/// byte-identical to an uninterrupted reference and no invariant was
+/// violated along the way.
+pub fn chaos(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let (json, byte_identical) = chaos_report(&args)?;
+    println!("{json}");
+    if !byte_identical {
+        return Err("crash recovery diverged from the uninterrupted reference run".to_owned());
+    }
+    Ok(())
+}
+
+fn chaos_report(args: &Args) -> Result<(String, bool), String> {
+    let seed = args.num_or("seed", 42u64)?;
+    let scenario = TraceScenario {
+        family: family_by_name(args.str_or("family", "random-geometric"))?,
+        num_iot: args.num_or("devices", 24usize)?,
+        num_servers: args.num_or("servers", 4usize)?,
+        load_factor: args.num_or("load", 0.7f64)?,
+        seed,
+    };
+    let profile_name = args.str_or("profile", "mixed");
+    let profile = ChaosProfile::from_name(profile_name).ok_or_else(|| {
+        let known: Vec<&str> = ChaosProfile::ALL.iter().map(|p| p.name()).collect();
+        format!("unknown chaos profile `{profile_name}` (one of: {})", known.join(", "))
+    })?;
+    let trace = ChaosGenerator::new(scenario, profile)
+        .num_events(args.num_or("events", 100usize)?)
+        .mean_gap_ms(args.num_or("mean-gap-ms", 50.0f64)?)
+        .burst(args.num_or("burst", 3usize)?)
+        .generate(seed)
+        .map_err(|e| e.to_string())?;
+
+    let plan = CrashPlan {
+        config: runtime_config_from(args)?,
+        crash_every: args.num_or("crash-every", 7u64)?,
+        snapshot_every: args.num_or("snapshot-every", 5u64)?,
+    };
+    let keep_journal = args.str_opt("journal").is_some();
+    let journal_path = match args.str_opt("journal") {
+        Some(path) => std::path::PathBuf::from(path),
+        None => {
+            std::env::temp_dir().join(format!("tacc-chaos-{}-{seed}.jsonl", std::process::id()))
+        }
+    };
+    let report = run_with_crashes(&trace, &plan, &journal_path).map_err(|e| e.to_string())?;
+    if !keep_journal {
+        std::fs::remove_file(&journal_path).ok();
+    }
+    let json =
+        serde_json::to_string_pretty(&report.to_json()).expect("chaos reports are serializable");
+    Ok((json, report.byte_identical))
 }
 
 /// `tacc bench-report`
@@ -534,6 +655,92 @@ mod tests {
         run(&["--stop-after", "25", "--snapshot-out", snap_path.to_str().unwrap()]);
         let resumed = run(&["--resume", snap_path.to_str().unwrap()]);
         assert_eq!(whole, resumed);
+    }
+
+    #[test]
+    fn journaled_run_trace_recovers_byte_identically() {
+        let dir = std::env::temp_dir().join("tacc-cli-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json");
+        let journal_path = dir.join("journal.jsonl");
+        std::fs::remove_file(&journal_path).ok();
+
+        let gen_args = Args::parse(&argv(&[
+            "--devices",
+            "15",
+            "--servers",
+            "3",
+            "--events",
+            "40",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        std::fs::write(&trace_path, gen_trace_json(&gen_args).unwrap()).unwrap();
+
+        let trace_flag = trace_path.to_str().unwrap();
+        let journal_flag = journal_path.to_str().unwrap();
+        let run = |extra: &[&str]| {
+            let mut a: Vec<&str> = vec!["--trace", trace_flag, "--seed", "7"];
+            a.extend_from_slice(extra);
+            run_trace_report(&Args::parse(&argv(&a)).unwrap()).unwrap()
+        };
+
+        let whole = run(&[]);
+        // Journal the first 23 events, "crash", then recover from the
+        // journal and finish: byte-identical to the uninterrupted run.
+        run(&["--journal", journal_flag, "--stop-after", "23"]);
+        let recovered = run(&["--journal", journal_flag, "--recover"]);
+        assert_eq!(whole, recovered);
+        std::fs::remove_file(&journal_path).ok();
+    }
+
+    #[test]
+    fn run_trace_journal_flag_conflicts_are_reported() {
+        let args = Args::parse(&argv(&["--trace", "t.json", "--recover"])).unwrap();
+        let err = run_trace_report(&args).unwrap_err();
+        assert!(err.contains("--recover needs --journal"), "got: {err}");
+        let args = Args::parse(&argv(&[
+            "--trace",
+            "t.json",
+            "--journal",
+            "j.jsonl",
+            "--resume",
+            "s.json",
+        ]))
+        .unwrap();
+        let err = run_trace_report(&args).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "got: {err}");
+    }
+
+    #[test]
+    fn chaos_smoke_survives_every_profile_name() {
+        for profile in ChaosProfile::ALL {
+            let args = Args::parse(&argv(&[
+                "--profile",
+                profile.name(),
+                "--devices",
+                "10",
+                "--servers",
+                "3",
+                "--events",
+                "20",
+                "--crash-every",
+                "6",
+            ]))
+            .unwrap();
+            let (json, byte_identical) = chaos_report(&args).unwrap();
+            assert!(byte_identical, "{}: recovery diverged", profile.name());
+            assert!(json.contains("\"byte_identical\": true"), "{}: {json}", profile.name());
+        }
+    }
+
+    #[test]
+    fn chaos_rejects_unknown_profiles() {
+        let args = Args::parse(&argv(&["--profile", "nope"])).unwrap();
+        let err = chaos_report(&args).unwrap_err();
+        assert!(err.contains("unknown chaos profile"), "got: {err}");
+        assert!(err.contains("partition"), "the diagnosis lists the profiles: {err}");
     }
 
     #[test]

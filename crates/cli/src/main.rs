@@ -6,6 +6,7 @@
 //! tacc simulate  --devices 100 --servers 10 --deadline-ms 50
 //! tacc gen-trace --devices 100 --servers 10 --events 500 --out trace.json
 //! tacc run-trace --trace trace.json --seed 42
+//! tacc chaos     --profile partition --events 100 --crash-every 7
 //! tacc bench-report --out .
 //! tacc algorithms | tacc families
 //! ```
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         "topology" => commands::topology(rest),
         "gen-trace" => commands::gen_trace(rest),
         "run-trace" => commands::run_trace(rest),
+        "chaos" => commands::chaos(rest),
         "bench-report" => commands::bench_report(rest),
         "algorithms" => commands::algorithms(),
         "families" => commands::families(),

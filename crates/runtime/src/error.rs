@@ -28,6 +28,16 @@ pub enum RuntimeError {
         /// Description of the violation.
         reason: String,
     },
+    /// A runtime invariant (no overload, device conservation, delay
+    /// oracle agreement, snapshot idempotence) was violated. Raised by
+    /// the `TACC_CHECK=1` release-mode checker and by explicit
+    /// [`crate::Runtime::check_invariants`] calls.
+    Invariant {
+        /// Events consumed when the violation was detected.
+        cursor: u64,
+        /// Description of the violated invariant.
+        reason: String,
+    },
     /// Assignment-layer failure (initial solve or instance rebuild).
     Gap(GapError),
     /// Topology-layer failure.
@@ -46,6 +56,9 @@ impl fmt::Display for RuntimeError {
                 write!(f, "invalid trace event {index}: {reason}")
             }
             RuntimeError::InvalidSnapshot { reason } => write!(f, "invalid snapshot: {reason}"),
+            RuntimeError::Invariant { cursor, reason } => {
+                write!(f, "invariant violated after event {cursor}: {reason}")
+            }
             RuntimeError::Gap(e) => write!(f, "assignment failure: {e}"),
             RuntimeError::Topology(e) => write!(f, "topology failure: {e}"),
             RuntimeError::Workload(e) => write!(f, "workload failure: {e}"),
@@ -96,5 +109,8 @@ mod tests {
         assert!(e.to_string().contains("bad"));
         let e = RuntimeError::InvalidEvent { index: 3, reason: "nope".into() };
         assert!(e.to_string().contains("event 3"));
+        let e = RuntimeError::Invariant { cursor: 12, reason: "overload".into() };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("after event 12"));
     }
 }

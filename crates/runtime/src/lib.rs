@@ -22,12 +22,19 @@
 //!    highest-priority-first, and every delay change is followed by a
 //!    budgeted rebalance. When capacity runs out the runtime *degrades
 //!    gracefully* — it sheds the lowest-priority devices, reports them in
-//!    [`CoreMetrics::shed_devices`], and never panics. An optional
-//!    periodic policy refresh re-solves the active sub-instance with the
-//!    configured solver (greedy or the paper's Q-learning).
+//!    [`CoreMetrics::shed_devices`], and never panics. A device cut off
+//!    from every alive server by a network partition enters the distinct
+//!    [`DeviceState::Unreachable`] state and returns, highest priority
+//!    first, when the partition heals. An optional periodic policy
+//!    refresh re-solves the active sub-instance with the configured
+//!    solver (greedy or the paper's Q-learning).
 //! 3. **The evidence**: [`RuntimeMetrics`] counts events, migrations and
 //!    evictions, measures incremental-vs-full repair savings, and keeps
-//!    per-event-kind latency histograms.
+//!    per-event-kind latency histograms. With `TACC_CHECK=1` in the
+//!    environment, [`Runtime::step`] additionally verifies the hard
+//!    invariants — no overload, device conservation, delay columns
+//!    matching a full recompute, snapshot idempotence — after every
+//!    event, even in release builds (see [`check`]).
 //!
 //! The whole runtime state is serializable: [`Runtime::snapshot`] /
 //! [`Runtime::restore`] round-trip through JSON such that an interrupted
@@ -63,14 +70,16 @@
 // The event cursor is bounded by `Vec` lengths; narrowing is safe.
 #![allow(clippy::cast_possible_truncation)]
 
+pub mod check;
 mod error;
 pub mod maintainer;
 pub mod metrics;
 mod runtime;
 mod snapshot;
 
+pub use check::InvariantChecker;
 pub use error::RuntimeError;
 pub use maintainer::DelayMaintainer;
 pub use metrics::{CoreMetrics, EventCounts, LatencyHistogram, RuntimeMetrics};
-pub use runtime::{ReassignPolicy, Runtime, RuntimeConfig};
+pub use runtime::{DeviceState, ReassignPolicy, Runtime, RuntimeConfig};
 pub use snapshot::RuntimeSnapshot;

@@ -4,9 +4,10 @@
 //! effective per-link cost array, and repairs both in place as link
 //! latencies drift and servers fail or recover. In incremental mode only
 //! the shortest-path trees actually affected by a change are re-relaxed
-//! (debug builds assert agreement with a from-scratch Dijkstra after
-//! every repair); the full-recompute fallback rebuilds every tree on
-//! every change and serves as the correctness oracle and worst-case
+//! (debug builds — and release builds running under `TACC_CHECK=1`, see
+//! [`crate::check`] — assert agreement with a from-scratch Dijkstra
+//! after every repair); the full-recompute fallback rebuilds every tree
+//! on every change and serves as the correctness oracle and worst-case
 //! bound.
 //!
 //! Server failure is modeled as *node* failure (matching
@@ -203,11 +204,17 @@ impl DelayMaintainer {
                 total.absorb(tree.rebuild(graph, &self.costs));
             } else {
                 total.absorb(tree.apply_cost_change(graph, &self.costs, link, old_cost));
-                debug_assert!(
-                    tree.matches_full(graph, &self.costs),
-                    "incremental repair diverged from full Dijkstra for server at {:?}",
-                    tree.source()
-                );
+                // The full-recompute oracle: always in debug builds, and
+                // in release builds when TACC_CHECK=1 — so an
+                // incremental-repair drift bug cannot hide behind
+                // `--release` (see `crate::check`).
+                if cfg!(debug_assertions) || crate::check::enabled() {
+                    assert!(
+                        tree.matches_full(graph, &self.costs),
+                        "incremental repair diverged from full Dijkstra for server at {:?}",
+                        tree.source()
+                    );
+                }
             }
         }
         total

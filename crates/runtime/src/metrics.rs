@@ -73,6 +73,10 @@ pub struct CoreMetrics {
     pub evictions: u64,
     /// Shed devices brought back once capacity freed up.
     pub readmissions: u64,
+    /// Times a wanted device entered the `Unreachable` state (no alive
+    /// server at finite delay — a network partition, not a capacity
+    /// shortage). Re-admission on heal counts under `readmissions`.
+    pub unreachable_transitions: u64,
     /// Devices shed, in eviction order (repeats possible if a device is
     /// re-joined and shed again).
     pub shed_devices: Vec<usize>,

@@ -16,7 +16,7 @@ use serde_json::{json, Value};
 use tacc_core::{Algorithm, DynamicCluster};
 use tacc_gap::GapInstance;
 use tacc_topology::{DelayModel, LinkId, Topology};
-use tacc_workload::{Scenario, TimedEvent, Trace, TraceEvent};
+use tacc_workload::{Scenario, TimedEvent, Trace, TraceEvent, TraceScenario};
 
 use crate::maintainer::DelayMaintainer;
 use crate::metrics::RuntimeMetrics;
@@ -110,8 +110,29 @@ impl Default for RuntimeConfig {
 enum Placement {
     /// Placed on this server (possibly after shedding others).
     Placed(usize),
-    /// No alive server could hold it; the device itself was shed.
+    /// Alive servers existed at finite delay, but none could make room;
+    /// the device itself was shed (a capacity shortage).
     Shed,
+    /// No alive server is reachable at finite delay at all — the device
+    /// is partitioned away, not shed for capacity.
+    Unreachable,
+}
+
+/// Where a device stands in the runtime's conservation law: every device
+/// is in exactly one of these states at every event boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceState {
+    /// Actively served by this server.
+    Assigned(usize),
+    /// Wants service and could reach an alive server, but capacity ran
+    /// out; re-admitted (highest priority first) when room frees up.
+    Shed,
+    /// Wants service but no alive server is reachable at finite delay —
+    /// a network partition, not a capacity shortage. Re-admitted
+    /// (highest priority first) when the partition heals.
+    Unreachable,
+    /// Left the deployment (or never joined); not re-admitted.
+    Departed,
 }
 
 /// The online reconfiguration runtime. See the crate-level docs for the
@@ -119,14 +140,23 @@ enum Placement {
 #[derive(Debug, Clone)]
 pub struct Runtime {
     config: RuntimeConfig,
+    /// The trace scenario this runtime was built from, when known (set by
+    /// [`Runtime::from_trace`], `None` under [`Runtime::new`]). Travels in
+    /// snapshots so restore can reject a snapshot from a different trace.
+    scenario: Option<TraceScenario>,
     topology: Topology,
     maintainer: DelayMaintainer,
     cluster: DynamicCluster,
     priorities: Vec<f64>,
     /// Which devices currently *want* service. Differs from the cluster's
-    /// active set exactly on shed devices: they are unassigned but still
-    /// wanted, and are re-admitted when capacity frees up.
+    /// active set exactly on shed and unreachable devices: they are
+    /// unassigned but still wanted, and are re-admitted when capacity or
+    /// connectivity returns.
     wanted: Vec<bool>,
+    /// Which wanted-but-unassigned devices currently have no alive server
+    /// at finite delay (see [`DeviceState::Unreachable`]). Recomputed
+    /// after every event by `reclassify`.
+    unreachable: Vec<bool>,
     /// Trace events consumed so far (the resume point of snapshots).
     cursor: u64,
     metrics: RuntimeMetrics,
@@ -145,7 +175,9 @@ impl Runtime {
     pub fn from_trace(trace: &Trace, config: RuntimeConfig) -> Result<Runtime, RuntimeError> {
         trace.validate()?;
         let scenario = trace.scenario.build()?;
-        Runtime::new(&scenario, config)
+        let mut runtime = Runtime::new(&scenario, config)?;
+        runtime.scenario = Some(trace.scenario.clone());
+        Ok(runtime)
     }
 
     /// Builds the runtime over an already-materialized scenario.
@@ -191,11 +223,13 @@ impl Runtime {
 
         Ok(Runtime {
             config,
+            scenario: None,
             topology: scenario.topology().clone(),
             maintainer,
             cluster,
             priorities,
             wanted: vec![true; n],
+            unreachable: vec![false; n],
             cursor: 0,
             metrics: RuntimeMetrics::default(),
         })
@@ -227,12 +261,16 @@ impl Runtime {
     pub fn step(&mut self, index: usize, timed: &TimedEvent) -> Result<(), RuntimeError> {
         let started = Instant::now();
         self.apply(index, &timed.event)?;
+        self.reclassify();
         self.metrics.record_latency(&timed.event, started.elapsed());
         self.cursor += 1;
         if let Some(every) = self.config.refresh_every {
             if every > 0 && self.cursor % every == 0 {
                 self.refresh();
             }
+        }
+        if crate::check::enabled() {
+            crate::check::InvariantChecker::default().check(self)?;
         }
         Ok(())
     }
@@ -376,12 +414,19 @@ impl Runtime {
 
     /// Places an inactive device on the best alive server, shedding
     /// strictly-lower-priority devices if that is the only way to make
-    /// room, or shedding the device itself as a last resort. Never
-    /// panics and never overloads a server.
+    /// room, or shedding the device itself as a last resort. A device
+    /// with no alive server at finite delay at all is *unreachable*, not
+    /// shed — it counts under a separate metric and is not an eviction.
+    /// Never panics and never overloads a server.
     fn place_with_shedding(&mut self, device: usize) -> Placement {
         let m = self.cluster.instance().num_servers();
         let delay = |j: usize| self.cluster.instance().delay(device, j);
         let usable = |j: usize| !self.maintainer.is_failed(j) && delay(j).is_finite();
+
+        // Partitioned away: nothing to place on, nothing to shed for.
+        if !(0..m).any(usable) {
+            return Placement::Unreachable;
+        }
 
         // Preferred path: the cheapest alive server with room.
         let mut best: Option<(f64, usize)> = None;
@@ -444,6 +489,33 @@ impl Runtime {
         self.metrics.core.evictions += 1;
         self.metrics.core.shed_devices.push(device);
         Placement::Shed
+    }
+
+    /// Whether any alive server can reach `device` at finite delay.
+    fn has_usable_server(&self, device: usize) -> bool {
+        let m = self.cluster.instance().num_servers();
+        (0..m).any(|j| {
+            !self.maintainer.is_failed(j) && self.cluster.instance().delay(device, j).is_finite()
+        })
+    }
+
+    /// Recomputes the unreachable set after an event: a device is
+    /// unreachable iff it wants service, is not assigned, and no alive
+    /// server can reach it at finite delay. Counts false→true flips (a
+    /// device staying unreachable across events counts once); devices
+    /// that become reachable again drop back to `Shed` until
+    /// [`Runtime::readmit`] finds them room.
+    fn reclassify(&mut self) {
+        let n = self.cluster.instance().num_devices();
+        for device in 0..n {
+            let stranded = self.wanted[device]
+                && !self.cluster.is_active(device)
+                && !self.has_usable_server(device);
+            if stranded && !self.unreachable[device] {
+                self.metrics.core.unreachable_transitions += 1;
+            }
+            self.unreachable[device] = stranded;
+        }
     }
 
     /// One migration-budgeted greedy rebalance pass.
@@ -553,6 +625,136 @@ impl Runtime {
         &self.metrics
     }
 
+    /// Whether `device` currently wants service (shed and unreachable
+    /// devices still want it; departed ones do not).
+    pub fn is_wanted(&self, device: usize) -> bool {
+        self.wanted[device]
+    }
+
+    /// Whether `device` is wanted but has no alive server at finite delay.
+    pub fn is_unreachable(&self, device: usize) -> bool {
+        self.unreachable[device]
+    }
+
+    /// Which of the four conservation states `device` is in.
+    pub fn device_state(&self, device: usize) -> DeviceState {
+        if let Some(server) = self.cluster.server_of(device) {
+            DeviceState::Assigned(server)
+        } else if !self.wanted[device] {
+            DeviceState::Departed
+        } else if self.unreachable[device] {
+            DeviceState::Unreachable
+        } else {
+            DeviceState::Shed
+        }
+    }
+
+    /// Devices currently in [`DeviceState::Shed`].
+    pub fn shed_count(&self) -> usize {
+        (0..self.cluster.instance().num_devices())
+            .filter(|&d| self.device_state(d) == DeviceState::Shed)
+            .count()
+    }
+
+    /// Devices currently in [`DeviceState::Unreachable`].
+    pub fn unreachable_count(&self) -> usize {
+        self.unreachable.iter().filter(|&&u| u).count()
+    }
+
+    /// Devices currently in [`DeviceState::Departed`].
+    pub fn departed_count(&self) -> usize {
+        self.wanted.iter().filter(|&&w| !w).count()
+    }
+
+    /// The worst overload across servers, in demand units: `max(0, load −
+    /// capacity)` maximized over servers. Must stay `0` (up to float
+    /// noise) at every event boundary.
+    pub fn max_overload(&self) -> f64 {
+        let loads = self.cluster.server_loads();
+        (0..self.cluster.instance().num_servers())
+            .map(|j| loads[j] - self.cluster.instance().capacity(j))
+            .fold(0.0, f64::max)
+    }
+
+    /// Verifies the runtime's hard invariants, returning a typed error
+    /// (never panicking) on the first violation. The shallow checks — no
+    /// overloaded server, device conservation (assigned ⊕ shed ⊕
+    /// unreachable ⊕ departed), assignments on alive servers at finite
+    /// delay, the unreachable set agreeing with a recompute, and the
+    /// cluster seeing the maintained delay matrix — are cheap enough to
+    /// run per event. `deep` adds the expensive ones: every shortest-path
+    /// column re-derived from scratch, and a snapshot surviving a JSON
+    /// round-trip bit-for-bit.
+    ///
+    /// [`Runtime::step`] runs this automatically (deep on a sampled
+    /// cadence) when the `TACC_CHECK=1` environment switch is set; see
+    /// [`crate::check`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Invariant`] naming the first violated
+    /// invariant and the cursor it was detected at.
+    pub fn check_invariants(&self, deep: bool) -> Result<(), RuntimeError> {
+        let fail = |reason: String| Err(RuntimeError::Invariant { cursor: self.cursor, reason });
+
+        let overload = self.max_overload();
+        if overload > 1e-9 {
+            return fail(format!("server overloaded by {overload} demand units"));
+        }
+
+        let n = self.cluster.instance().num_devices();
+        for device in 0..n {
+            if let Some(server) = self.cluster.server_of(device) {
+                if !self.wanted[device] {
+                    return fail(format!("device {device} is assigned but departed"));
+                }
+                if self.unreachable[device] {
+                    return fail(format!(
+                        "device {device} is both assigned and marked unreachable"
+                    ));
+                }
+                if self.maintainer.is_failed(server) {
+                    return fail(format!("device {device} assigned to failed server {server}"));
+                }
+                if !self.cluster.instance().delay(device, server).is_finite() {
+                    return fail(format!(
+                        "device {device} assigned to server {server} at infinite delay"
+                    ));
+                }
+            } else {
+                let stranded = self.wanted[device] && !self.has_usable_server(device);
+                if self.unreachable[device] != stranded {
+                    return fail(format!(
+                        "device {device} unreachable flag disagrees with the topology \
+                         (flag {}, recomputed {stranded})",
+                        self.unreachable[device]
+                    ));
+                }
+            }
+        }
+
+        if self.cluster.instance().delays() != self.maintainer.matrix() {
+            return fail("cluster delay matrix lags the maintained matrix".to_owned());
+        }
+
+        if deep {
+            if !self.maintainer.matches_full_recompute(&self.topology) {
+                return fail("incremental delay columns diverge from a full recompute".to_owned());
+            }
+            let snapshot = self.snapshot();
+            match RuntimeSnapshot::from_json(&snapshot.to_json()) {
+                Ok(round) if round == snapshot => {}
+                Ok(_) => {
+                    return fail("snapshot JSON round-trip is not idempotent".to_owned());
+                }
+                Err(e) => {
+                    return fail(format!("snapshot does not survive its own JSON: {e}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The deterministic end-of-run report: cursor, per-device
     /// assignment, delay/feasibility summary and metrics.
     /// `include_timing` appends the machine-dependent latency histograms
@@ -568,6 +770,9 @@ impl Runtime {
         let mut value = json!({
             "cursor": self.cursor,
             "active_devices": self.cluster.active_count(),
+            "shed_devices": self.shed_count(),
+            "unreachable_devices": self.unreachable_count(),
+            "departed_devices": self.departed_count(),
             "alive_servers": self.maintainer.alive_count(),
             "total_delay_ms": self.cluster.total_delay(),
             "feasible": self.cluster.is_feasible()
@@ -586,11 +791,13 @@ impl Runtime {
     pub fn snapshot(&self) -> RuntimeSnapshot {
         RuntimeSnapshot {
             version: RuntimeSnapshot::FORMAT_VERSION,
+            scenario: self.scenario.clone(),
             config: self.config.clone(),
             topology: self.topology.clone(),
             maintainer: self.maintainer.clone(),
             assignment: self.cluster.assignment().clone(),
             wanted: self.wanted.clone(),
+            unreachable: self.unreachable.clone(),
             migrations: self.cluster.migrations(),
             cursor: self.cursor,
             metrics: self.metrics.core.clone(),
@@ -616,6 +823,13 @@ impl Runtime {
             });
         }
         trace.validate()?;
+        if let Some(snapped) = &snapshot.scenario {
+            if *snapped != trace.scenario {
+                return Err(RuntimeError::InvalidSnapshot {
+                    reason: "snapshot scenario does not match the trace".to_owned(),
+                });
+            }
+        }
         let scenario = trace.scenario.build()?;
         if snapshot.topology.num_iot() != scenario.topology().num_iot()
             || snapshot.topology.num_servers() != scenario.topology().num_servers()
@@ -648,16 +862,23 @@ impl Runtime {
                 reason: "snapshot wanted set does not match the scenario".to_owned(),
             });
         }
+        if snapshot.unreachable.len() != n {
+            return Err(RuntimeError::InvalidSnapshot {
+                reason: "snapshot unreachable set does not match the scenario".to_owned(),
+            });
+        }
         let instance = scenario.instance().with_delays(snapshot.maintainer.matrix().clone())?;
         let cluster =
             DynamicCluster::from_partial(instance, snapshot.assignment, snapshot.migrations)?;
         Ok(Runtime {
             config: snapshot.config,
+            scenario: snapshot.scenario,
             topology: snapshot.topology,
             maintainer: snapshot.maintainer,
             cluster,
             priorities,
             wanted: snapshot.wanted,
+            unreachable: snapshot.unreachable,
             cursor: snapshot.cursor,
             metrics: RuntimeMetrics { core: snapshot.metrics, ..RuntimeMetrics::default() },
         })
@@ -853,6 +1074,86 @@ mod tests {
         let mut b = Runtime::from_trace(&trace, config).unwrap();
         b.run(&trace).unwrap();
         assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn failing_every_server_strands_devices_as_unreachable_not_shed() {
+        let trace = small_trace(41, 0);
+        let mut rt = Runtime::from_trace(&trace, RuntimeConfig::default()).unwrap();
+        let n = rt.cluster().instance().num_devices();
+        let m = rt.cluster().instance().num_servers();
+        for (i, server) in (0..m).enumerate() {
+            rt.step(i, &TimedEvent { time_ms: i as f64, event: TraceEvent::ServerFail { server } })
+                .unwrap();
+        }
+        assert_eq!(rt.cluster().active_count(), 0);
+        assert_eq!(rt.unreachable_count(), n, "with no servers alive everyone is partitioned");
+        assert_eq!(rt.shed_count(), 0, "a partition is not a capacity shortage");
+        assert_eq!(rt.metrics().core.unreachable_transitions as usize, n);
+        rt.check_invariants(true).unwrap();
+        // Healing re-admits everyone (highest priority first).
+        for (i, server) in (0..m).enumerate() {
+            let index = m + i;
+            rt.step(
+                index,
+                &TimedEvent { time_ms: index as f64, event: TraceEvent::ServerRecover { server } },
+            )
+            .unwrap();
+        }
+        assert_eq!(rt.cluster().active_count(), n);
+        assert_eq!(rt.unreachable_count(), 0);
+        rt.check_invariants(true).unwrap();
+    }
+
+    #[test]
+    fn device_states_partition_the_fleet() {
+        let trace = small_trace(7, 0);
+        let mut rt = Runtime::from_trace(&trace, RuntimeConfig::default()).unwrap();
+        let n = rt.cluster().instance().num_devices();
+        rt.step(0, &TimedEvent { time_ms: 0.0, event: TraceEvent::DeviceLeave { device: 2 } })
+            .unwrap();
+        assert_eq!(rt.device_state(2), DeviceState::Departed);
+        assert!(matches!(rt.device_state(0), DeviceState::Assigned(_)));
+        let counted = rt.cluster().active_count()
+            + rt.shed_count()
+            + rt.unreachable_count()
+            + rt.departed_count();
+        assert_eq!(counted, n, "the four states partition the devices");
+        rt.check_invariants(true).unwrap();
+    }
+
+    #[test]
+    fn invariants_hold_along_a_generated_trace() {
+        let trace = small_trace(31, 60);
+        let config = RuntimeConfig { refresh_every: Some(16), ..RuntimeConfig::default() };
+        let mut rt = Runtime::from_trace(&trace, config).unwrap();
+        for index in 0..trace.events.len() {
+            rt.step(index, &trace.events[index]).unwrap();
+            let deep = rt.cursor() % 8 == 0;
+            rt.check_invariants(deep).unwrap();
+        }
+    }
+
+    #[test]
+    fn restore_rejects_a_snapshot_from_a_different_trace() {
+        let trace = small_trace(5, 10);
+        let mut rt = Runtime::from_trace(&trace, RuntimeConfig::default()).unwrap();
+        rt.run(&trace).unwrap();
+        let snapshot = rt.snapshot();
+        let other = TraceGenerator::new(TraceScenario {
+            num_iot: 20,
+            num_servers: 4,
+            seed: 999,
+            ..TraceScenario::default()
+        })
+        .num_events(10)
+        .generate(1)
+        .unwrap();
+        let err = Runtime::restore(snapshot, &other).unwrap_err();
+        let RuntimeError::InvalidSnapshot { reason } = &err else {
+            panic!("expected InvalidSnapshot, got {err:?}");
+        };
+        assert!(reason.contains("scenario does not match"), "got: {reason}");
     }
 
     #[test]

@@ -3,13 +3,21 @@
 //! A [`RuntimeSnapshot`] captures everything [`crate::Runtime`] needs to
 //! resume a trace replay bit-for-bit: the configuration, the drifted
 //! topology, the delay-maintenance state (trees, disabled links,
-//! failures), the assignment, and the deterministic metrics. Demands and
+//! failures), the assignment, the degradation sets (wanted and
+//! unreachable devices), and the deterministic metrics. Demands and
 //! capacities are deliberately *not* stored — they never change, so the
 //! restore path re-derives them from the trace's scenario.
+//!
+//! Format version 2 adds the trace scenario (so restore can reject a
+//! snapshot replayed against the wrong trace) and the unreachable set
+//! (partition/degradation state). Version-1 snapshots are rejected with
+//! a typed error naming both versions.
 
 use serde::{Deserialize, Serialize};
+use serde_json::Value;
 use tacc_gap::Assignment;
 use tacc_topology::Topology;
+use tacc_workload::TraceScenario;
 
 use crate::maintainer::DelayMaintainer;
 use crate::metrics::CoreMetrics;
@@ -22,6 +30,11 @@ use crate::RuntimeError;
 pub struct RuntimeSnapshot {
     /// Snapshot format version; restore rejects other versions.
     pub version: u32,
+    /// The trace scenario the runtime was built from, when known
+    /// (`None` for runtimes constructed directly over a [`tacc_workload::Scenario`]).
+    /// Restore rejects a snapshot whose scenario disagrees with the
+    /// trace it is replayed against.
+    pub scenario: Option<TraceScenario>,
     /// The runtime's configuration, restored verbatim.
     pub config: RuntimeConfig,
     /// The topology including all applied latency drifts.
@@ -31,9 +44,13 @@ pub struct RuntimeSnapshot {
     pub maintainer: DelayMaintainer,
     /// The device → server assignment at the snapshot point.
     pub assignment: Assignment,
-    /// Which devices want service (shed devices stay wanted and are
-    /// re-admitted when capacity frees up).
+    /// Which devices want service (shed and unreachable devices stay
+    /// wanted and are re-admitted when capacity or connectivity return).
     pub wanted: Vec<bool>,
+    /// Which wanted-but-unassigned devices currently have no alive
+    /// server at finite delay (partitioned away, as opposed to shed for
+    /// capacity).
+    pub unreachable: Vec<bool>,
     /// The cluster's internal migration counter (kept so
     /// `DynamicCluster::migrations` stays continuous across a restore).
     pub migrations: u64,
@@ -46,7 +63,7 @@ pub struct RuntimeSnapshot {
 
 impl RuntimeSnapshot {
     /// The snapshot format this build writes and reads.
-    pub const FORMAT_VERSION: u32 = 1;
+    pub const FORMAT_VERSION: u32 = 2;
 
     /// Serializes the snapshot to deterministic, pretty-printed JSON.
     pub fn to_json(&self) -> String {
@@ -57,13 +74,56 @@ impl RuntimeSnapshot {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::InvalidSnapshot`] on malformed JSON or a
-    /// shape mismatch.
+    /// Returns [`RuntimeError::InvalidSnapshot`] on malformed JSON, a
+    /// format-version mismatch (diagnosed before the shape is checked,
+    /// so old snapshots get a clear message instead of a field error),
+    /// or a shape mismatch.
     pub fn from_json(text: &str) -> Result<RuntimeSnapshot, RuntimeError> {
-        let value = serde_json::from_str(text).map_err(|e| RuntimeError::InvalidSnapshot {
-            reason: format!("malformed JSON: {e}"),
+        let value: Value = serde_json::from_str(text).map_err(|e| {
+            RuntimeError::InvalidSnapshot { reason: format!("malformed JSON: {e}") }
         })?;
+        if let Some(Value::UInt(version)) = value.get("version") {
+            if *version != u64::from(RuntimeSnapshot::FORMAT_VERSION) {
+                return Err(RuntimeError::InvalidSnapshot {
+                    reason: format!(
+                        "snapshot format version {} (this build reads {})",
+                        version,
+                        RuntimeSnapshot::FORMAT_VERSION
+                    ),
+                });
+            }
+        }
         serde_json::from_value(&value)
             .map_err(|e| RuntimeError::InvalidSnapshot { reason: e.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malformed_json_is_a_typed_error() {
+        let err = RuntimeSnapshot::from_json("{not json").unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidSnapshot { .. }));
+        assert!(err.to_string().contains("malformed JSON"));
+    }
+
+    #[test]
+    fn version_mismatch_is_diagnosed_before_shape() {
+        // A version-1 snapshot lacks the v2 fields; the version check
+        // must fire first and name both versions.
+        let err = RuntimeSnapshot::from_json(r#"{"version": 1, "cursor": 3}"#).unwrap_err();
+        let RuntimeError::InvalidSnapshot { reason } = &err else {
+            panic!("expected InvalidSnapshot, got {err:?}");
+        };
+        assert!(reason.contains("version 1"), "got: {reason}");
+        assert!(reason.contains("reads 2"), "got: {reason}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error() {
+        let err = RuntimeSnapshot::from_json(r#"{"version": 2}"#).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidSnapshot { .. }));
     }
 }

@@ -260,6 +260,14 @@ impl DelayMatrix {
         self.data.iter().all(|d| d.is_finite())
     }
 
+    /// Whether `iot` can reach any *usable* server at finite delay, where
+    /// `usable` filters the columns (e.g. to the servers a runtime still
+    /// considers alive). An `iot` for which this is `false` is partitioned
+    /// away from the surviving cluster.
+    pub fn any_finite_in_row(&self, iot: usize, usable: impl Fn(usize) -> bool) -> bool {
+        self.row(iot).iter().enumerate().any(|(j, d)| usable(j) && d.is_finite())
+    }
+
     /// Mean of all entries; `NaN` for an empty matrix.
     pub fn mean_delay(&self) -> f64 {
         self.data.iter().sum::<f64>() / self.data.len() as f64
@@ -270,6 +278,17 @@ impl DelayMatrix {
 mod tests {
     use super::*;
     use crate::{Graph, NodeKind};
+
+    #[test]
+    fn any_finite_in_row_respects_the_usable_filter() {
+        let m = DelayMatrix::from_rows(vec![
+            vec![1.0, f64::INFINITY],
+            vec![f64::INFINITY, f64::INFINITY],
+        ]);
+        assert!(m.any_finite_in_row(0, |_| true));
+        assert!(!m.any_finite_in_row(0, |j| j == 1), "only unreachable column usable");
+        assert!(!m.any_finite_in_row(1, |_| true), "row of infinities is partitioned");
+    }
 
     #[test]
     fn link_delay_composes_latency_transmission_overhead() {

@@ -219,6 +219,19 @@ impl Trace {
         trace.validate()?;
         Ok(trace)
     }
+
+    /// A stable 64-bit fingerprint of the trace (FNV-1a over the
+    /// canonical JSON rendering). Two traces fingerprint equal iff their
+    /// JSON is byte-identical; crash-recovery journals store it so a
+    /// resume against the wrong trace is caught immediately.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.to_json().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
 }
 
 /// Seeded generator of consistent [`Trace`]s.
@@ -458,6 +471,19 @@ mod tests {
         a.validate().unwrap();
         let c = g.generate(43).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminates() {
+        let g = TraceGenerator::new(scenario()).num_events(40);
+        let a = g.generate(42).unwrap();
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        assert_eq!(a.fingerprint(), Trace::from_json(&a.to_json()).unwrap().fingerprint());
+        let b = g.generate(43).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut truncated = a.clone();
+        truncated.events.pop();
+        assert_ne!(a.fingerprint(), truncated.fingerprint());
     }
 
     #[test]
