@@ -124,10 +124,16 @@ impl Journal {
         let value = serde_json::to_value(record);
         let mut line = serde_json::to_string(&value).expect("journal records are serializable");
         line.push('\n');
-        self.file
-            .write_all(line.as_bytes())
-            .and_then(|()| self.file.sync_data())
-            .map_err(|e| ChaosError::io(&self.path, &e))
+        tacc_obs::counter_add("journal.records", 1);
+        self.file.write_all(line.as_bytes()).map_err(|e| ChaosError::io(&self.path, &e))?;
+        if tacc_obs::enabled() {
+            let started = std::time::Instant::now();
+            let synced = self.file.sync_data();
+            tacc_obs::observe_time("journal.fsync", started.elapsed());
+            synced.map_err(|e| ChaosError::io(&self.path, &e))
+        } else {
+            self.file.sync_data().map_err(|e| ChaosError::io(&self.path, &e))
+        }
     }
 }
 

@@ -27,6 +27,8 @@ USAGE:
   tacc run-trace [OPTIONS]   replay a trace through the online runtime
   tacc chaos     [OPTIONS]   adversarial faults + crash injection, prove recovery
   tacc bench-report [OPTIONS] measure serial vs parallel hot paths, write JSON
+  tacc obs-report [OPTIONS]  replay an instrumented workload, print the
+                             phase profile and metric registry
   tacc algorithms            list algorithm names
   tacc families              list topology families
 
@@ -63,6 +65,15 @@ run-trace only:
   --snapshot-every N journal a full snapshot every N events [default 5]
   --recover          resume from --journal FILE after a crash
   --timing           include wall-clock latency histograms in the report
+
+solve / run-trace:
+  --obs-out FILE     write the deterministic observability stream (JSONL,
+                     stable schema; implies TACC_OBS=1). Byte-identical
+                     across replays of the same trace and seed.
+
+obs-report only (replays --trace when given, otherwise generates a trace
+from the gen-trace flags; always runs with observability on):
+  --json             machine-readable profile + registry instead of text
 
 chaos only:
   --profile NAME     correlated-failures | flapping | capacity-crunch |
@@ -124,6 +135,11 @@ fn algorithm_from(args: &Args) -> Result<Algorithm, String> {
 /// `tacc solve`
 pub fn solve(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
+    let obs_out = args.str_opt("obs-out");
+    if obs_out.is_some() {
+        tacc_obs::set_enabled(true);
+        tacc_obs::reset();
+    }
     let (scenario, seed) = scenario_from(&args)?;
     let algorithm = algorithm_from(&args)?;
     let config = ClusterConfigurator::from_scenario(&scenario)
@@ -131,6 +147,9 @@ pub fn solve(argv: &[String]) -> Result<(), String> {
         .seed(seed)
         .configure()
         .map_err(|e| e.to_string())?;
+    if let Some(path) = obs_out {
+        write_solve_stream(Path::new(path), &config, seed).map_err(|e| e.to_string())?;
+    }
     if args.has("json") {
         let assignment: Vec<usize> =
             (0..config.instance().num_devices()).map(|i| config.server_for(i)).collect();
@@ -148,6 +167,39 @@ pub fn solve(argv: &[String]) -> Result<(), String> {
         println!("{}", config.report());
     }
     Ok(())
+}
+
+/// Writes the `solve` observability stream: the meta record, one
+/// `solution` record (deterministic solve facts only — wall-clock stays
+/// out so replays are byte-identical), and the closing registry record.
+fn write_solve_stream(
+    path: &Path,
+    config: &tacc_core::ClusterConfiguration,
+    seed: u64,
+) -> std::io::Result<()> {
+    use serde_json::Value;
+    let mut stream = tacc_obs::StreamWriter::create(
+        path,
+        "solve",
+        vec![
+            ("algorithm".to_owned(), Value::Str(config.algorithm_name().to_owned())),
+            ("seed".to_owned(), Value::UInt(seed)),
+            ("devices".to_owned(), Value::UInt(config.instance().num_devices() as u64)),
+            ("servers".to_owned(), Value::UInt(config.instance().num_servers() as u64)),
+        ],
+    )?;
+    let stats = &config.solution().stats;
+    stream.record(
+        "solution",
+        vec![
+            ("feasible".to_owned(), Value::Bool(config.is_feasible())),
+            ("total_delay_ms".to_owned(), Value::Float(config.total_delay_ms())),
+            ("mean_delay_ms".to_owned(), Value::Float(config.mean_delay_ms())),
+            ("iterations".to_owned(), Value::UInt(stats.iterations)),
+            ("evaluations".to_owned(), Value::UInt(stats.evaluations)),
+        ],
+    )?;
+    stream.finish(&tacc_obs::registry_snapshot())
 }
 
 /// `tacc compare`
@@ -281,6 +333,11 @@ fn runtime_config_from(args: &Args) -> Result<RuntimeConfig, String> {
 }
 
 fn run_trace_report(args: &Args) -> Result<String, String> {
+    let obs_out = args.str_opt("obs-out");
+    if obs_out.is_some() {
+        tacc_obs::set_enabled(true);
+        tacc_obs::reset();
+    }
     let journal_path = args.str_opt("journal");
     if args.has("recover") && journal_path.is_none() {
         return Err("--recover needs --journal FILE".to_owned());
@@ -324,6 +381,28 @@ fn run_trace_report(args: &Args) -> Result<String, String> {
         Runtime::from_trace(&trace, config).map_err(|e| e.to_string())?
     };
 
+    use serde_json::Value;
+    let mut stream = match obs_out {
+        Some(path) => Some(
+            tacc_obs::StreamWriter::create(
+                Path::new(path),
+                "run-trace",
+                vec![
+                    (
+                        "trace_fingerprint".to_owned(),
+                        Value::Str(format!("{:#018x}", trace.fingerprint())),
+                    ),
+                    ("events".to_owned(), Value::UInt(trace.events.len() as u64)),
+                    ("policy".to_owned(), Value::Str(runtime.config().policy.name().to_owned())),
+                    ("seed".to_owned(), Value::UInt(runtime.config().seed)),
+                    ("start_cursor".to_owned(), Value::UInt(runtime.cursor())),
+                ],
+            )
+            .map_err(|e| format!("creating `{path}`: {e}"))?,
+        ),
+        None => None,
+    };
+
     let snapshot_every = args.num_or("snapshot-every", 5u64)?;
     let stop_after = args.num_or("stop-after", u64::MAX)?;
     let end = trace.events.len().min(usize::try_from(stop_after).unwrap_or(usize::MAX));
@@ -340,11 +419,43 @@ fn run_trace_report(args: &Args) -> Result<String, String> {
                     .map_err(|e| e.to_string())?;
             }
         }
+        if let Some(s) = stream.as_mut() {
+            s.record(
+                "step",
+                vec![
+                    ("index".to_owned(), Value::UInt(index as u64)),
+                    (
+                        "event".to_owned(),
+                        Value::Str(trace.events[index].event.kind_name().to_owned()),
+                    ),
+                    ("active".to_owned(), Value::UInt(runtime.cluster().active_count() as u64)),
+                    ("total_delay_ms".to_owned(), Value::Float(runtime.cluster().total_delay())),
+                ],
+            )
+            .map_err(|e| e.to_string())?;
+        }
     }
 
     if let Some(snap_path) = args.str_opt("snapshot-out") {
         std::fs::write(snap_path, runtime.snapshot().to_json())
             .map_err(|e| format!("writing `{snap_path}`: {e}"))?;
+    }
+
+    if let Some(mut s) = stream {
+        s.record(
+            "summary",
+            vec![
+                ("cursor".to_owned(), Value::UInt(runtime.cursor())),
+                ("active_devices".to_owned(), Value::UInt(runtime.cluster().active_count() as u64)),
+                ("shed_devices".to_owned(), Value::UInt(runtime.shed_count() as u64)),
+                ("unreachable_devices".to_owned(), Value::UInt(runtime.unreachable_count() as u64)),
+                ("departed_devices".to_owned(), Value::UInt(runtime.departed_count() as u64)),
+                ("total_delay_ms".to_owned(), Value::Float(runtime.cluster().total_delay())),
+                ("feasible".to_owned(), Value::Bool(runtime.cluster().is_feasible())),
+            ],
+        )
+        .map_err(|e| e.to_string())?;
+        s.finish(&tacc_obs::registry_snapshot()).map_err(|e| e.to_string())?;
     }
 
     serde_json::to_string_pretty(&runtime.report_json(args.has("timing")))
@@ -549,6 +660,51 @@ fn bench_solvers(
         "speedup": serial_ms / parallel_ms,
         "identical": identical,
     }))
+}
+
+/// `tacc obs-report`
+///
+/// Runs an instrumented workload with observability forced on and prints
+/// the per-phase profile tree, its wall-clock coverage, and the metric
+/// registry. With `--trace FILE` it replays that trace (accepting every
+/// `run-trace` flag); otherwise it generates a trace from the `gen-trace`
+/// flags and replays it in memory. `--json` swaps the text report for a
+/// machine-readable document (profile + full registry, timing included).
+pub fn obs_report(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    tacc_obs::set_enabled(true);
+    tacc_obs::reset();
+    let started = std::time::Instant::now();
+    {
+        // One root span over the whole workload: the profile's root total
+        // accounts for (nearly) all of the measured wall-clock, and every
+        // runtime/solver span nests beneath it.
+        let _span = tacc_obs::span!("obs-report");
+        if args.str_opt("trace").is_some() {
+            run_trace_report(&args)?;
+        } else {
+            let json = gen_trace_json(&args)?;
+            let trace = Trace::from_json(&json).map_err(|e| e.to_string())?;
+            let mut runtime = Runtime::from_trace(&trace, runtime_config_from(&args)?)
+                .map_err(|e| e.to_string())?;
+            runtime.run(&trace).map_err(|e| e.to_string())?;
+        }
+    }
+    let wall = started.elapsed();
+    let profile = tacc_obs::profile_snapshot();
+    let registry = tacc_obs::registry_snapshot();
+    if args.has("json") {
+        let doc = serde_json::json!({
+            "wall_ns": u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+            "profiled_ns": profile.root_total_ns(),
+            "profile": profile.to_json(),
+            "registry": registry.to_json(true),
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("serializable"));
+    } else {
+        print!("{}", tacc_obs::render(&profile, &registry, wall));
+    }
+    Ok(())
 }
 
 /// `tacc algorithms`

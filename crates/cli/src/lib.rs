@@ -1,0 +1,9 @@
+//! Library surface of the `tacc` binary.
+//!
+//! The subcommand implementations live here (rather than inside the
+//! binary target) so integration tests can drive them in-process —
+//! parsing the same flags the binary takes and capturing their reports
+//! as strings — while `src/main.rs` stays a thin dispatcher.
+
+pub mod args;
+pub mod commands;

@@ -8,13 +8,13 @@
 //! tacc run-trace --trace trace.json --seed 42
 //! tacc chaos     --profile partition --events 100 --crash-every 7
 //! tacc bench-report --out .
+//! tacc obs-report --devices 50 --servers 5 --events 200
 //! tacc algorithms | tacc families
 //! ```
 
-mod args;
-mod commands;
-
 use std::process::ExitCode;
+
+use tacc_cli::commands;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +31,7 @@ fn main() -> ExitCode {
         "run-trace" => commands::run_trace(rest),
         "chaos" => commands::chaos(rest),
         "bench-report" => commands::bench_report(rest),
+        "obs-report" => commands::obs_report(rest),
         "algorithms" => commands::algorithms(),
         "families" => commands::families(),
         "help" | "--help" | "-h" => {

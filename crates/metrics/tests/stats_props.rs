@@ -1,0 +1,123 @@
+//! Property tests of the statistics kernels: quantile ordering, mean
+//! bounds, permutation invariance and the degenerate (empty / single
+//! sample) cases that unit tests tend to hand-pick.
+
+use proptest::prelude::*;
+
+use tacc_metrics::{percentile, OnlineStats};
+
+/// Finite, NaN-free samples in a range wide enough to stress the
+/// accumulators without overflowing interpolation arithmetic.
+fn samples(size: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6..1.0e6f64, size)
+}
+
+proptest! {
+    #[test]
+    fn quantiles_are_monotone(data in samples(1..200)) {
+        let p50 = percentile(&data, 50.0);
+        let p90 = percentile(&data, 90.0);
+        let p99 = percentile(&data, 99.0);
+        prop_assert!(p50 <= p90, "p50 {} > p90 {}", p50, p90);
+        prop_assert!(p90 <= p99, "p90 {} > p99 {}", p90, p99);
+    }
+
+    #[test]
+    fn percentile_stays_within_the_extremes(
+        data in samples(1..200),
+        p in 0.0..=100.0f64,
+    ) {
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let value = percentile(&data, p);
+        prop_assert!(value >= lo && value <= hi, "p{} = {} outside [{}, {}]", p, value, lo, hi);
+    }
+
+    #[test]
+    fn percentile_is_permutation_invariant(data in samples(1..120)) {
+        // A deterministic shuffle: reverse, then interleave halves.
+        let mut shuffled: Vec<f64> = data.iter().rev().copied().collect();
+        let back = shuffled.split_off(shuffled.len() / 2);
+        let interleaved: Vec<f64> = shuffled
+            .iter()
+            .copied()
+            .zip(back.iter().copied())
+            .flat_map(|(a, b)| [a, b])
+            .chain(if back.len() > shuffled.len() { back.last().copied() } else { None })
+            .collect();
+        prop_assert_eq!(interleaved.len(), data.len());
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            let a = percentile(&data, p);
+            let b = percentile(&interleaved, p);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "p{} changed under permutation", p);
+        }
+    }
+
+    #[test]
+    fn mean_lies_between_min_and_max(data in samples(1..200)) {
+        let stats: OnlineStats = data.iter().copied().collect();
+        prop_assert_eq!(stats.count(), data.len() as u64);
+        // Welford's running mean can drift past the extremes only by
+        // rounding; a relative tolerance on the span covers that.
+        let tol = 1e-9 * (1.0 + stats.max().abs().max(stats.min().abs()));
+        prop_assert!(
+            stats.mean() >= stats.min() - tol && stats.mean() <= stats.max() + tol,
+            "mean {} outside [{}, {}]",
+            stats.mean(),
+            stats.min(),
+            stats.max()
+        );
+    }
+
+    #[test]
+    fn variance_is_nonnegative_and_merge_matches_sequential(
+        data in samples(2..200),
+        split in 0usize..200,
+    ) {
+        let split = split % data.len();
+        let sequential: OnlineStats = data.iter().copied().collect();
+        prop_assert!(sequential.population_variance() >= 0.0);
+        prop_assert!(sequential.sample_variance() >= 0.0);
+
+        let mut left: OnlineStats = data[..split].iter().copied().collect();
+        let right: OnlineStats = data[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), sequential.count());
+        prop_assert!((left.mean() - sequential.mean()).abs() <= 1e-6);
+        let scale = 1.0 + sequential.population_variance().abs();
+        prop_assert!(
+            (left.population_variance() - sequential.population_variance()).abs() <= 1e-6 * scale,
+            "merged variance {} vs sequential {}",
+            left.population_variance(),
+            sequential.population_variance()
+        );
+        prop_assert_eq!(left.min().to_bits(), sequential.min().to_bits());
+        prop_assert_eq!(left.max().to_bits(), sequential.max().to_bits());
+    }
+
+    #[test]
+    fn single_sample_is_its_own_summary(x in -1.0e6..1.0e6f64) {
+        let mut stats = OnlineStats::new();
+        stats.push(x);
+        prop_assert_eq!(stats.mean().to_bits(), x.to_bits());
+        prop_assert_eq!(stats.min().to_bits(), x.to_bits());
+        prop_assert_eq!(stats.max().to_bits(), x.to_bits());
+        prop_assert_eq!(stats.population_variance(), 0.0);
+        prop_assert!(stats.sample_variance().is_nan());
+        for p in [0.0, 50.0, 100.0] {
+            prop_assert_eq!(percentile(&[x], p).to_bits(), x.to_bits());
+        }
+    }
+}
+
+#[test]
+fn empty_inputs_are_nan_not_panic() {
+    assert!(percentile(&[], 0.0).is_nan());
+    assert!(percentile(&[], 50.0).is_nan());
+    assert!(percentile(&[], 100.0).is_nan());
+    let stats = OnlineStats::new();
+    assert_eq!(stats.count(), 0);
+    assert!(stats.mean().is_nan());
+    assert!(stats.population_variance().is_nan());
+    assert!(stats.sample_variance().is_nan());
+}

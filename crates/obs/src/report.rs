@@ -1,0 +1,48 @@
+//! Text rendering of a full observability report: the profile tree, its
+//! wall-clock coverage, and the registry — what `tacc obs-report`
+//! prints.
+
+use std::time::Duration;
+
+use crate::registry::format_ns;
+use crate::{ProfileSnapshot, RegistrySnapshot};
+
+/// Renders the profile tree and registry as one human-readable report.
+///
+/// `wall` is the harness-measured wall-clock time of the instrumented
+/// region; the report states how much of it the root phases account for
+/// (the ≤5% "unprofiled" budget from `DESIGN.md` § Observability).
+pub fn render(profile: &ProfileSnapshot, registry: &RegistrySnapshot, wall: Duration) -> String {
+    let mut out = String::new();
+    let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+    out.push_str("=== profile ===\n");
+    out.push_str(&profile.to_text());
+    let accounted = profile.root_total_ns();
+    let coverage = if wall_ns == 0 { 100.0 } else { 100.0 * accounted as f64 / wall_ns as f64 };
+    out.push_str(&format!(
+        "\nwall-clock {}  profiled {}  coverage {coverage:.1}%\n",
+        format_ns(wall_ns),
+        format_ns(accounted),
+    ));
+    out.push_str("\n=== registry ===\n");
+    out.push_str(&registry.to_text());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_mentions_every_section() {
+        let text = render(
+            &ProfileSnapshot::default(),
+            &RegistrySnapshot::default(),
+            Duration::from_millis(5),
+        );
+        assert!(text.contains("=== profile ==="));
+        assert!(text.contains("=== registry ==="));
+        assert!(text.contains("coverage"));
+        assert!(text.contains("5.0ms"));
+    }
+}

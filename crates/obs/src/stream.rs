@@ -1,0 +1,158 @@
+//! The `--obs-out` JSONL event stream.
+//!
+//! One JSON object per line, schema version pinned in the leading
+//! `meta` record. The stream is **deterministic by construction**: every
+//! record is assembled from workload state (event indices, counters,
+//! objective values) — never from the clock — so two replays of the same
+//! trace and seed produce byte-identical files, and CI diffs them
+//! byte-for-byte as the determinism gate.
+//!
+//! Record shapes (`seq` increments from 0; `kind` discriminates):
+//!
+//! ```text
+//! {"seq":0,"kind":"meta","stream_version":1,"source":"run-trace",...}
+//! {"seq":1,"kind":"step","index":0,"event":"device-join","applied":true,...}
+//! {"seq":N,"kind":"summary",...}
+//! {"seq":N+1,"kind":"registry","counters":{...},"gauges":{...},"value_histograms":{...}}
+//! ```
+//!
+//! The `registry` record carries only the deterministic metric kinds
+//! (see [`crate::registry::MetricValue::is_deterministic`]); time
+//! histograms and span timings never enter the stream.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use serde_json::Value;
+
+use crate::registry::RegistrySnapshot;
+
+/// The stream schema version written into every `meta` record. Bump on
+/// any field rename, removal or type change; the golden-schema test
+/// pins the shape.
+pub const STREAM_VERSION: u32 = 1;
+
+/// An open JSONL stream. Records are buffered and flushed on
+/// [`StreamWriter::finish`] (or drop).
+#[derive(Debug)]
+pub struct StreamWriter {
+    out: BufWriter<File>,
+    seq: u64,
+}
+
+impl StreamWriter {
+    /// Creates (truncating) the stream file and writes the `meta`
+    /// record: `stream_version`, `source`, then `meta`'s fields in
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file cannot be created or written.
+    pub fn create(path: &Path, source: &str, meta: Vec<(String, Value)>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        let mut writer = StreamWriter { out: BufWriter::new(file), seq: 0 };
+        let mut fields = vec![
+            ("stream_version".to_owned(), Value::UInt(u64::from(STREAM_VERSION))),
+            ("source".to_owned(), Value::Str(source.to_owned())),
+        ];
+        fields.extend(meta);
+        writer.record("meta", fields)?;
+        Ok(writer)
+    }
+
+    /// Appends one record: `{"seq":N,"kind":kind,...fields}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the record cannot be written.
+    pub fn record(&mut self, kind: &str, fields: Vec<(String, Value)>) -> std::io::Result<()> {
+        let mut record = vec![
+            ("seq".to_owned(), Value::UInt(self.seq)),
+            ("kind".to_owned(), Value::Str(kind.to_owned())),
+        ];
+        record.extend(fields);
+        let line = serde_json::to_string(&Value::Object(record)).expect("stream records render");
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Writes the closing `registry` record (deterministic metrics only)
+    /// and flushes the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the record cannot be written or flushed.
+    pub fn finish(mut self, registry: &RegistrySnapshot) -> std::io::Result<()> {
+        let Value::Object(fields) = registry.to_json(false) else {
+            unreachable!("registry export is an object");
+        };
+        self.record("registry", fields)?;
+        self.out.flush()
+    }
+
+    /// Records written so far (including the `meta` record).
+    pub fn records(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tacc-obs-stream-{name}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn stream_is_line_delimited_json_with_sequential_seq() {
+        let path = temp("shape");
+        let registry = Registry::default();
+        registry.counter_add("events", 3);
+        registry.observe_time("fsync", std::time::Duration::from_micros(10));
+
+        let mut writer =
+            StreamWriter::create(&path, "test", vec![("seed".to_owned(), Value::UInt(42))])
+                .unwrap();
+        writer.record("step", vec![("index".to_owned(), Value::UInt(0))]).unwrap();
+        assert_eq!(writer.records(), 2);
+        writer.finish(&registry.snapshot()).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let value: Value = serde_json::from_str(line).unwrap();
+            assert_eq!(value.get("seq"), Some(&Value::UInt(i as u64)), "line {i}");
+        }
+        assert!(lines[0].contains("\"stream_version\":1"), "{}", lines[0]);
+        assert!(lines[2].contains("\"events\":3"), "{}", lines[2]);
+        // Wall-clock metrics never enter the stream.
+        assert!(!text.contains("fsync"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn identical_inputs_produce_byte_identical_streams() {
+        let write_once = |path: &Path| {
+            let registry = Registry::default();
+            registry.counter_add("events", 7);
+            let mut writer = StreamWriter::create(path, "test", Vec::new()).unwrap();
+            for i in 0..5u64 {
+                writer.record("step", vec![("index".to_owned(), Value::UInt(i))]).unwrap();
+            }
+            writer.finish(&registry.snapshot()).unwrap();
+        };
+        let a = temp("det-a");
+        let b = temp("det-b");
+        write_once(&a);
+        write_once(&b);
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+}

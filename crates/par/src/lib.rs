@@ -159,9 +159,13 @@ where
     R: Send,
     J: Fn(usize) -> R + Sync,
 {
+    tacc_obs::counter_add("par.tasks", num_jobs as u64);
     if threads <= 1 || num_jobs <= 1 {
         return (0..num_jobs).map(job).collect();
     }
+    let _span = tacc_obs::span!("par.dispatch");
+    tacc_obs::counter_add("par.dispatches", 1);
+    let obs_on = tacc_obs::enabled();
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(num_jobs).collect();
@@ -171,15 +175,26 @@ where
             let cursor = &cursor;
             let job = &job;
             scope.spawn(move || {
+                let mut busy = std::time::Duration::ZERO;
                 loop {
                     let j = cursor.fetch_add(1, Ordering::Relaxed);
                     if j >= num_jobs {
                         break;
                     }
-                    // The receiver outlives every sender; a failed send
-                    // only happens during unwinding, which the scope
-                    // re-raises anyway.
-                    let _ = tx.send((j, job(j)));
+                    if obs_on {
+                        let started = std::time::Instant::now();
+                        let result = job(j);
+                        busy += started.elapsed();
+                        let _ = tx.send((j, result));
+                    } else {
+                        // The receiver outlives every sender; a failed
+                        // send only happens during unwinding, which the
+                        // scope re-raises anyway.
+                        let _ = tx.send((j, job(j)));
+                    }
+                }
+                if obs_on {
+                    tacc_obs::observe_time("par.worker_busy", busy);
                 }
             });
         }
@@ -188,8 +203,12 @@ where
         // dropped its sender — normally or by unwinding. If a worker
         // panicked, the scope re-raises that panic when it closes, so
         // an unfilled slot below is unreachable.
+        let merge_started = obs_on.then(std::time::Instant::now);
         for (j, result) in rx {
             slots[j] = Some(result);
+        }
+        if let Some(started) = merge_started {
+            tacc_obs::observe_time("par.merge", started.elapsed());
         }
     });
     slots.into_iter().map(|slot| slot.expect("every job delivered a result")).collect()

@@ -108,6 +108,7 @@ impl QLearning {
     /// Propagates [`GapError`] from assignment bookkeeping; never fails on
     /// a valid instance.
     pub fn train(&self, instance: &GapInstance) -> Result<(Solution, TrainingReport), GapError> {
+        let _span = tacc_obs::span!("rl.train");
         let start = Instant::now();
         let cfg = &self.config;
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
@@ -123,16 +124,22 @@ impl QLearning {
         // Seed the incumbent with the prior's own greedy rollout (with the
         // delay prior this is exactly masked delay-greedy), so training
         // can only improve on the constructive baseline.
-        let seed_rollout =
-            greedy_rollout(instance, &mut mdp, &mut q, cfg.action_masking, cfg.delay_prior)?;
+        let seed_rollout = {
+            let _span = tacc_obs::span!("rl.rollout");
+            greedy_rollout(instance, &mut mdp, &mut q, cfg.action_masking, cfg.delay_prior)?
+        };
         evaluations += 1;
         if seed_rollout.is_feasible(instance) {
             let delay = seed_rollout.total_delay(instance)?;
+            tacc_obs::gauge_set("rl.incumbent_objective", delay);
             best = Some((seed_rollout, delay));
         }
 
         for episode in 0..cfg.episodes {
+            let _span = tacc_obs::span!("rl.episode");
             let epsilon = cfg.epsilon.at(episode);
+            tacc_obs::counter_add("rl.episodes", 1);
+            tacc_obs::gauge_set("rl.epsilon", epsilon);
             mdp.reset();
             let mut assignment = Assignment::unassigned(instance.num_devices(), m);
             let mut episode_return = 0.0;
@@ -171,6 +178,8 @@ impl QLearning {
             if assignment.is_feasible(instance) {
                 let delay = assignment.total_delay(instance)?;
                 if best.as_ref().map_or(true, |(_, b)| delay < *b) {
+                    tacc_obs::counter_add("rl.incumbent_improvements", 1);
+                    tacc_obs::gauge_set("rl.incumbent_objective", delay);
                     best = Some((assignment.clone(), delay));
                 }
             }
@@ -183,8 +192,10 @@ impl QLearning {
         }
 
         // Final greedy rollout (ε = 0) extracts the learned policy.
-        let rollout =
-            greedy_rollout(instance, &mut mdp, &mut q, cfg.action_masking, cfg.delay_prior)?;
+        let rollout = {
+            let _span = tacc_obs::span!("rl.rollout");
+            greedy_rollout(instance, &mut mdp, &mut q, cfg.action_masking, cfg.delay_prior)?
+        };
         evaluations += 1;
         let rollout_feasible = rollout.is_feasible(instance);
         let rollout_delay = rollout.total_delay(instance)?;

@@ -259,9 +259,17 @@ impl Runtime {
     ///
     /// See [`Runtime::run`].
     pub fn step(&mut self, index: usize, timed: &TimedEvent) -> Result<(), RuntimeError> {
+        let _span = tacc_obs::span!("runtime.step");
+        tacc_obs::counter_add("runtime.events", 1);
         let started = Instant::now();
-        self.apply(index, &timed.event)?;
-        self.reclassify();
+        {
+            let _span = tacc_obs::span!("apply");
+            self.apply(index, &timed.event)?;
+        }
+        {
+            let _span = tacc_obs::span!("reclassify");
+            self.reclassify();
+        }
         self.metrics.record_latency(&timed.event, started.elapsed());
         self.cursor += 1;
         if let Some(every) = self.config.refresh_every {
@@ -270,6 +278,7 @@ impl Runtime {
             }
         }
         if crate::check::enabled() {
+            let _span = tacc_obs::span!("check");
             crate::check::InvariantChecker::default().check(self)?;
         }
         Ok(())
@@ -302,7 +311,10 @@ impl Runtime {
                     return Ok(());
                 }
                 self.metrics.core.events.count(event);
-                let stats = self.maintainer.fail_server(&self.topology, server);
+                let stats = {
+                    let _span = tacc_obs::span!("repair");
+                    self.maintainer.fail_server(&self.topology, server)
+                };
                 self.account_delay_update(stats);
                 self.push_delays();
                 self.evacuate(server);
@@ -313,7 +325,10 @@ impl Runtime {
                     return Ok(());
                 }
                 self.metrics.core.events.count(event);
-                let stats = self.maintainer.recover_server(&self.topology, server);
+                let stats = {
+                    let _span = tacc_obs::span!("repair");
+                    self.maintainer.recover_server(&self.topology, server)
+                };
                 self.account_delay_update(stats);
                 self.push_delays();
                 self.rebalance_budgeted();
@@ -334,7 +349,10 @@ impl Runtime {
                     .set_link_latency(id, latency_ms)
                     .map_err(|e| RuntimeError::InvalidEvent { index, reason: e.to_string() })?;
                 self.metrics.core.events.count(event);
-                let stats = self.maintainer.drift(&self.topology, id);
+                let stats = {
+                    let _span = tacc_obs::span!("repair");
+                    self.maintainer.drift(&self.topology, id)
+                };
                 self.account_delay_update(stats);
                 self.push_delays();
                 self.rebalance_budgeted();
@@ -346,6 +364,8 @@ impl Runtime {
     /// Books the repair work of one delay-changing event against the
     /// measured full-rebuild baseline.
     fn account_delay_update(&mut self, stats: tacc_topology::incremental::UpdateStats) {
+        tacc_obs::counter_add("runtime.delay_updates", 1);
+        tacc_obs::observe("runtime.repair_settled", stats.settled);
         self.metrics.core.delay_updates += 1;
         self.metrics.core.repair_work.absorb(stats);
         self.metrics.core.full_equivalent_work.absorb(self.maintainer.full_rebuild_baseline());
@@ -360,6 +380,7 @@ impl Runtime {
 
     /// Moves every device off a failed server, highest priority first.
     fn evacuate(&mut self, server: usize) {
+        let _span = tacc_obs::span!("evacuate");
         let mut evacuees: Vec<usize> = (0..self.cluster.instance().num_devices())
             .filter(|&d| self.cluster.server_of(d) == Some(server))
             .collect();
@@ -376,6 +397,7 @@ impl Runtime {
         }
         for &device in &evacuees {
             if let Placement::Placed(_) = self.place_with_shedding(device) {
+                tacc_obs::counter_add("runtime.migrations", 1);
                 self.metrics.core.migrations += 1;
             }
         }
@@ -386,6 +408,7 @@ impl Runtime {
     /// first; placement is strictly non-disruptive — no shedding, no
     /// migrations of already-served devices.
     fn readmit(&mut self) {
+        let _span = tacc_obs::span!("readmit");
         let mut waiting: Vec<usize> = (0..self.cluster.instance().num_devices())
             .filter(|&d| self.wanted[d] && !self.cluster.is_active(d))
             .collect();
@@ -407,6 +430,7 @@ impl Runtime {
             if let Some((_, j)) = best {
                 let placed = self.cluster.try_place(device, j);
                 debug_assert!(placed, "fits() held under the same loads");
+                tacc_obs::counter_add("runtime.readmissions", 1);
                 self.metrics.core.readmissions += 1;
             }
         }
@@ -476,6 +500,7 @@ impl Runtime {
             if freed >= needed {
                 for d in chosen {
                     self.cluster.leave(d);
+                    tacc_obs::counter_add("runtime.evictions", 1);
                     self.metrics.core.evictions += 1;
                     self.metrics.core.shed_devices.push(d);
                 }
@@ -486,6 +511,7 @@ impl Runtime {
         }
 
         // Last resort: the device itself stays out.
+        tacc_obs::counter_add("runtime.evictions", 1);
         self.metrics.core.evictions += 1;
         self.metrics.core.shed_devices.push(device);
         Placement::Shed
@@ -512,6 +538,7 @@ impl Runtime {
                 && !self.cluster.is_active(device)
                 && !self.has_usable_server(device);
             if stranded && !self.unreachable[device] {
+                tacc_obs::counter_add("runtime.unreachable_transitions", 1);
                 self.metrics.core.unreachable_transitions += 1;
             }
             self.unreachable[device] = stranded;
@@ -520,7 +547,9 @@ impl Runtime {
 
     /// One migration-budgeted greedy rebalance pass.
     fn rebalance_budgeted(&mut self) {
+        let _span = tacc_obs::span!("rebalance");
         let moved = self.cluster.rebalance(self.config.migration_budget);
+        tacc_obs::counter_add("runtime.migrations", moved as u64);
         self.metrics.core.migrations += moved as u64;
     }
 
@@ -529,6 +558,7 @@ impl Runtime {
     /// budget. Solver failures skip the refresh (the seed sequence still
     /// advances, keeping replays aligned).
     fn refresh(&mut self) {
+        let _span = tacc_obs::span!("refresh");
         self.metrics.core.refreshes += 1;
         let refresh_seed = self
             .config
@@ -589,6 +619,7 @@ impl Runtime {
                 self.cluster.leave(device);
                 let placed = self.cluster.try_place(device, target);
                 debug_assert!(placed, "fits() held under the same loads");
+                tacc_obs::counter_add("runtime.migrations", 1);
                 self.metrics.core.migrations += 1;
                 budget -= 1;
             }

@@ -10,11 +10,25 @@
 use std::path::Path;
 
 use tacc_core::metrics::Table;
+use tacc_core::rl::QLearningConfig;
 use tacc_core::workload::{DemandModel, ScenarioBuilder};
 use tacc_core::{Algorithm, ClusterConfigurator, CoreError};
 
+/// `TACC_EXAMPLE_QUICK=1` shrinks the sweep so the example suite
+/// (`tests/examples.rs`, CI) can run every example in seconds.
+fn quick() -> bool {
+    std::env::var("TACC_EXAMPLE_QUICK").as_deref() == Ok("1")
+}
+
 fn main() -> Result<(), CoreError> {
-    let device_population = 150;
+    let quick = quick();
+    let device_population = if quick { 30 } else { 150 };
+    let sweep: &[usize] = if quick { &[2, 3, 4] } else { &[4, 6, 8, 12, 16, 24] };
+    let algorithm = if quick {
+        Algorithm::QLearning(QLearningConfig { episodes: 300, ..QLearningConfig::default() })
+    } else {
+        Algorithm::q_learning()
+    };
     let mut table = Table::new(vec![
         "servers".into(),
         "load_factor".into(),
@@ -24,7 +38,7 @@ fn main() -> Result<(), CoreError> {
     ]);
 
     println!("planning for {device_population} IoT devices\n");
-    for num_servers in [4, 6, 8, 12, 16, 24] {
+    for &num_servers in sweep {
         let scenario = ScenarioBuilder::new()
             .num_iot(device_population)
             .num_servers(num_servers)
@@ -32,7 +46,7 @@ fn main() -> Result<(), CoreError> {
             .demand_model(DemandModel::Uniform { lo: 0.5, hi: 1.5 })
             .build(21)?;
         let config = ClusterConfigurator::from_scenario(&scenario)
-            .algorithm(Algorithm::q_learning())
+            .algorithm(algorithm.clone())
             .seed(1)
             .configure()?;
         let max_util = config.server_utilization().iter().cloned().fold(0.0, f64::max);

@@ -11,26 +11,36 @@
 
 use rand::SeedableRng;
 use tacc_core::gap::bounds;
+use tacc_core::rl::{QLearningConfig, SarsaConfig};
 use tacc_core::topology::generators::{Grid, TopologyGenerator};
 use tacc_core::{Algorithm, ClusterConfigurator, CoreError};
 
+/// `TACC_EXAMPLE_QUICK=1` shrinks the hall so the example suite
+/// (`tests/examples.rs`, CI) can run every example in seconds.
+fn quick() -> bool {
+    std::env::var("TACC_EXAMPLE_QUICK").as_deref() == Ok("1")
+}
+
 fn main() -> Result<(), CoreError> {
+    let quick = quick();
+    let side = if quick { 3 } else { 6 };
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let topology = Grid::builder()
-        .rows(6)
-        .cols(6)
-        .num_iot(90)
-        .num_servers(6)
+        .rows(side)
+        .cols(side)
+        .num_iot(if quick { 18 } else { 90 })
+        .num_servers(if quick { 3 } else { 6 })
         .link_latency_ms((0.8, 1.2))
         .access_latency_ms((0.2, 0.5))
         .build()?
         .generate(&mut rng)?;
 
     // Robots are homogeneous: one load unit each; servers hold 18 (ρ≈0.83).
+    let capacity = if quick { 8.0 } else { 18.0 };
     let build = |algorithm: Algorithm| {
         ClusterConfigurator::new(topology.clone())
             .uniform_demand(1.0)
-            .uniform_capacity(18.0)
+            .uniform_capacity(capacity)
             .algorithm(algorithm)
             .seed(3)
             .configure()
@@ -41,9 +51,10 @@ fn main() -> Result<(), CoreError> {
         "algorithm", "mean(ms)", "max(ms)", "feasible", "fair"
     );
     let mut lower_bound_instance = None;
+    let episodes = if quick { 300 } else { QLearningConfig::default().episodes };
     for algorithm in [
-        Algorithm::q_learning(),
-        Algorithm::Sarsa(Default::default()),
+        Algorithm::QLearning(QLearningConfig { episodes, ..QLearningConfig::default() }),
+        Algorithm::Sarsa(SarsaConfig { episodes, ..SarsaConfig::default() }),
         Algorithm::greedy(),
         Algorithm::BestFitDecreasing,
         Algorithm::Random,

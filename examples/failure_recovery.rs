@@ -10,9 +10,24 @@
 
 use rand::SeedableRng;
 use tacc_core::gap::{Assignment, GapInstance, Solution, SolveStats};
+use tacc_core::rl::QLearningConfig;
 use tacc_core::topology::generators::{RandomGeometric, TopologyGenerator};
 use tacc_core::topology::{DelayModel, LinkId, Topology};
 use tacc_core::{Algorithm, ClusterConfigurator, CoreError};
+
+/// `TACC_EXAMPLE_QUICK=1` shrinks the network so the example suite
+/// (`tests/examples.rs`, CI) can run every example in seconds.
+fn quick() -> bool {
+    std::env::var("TACC_EXAMPLE_QUICK").as_deref() == Ok("1")
+}
+
+fn q_learning(quick: bool) -> Algorithm {
+    if quick {
+        Algorithm::QLearning(QLearningConfig { episodes: 300, ..QLearningConfig::default() })
+    } else {
+        Algorithm::q_learning()
+    }
+}
 
 /// Re-scores an existing assignment on a (possibly degraded) topology.
 fn rescore(
@@ -28,20 +43,21 @@ fn rescore(
 }
 
 fn main() -> Result<(), CoreError> {
+    let quick = quick();
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let topology = RandomGeometric::builder()
-        .num_iot(60)
-        .num_servers(6)
-        .num_routers(14)
+        .num_iot(if quick { 16 } else { 60 })
+        .num_servers(if quick { 3 } else { 6 })
+        .num_routers(if quick { 10 } else { 14 })
         .build()?
         .generate(&mut rng)?;
-    let (demand, capacity) = (1.0, 12.0);
+    let (demand, capacity) = (1.0, if quick { 7.0 } else { 12.0 });
 
     // 1. Nominal configuration.
     let nominal = ClusterConfigurator::new(topology.clone())
         .uniform_demand(demand)
         .uniform_capacity(capacity)
-        .algorithm(Algorithm::q_learning())
+        .algorithm(q_learning(quick))
         .seed(1)
         .configure()?;
     println!("nominal mean delay: {:.3} ms\n", nominal.mean_delay_ms());
@@ -68,7 +84,7 @@ fn main() -> Result<(), CoreError> {
     let reconfigured = ClusterConfigurator::new(degraded)
         .uniform_demand(demand)
         .uniform_capacity(capacity)
-        .algorithm(Algorithm::q_learning())
+        .algorithm(q_learning(quick))
         .seed(2)
         .configure()?;
 

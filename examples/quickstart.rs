@@ -4,17 +4,34 @@
 //! Run with: `cargo run --release -p tacc-core --example quickstart`
 
 use rand::SeedableRng;
+use tacc_core::rl::QLearningConfig;
 use tacc_core::topology::generators::{RandomGeometric, TopologyGenerator};
 use tacc_core::{Algorithm, ClusterConfigurator, CoreError};
 
+/// `TACC_EXAMPLE_QUICK=1` shrinks the deployment so the example suite
+/// (`tests/examples.rs`, CI) can run every example in seconds.
+fn quick() -> bool {
+    std::env::var("TACC_EXAMPLE_QUICK").as_deref() == Ok("1")
+}
+
+fn q_learning(quick: bool) -> Algorithm {
+    if quick {
+        Algorithm::QLearning(QLearningConfig { episodes: 300, ..QLearningConfig::default() })
+    } else {
+        Algorithm::q_learning()
+    }
+}
+
 fn main() -> Result<(), CoreError> {
+    let quick = quick();
     // A metropolitan deployment: 80 IoT sensors, 8 edge servers, 20
     // routers scattered over a 100×100 area.
+    let (num_iot, num_servers, num_routers) = if quick { (20, 3, 6) } else { (80, 8, 20) };
     let mut rng = rand::rngs::StdRng::seed_from_u64(2022);
     let topology = RandomGeometric::builder()
-        .num_iot(80)
-        .num_servers(8)
-        .num_routers(20)
+        .num_iot(num_iot)
+        .num_servers(num_servers)
+        .num_routers(num_routers)
         .build()?
         .generate(&mut rng)?;
 
@@ -26,10 +43,10 @@ fn main() -> Result<(), CoreError> {
         topology.graph().link_count()
     );
 
-    for algorithm in [Algorithm::q_learning(), Algorithm::greedy(), Algorithm::Random] {
+    for algorithm in [q_learning(quick), Algorithm::greedy(), Algorithm::Random] {
         let configuration = ClusterConfigurator::new(topology.clone())
             .uniform_demand(1.0)
-            .uniform_capacity(14.0) // load factor ~0.71
+            .uniform_capacity(if quick { 10.0 } else { 14.0 }) // load factor ~0.7
             .algorithm(algorithm)
             .seed(42)
             .configure()?;

@@ -9,15 +9,23 @@
 //!
 //! Run with: `cargo run --release -p tacc-core --example smart_city`
 
+use tacc_core::rl::QLearningConfig;
 use tacc_core::sim::SimConfig;
 use tacc_core::workload::{DemandModel, ScenarioBuilder, TopologyFamily};
 use tacc_core::{Algorithm, ClusterConfigurator, CoreError};
 
+/// `TACC_EXAMPLE_QUICK=1` shrinks the city so the example suite
+/// (`tests/examples.rs`, CI) can run every example in seconds.
+fn quick() -> bool {
+    std::env::var("TACC_EXAMPLE_QUICK").as_deref() == Ok("1")
+}
+
 fn main() -> Result<(), CoreError> {
+    let quick = quick();
     let scenario = ScenarioBuilder::new()
         .family(TopologyFamily::RandomGeometric)
-        .num_iot(120)
-        .num_servers(10)
+        .num_iot(if quick { 24 } else { 120 })
+        .num_servers(if quick { 3 } else { 10 })
         .load_factor(0.75)
         .demand_model(DemandModel::Zipf { base: 0.2, exponent: 1.5, num_ranks: 20 })
         .build(7)?;
@@ -33,8 +41,13 @@ fn main() -> Result<(), CoreError> {
         "{:<22} {:>10} {:>9} {:>11} {:>10}",
         "algorithm", "delay(ms)", "feasible", "p99(ms)", "miss-rate"
     );
+    let q_learning = if quick {
+        Algorithm::QLearning(QLearningConfig { episodes: 300, ..QLearningConfig::default() })
+    } else {
+        Algorithm::q_learning()
+    };
     for algorithm in [
-        Algorithm::q_learning(),
+        q_learning,
         Algorithm::greedy(),
         Algorithm::BestFitDecreasing,
         Algorithm::LocalSearch,
@@ -45,8 +58,8 @@ fn main() -> Result<(), CoreError> {
             .seed(42)
             .configure()?;
         let sim = configuration.simulate(SimConfig {
-            duration_ms: 60_000.0,
-            warmup_ms: 5_000.0,
+            duration_ms: if quick { 4_000.0 } else { 60_000.0 },
+            warmup_ms: if quick { 500.0 } else { 5_000.0 },
             deadline_ms: 60.0,
             round_trip: true,
             seed: 1,

@@ -1,0 +1,88 @@
+//! The `examples/` directory is a tested artifact, not documentation
+//! that rots: every example must build, run to completion under
+//! `TACC_EXAMPLE_QUICK=1` (a small fixed-seed workload each example
+//! honors) and print the output its prose promises.
+//!
+//! Each example runs as a real `cargo run --example` subprocess from a
+//! scratch working directory, so examples that write files (e.g.
+//! `capacity_planning` → `results/capacity_planning.csv`) never touch
+//! the repository checkout.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs one example in quick mode and returns its stdout.
+fn run_example(name: &str) -> (String, PathBuf) {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../Cargo.toml")
+        .canonicalize()
+        .expect("workspace manifest");
+    let scratch = std::env::temp_dir().join(format!("tacc-example-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).unwrap();
+
+    let output = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "-p", "tacc-core", "--example", name, "--manifest-path"])
+        .arg(&manifest)
+        .current_dir(&scratch)
+        .env("TACC_EXAMPLE_QUICK", "1")
+        .output()
+        .unwrap_or_else(|e| panic!("spawning `cargo run --example {name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} failed with {}:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("example output is utf-8");
+    assert!(!stdout.trim().is_empty(), "example {name} printed nothing");
+    (stdout, scratch)
+}
+
+fn assert_mentions(name: &str, stdout: &str, needles: &[&str]) {
+    for needle in needles {
+        assert!(stdout.contains(needle), "example {name} output lacks {needle:?}:\n{stdout}");
+    }
+}
+
+#[test]
+fn quickstart_runs_and_reports_each_algorithm() {
+    let (stdout, scratch) = run_example("quickstart");
+    assert_mentions("quickstart", &stdout, &["topology:", "devices", "--- "]);
+    std::fs::remove_dir_all(scratch).ok();
+}
+
+#[test]
+fn smart_city_runs_and_prints_the_deadline_table() {
+    let (stdout, scratch) = run_example("smart_city");
+    assert_mentions("smart_city", &stdout, &["scenario:", "algorithm", "miss-rate"]);
+    std::fs::remove_dir_all(scratch).ok();
+}
+
+#[test]
+fn factory_floor_runs_and_prints_lower_bounds() {
+    let (stdout, scratch) = run_example("factory_floor");
+    assert_mentions("factory_floor", &stdout, &["algorithm", "lower bound"]);
+    std::fs::remove_dir_all(scratch).ok();
+}
+
+#[test]
+fn capacity_planning_runs_and_writes_its_csv_to_the_cwd() {
+    let (stdout, scratch) = run_example("capacity_planning");
+    assert_mentions("capacity_planning", &stdout, &["planning for", "wrote"]);
+    let csv = scratch.join("results/capacity_planning.csv");
+    let contents = std::fs::read_to_string(&csv)
+        .unwrap_or_else(|e| panic!("example did not write {}: {e}", csv.display()));
+    assert!(contents.lines().count() > 1, "CSV has no data rows:\n{contents}");
+    std::fs::remove_dir_all(scratch).ok();
+}
+
+#[test]
+fn failure_recovery_runs_and_compares_stale_vs_reconfigured() {
+    let (stdout, scratch) = run_example("failure_recovery");
+    assert_mentions(
+        "failure_recovery",
+        &stdout,
+        &["nominal mean delay", "stale assignment", "reconfigured", "recovery:"],
+    );
+    std::fs::remove_dir_all(scratch).ok();
+}
