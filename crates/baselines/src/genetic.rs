@@ -2,7 +2,10 @@ use std::time::Instant;
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use tacc_gap::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+use tacc_gap::{
+    AnytimeSolver, Assignment, Budget, GapError, GapInstance, GuardReport, Solution, SolveStats,
+    Solver,
+};
 
 use crate::common;
 
@@ -116,7 +119,8 @@ fn repair(instance: &GapInstance, genome: &mut [usize]) {
     }
 }
 
-fn fitness(instance: &GapInstance, genome: &[usize], penalty: f64) -> f64 {
+/// Penalized fitness, feasibility, and raw delay of one genome.
+fn fitness(instance: &GapInstance, genome: &[usize], penalty: f64) -> (f64, bool, f64) {
     let m = instance.num_servers();
     let mut loads = vec![0.0; m];
     let mut delay = 0.0;
@@ -126,17 +130,33 @@ fn fitness(instance: &GapInstance, genome: &[usize], penalty: f64) -> f64 {
     }
     let overload: f64 =
         loads.iter().zip(0..m).map(|(&l, j)| (l - instance.capacity(j)).max(0.0)).sum();
-    delay + penalty * overload
+    (delay + penalty * overload, overload <= 0.0, delay)
 }
 
-impl Solver for Genetic {
-    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+impl Genetic {
+    /// Budget-aware evolution: runs at most `budget` generations (the
+    /// budget unit is one generation) and returns the best feasible
+    /// individual seen in *any* generation — an explicit incumbent, so a
+    /// truncated run can never be worse than a shorter one with the same
+    /// seed. The greedy-seeded initial population makes even a
+    /// zero-generation budget return a complete assignment.
+    fn solve_impl(
+        &self,
+        instance: &GapInstance,
+        budget: &Budget,
+    ) -> Result<(Solution, GuardReport), GapError> {
         let start = Instant::now();
         let n = instance.num_devices();
         let m = instance.num_servers();
         let cfg = &self.config;
+        let mut meter = budget.meter();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut evaluations = 0u64;
+
+        // Best feasible genome ever scored, and best penalized as the
+        // fallback when no feasible individual exists.
+        let mut best_feasible: Option<(Vec<usize>, f64)> = None;
+        let mut best_any: Option<(Vec<usize>, f64)> = None;
 
         // Seed population: one greedy individual, the rest random.
         let mut population: Vec<Vec<usize>> = Vec::with_capacity(cfg.population);
@@ -145,15 +165,35 @@ impl Solver for Genetic {
         while population.len() < cfg.population {
             population.push((0..n).map(|_| rng.random_range(0..m)).collect());
         }
-        let mut scores: Vec<f64> = population
-            .iter()
-            .map(|g| {
-                evaluations += 1;
-                fitness(instance, g, cfg.overload_penalty)
-            })
-            .collect();
+        let score_population = |population: &[Vec<usize>],
+                                evaluations: &mut u64,
+                                best_feasible: &mut Option<(Vec<usize>, f64)>,
+                                best_any: &mut Option<(Vec<usize>, f64)>|
+         -> Vec<f64> {
+            population
+                .iter()
+                .map(|g| {
+                    *evaluations += 1;
+                    let (score, feasible, delay) = fitness(instance, g, cfg.overload_penalty);
+                    if feasible && best_feasible.as_ref().map_or(true, |(_, d)| delay < *d) {
+                        *best_feasible = Some((g.clone(), delay));
+                    }
+                    if best_any.as_ref().map_or(true, |(_, s)| score < *s) {
+                        *best_any = Some((g.clone(), score));
+                    }
+                    score
+                })
+                .collect()
+        };
+        let mut scores =
+            score_population(&population, &mut evaluations, &mut best_feasible, &mut best_any);
 
+        let mut generations_run = 0usize;
         for _ in 0..cfg.generations {
+            if !meter.take() {
+                break;
+            }
+            generations_run += 1;
             // Rank for elitism.
             let mut ranking: Vec<usize> = (0..population.len()).collect();
             ranking.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("not NaN"));
@@ -185,44 +225,47 @@ impl Solver for Genetic {
                 next.push(child);
             }
             population = next;
-            scores = population
-                .iter()
-                .map(|g| {
-                    evaluations += 1;
-                    fitness(instance, g, cfg.overload_penalty)
-                })
-                .collect();
+            scores =
+                score_population(&population, &mut evaluations, &mut best_feasible, &mut best_any);
         }
+        let completed = generations_run == cfg.generations;
 
-        // Prefer the best feasible individual; otherwise best penalized.
-        let mut best_idx = 0usize;
-        let mut best_key = f64::INFINITY;
-        for (idx, genome) in population.iter().enumerate() {
-            let feasible = {
-                let mut loads = vec![0.0; m];
-                for (i, &j) in genome.iter().enumerate() {
-                    loads[j] += instance.demand(i, j);
-                }
-                (0..m).all(|j| loads[j] <= instance.capacity(j) + 1e-9)
-            };
-            // Infeasible individuals rank after every feasible one.
-            let key = if feasible { scores[idx] } else { scores[idx] + 1e12 };
-            if key < best_key {
-                best_key = key;
-                best_idx = idx;
-            }
-        }
-        let assignment = Assignment::from_vec(population[best_idx].clone(), m)?;
+        // Prefer the best feasible individual ever seen; otherwise the
+        // best penalized one.
+        let genome = match (best_feasible, best_any) {
+            (Some((g, _)), _) => g,
+            (None, Some((g, _))) => g,
+            (None, None) => unreachable!("population is never empty"),
+        };
+        let assignment = Assignment::from_vec(genome, m)?;
         let stats = SolveStats {
             elapsed: start.elapsed(),
-            iterations: cfg.generations as u64,
+            iterations: generations_run as u64,
             evaluations,
         };
-        Solution::evaluate(assignment, instance, stats)
+        let solution = Solution::evaluate(assignment, instance, stats)?;
+        let guard = GuardReport::for_run(Solver::name(self), &solution, &meter, budget, completed);
+        Ok((solution, guard))
+    }
+}
+
+impl Solver for Genetic {
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+        Ok(self.solve_impl(instance, &Budget::unlimited())?.0)
     }
 
     fn name(&self) -> &str {
         "genetic"
+    }
+}
+
+impl AnytimeSolver for Genetic {
+    fn solve_within(
+        &self,
+        instance: &GapInstance,
+        budget: &Budget,
+    ) -> Result<(Solution, GuardReport), GapError> {
+        self.solve_impl(instance, budget)
     }
 }
 
@@ -293,6 +336,23 @@ mod tests {
         let greedy = Greedy::new(DeviceOrder::RegretDescending).solve(&inst).unwrap();
         let ga = Genetic::new(GeneticConfig::default(), 0).solve(&inst).unwrap();
         assert!(ga.objective <= greedy.objective + 1e-9);
+    }
+
+    #[test]
+    fn anytime_budget_is_monotone_and_feasible() {
+        let inst = instance();
+        let solver = Genetic::new(GeneticConfig::default(), 4);
+        let full = solver.solve(&inst).unwrap();
+        let mut prev = f64::INFINITY;
+        for b in [0u64, 1, 10, 150] {
+            let (s, g) = solver.solve_within(&inst, &Budget::units(b)).unwrap();
+            assert!(s.feasible, "budget {b}");
+            assert!(s.objective <= prev + 1e-9, "budget {b}");
+            assert_eq!(g.spent, b.min(150));
+            assert_eq!(g.completed, b >= 150);
+            prev = s.objective;
+        }
+        assert_eq!(prev, full.objective);
     }
 
     #[test]

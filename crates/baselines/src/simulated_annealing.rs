@@ -2,7 +2,10 @@ use std::time::Instant;
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use tacc_gap::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+use tacc_gap::{
+    AnytimeSolver, Assignment, Budget, GapError, GapInstance, GuardReport, Solution, SolveStats,
+    Solver,
+};
 
 use crate::common;
 
@@ -76,12 +79,21 @@ impl SimulatedAnnealing {
         self.schedule = schedule;
         self
     }
-}
 
-impl Solver for SimulatedAnnealing {
-    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+    /// Budget-aware annealing: runs at most `budget` steps (the budget
+    /// unit is one annealing step) and returns the best-so-far. The greedy
+    /// warm start seeds the incumbent before the first step, so any budget
+    /// yields a complete assignment; truncated runs are RNG prefixes of
+    /// the full trajectory, so quality is monotone non-worsening in budget
+    /// for a fixed seed.
+    fn solve_impl(
+        &self,
+        instance: &GapInstance,
+        budget: &Budget,
+    ) -> Result<(Solution, GuardReport), GapError> {
         let start = Instant::now();
         self.schedule.validate();
+        let mut meter = budget.meter();
         let n = instance.num_devices();
         let m = instance.num_servers();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
@@ -101,7 +113,12 @@ impl Solver for SimulatedAnnealing {
 
         let mut temperature = self.schedule.initial_temperature;
         let mut evaluations = 1u64;
+        let mut steps_run = 0usize;
         for _ in 0..self.schedule.steps {
+            if !meter.take() {
+                break;
+            }
+            steps_run += 1;
             if m > 1 {
                 let device = rng.random_range(0..n);
                 let old = current.server_of(device).expect("complete");
@@ -134,20 +151,36 @@ impl Solver for SimulatedAnnealing {
             temperature *= self.schedule.cooling;
         }
 
+        let completed = steps_run == self.schedule.steps;
         let assignment = match best_feasible {
             Some((a, _)) => a,
             None => best_any.0,
         };
-        let stats = SolveStats {
-            elapsed: start.elapsed(),
-            iterations: self.schedule.steps as u64,
-            evaluations,
-        };
-        Solution::evaluate(assignment, instance, stats)
+        let stats =
+            SolveStats { elapsed: start.elapsed(), iterations: steps_run as u64, evaluations };
+        let solution = Solution::evaluate(assignment, instance, stats)?;
+        let guard = GuardReport::for_run(Solver::name(self), &solution, &meter, budget, completed);
+        Ok((solution, guard))
+    }
+}
+
+impl Solver for SimulatedAnnealing {
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+        Ok(self.solve_impl(instance, &Budget::unlimited())?.0)
     }
 
     fn name(&self) -> &str {
         "simulated-annealing"
+    }
+}
+
+impl AnytimeSolver for SimulatedAnnealing {
+    fn solve_within(
+        &self,
+        instance: &GapInstance,
+        budget: &Budget,
+    ) -> Result<(Solution, GuardReport), GapError> {
+        self.solve_impl(instance, budget)
     }
 }
 
@@ -205,6 +238,23 @@ mod tests {
         let s = SimulatedAnnealing::new(0).solve(&inst).unwrap();
         assert_eq!(s.objective, 5.0);
         assert!(s.feasible);
+    }
+
+    #[test]
+    fn anytime_budget_is_monotone_and_feasible() {
+        let inst = instance();
+        let solver = SimulatedAnnealing::new(11);
+        let full = solver.solve(&inst).unwrap();
+        let mut prev = f64::INFINITY;
+        for b in [0u64, 1, 100, 2_000, 20_000] {
+            let (s, g) = solver.solve_within(&inst, &Budget::units(b)).unwrap();
+            assert!(s.feasible, "budget {b}");
+            assert!(s.objective <= prev + 1e-9, "budget {b}");
+            assert_eq!(g.spent, b.min(20_000));
+            assert_eq!(g.completed, b >= 20_000);
+            prev = s.objective;
+        }
+        assert_eq!(prev, full.objective);
     }
 
     #[test]

@@ -4,7 +4,9 @@ use std::time::Instant;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use tacc_gap::{GapError, GapInstance, Solution, SolveStats, Solver};
+use tacc_gap::{
+    AnytimeSolver, Budget, GapError, GapInstance, GuardReport, Solution, SolveStats, Solver,
+};
 
 use crate::common;
 
@@ -50,11 +52,19 @@ impl TabuSearch {
         self.iterations = iterations;
         self
     }
-}
 
-impl Solver for TabuSearch {
-    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+    /// Budget-aware search: runs at most `budget` iterations (the budget
+    /// unit is one best-admissible-shift round) and returns the best
+    /// feasible assignment seen so far, which the greedy warm start seeds
+    /// before the first round. Truncated runs are prefixes of the full
+    /// search, so quality is monotone non-worsening in budget.
+    fn solve_impl(
+        &self,
+        instance: &GapInstance,
+        budget: &Budget,
+    ) -> Result<(Solution, GuardReport), GapError> {
         let start = Instant::now();
+        let mut meter = budget.meter();
         let n = instance.num_devices();
         let m = instance.num_servers();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
@@ -76,7 +86,13 @@ impl Solver for TabuSearch {
         let mut devices: Vec<usize> = (0..n).collect();
         devices.shuffle(&mut rng);
 
+        let mut iterations_run = 0usize;
+        let mut stalled = false;
         for _ in 0..self.iterations {
+            if !meter.take() {
+                break;
+            }
+            iterations_run += 1;
             // Best admissible shift this round.
             let mut chosen: Option<(f64, usize, usize)> = None; // (new_delay, device, server)
             for &i in &devices {
@@ -102,6 +118,7 @@ impl Solver for TabuSearch {
                 }
             }
             let Some((new_delay, i, j)) = chosen else {
+                stalled = true;
                 break; // every move tabu or infeasible
             };
             let old = current.server_of(i).expect("complete");
@@ -126,16 +143,34 @@ impl Solver for TabuSearch {
             }
         }
 
-        let stats = SolveStats {
-            elapsed: start.elapsed(),
-            iterations: self.iterations as u64,
-            evaluations,
-        };
-        Solution::evaluate(best, instance, stats)
+        // A stalled search (every move tabu or infeasible) counts as
+        // completed: more budget could not have changed the answer.
+        let completed = stalled || iterations_run == self.iterations;
+        let stats =
+            SolveStats { elapsed: start.elapsed(), iterations: iterations_run as u64, evaluations };
+        let solution = Solution::evaluate(best, instance, stats)?;
+        let guard = GuardReport::for_run(Solver::name(self), &solution, &meter, budget, completed);
+        Ok((solution, guard))
+    }
+}
+
+impl Solver for TabuSearch {
+    fn solve(&self, instance: &GapInstance) -> Result<Solution, GapError> {
+        Ok(self.solve_impl(instance, &Budget::unlimited())?.0)
     }
 
     fn name(&self) -> &str {
         "tabu-search"
+    }
+}
+
+impl AnytimeSolver for TabuSearch {
+    fn solve_within(
+        &self,
+        instance: &GapInstance,
+        budget: &Budget,
+    ) -> Result<(Solution, GuardReport), GapError> {
+        self.solve_impl(instance, budget)
     }
 }
 
@@ -184,6 +219,22 @@ mod tests {
         assert!(result.is_err());
         let result = std::panic::catch_unwind(|| TabuSearch::new(0).with_iterations(0));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn anytime_budget_is_monotone_and_feasible() {
+        let inst = ridge();
+        let solver = TabuSearch::new(1);
+        let full = solver.solve(&inst).unwrap();
+        let mut prev = f64::INFINITY;
+        for b in [0u64, 1, 5, 2000] {
+            let (s, g) = solver.solve_within(&inst, &Budget::units(b)).unwrap();
+            assert!(s.feasible, "budget {b}");
+            assert!(s.objective <= prev + 1e-9, "budget {b}");
+            assert!(g.spent <= b);
+            prev = s.objective;
+        }
+        assert_eq!(prev, full.objective);
     }
 
     #[test]

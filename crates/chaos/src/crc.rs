@@ -1,0 +1,62 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`), hand-rolled
+//! because this build is offline — no `crc32fast` — and the journal only
+//! needs a few kilobytes per record. Table-driven, one byte per step;
+//! matches the checksum used by zlib, gzip and PNG, so journal frames can
+//! be cross-checked with standard tools.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (init `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF`).
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &byte in bytes {
+        let index = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[index];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        // The canonical CRC-32 check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = crc32(b"{\"Step\":{\"index\":7}}");
+        for position in 0..20 {
+            let mut corrupted = b"{\"Step\":{\"index\":7}}".to_vec();
+            corrupted[position] ^= 0x20;
+            assert_ne!(crc32(&corrupted), base, "flip at byte {position} must be detected");
+        }
+    }
+}

@@ -31,6 +31,13 @@ pub enum ChaosError {
         /// Description of the divergence.
         reason: String,
     },
+    /// An input failed the guard layer's quarantine pass (NaN or
+    /// negative latencies, out-of-range indices, backwards timestamps…)
+    /// before the harness would touch it.
+    Quarantine {
+        /// The quarantine report, stringified.
+        reason: String,
+    },
     /// Runtime-layer failure during replay or recovery.
     Runtime(RuntimeError),
     /// Workload-layer failure (trace generation or validation).
@@ -43,6 +50,7 @@ impl fmt::Display for ChaosError {
             ChaosError::Io { path, reason } => write!(f, "journal I/O on {path}: {reason}"),
             ChaosError::Journal { reason } => write!(f, "unusable journal: {reason}"),
             ChaosError::Mismatch { reason } => write!(f, "recovery mismatch: {reason}"),
+            ChaosError::Quarantine { reason } => write!(f, "input quarantined: {reason}"),
             ChaosError::Runtime(e) => write!(f, "runtime failure: {e}"),
             ChaosError::Workload(e) => write!(f, "workload failure: {e}"),
         }

@@ -14,23 +14,41 @@
 //!   `Step` indices may legitimately replay (replay is deterministic, so
 //!   re-processing an event reproduces the same state).
 //!
-//! [`recover`] tolerates exactly one kind of damage: a torn *final*
-//! line, which is what an fsync'd append leaves behind when the process
-//! dies mid-write. Corruption anywhere earlier is a hard
-//! [`ChaosError::Journal`].
+//! Format v2 wraps every line in a CRC-32 frame —
+//! `{"crc32":N,"record":{...}}` with the checksum taken over the
+//! serialized record — so *any* single corrupted byte is detected, not
+//! just bytes that break JSON syntax. V1 journals (plain record lines)
+//! remain readable.
+//!
+//! Recovery damage tolerance is a [`RecoveryPolicy`]:
+//!
+//! - **Strict** ([`recover`]'s behavior): tolerates exactly a torn
+//!   *final* line — what an fsync'd append leaves behind when the
+//!   process dies mid-write. Corruption anywhere earlier is a hard
+//!   [`ChaosError::Journal`].
+//! - **Lenient** ([`recover_with`]): additionally skips corrupt
+//!   mid-file records, reporting their line numbers in
+//!   [`Recovery::corrupt_records`]. Safe because every record is
+//!   advisory redundancy — a lost `Step` only lowers the step
+//!   high-water mark, a lost `Snapshot` falls back to an earlier
+//!   restore point, and deterministic replay closes the gap either way.
+//!   A corrupt `Begin` is a hard error under both policies: without the
+//!   trace fingerprint and config, nothing can be trusted.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
+use serde_json::Value;
 use tacc_runtime::{Runtime, RuntimeConfig, RuntimeSnapshot};
 use tacc_workload::Trace;
 
+use crate::crc::crc32;
 use crate::ChaosError;
 
-/// The journal format this build writes and reads.
-pub const JOURNAL_VERSION: u32 = 1;
+/// The journal format this build writes. Reading accepts `1..=2`.
+pub const JOURNAL_VERSION: u32 = 2;
 
 /// One line of the journal.
 ///
@@ -115,15 +133,18 @@ impl Journal {
         &self.path
     }
 
-    /// Appends one record as a single JSON line and fsyncs it to disk.
+    /// Appends one record as a single CRC-framed JSON line and fsyncs it
+    /// to disk. The checksum covers the serialized record exactly as
+    /// written, so any later single-byte damage — including damage that
+    /// leaves the line syntactically valid — is detected on recovery.
     ///
     /// # Errors
     ///
     /// Returns [`ChaosError::Io`] on filesystem failures.
     pub fn append(&mut self, record: &JournalRecord) -> Result<(), ChaosError> {
-        let value = serde_json::to_value(record);
-        let mut line = serde_json::to_string(&value).expect("journal records are serializable");
-        line.push('\n');
+        let body = serde_json::to_string(record).expect("journal records are serializable");
+        let checksum = crc32(body.as_bytes());
+        let line = format!("{{\"crc32\":{checksum},\"record\":{body}}}\n");
         tacc_obs::counter_add("journal.records", 1);
         self.file.write_all(line.as_bytes()).map_err(|e| ChaosError::io(&self.path, &e))?;
         if tacc_obs::enabled() {
@@ -135,6 +156,21 @@ impl Journal {
             self.file.sync_data().map_err(|e| ChaosError::io(&self.path, &e))
         }
     }
+}
+
+/// How [`recover_with`] treats corrupt mid-file records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Any corrupt record before the final line is a hard error. This is
+    /// the library default ([`recover`]) and the right choice when the
+    /// journal is the system of record.
+    #[default]
+    Strict,
+    /// Corrupt mid-file records are skipped and reported in
+    /// [`Recovery::corrupt_records`]; recovery proceeds from what
+    /// survives. The right choice when finishing the replay matters more
+    /// than explaining the damage.
+    Lenient,
 }
 
 /// What [`recover`] reconstructed from a journal.
@@ -151,23 +187,70 @@ pub struct Recovery {
     /// crash preceded the first step).
     pub last_step: Option<u64>,
     /// Whether the journal ended in a torn (unparseable) final line —
-    /// expected after a mid-write kill, and the only damage tolerated.
+    /// expected after a mid-write kill, and tolerated under both
+    /// policies.
     pub torn_tail: bool,
     /// Intact records read.
     pub records: usize,
+    /// 1-based line numbers of corrupt mid-file records that were
+    /// skipped. Always empty under [`RecoveryPolicy::Strict`].
+    pub corrupt_records: Vec<usize>,
+}
+
+/// Parses one journal line, v2 CRC frame or v1 plain record.
+fn parse_line(line: &str) -> Result<JournalRecord, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("unparseable line: {e}"))?;
+    if let Some(stored) = value.get("crc32") {
+        // V2 frame: verify the checksum over the re-serialized record.
+        // Serialization is byte-deterministic (insertion-ordered keys,
+        // shortest-roundtrip floats), so an intact record reproduces the
+        // exact bytes the checksum was computed over.
+        let Value::UInt(stored) = stored else {
+            return Err("frame has a non-integer crc32".to_owned());
+        };
+        let stored = u32::try_from(*stored).map_err(|_| "frame crc32 out of range".to_owned())?;
+        let Some(record) = value.get("record") else {
+            return Err("frame is missing its record".to_owned());
+        };
+        let body = serde_json::to_string(record).expect("parsed values re-serialize");
+        let computed = crc32(body.as_bytes());
+        if computed != stored {
+            return Err(format!("CRC mismatch (stored {stored:#010x}, computed {computed:#010x})"));
+        }
+        serde_json::from_value::<JournalRecord>(record).map_err(|e| format!("bad record: {e}"))
+    } else {
+        // V1 plain record line (no frame, no checksum).
+        serde_json::from_value::<JournalRecord>(&value).map_err(|e| format!("bad record: {e}"))
+    }
 }
 
 /// Rebuilds a runtime from a journal plus the trace it was recorded
-/// against.
+/// against, under [`RecoveryPolicy::Strict`]. See [`recover_with`].
+///
+/// # Errors
+///
+/// As [`recover_with`], with every corrupt mid-file record a hard error.
+pub fn recover(path: &Path, trace: &Trace) -> Result<Recovery, ChaosError> {
+    recover_with(path, trace, RecoveryPolicy::Strict)
+}
+
+/// Rebuilds a runtime from a journal plus the trace it was recorded
+/// against, with `policy` deciding the fate of corrupt mid-file records
+/// (a torn final line is tolerated under both policies).
 ///
 /// # Errors
 ///
 /// Returns [`ChaosError::Io`] if the journal cannot be read,
-/// [`ChaosError::Journal`] if it is empty, does not start with a `Begin`
-/// record, pins a different journal version or trace fingerprint, or has
-/// a corrupt record anywhere before the final line, and propagates
-/// runtime restore failures.
-pub fn recover(path: &Path, trace: &Trace) -> Result<Recovery, ChaosError> {
+/// [`ChaosError::Journal`] if it is empty, does not start with an intact
+/// `Begin` record, pins an unknown journal version or a different trace
+/// fingerprint, or — under [`RecoveryPolicy::Strict`] — has a corrupt
+/// record anywhere before the final line, and propagates runtime restore
+/// failures.
+pub fn recover_with(
+    path: &Path,
+    trace: &Trace,
+    policy: RecoveryPolicy,
+) -> Result<Recovery, ChaosError> {
     let text = std::fs::read_to_string(path).map_err(|e| ChaosError::io(path, &e))?;
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     if lines.is_empty() {
@@ -176,18 +259,22 @@ pub fn recover(path: &Path, trace: &Trace) -> Result<Recovery, ChaosError> {
 
     let mut records: Vec<JournalRecord> = Vec::with_capacity(lines.len());
     let mut torn_tail = false;
+    let mut corrupt_records: Vec<usize> = Vec::new();
     for (i, line) in lines.iter().enumerate() {
-        let parsed = serde_json::from_str(line)
-            .ok()
-            .and_then(|v| serde_json::from_value::<JournalRecord>(&v).ok());
-        match parsed {
-            Some(record) => records.push(record),
-            None if i + 1 == lines.len() => torn_tail = true,
-            None => {
-                return Err(ChaosError::Journal {
-                    reason: format!("corrupt record at line {} (not the final line)", i + 1),
-                });
-            }
+        match parse_line(line) {
+            Ok(record) => records.push(record),
+            Err(_) if i + 1 == lines.len() && lines.len() > 1 => torn_tail = true,
+            Err(reason) => match policy {
+                RecoveryPolicy::Lenient if i > 0 => {
+                    tacc_obs::counter_add("journal.corrupt_skipped", 1);
+                    corrupt_records.push(i + 1);
+                }
+                _ => {
+                    return Err(ChaosError::Journal {
+                        reason: format!("corrupt record at line {}: {reason}", i + 1),
+                    });
+                }
+            },
         }
     }
 
@@ -197,10 +284,10 @@ pub fn recover(path: &Path, trace: &Trace) -> Result<Recovery, ChaosError> {
             reason: "journal does not start with a Begin record".to_owned(),
         });
     };
-    if *journal_version != JOURNAL_VERSION {
+    if !(1..=JOURNAL_VERSION).contains(journal_version) {
         return Err(ChaosError::Journal {
             reason: format!(
-                "journal version {journal_version} (this build reads {JOURNAL_VERSION})"
+                "journal version {journal_version} (this build reads 1..={JOURNAL_VERSION})"
             ),
         });
     }
@@ -231,7 +318,14 @@ pub fn recover(path: &Path, trace: &Trace) -> Result<Recovery, ChaosError> {
         Some(snapshot) => (Runtime::restore(snapshot.clone(), trace)?, true),
         None => (Runtime::from_trace(trace, config)?, false),
     };
-    Ok(Recovery { runtime, from_snapshot, last_step, torn_tail, records: records.len() })
+    Ok(Recovery {
+        runtime,
+        from_snapshot,
+        last_step,
+        torn_tail,
+        records: records.len(),
+        corrupt_records,
+    })
 }
 
 #[cfg(test)]
@@ -296,6 +390,101 @@ mod tests {
         std::fs::write(&path, lines.join("\n")).unwrap();
         let err = recover(&path, &trace).unwrap_err();
         assert!(matches!(err, ChaosError::Journal { .. }), "got {err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lenient_recovery_skips_and_reports_corrupt_records() {
+        let trace = trace();
+        let config = RuntimeConfig::default();
+        let path = temp_path("lenient");
+        let mut journal = Journal::create(&path, &trace, &config).unwrap();
+        for index in 0..4 {
+            journal.append(&JournalRecord::Step { index }).unwrap();
+        }
+        drop(journal);
+
+        // Corrupt a mid-file record (line 3 = Step 1).
+        let mut lines: Vec<String> =
+            std::fs::read_to_string(&path).unwrap().lines().map(str::to_owned).collect();
+        lines[2] = "garbage".to_owned();
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let err = recover_with(&path, &trace, RecoveryPolicy::Strict).unwrap_err();
+        assert!(matches!(err, ChaosError::Journal { .. }), "strict must reject: {err:?}");
+
+        let recovery = recover_with(&path, &trace, RecoveryPolicy::Lenient).unwrap();
+        assert_eq!(recovery.corrupt_records, vec![3]);
+        assert_eq!(recovery.last_step, Some(3), "surviving steps still counted");
+        assert!(!recovery.torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_corrupt_begin_record_is_fatal_even_leniently() {
+        let trace = trace();
+        let config = RuntimeConfig::default();
+        let path = temp_path("bad-begin");
+        let mut journal = Journal::create(&path, &trace, &config).unwrap();
+        journal.append(&JournalRecord::Step { index: 0 }).unwrap();
+        drop(journal);
+
+        let mut lines: Vec<String> =
+            std::fs::read_to_string(&path).unwrap().lines().map(str::to_owned).collect();
+        lines[0] = lines[0].replace("crc32", "crc99");
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let err = recover_with(&path, &trace, RecoveryPolicy::Lenient).unwrap_err();
+        let ChaosError::Journal { reason } = &err else { panic!("got {err:?}") };
+        assert!(reason.contains("line 1"), "got: {reason}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_plain_record_journals_remain_readable() {
+        let trace = trace();
+        let config = RuntimeConfig::default();
+        let path = temp_path("v1");
+        // A v1 journal: plain record lines, no CRC frames, version 1.
+        let begin = serde_json::to_string(&JournalRecord::Begin {
+            journal_version: 1,
+            trace_fingerprint: trace.fingerprint(),
+            config,
+        })
+        .unwrap();
+        let step = serde_json::to_string(&JournalRecord::Step { index: 0 }).unwrap();
+        std::fs::write(&path, format!("{begin}\n{step}\n")).unwrap();
+
+        let recovery = recover(&path, &trace).unwrap();
+        assert_eq!(recovery.last_step, Some(0));
+        assert_eq!(recovery.records, 2);
+        assert!(recovery.corrupt_records.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc_catches_damage_that_keeps_the_json_valid() {
+        let trace = trace();
+        let config = RuntimeConfig::default();
+        let path = temp_path("valid-json-damage");
+        let mut journal = Journal::create(&path, &trace, &config).unwrap();
+        journal.append(&JournalRecord::Step { index: 3 }).unwrap();
+        journal.append(&JournalRecord::Step { index: 4 }).unwrap();
+        drop(journal);
+
+        // Flip the step index inside the framed record: still perfectly
+        // valid JSON, but the stored CRC no longer matches. The v1 reader
+        // would have accepted this silently.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"index\":3"), "fixture drifted");
+        std::fs::write(&path, text.replace("\"index\":3", "\"index\":8")).unwrap();
+
+        let err = recover(&path, &trace).unwrap_err();
+        let ChaosError::Journal { reason } = &err else { panic!("got {err:?}") };
+        assert!(reason.contains("CRC mismatch"), "got: {reason}");
+
+        let recovery = recover_with(&path, &trace, RecoveryPolicy::Lenient).unwrap();
+        assert_eq!(recovery.corrupt_records, vec![2]);
+        assert_eq!(recovery.last_step, Some(4), "the intact step survives");
         std::fs::remove_file(&path).ok();
     }
 

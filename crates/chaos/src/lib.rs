@@ -11,15 +11,21 @@
 //!    take down the *last* alive server. Emitted as ordinary format-v1
 //!    traces, so nothing downstream needs a special case.
 //! 2. **Crash-recovery journaling** ([`Journal`], [`recover`]): an
-//!    append-only, per-record-fsync'd JSONL journal of a replay, with
-//!    periodic full snapshots, from which a hard-killed run recovers —
-//!    tolerating exactly the torn final line a mid-write kill leaves.
+//!    append-only, per-record-fsync'd JSONL journal of a replay, every
+//!    record wrapped in a CRC-32 frame (format v2; v1 plain-line
+//!    journals remain readable), with periodic full snapshots, from
+//!    which a hard-killed run recovers. Strict recovery tolerates
+//!    exactly the torn final line a mid-write kill leaves; lenient
+//!    recovery ([`recover_with`]) additionally skips and reports
+//!    corrupt mid-file records.
 //! 3. **The crash harness** ([`run_with_crashes`],
-//!    [`kill_at_every_boundary`]): simulated hard kills at event
-//!    boundaries, recovery from the journal, and a byte-identical
-//!    comparison against an uninterrupted reference run — with the
-//!    runtime's invariants ([`tacc_runtime::check`]) verified after
-//!    every event and zero transient overload required throughout.
+//!    [`kill_at_every_boundary`], [`corrupt_and_recover_everywhere`]):
+//!    simulated hard kills at event boundaries and single-byte
+//!    corruption at every journal record, recovery from the journal,
+//!    and a byte-identical comparison against an uninterrupted
+//!    reference run — with the runtime's invariants
+//!    ([`tacc_runtime::check`]) verified after every event and zero
+//!    transient overload required throughout.
 //!
 //! ## Example
 //!
@@ -53,12 +59,19 @@
 // Event counts are bounded by `Vec` lengths; narrowing is safe.
 #![allow(clippy::cast_possible_truncation)]
 
+pub mod crc;
 mod error;
 pub mod journal;
 mod runner;
 mod schedule;
 
+pub use crc::crc32;
 pub use error::ChaosError;
-pub use journal::{recover, Journal, JournalRecord, Recovery, JOURNAL_VERSION};
-pub use runner::{kill_at_every_boundary, run_with_crashes, ChaosReport, CrashPlan};
+pub use journal::{
+    recover, recover_with, Journal, JournalRecord, Recovery, RecoveryPolicy, JOURNAL_VERSION,
+};
+pub use runner::{
+    corrupt_and_recover_everywhere, kill_at_every_boundary, run_with_crashes, ChaosReport,
+    CrashPlan,
+};
 pub use schedule::{ChaosGenerator, ChaosProfile};

@@ -2,7 +2,7 @@
 //! boundaries, recovery, and proof that the result is byte-identical to
 //! an uninterrupted run.
 //!
-//! Two entry points:
+//! Three entry points:
 //!
 //! - [`run_with_crashes`] replays a trace with a simulated hard kill at
 //!   every `crash_every`-th event boundary (the `tacc chaos
@@ -11,6 +11,10 @@
 //! - [`kill_at_every_boundary`] is the exhaustive version: one kill at
 //!   *each* boundary of the trace, each followed by recovery and
 //!   completion — the acceptance gate for the crash-recovery contract.
+//! - [`corrupt_and_recover_everywhere`] attacks the journal instead of
+//!   the process: one flipped byte at every record offset, each proven
+//!   detected and survivable — the acceptance gate for the CRC-framed
+//!   journal format.
 //!
 //! Both check the runtime's invariants after every event (deep checks on
 //! the [`tacc_runtime::check::DEEP_CHECK_EVERY`] cadence) regardless of
@@ -24,7 +28,7 @@ use serde_json::{json, Value};
 use tacc_runtime::{InvariantChecker, Runtime, RuntimeConfig, RuntimeSnapshot};
 use tacc_workload::Trace;
 
-use crate::journal::{recover, Journal, JournalRecord};
+use crate::journal::{recover, recover_with, Journal, JournalRecord, RecoveryPolicy};
 use crate::ChaosError;
 
 /// How a journaled, crash-injected replay is driven.
@@ -98,6 +102,17 @@ impl ChaosReport {
     }
 }
 
+/// First-line defense shared by every harness entry point: the trace's
+/// own structural validation, then the guard layer's quarantine pass
+/// (which catches what serde lets through — NaN drift latencies,
+/// out-of-range indices, backwards timestamps).
+fn quarantine(trace: &Trace) -> Result<(), ChaosError> {
+    trace.validate().map_err(ChaosError::Workload)?;
+    tacc_guard::validate::validate_trace(trace)
+        .gate(false)
+        .map_err(|e| ChaosError::Quarantine { reason: e.to_string() })
+}
+
 /// The uninterrupted reference: the deterministic report string and the
 /// final snapshot, plus the worst overload seen along the way.
 fn reference_run(
@@ -133,7 +148,7 @@ pub fn run_with_crashes(
     plan: &CrashPlan,
     journal_path: &Path,
 ) -> Result<ChaosReport, ChaosError> {
-    trace.validate().map_err(ChaosError::Workload)?;
+    quarantine(trace)?;
     let (reference_report, reference_snapshot, reference_overload) =
         reference_run(trace, &plan.config)?;
 
@@ -224,7 +239,7 @@ pub fn kill_at_every_boundary(
     snapshot_every: u64,
     journal_path: &Path,
 ) -> Result<u64, ChaosError> {
-    trace.validate().map_err(ChaosError::Workload)?;
+    quarantine(trace)?;
     let (reference_report, reference_snapshot, _) = reference_run(trace, config)?;
     let checker = InvariantChecker::default();
 
@@ -277,6 +292,115 @@ pub fn kill_at_every_boundary(
     Ok(trace.events.len() as u64)
 }
 
+/// The exhaustive corruption gate: run the trace once fully journaled,
+/// then for every journal record after `Begin`, flip one byte of that
+/// line (deterministically: XOR `0x20` at offset `line_no * 7 % len`) and
+/// prove that the damage is *detected* (strict recovery rejects it; the
+/// final line counts as a torn tail instead), that lenient recovery
+/// *reports* it, and that finishing the trace from the lenient recovery
+/// is byte-identical to the uninterrupted reference run. Returns the
+/// number of record offsets proven.
+///
+/// # Errors
+///
+/// Returns [`ChaosError::Mismatch`] naming the first line whose
+/// corruption went undetected or whose recovered run diverged, and
+/// propagates journal and runtime failures.
+pub fn corrupt_and_recover_everywhere(
+    trace: &Trace,
+    config: &RuntimeConfig,
+    snapshot_every: u64,
+    journal_path: &Path,
+) -> Result<u64, ChaosError> {
+    quarantine(trace)?;
+    let (reference_report, reference_snapshot, _) = reference_run(trace, config)?;
+
+    // One complete journaled run; its bytes are the corruption corpus.
+    let mut journal = Journal::create(journal_path, trace, config)?;
+    let mut runtime = Runtime::from_trace(trace, config.clone())?;
+    for index in 0..trace.events.len() {
+        runtime.step(index, &trace.events[index])?;
+        journal.append(&JournalRecord::Step { index: index as u64 })?;
+        if snapshot_every > 0 && runtime.cursor() % snapshot_every == 0 {
+            journal.append(&JournalRecord::Snapshot { snapshot: runtime.snapshot() })?;
+        }
+    }
+    drop(runtime);
+    drop(journal);
+    let pristine =
+        std::fs::read_to_string(journal_path).map_err(|e| ChaosError::io(journal_path, &e))?;
+    let lines: Vec<&str> = pristine.lines().collect();
+
+    let mut proven = 0u64;
+    for target in 1..lines.len() {
+        // Rewrite the journal with one byte of line `target` flipped.
+        let mut damaged = String::with_capacity(pristine.len());
+        for (i, line) in lines.iter().enumerate() {
+            if i == target {
+                let mut bytes = line.as_bytes().to_vec();
+                let offset = ((i + 1) * 7) % bytes.len();
+                bytes[offset] ^= 0x20;
+                damaged.push_str(&String::from_utf8_lossy(&bytes));
+            } else {
+                damaged.push_str(line);
+            }
+            damaged.push('\n');
+        }
+        std::fs::write(journal_path, &damaged).map_err(|e| ChaosError::io(journal_path, &e))?;
+
+        let line_no = target + 1;
+        // Detection: strict recovery must reject mid-file damage (the
+        // final line is reported as a torn tail instead).
+        let strict = recover_with(journal_path, trace, RecoveryPolicy::Strict);
+        let is_tail = target + 1 == lines.len();
+        match (&strict, is_tail) {
+            (Err(ChaosError::Journal { .. }), false) | (Ok(_), true) => {}
+            (other, _) => {
+                return Err(ChaosError::Mismatch {
+                    reason: format!(
+                        "line {line_no}: corruption not detected as expected (strict: {})",
+                        match other {
+                            Ok(_) => "accepted".to_owned(),
+                            Err(e) => format!("{e}"),
+                        }
+                    ),
+                });
+            }
+        }
+
+        // Reporting + completion: lenient recovery must name the damage
+        // and still finish the trace byte-identically.
+        let recovery = recover_with(journal_path, trace, RecoveryPolicy::Lenient)?;
+        let reported = recovery.torn_tail || recovery.corrupt_records == vec![line_no];
+        if !reported {
+            return Err(ChaosError::Mismatch {
+                reason: format!(
+                    "line {line_no}: lenient recovery did not report the damage \
+                     (torn_tail={}, corrupt={:?})",
+                    recovery.torn_tail, recovery.corrupt_records
+                ),
+            });
+        }
+        let mut runtime = recovery.runtime;
+        while (runtime.cursor() as usize) < trace.events.len() {
+            let index = runtime.cursor() as usize;
+            runtime.step(index, &trace.events[index])?;
+        }
+        let report =
+            serde_json::to_string(&runtime.report_json(false)).expect("reports are serializable");
+        if report != reference_report || runtime.snapshot() != reference_snapshot {
+            return Err(ChaosError::Mismatch {
+                reason: format!("line {line_no}: recovery from corruption diverged from reference"),
+            });
+        }
+        proven += 1;
+    }
+
+    // Restore the pristine journal so the caller can inspect it.
+    std::fs::write(journal_path, &pristine).map_err(|e| ChaosError::io(journal_path, &e))?;
+    Ok(proven)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +440,34 @@ mod tests {
         // The journal is complete and recoverable even without crashes.
         let recovery = recover(&path, &trace).unwrap();
         assert_eq!(recovery.last_step, Some(24));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_gate_proves_every_record_offset() {
+        let scenario = TraceScenario { num_iot: 10, num_servers: 3, ..TraceScenario::default() };
+        let trace =
+            ChaosGenerator::new(scenario, ChaosProfile::Mixed).num_events(12).generate(21).unwrap();
+        let path = temp_path("corrupt-gate");
+        let proven =
+            corrupt_and_recover_everywhere(&trace, &RuntimeConfig::default(), 4, &path).unwrap();
+        // 12 steps + 3 snapshots (after events 4, 8, 12); Begin is exempt.
+        assert_eq!(proven, 15);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chaos_runner_quarantines_malformed_traces() {
+        let scenario = TraceScenario { num_iot: 10, num_servers: 3, ..TraceScenario::default() };
+        let mut trace =
+            ChaosGenerator::new(scenario, ChaosProfile::Mixed).num_events(8).generate(5).unwrap();
+        // Smuggle in a NaN load factor: `Trace::validate` only checks the
+        // event stream, so only the guard quarantine sees it — and a NaN
+        // factor would otherwise poison every derived server capacity.
+        trace.scenario.load_factor = f64::NAN;
+        let path = temp_path("quarantine");
+        let err = run_with_crashes(&trace, &CrashPlan::default(), &path).unwrap_err();
+        assert!(matches!(err, ChaosError::Quarantine { .. }), "got {err:?}");
         std::fs::remove_file(&path).ok();
     }
 

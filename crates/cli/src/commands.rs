@@ -3,13 +3,15 @@
 use std::path::Path;
 
 use tacc_chaos::{
-    recover, run_with_crashes, ChaosGenerator, ChaosProfile, CrashPlan, Journal, JournalRecord,
+    corrupt_and_recover_everywhere, recover_with, run_with_crashes, ChaosGenerator, ChaosProfile,
+    CrashPlan, Journal, JournalRecord, RecoveryPolicy,
 };
 use tacc_core::sim::SimConfig;
 use tacc_core::workload::{
     DemandModel, Scenario, ScenarioBuilder, TopologyFamily, Trace, TraceGenerator, TraceScenario,
 };
 use tacc_core::{Algorithm, ClusterConfigurator};
+use tacc_guard::{validate, Budget, QuarantineReport, Supervisor, SupervisorConfig};
 use tacc_runtime::{ReassignPolicy, Runtime, RuntimeConfig, RuntimeSnapshot};
 
 use crate::args::Args;
@@ -41,6 +43,15 @@ OPTIONS (all subcommands):
   --seed S           scenario + solver seed     [default 42]
   --algorithm NAME   solver (see `tacc algorithms`) [default q-learning]
   --json             machine-readable output (solve/simulate)
+  --strict-inputs    escalate advisory quarantine findings on loaded
+                     traces/snapshots to hard errors
+
+solve only:
+  --budget N         anytime work budget (episodes / steps / generations);
+                     runs under the guard supervisor: best-so-far answer,
+                     fallback ladder on failure, GuardReport in the output.
+                     Requires an iterative algorithm (the RL learners,
+                     simulated-annealing, tabu-search, genetic)
 
 simulate only:
   --duration-ms D    simulated time             [default 30000]
@@ -64,6 +75,8 @@ run-trace only:
   --journal FILE     append-only fsync'd journal of the replay
   --snapshot-every N journal a full snapshot every N events [default 5]
   --recover          resume from --journal FILE after a crash
+  --strict           with --recover: reject corrupt mid-journal records
+                     instead of skipping and reporting them
   --timing           include wall-clock latency histograms in the report
 
 solve / run-trace:
@@ -73,6 +86,9 @@ solve / run-trace:
 
 obs-report only (replays --trace when given, otherwise generates a trace
 from the gen-trace flags; always runs with observability on):
+  --solve            profile a `solve` run instead of a trace replay
+                     (accepts the solve flags, including --budget; guard
+                     counters appear in the registry)
   --json             machine-readable profile + registry instead of text
 
 chaos only:
@@ -83,6 +99,8 @@ chaos only:
   --crash-every K    hard-kill every K events (0 = never) [default 7]
   --snapshot-every N journal snapshot cadence        [default 5]
   --journal FILE     keep the journal here           [default temp, removed]
+  --corrupt-records  additionally flip one byte at every journal record
+                     offset and prove detection + byte-identical recovery
   (plus --devices/--servers/--load/--family/--seed and the run-trace
    policy flags; exits non-zero unless recovery is byte-identical)
 
@@ -132,16 +150,49 @@ fn algorithm_from(args: &Args) -> Result<Algorithm, String> {
         .ok_or_else(|| format!("unknown algorithm `{name}` (see `tacc algorithms`)"))
 }
 
+/// Gates a quarantine report: hard violations (and, under
+/// `--strict-inputs`, advisory findings) become errors; surviving
+/// advisory findings are warned to stderr so they are never silent.
+fn gate_inputs(report: &QuarantineReport, strict: bool) -> Result<(), String> {
+    if report.advisory_count() > 0 && report.hard_count() == 0 && !strict {
+        eprintln!(
+            "[quarantine] {}: {} advisory finding(s): {}",
+            report.subject,
+            report.advisory_count(),
+            report.summary()
+        );
+    }
+    report.gate(strict).map_err(|e| e.to_string())
+}
+
+/// The optional `--budget N` anytime work budget.
+fn budget_from(args: &Args) -> Result<Option<u64>, String> {
+    match args.str_opt("budget") {
+        None => Ok(None),
+        Some(raw) => {
+            raw.parse().map(Some).map_err(|_| format!("--budget got `{raw}`, expected a number"))
+        }
+    }
+}
+
 /// `tacc solve`
 pub fn solve(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
+    println!("{}", solve_output(&args)?);
+    Ok(())
+}
+
+fn solve_output(args: &Args) -> Result<String, String> {
     let obs_out = args.str_opt("obs-out");
     if obs_out.is_some() {
         tacc_obs::set_enabled(true);
         tacc_obs::reset();
     }
-    let (scenario, seed) = scenario_from(&args)?;
-    let algorithm = algorithm_from(&args)?;
+    let (scenario, seed) = scenario_from(args)?;
+    let algorithm = algorithm_from(args)?;
+    if let Some(units) = budget_from(args)? {
+        return solve_supervised(args, &scenario, &algorithm, seed, units, obs_out);
+    }
     let config = ClusterConfigurator::from_scenario(&scenario)
         .algorithm(algorithm)
         .seed(seed)
@@ -162,11 +213,102 @@ pub fn solve(argv: &[String]) -> Result<(), String> {
             "server_loads": config.server_loads(),
             "assignment": assignment,
         });
-        println!("{}", serde_json::to_string_pretty(&doc).expect("serializable"));
+        Ok(serde_json::to_string_pretty(&doc).expect("serializable"))
     } else {
-        println!("{}", config.report());
+        Ok(config.report())
     }
-    Ok(())
+}
+
+/// The `--budget` path: the algorithm's anytime form under the guard
+/// supervisor — deterministic best-so-far answer within the budget, the
+/// fallback ladder on panic or error, and the [`tacc_guard::GuardReport`]
+/// alongside the solution.
+fn solve_supervised(
+    args: &Args,
+    scenario: &Scenario,
+    algorithm: &Algorithm,
+    seed: u64,
+    units: u64,
+    obs_out: Option<&str>,
+) -> Result<String, String> {
+    let Some(primary) = algorithm.anytime_solver(seed) else {
+        return Err(format!(
+            "--budget needs an iterative algorithm (q-learning, double-q-learning, sarsa, \
+             simulated-annealing, tabu-search, genetic); `{}` is one-shot",
+            algorithm.name()
+        ));
+    };
+    let instance = scenario.instance();
+    let budget = Budget::units(units);
+    let mut supervisor = Supervisor::new(SupervisorConfig::default());
+    let (solution, guard) =
+        supervisor.supervise(primary.as_ref(), instance, &budget).map_err(|e| e.to_string())?;
+
+    if let Some(path) = obs_out {
+        write_supervised_stream(Path::new(path), &guard, seed).map_err(|e| e.to_string())?;
+    }
+    let devices = instance.num_devices();
+    let mean = if devices > 0 { solution.objective / devices as f64 } else { 0.0 };
+    if args.has("json") {
+        let assignment: Vec<i64> = (0..devices)
+            .map(|i| solution.assignment.server_of(i).map_or(-1, |s| s as i64))
+            .collect();
+        let doc = serde_json::json!({
+            "algorithm": guard.solver.clone(),
+            "feasible": guard.feasible,
+            "total_delay_ms": solution.objective,
+            "mean_delay_ms": mean,
+            "guard": serde_json::to_value(&guard),
+            "assignment": assignment,
+        });
+        Ok(serde_json::to_string_pretty(&doc).expect("serializable"))
+    } else {
+        let budget_label = guard.budget.map_or_else(|| "unlimited".to_owned(), |b| b.to_string());
+        Ok(format!(
+            "supervised solve: {}\n\
+             budget: {} unit(s), spent {}, completed: {}\n\
+             degradation: {}\n\
+             feasible: {}\n\
+             total delay: {:.3} ms (mean {:.3} ms)\n\
+             fallbacks: {}, panics caught: {}, breaker trips: {}",
+            guard.solver,
+            budget_label,
+            guard.spent,
+            guard.completed,
+            guard.degradation.label(),
+            guard.feasible,
+            solution.objective,
+            mean,
+            guard.fallbacks,
+            guard.panics_caught,
+            guard.breaker_trips,
+        ))
+    }
+}
+
+/// The supervised-solve observability stream: meta, one `guard` record
+/// (the full deterministic [`tacc_guard::GuardReport`]), and the closing
+/// registry — where the `guard.*` counters (breaker trips, fallbacks,
+/// panics caught) land.
+fn write_supervised_stream(
+    path: &Path,
+    guard: &tacc_guard::GuardReport,
+    seed: u64,
+) -> std::io::Result<()> {
+    use serde_json::Value;
+    let mut stream = tacc_obs::StreamWriter::create(
+        path,
+        "solve-supervised",
+        vec![
+            ("algorithm".to_owned(), Value::Str(guard.solver.clone())),
+            ("seed".to_owned(), Value::UInt(seed)),
+        ],
+    )?;
+    let Value::Object(fields) = serde_json::to_value(guard) else {
+        unreachable!("GuardReport serializes as an object")
+    };
+    stream.record("guard", fields)?;
+    stream.finish(&tacc_obs::registry_snapshot())
 }
 
 /// Writes the `solve` observability stream: the meta record, one
@@ -352,12 +494,25 @@ fn run_trace_report(args: &Args) -> Result<String, String> {
     let path = args.str_opt("trace").ok_or("run-trace needs --trace FILE")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))?;
     let trace = Trace::from_json(&text).map_err(|e| e.to_string())?;
+    gate_inputs(&validate::validate_trace(&trace), args.has("strict-inputs"))?;
 
     let mut journal = None;
     let mut runtime = if let Some(journal_file) = journal_path.filter(|_| args.has("recover")) {
         // Crash recovery: rebuild from the fsync'd journal, then keep
-        // journaling the rest of the replay to the same file.
-        let recovery = recover(Path::new(journal_file), &trace).map_err(|e| e.to_string())?;
+        // journaling the rest of the replay to the same file. The default
+        // policy is lenient (skip-and-report mid-journal corruption);
+        // `--strict` refuses to proceed past a single damaged record.
+        let policy =
+            if args.has("strict") { RecoveryPolicy::Strict } else { RecoveryPolicy::Lenient };
+        let recovery =
+            recover_with(Path::new(journal_file), &trace, policy).map_err(|e| e.to_string())?;
+        if !recovery.corrupt_records.is_empty() {
+            eprintln!(
+                "[recover] skipped {} corrupt journal record(s) at line(s) {:?}",
+                recovery.corrupt_records.len(),
+                recovery.corrupt_records
+            );
+        }
         let mut handle =
             Journal::open_append(Path::new(journal_file)).map_err(|e| e.to_string())?;
         handle
@@ -369,6 +524,7 @@ fn run_trace_report(args: &Args) -> Result<String, String> {
         let snap_text = std::fs::read_to_string(snap_path)
             .map_err(|e| format!("reading `{snap_path}`: {e}"))?;
         let snapshot = RuntimeSnapshot::from_json(&snap_text).map_err(|e| e.to_string())?;
+        gate_inputs(&validate::validate_snapshot(&snapshot), args.has("strict-inputs"))?;
         Runtime::restore(snapshot, &trace).map_err(|e| e.to_string())?
     } else {
         let config = runtime_config_from(args)?;
@@ -514,11 +670,28 @@ fn chaos_report(args: &Args) -> Result<(String, bool), String> {
         }
     };
     let report = run_with_crashes(&trace, &plan, &journal_path).map_err(|e| e.to_string())?;
+    let mut doc = report.to_json();
+    if args.has("corrupt-records") {
+        // The journal-integrity gate: a fresh journaled run, then one
+        // flipped byte at every record offset — each must be detected
+        // and survived with byte-identical lenient recovery.
+        let corrupt_path = journal_path.with_extension("corrupt.jsonl");
+        let proven = corrupt_and_recover_everywhere(
+            &trace,
+            &plan.config,
+            plan.snapshot_every,
+            &corrupt_path,
+        )
+        .map_err(|e| e.to_string())?;
+        std::fs::remove_file(&corrupt_path).ok();
+        if let serde_json::Value::Object(fields) = &mut doc {
+            fields.push(("corruption_offsets_proven".to_owned(), serde_json::Value::UInt(proven)));
+        }
+    }
     if !keep_journal {
         std::fs::remove_file(&journal_path).ok();
     }
-    let json =
-        serde_json::to_string_pretty(&report.to_json()).expect("chaos reports are serializable");
+    let json = serde_json::to_string_pretty(&doc).expect("chaos reports are serializable");
     Ok((json, report.byte_identical))
 }
 
@@ -680,7 +853,12 @@ pub fn obs_report(argv: &[String]) -> Result<(), String> {
         // accounts for (nearly) all of the measured wall-clock, and every
         // runtime/solver span nests beneath it.
         let _span = tacc_obs::span!("obs-report");
-        if args.str_opt("trace").is_some() {
+        if args.has("solve") {
+            // Profile a (possibly supervised, with --budget) solve run:
+            // the guard.* counters — breaker trips, fallbacks, panics
+            // caught — land in the registry printed below.
+            solve_output(&args)?;
+        } else if args.str_opt("trace").is_some() {
             run_trace_report(&args)?;
         } else {
             let json = gen_trace_json(&args)?;
@@ -753,6 +931,132 @@ mod tests {
         assert!(solve(&argv(&["--algorithm", "nope"])).is_err());
         assert!(solve(&argv(&["--family", "nope"])).is_err());
         assert!(solve(&argv(&["--demand", "nope"])).is_err());
+    }
+
+    #[test]
+    fn budgeted_solve_is_deterministic_and_reports_the_guard() {
+        // Same seed + same budget → byte-identical output, including the
+        // embedded GuardReport; a one-shot algorithm is rejected with a
+        // friendly diagnosis. This test also owns the forced-panic knob
+        // (env vars are process-global, so all FORCE_PANIC use lives in
+        // one test to avoid cross-test races).
+        let base = ["--devices", "12", "--servers", "3", "--seed", "9", "--json"];
+        let run = |extra: &[&str]| {
+            let mut a: Vec<&str> = base.to_vec();
+            a.extend_from_slice(extra);
+            solve_output(&Args::parse(&argv(&a)).unwrap())
+        };
+
+        let first = run(&["--algorithm", "simulated-annealing", "--budget", "25"]).unwrap();
+        let second = run(&["--algorithm", "simulated-annealing", "--budget", "25"]).unwrap();
+        assert_eq!(first, second, "same seed + budget must be byte-identical");
+        assert!(first.contains("\"guard\""), "the GuardReport rides along: {first}");
+        assert!(first.contains("\"feasible\": true"), "{first}");
+
+        let err = run(&["--algorithm", "greedy-regret", "--budget", "5"]).unwrap_err();
+        assert!(err.contains("one-shot"), "got: {err}");
+        let err = run(&["--budget", "lots"]).unwrap_err();
+        assert!(err.contains("expected a number"), "got: {err}");
+
+        // A primary that panics mid-episode degrades to the greedy
+        // fallback — still feasible, no error escapes — and the breaker
+        // trip is visible in the obs registry (what `tacc obs-report
+        // --solve` prints).
+        tacc_obs::set_enabled(true);
+        tacc_obs::reset();
+        std::env::set_var(tacc_guard::FORCE_PANIC_ENV, "1");
+        let degraded = run(&["--algorithm", "q-learning", "--budget", "10"]);
+        std::env::remove_var(tacc_guard::FORCE_PANIC_ENV);
+        let registry = tacc_obs::registry_snapshot();
+        tacc_obs::set_enabled(false);
+        let degraded = degraded.unwrap();
+        assert!(degraded.contains("\"degradation\": \"Fallback\""), "{degraded}");
+        assert!(degraded.contains("\"feasible\": true"), "{degraded}");
+        assert!(degraded.contains("\"panics_caught\": 1"), "{degraded}");
+        assert!(registry.counter("guard.breaker_trips").unwrap_or(0) >= 1);
+        assert!(registry.counter("guard.panics_caught").unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn quarantine_gates_traces_and_escalates_under_strict_inputs() {
+        use tacc_core::workload::TraceGenerator;
+        let dir = std::env::temp_dir().join("tacc-cli-quarantine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let scenario = TraceScenario { num_iot: 10, num_servers: 3, ..TraceScenario::default() };
+
+        // An empty trace is an advisory finding: warned and replayed by
+        // default, a hard error under --strict-inputs.
+        let empty = TraceGenerator::new(scenario.clone()).num_events(0).generate(1).unwrap();
+        let empty_path = dir.join("empty.json");
+        std::fs::write(&empty_path, empty.to_json()).unwrap();
+        let flag = empty_path.to_str().unwrap();
+        run_trace_report(&Args::parse(&argv(&["--trace", flag])).unwrap()).unwrap();
+        let err =
+            run_trace_report(&Args::parse(&argv(&["--trace", flag, "--strict-inputs"])).unwrap())
+                .unwrap_err();
+        assert!(err.contains("quarantined"), "got: {err}");
+
+        // A nonsensical load factor is a hard violation: rejected with or
+        // without --strict-inputs (the loader used to accept it silently).
+        let mut bad = TraceGenerator::new(scenario).num_events(5).generate(2).unwrap();
+        bad.scenario.load_factor = -0.5;
+        let bad_path = dir.join("bad-load.json");
+        std::fs::write(&bad_path, bad.to_json()).unwrap();
+        let err = run_trace_report(
+            &Args::parse(&argv(&["--trace", bad_path.to_str().unwrap()])).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("quarantined"), "got: {err}");
+    }
+
+    #[test]
+    fn lenient_recovery_skips_corruption_and_strict_refuses() {
+        let dir = std::env::temp_dir().join("tacc-cli-lenient-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json");
+        let journal_path = dir.join("journal.jsonl");
+        std::fs::remove_file(&journal_path).ok();
+
+        let gen_args = Args::parse(&argv(&[
+            "--devices",
+            "12",
+            "--servers",
+            "3",
+            "--events",
+            "30",
+            "--seed",
+            "11",
+        ]))
+        .unwrap();
+        std::fs::write(&trace_path, gen_trace_json(&gen_args).unwrap()).unwrap();
+        let trace_flag = trace_path.to_str().unwrap();
+        let journal_flag = journal_path.to_str().unwrap();
+        let run = |extra: &[&str]| {
+            let mut a: Vec<&str> = vec!["--trace", trace_flag, "--seed", "11"];
+            a.extend_from_slice(extra);
+            run_trace_report(&Args::parse(&argv(&a)).unwrap())
+        };
+
+        let whole = run(&[]).unwrap();
+        run(&["--journal", journal_flag, "--stop-after", "17"]).unwrap();
+
+        // Flip one byte inside a mid-journal record.
+        let mut bytes = std::fs::read(&journal_path).unwrap();
+        let line_starts: Vec<usize> = std::iter::once(0)
+            .chain(bytes.iter().enumerate().filter(|(_, b)| **b == b'\n').map(|(i, _)| i + 1))
+            .collect();
+        let target = line_starts[2] + 10;
+        bytes[target] ^= 0x20;
+        std::fs::write(&journal_path, &bytes).unwrap();
+
+        // Strict recovery refuses to run past the damage…
+        let err = run(&["--journal", journal_flag, "--recover", "--strict"]).unwrap_err();
+        assert!(err.contains("corrupt record"), "got: {err}");
+        // …lenient recovery (the default) skips it, reports it, and the
+        // finished replay is byte-identical to the uninterrupted run.
+        let recovered = run(&["--journal", journal_flag, "--recover"]).unwrap();
+        assert_eq!(whole, recovered);
+        std::fs::remove_file(&journal_path).ok();
     }
 
     #[test]
@@ -889,6 +1193,25 @@ mod tests {
             assert!(byte_identical, "{}: recovery diverged", profile.name());
             assert!(json.contains("\"byte_identical\": true"), "{}: {json}", profile.name());
         }
+    }
+
+    #[test]
+    fn chaos_corrupt_records_gate_reports_proven_offsets() {
+        let args = Args::parse(&argv(&[
+            "--devices",
+            "10",
+            "--servers",
+            "3",
+            "--events",
+            "15",
+            "--crash-every",
+            "6",
+            "--corrupt-records",
+        ]))
+        .unwrap();
+        let (json, byte_identical) = chaos_report(&args).unwrap();
+        assert!(byte_identical);
+        assert!(json.contains("\"corruption_offsets_proven\""), "{json}");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use tacc_baselines::{
     SimulatedAnnealing, TabuSearch,
 };
 use tacc_gap::exact::{BranchAndBound, BruteForce};
-use tacc_gap::Solver;
+use tacc_gap::{AnytimeSolver, Solver};
 use tacc_rl::{
     BanditAssign, BanditConfig, DoubleQLearning, LfaConfig, LfaQLearning, QLearning,
     QLearningConfig, Sarsa, SarsaConfig,
@@ -99,6 +99,25 @@ impl Algorithm {
         }
     }
 
+    /// Instantiates the solver as a budget-aware [`AnytimeSolver`], for
+    /// algorithms with an iterative core (the tabular RL learners and
+    /// the metaheuristics). Returns `None` for constructive one-shot
+    /// heuristics and the exact solvers, whose work is not meaningfully
+    /// divisible into budget units.
+    pub fn anytime_solver(&self, seed: u64) -> Option<Box<dyn AnytimeSolver>> {
+        match self {
+            Algorithm::QLearning(cfg) => Some(Box::new(QLearning::new(cfg.clone(), seed))),
+            Algorithm::DoubleQLearning(cfg) => {
+                Some(Box::new(DoubleQLearning::new(cfg.clone(), seed)))
+            }
+            Algorithm::Sarsa(cfg) => Some(Box::new(Sarsa::new(cfg.clone(), seed))),
+            Algorithm::SimulatedAnnealing => Some(Box::new(SimulatedAnnealing::new(seed))),
+            Algorithm::TabuSearch => Some(Box::new(TabuSearch::new(seed))),
+            Algorithm::Genetic(cfg) => Some(Box::new(Genetic::new(cfg.clone(), seed))),
+            _ => None,
+        }
+    }
+
     /// The solver's display name (same string the solver itself reports).
     pub fn name(&self) -> String {
         self.solver(0).name().to_owned()
@@ -175,6 +194,24 @@ mod tests {
         let bf = Algorithm::BruteForce.solver(0).solve(&inst).unwrap();
         let bb = Algorithm::BranchAndBound.solver(0).solve(&inst).unwrap();
         assert_eq!(bf.objective, bb.objective);
+    }
+
+    #[test]
+    fn anytime_solvers_honor_budgets_and_one_shots_opt_out() {
+        use tacc_gap::{Budget, DegradationLevel};
+        let inst = instance();
+        let mut anytime = 0;
+        for alg in Algorithm::standard_set() {
+            let Some(solver) = alg.anytime_solver(3) else { continue };
+            anytime += 1;
+            let (s, g) = solver.solve_within(&inst, &Budget::units(1)).unwrap();
+            assert!(s.assignment.is_feasible(&inst), "{}", g.solver);
+            assert!(g.spent <= 1, "{}: spent {}", g.solver, g.spent);
+            assert_eq!(g.degradation, DegradationLevel::Truncated, "{}", g.solver);
+        }
+        assert_eq!(anytime, 6, "the RL learners and the metaheuristics are anytime");
+        assert!(Algorithm::greedy().anytime_solver(0).is_none());
+        assert!(Algorithm::BruteForce.anytime_solver(0).is_none());
     }
 
     #[test]

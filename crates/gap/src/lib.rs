@@ -42,6 +42,7 @@
 
 mod assignment;
 pub mod bounds;
+mod budget;
 mod error;
 pub mod exact;
 mod instance;
@@ -49,6 +50,9 @@ mod solution;
 mod solver;
 
 pub use assignment::Assignment;
+pub use budget::{
+    AnytimeSolver, Budget, BudgetMeter, DegradationLevel, GuardReport, WALLCLOCK_ENV,
+};
 pub use error::GapError;
 pub use instance::{GapInstance, GapInstanceBuilder};
 pub use solution::{Solution, SolveStats};

@@ -1,0 +1,169 @@
+//! Per-stage circuit breaker with a deterministic, step-counted cool-down.
+//!
+//! Wall-clock cool-downs would make supervised runs irreproducible, so the
+//! breaker counts *supervise steps* instead: every call to
+//! [`crate::Supervisor::supervise`] advances the clock by one. Same call
+//! sequence → same breaker trajectory → byte-identical reports.
+
+/// The classic three-state breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow through.
+    Closed,
+    /// Tripped: calls are short-circuited until the cool-down elapses.
+    Open,
+    /// Cool-down elapsed: one probe call is allowed; success re-closes,
+    /// failure re-opens immediately.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label for reports and obs streams.
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// A failure-counting circuit breaker for one ladder stage.
+///
+/// `Closed` → `Open` after `failure_threshold` *consecutive* failures;
+/// `Open` → `HalfOpen` after `cooldown` steps; `HalfOpen` → `Closed` on
+/// success, → `Open`
+/// on failure. All transitions are driven by the caller-supplied step
+/// counter, never by wall-clock.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    failure_threshold: u32,
+    cooldown: u64,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: u64,
+    trips: u32,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failure_threshold` is zero (a breaker that can never
+    /// close again is a misconfiguration, not a policy).
+    #[must_use]
+    pub fn new(failure_threshold: u32, cooldown: u64) -> Self {
+        assert!(failure_threshold > 0, "failure threshold must be positive");
+        CircuitBreaker {
+            failure_threshold,
+            cooldown,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+            trips: 0,
+        }
+    }
+
+    /// Whether a call may proceed at `step`. Transitions `Open` →
+    /// `HalfOpen` when the cool-down has elapsed.
+    pub fn allows(&mut self, step: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if step >= self.opened_at.saturating_add(self.cooldown) {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful call: resets the failure count and re-closes.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a failed call at `step`. Returns `true` when this failure
+    /// tripped the breaker open.
+    pub fn record_failure(&mut self, step: u64) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let trip = match self.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.consecutive_failures >= self.failure_threshold,
+            BreakerState::Open => false,
+        };
+        if trip {
+            self.state = BreakerState::Open;
+            self.opened_at = step;
+            self.trips = self.trips.saturating_add(1);
+        }
+        trip
+    }
+
+    /// The current state.
+    #[must_use]
+    pub const fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Total times this breaker has tripped open.
+    #[must_use]
+    pub const fn trips(&self) -> u32 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, 5);
+        assert!(b.allows(1));
+        assert!(!b.record_failure(1));
+        assert!(!b.record_failure(2));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.record_failure(3));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allows(4));
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut b = CircuitBreaker::new(2, 5);
+        b.record_failure(1);
+        b.record_success();
+        assert!(!b.record_failure(2), "count must restart after a success");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_is_step_based_and_half_open_probes() {
+        let mut b = CircuitBreaker::new(1, 4);
+        assert!(b.record_failure(10));
+        assert!(!b.allows(12), "still cooling down");
+        assert!(b.allows(14), "cool-down elapsed at step 14");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A half-open failure re-opens immediately.
+        assert!(b.record_failure(14));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        // Next probe succeeds → closed again.
+        assert!(b.allows(18));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_is_rejected() {
+        let _ = CircuitBreaker::new(0, 1);
+    }
+}

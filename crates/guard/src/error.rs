@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+use tacc_gap::GapError;
+
+use crate::validate::QuarantineReport;
+
+/// Errors raised by the supervision layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GuardError {
+    /// An input failed quarantine: the report lists every typed violation.
+    Quarantined(QuarantineReport),
+    /// Every rung of the fallback ladder failed — the primary solver, the
+    /// greedy fallback, and no usable last-known-good assignment exists.
+    LadderExhausted {
+        /// What failed at each stage, in ladder order.
+        reason: String,
+    },
+    /// Structural failure from the assignment kernel (not a deadline —
+    /// budget exhaustion is never an error).
+    Solver(GapError),
+}
+
+impl fmt::Display for GuardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardError::Quarantined(report) => {
+                write!(
+                    f,
+                    "{} quarantined: {} hard violation(s): {}",
+                    report.subject,
+                    report.hard_count(),
+                    report.summary()
+                )
+            }
+            GuardError::LadderExhausted { reason } => {
+                write!(f, "fallback ladder exhausted: {reason}")
+            }
+            GuardError::Solver(e) => write!(f, "solver failure: {e}"),
+        }
+    }
+}
+
+impl Error for GuardError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GuardError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GapError> for GuardError {
+    fn from(e: GapError) -> Self {
+        GuardError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources_chain() {
+        let e = GuardError::LadderExhausted { reason: "all three stages failed".into() };
+        assert!(e.to_string().contains("ladder exhausted"));
+        assert!(e.source().is_none());
+        let e = GuardError::from(GapError::InvalidCapacity { server: 0, value: -1.0 });
+        assert!(e.to_string().contains("solver failure"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,441 @@
+//! The fallback ladder: primary anytime solver → greedy → last-known-good.
+//!
+//! [`Supervisor::supervise`] guarantees a feasible assignment whenever one
+//! is reachable, no matter what the primary solver does: budget exhaustion
+//! degrades to the incumbent (handled inside the solver), panics and
+//! errors degrade to the greedy constructive heuristic, and a broken
+//! greedy degrades to the last feasible assignment this supervisor ever
+//! served. Every stage runs under `catch_unwind` and behind its own
+//! [`CircuitBreaker`], so a persistently crashing solver stops being
+//! called at all until its deterministic cool-down elapses.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tacc_baselines::{DeviceOrder, Greedy};
+use tacc_gap::{
+    AnytimeSolver, Assignment, Budget, DegradationLevel, GapInstance, GuardReport, Solution,
+    SolveStats, Solver,
+};
+
+use crate::breaker::CircuitBreaker;
+use crate::error::GuardError;
+
+/// Environment variable that forces the primary stage to panic — a fault
+/// injection knob for exercising the ladder end-to-end from the CLI
+/// (`TACC_GUARD_FORCE_PANIC=1`). Never set it in production.
+pub const FORCE_PANIC_ENV: &str = "TACC_GUARD_FORCE_PANIC";
+
+/// Breaker thresholds for the two live ladder stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Consecutive failures before a stage's breaker trips open. The
+    /// default is 1: TACC solvers are deterministic, so retrying an
+    /// identical failing call buys nothing.
+    pub failure_threshold: u32,
+    /// Supervise steps an open breaker waits before allowing a half-open
+    /// probe.
+    pub cooldown: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig { failure_threshold: 1, cooldown: 8 }
+    }
+}
+
+/// What one ladder stage attempt produced.
+enum StageOutcome {
+    Answer(Solution, GuardReport),
+    Failed(&'static str),
+}
+
+/// Supervises solver calls with graceful degradation.
+///
+/// The supervisor is stateful across calls: breakers carry their
+/// open/half-open trajectory from step to step, and the last feasible
+/// assignment served becomes the ladder's final rung. All state advances
+/// on deterministic step counts, so a fixed call sequence reproduces
+/// byte-identical [`GuardReport`]s.
+#[derive(Debug)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    primary_breaker: CircuitBreaker,
+    fallback_breaker: CircuitBreaker,
+    last_known_good: Option<Assignment>,
+    step: u64,
+}
+
+impl Supervisor {
+    /// Creates a supervisor with the given breaker thresholds.
+    #[must_use]
+    pub fn new(config: SupervisorConfig) -> Self {
+        Supervisor {
+            config,
+            primary_breaker: CircuitBreaker::new(config.failure_threshold, config.cooldown),
+            fallback_breaker: CircuitBreaker::new(config.failure_threshold, config.cooldown),
+            last_known_good: None,
+            step: 0,
+        }
+    }
+
+    /// The configuration this supervisor was built with.
+    #[must_use]
+    pub fn config(&self) -> SupervisorConfig {
+        self.config
+    }
+
+    /// The breaker guarding the primary (anytime) stage.
+    #[must_use]
+    pub fn primary_breaker(&self) -> &CircuitBreaker {
+        &self.primary_breaker
+    }
+
+    /// The breaker guarding the greedy fallback stage.
+    #[must_use]
+    pub fn fallback_breaker(&self) -> &CircuitBreaker {
+        &self.fallback_breaker
+    }
+
+    /// The last feasible assignment this supervisor served, if any.
+    #[must_use]
+    pub fn last_known_good(&self) -> Option<&Assignment> {
+        self.last_known_good.as_ref()
+    }
+
+    /// Pre-loads the last-known-good rung (e.g. from a restored snapshot),
+    /// so the ladder has a floor before the first supervised call.
+    pub fn seed_last_known_good(&mut self, assignment: Assignment) {
+        self.last_known_good = Some(assignment);
+    }
+
+    /// Runs the ladder: `primary` under `budget`, then greedy, then the
+    /// last-known-good assignment. Returns the first feasible answer,
+    /// with the [`GuardReport`] recording how far down the ladder it came
+    /// from and every panic/trip along the way.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardError::LadderExhausted`] when all three rungs fail (e.g. a
+    /// genuinely infeasible instance), [`GuardError::Solver`] only for
+    /// structural kernel failures while evaluating the last-known-good
+    /// rung.
+    ///
+    /// # Panics
+    ///
+    /// Deliberately, inside the *contained* primary stage, when
+    /// [`FORCE_PANIC_ENV`] is set — the panic is caught by the ladder and
+    /// never escapes this function.
+    pub fn supervise(
+        &mut self,
+        primary: &dyn AnytimeSolver,
+        instance: &GapInstance,
+        budget: &Budget,
+    ) -> Result<(Solution, GuardReport), GuardError> {
+        let _span = tacc_obs::span!("guard.supervise");
+        self.step += 1;
+        tacc_obs::counter_add("guard.supervise_calls", 1);
+
+        let mut fallbacks = 0u32;
+        let mut panics_caught = 0u32;
+        let mut breaker_trips = 0u32;
+        let mut failures: Vec<String> = Vec::new();
+
+        // Rung 1: the primary anytime solver.
+        if self.primary_breaker.allows(self.step) {
+            let outcome = run_stage("primary", || {
+                let forced =
+                    std::env::var(FORCE_PANIC_ENV).is_ok_and(|v| v != "0" && !v.is_empty());
+                assert!(!forced, "forced primary-stage panic ({FORCE_PANIC_ENV})");
+                primary.solve_within(instance, budget)
+            });
+            match outcome {
+                StageOutcome::Answer(solution, mut report) => {
+                    self.primary_breaker.record_success();
+                    self.last_known_good = Some(solution.assignment.clone());
+                    report.fallbacks = fallbacks;
+                    report.panics_caught = panics_caught;
+                    report.breaker_trips = breaker_trips;
+                    return Ok((solution, report));
+                }
+                StageOutcome::Failed(reason) => {
+                    if reason == "panicked" {
+                        panics_caught += 1;
+                        tacc_obs::counter_add("guard.panics_caught", 1);
+                    }
+                    if self.primary_breaker.record_failure(self.step) {
+                        breaker_trips += 1;
+                        tacc_obs::counter_add("guard.breaker_trips", 1);
+                    }
+                    failures.push(format!("primary ({}) {reason}", primary.name()));
+                }
+            }
+        } else {
+            tacc_obs::counter_add("guard.breaker_short_circuits", 1);
+            failures.push(format!("primary ({}) breaker open", primary.name()));
+        }
+        fallbacks += 1;
+        tacc_obs::counter_add("guard.fallback_greedy", 1);
+
+        // Rung 2: the greedy constructive heuristic.
+        if self.fallback_breaker.allows(self.step) {
+            let greedy = Greedy::new(DeviceOrder::RegretDescending);
+            let outcome =
+                run_stage("greedy", || greedy.solve(instance).map(|s| greedy_report(&s, budget)));
+            match outcome {
+                StageOutcome::Answer(solution, mut report) => {
+                    self.fallback_breaker.record_success();
+                    self.last_known_good = Some(solution.assignment.clone());
+                    report.fallbacks = fallbacks;
+                    report.panics_caught = panics_caught;
+                    report.breaker_trips = breaker_trips;
+                    return Ok((solution, report));
+                }
+                StageOutcome::Failed(reason) => {
+                    if reason == "panicked" {
+                        panics_caught += 1;
+                        tacc_obs::counter_add("guard.panics_caught", 1);
+                    }
+                    if self.fallback_breaker.record_failure(self.step) {
+                        breaker_trips += 1;
+                        tacc_obs::counter_add("guard.breaker_trips", 1);
+                    }
+                    failures.push(format!("greedy {reason}"));
+                }
+            }
+        } else {
+            tacc_obs::counter_add("guard.breaker_short_circuits", 1);
+            failures.push("greedy breaker open".to_string());
+        }
+        fallbacks += 1;
+
+        // Rung 3: the last-known-good assignment, if it still fits.
+        if let Some(lkg) = &self.last_known_good {
+            if lkg.num_devices() == instance.num_devices()
+                && lkg.num_servers() == instance.num_servers()
+                && lkg.is_complete()
+                && lkg.is_feasible(instance)
+            {
+                tacc_obs::counter_add("guard.lkg_served", 1);
+                let solution = Solution::evaluate(lkg.clone(), instance, SolveStats::default())?;
+                let report = GuardReport {
+                    solver: "last-known-good".to_string(),
+                    budget: budget.limit(),
+                    spent: 0,
+                    completed: false,
+                    objective: solution.objective,
+                    feasible: solution.feasible,
+                    degradation: DegradationLevel::LastKnownGood,
+                    fallbacks,
+                    panics_caught,
+                    breaker_trips,
+                    wallclock_tripped: false,
+                };
+                return Ok((solution, report));
+            }
+            failures.push("last-known-good no longer fits".to_string());
+        } else {
+            failures.push("no last-known-good recorded".to_string());
+        }
+
+        tacc_obs::counter_add("guard.ladder_exhausted", 1);
+        Err(GuardError::LadderExhausted { reason: failures.join("; ") })
+    }
+}
+
+/// Runs one ladder stage under `catch_unwind`, classifying the outcome.
+/// Only feasible solutions count as answers — an infeasible "best effort"
+/// from the primary must not shadow a feasible greedy fill.
+fn run_stage<F>(stage: &'static str, body: F) -> StageOutcome
+where
+    F: FnOnce() -> Result<(Solution, GuardReport), tacc_gap::GapError>,
+{
+    let _span = tacc_obs::span!("guard.stage");
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(Ok((solution, report))) if solution.feasible => StageOutcome::Answer(solution, report),
+        Ok(Ok(_)) => {
+            tacc_obs::counter_add("guard.stage_infeasible", 1);
+            let _ = stage;
+            StageOutcome::Failed("returned an infeasible assignment")
+        }
+        Ok(Err(_)) => StageOutcome::Failed("errored"),
+        Err(_) => StageOutcome::Failed("panicked"),
+    }
+}
+
+/// Report for a greedy-rung answer: the greedy pass consumes no budget
+/// units and is always "complete", but the answer is a [`Fallback`]
+/// degradation.
+///
+/// [`Fallback`]: DegradationLevel::Fallback
+fn greedy_report(solution: &Solution, budget: &Budget) -> (Solution, GuardReport) {
+    let report = GuardReport {
+        solver: "greedy-regret".to_string(),
+        budget: budget.limit(),
+        spent: 0,
+        completed: true,
+        objective: solution.objective,
+        feasible: solution.feasible,
+        degradation: DegradationLevel::Fallback,
+        fallbacks: 0,
+        panics_caught: 0,
+        breaker_trips: 0,
+        wallclock_tripped: false,
+    };
+    (solution.clone(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_gap::{Budget, GapError};
+    use tacc_topology::DelayMatrix;
+
+    fn instance() -> GapInstance {
+        let delays = DelayMatrix::from_rows(vec![
+            vec![1.0, 9.0],
+            vec![1.0, 2.0],
+            vec![1.0, 8.0],
+            vec![4.0, 2.0],
+        ]);
+        GapInstance::builder(delays).uniform_demand(1.0).capacities(vec![2.0, 2.0]).build().unwrap()
+    }
+
+    /// A primary that always panics mid-"episode".
+    #[derive(Debug)]
+    struct PanickingSolver;
+
+    impl Solver for PanickingSolver {
+        fn solve(&self, _: &GapInstance) -> Result<Solution, GapError> {
+            panic!("boom");
+        }
+        fn name(&self) -> &'static str {
+            "panicking"
+        }
+    }
+
+    impl AnytimeSolver for PanickingSolver {
+        fn solve_within(
+            &self,
+            _: &GapInstance,
+            _: &Budget,
+        ) -> Result<(Solution, GuardReport), GapError> {
+            panic!("mid-episode boom");
+        }
+    }
+
+    /// A well-behaved primary: tabu search (already anytime).
+    fn healthy() -> tacc_baselines::TabuSearch {
+        tacc_baselines::TabuSearch::new(3)
+    }
+
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn healthy_primary_answers_directly() {
+        let inst = instance();
+        let mut sup = Supervisor::new(SupervisorConfig::default());
+        let (s, g) = sup.supervise(&healthy(), &inst, &Budget::units(50)).unwrap();
+        assert!(s.feasible);
+        assert_eq!(g.fallbacks, 0);
+        assert_eq!(g.panics_caught, 0);
+        assert!(g.degradation <= DegradationLevel::Truncated);
+        assert!(sup.last_known_good().is_some());
+    }
+
+    #[test]
+    fn panicking_primary_degrades_to_greedy() {
+        quiet_panics(|| {
+            let inst = instance();
+            let mut sup = Supervisor::new(SupervisorConfig::default());
+            let (s, g) = sup.supervise(&PanickingSolver, &inst, &Budget::units(10)).unwrap();
+            assert!(s.feasible, "ladder must still produce a feasible assignment");
+            assert_eq!(g.solver, "greedy-regret");
+            assert_eq!(g.degradation, DegradationLevel::Fallback);
+            assert_eq!(g.fallbacks, 1);
+            assert_eq!(g.panics_caught, 1);
+            assert_eq!(g.breaker_trips, 1, "threshold 1 trips on the first panic");
+        });
+    }
+
+    #[test]
+    fn open_breaker_short_circuits_the_primary() {
+        quiet_panics(|| {
+            let inst = instance();
+            let mut sup = Supervisor::new(SupervisorConfig { failure_threshold: 1, cooldown: 100 });
+            let _ = sup.supervise(&PanickingSolver, &inst, &Budget::units(10)).unwrap();
+            // Second call: the breaker is open, so the primary is never
+            // invoked (no new panic is caught).
+            let (s, g) = sup.supervise(&PanickingSolver, &inst, &Budget::units(10)).unwrap();
+            assert!(s.feasible);
+            assert_eq!(g.panics_caught, 0, "primary was short-circuited, not re-run");
+            assert_eq!(g.solver, "greedy-regret");
+        });
+    }
+
+    #[test]
+    fn half_open_probe_recovers_after_cooldown() {
+        quiet_panics(|| {
+            let inst = instance();
+            let mut sup = Supervisor::new(SupervisorConfig { failure_threshold: 1, cooldown: 2 });
+            let _ = sup.supervise(&PanickingSolver, &inst, &Budget::units(10)).unwrap();
+            let _ = sup.supervise(&PanickingSolver, &inst, &Budget::units(10)).unwrap();
+            // Step 3 = opened_at(1) + cooldown(2): half-open probe with a
+            // healthy solver re-closes the breaker.
+            let (_, g) = sup.supervise(&healthy(), &inst, &Budget::units(50)).unwrap();
+            assert_eq!(g.fallbacks, 0, "probe call reached the primary");
+            assert_eq!(sup.primary_breaker().state(), crate::breaker::BreakerState::Closed);
+        });
+    }
+
+    #[test]
+    fn last_known_good_serves_when_both_stages_panic() {
+        quiet_panics(|| {
+            let inst = instance();
+            let mut sup = Supervisor::new(SupervisorConfig::default());
+            // Healthy call records a last-known-good.
+            let (first, _) = sup.supervise(&healthy(), &inst, &Budget::units(50)).unwrap();
+            // Sabotage the greedy stage too: an instance where greedy
+            // cannot run is hard to fake, so instead force the fallback
+            // breaker open by failing it directly.
+            sup.fallback_breaker.record_failure(sup.step);
+            sup.primary_breaker.record_failure(sup.step);
+            // Cooldown 8 > 1 step: both breakers stay open next call.
+            let (s, g) = sup.supervise(&PanickingSolver, &inst, &Budget::units(10)).unwrap();
+            assert_eq!(g.degradation, DegradationLevel::LastKnownGood);
+            assert_eq!(g.solver, "last-known-good");
+            assert_eq!(s.assignment, first.assignment, "served verbatim, no data loss");
+            assert_eq!(g.fallbacks, 2);
+        });
+    }
+
+    #[test]
+    fn ladder_exhausts_with_typed_error_when_nothing_works() {
+        quiet_panics(|| {
+            // No last-known-good, both breakers forced open.
+            let inst = instance();
+            let mut sup = Supervisor::new(SupervisorConfig { failure_threshold: 1, cooldown: 100 });
+            sup.primary_breaker.record_failure(1);
+            sup.fallback_breaker.record_failure(1);
+            let err = sup.supervise(&PanickingSolver, &inst, &Budget::units(10)).unwrap_err();
+            assert!(matches!(err, GuardError::LadderExhausted { .. }));
+            assert!(err.to_string().contains("breaker open"));
+        });
+    }
+
+    #[test]
+    fn same_seed_and_budget_yield_byte_identical_reports() {
+        let inst = instance();
+        let run = || {
+            let mut sup = Supervisor::new(SupervisorConfig::default());
+            let (_, g) = sup.supervise(&healthy(), &inst, &Budget::units(7)).unwrap();
+            serde_json::to_string(&g).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

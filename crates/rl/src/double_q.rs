@@ -1,7 +1,10 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
-use tacc_gap::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+use tacc_gap::{
+    AnytimeSolver, Assignment, Budget, GapError, GapInstance, GuardReport, Solution, SolveStats,
+    Solver,
+};
 
 use crate::report::EpisodePoint;
 use crate::{AssignmentMdp, QLearningConfig, QTable, StateKey, TrainingReport};
@@ -48,8 +51,26 @@ impl DoubleQLearning {
     /// Propagates [`GapError`] from assignment bookkeeping; never fails on
     /// a valid instance.
     pub fn train(&self, instance: &GapInstance) -> Result<(Solution, TrainingReport), GapError> {
+        let (solution, report, _) = self.train_within(instance, &Budget::unlimited())?;
+        Ok((solution, report))
+    }
+
+    /// Budget-aware training; see [`crate::QLearning::train_within`] for
+    /// the anytime contract (greedy-seeded incumbent, monotone in budget,
+    /// extraction rollout only on completion).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GapError`] from assignment bookkeeping; never fails
+    /// because the budget ran out.
+    pub fn train_within(
+        &self,
+        instance: &GapInstance,
+        budget: &Budget,
+    ) -> Result<(Solution, TrainingReport, GuardReport), GapError> {
         let start = Instant::now();
         let cfg = &self.config;
+        let mut meter = budget.meter();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut mdp =
             AssignmentMdp::new(instance, cfg.order, cfg.capacity_levels, cfg.overload_penalty);
@@ -69,7 +90,11 @@ impl DoubleQLearning {
             best = Some((seed_rollout, delay));
         }
 
+        let mut episodes_run = 0usize;
         for episode in 0..cfg.episodes {
+            if !meter.take() {
+                break;
+            }
             let epsilon = cfg.epsilon.at(episode);
             mdp.reset();
             let mut assignment = Assignment::unassigned(instance.num_devices(), m);
@@ -114,26 +139,32 @@ impl DoubleQLearning {
                 best_objective: best.as_ref().map_or(f64::INFINITY, |(_, b)| *b),
                 epsilon,
             });
+            episodes_run += 1;
         }
+        let completed = episodes_run == cfg.episodes;
 
-        let rollout = self.rollout(instance, &mut mdp, &mut qa, &mut qb)?;
-        evaluations += 1;
-        let rollout_feasible = rollout.is_feasible(instance);
-        let rollout_delay = rollout.total_delay(instance)?;
-        let use_rollout = match &best {
-            None => true,
-            Some((_, best_delay)) => rollout_feasible && rollout_delay < *best_delay,
-        };
-        let assignment = if use_rollout {
-            rollout
+        // Extraction rollout only on completion (see
+        // `QLearning::train_within`), unless no feasible incumbent exists.
+        let assignment = if completed || best.is_none() {
+            let rollout = self.rollout(instance, &mut mdp, &mut qa, &mut qb)?;
+            evaluations += 1;
+            let rollout_feasible = rollout.is_feasible(instance);
+            let rollout_delay = rollout.total_delay(instance)?;
+            match best.take() {
+                None => rollout,
+                Some((_, best_delay)) if rollout_feasible && rollout_delay < best_delay => rollout,
+                Some((incumbent, _)) => incumbent,
+            }
         } else {
-            best.expect("best is Some when rollout is not used").0
+            best.take().expect("truncated branch requires a feasible incumbent").0
         };
 
         let stats =
-            SolveStats { elapsed: start.elapsed(), iterations: cfg.episodes as u64, evaluations };
+            SolveStats { elapsed: start.elapsed(), iterations: episodes_run as u64, evaluations };
         let report = TrainingReport::new(history, qa.num_states().max(qb.num_states()));
-        Ok((Solution::evaluate(assignment, instance, stats)?, report))
+        let solution = Solution::evaluate(assignment, instance, stats)?;
+        let guard = GuardReport::for_run(Solver::name(self), &solution, &meter, budget, completed);
+        Ok((solution, report, guard))
     }
 
     fn ensure_priors(
@@ -244,6 +275,17 @@ impl Solver for DoubleQLearning {
     }
 }
 
+impl AnytimeSolver for DoubleQLearning {
+    fn solve_within(
+        &self,
+        instance: &GapInstance,
+        budget: &Budget,
+    ) -> Result<(Solution, GuardReport), GapError> {
+        let (solution, _, guard) = self.train_within(instance, budget)?;
+        Ok((solution, guard))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +321,22 @@ mod tests {
         let a = DoubleQLearning::new(quick(200), 3).solve(&inst).unwrap();
         let b = DoubleQLearning::new(quick(200), 3).solve(&inst).unwrap();
         assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn anytime_budget_truncates_and_stays_feasible() {
+        let inst = trap_instance();
+        let solver = DoubleQLearning::new(quick(200), 3);
+        let full = solver.solve(&inst).unwrap();
+        let mut prev = f64::INFINITY;
+        for b in [0u64, 1, 25, 200] {
+            let (s, g) = solver.solve_within(&inst, &tacc_gap::Budget::units(b)).unwrap();
+            assert!(s.feasible, "budget {b}");
+            assert!(s.objective <= prev + 1e-9);
+            assert_eq!(g.spent, b.min(200));
+            prev = s.objective;
+        }
+        assert_eq!(prev, full.objective);
     }
 
     #[test]

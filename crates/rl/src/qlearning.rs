@@ -2,7 +2,10 @@ use std::time::Instant;
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use tacc_gap::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+use tacc_gap::{
+    AnytimeSolver, Assignment, Budget, GapError, GapInstance, GuardReport, Solution, SolveStats,
+    Solver,
+};
 
 use crate::report::EpisodePoint;
 use crate::{AssignmentMdp, EpisodeOrder, EpsilonSchedule, LearningRate, QTable, TrainingReport};
@@ -108,9 +111,35 @@ impl QLearning {
     /// Propagates [`GapError`] from assignment bookkeeping; never fails on
     /// a valid instance.
     pub fn train(&self, instance: &GapInstance) -> Result<(Solution, TrainingReport), GapError> {
+        let (solution, report, _) = self.train_within(instance, &Budget::unlimited())?;
+        Ok((solution, report))
+    }
+
+    /// Budget-aware training: runs at most `budget` episodes and returns
+    /// the feasible incumbent reached so far.
+    ///
+    /// The incumbent is seeded with the prior's greedy rollout *before*
+    /// the first episode, so even a zero-episode budget yields a feasible
+    /// assignment whenever the constructive baseline finds one, and each
+    /// additional episode can only improve it (truncated runs are RNG
+    /// prefixes of the full run). The ε = 0 extraction rollout only runs
+    /// when the configured episode count completed inside the budget —
+    /// its result is not monotone in training length, and skipping it on
+    /// truncation is what makes quality monotone non-worsening in budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GapError`] from assignment bookkeeping; never fails
+    /// because the budget ran out.
+    pub fn train_within(
+        &self,
+        instance: &GapInstance,
+        budget: &Budget,
+    ) -> Result<(Solution, TrainingReport, GuardReport), GapError> {
         let _span = tacc_obs::span!("rl.train");
         let start = Instant::now();
         let cfg = &self.config;
+        let mut meter = budget.meter();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut mdp =
             AssignmentMdp::new(instance, cfg.order, cfg.capacity_levels, cfg.overload_penalty);
@@ -135,7 +164,11 @@ impl QLearning {
             best = Some((seed_rollout, delay));
         }
 
+        let mut episodes_run = 0usize;
         for episode in 0..cfg.episodes {
+            if !meter.take() {
+                break;
+            }
             let _span = tacc_obs::span!("rl.episode");
             let epsilon = cfg.epsilon.at(episode);
             tacc_obs::counter_add("rl.episodes", 1);
@@ -189,30 +222,36 @@ impl QLearning {
                 best_objective: best.as_ref().map_or(f64::INFINITY, |(_, b)| *b),
                 epsilon,
             });
+            episodes_run += 1;
         }
+        let completed = episodes_run == cfg.episodes;
 
-        // Final greedy rollout (ε = 0) extracts the learned policy.
-        let rollout = {
-            let _span = tacc_obs::span!("rl.rollout");
-            greedy_rollout(instance, &mut mdp, &mut q, cfg.action_masking, cfg.delay_prior)?
-        };
-        evaluations += 1;
-        let rollout_feasible = rollout.is_feasible(instance);
-        let rollout_delay = rollout.total_delay(instance)?;
-        let use_rollout = match &best {
-            None => true,
-            Some((_, best_delay)) => rollout_feasible && rollout_delay < *best_delay,
-        };
-        let assignment = if use_rollout {
-            rollout
+        // Final greedy rollout (ε = 0) extracts the learned policy. On a
+        // truncated run the incumbent stands (see `train_within`), unless
+        // no feasible incumbent exists and the rollout is all we have.
+        let assignment = if completed || best.is_none() {
+            let rollout = {
+                let _span = tacc_obs::span!("rl.rollout");
+                greedy_rollout(instance, &mut mdp, &mut q, cfg.action_masking, cfg.delay_prior)?
+            };
+            evaluations += 1;
+            let rollout_feasible = rollout.is_feasible(instance);
+            let rollout_delay = rollout.total_delay(instance)?;
+            match best.take() {
+                None => rollout,
+                Some((_, best_delay)) if rollout_feasible && rollout_delay < best_delay => rollout,
+                Some((incumbent, _)) => incumbent,
+            }
         } else {
-            best.expect("best is Some when rollout is not used").0
+            best.take().expect("truncated branch requires a feasible incumbent").0
         };
 
         let stats =
-            SolveStats { elapsed: start.elapsed(), iterations: cfg.episodes as u64, evaluations };
+            SolveStats { elapsed: start.elapsed(), iterations: episodes_run as u64, evaluations };
         let report = TrainingReport::new(history, q.num_states());
-        Ok((Solution::evaluate(assignment, instance, stats)?, report))
+        let solution = Solution::evaluate(assignment, instance, stats)?;
+        let guard = GuardReport::for_run(Solver::name(self), &solution, &meter, budget, completed);
+        Ok((solution, report, guard))
     }
 }
 
@@ -315,6 +354,17 @@ impl Solver for QLearning {
 
     fn name(&self) -> &str {
         "q-learning"
+    }
+}
+
+impl AnytimeSolver for QLearning {
+    fn solve_within(
+        &self,
+        instance: &GapInstance,
+        budget: &Budget,
+    ) -> Result<(Solution, GuardReport), GapError> {
+        let (solution, _, guard) = self.train_within(instance, budget)?;
+        Ok((solution, guard))
     }
 }
 
@@ -429,6 +479,40 @@ mod tests {
                 greedy.objective
             );
         }
+    }
+
+    #[test]
+    fn anytime_incumbent_is_feasible_and_monotone_in_budget() {
+        use tacc_gap::DegradationLevel;
+        let inst = trap_instance();
+        let solver = QLearning::new(quick_config(800), 7);
+        let mut prev = f64::INFINITY;
+        for b in [0u64, 1, 5, 20, 100, 800] {
+            let (s, g) = solver.solve_within(&inst, &tacc_gap::Budget::units(b)).unwrap();
+            assert!(s.feasible, "budget {b}: infeasible");
+            assert!(g.feasible);
+            assert!(s.objective <= prev + 1e-9, "budget {b}: {} worse than {prev}", s.objective);
+            assert_eq!(g.spent, b.min(800));
+            assert_eq!(g.completed, b >= 800);
+            assert_eq!(
+                g.degradation,
+                if b >= 800 { DegradationLevel::None } else { DegradationLevel::Truncated }
+            );
+            assert!(!g.wallclock_tripped);
+            prev = s.objective;
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_solve() {
+        let inst = trap_instance();
+        let solver = QLearning::new(quick_config(200), 3);
+        let plain = solver.solve(&inst).unwrap();
+        let (s, g) = solver.solve_within(&inst, &tacc_gap::Budget::unlimited()).unwrap();
+        assert_eq!(plain.assignment, s.assignment);
+        assert!(g.completed);
+        assert_eq!(g.budget, None);
+        assert_eq!(g.spent, 200);
     }
 
     #[test]

@@ -2,7 +2,10 @@ use std::time::Instant;
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use tacc_gap::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+use tacc_gap::{
+    AnytimeSolver, Assignment, Budget, GapError, GapInstance, GuardReport, Solution, SolveStats,
+    Solver,
+};
 
 use crate::report::EpisodePoint;
 use crate::{
@@ -98,8 +101,26 @@ impl Sarsa {
     /// Propagates [`GapError`] from assignment bookkeeping; never fails on
     /// a valid instance.
     pub fn train(&self, instance: &GapInstance) -> Result<(Solution, TrainingReport), GapError> {
+        let (solution, report, _) = self.train_within(instance, &Budget::unlimited())?;
+        Ok((solution, report))
+    }
+
+    /// Budget-aware training; see [`crate::QLearning::train_within`] for
+    /// the anytime contract (greedy-seeded incumbent, monotone in budget,
+    /// extraction rollout only on completion).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GapError`] from assignment bookkeeping; never fails
+    /// because the budget ran out.
+    pub fn train_within(
+        &self,
+        instance: &GapInstance,
+        budget: &Budget,
+    ) -> Result<(Solution, TrainingReport, GuardReport), GapError> {
         let start = Instant::now();
         let cfg = &self.config;
+        let mut meter = budget.meter();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut mdp =
             AssignmentMdp::new(instance, cfg.order, cfg.capacity_levels, cfg.overload_penalty);
@@ -118,7 +139,11 @@ impl Sarsa {
             best = Some((seed_rollout, delay));
         }
 
+        let mut episodes_run = 0usize;
         for episode in 0..cfg.episodes {
+            if !meter.take() {
+                break;
+            }
             let epsilon = cfg.epsilon.at(episode);
             mdp.reset();
             let mut assignment = Assignment::unassigned(instance.num_devices(), mdp.num_actions());
@@ -161,27 +186,33 @@ impl Sarsa {
                 best_objective: best.as_ref().map_or(f64::INFINITY, |(_, b)| *b),
                 epsilon,
             });
+            episodes_run += 1;
         }
+        let completed = episodes_run == cfg.episodes;
 
-        // Greedy extraction.
-        let rollout = self.greedy_rollout(instance, &mut mdp, &mut q)?;
-        evaluations += 1;
-        let rollout_feasible = rollout.is_feasible(instance);
-        let rollout_delay = rollout.total_delay(instance)?;
-        let use_rollout = match &best {
-            None => true,
-            Some((_, best_delay)) => rollout_feasible && rollout_delay < *best_delay,
-        };
-        let assignment = if use_rollout {
-            rollout
+        // Greedy extraction — only once training completed (see
+        // `QLearning::train_within` for why truncated runs keep the
+        // incumbent), unless no feasible incumbent exists.
+        let assignment = if completed || best.is_none() {
+            let rollout = self.greedy_rollout(instance, &mut mdp, &mut q)?;
+            evaluations += 1;
+            let rollout_feasible = rollout.is_feasible(instance);
+            let rollout_delay = rollout.total_delay(instance)?;
+            match best.take() {
+                None => rollout,
+                Some((_, best_delay)) if rollout_feasible && rollout_delay < best_delay => rollout,
+                Some((incumbent, _)) => incumbent,
+            }
         } else {
-            best.expect("best is Some when rollout is not used").0
+            best.take().expect("truncated branch requires a feasible incumbent").0
         };
 
         let stats =
-            SolveStats { elapsed: start.elapsed(), iterations: cfg.episodes as u64, evaluations };
+            SolveStats { elapsed: start.elapsed(), iterations: episodes_run as u64, evaluations };
         let report = TrainingReport::new(history, q.num_states());
-        Ok((Solution::evaluate(assignment, instance, stats)?, report))
+        let solution = Solution::evaluate(assignment, instance, stats)?;
+        let guard = GuardReport::for_run(Solver::name(self), &solution, &meter, budget, completed);
+        Ok((solution, report, guard))
     }
 
     /// Initializes the current state's row with the delay prior.
@@ -259,6 +290,17 @@ impl Solver for Sarsa {
     }
 }
 
+impl AnytimeSolver for Sarsa {
+    fn solve_within(
+        &self,
+        instance: &GapInstance,
+        budget: &Budget,
+    ) -> Result<(Solution, GuardReport), GapError> {
+        let (solution, _, guard) = self.train_within(instance, budget)?;
+        Ok((solution, guard))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +335,22 @@ mod tests {
         let a = Sarsa::new(quick(150), 2).solve(&inst).unwrap();
         let b = Sarsa::new(quick(150), 2).solve(&inst).unwrap();
         assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn anytime_budget_truncates_and_stays_feasible() {
+        let inst = trap_instance();
+        let solver = Sarsa::new(quick(150), 2);
+        let full = solver.solve(&inst).unwrap();
+        let mut prev = f64::INFINITY;
+        for b in [0u64, 1, 10, 150] {
+            let (s, g) = solver.solve_within(&inst, &tacc_gap::Budget::units(b)).unwrap();
+            assert!(s.feasible, "budget {b}");
+            assert!(s.objective <= prev + 1e-9);
+            assert_eq!(g.spent, b.min(150));
+            prev = s.objective;
+        }
+        assert_eq!(prev, full.objective);
     }
 
     #[test]
