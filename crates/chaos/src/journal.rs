@@ -20,6 +20,15 @@
 //! just bytes that break JSON syntax. V1 journals (plain record lines)
 //! remain readable.
 //!
+//! Format v3 adds two record kinds for *sessions* whose events arrive
+//! over a wire instead of from a trace file (the `tacc serve` daemon):
+//! a `SessionScenario` record pins the scenario the session was built
+//! from, and `Event` records persist each received event write-ahead —
+//! before it is applied — so a journal alone reconstructs the entire
+//! trace a killed daemon had accepted. [`scan_journal`] reads a journal
+//! without needing the trace up front, which is how a recovering daemon
+//! bootstraps. V1 and v2 journals remain readable.
+//!
 //! Recovery damage tolerance is a [`RecoveryPolicy`]:
 //!
 //! - **Strict** ([`recover`]'s behavior): tolerates exactly a torn
@@ -42,13 +51,13 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use tacc_runtime::{Runtime, RuntimeConfig, RuntimeSnapshot};
-use tacc_workload::Trace;
+use tacc_workload::{TimedEvent, Trace, TraceScenario};
 
 use crate::crc::crc32;
 use crate::ChaosError;
 
-/// The journal format this build writes. Reading accepts `1..=2`.
-pub const JOURNAL_VERSION: u32 = 2;
+/// The journal format this build writes. Reading accepts `1..=3`.
+pub const JOURNAL_VERSION: u32 = 3;
 
 /// One line of the journal.
 ///
@@ -84,6 +93,23 @@ pub enum JournalRecord {
     Recovered {
         /// The cursor the recovered runtime resumed from.
         cursor: u64,
+    },
+    /// (v3) The scenario a wire-fed session was built from. Written once,
+    /// right after `Begin`, by sessions whose events arrive over a
+    /// protocol instead of from a trace file — it lets [`scan_journal`]
+    /// callers rebuild the trace without any file besides the journal.
+    SessionScenario {
+        /// The generator scenario.
+        scenario: TraceScenario,
+    },
+    /// (v3) An event accepted over the wire, persisted *before* it is
+    /// applied. `index` is its position in the session's event timeline,
+    /// so the full event list is reconstructible in order.
+    Event {
+        /// Position of this event in the session timeline.
+        index: u64,
+        /// The event itself.
+        timed: TimedEvent,
     },
 }
 
@@ -142,11 +168,34 @@ impl Journal {
     ///
     /// Returns [`ChaosError::Io`] on filesystem failures.
     pub fn append(&mut self, record: &JournalRecord) -> Result<(), ChaosError> {
-        let body = serde_json::to_string(record).expect("journal records are serializable");
-        let checksum = crc32(body.as_bytes());
-        let line = format!("{{\"crc32\":{checksum},\"record\":{body}}}\n");
-        tacc_obs::counter_add("journal.records", 1);
-        self.file.write_all(line.as_bytes()).map_err(|e| ChaosError::io(&self.path, &e))?;
+        self.append_batch(std::slice::from_ref(record))
+    }
+
+    /// Appends a batch of records — each its own CRC-framed line — under
+    /// a *single* fsync. The batch becomes durable atomically-enough for
+    /// the recovery model: a kill during the write leaves at most a torn
+    /// tail, which recovery already tolerates; a kill after the fsync
+    /// preserves every record. One fsync per burst (instead of per
+    /// event) is what makes write-ahead journaling affordable at wire
+    /// ingest rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosError::Io`] on filesystem failures.
+    pub fn append_batch(&mut self, records: &[JournalRecord]) -> Result<(), ChaosError> {
+        use std::fmt::Write as _;
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut lines = String::new();
+        for record in records {
+            let body = serde_json::to_string(record).expect("journal records are serializable");
+            let checksum = crc32(body.as_bytes());
+            writeln!(lines, "{{\"crc32\":{checksum},\"record\":{body}}}")
+                .expect("writing to a String is infallible");
+        }
+        tacc_obs::counter_add("journal.records", records.len() as u64);
+        self.file.write_all(lines.as_bytes()).map_err(|e| ChaosError::io(&self.path, &e))?;
         if tacc_obs::enabled() {
             let started = std::time::Instant::now();
             let synced = self.file.sync_data();
@@ -224,33 +273,41 @@ fn parse_line(line: &str) -> Result<JournalRecord, String> {
     }
 }
 
-/// Rebuilds a runtime from a journal plus the trace it was recorded
-/// against, under [`RecoveryPolicy::Strict`]. See [`recover_with`].
-///
-/// # Errors
-///
-/// As [`recover_with`], with every corrupt mid-file record a hard error.
-pub fn recover(path: &Path, trace: &Trace) -> Result<Recovery, ChaosError> {
-    recover_with(path, trace, RecoveryPolicy::Strict)
+/// A journal read end-to-end, validated but not yet replayed. This is
+/// the bootstrap for recoveries that have *only* the journal — a
+/// wire-fed daemon reconstructs its trace from the `SessionScenario` and
+/// `Event` records in here.
+#[derive(Debug)]
+pub struct JournalScan {
+    /// The format version the journal pinned in its `Begin` record.
+    pub journal_version: u32,
+    /// The trace fingerprint the journal pinned.
+    pub trace_fingerprint: u64,
+    /// The runtime configuration the journal pinned.
+    pub config: RuntimeConfig,
+    /// Every intact record, in file order (including the `Begin`).
+    pub records: Vec<JournalRecord>,
+    /// Whether the journal ended in a torn (unparseable) final line.
+    pub torn_tail: bool,
+    /// 1-based line numbers of corrupt mid-file records that were
+    /// skipped. Always empty under [`RecoveryPolicy::Strict`].
+    pub corrupt_records: Vec<usize>,
 }
 
-/// Rebuilds a runtime from a journal plus the trace it was recorded
-/// against, with `policy` deciding the fate of corrupt mid-file records
-/// (a torn final line is tolerated under both policies).
+/// Reads and validates a journal without needing the trace it was
+/// recorded against: line parsing under `policy`, `Begin`-record
+/// presence, and version-range checks. Callers that *do* hold the trace
+/// should use [`recover`]/[`recover_with`], which additionally verify
+/// the fingerprint and rebuild the runtime.
 ///
 /// # Errors
 ///
 /// Returns [`ChaosError::Io`] if the journal cannot be read,
 /// [`ChaosError::Journal`] if it is empty, does not start with an intact
-/// `Begin` record, pins an unknown journal version or a different trace
-/// fingerprint, or — under [`RecoveryPolicy::Strict`] — has a corrupt
-/// record anywhere before the final line, and propagates runtime restore
-/// failures.
-pub fn recover_with(
-    path: &Path,
-    trace: &Trace,
-    policy: RecoveryPolicy,
-) -> Result<Recovery, ChaosError> {
+/// `Begin` record, pins an unknown journal version, or — under
+/// [`RecoveryPolicy::Strict`] — has a corrupt record anywhere before the
+/// final line.
+pub fn scan_journal(path: &Path, policy: RecoveryPolicy) -> Result<JournalScan, ChaosError> {
     let text = std::fs::read_to_string(path).map_err(|e| ChaosError::io(path, &e))?;
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     if lines.is_empty() {
@@ -291,40 +348,83 @@ pub fn recover_with(
             ),
         });
     }
-    if *trace_fingerprint != trace.fingerprint() {
+    let (journal_version, trace_fingerprint, config) =
+        (*journal_version, *trace_fingerprint, config.clone());
+    Ok(JournalScan {
+        journal_version,
+        trace_fingerprint,
+        config,
+        records,
+        torn_tail,
+        corrupt_records,
+    })
+}
+
+/// Rebuilds a runtime from a journal plus the trace it was recorded
+/// against, under [`RecoveryPolicy::Strict`]. See [`recover_with`].
+///
+/// # Errors
+///
+/// As [`recover_with`], with every corrupt mid-file record a hard error.
+pub fn recover(path: &Path, trace: &Trace) -> Result<Recovery, ChaosError> {
+    recover_with(path, trace, RecoveryPolicy::Strict)
+}
+
+/// Rebuilds a runtime from a journal plus the trace it was recorded
+/// against, with `policy` deciding the fate of corrupt mid-file records
+/// (a torn final line is tolerated under both policies).
+///
+/// # Errors
+///
+/// Returns [`ChaosError::Io`] if the journal cannot be read,
+/// [`ChaosError::Journal`] if it is empty, does not start with an intact
+/// `Begin` record, pins an unknown journal version or a different trace
+/// fingerprint, or — under [`RecoveryPolicy::Strict`] — has a corrupt
+/// record anywhere before the final line, and propagates runtime restore
+/// failures.
+pub fn recover_with(
+    path: &Path,
+    trace: &Trace,
+    policy: RecoveryPolicy,
+) -> Result<Recovery, ChaosError> {
+    let scan = scan_journal(path, policy)?;
+    if scan.trace_fingerprint != trace.fingerprint() {
         return Err(ChaosError::Journal {
             reason: format!(
-                "journal was recorded against trace {trace_fingerprint:#018x}, \
+                "journal was recorded against trace {:#018x}, \
                  not {:#018x}",
+                scan.trace_fingerprint,
                 trace.fingerprint()
             ),
         });
     }
-    let config = config.clone();
 
     let mut last_snapshot: Option<&RuntimeSnapshot> = None;
     let mut last_step: Option<u64> = None;
-    for record in &records {
+    for record in &scan.records {
         match record {
             JournalRecord::Snapshot { snapshot } => last_snapshot = Some(snapshot),
             JournalRecord::Step { index } => {
                 last_step = Some(last_step.map_or(*index, |s| s.max(*index)));
             }
-            JournalRecord::Begin { .. } | JournalRecord::Recovered { .. } => {}
+            JournalRecord::Begin { .. }
+            | JournalRecord::Recovered { .. }
+            | JournalRecord::SessionScenario { .. }
+            | JournalRecord::Event { .. } => {}
         }
     }
 
     let (runtime, from_snapshot) = match last_snapshot {
         Some(snapshot) => (Runtime::restore(snapshot.clone(), trace)?, true),
-        None => (Runtime::from_trace(trace, config)?, false),
+        None => (Runtime::from_trace(trace, scan.config)?, false),
     };
     Ok(Recovery {
         runtime,
         from_snapshot,
         last_step,
-        torn_tail,
-        records: records.len(),
-        corrupt_records,
+        torn_tail: scan.torn_tail,
+        records: scan.records.len(),
+        corrupt_records: scan.corrupt_records,
     })
 }
 
@@ -506,6 +606,74 @@ mod tests {
         let err = recover(&path, &other).unwrap_err();
         let ChaosError::Journal { reason } = &err else { panic!("got {err:?}") };
         assert!(reason.contains("recorded against trace"), "got: {reason}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_batch_append_lands_every_record() {
+        let trace = trace();
+        let config = RuntimeConfig::default();
+        let path = temp_path("batch");
+        let mut journal = Journal::create(&path, &trace, &config).unwrap();
+        let batch: Vec<JournalRecord> = trace.events[..4]
+            .iter()
+            .enumerate()
+            .map(|(i, timed)| JournalRecord::Event { index: i as u64, timed: timed.clone() })
+            .collect();
+        journal.append_batch(&batch).unwrap();
+        journal.append_batch(&[]).unwrap();
+        drop(journal);
+
+        let scan = scan_journal(&path, RecoveryPolicy::Strict).unwrap();
+        assert_eq!(scan.journal_version, JOURNAL_VERSION);
+        assert_eq!(scan.records.len(), 5, "Begin + 4 events");
+        let events: Vec<&JournalRecord> =
+            scan.records.iter().filter(|r| matches!(r, JournalRecord::Event { .. })).collect();
+        assert_eq!(events.len(), 4);
+        for (i, record) in events.iter().enumerate() {
+            let JournalRecord::Event { index, timed } = record else { unreachable!() };
+            assert_eq!(*index, i as u64);
+            assert_eq!(*timed, trace.events[i]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_scan_reconstructs_a_wire_fed_session_without_the_trace() {
+        let trace = trace();
+        let config = RuntimeConfig::default();
+        let path = temp_path("scan-session");
+        // A wire-fed session journals against the *empty* trace (events
+        // arrive later), pins the scenario, then write-ahead-journals
+        // every event it accepts.
+        let shell = Trace { events: Vec::new(), ..trace.clone() };
+        let mut journal = Journal::create(&path, &shell, &config).unwrap();
+        journal
+            .append(&JournalRecord::SessionScenario { scenario: trace.scenario.clone() })
+            .unwrap();
+        let batch: Vec<JournalRecord> = trace
+            .events
+            .iter()
+            .enumerate()
+            .map(|(i, timed)| JournalRecord::Event { index: i as u64, timed: timed.clone() })
+            .collect();
+        journal.append_batch(&batch).unwrap();
+        drop(journal);
+
+        // The journal alone rebuilds the full trace.
+        let scan = scan_journal(&path, RecoveryPolicy::Strict).unwrap();
+        assert_eq!(scan.trace_fingerprint, shell.fingerprint());
+        let mut scenario = None;
+        let mut events = Vec::new();
+        for record in &scan.records {
+            match record {
+                JournalRecord::SessionScenario { scenario: s } => scenario = Some(s.clone()),
+                JournalRecord::Event { timed, .. } => events.push(timed.clone()),
+                _ => {}
+            }
+        }
+        let rebuilt = Trace { scenario: scenario.unwrap(), events, ..shell };
+        assert_eq!(rebuilt.fingerprint(), trace.fingerprint(), "byte-identical trace");
         std::fs::remove_file(&path).ok();
     }
 

@@ -28,6 +28,8 @@ USAGE:
   tacc gen-trace [OPTIONS]   generate an online-reconfiguration event trace
   tacc run-trace [OPTIONS]   replay a trace through the online runtime
   tacc chaos     [OPTIONS]   adversarial faults + crash injection, prove recovery
+  tacc serve     [OPTIONS]   always-on control-plane daemon (versioned wire protocol)
+  tacc client    [OPTIONS]   drive a running daemon: one-shot ops or a scripted session
   tacc bench-report [OPTIONS] measure serial vs parallel hot paths, write JSON
   tacc obs-report [OPTIONS]  replay an instrumented workload, print the
                              phase profile and metric registry
@@ -103,6 +105,32 @@ chaos only:
                      offset and prove detection + byte-identical recovery
   (plus --devices/--servers/--load/--family/--seed and the run-trace
    policy flags; exits non-zero unless recovery is byte-identical)
+
+serve only:
+  --listen ADDR      accept TCP on ADDR (e.g. 127.0.0.1:7077)
+  --uds PATH         accept on a Unix socket (either or both endpoints)
+  --journal FILE     write-ahead journal; every acknowledged burst is
+                     fsync'd before the Accepted response
+  --recover          rebuild the session from --journal before serving
+  --obs-out FILE     deterministic JSONL stream of the session
+  --algorithm NAME   anytime solver answering Solve queries [default q-learning]
+  --batch-size N     pending events per coalesced apply     [default 64]
+  --max-pending N    admission-control backlog cap          [default 4096]
+  --query-budget N   default Solve work budget (units)      [default 2000]
+  --snapshot-every N journal snapshot cadence (events)      [default 256]
+
+client only (needs --connect ADDR or --uds PATH):
+  --drive TRACE      scripted session: Init from the trace's scenario, push
+                     its events in bursts, interleave queries, print stats
+  --burst K          events per push while driving          [default 64]
+  --query-every N    device query every N bursts (0 = off)  [default 5]
+  --solve-every N    budgeted solve every N bursts (0 = off) [default 0]
+  --budget N         work budget for those solves (0 = server default)
+  --hello | --stats | --metrics | --snapshot | --flush | --shutdown
+                     one-shot requests (run in that order, after --drive
+                     when both are given); each response prints as JSON
+  --query D          one-shot device query
+  --solve N          one-shot budgeted solve
 
 bench-report only:
   --out DIR          where to write BENCH_*.json [default .]
@@ -695,6 +723,189 @@ fn chaos_report(args: &Args) -> Result<(String, bool), String> {
     Ok((json, report.byte_identical))
 }
 
+fn serve_config_from(args: &Args) -> Result<tacc_serve::ServeConfig, String> {
+    let defaults = tacc_serve::ServeConfig::default();
+    Ok(tacc_serve::ServeConfig {
+        batch_size: args.num_or("batch-size", defaults.batch_size)?,
+        max_pending: args.num_or("max-pending", defaults.max_pending)?,
+        query_budget: args.num_or("query-budget", defaults.query_budget)?,
+        snapshot_every: args.num_or("snapshot-every", defaults.snapshot_every)?,
+        read_timeout_ms: args.num_or("read-timeout-ms", defaults.read_timeout_ms)?,
+        algorithm: args.str_or("algorithm", &defaults.algorithm).to_owned(),
+        journal: args.str_opt("journal").map(std::path::PathBuf::from),
+        obs_out: args.str_opt("obs-out").map(std::path::PathBuf::from),
+    })
+}
+
+/// `tacc serve`
+///
+/// Boots the control-plane daemon on `--listen` (TCP) and/or `--uds`
+/// (Unix socket) and serves the versioned wire protocol until a
+/// `Shutdown` request or SIGTERM/SIGINT — both drain the session
+/// cleanly: pending events applied, journal and obs stream finished.
+pub fn serve(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let cfg = serve_config_from(&args)?;
+    if cfg.obs_out.is_some() {
+        tacc_obs::set_enabled(true);
+        tacc_obs::reset();
+    }
+    if args.has("recover") && cfg.journal.is_none() {
+        return Err("--recover needs --journal FILE".to_owned());
+    }
+    let uds = args.str_opt("uds").map(std::path::PathBuf::from);
+    let mut server = tacc_serve::Server::bind(args.str_opt("listen"), uds.as_deref(), cfg)
+        .map_err(|e| e.to_string())?;
+    if args.has("recover") {
+        server.recover_session().map_err(|e| e.to_string())?;
+    }
+    tacc_serve::install_termination_handler();
+    for endpoint in server.endpoints() {
+        // Stderr, flushed line-by-line: scripts scrape the address from
+        // here while stdout stays free for structured output.
+        eprintln!("[serve] listening on {endpoint}");
+    }
+    server.run().map_err(|e| e.to_string())
+}
+
+/// `tacc client`
+///
+/// Connects to a running daemon. `--drive TRACE` runs the scripted
+/// session the acceptance gate describes — Init from the trace's
+/// scenario, stream its events in bursts, interleave device queries and
+/// budgeted solves — then any one-shot flags run in their listed order.
+pub fn client(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let mut client = match (args.str_opt("connect"), args.str_opt("uds")) {
+        (Some(addr), _) => tacc_serve::Client::connect_tcp(addr).map_err(|e| e.to_string())?,
+        (None, Some(path)) => {
+            tacc_serve::Client::connect_unix(Path::new(path)).map_err(|e| e.to_string())?
+        }
+        (None, None) => return Err("client needs --connect ADDR or --uds PATH".to_owned()),
+    };
+
+    if let Some(trace_path) = args.str_opt("drive") {
+        drive_session(&mut client, &args, trace_path)?;
+    }
+    let print = |response: &tacc_proto::Response| {
+        let doc = serde_json::to_value(response);
+        println!("{}", serde_json::to_string_pretty(&doc).expect("serializable"));
+    };
+    if args.has("hello") {
+        print(&client.hello("tacc-cli").map_err(|e| e.to_string())?);
+    }
+    if let Some(raw) = args.str_opt("query") {
+        let device: usize = raw.parse().map_err(|_| format!("--query got `{raw}`"))?;
+        print(&client.query(device).map_err(|e| e.to_string())?);
+    }
+    if let Some(raw) = args.str_opt("solve") {
+        let units: u64 = raw.parse().map_err(|_| format!("--solve got `{raw}`"))?;
+        print(&client.solve(units).map_err(|e| e.to_string())?);
+    }
+    if args.has("flush") {
+        print(&client.flush().map_err(|e| e.to_string())?);
+    }
+    if args.has("stats") {
+        print(&client.stats().map_err(|e| e.to_string())?);
+    }
+    if args.has("metrics") {
+        match client.metrics().map_err(|e| e.to_string())? {
+            tacc_proto::Response::Metrics { text } => print!("{text}"),
+            other => print(&other),
+        }
+    }
+    if args.has("snapshot") {
+        match client.snapshot().map_err(|e| e.to_string())? {
+            tacc_proto::Response::Snapshot { snapshot_json } => println!("{snapshot_json}"),
+            other => print(&other),
+        }
+    }
+    if args.has("shutdown") {
+        print(&client.shutdown().map_err(|e| e.to_string())?);
+    }
+    Ok(())
+}
+
+/// The scripted-session loop behind `tacc client --drive`.
+fn drive_session(
+    client: &mut tacc_serve::Client,
+    args: &Args,
+    trace_path: &str,
+) -> Result<(), String> {
+    use tacc_proto::Response;
+
+    let text =
+        std::fs::read_to_string(trace_path).map_err(|e| format!("reading `{trace_path}`: {e}"))?;
+    let trace = Trace::from_json(&text).map_err(|e| e.to_string())?;
+    gate_inputs(&validate::validate_trace(&trace), args.has("strict-inputs"))?;
+    let burst = args.num_or("burst", 64usize)?.max(1);
+    let query_every = args.num_or("query-every", 5usize)?;
+    let solve_every = args.num_or("solve-every", 0usize)?;
+    let budget = args.num_or("budget", 0u64)?;
+
+    let shell = Trace { events: Vec::new(), ..trace.clone() };
+    let devices = shell.scenario.num_iot;
+    match client.init(shell, runtime_config_from(args)?).map_err(|e| e.to_string())? {
+        Response::Initialized { .. } => {}
+        other => return Err(format!("Init answered {other:?}")),
+    }
+    let mut queries = 0u64;
+    let mut solves = 0u64;
+    for (i, chunk) in trace.events.chunks(burst).enumerate() {
+        match client.push(chunk.to_vec()).map_err(|e| e.to_string())? {
+            Response::Accepted { .. } => {}
+            other => return Err(format!("Push answered {other:?}")),
+        }
+        if query_every > 0 && i % query_every == 0 && devices > 0 {
+            match client.query(i % devices).map_err(|e| e.to_string())? {
+                Response::Device { .. } => queries += 1,
+                other => return Err(format!("Query answered {other:?}")),
+            }
+        }
+        if solve_every > 0 && i % solve_every == 0 {
+            match client.solve(budget).map_err(|e| e.to_string())? {
+                Response::Solution { feasible: true, .. } => solves += 1,
+                other => return Err(format!("Solve answered {other:?}")),
+            }
+        }
+    }
+    match client.flush().map_err(|e| e.to_string())? {
+        Response::Flushed { .. } => {}
+        other => return Err(format!("Flush answered {other:?}")),
+    }
+    let Response::Stats {
+        cursor,
+        pending,
+        active_devices,
+        shed_devices,
+        unreachable_devices,
+        departed_devices,
+        alive_servers,
+        total_delay_ms,
+        feasible,
+    } = client.stats().map_err(|e| e.to_string())?
+    else {
+        return Err("Stats answered the wrong shape".to_owned());
+    };
+    let doc = serde_json::json!({
+        "driven_events": trace.events.len(),
+        "bursts": trace.events.len().div_ceil(burst),
+        "queries": queries,
+        "solves": solves,
+        "cursor": cursor,
+        "pending": pending,
+        "active_devices": active_devices,
+        "shed_devices": shed_devices,
+        "unreachable_devices": unreachable_devices,
+        "departed_devices": departed_devices,
+        "alive_servers": alive_servers,
+        "total_delay_ms": total_delay_ms,
+        "feasible": feasible,
+    });
+    println!("{}", serde_json::to_string_pretty(&doc).expect("serializable"));
+    Ok(())
+}
+
 /// `tacc bench-report`
 ///
 /// Times the two hot paths the `tacc-par` layer accelerates — the
@@ -832,6 +1043,66 @@ fn bench_solvers(
         "parallel_ms": parallel_ms,
         "speedup": serial_ms / parallel_ms,
         "identical": identical,
+        "serve": bench_serve(quick, reps)?,
+    }))
+}
+
+/// The control-plane section of `BENCH_solvers.json`: a full in-process
+/// serve session under fixed seeds — burst-ingest throughput and query
+/// latency percentiles. The state the daemon lands on is deterministic;
+/// only the timings vary run to run.
+fn bench_serve(quick: bool, reps: usize) -> Result<serde_json::Value, String> {
+    let (devices, servers, events) = if quick { (20, 4, 300) } else { (60, 8, 2000) };
+    let scenario = TraceScenario {
+        num_iot: devices,
+        num_servers: servers,
+        load_factor: 0.7,
+        seed: 2022,
+        ..TraceScenario::default()
+    };
+    let trace = TraceGenerator::new(scenario)
+        .num_events(events)
+        .generate(2022)
+        .map_err(|e| e.to_string())?;
+    let shell = Trace { events: Vec::new(), ..trace.clone() };
+    let config = RuntimeConfig { seed: 2022, ..RuntimeConfig::default() };
+    let cfg = tacc_serve::ServeConfig::default();
+
+    // Ingest: the whole trace in batch-size bursts, coalesced applies.
+    let (ingest_ms, _) = best_of_ms(reps, || {
+        let mut session =
+            tacc_serve::Session::start(shell.clone(), config.clone(), &cfg).expect("session");
+        for chunk in trace.events.chunks(cfg.batch_size) {
+            session.push(chunk.to_vec()).expect("push");
+        }
+        session.flush().expect("flush");
+        session
+    });
+    let ingest_events_per_sec = events as f64 / (ingest_ms / 1e3);
+
+    // Query latency against the settled session.
+    let mut session = tacc_serve::Session::start(shell, config, &cfg).map_err(|e| e.to_string())?;
+    session.push(trace.events.clone()).map_err(|e| e.to_string())?;
+    session.flush().map_err(|e| e.to_string())?;
+    let mut latencies_ms: Vec<f64> = (0..200)
+        .map(|i| {
+            let start = std::time::Instant::now();
+            session.query(i % devices).expect("query");
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    latencies_ms.sort_by(f64::total_cmp);
+    let pct = |q: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * q).round() as usize];
+
+    Ok(serde_json::json!({
+        "devices": devices,
+        "servers": servers,
+        "events": events,
+        "seed": 2022u64,
+        "ingest_ms": ingest_ms,
+        "ingest_events_per_sec": ingest_events_per_sec,
+        "query_p50_ms": pct(0.50),
+        "query_p99_ms": pct(0.99),
     }))
 }
 

@@ -7,6 +7,8 @@
 //! tacc gen-trace --devices 100 --servers 10 --events 500 --out trace.json
 //! tacc run-trace --trace trace.json --seed 42
 //! tacc chaos     --profile partition --events 100 --crash-every 7
+//! tacc serve     --listen 127.0.0.1:7077 --journal session.jsonl
+//! tacc client    --connect 127.0.0.1:7077 --drive trace.json --burst 64
 //! tacc bench-report --out .
 //! tacc obs-report --devices 50 --servers 5 --events 200
 //! tacc algorithms | tacc families
@@ -30,6 +32,8 @@ fn main() -> ExitCode {
         "gen-trace" => commands::gen_trace(rest),
         "run-trace" => commands::run_trace(rest),
         "chaos" => commands::chaos(rest),
+        "serve" => commands::serve(rest),
+        "client" => commands::client(rest),
         "bench-report" => commands::bench_report(rest),
         "obs-report" => commands::obs_report(rest),
         "algorithms" => commands::algorithms(),

@@ -74,7 +74,9 @@ fn bench_reports_keep_their_schema() {
     assert_eq!(
         schema(&load(&dir.join("BENCH_solvers.json"))),
         "{bench:str,git_rev:str,threads:uint,reps:uint,devices:uint,servers:uint,\
-         algorithms:[str],serial_ms:float,parallel_ms:float,speedup:float,identical:bool}"
+         algorithms:[str],serial_ms:float,parallel_ms:float,speedup:float,identical:bool,\
+         serve:{devices:uint,servers:uint,events:uint,seed:uint,ingest_ms:float,\
+         ingest_events_per_sec:float,query_p50_ms:float,query_p99_ms:float}}"
     );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,76 @@
+//! Typed wire-protocol failures.
+
+use std::fmt;
+
+/// Everything that can go wrong between two frames.
+///
+/// The split matters operationally: a [`ProtoError::Malformed`] or
+/// [`ProtoError::UnsupportedVersion`] frame can be *answered* (the
+/// stream is still framed correctly), while [`ProtoError::Truncated`]
+/// and [`ProtoError::Oversized`] mean framing itself is lost and the
+/// connection must be dropped — but never the daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The underlying transport failed (connection reset, write error).
+    Io {
+        /// The I/O error, rendered.
+        reason: String,
+    },
+    /// The peer disconnected mid-frame: a header or payload started but
+    /// ended before the promised bytes arrived.
+    Truncated {
+        /// Bytes the frame promised.
+        expected: usize,
+        /// Bytes that actually arrived.
+        got: usize,
+    },
+    /// The length prefix promises a payload past [`crate::MAX_FRAME_LEN`].
+    /// Detected *before* any allocation.
+    Oversized {
+        /// The promised payload length.
+        len: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// The envelope's `v` field names a protocol this build does not
+    /// speak.
+    UnsupportedVersion {
+        /// The version the peer sent.
+        got: u64,
+        /// The version this build speaks.
+        supported: u32,
+    },
+    /// The payload is not valid UTF-8 JSON, or parses but does not have
+    /// the envelope/message shape.
+    Malformed {
+        /// What failed to parse, with the underlying diagnosis.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io { reason } => write!(f, "transport error: {reason}"),
+            ProtoError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} byte(s), got {got}")
+            }
+            ProtoError::Oversized { len, max } => {
+                write!(f, "oversized frame: length prefix {len} exceeds the {max}-byte cap")
+            }
+            ProtoError::UnsupportedVersion { got, supported } => {
+                write!(f, "unsupported protocol version {got} (this build speaks {supported})")
+            }
+            ProtoError::Malformed { reason } => write!(f, "malformed payload: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl ProtoError {
+    /// Wraps a transport error.
+    pub fn io(e: &std::io::Error) -> ProtoError {
+        ProtoError::Io { reason: e.to_string() }
+    }
+}

@@ -1,0 +1,176 @@
+//! Length-prefixed framing over any byte stream.
+//!
+//! A frame is a 4-byte big-endian payload length followed by exactly
+//! that many payload bytes. The reader distinguishes four situations a
+//! daemon must treat differently: a complete frame, a clean close
+//! (EOF *between* frames), an idle tick (read timeout with nothing
+//! consumed — the moment to poll shutdown flags), and damage (EOF or a
+//! stuck peer *inside* a frame).
+
+use std::io::{ErrorKind, Read, Write};
+
+use crate::ProtoError;
+
+/// Hard cap on a single frame's payload. A length prefix past this is
+/// rejected before any buffer is allocated, so a hostile 4-byte header
+/// cannot balloon memory. Large enough for a full trace or snapshot.
+pub const MAX_FRAME_LEN: usize = 32 * 1024 * 1024;
+
+/// Mid-frame read-timeout retries before the peer is declared stuck and
+/// the frame [`ProtoError::Truncated`]. With the daemon's default 100 ms
+/// read timeout this bounds a half-sent frame to ~30 s of patience.
+const MID_FRAME_RETRIES: u32 = 300;
+
+/// What one read attempt produced.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete payload.
+    Frame(Vec<u8>),
+    /// Read timeout with no bytes consumed — the stream is intact, the
+    /// peer is just quiet. Callers use this to poll shutdown flags.
+    Idle,
+    /// Clean EOF between frames: the peer closed the connection.
+    Closed,
+}
+
+/// Writes one frame: 4-byte big-endian length, then the payload.
+///
+/// # Errors
+///
+/// [`ProtoError::Oversized`] when the payload exceeds [`MAX_FRAME_LEN`],
+/// [`ProtoError::Io`] on transport failures.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(ProtoError::Oversized { len: payload.len(), max: MAX_FRAME_LEN });
+    }
+    let len = u32::try_from(payload.len()).expect("MAX_FRAME_LEN fits in u32");
+    w.write_all(&len.to_be_bytes()).map_err(|e| ProtoError::io(&e))?;
+    w.write_all(payload).map_err(|e| ProtoError::io(&e))?;
+    w.flush().map_err(|e| ProtoError::io(&e))
+}
+
+/// Whether an I/O error is a read timeout (the two kinds different
+/// platforms report for `set_read_timeout` expiry).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Fills `buf` from `r`, already holding `have` bytes of it. Retries
+/// read timeouts up to [`MID_FRAME_RETRIES`] times (the frame has
+/// started, so patience — but not unbounded patience — is correct).
+///
+/// Returns the total bytes in `buf` on success; `Ok(n) < buf.len()`
+/// means EOF cut the frame short.
+fn fill(r: &mut impl Read, buf: &mut [u8], mut have: usize) -> Result<usize, ProtoError> {
+    let mut timeouts = 0u32;
+    while have < buf.len() {
+        match r.read(&mut buf[have..]) {
+            Ok(0) => return Ok(have),
+            Ok(n) => {
+                have += n;
+                timeouts = 0;
+            }
+            Err(e) if is_timeout(&e) => {
+                timeouts += 1;
+                if timeouts > MID_FRAME_RETRIES {
+                    return Ok(have);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::io(&e)),
+        }
+    }
+    Ok(have)
+}
+
+/// Reads one frame, or reports why there is none yet.
+///
+/// # Errors
+///
+/// [`ProtoError::Truncated`] when the peer disconnects (or stalls past
+/// the retry bound) inside a frame, [`ProtoError::Oversized`] for a
+/// length prefix past [`MAX_FRAME_LEN`], [`ProtoError::Io`] on other
+/// transport failures.
+pub fn read_frame_event(r: &mut impl Read) -> Result<FrameEvent, ProtoError> {
+    let mut header = [0u8; 4];
+    // First byte decides idle/closed; after it, the frame has begun.
+    let first = loop {
+        match r.read(&mut header[..1]) {
+            Ok(0) => return Ok(FrameEvent::Closed),
+            Ok(_) => break 1usize,
+            Err(e) if is_timeout(&e) => return Ok(FrameEvent::Idle),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::io(&e)),
+        }
+    };
+    let have = fill(r, &mut header, first)?;
+    if have < header.len() {
+        return Err(ProtoError::Truncated { expected: header.len(), got: have });
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::Oversized { len, max: MAX_FRAME_LEN });
+    }
+    let mut payload = vec![0u8; len];
+    let have = fill(r, &mut payload, 0)?;
+    if have < len {
+        return Err(ProtoError::Truncated { expected: len, got: have });
+    }
+    Ok(FrameEvent::Frame(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Round-trips a frame through an in-memory buffer.
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"v\":1}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let FrameEvent::Frame(first) = read_frame_event(&mut cursor).unwrap() else {
+            panic!("expected a frame");
+        };
+        assert_eq!(first, b"{\"v\":1}");
+        let FrameEvent::Frame(second) = read_frame_event(&mut cursor).unwrap() else {
+            panic!("expected a frame");
+        };
+        assert!(second.is_empty());
+        assert!(matches!(read_frame_event(&mut cursor).unwrap(), FrameEvent::Closed));
+    }
+
+    #[test]
+    fn a_truncated_header_is_a_typed_error() {
+        let mut cursor = std::io::Cursor::new(vec![0u8, 0, 1]);
+        let err = read_frame_event(&mut cursor).unwrap_err();
+        assert!(matches!(err, ProtoError::Truncated { expected: 4, got: 3 }), "got {err:?}");
+    }
+
+    #[test]
+    fn a_truncated_payload_is_a_typed_error() {
+        let mut buf = 8u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        let mut cursor = std::io::Cursor::new(buf);
+        let err = read_frame_event(&mut cursor).unwrap_err();
+        assert!(matches!(err, ProtoError::Truncated { expected: 8, got: 3 }), "got {err:?}");
+    }
+
+    #[test]
+    fn an_oversized_length_prefix_is_rejected_before_allocation() {
+        let mut cursor = std::io::Cursor::new(u32::MAX.to_be_bytes().to_vec());
+        let err = read_frame_event(&mut cursor).unwrap_err();
+        let ProtoError::Oversized { len, max } = err else { panic!("got {err:?}") };
+        assert_eq!(len, u32::MAX as usize);
+        assert_eq!(max, MAX_FRAME_LEN);
+    }
+
+    #[test]
+    fn an_oversized_write_is_refused() {
+        let mut out = Vec::new();
+        let big = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(matches!(write_frame(&mut out, &big), Err(ProtoError::Oversized { .. })));
+        assert!(out.is_empty(), "nothing half-written");
+    }
+}

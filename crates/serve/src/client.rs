@@ -1,0 +1,229 @@
+//! The client library the `tacc client` subcommand and the tests drive.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use tacc_proto::{
+    decode_response, encode_request, read_frame_event, write_frame, FrameEvent, Request, Response,
+};
+use tacc_runtime::RuntimeConfig;
+use tacc_workload::{TimedEvent, Trace};
+
+use crate::ServeError;
+
+/// A blocking protocol client over TCP or a Unix socket. One request in
+/// flight at a time; correlation ids are checked on every answer.
+#[derive(Debug)]
+pub struct Client {
+    transport: Transport,
+    next_id: u64,
+}
+
+#[derive(Debug)]
+enum Transport {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            Transport::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.write(buf),
+            Transport::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.flush(),
+            Transport::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Client {
+    /// Connects over TCP (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on connect failures.
+    pub fn connect_tcp(addr: &str) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ServeError::io(&format!("connecting tcp {addr}"), &e))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .map_err(|e| ServeError::io("client timeout", &e))?;
+        Ok(Client { transport: Transport::Tcp(stream), next_id: 1 })
+    }
+
+    /// Connects over a Unix socket.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on connect failures.
+    pub fn connect_unix(path: &Path) -> Result<Client, ServeError> {
+        let stream = UnixStream::connect(path)
+            .map_err(|e| ServeError::io(&format!("connecting uds {}", path.display()), &e))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .map_err(|e| ServeError::io("client timeout", &e))?;
+        Ok(Client { transport: Transport::Unix(stream), next_id: 1 })
+    }
+
+    /// Sends one request and blocks for its answer, verifying that the
+    /// response correlates (same `id`). The socket read timeout bounds
+    /// the wait — a daemon that answers nothing within it is an error,
+    /// not an infinite loop.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Proto`] on framing/decoding failures,
+    /// [`ServeError::Io`] when the server closes mid-exchange or the
+    /// read timeout expires unanswered, [`ServeError::State`] on a
+    /// correlation mismatch.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.transport, &encode_request(id, request))?;
+        match read_frame_event(&mut self.transport)? {
+            FrameEvent::Frame(payload) => {
+                let frame = decode_response(&payload)?;
+                if frame.id != id && frame.id != 0 {
+                    return Err(ServeError::state(format!(
+                        "response correlates to request {} (sent {id})",
+                        frame.id
+                    )));
+                }
+                Ok(frame.response)
+            }
+            FrameEvent::Idle => Err(ServeError::Io {
+                reason: "request timed out: no response within the read timeout".to_owned(),
+            }),
+            FrameEvent::Closed => Err(ServeError::Io {
+                reason: "server closed the connection mid-request".to_owned(),
+            }),
+        }
+    }
+
+    /// `Hello` handshake.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn hello(&mut self, client: &str) -> Result<Response, ServeError> {
+        self.request(&Request::Hello { client: client.to_owned() })
+    }
+
+    /// Starts a session from a scenario-only trace.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn init(&mut self, trace: Trace, config: RuntimeConfig) -> Result<Response, ServeError> {
+        self.request(&Request::Init { trace, config })
+    }
+
+    /// Pushes a burst of events.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn push(&mut self, events: Vec<TimedEvent>) -> Result<Response, ServeError> {
+        self.request(&Request::Push { events })
+    }
+
+    /// Forces a coalesced apply of everything pending.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn flush(&mut self) -> Result<Response, ServeError> {
+        self.request(&Request::Flush)
+    }
+
+    /// Queries one device's assignment state.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn query(&mut self, device: usize) -> Result<Response, ServeError> {
+        self.request(&Request::Query { device })
+    }
+
+    /// Requests a supervised re-solve under `budget_units` work units
+    /// (`0` = the daemon's configured default).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn solve(&mut self, budget_units: u64) -> Result<Response, ServeError> {
+        self.request(&Request::Solve { budget_units })
+    }
+
+    /// Fetches the deterministic session summary.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn stats(&mut self) -> Result<Response, ServeError> {
+        self.request(&Request::Stats)
+    }
+
+    /// Scrapes the metric registry as text exposition.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn metrics(&mut self) -> Result<Response, ServeError> {
+        self.request(&Request::Metrics)
+    }
+
+    /// Fetches the full resumable runtime snapshot (JSON).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn snapshot(&mut self) -> Result<Response, ServeError> {
+        self.request(&Request::Snapshot)
+    }
+
+    /// Asks the daemon to stop cleanly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<Response, ServeError> {
+        self.request(&Request::Shutdown)
+    }
+
+    /// Low-level escape hatch for protocol tests: writes raw bytes as a
+    /// frame payload without encoding.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn send_raw(&mut self, payload: &[u8]) -> Result<Response, ServeError> {
+        write_frame(&mut self.transport, payload)?;
+        match read_frame_event(&mut self.transport)? {
+            FrameEvent::Frame(bytes) => Ok(decode_response(&bytes)?.response),
+            FrameEvent::Idle => Err(ServeError::Io {
+                reason: "request timed out: no response within the read timeout".to_owned(),
+            }),
+            FrameEvent::Closed => Err(ServeError::Io {
+                reason: "server closed the connection mid-request".to_owned(),
+            }),
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Daemon tuning knobs.
+
+use std::path::PathBuf;
+
+/// How the daemon batches, sheds, budgets and persists. Every knob has a
+/// deterministic effect — none of them trades correctness, only latency
+/// against throughput.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Pending events that trigger an automatic coalesced flush. Bursts
+    /// smaller than this are applied when a query needs current state
+    /// (or on an explicit `Flush`).
+    pub batch_size: usize,
+    /// Admission-control cap: a `Push` that would grow the pending
+    /// backlog past this is rejected whole with a typed `Overloaded`
+    /// response.
+    pub max_pending: usize,
+    /// Default work budget (deterministic solver units) for `Solve`
+    /// queries that the supervisor enforces.
+    pub query_budget: u64,
+    /// Journal a full snapshot every this many applied events (`0` =
+    /// only the implicit snapshot cadence of recovery, i.e. never).
+    /// Snapshots bound recovery replay length, nothing else.
+    pub snapshot_every: u64,
+    /// Socket read timeout in milliseconds — the daemon's idle tick, on
+    /// which shutdown flags are polled.
+    pub read_timeout_ms: u64,
+    /// Algorithm answering `Solve` queries; must be anytime-capable
+    /// (q-learning, sarsa, simulated-annealing, ...).
+    pub algorithm: String,
+    /// Write-ahead journal path (`None` = no durability).
+    pub journal: Option<PathBuf>,
+    /// Deterministic JSONL event stream path (`None` = no stream).
+    pub obs_out: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    /// Flush every 64 pending events, shed past 4096, 2000 solver units
+    /// per query, snapshot every 256 applied events, 100 ms idle tick,
+    /// q-learning queries, no journal, no stream.
+    fn default() -> Self {
+        ServeConfig {
+            batch_size: 64,
+            max_pending: 4096,
+            query_budget: 2000,
+            snapshot_every: 256,
+            read_timeout_ms: 100,
+            algorithm: "q-learning".to_owned(),
+            journal: None,
+            obs_out: None,
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Daemon-side failures.
+
+use std::fmt;
+
+use tacc_proto::ProtoError;
+
+/// Everything the daemon or client library can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket or filesystem operation failed.
+    Io {
+        /// The failure, rendered with its context.
+        reason: String,
+    },
+    /// A wire-protocol failure (framing, version, shape).
+    Proto(ProtoError),
+    /// A session-level violation: bad state transition, invalid event,
+    /// journal mismatch, runtime failure.
+    State {
+        /// What was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io { reason } => write!(f, "I/O error: {reason}"),
+            ServeError::Proto(e) => write!(f, "protocol error: {e}"),
+            ServeError::State { reason } => write!(f, "session error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ProtoError> for ServeError {
+    fn from(e: ProtoError) -> ServeError {
+        ServeError::Proto(e)
+    }
+}
+
+impl ServeError {
+    /// Wraps an I/O error with its context.
+    pub fn io(context: &str, e: &std::io::Error) -> ServeError {
+        ServeError::Io { reason: format!("{context}: {e}") }
+    }
+
+    /// A session-level violation.
+    pub fn state(reason: impl Into<String>) -> ServeError {
+        ServeError::State { reason: reason.into() }
+    }
+}

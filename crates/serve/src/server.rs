@@ -1,0 +1,364 @@
+//! The accept/dispatch loop.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use serde_json::Value;
+use tacc_proto::{
+    decode_request, encode_response, read_frame_event, write_frame, ErrorCode, FrameEvent,
+    ProtoError, Request, Response, PROTOCOL_VERSION,
+};
+use tacc_runtime::Runtime;
+
+use crate::signal::termination_requested;
+use crate::{ServeConfig, ServeError, Session};
+
+/// One bound endpoint the daemon accepts on.
+#[derive(Debug)]
+pub enum Listener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A Unix-domain-socket listener (with its path, for cleanup).
+    Unix(UnixListener, PathBuf),
+}
+
+/// The daemon: bound listeners, the (at most one) live session, and the
+/// serve loop. Single-threaded by design — connections are served
+/// sequentially, so every session transition is totally ordered and the
+/// obs/journal byte streams are reproducible.
+#[derive(Debug)]
+pub struct Server {
+    listeners: Vec<Listener>,
+    cfg: ServeConfig,
+    session: Option<Session>,
+    stop: bool,
+}
+
+impl Server {
+    /// Binds the requested endpoints (`--listen` TCP address and/or
+    /// `--uds` socket path; at least one required). A pre-existing
+    /// socket file at the UDS path is replaced.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::State`] when no endpoint was requested,
+    /// [`ServeError::Io`] on bind failures.
+    pub fn bind(
+        tcp: Option<&str>,
+        uds: Option<&Path>,
+        cfg: ServeConfig,
+    ) -> Result<Server, ServeError> {
+        let mut listeners = Vec::new();
+        if let Some(addr) = tcp {
+            let listener = TcpListener::bind(addr)
+                .map_err(|e| ServeError::io(&format!("binding tcp {addr}"), &e))?;
+            listener.set_nonblocking(true).map_err(|e| ServeError::io("tcp nonblocking", &e))?;
+            listeners.push(Listener::Tcp(listener));
+        }
+        if let Some(path) = uds {
+            // A daemon that died hard leaves its socket file behind.
+            std::fs::remove_file(path).ok();
+            let listener = UnixListener::bind(path)
+                .map_err(|e| ServeError::io(&format!("binding uds {}", path.display()), &e))?;
+            listener.set_nonblocking(true).map_err(|e| ServeError::io("uds nonblocking", &e))?;
+            listeners.push(Listener::Unix(listener, path.to_path_buf()));
+        }
+        if listeners.is_empty() {
+            return Err(ServeError::state("serve needs --listen and/or --uds"));
+        }
+        Ok(Server { listeners, cfg, session: None, stop: false })
+    }
+
+    /// The bound endpoints, for the startup banner.
+    pub fn endpoints(&self) -> Vec<String> {
+        self.listeners
+            .iter()
+            .map(|l| match l {
+                Listener::Tcp(t) => {
+                    t.local_addr().map_or_else(|_| "tcp:?".to_owned(), |a| format!("tcp:{a}"))
+                }
+                Listener::Unix(_, path) => format!("uds:{}", path.display()),
+            })
+            .collect()
+    }
+
+    /// Rebuilds the session from the configured journal before serving
+    /// (the `--recover` path). See [`Session::recover`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::recover`].
+    pub fn recover_session(&mut self) -> Result<(), ServeError> {
+        self.session = Some(Session::recover(&self.cfg)?);
+        Ok(())
+    }
+
+    /// The live runtime, when a session exists (tests, banners).
+    pub fn runtime(&self) -> Option<&Runtime> {
+        self.session.as_ref().map(Session::runtime)
+    }
+
+    /// Serves until a `Shutdown` request or a termination signal, then
+    /// closes the session cleanly (final flush + journal snapshot + obs
+    /// stream finish). Wire damage — truncated frames, oversized length
+    /// prefixes, hostile payloads — costs at most the offending
+    /// *connection*; this loop only exits on an explicit stop.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on accept failures that are not transient, and
+    /// session-close failures at shutdown.
+    pub fn run(&mut self) -> Result<(), ServeError> {
+        while !self.stop && !termination_requested() {
+            match self.accept_one()? {
+                Some(mut conn) => {
+                    tacc_obs::counter_add("serve.connections", 1);
+                    self.serve_connection(&mut conn);
+                }
+                None => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        if let Some(session) = self.session.take() {
+            session.close()?;
+        }
+        for listener in &self.listeners {
+            if let Listener::Unix(_, path) = listener {
+                std::fs::remove_file(path).ok();
+            }
+        }
+        Ok(())
+    }
+
+    /// Polls every listener once; `None` means nobody is knocking.
+    fn accept_one(&mut self) -> Result<Option<Connection>, ServeError> {
+        let timeout = Duration::from_millis(self.cfg.read_timeout_ms.max(1));
+        for listener in &self.listeners {
+            match listener {
+                Listener::Tcp(l) => match l.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false).map_err(|e| ServeError::io("conn", &e))?;
+                        stream
+                            .set_read_timeout(Some(timeout))
+                            .map_err(|e| ServeError::io("conn", &e))?;
+                        return Ok(Some(Connection::Tcp(stream)));
+                    }
+                    Err(e) if would_block(&e) => {}
+                    Err(e) => return Err(ServeError::io("tcp accept", &e)),
+                },
+                Listener::Unix(l, _) => match l.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false).map_err(|e| ServeError::io("conn", &e))?;
+                        stream
+                            .set_read_timeout(Some(timeout))
+                            .map_err(|e| ServeError::io("conn", &e))?;
+                        return Ok(Some(Connection::Unix(stream)));
+                    }
+                    Err(e) if would_block(&e) => {}
+                    Err(e) => return Err(ServeError::io("uds accept", &e)),
+                },
+            }
+        }
+        Ok(None)
+    }
+
+    /// Serves one connection until it closes, breaks framing, or the
+    /// daemon is asked to stop. Never propagates connection damage.
+    fn serve_connection(&mut self, conn: &mut Connection) {
+        loop {
+            match read_frame_event(conn) {
+                Ok(FrameEvent::Frame(payload)) => {
+                    tacc_obs::counter_add("serve.frames", 1);
+                    let (response_bytes, shutdown) = self.handle_payload(&payload);
+                    if write_frame(conn, &response_bytes).is_err() {
+                        return; // peer vanished mid-answer; their loss
+                    }
+                    if shutdown {
+                        self.stop = true;
+                        return;
+                    }
+                }
+                Ok(FrameEvent::Idle) => {
+                    if self.stop || termination_requested() {
+                        return;
+                    }
+                }
+                Ok(FrameEvent::Closed) => return,
+                Err(_) => {
+                    // Truncated / oversized / transport damage: framing
+                    // on this connection is lost, drop it. The daemon —
+                    // and the session — survive.
+                    tacc_obs::counter_add("serve.wire_errors", 1);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Decodes, dispatches and encodes one request. Always produces an
+    /// answerable response — protocol and session failures become typed
+    /// `Error` responses, never daemon deaths.
+    fn handle_payload(&mut self, payload: &[u8]) -> (Vec<u8>, bool) {
+        let frame = match decode_request(payload) {
+            Ok(frame) => frame,
+            Err(ProtoError::UnsupportedVersion { got, supported }) => {
+                tacc_obs::counter_add("serve.version_rejects", 1);
+                let response = Response::Error {
+                    code: ErrorCode::UnsupportedVersion,
+                    message: format!(
+                        "protocol version {got} not supported (this daemon speaks {supported})"
+                    ),
+                };
+                return (encode_response(salvage_id(payload), &response), false);
+            }
+            Err(e) => {
+                tacc_obs::counter_add("serve.malformed_rejects", 1);
+                let response =
+                    Response::Error { code: ErrorCode::Malformed, message: e.to_string() };
+                return (encode_response(salvage_id(payload), &response), false);
+            }
+        };
+        let (response, shutdown) = self.handle_request(frame.request);
+        (encode_response(frame.id, &response), shutdown)
+    }
+
+    /// The request dispatcher; the `bool` asks the serve loop to stop.
+    fn handle_request(&mut self, request: Request) -> (Response, bool) {
+        match request {
+            Request::Hello { client: _ } => (
+                Response::Hello {
+                    server: format!("tacc-serve/{}", env!("CARGO_PKG_VERSION")),
+                    protocol: PROTOCOL_VERSION,
+                },
+                false,
+            ),
+            Request::Init { trace, config } => {
+                if self.session.is_some() {
+                    return (
+                        Response::Error {
+                            code: ErrorCode::AlreadyInitialized,
+                            message: "a session is already live".to_owned(),
+                        },
+                        false,
+                    );
+                }
+                match Session::start(trace, config, &self.cfg) {
+                    Ok(session) => {
+                        let runtime = session.runtime();
+                        let response = Response::Initialized {
+                            devices: runtime.cluster().instance().num_devices(),
+                            servers: runtime.cluster().instance().num_servers(),
+                            active: runtime.cluster().active_count(),
+                            recovered: false,
+                            cursor: runtime.cursor(),
+                        };
+                        self.session = Some(session);
+                        (response, false)
+                    }
+                    Err(e) => (
+                        Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
+                        false,
+                    ),
+                }
+            }
+            Request::Shutdown => (Response::Bye, true),
+            Request::Metrics => {
+                (Response::Metrics { text: tacc_obs::registry_snapshot().to_text() }, false)
+            }
+            other => {
+                let Some(session) = self.session.as_mut() else {
+                    return (
+                        Response::Error {
+                            code: ErrorCode::NotInitialized,
+                            message: "no session; send Init first".to_owned(),
+                        },
+                        false,
+                    );
+                };
+                let result = match other {
+                    Request::Push { events } => session.push(events),
+                    Request::Flush => session
+                        .flush()
+                        .map(|(applied, cursor)| Response::Flushed { applied, cursor }),
+                    Request::Query { device } => session.query(device),
+                    Request::Solve { budget_units } => session.solve(budget_units),
+                    Request::Stats => session.stats().map(|s| Response::Stats {
+                        cursor: s.cursor,
+                        pending: s.pending,
+                        active_devices: s.active_devices,
+                        shed_devices: s.shed_devices,
+                        unreachable_devices: s.unreachable_devices,
+                        departed_devices: s.departed_devices,
+                        alive_servers: s.alive_servers,
+                        total_delay_ms: s.total_delay_ms,
+                        feasible: s.feasible,
+                    }),
+                    Request::Snapshot => session
+                        .snapshot_json()
+                        .map(|snapshot_json| Response::Snapshot { snapshot_json }),
+                    Request::Hello { .. }
+                    | Request::Init { .. }
+                    | Request::Metrics
+                    | Request::Shutdown => unreachable!("handled above"),
+                };
+                match result {
+                    Ok(response) => (response, false),
+                    Err(e) => (
+                        Response::Error { code: ErrorCode::Internal, message: e.to_string() },
+                        false,
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// An accepted client connection over either transport.
+#[derive(Debug)]
+enum Connection {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Connection {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Connection::Tcp(s) => s.read(buf),
+            Connection::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Connection {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Connection::Tcp(s) => s.write(buf),
+            Connection::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Connection::Tcp(s) => s.flush(),
+            Connection::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Whether an accept error just means "nobody waiting".
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Best-effort recovery of the correlation id from a payload too damaged
+/// (or too foreign) to decode, so even rejections correlate.
+fn salvage_id(payload: &[u8]) -> u64 {
+    let Ok(text) = std::str::from_utf8(payload) else { return 0 };
+    let Ok(value) = serde_json::from_str::<Value>(text) else { return 0 };
+    match value.get("id") {
+        Some(Value::UInt(id)) => *id,
+        _ => 0,
+    }
+}

@@ -1,0 +1,584 @@
+//! The daemon's resident state: one scenario, one runtime, one journal.
+
+use serde_json::Value;
+use tacc_chaos::{scan_journal, Journal, JournalRecord, RecoveryPolicy};
+use tacc_core::Algorithm;
+use tacc_gap::GapInstance;
+use tacc_guard::{Budget, Supervisor, SupervisorConfig};
+use tacc_obs::StreamWriter;
+use tacc_proto::{ErrorCode, QueryState, Response};
+use tacc_runtime::{DeviceState, Runtime, RuntimeConfig};
+use tacc_workload::{TimedEvent, Trace, TraceEvent};
+
+use crate::{ServeConfig, ServeError};
+
+/// A live control-plane session: the growing trace of wire-accepted
+/// events, the runtime applying them, and the durability/observability
+/// sidecars.
+///
+/// The coalescing contract: `push` journals and *queues* events;
+/// [`Session::flush`] applies everything pending in one pass of
+/// sequential [`Runtime::step`] calls — exactly the order a `run-trace`
+/// replay would use — so the resulting state is independent of how
+/// events were grouped into bursts, and a journal replay reproduces it
+/// byte-for-byte.
+#[derive(Debug)]
+pub struct Session {
+    trace: Trace,
+    runtime: Runtime,
+    journal: Option<Journal>,
+    supervisor: Supervisor,
+    cfg: ServeConfig,
+    stream: Option<StreamWriter>,
+    applied_since_snapshot: u64,
+    solves: u64,
+    pushes: u64,
+}
+
+/// The deterministic session summary behind the `Stats` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// Events applied so far.
+    pub cursor: u64,
+    /// Events accepted but not yet applied.
+    pub pending: usize,
+    /// Devices actively assigned.
+    pub active_devices: usize,
+    /// Devices shed for capacity.
+    pub shed_devices: usize,
+    /// Devices partitioned from every alive server.
+    pub unreachable_devices: usize,
+    /// Devices that departed.
+    pub departed_devices: usize,
+    /// Alive servers.
+    pub alive_servers: usize,
+    /// Total delay of the current assignment (ms).
+    pub total_delay_ms: f64,
+    /// Whether the current assignment is feasible.
+    pub feasible: bool,
+}
+
+impl Session {
+    /// Starts a fresh session from a scenario-only trace (its `events`
+    /// must be empty — events arrive over the wire). Solves the initial
+    /// assignment, creates the journal (when configured) and opens the
+    /// obs stream (when configured).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::State`] for a non-empty event list, an algorithm
+    /// that is not anytime-capable, or runtime construction failures;
+    /// [`ServeError::Io`] for journal/stream filesystem failures.
+    pub fn start(
+        trace: Trace,
+        config: RuntimeConfig,
+        cfg: &ServeConfig,
+    ) -> Result<Session, ServeError> {
+        if !trace.events.is_empty() {
+            return Err(ServeError::state(
+                "Init traces carry the scenario only; push events over the wire",
+            ));
+        }
+        let Some(algorithm) = Algorithm::by_name(&cfg.algorithm) else {
+            return Err(ServeError::state(format!("unknown algorithm `{}`", cfg.algorithm)));
+        };
+        if algorithm.anytime_solver(0).is_none() {
+            return Err(ServeError::state(format!(
+                "`{}` is one-shot; Solve queries need an anytime-capable algorithm",
+                cfg.algorithm
+            )));
+        }
+        let runtime = Runtime::from_trace(&trace, config.clone())
+            .map_err(|e| ServeError::state(e.to_string()))?;
+        let journal = match &cfg.journal {
+            Some(path) => {
+                let mut journal = Journal::create(path, &trace, &config)
+                    .map_err(|e| ServeError::state(e.to_string()))?;
+                journal
+                    .append(&JournalRecord::SessionScenario { scenario: trace.scenario.clone() })
+                    .map_err(|e| ServeError::state(e.to_string()))?;
+                Some(journal)
+            }
+            None => None,
+        };
+        let stream = open_stream(cfg, &trace, &runtime, false)?;
+        Ok(Session {
+            trace,
+            runtime,
+            journal,
+            supervisor: Supervisor::new(SupervisorConfig::default()),
+            cfg: cfg.clone(),
+            stream,
+            applied_since_snapshot: 0,
+            solves: 0,
+            pushes: 0,
+        })
+    }
+
+    /// Rebuilds a session from its journal alone: scenario and events
+    /// come from the `SessionScenario`/`Event` records, state restores
+    /// from the last intact snapshot, and the remaining journaled events
+    /// replay deterministically — landing on exactly the state the
+    /// killed daemon had acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::State`] when no journal is configured, the journal
+    /// is damaged beyond its torn tail, or it lacks a session scenario;
+    /// plus everything [`Session::start`] can return.
+    pub fn recover(cfg: &ServeConfig) -> Result<Session, ServeError> {
+        let Some(path) = cfg.journal.clone() else {
+            return Err(ServeError::state("recovery needs --journal"));
+        };
+        let scan = scan_journal(&path, RecoveryPolicy::Strict)
+            .map_err(|e| ServeError::state(e.to_string()))?;
+
+        let mut scenario = None;
+        let mut events: Vec<TimedEvent> = Vec::new();
+        let mut last_snapshot = None;
+        for record in scan.records {
+            match record {
+                JournalRecord::SessionScenario { scenario: s } => scenario = Some(s),
+                JournalRecord::Event { index, timed } => {
+                    if index as usize != events.len() {
+                        return Err(ServeError::state(format!(
+                            "journal event {index} arrived at position {}",
+                            events.len()
+                        )));
+                    }
+                    events.push(timed);
+                }
+                JournalRecord::Snapshot { snapshot } => last_snapshot = Some(snapshot),
+                JournalRecord::Begin { .. }
+                | JournalRecord::Step { .. }
+                | JournalRecord::Recovered { .. } => {}
+            }
+        }
+        let Some(scenario) = scenario else {
+            return Err(ServeError::state("journal has no SessionScenario record"));
+        };
+        let trace = Trace { version: Trace::FORMAT_VERSION, scenario, events };
+
+        // The Begin record fingerprinted the scenario-only shell; verify
+        // against it so a swapped journal cannot masquerade.
+        let shell = Trace { events: Vec::new(), ..trace.clone() };
+        if scan.trace_fingerprint != shell.fingerprint() {
+            return Err(ServeError::state(format!(
+                "journal was recorded against scenario {:#018x}, not {:#018x}",
+                scan.trace_fingerprint,
+                shell.fingerprint()
+            )));
+        }
+
+        let mut runtime = match last_snapshot {
+            Some(snapshot) => {
+                Runtime::restore(snapshot, &trace).map_err(|e| ServeError::state(e.to_string()))?
+            }
+            None => Runtime::from_trace(&trace, scan.config)
+                .map_err(|e| ServeError::state(e.to_string()))?,
+        };
+        // Replay every journaled event past the restore point; the state
+        // after this is byte-identical to an uninterrupted session that
+        // flushed the same events.
+        while (runtime.cursor() as usize) < trace.events.len() {
+            let index = runtime.cursor() as usize;
+            runtime
+                .step(index, &trace.events[index])
+                .map_err(|e| ServeError::state(e.to_string()))?;
+        }
+
+        let mut journal =
+            Journal::open_append(&path).map_err(|e| ServeError::state(e.to_string()))?;
+        journal
+            .append(&JournalRecord::Recovered { cursor: runtime.cursor() })
+            .map_err(|e| ServeError::state(e.to_string()))?;
+
+        let stream = open_stream(cfg, &trace, &runtime, true)?;
+        tacc_obs::counter_add("serve.recoveries", 1);
+        Ok(Session {
+            trace,
+            runtime,
+            journal: Some(journal),
+            supervisor: Supervisor::new(SupervisorConfig::default()),
+            cfg: cfg.clone(),
+            stream,
+            applied_since_snapshot: 0,
+            solves: 0,
+            pushes: 0,
+        })
+    }
+
+    /// Events accepted but not yet applied.
+    pub fn pending(&self) -> usize {
+        self.trace.events.len() - self.runtime.cursor() as usize
+    }
+
+    /// Events applied so far (the runtime cursor).
+    pub fn cursor(&self) -> u64 {
+        self.runtime.cursor()
+    }
+
+    /// The underlying runtime (read-only; tests and the server's
+    /// `Initialized` response).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Accepts a burst: validates it whole, journals it durably (one
+    /// fsync), queues it, and — once the backlog reaches
+    /// [`ServeConfig::batch_size`] — applies everything in one coalesced
+    /// pass. A burst that would overflow [`ServeConfig::max_pending`] is
+    /// rejected atomically with `Overloaded`; an invalid burst with
+    /// `BadRequest`. Neither touches session state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::State`] only for journal or runtime failures —
+    /// protocol-level rejections come back as `Ok(Response::...)`.
+    pub fn push(&mut self, events: Vec<TimedEvent>) -> Result<Response, ServeError> {
+        if let Err(reason) = self.validate_burst(&events) {
+            return Ok(Response::Error { code: ErrorCode::BadRequest, message: reason });
+        }
+        let pending = self.pending();
+        if pending + events.len() > self.cfg.max_pending {
+            tacc_obs::counter_add("serve.overloaded", 1);
+            return Ok(Response::Overloaded {
+                pending,
+                max_pending: self.cfg.max_pending,
+                rejected: events.len(),
+            });
+        }
+
+        // Write-ahead: durable before acknowledged, all-or-nothing per
+        // burst (one fsync).
+        if let Some(journal) = self.journal.as_mut() {
+            let base = self.trace.events.len() as u64;
+            let records: Vec<JournalRecord> = events
+                .iter()
+                .enumerate()
+                .map(|(i, timed)| JournalRecord::Event {
+                    index: base + i as u64,
+                    timed: timed.clone(),
+                })
+                .collect();
+            journal.append_batch(&records).map_err(|e| ServeError::state(e.to_string()))?;
+        }
+
+        let queued = events.len();
+        self.trace.events.extend(events);
+        self.pushes += 1;
+        tacc_obs::counter_add("serve.events_accepted", queued as u64);
+        let push_index = self.pushes;
+        let pending_now = self.pending();
+        self.record_stream(
+            "push",
+            vec![
+                ("push".to_owned(), Value::UInt(push_index)),
+                ("queued".to_owned(), Value::UInt(queued as u64)),
+                ("pending".to_owned(), Value::UInt(pending_now as u64)),
+            ],
+        )?;
+
+        if self.pending() >= self.cfg.batch_size {
+            self.flush()?;
+        }
+        Ok(Response::Accepted { queued, pending: self.pending() })
+    }
+
+    /// Applies every pending event in one coalesced pass and journals
+    /// the progress (a `Step` high-water mark, plus a `Snapshot` on the
+    /// configured cadence).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::State`] on runtime or journal failures.
+    pub fn flush(&mut self) -> Result<(u64, u64), ServeError> {
+        let start = self.runtime.cursor();
+        if self.pending() == 0 {
+            return Ok((0, start));
+        }
+        while (self.runtime.cursor() as usize) < self.trace.events.len() {
+            let index = self.runtime.cursor() as usize;
+            self.runtime
+                .step(index, &self.trace.events[index])
+                .map_err(|e| ServeError::state(e.to_string()))?;
+        }
+        let cursor = self.runtime.cursor();
+        let applied = cursor - start;
+        self.applied_since_snapshot += applied;
+        tacc_obs::counter_add("serve.flushes", 1);
+        tacc_obs::counter_add("serve.events_applied", applied);
+
+        if let Some(journal) = self.journal.as_mut() {
+            let mut records = vec![JournalRecord::Step { index: cursor - 1 }];
+            if self.cfg.snapshot_every > 0 && self.applied_since_snapshot >= self.cfg.snapshot_every
+            {
+                records.push(JournalRecord::Snapshot { snapshot: self.runtime.snapshot() });
+                self.applied_since_snapshot = 0;
+            }
+            journal.append_batch(&records).map_err(|e| ServeError::state(e.to_string()))?;
+        }
+        self.record_stream(
+            "flush",
+            vec![
+                ("applied".to_owned(), Value::UInt(applied)),
+                ("cursor".to_owned(), Value::UInt(cursor)),
+                ("active".to_owned(), Value::UInt(self.runtime.cluster().active_count() as u64)),
+                ("total_delay_ms".to_owned(), Value::Float(self.runtime.cluster().total_delay())),
+            ],
+        )?;
+        Ok((applied, cursor))
+    }
+
+    /// Answers a device-state query against *current* state (pending
+    /// events are flushed first, so an answer never describes a stale
+    /// world).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::State`] on flush failures.
+    pub fn query(&mut self, device: usize) -> Result<Response, ServeError> {
+        self.flush()?;
+        if device >= self.trace.scenario.num_iot {
+            return Ok(Response::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("device {device} out of range ({})", self.trace.scenario.num_iot),
+            });
+        }
+        tacc_obs::counter_add("serve.queries", 1);
+        let (state, server) = match self.runtime.device_state(device) {
+            DeviceState::Assigned(server) => (QueryState::Assigned, Some(server)),
+            DeviceState::Shed => (QueryState::Shed, None),
+            DeviceState::Unreachable => (QueryState::Unreachable, None),
+            DeviceState::Departed => (QueryState::Departed, None),
+        };
+        let delay_ms = server.map(|s| self.runtime.cluster().instance().delay(device, s));
+        Ok(Response::Device { device, state, server, delay_ms })
+    }
+
+    /// Re-solves the *current* sub-instance (active devices × alive
+    /// servers) under the supervisor's fallback ladder and a
+    /// deterministic work budget (`0` = the configured default). The
+    /// answer is bounded: the primary anytime solver is truncated at the
+    /// budget, and the ladder guarantees a feasible assignment or a
+    /// typed error — never a hang.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::State`] on flush failures.
+    pub fn solve(&mut self, budget_units: u64) -> Result<Response, ServeError> {
+        self.flush()?;
+        let units = if budget_units == 0 { self.cfg.query_budget } else { budget_units };
+
+        let instance = self.runtime.cluster().instance();
+        let active: Vec<usize> =
+            (0..instance.num_devices()).filter(|&d| self.runtime.cluster().is_active(d)).collect();
+        let alive: Vec<usize> = (0..instance.num_servers())
+            .filter(|&j| !self.runtime.maintainer().is_failed(j))
+            .collect();
+        if active.is_empty() || alive.is_empty() {
+            return Ok(Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "nothing to solve: no active devices or no alive servers".to_owned(),
+            });
+        }
+        let rows: Vec<Vec<f64>> =
+            active.iter().map(|&d| alive.iter().map(|&j| instance.delay(d, j)).collect()).collect();
+        let demands: Vec<f64> = active
+            .iter()
+            .flat_map(|&d| alive.iter().map(move |&j| instance.demand(d, j)))
+            .collect();
+        let capacities: Vec<f64> = alive.iter().map(|&j| instance.capacity(j)).collect();
+        let sub = GapInstance::builder(tacc_topology::DelayMatrix::from_rows(rows))
+            .demand_matrix(demands)
+            .capacities(capacities)
+            .build()
+            .map_err(|e| ServeError::state(format!("sub-instance: {e}")))?;
+
+        self.solves += 1;
+        let seed = self
+            .runtime
+            .config()
+            .seed
+            .wrapping_add(self.solves.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let algorithm =
+            Algorithm::by_name(&self.cfg.algorithm).expect("validated at session start");
+        let primary = algorithm.anytime_solver(seed).expect("validated at session start");
+
+        let budget = Budget::units(units);
+        let result = self.supervisor.supervise(primary.as_ref(), &sub, &budget);
+        let (solution, guard) = match result {
+            Ok(answer) => answer,
+            Err(e) => {
+                return Ok(Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("solve ladder exhausted: {e}"),
+                });
+            }
+        };
+
+        let assignment: Vec<(usize, usize)> = active
+            .iter()
+            .enumerate()
+            .filter_map(|(row, &device)| {
+                solution.assignment.server_of(row).map(|s| (device, alive[s]))
+            })
+            .collect();
+        self.record_stream(
+            "solve",
+            vec![
+                ("budget".to_owned(), Value::UInt(units)),
+                ("solver".to_owned(), Value::Str(guard.solver.clone())),
+                ("degradation".to_owned(), Value::Str(guard.degradation.label().to_owned())),
+                ("objective".to_owned(), Value::Float(guard.objective)),
+                ("feasible".to_owned(), Value::Bool(guard.feasible)),
+            ],
+        )?;
+        Ok(Response::Solution {
+            feasible: guard.feasible,
+            objective: guard.objective,
+            solver: guard.solver,
+            degradation: guard.degradation.label().to_owned(),
+            spent: guard.spent,
+            fallbacks: guard.fallbacks,
+            panics_caught: guard.panics_caught,
+            assignment,
+        })
+    }
+
+    /// The deterministic session summary (flushes first).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::State`] on flush failures.
+    pub fn stats(&mut self) -> Result<SessionStats, ServeError> {
+        self.flush()?;
+        Ok(SessionStats {
+            cursor: self.runtime.cursor(),
+            pending: self.pending(),
+            active_devices: self.runtime.cluster().active_count(),
+            shed_devices: self.runtime.shed_count(),
+            unreachable_devices: self.runtime.unreachable_count(),
+            departed_devices: self.runtime.departed_count(),
+            alive_servers: self.runtime.maintainer().alive_count(),
+            total_delay_ms: self.runtime.cluster().total_delay(),
+            feasible: self.runtime.cluster().is_feasible(),
+        })
+    }
+
+    /// The full resumable snapshot, as JSON (flushes first).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::State`] on flush failures.
+    pub fn snapshot_json(&mut self) -> Result<String, ServeError> {
+        self.flush()?;
+        Ok(self.runtime.snapshot().to_json())
+    }
+
+    /// Finishes the session cleanly: flushes pending events, journals a
+    /// final snapshot, and closes the obs stream with the registry
+    /// snapshot appended. Called on `Shutdown` requests and SIGTERM.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::State`] on flush/journal failures; [`ServeError::Io`]
+    /// on stream failures.
+    pub fn close(mut self) -> Result<(), ServeError> {
+        self.flush()?;
+        if let Some(journal) = self.journal.as_mut() {
+            journal
+                .append(&JournalRecord::Snapshot { snapshot: self.runtime.snapshot() })
+                .map_err(|e| ServeError::state(e.to_string()))?;
+        }
+        if let Some(stream) = self.stream.take() {
+            stream
+                .finish(&tacc_obs::registry_snapshot())
+                .map_err(|e| ServeError::io("finishing obs stream", &e))?;
+        }
+        Ok(())
+    }
+
+    /// Validates a burst against the scenario and the session timeline
+    /// (the same structural rules as [`Trace::validate`], applied
+    /// incrementally), without touching state.
+    fn validate_burst(&self, events: &[TimedEvent]) -> Result<(), String> {
+        let mut last = self.trace.events.last().map_or(0.0, |t| t.time_ms);
+        for (i, timed) in events.iter().enumerate() {
+            let t = timed.time_ms;
+            if !t.is_finite() || t < 0.0 {
+                return Err(format!("event {i}: time {t} is not finite and non-negative"));
+            }
+            if t < last {
+                return Err(format!("event {i}: time {t} goes backwards (previous {last})"));
+            }
+            last = t;
+            match timed.event {
+                TraceEvent::DeviceJoin { device } | TraceEvent::DeviceLeave { device } => {
+                    if device >= self.trace.scenario.num_iot {
+                        return Err(format!(
+                            "event {i}: device {device} out of range ({})",
+                            self.trace.scenario.num_iot
+                        ));
+                    }
+                }
+                TraceEvent::ServerFail { server } | TraceEvent::ServerRecover { server } => {
+                    if server >= self.trace.scenario.num_servers {
+                        return Err(format!(
+                            "event {i}: server {server} out of range ({})",
+                            self.trace.scenario.num_servers
+                        ));
+                    }
+                }
+                TraceEvent::LinkLatencyDrift { latency_ms, .. } => {
+                    if !latency_ms.is_finite() || latency_ms < 0.0 {
+                        return Err(format!(
+                            "event {i}: drift latency {latency_ms} is not finite and non-negative"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends one record to the obs stream, when one is open.
+    fn record_stream(
+        &mut self,
+        kind: &str,
+        fields: Vec<(String, Value)>,
+    ) -> Result<(), ServeError> {
+        if let Some(stream) = self.stream.as_mut() {
+            stream.record(kind, fields).map_err(|e| ServeError::io("obs stream", &e))?;
+        }
+        Ok(())
+    }
+}
+
+/// Opens the configured obs JSONL stream. Meta is deterministic only —
+/// scenario coordinates and the session seed, never clocks — so two
+/// same-seed sessions produce byte-identical streams.
+fn open_stream(
+    cfg: &ServeConfig,
+    trace: &Trace,
+    runtime: &Runtime,
+    recovered: bool,
+) -> Result<Option<StreamWriter>, ServeError> {
+    let Some(path) = &cfg.obs_out else { return Ok(None) };
+    let stream = StreamWriter::create(
+        path,
+        "serve",
+        vec![
+            ("family".to_owned(), Value::Str(format!("{:?}", trace.scenario.family))),
+            ("num_iot".to_owned(), Value::UInt(trace.scenario.num_iot as u64)),
+            ("num_servers".to_owned(), Value::UInt(trace.scenario.num_servers as u64)),
+            ("scenario_seed".to_owned(), Value::UInt(trace.scenario.seed)),
+            ("policy".to_owned(), Value::Str(runtime.config().policy.name().to_owned())),
+            ("seed".to_owned(), Value::UInt(runtime.config().seed)),
+            ("recovered".to_owned(), Value::Bool(recovered)),
+            ("start_cursor".to_owned(), Value::UInt(runtime.cursor())),
+        ],
+    )
+    .map_err(|e| ServeError::io("creating obs stream", &e))?;
+    Ok(Some(stream))
+}

@@ -1,0 +1,36 @@
+//! Minimal SIGTERM/SIGINT latching without a libc crate.
+//!
+//! std already links the platform C library, so the two symbols needed —
+//! `signal(2)` and the numeric signal constants — can be declared
+//! directly. The handler only stores into an atomic (async-signal-safe);
+//! the serve loop polls the flag on every idle tick and between
+//! connections, which is what makes `kill -TERM` a *clean* shutdown:
+//! the journal and obs stream are finished before exit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn latch(_signum: i32) {
+    TERMINATE.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM/SIGINT latch. Idempotent.
+pub fn install_termination_handler() {
+    unsafe {
+        signal(SIGTERM, latch as *const () as usize);
+        signal(SIGINT, latch as *const () as usize);
+    }
+}
+
+/// Whether a termination signal has arrived.
+pub fn termination_requested() -> bool {
+    TERMINATE.load(Ordering::SeqCst)
+}

@@ -1,0 +1,44 @@
+//! Two same-seed sessions must emit *byte-identical* obs streams — the
+//! determinism gate the ISSUE puts on `--obs-out`. This lives in its own
+//! integration-test binary (its own process) because the obs registry is
+//! process-global: any parallel test touching a counter would pollute
+//! the streams and turn this gate flaky.
+
+use std::path::PathBuf;
+
+use tacc_runtime::{ReassignPolicy, RuntimeConfig};
+use tacc_serve::{ServeConfig, Session};
+use tacc_workload::{Trace, TraceGenerator, TraceScenario};
+
+#[test]
+fn two_same_seed_sessions_emit_byte_identical_obs_streams() {
+    let scenario =
+        TraceScenario { num_iot: 25, num_servers: 4, load_factor: 0.6, ..TraceScenario::default() };
+    let trace = TraceGenerator::new(scenario).num_events(400).generate(77).unwrap();
+    let shell = Trace { events: Vec::new(), ..trace.clone() };
+    let config =
+        RuntimeConfig { policy: ReassignPolicy::Greedy, seed: 7, ..RuntimeConfig::default() };
+
+    let dir: PathBuf = std::env::temp_dir().join(format!("tacc-serve-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut streams = Vec::new();
+    for run in 0..2 {
+        let out = dir.join(format!("run{run}.jsonl"));
+        let cfg = ServeConfig { obs_out: Some(out.clone()), ..ServeConfig::default() };
+        // A clean registry per run: same starting counters, same stream.
+        tacc_obs::reset();
+        tacc_obs::set_enabled(true);
+        let mut session = Session::start(shell.clone(), config.clone(), &cfg).unwrap();
+        for burst in trace.events.chunks(50) {
+            session.push(burst.to_vec()).unwrap();
+        }
+        session.flush().unwrap();
+        session.solve(300).unwrap();
+        session.close().unwrap();
+        streams.push(std::fs::read(&out).unwrap());
+        assert!(!streams[run].is_empty(), "the stream actually recorded the session");
+    }
+    assert_eq!(streams[0], streams[1], "same seed, same bytes");
+    std::fs::remove_dir_all(&dir).ok();
+}
