@@ -86,10 +86,12 @@ impl Genetic {
 }
 
 /// One repair sweep: relocate devices from overloaded servers to the
-/// cheapest server that can absorb them.
-fn repair(instance: &GapInstance, genome: &mut [usize]) {
+/// cheapest server that can absorb them. `loads` is a reused scratch
+/// arena — contents on entry are ignored.
+fn repair(instance: &GapInstance, genome: &mut [usize], loads: &mut Vec<f64>) {
     let m = instance.num_servers();
-    let mut loads = vec![0.0; m];
+    loads.clear();
+    loads.resize(m, 0.0);
     for (i, &j) in genome.iter().enumerate() {
         loads[j] += instance.demand(i, j);
     }
@@ -120,9 +122,16 @@ fn repair(instance: &GapInstance, genome: &mut [usize]) {
 }
 
 /// Penalized fitness, feasibility, and raw delay of one genome.
-fn fitness(instance: &GapInstance, genome: &[usize], penalty: f64) -> (f64, bool, f64) {
+/// `loads` is a reused scratch arena — contents on entry are ignored.
+fn fitness(
+    instance: &GapInstance,
+    genome: &[usize],
+    penalty: f64,
+    loads: &mut Vec<f64>,
+) -> (f64, bool, f64) {
     let m = instance.num_servers();
-    let mut loads = vec![0.0; m];
+    loads.clear();
+    loads.resize(m, 0.0);
     let mut delay = 0.0;
     for (i, &j) in genome.iter().enumerate() {
         loads[j] += instance.demand(i, j);
@@ -165,7 +174,10 @@ impl Genetic {
         while population.len() < cfg.population {
             population.push((0..n).map(|_| rng.random_range(0..m)).collect());
         }
+        // Load scratch shared by every fitness/repair call in the run.
+        let mut load_scratch: Vec<f64> = Vec::with_capacity(m);
         let score_population = |population: &[Vec<usize>],
+                                loads: &mut Vec<f64>,
                                 evaluations: &mut u64,
                                 best_feasible: &mut Option<(Vec<usize>, f64)>,
                                 best_any: &mut Option<(Vec<usize>, f64)>|
@@ -174,7 +186,8 @@ impl Genetic {
                 .iter()
                 .map(|g| {
                     *evaluations += 1;
-                    let (score, feasible, delay) = fitness(instance, g, cfg.overload_penalty);
+                    let (score, feasible, delay) =
+                        fitness(instance, g, cfg.overload_penalty, loads);
                     if feasible && best_feasible.as_ref().map_or(true, |(_, d)| delay < *d) {
                         *best_feasible = Some((g.clone(), delay));
                     }
@@ -185,8 +198,13 @@ impl Genetic {
                 })
                 .collect()
         };
-        let mut scores =
-            score_population(&population, &mut evaluations, &mut best_feasible, &mut best_any);
+        let mut scores = score_population(
+            &population,
+            &mut load_scratch,
+            &mut evaluations,
+            &mut best_feasible,
+            &mut best_any,
+        );
 
         let mut generations_run = 0usize;
         for _ in 0..cfg.generations {
@@ -221,12 +239,17 @@ impl Genetic {
                         *gene = rng.random_range(0..m);
                     }
                 }
-                repair(instance, &mut child);
+                repair(instance, &mut child, &mut load_scratch);
                 next.push(child);
             }
             population = next;
-            scores =
-                score_population(&population, &mut evaluations, &mut best_feasible, &mut best_any);
+            scores = score_population(
+                &population,
+                &mut load_scratch,
+                &mut evaluations,
+                &mut best_feasible,
+                &mut best_any,
+            );
         }
         let completed = generations_run == cfg.generations;
 
@@ -319,7 +342,7 @@ mod tests {
     fn repair_moves_devices_off_overloaded_servers() {
         let inst = instance();
         let mut genome = [0usize; 6]; // server 0 overloaded by 4
-        repair(&inst, &mut genome);
+        repair(&inst, &mut genome, &mut Vec::new());
         let mut loads = [0.0; 3];
         for (i, &j) in genome.iter().enumerate() {
             loads[j] += inst.demand(i, j);

@@ -3,7 +3,7 @@ use std::time::Instant;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use tacc_gap::{Assignment, GapError, GapInstance, Solution, SolveStats, Solver};
+use tacc_gap::{Assignment, DeltaEval, GapError, GapInstance, Solution, SolveStats, Solver};
 
 use crate::common;
 
@@ -64,8 +64,7 @@ impl LocalSearch {
         let n = instance.num_devices();
         let m = instance.num_servers();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let mut a = start_assignment;
-        let mut loads = a.server_loads(instance);
+        let mut eval = DeltaEval::new(instance, start_assignment);
         let mut evaluations = 0u64;
         let mut rounds = 0u64;
 
@@ -77,17 +76,17 @@ impl LocalSearch {
             // Best shift move: (gain, device, server).
             let mut best_shift: Option<(f64, usize, usize)> = None;
             for &i in &devices {
-                let cur = match a.server_of(i) {
+                let cur = match eval.assignment().server_of(i) {
                     Some(c) => c,
                     None => continue,
                 };
-                let cur_delay = instance.delay(i, cur);
+                let cur_delay = eval.delay_of(i);
                 for j in 0..m {
                     if j == cur {
                         continue;
                     }
                     evaluations += 1;
-                    if loads[j] + instance.demand(i, j) > instance.capacity(j) + 1e-9 {
+                    if eval.load(j) + instance.demand(i, j) > instance.capacity(j) + 1e-9 {
                         continue;
                     }
                     let gain = cur_delay - instance.delay(i, j);
@@ -101,20 +100,25 @@ impl LocalSearch {
             if self.neighborhood == Neighborhood::ShiftAndSwap {
                 for (xi, &i) in devices.iter().enumerate() {
                     for &k in &devices[xi + 1..] {
-                        let (si, sk) = match (a.server_of(i), a.server_of(k)) {
+                        let (si, sk) = match (
+                            eval.assignment().server_of(i),
+                            eval.assignment().server_of(k),
+                        ) {
                             (Some(si), Some(sk)) if si != sk => (si, sk),
                             _ => continue,
                         };
                         evaluations += 1;
                         // Feasibility of the exchange.
-                        let load_si = loads[si] - instance.demand(i, si) + instance.demand(k, si);
-                        let load_sk = loads[sk] - instance.demand(k, sk) + instance.demand(i, sk);
+                        let load_si =
+                            eval.load(si) - instance.demand(i, si) + instance.demand(k, si);
+                        let load_sk =
+                            eval.load(sk) - instance.demand(k, sk) + instance.demand(i, sk);
                         if load_si > instance.capacity(si) + 1e-9
                             || load_sk > instance.capacity(sk) + 1e-9
                         {
                             continue;
                         }
-                        let gain = instance.delay(i, si) + instance.delay(k, sk)
+                        let gain = eval.delay_of(i) + eval.delay_of(k)
                             - instance.delay(i, sk)
                             - instance.delay(k, si);
                         if gain > 1e-12 && best_swap.map_or(true, |(g, _, _)| gain > g) {
@@ -131,23 +135,15 @@ impl LocalSearch {
             }
             if shift_gain >= swap_gain {
                 let (_, i, j) = best_shift.expect("gain positive");
-                let cur = a.server_of(i).expect("assigned");
-                loads[cur] -= instance.demand(i, cur);
-                loads[j] += instance.demand(i, j);
-                a.assign(i, j)?;
+                eval.apply_reassign(i, j);
             } else {
                 let (_, i, k) = best_swap.expect("gain positive");
-                let si = a.server_of(i).expect("assigned");
-                let sk = a.server_of(k).expect("assigned");
-                loads[si] += instance.demand(k, si) - instance.demand(i, si);
-                loads[sk] += instance.demand(i, sk) - instance.demand(k, sk);
-                a.assign(i, sk)?;
-                a.assign(k, si)?;
+                eval.apply_swap(i, k);
             }
         }
 
         let stats = SolveStats { elapsed: start.elapsed(), iterations: rounds, evaluations };
-        Solution::evaluate(a, instance, stats)
+        Solution::evaluate(eval.into_assignment(), instance, stats)
     }
 }
 

@@ -3,11 +3,17 @@ use std::time::Instant;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use tacc_gap::{
-    AnytimeSolver, Assignment, Budget, GapError, GapInstance, GuardReport, Solution, SolveStats,
-    Solver,
+    AnytimeSolver, Assignment, Budget, DeltaEval, GapError, GapInstance, GuardReport, Solution,
+    SolveStats, Solver,
 };
 
 use crate::common;
+
+/// Applied moves between exact rescores of the running cost. The delta
+/// accumulator is float-exact in expectation but can drift by an ulp per
+/// move; snapping it back on a deterministic cadence keeps truncated
+/// runs exact prefixes of longer ones.
+const RESYNC_CADENCE: u64 = 1024;
 
 /// Cooling parameters for [`SimulatedAnnealing`].
 #[derive(Debug, Clone, PartialEq)]
@@ -100,16 +106,18 @@ impl SimulatedAnnealing {
 
         // Greedy warm start keeps early exploration near feasibility.
         let order = common::regret_order(instance);
-        let mut current = common::greedy_fill(instance, &order);
+        let current = common::greedy_fill(instance, &order);
         let penalty = self.schedule.overload_penalty;
-        let mut current_cost = current.penalized_objective(instance, penalty);
+        let mut eval = DeltaEval::new(instance, current);
+        let mut current_cost = eval.objective(penalty);
+        let mut current_delay = eval.total_delay();
 
-        let mut best_feasible: Option<(Assignment, f64)> = if current.is_feasible(instance) {
-            Some((current.clone(), current.total_delay(instance)?))
+        let mut best_feasible: Option<(Assignment, f64)> = if eval.is_load_feasible() {
+            Some((eval.assignment().clone(), current_delay))
         } else {
             None
         };
-        let mut best_any = (current.clone(), current_cost);
+        let mut best_any = (eval.assignment().clone(), current_cost);
 
         let mut temperature = self.schedule.initial_temperature;
         let mut evaluations = 1u64;
@@ -121,31 +129,34 @@ impl SimulatedAnnealing {
             steps_run += 1;
             if m > 1 {
                 let device = rng.random_range(0..n);
-                let old = current.server_of(device).expect("complete");
+                let old = eval.assignment().server_of(device).expect("complete");
                 let mut server = rng.random_range(0..m - 1);
                 if server >= old {
                     server += 1;
                 }
-                // Incremental cost of the relocation.
-                let old_cost = current_cost;
-                current.assign(device, server)?;
-                let new_cost = current.penalized_objective(instance, penalty);
+                // O(1) probe of the relocation, no full rescore.
+                let delta = eval.reassign_delta(device, server, penalty);
                 evaluations += 1;
-                let delta = new_cost - old_cost;
                 let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / temperature).exp();
                 if accept {
-                    current_cost = new_cost;
-                    if new_cost < best_any.1 {
-                        best_any = (current.clone(), new_cost);
+                    let delay_delta = eval.delay_delta(device, server);
+                    eval.apply_reassign(device, server);
+                    if eval.moves() % RESYNC_CADENCE == 0 {
+                        eval.resync();
+                        current_cost = eval.objective(penalty);
+                        current_delay = eval.total_delay();
+                    } else {
+                        current_cost += delta;
+                        current_delay += delay_delta;
                     }
-                    if current.is_feasible(instance) {
-                        let delay = current.total_delay(instance)?;
-                        if best_feasible.as_ref().map_or(true, |(_, d)| delay < *d) {
-                            best_feasible = Some((current.clone(), delay));
-                        }
+                    if current_cost < best_any.1 {
+                        best_any = (eval.assignment().clone(), current_cost);
                     }
-                } else {
-                    current.assign(device, old)?;
+                    if eval.is_load_feasible()
+                        && best_feasible.as_ref().map_or(true, |(_, d)| current_delay < *d)
+                    {
+                        best_feasible = Some((eval.assignment().clone(), current_delay));
+                    }
                 }
             }
             temperature *= self.schedule.cooling;

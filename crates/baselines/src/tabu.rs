@@ -5,7 +5,8 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use tacc_gap::{
-    AnytimeSolver, Budget, GapError, GapInstance, GuardReport, Solution, SolveStats, Solver,
+    AnytimeSolver, Budget, DeltaEval, GapError, GapInstance, GuardReport, Solution, SolveStats,
+    Solver,
 };
 
 use crate::common;
@@ -70,13 +71,12 @@ impl TabuSearch {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
 
         let order = common::regret_order(instance);
-        let mut current = common::greedy_fill(instance, &order);
-        let mut loads = current.server_loads(instance);
-        let mut current_delay = current.partial_delay(instance);
+        let current = common::greedy_fill(instance, &order);
+        let mut eval = DeltaEval::new(instance, current);
+        let mut current_delay = eval.total_delay();
 
-        let mut best = current.clone();
-        let mut best_delay =
-            if current.is_feasible(instance) { current_delay } else { f64::INFINITY };
+        let mut best = eval.assignment().clone();
+        let mut best_delay = if eval.is_load_feasible() { current_delay } else { f64::INFINITY };
 
         // Tabu set of (device, server) arrivals, with FIFO expiry.
         let mut tabu: Vec<Vec<bool>> = vec![vec![false; m]; n];
@@ -96,14 +96,14 @@ impl TabuSearch {
             // Best admissible shift this round.
             let mut chosen: Option<(f64, usize, usize)> = None; // (new_delay, device, server)
             for &i in &devices {
-                let cur = current.server_of(i).expect("complete");
-                let d_cur = instance.delay(i, cur);
+                let cur = eval.assignment().server_of(i).expect("complete");
+                let d_cur = eval.delay_of(i);
                 for j in 0..m {
                     if j == cur {
                         continue;
                     }
                     evaluations += 1;
-                    if loads[j] + instance.demand(i, j) > instance.capacity(j) + 1e-9 {
+                    if eval.load(j) + instance.demand(i, j) > instance.capacity(j) + 1e-9 {
                         continue;
                     }
                     let new_delay = current_delay - d_cur + instance.delay(i, j);
@@ -121,10 +121,7 @@ impl TabuSearch {
                 stalled = true;
                 break; // every move tabu or infeasible
             };
-            let old = current.server_of(i).expect("complete");
-            loads[old] -= instance.demand(i, old);
-            loads[j] += instance.demand(i, j);
-            current.assign(i, j)?;
+            let old = eval.apply_reassign(i, j).expect("complete");
             current_delay = new_delay;
 
             // Forbid going back.
@@ -137,9 +134,11 @@ impl TabuSearch {
                 tabu[qi][qj] = false;
             }
 
-            if current_delay < best_delay && current.is_feasible(instance) {
+            // O(1) feasibility via the maintained overloaded-server
+            // count instead of a full O(n + m) rescan per improvement.
+            if current_delay < best_delay && eval.is_load_feasible() {
                 best_delay = current_delay;
-                best = current.clone();
+                best = eval.assignment().clone();
             }
         }
 

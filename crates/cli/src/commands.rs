@@ -969,7 +969,8 @@ fn bench_delay_matrix(
     rev: &str,
 ) -> Result<serde_json::Value, String> {
     let model = tacc_core::topology::DelayModel::default();
-    let sizes: &[(usize, usize)] = if quick { &[(100, 8)] } else { &[(400, 16), (1600, 32)] };
+    let sizes: &[(usize, usize)] =
+        if quick { &[(100, 8)] } else { &[(400, 16), (1600, 32), (6400, 64)] };
     let mut rows = Vec::new();
     for &(devices, servers) in sizes {
         let scenario = ScenarioBuilder::new()
@@ -978,14 +979,28 @@ fn bench_delay_matrix(
             .build(2022)
             .map_err(|e| e.to_string())?;
         let topo = scenario.topology();
+        // The SSSP kernel the fast lane dispatches to on this snapshot
+        // (bucket queue unless the weight range is pathological).
+        let kernel = format!("compressed-{}", topo.compressed_core(&model).core().kernel_name());
         let (serial_ms, serial) = best_of_ms(reps, || topo.delay_matrix_serial(&model));
+        let (heap_ms, heap) = best_of_ms(reps, || {
+            topo.delay_matrix_with_threads_kernel(
+                &model,
+                threads,
+                tacc_core::topology::MatrixKernel::FullHeap,
+            )
+        });
         let (parallel_ms, parallel) =
             best_of_ms(reps, || topo.delay_matrix_with_threads(&model, threads));
-        let identical = serial.iter().map(f64::to_bits).eq(parallel.iter().map(f64::to_bits));
+        let identical = serial.iter().map(f64::to_bits).eq(parallel.iter().map(f64::to_bits))
+            && serial.iter().map(f64::to_bits).eq(heap.iter().map(f64::to_bits));
         rows.push(serde_json::json!({
             "devices": devices,
             "servers": servers,
+            "kernel": kernel,
             "serial_ms": serial_ms,
+            "heap_ms": heap_ms,
+            "bucket_ms": parallel_ms,
             "parallel_ms": parallel_ms,
             "speedup": serial_ms / parallel_ms,
             "identical": identical,
@@ -1019,18 +1034,37 @@ fn bench_solvers(
             .algorithm(algorithm.clone())
             .seed(2022)
             .configure()
-            .map(|config| config.total_delay_ms())
+            .map(|config| (config.total_delay_ms(), config.solution().stats.evaluations))
             .map_err(|e| e.to_string())
     };
     // Serial reference: the portfolio one algorithm at a time.
-    let (serial_ms, serial) =
-        best_of_ms(reps, || portfolio.iter().map(solve).collect::<Result<Vec<f64>, String>>());
+    let (serial_ms, serial) = best_of_ms(reps, || {
+        portfolio.iter().map(solve).collect::<Result<Vec<(f64, u64)>, String>>()
+    });
     let serial = serial?;
     // Parallel: race the portfolio, one thread per algorithm.
     let (parallel_ms, parallel) =
         best_of_ms(reps, || tacc_par::par_map(&portfolio, |algorithm| solve(algorithm)));
-    let parallel: Vec<f64> = parallel.into_iter().collect::<Result<_, _>>()?;
-    let identical = serial.iter().map(|d| d.to_bits()).eq(parallel.iter().map(|d| d.to_bits()));
+    let parallel: Vec<(f64, u64)> = parallel.into_iter().collect::<Result<_, _>>()?;
+    let identical =
+        serial.iter().map(|(d, _)| d.to_bits()).eq(parallel.iter().map(|(d, _)| d.to_bits()));
+    // Per-solver lanes: wall time, objective-evaluation (move) count, and
+    // the resulting move throughput, timed one solver at a time.
+    let solvers = portfolio
+        .iter()
+        .map(|algorithm| {
+            let (wall_ms, result) = best_of_ms(reps, || solve(algorithm));
+            let (delay, moves) = result?;
+            let moves_per_sec = if wall_ms > 0.0 { moves as f64 / (wall_ms / 1e3) } else { 0.0 };
+            Ok(serde_json::json!({
+                "name": algorithm.name(),
+                "wall_ms": wall_ms,
+                "moves": moves,
+                "moves_per_sec": moves_per_sec,
+                "total_delay_ms": delay,
+            }))
+        })
+        .collect::<Result<Vec<serde_json::Value>, String>>()?;
     Ok(serde_json::json!({
         "bench": "solver_portfolio",
         "git_rev": rev,
@@ -1043,6 +1077,7 @@ fn bench_solvers(
         "parallel_ms": parallel_ms,
         "speedup": serial_ms / parallel_ms,
         "identical": identical,
+        "solvers": solvers,
         "serve": bench_serve(quick, reps)?,
     }))
 }

@@ -68,13 +68,15 @@ fn bench_reports_keep_their_schema() {
     assert_eq!(
         schema(&load(&dir.join("BENCH_delay_matrix.json"))),
         "{bench:str,git_rev:str,threads:uint,reps:uint,\
-         sizes:[{devices:uint,servers:uint,serial_ms:float,parallel_ms:float,\
-         speedup:float,identical:bool}]}"
+         sizes:[{devices:uint,servers:uint,kernel:str,serial_ms:float,heap_ms:float,\
+         bucket_ms:float,parallel_ms:float,speedup:float,identical:bool}]}"
     );
     assert_eq!(
         schema(&load(&dir.join("BENCH_solvers.json"))),
         "{bench:str,git_rev:str,threads:uint,reps:uint,devices:uint,servers:uint,\
          algorithms:[str],serial_ms:float,parallel_ms:float,speedup:float,identical:bool,\
+         solvers:[{name:str,wall_ms:float,moves:uint,moves_per_sec:float,\
+         total_delay_ms:float}],\
          serve:{devices:uint,servers:uint,events:uint,seed:uint,ingest_ms:float,\
          ingest_events_per_sec:float,query_p50_ms:float,query_p99_ms:float}}"
     );

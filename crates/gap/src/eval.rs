@@ -1,0 +1,374 @@
+//! Delta-objective move evaluation for local-move heuristics.
+//!
+//! The penalty-based heuristics (simulated annealing, tabu, GA repair,
+//! local search) explore by repeatedly reassigning one device — or
+//! swapping two — and asking "how much better/worse did that make the
+//! objective?". Rescoring from scratch costs `O(n + m)` per probe;
+//! [`DeltaEval`] answers the same question in `O(1)` by carrying the
+//! per-device delays and per-server loads alongside the assignment.
+//!
+//! # Exactness contract
+//!
+//! Incremental *probing* is allowed to accumulate float drift (loads are
+//! maintained with `+=`/`-=`), but the *reported* objective never is:
+//!
+//! - [`DeltaEval::total_delay`] re-sums the stored per-device delays in
+//!   device order, which is bit-for-bit
+//!   [`Assignment::partial_delay`] — each stored delay is the exact
+//!   `instance.delay(i, j)` word, and the summation order matches.
+//! - [`DeltaEval::objective`] recomputes server loads from scratch in
+//!   the same order as [`Assignment::server_loads`] before applying the
+//!   overload penalty, so it is bit-for-bit
+//!   [`Assignment::penalized_objective`] no matter how many moves were
+//!   applied in between.
+//!
+//! Setting `TACC_CHECK=1` additionally asserts, at a deterministic
+//! cadence, that the incremental state agrees with a full rescore; the
+//! check never mutates state, so behaviour is identical with or without
+//! it.
+
+use std::sync::OnceLock;
+
+use crate::assignment::Assignment;
+use crate::instance::GapInstance;
+
+/// Load slack below which a server does not count as overloaded — the
+/// same tolerance [`Assignment::capacity_violations`] uses.
+const LOAD_EPS: f64 = 1e-9;
+
+/// Applied moves between `TACC_CHECK=1` full-rescore drift checks.
+const CHECK_CADENCE: u64 = 1024;
+
+/// `true` when `TACC_CHECK` is set (and not `"0"`) in the environment.
+fn drift_check_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("TACC_CHECK").is_ok_and(|v| v != "0"))
+}
+
+/// Incremental evaluation state for single-reassign and swap moves.
+///
+/// Owns the [`Assignment`] it tracks; mutate it only through
+/// [`apply_reassign`](DeltaEval::apply_reassign) and
+/// [`apply_swap`](DeltaEval::apply_swap) so the cached delays, loads and
+/// overloaded-server count stay in lockstep.
+#[derive(Debug, Clone)]
+pub struct DeltaEval<'a> {
+    instance: &'a GapInstance,
+    assignment: Assignment,
+    /// Exact `instance.delay(i, server_of(i))` per device; 0.0 when
+    /// unassigned. Never drifts: rewritten (not adjusted) on each move.
+    dev_delay: Vec<f64>,
+    /// Incrementally maintained server loads — probe-quality only.
+    loads: Vec<f64>,
+    /// Servers whose incremental load exceeds capacity by > 1e-9.
+    overloaded: usize,
+    /// Applied moves (reassigns count 1, swaps count 2).
+    moves: u64,
+}
+
+impl<'a> DeltaEval<'a> {
+    /// Builds the evaluation state for `assignment` under `instance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's dimensions disagree with the instance.
+    pub fn new(instance: &'a GapInstance, assignment: Assignment) -> Self {
+        let loads = assignment.server_loads(instance);
+        let mut dev_delay = vec![0.0; assignment.num_devices()];
+        for (i, j) in assignment.iter_assigned() {
+            dev_delay[i] = instance.delay(i, j);
+        }
+        let overloaded = (0..instance.num_servers())
+            .filter(|&j| loads[j] - instance.capacity(j) > LOAD_EPS)
+            .count();
+        DeltaEval { instance, assignment, dev_delay, loads, overloaded, moves: 0 }
+    }
+
+    /// The instance this state evaluates against.
+    pub fn instance(&self) -> &'a GapInstance {
+        self.instance
+    }
+
+    /// The tracked assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Consumes the state, returning the assignment.
+    pub fn into_assignment(self) -> Assignment {
+        self.assignment
+    }
+
+    /// Incrementally maintained load on `server`.
+    pub fn load(&self, server: usize) -> f64 {
+        self.loads[server]
+    }
+
+    /// Incrementally maintained loads for all servers.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Exact delay currently paid by `device` (0.0 when unassigned).
+    pub fn delay_of(&self, device: usize) -> f64 {
+        self.dev_delay[device]
+    }
+
+    /// Applied-move counter (swaps count as two moves).
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Number of servers whose load exceeds capacity by more than the
+    /// feasibility tolerance, maintained in `O(1)` per move.
+    pub fn overloaded_servers(&self) -> usize {
+        self.overloaded
+    }
+
+    /// `true` when no server is overloaded. With a complete assignment
+    /// this matches [`Assignment::is_feasible`] in `O(1)`.
+    pub fn is_load_feasible(&self) -> bool {
+        self.overloaded == 0
+    }
+
+    /// Overload contribution of one server under the incremental loads.
+    fn server_overload(&self, server: usize) -> f64 {
+        let excess = self.loads[server] - self.instance.capacity(server);
+        if excess > LOAD_EPS {
+            excess
+        } else {
+            0.0
+        }
+    }
+
+    /// Delay change of moving `device` onto `to` — `O(1)`.
+    pub fn delay_delta(&self, device: usize, to: usize) -> f64 {
+        self.instance.delay(device, to) - self.dev_delay[device]
+    }
+
+    /// Total-overload change of moving `device` onto `to` — `O(1)`.
+    pub fn overload_delta(&self, device: usize, to: usize) -> f64 {
+        let from = self.assignment.server_of(device);
+        if from == Some(to) {
+            return 0.0;
+        }
+        let mut delta = 0.0;
+        if let Some(from) = from {
+            let load = self.loads[from] - self.instance.demand(device, from);
+            let excess = load - self.instance.capacity(from);
+            let after = if excess > LOAD_EPS { excess } else { 0.0 };
+            delta += after - self.server_overload(from);
+        }
+        let load = self.loads[to] + self.instance.demand(device, to);
+        let excess = load - self.instance.capacity(to);
+        let after = if excess > LOAD_EPS { excess } else { 0.0 };
+        delta + after - self.server_overload(to)
+    }
+
+    /// Penalized-objective change of moving `device` onto `to` — `O(1)`.
+    ///
+    /// Matches `delta = penalized_objective(after) −
+    /// penalized_objective(before)` up to float drift in the loads; the
+    /// heuristics that accept on this delta resync against
+    /// [`objective`](DeltaEval::objective) periodically.
+    pub fn reassign_delta(&self, device: usize, to: usize, penalty: f64) -> f64 {
+        self.delay_delta(device, to) + penalty * self.overload_delta(device, to)
+    }
+
+    /// Moves `device` onto `to`, returning the server it came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` or `to` is out of range.
+    pub fn apply_reassign(&mut self, device: usize, to: usize) -> Option<usize> {
+        let from = self.assignment.assign(device, to).expect("server index in range");
+        if from != Some(to) {
+            if let Some(from) = from {
+                let was = self.loads[from] - self.instance.capacity(from) > LOAD_EPS;
+                self.loads[from] -= self.instance.demand(device, from);
+                let is = self.loads[from] - self.instance.capacity(from) > LOAD_EPS;
+                self.overloaded = self.overloaded + usize::from(is) - usize::from(was);
+            }
+            let was = self.loads[to] - self.instance.capacity(to) > LOAD_EPS;
+            self.loads[to] += self.instance.demand(device, to);
+            let is = self.loads[to] - self.instance.capacity(to) > LOAD_EPS;
+            self.overloaded = self.overloaded + usize::from(is) - usize::from(was);
+        }
+        self.dev_delay[device] = self.instance.delay(device, to);
+        self.moves += 1;
+        self.maybe_check();
+        from
+    }
+
+    /// Swaps the servers of two assigned devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either device is unassigned or out of range.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        let sa = self.assignment.server_of(a).expect("device a is assigned");
+        let sb = self.assignment.server_of(b).expect("device b is assigned");
+        self.apply_reassign(a, sb);
+        self.apply_reassign(b, sa);
+    }
+
+    /// Exact total delay over assigned devices — bit-for-bit
+    /// [`Assignment::partial_delay`], in `O(n)`.
+    pub fn total_delay(&self) -> f64 {
+        self.assignment.iter_assigned().map(|(i, _)| self.dev_delay[i]).sum()
+    }
+
+    /// Exact penalized objective — bit-for-bit
+    /// [`Assignment::penalized_objective`], in `O(n + m)`: the overload
+    /// term is recomputed from freshly accumulated loads, not the
+    /// incremental ones.
+    pub fn objective(&self, penalty: f64) -> f64 {
+        debug_assert!(penalty >= 0.0);
+        self.total_delay() + penalty * self.assignment.total_overload(self.instance)
+    }
+
+    /// Re-derives the incremental loads and overloaded-server count from
+    /// the assignment, discarding any accumulated float drift. Cheap
+    /// (`O(n + m)`) — heuristics call this at their exact-resync points.
+    pub fn resync(&mut self) {
+        self.loads = self.assignment.server_loads(self.instance);
+        self.overloaded = (0..self.instance.num_servers())
+            .filter(|&j| self.loads[j] - self.instance.capacity(j) > LOAD_EPS)
+            .count();
+    }
+
+    /// Runs the drift check at the `TACC_CHECK` cadence.
+    fn maybe_check(&self) {
+        if drift_check_enabled() && self.moves % CHECK_CADENCE == 0 {
+            self.assert_consistent();
+        }
+    }
+
+    /// Asserts the incremental state agrees with a full rescore: stored
+    /// delays bit-for-bit, loads within 1e-6, overloaded count exact.
+    /// Never mutates state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the incremental state has drifted out of tolerance.
+    pub fn assert_consistent(&self) {
+        for i in 0..self.assignment.num_devices() {
+            let want = match self.assignment.server_of(i) {
+                Some(j) => self.instance.delay(i, j),
+                None => 0.0,
+            };
+            assert!(
+                self.dev_delay[i].to_bits() == want.to_bits(),
+                "device {i}: cached delay {} != exact {want}",
+                self.dev_delay[i]
+            );
+        }
+        let fresh = self.assignment.server_loads(self.instance);
+        let mut overloaded = 0;
+        for (j, &load) in fresh.iter().enumerate() {
+            assert!(
+                (self.loads[j] - load).abs() <= 1e-6,
+                "server {j}: incremental load {} drifted from exact {load}",
+                self.loads[j]
+            );
+            if load - self.instance.capacity(j) > LOAD_EPS {
+                overloaded += 1;
+            }
+        }
+        assert_eq!(
+            self.overloaded, overloaded,
+            "overloaded-server count drifted from a full rescore"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_topology::DelayMatrix;
+
+    fn instance() -> GapInstance {
+        let delays = DelayMatrix::from_rows(vec![
+            vec![1.0, 8.0, 4.0],
+            vec![7.0, 1.0, 4.0],
+            vec![4.0, 7.0, 1.0],
+            vec![2.0, 3.0, 5.0],
+        ]);
+        GapInstance::builder(delays).uniform_demand(1.0).uniform_capacity(2.0).build().unwrap()
+    }
+
+    #[test]
+    fn reassign_delta_predicts_the_full_rescore() {
+        let inst = instance();
+        let asg = Assignment::from_vec(vec![0, 0, 0, 0], 3).unwrap();
+        let mut eval = DeltaEval::new(&inst, asg.clone());
+        let penalty = 100.0;
+        let before = asg.penalized_objective(&inst, penalty);
+        let delta = eval.reassign_delta(1, 1, penalty);
+        eval.apply_reassign(1, 1);
+        let after = eval.assignment().penalized_objective(&inst, penalty);
+        assert!((before + delta - after).abs() < 1e-9, "delta {delta} misses {}", after - before);
+    }
+
+    #[test]
+    fn objective_is_bitwise_penalized_objective() {
+        let inst = instance();
+        let mut eval = DeltaEval::new(&inst, Assignment::from_vec(vec![0, 1, 2, 0], 3).unwrap());
+        for (device, to) in [(0, 2), (3, 1), (0, 0), (2, 2), (1, 0)] {
+            eval.apply_reassign(device, to);
+            let want = eval.assignment().penalized_objective(&inst, 100.0);
+            assert_eq!(eval.objective(100.0).to_bits(), want.to_bits());
+            let delay = eval.assignment().partial_delay(&inst);
+            assert_eq!(eval.total_delay().to_bits(), delay.to_bits());
+        }
+    }
+
+    #[test]
+    fn overloaded_count_tracks_feasibility() {
+        let inst = instance();
+        let mut eval = DeltaEval::new(&inst, Assignment::from_vec(vec![0, 0, 0, 0], 3).unwrap());
+        assert!(!eval.is_load_feasible());
+        assert_eq!(eval.overloaded_servers(), 1);
+        eval.apply_reassign(1, 1);
+        eval.apply_reassign(2, 2);
+        assert!(eval.is_load_feasible());
+        assert!(eval.assignment().is_feasible(&inst));
+        eval.assert_consistent();
+    }
+
+    #[test]
+    fn swap_exchanges_servers_and_stays_consistent() {
+        let inst = instance();
+        let mut eval = DeltaEval::new(&inst, Assignment::from_vec(vec![0, 1, 2, 0], 3).unwrap());
+        eval.apply_swap(0, 1);
+        assert_eq!(eval.assignment().server_of(0), Some(1));
+        assert_eq!(eval.assignment().server_of(1), Some(0));
+        assert_eq!(eval.moves(), 2);
+        eval.assert_consistent();
+    }
+
+    #[test]
+    fn partial_assignments_are_supported() {
+        let inst = instance();
+        let mut asg = Assignment::unassigned(4, 3);
+        asg.assign(2, 1).unwrap();
+        let mut eval = DeltaEval::new(&inst, asg);
+        assert_eq!(eval.delay_of(0), 0.0);
+        assert_eq!(eval.total_delay(), 7.0);
+        eval.apply_reassign(0, 0);
+        assert_eq!(eval.total_delay(), 8.0);
+        eval.assert_consistent();
+    }
+
+    #[test]
+    fn resync_discards_load_drift() {
+        let inst = instance();
+        let mut eval = DeltaEval::new(&inst, Assignment::from_vec(vec![0, 1, 2, 0], 3).unwrap());
+        for _ in 0..100 {
+            eval.apply_reassign(3, 1);
+            eval.apply_reassign(3, 0);
+        }
+        eval.resync();
+        eval.assert_consistent();
+    }
+}

@@ -44,6 +44,7 @@ mod assignment;
 pub mod bounds;
 mod budget;
 mod error;
+mod eval;
 pub mod exact;
 mod instance;
 mod solution;
@@ -54,6 +55,7 @@ pub use budget::{
     AnytimeSolver, Budget, BudgetMeter, DegradationLevel, GuardReport, WALLCLOCK_ENV,
 };
 pub use error::GapError;
+pub use eval::DeltaEval;
 pub use instance::{GapInstance, GapInstanceBuilder};
 pub use solution::{Solution, SolveStats};
 pub use solver::Solver;

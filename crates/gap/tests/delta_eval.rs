@@ -1,0 +1,93 @@
+//! Property tests for [`DeltaEval`]: after an *arbitrary* sequence of
+//! reassign and swap moves, the incremental evaluator's reported
+//! objective must equal a full rescore of the underlying assignment —
+//! **bit for bit**, not within a tolerance — and its O(1) feasibility
+//! answer must agree with the exact accounting.
+
+use proptest::prelude::*;
+
+use tacc_gap::{Assignment, DeltaEval, GapInstance};
+use tacc_topology::DelayMatrix;
+
+/// Small random instances with fractional delays/demands so float
+/// drift, if any, would actually show.
+fn small_instance() -> impl Strategy<Value = GapInstance> {
+    (2usize..=8, 2usize..=4).prop_flat_map(|(n, m)| {
+        let delays = proptest::collection::vec(1u32..1000, n * m);
+        let demands = proptest::collection::vec(1u32..100, n * m);
+        let slack = 8u32..30;
+        (Just(n), Just(m), delays, demands, slack).prop_map(|(n, m, delays, demands, slack)| {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|i| delays[i * m..(i + 1) * m].iter().map(|&d| f64::from(d) / 7.0).collect())
+                .collect();
+            let demands: Vec<f64> = demands.iter().map(|&w| f64::from(w) / 13.0).collect();
+            let total: f64 = demands.iter().sum::<f64>() / m as f64;
+            let cap = total / m as f64 * (f64::from(slack) / 10.0);
+            GapInstance::builder(DelayMatrix::from_rows(rows))
+                .demand_matrix(demands)
+                .uniform_capacity(cap.max(1.0))
+                .build()
+                .expect("valid instance")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Delta-objective evaluation matches full rescoring exactly after
+    /// arbitrary move sequences (satellite c of the fast-kernel issue).
+    #[test]
+    fn delta_eval_matches_full_rescore_bitwise(
+        inst in small_instance(),
+        start in proptest::collection::vec(0usize..4, 8),
+        moves in proptest::collection::vec((0usize..8, 0usize..4, proptest::AnyBool), 0..64),
+        penalty in 0u32..200,
+    ) {
+        let n = inst.num_devices();
+        let m = inst.num_servers();
+        let penalty = f64::from(penalty);
+        let servers: Vec<usize> = (0..n).map(|i| start[i] % m).collect();
+        let assignment = Assignment::from_vec(servers, m).expect("in range");
+        let mut eval = DeltaEval::new(&inst, assignment);
+
+        for &(a, b, swap) in &moves {
+            let (device, target) = (a % n, b % m);
+            let predicted = eval.objective(penalty) + eval.reassign_delta(device, target, penalty);
+            if swap {
+                eval.apply_swap(device, target % n);
+            } else {
+                eval.apply_reassign(device, target);
+                // The O(1) delta agrees with the rescore up to float
+                // noise on every single move, not just at resyncs.
+                let actual = eval.objective(penalty);
+                prop_assert!(
+                    (predicted - actual).abs() <= 1e-6 * (1.0 + actual.abs()),
+                    "delta drifted: predicted {predicted} vs rescored {actual}"
+                );
+            }
+
+            // The reported objective and delay are bitwise equal to a
+            // full rescore of the tracked assignment after EVERY move.
+            let full = eval.assignment().penalized_objective(&inst, penalty);
+            prop_assert!(
+                eval.objective(penalty).to_bits() == full.to_bits(),
+                "objective {} != full rescore {full}", eval.objective(penalty)
+            );
+            let delay = eval.assignment().partial_delay(&inst);
+            prop_assert!(eval.total_delay().to_bits() == delay.to_bits());
+            prop_assert_eq!(
+                eval.is_load_feasible(),
+                eval.assignment().capacity_violations(&inst).is_empty()
+            );
+        }
+
+        // The drift check itself passes after the whole sequence, and
+        // resyncing changes nothing observable.
+        eval.assert_consistent();
+        let before = eval.objective(penalty);
+        eval.resync();
+        prop_assert!(eval.objective(penalty).to_bits() == before.to_bits());
+        eval.assert_consistent();
+    }
+}

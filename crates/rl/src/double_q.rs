@@ -90,6 +90,9 @@ impl DoubleQLearning {
             best = Some((seed_rollout, delay));
         }
 
+        // One assignment buffer for the whole run; every episode assigns
+        // every device, fully overwriting the previous episode.
+        let mut assignment = Assignment::unassigned(instance.num_devices(), m);
         let mut episodes_run = 0usize;
         for episode in 0..cfg.episodes {
             if !meter.take() {
@@ -97,12 +100,15 @@ impl DoubleQLearning {
             }
             let epsilon = cfg.epsilon.at(episode);
             mdp.reset();
-            let mut assignment = Assignment::unassigned(instance.num_devices(), m);
             let mut episode_return = 0.0;
 
+            // Carry the bootstrap key into the next iteration: the
+            // successor state of step k *is* the decision state of step
+            // k+1, so it is hashed once, not twice.
+            let mut carried: Option<StateKey> = None;
             while !mdp.is_done() {
-                self.ensure_priors(instance, &mdp, &mut qa, &mut qb);
-                let state = mdp.state_key();
+                let state = carried.take().unwrap_or_else(|| mdp.state_key());
+                self.ensure_priors(instance, &mdp, &mut qa, &mut qb, state);
                 let action = self.pick(&mdp, &qa, &qb, state, epsilon, &mut rng);
                 let device = mdp.current_device();
                 let reward = mdp.apply(action);
@@ -114,16 +120,16 @@ impl DoubleQLearning {
                 let target = if mdp.is_done() {
                     reward
                 } else {
-                    self.ensure_priors(instance, &mdp, &mut qa, &mut qb);
                     let next = mdp.state_key();
+                    carried = Some(next);
+                    self.ensure_priors(instance, &mdp, &mut qa, &mut qb, next);
                     let (own, other): (&QTable, &QTable) =
                         if update_a { (&qa, &qb) } else { (&qb, &qa) };
                     let a_star = self.masked_argmax(&mdp, own, next);
                     reward + cfg.gamma * other.get(next, a_star)
                 };
                 let table = if update_a { &mut qa } else { &mut qb };
-                let alpha = cfg.learning_rate.at(table.visit_count(state, action));
-                table.update(state, action, alpha, target);
+                table.update_with(state, action, |v| cfg.learning_rate.at(v), target);
             }
 
             evaluations += 1;
@@ -173,10 +179,10 @@ impl DoubleQLearning {
         mdp: &AssignmentMdp<'_>,
         qa: &mut QTable,
         qb: &mut QTable,
+        key: StateKey,
     ) {
         if self.config.delay_prior && !mdp.is_done() {
             let device = mdp.current_device();
-            let key = mdp.state_key();
             qa.ensure_row(key, || instance.delay_row(device).iter().map(|d| -d).collect());
             qb.ensure_row(key, || instance.delay_row(device).iter().map(|d| -d).collect());
         }
@@ -186,12 +192,16 @@ impl DoubleQLearning {
     fn masked_argmax(&self, mdp: &AssignmentMdp<'_>, q: &QTable, state: StateKey) -> usize {
         let m = mdp.num_actions();
         if self.config.action_masking {
-            let row = q.row(state);
             let mut best: Option<usize> = None;
-            for (j, &value) in row.iter().enumerate().take(m) {
-                if mdp.action_fits(j) && best.map_or(true, |b| value > row[b]) {
-                    best = Some(j);
+            match q.row_ref(state) {
+                Some(row) => {
+                    for (j, &value) in row.iter().enumerate().take(m) {
+                        if mdp.action_fits(j) && best.map_or(true, |b| value > row[b]) {
+                            best = Some(j);
+                        }
+                    }
                 }
+                None => best = (0..m).find(|&j| mdp.action_fits(j)),
             }
             if let Some(j) = best {
                 return j;
@@ -214,33 +224,37 @@ impl DoubleQLearning {
         let masking = self.config.action_masking;
         if epsilon > 0.0 && rng.random::<f64>() < epsilon {
             if masking {
-                let fitting: Vec<usize> = (0..m).filter(|&j| mdp.action_fits(j)).collect();
-                if !fitting.is_empty() {
-                    return fitting[rng.random_range(0..fitting.len())];
+                if let Some(j) = crate::qlearning::random_fitting(mdp, rng) {
+                    return j;
                 }
             }
             return rng.random_range(0..m);
         }
-        let row_a = qa.row(state);
-        let row_b = qb.row(state);
-        let value = |j: usize| row_a[j] + row_b[j];
-        let candidates: Vec<usize> = if masking {
-            let fitting: Vec<usize> = (0..m).filter(|&j| mdp.action_fits(j)).collect();
-            if fitting.is_empty() {
-                (0..m).collect()
-            } else {
-                fitting
-            }
-        } else {
-            (0..m).collect()
-        };
-        let mut best = candidates[0];
-        for &j in &candidates {
-            if value(j) > value(best) {
-                best = j;
+        // Argmax of Q_A + Q_B over the fitting servers (all servers when
+        // nothing fits or masking is off), first index winning ties —
+        // the same pick the collected candidate list produced, minus the
+        // row clones and candidate allocation.
+        let row_a = qa.row_ref(state);
+        let row_b = qb.row_ref(state);
+        let value = |j: usize| row_a.map_or(0.0, |r| r[j]) + row_b.map_or(0.0, |r| r[j]);
+        let mut best: Option<(usize, f64)> = None;
+        if masking {
+            for j in (0..m).filter(|&j| mdp.action_fits(j)) {
+                let v = value(j);
+                if best.map_or(true, |(_, b)| v > b) {
+                    best = Some((j, v));
+                }
             }
         }
-        best
+        if best.is_none() {
+            for j in 0..m {
+                let v = value(j);
+                if best.map_or(true, |(_, b)| v > b) {
+                    best = Some((j, v));
+                }
+            }
+        }
+        best.expect("at least one action").0
     }
 
     fn rollout(
@@ -254,8 +268,8 @@ impl DoubleQLearning {
         let mut rollout = Assignment::unassigned(instance.num_devices(), mdp.num_actions());
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         while !mdp.is_done() {
-            self.ensure_priors(instance, mdp, qa, qb);
             let state = mdp.state_key();
+            self.ensure_priors(instance, mdp, qa, qb, state);
             let action = self.pick(mdp, qa, qb, state, 0.0, &mut rng);
             let device = mdp.current_device();
             mdp.apply(action);

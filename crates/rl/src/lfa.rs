@@ -96,23 +96,39 @@ impl LfaQLearning {
         // Residual levels are irrelevant for LFA (features read the exact
         // residuals); pass the minimum legal quantization.
         let mut mdp = AssignmentMdp::new(instance, cfg.order, 2, cfg.overload_penalty);
+        let m = mdp.num_actions();
         let fx = FeatureExtractor::new(instance);
         let mut theta = [0.0f64; NUM_FEATURES];
 
         let mut best: Option<(Assignment, f64)> = None;
         let mut history = Vec::with_capacity(cfg.episodes);
         let mut evaluations = 0u64;
+        // Scratch buffers reused across every step of every episode: the
+        // per-action feature vectors of the current and successor states,
+        // and the episode's assignment (fully overwritten each episode).
+        let mut phi_by_action: Vec<[f64; NUM_FEATURES]> = Vec::with_capacity(m);
+        let mut phi_next: Vec<[f64; NUM_FEATURES]> = Vec::with_capacity(m);
+        let mut assignment = Assignment::unassigned(instance.num_devices(), m);
 
         for episode in 0..cfg.episodes {
             let epsilon = cfg.epsilon.at(episode);
             mdp.reset();
-            let mut assignment = Assignment::unassigned(instance.num_devices(), mdp.num_actions());
             let mut episode_return = 0.0;
 
+            // The successor features extracted for step k's TD target are
+            // exactly step k+1's decision features (nothing about the
+            // state changes in between), so carry them over instead of
+            // re-extracting — this halves the extractor work per episode.
+            let mut carried = false;
             while !mdp.is_done() {
                 let device = mdp.current_device();
-                let phi_by_action: Vec<[f64; NUM_FEATURES]> =
-                    (0..mdp.num_actions()).map(|j| fx.extract(&mdp, j)).collect();
+                if carried {
+                    std::mem::swap(&mut phi_by_action, &mut phi_next);
+                    carried = false;
+                } else {
+                    phi_by_action.clear();
+                    phi_by_action.extend((0..m).map(|j| fx.extract(&mdp, j)));
+                }
                 let action = self.pick(&mdp, &theta, &phi_by_action, epsilon, &mut rng);
                 let phi = phi_by_action[action];
                 let q_sa = dot(&theta, &phi);
@@ -123,16 +139,20 @@ impl LfaQLearning {
                 let target = if mdp.is_done() {
                     reward
                 } else {
-                    let next_best = (0..mdp.num_actions())
+                    // Extract the successor features once; both the masked
+                    // fold and the all-actions fallback read the buffer,
+                    // and the next iteration inherits it wholesale.
+                    phi_next.clear();
+                    phi_next.extend((0..m).map(|j| fx.extract(&mdp, j)));
+                    carried = true;
+                    let next_best = (0..m)
                         .filter(|&j| !cfg.action_masking || mdp.action_fits(j))
-                        .map(|j| dot(&theta, &fx.extract(&mdp, j)))
+                        .map(|j| dot(&theta, &phi_next[j]))
                         .fold(f64::NEG_INFINITY, f64::max);
                     let next_best = if next_best.is_finite() {
                         next_best
                     } else {
-                        (0..mdp.num_actions())
-                            .map(|j| dot(&theta, &fx.extract(&mdp, j)))
-                            .fold(f64::NEG_INFINITY, f64::max)
+                        phi_next.iter().map(|p| dot(&theta, p)).fold(f64::NEG_INFINITY, f64::max)
                     };
                     reward + cfg.gamma * next_best
                 };
@@ -159,10 +179,10 @@ impl LfaQLearning {
 
         // Greedy extraction.
         mdp.reset();
-        let mut rollout = Assignment::unassigned(instance.num_devices(), mdp.num_actions());
+        let mut rollout = Assignment::unassigned(instance.num_devices(), m);
         while !mdp.is_done() {
-            let phi_by_action: Vec<[f64; NUM_FEATURES]> =
-                (0..mdp.num_actions()).map(|j| fx.extract(&mdp, j)).collect();
+            phi_by_action.clear();
+            phi_by_action.extend((0..m).map(|j| fx.extract(&mdp, j)));
             let action = self.pick(&mdp, &theta, &phi_by_action, 0.0, &mut rng);
             let device = mdp.current_device();
             mdp.apply(action);
@@ -198,33 +218,32 @@ impl LfaQLearning {
         let masking = self.config.action_masking;
         if epsilon > 0.0 && rng.random::<f64>() < epsilon {
             if masking {
-                let fitting: Vec<usize> = (0..m).filter(|&j| mdp.action_fits(j)).collect();
-                if !fitting.is_empty() {
-                    return fitting[rng.random_range(0..fitting.len())];
+                if let Some(j) = crate::qlearning::random_fitting(mdp, rng) {
+                    return j;
                 }
             }
             return rng.random_range(0..m);
         }
-        let candidates: Vec<usize> = if masking {
-            let fitting: Vec<usize> = (0..m).filter(|&j| mdp.action_fits(j)).collect();
-            if fitting.is_empty() {
-                (0..m).collect()
-            } else {
-                fitting
-            }
-        } else {
-            (0..m).collect()
-        };
-        let mut best = candidates[0];
-        let mut best_q = f64::NEG_INFINITY;
-        for &j in &candidates {
-            let q = dot(theta, &phi_by_action[j]);
-            if q > best_q {
-                best_q = q;
-                best = j;
+        // First strictly-best fitting server (all servers when nothing fits
+        // or masking is off), without materializing a candidate list.
+        let mut best: Option<(usize, f64)> = None;
+        if masking {
+            for j in (0..m).filter(|&j| mdp.action_fits(j)) {
+                let q = dot(theta, &phi_by_action[j]);
+                if best.map_or(true, |(_, b)| q > b) {
+                    best = Some((j, q));
+                }
             }
         }
-        best
+        if best.is_none() {
+            for (j, phi) in phi_by_action.iter().enumerate().take(m) {
+                let q = dot(theta, phi);
+                if best.map_or(true, |(_, b)| q > b) {
+                    best = Some((j, q));
+                }
+            }
+        }
+        best.expect("at least one action").0
     }
 }
 

@@ -108,6 +108,13 @@ pub struct AssignmentMdp<'a> {
     overload_penalty: f64,
     /// Mutable episode state: residual capacity per server.
     residual: Vec<f64>,
+    /// Cached [`AssignmentMdp::residual_level`] per server, maintained
+    /// incrementally by [`AssignmentMdp::apply`] so [`state_key`]
+    /// (called twice per training step) folds plain bytes instead of
+    /// re-dividing every residual.
+    ///
+    /// [`state_key`]: AssignmentMdp::state_key
+    levels: Vec<u8>,
     step: usize,
 }
 
@@ -131,12 +138,29 @@ impl<'a> AssignmentMdp<'a> {
         assert!(overload_penalty >= 0.0, "penalty must be non-negative");
         let order = order.sequence(instance);
         let residual = instance.capacities().to_vec();
-        AssignmentMdp { instance, order, capacity_levels, overload_penalty, residual, step: 0 }
+        let mut mdp = AssignmentMdp {
+            instance,
+            order,
+            capacity_levels,
+            overload_penalty,
+            residual,
+            levels: vec![0; instance.num_servers()],
+            step: 0,
+        };
+        mdp.recompute_levels();
+        mdp
+    }
+
+    fn recompute_levels(&mut self) {
+        for j in 0..self.levels.len() {
+            self.levels[j] = self.residual_level(j);
+        }
     }
 
     /// Resets to the start of an episode.
     pub fn reset(&mut self) {
         self.residual.copy_from_slice(self.instance.capacities());
+        self.recompute_levels();
         self.step = 0;
     }
 
@@ -194,8 +218,7 @@ impl<'a> AssignmentMdp<'a> {
     /// Panics if the episode is done.
     pub fn state_key(&self) -> StateKey {
         let device = self.current_device();
-        let m = self.instance.num_servers();
-        StateKey::new(device, (0..m).map(|j| self.residual_level(j)))
+        StateKey::new(device, self.levels.iter().copied())
     }
 
     /// `true` when assigning the current device to `server` would not
@@ -218,6 +241,7 @@ impl<'a> AssignmentMdp<'a> {
         let overflow = (demand - self.residual[server]).max(0.0);
         let reward = -self.instance.delay(device, server) - self.overload_penalty * overflow;
         self.residual[server] -= demand;
+        self.levels[server] = self.residual_level(server);
         self.step += 1;
         reward
     }

@@ -8,7 +8,9 @@ use tacc_gap::{
 };
 
 use crate::report::EpisodePoint;
-use crate::{AssignmentMdp, EpisodeOrder, EpsilonSchedule, LearningRate, QTable, TrainingReport};
+use crate::{
+    AssignmentMdp, EpisodeOrder, EpsilonSchedule, LearningRate, QTable, StateKey, TrainingReport,
+};
 
 /// Hyper-parameters of [`QLearning`].
 #[derive(Debug, Clone, PartialEq)]
@@ -164,6 +166,10 @@ impl QLearning {
             best = Some((seed_rollout, delay));
         }
 
+        // One assignment buffer for the whole run: every episode assigns
+        // every device, so the previous episode's values are fully
+        // overwritten and no per-episode allocation is needed.
+        let mut assignment = Assignment::unassigned(instance.num_devices(), m);
         let mut episodes_run = 0usize;
         for episode in 0..cfg.episodes {
             if !meter.take() {
@@ -174,18 +180,21 @@ impl QLearning {
             tacc_obs::counter_add("rl.episodes", 1);
             tacc_obs::gauge_set("rl.epsilon", epsilon);
             mdp.reset();
-            let mut assignment = Assignment::unassigned(instance.num_devices(), m);
             let mut episode_return = 0.0;
 
+            // Carry the bootstrap key into the next iteration: the
+            // successor state of step k *is* the decision state of step
+            // k+1, so each state is hashed once, not twice.
+            let mut carried: Option<StateKey> = None;
             while !mdp.is_done() {
-                if cfg.delay_prior {
-                    let device = mdp.current_device();
-                    let key = mdp.state_key();
-                    q.ensure_row(key, || instance.delay_row(device).iter().map(|d| -d).collect());
-                }
-                let state = mdp.state_key();
-                let action = choose_action(&mdp, &q, state, epsilon, cfg.action_masking, &mut rng);
+                // The state key is an O(m) hash — compute it once per
+                // decision, not once per consumer.
+                let state = carried.take().unwrap_or_else(|| mdp.state_key());
                 let device = mdp.current_device();
+                if cfg.delay_prior {
+                    q.ensure_row(state, || instance.delay_row(device).iter().map(|d| -d).collect());
+                }
+                let action = choose_action(&mdp, &q, state, epsilon, cfg.action_masking, &mut rng);
                 let reward = mdp.apply(action);
                 assignment.assign(device, action)?;
                 episode_return += reward;
@@ -193,18 +202,17 @@ impl QLearning {
                 let target = if mdp.is_done() {
                     reward
                 } else {
+                    let next = mdp.state_key();
+                    carried = Some(next);
                     if cfg.delay_prior {
                         let next_device = mdp.current_device();
-                        let key = mdp.state_key();
-                        q.ensure_row(key, || {
+                        q.ensure_row(next, || {
                             instance.delay_row(next_device).iter().map(|d| -d).collect()
                         });
                     }
-                    let next = mdp.state_key();
                     reward + cfg.gamma * bootstrap_value(&mdp, &q, next, cfg.action_masking)
                 };
-                let alpha = cfg.learning_rate.at(q.visit_count(state, action));
-                q.update(state, action, alpha, target);
+                q.update_with(state, action, |v| cfg.learning_rate.at(v), target);
             }
 
             evaluations += 1;
@@ -268,11 +276,10 @@ fn greedy_rollout(
     let mut rollout = Assignment::unassigned(instance.num_devices(), mdp.num_actions());
     while !mdp.is_done() {
         let device = mdp.current_device();
-        if delay_prior {
-            let key = mdp.state_key();
-            q.ensure_row(key, || instance.delay_row(device).iter().map(|d| -d).collect());
-        }
         let state = mdp.state_key();
+        if delay_prior {
+            q.ensure_row(state, || instance.delay_row(device).iter().map(|d| -d).collect());
+        }
         let action = greedy_masked(mdp, q, state, masking);
         mdp.apply(action);
         rollout.assign(device, action)?;
@@ -292,14 +299,26 @@ fn choose_action(
     let m = mdp.num_actions();
     if rng.random::<f64>() < epsilon {
         if masking {
-            let fitting: Vec<usize> = (0..m).filter(|&j| mdp.action_fits(j)).collect();
-            if !fitting.is_empty() {
-                return fitting[rng.random_range(0..fitting.len())];
+            if let Some(j) = random_fitting(mdp, rng) {
+                return j;
             }
         }
         return rng.random_range(0..m);
     }
     greedy_masked(mdp, q, state, masking)
+}
+
+/// A uniformly random fitting server, without materializing the fitting
+/// set. Consumes exactly one `random_range(0..count)` draw — the same
+/// stream shape as indexing into a collected `Vec`.
+pub(crate) fn random_fitting(mdp: &AssignmentMdp<'_>, rng: &mut ChaCha8Rng) -> Option<usize> {
+    let m = mdp.num_actions();
+    let count = (0..m).filter(|&j| mdp.action_fits(j)).count();
+    if count == 0 {
+        return None;
+    }
+    let k = rng.random_range(0..count);
+    (0..m).filter(|&j| mdp.action_fits(j)).nth(k)
 }
 
 /// Greedy action under the mask: best Q among fitting servers, falling
@@ -312,12 +331,19 @@ fn greedy_masked(
 ) -> usize {
     let m = mdp.num_actions();
     if masking {
-        let row = q.row(state);
+        // Borrow the row instead of cloning it; a missing row means every
+        // value is 0.0, where the argmax is the first fitting server —
+        // the same answer the cloned zero-row produced.
         let mut best: Option<usize> = None;
-        for (j, &value) in row.iter().enumerate().take(m) {
-            if mdp.action_fits(j) && best.map_or(true, |b| value > row[b]) {
-                best = Some(j);
+        match q.row_ref(state) {
+            Some(row) => {
+                for (j, &value) in row.iter().enumerate().take(m) {
+                    if mdp.action_fits(j) && best.map_or(true, |b| value > row[b]) {
+                        best = Some(j);
+                    }
+                }
             }
+            None => best = (0..m).find(|&j| mdp.action_fits(j)),
         }
         if let Some(j) = best {
             return j;
@@ -335,10 +361,10 @@ fn bootstrap_value(
     masking: bool,
 ) -> f64 {
     if masking {
-        let row = q.row(state);
+        let row = q.row_ref(state);
         let masked = (0..mdp.num_actions())
             .filter(|&j| mdp.action_fits(j))
-            .map(|j| row[j])
+            .map(|j| row.map_or(0.0, |r| r[j]))
             .fold(f64::NEG_INFINITY, f64::max);
         if masked.is_finite() {
             return masked;

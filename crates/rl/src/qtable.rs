@@ -1,6 +1,40 @@
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::StateKey;
+
+/// Identity hasher for [`StateKey`] lookups.
+///
+/// A `StateKey` *is already* an FNV-1a hash of the MDP state, so feeding
+/// it through SipHash again (the `HashMap` default) only burns cycles in
+/// the innermost training loop. This hasher passes the 64-bit key through
+/// unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassthroughHasher(u64);
+
+impl Hasher for PassthroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("StateKey hashes via write_u64 only");
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = value;
+    }
+}
+
+type PassthroughState = BuildHasherDefault<PassthroughHasher>;
+
+/// Per-state storage: action values and visit counters side by side, so
+/// one hash lookup serves both.
+#[derive(Debug, Clone)]
+struct QRow {
+    values: Vec<f64>,
+    visits: Vec<u32>,
+}
 
 /// A tabular action-value store over hashed MDP states.
 ///
@@ -10,8 +44,7 @@ use crate::StateKey;
 /// rates.
 #[derive(Debug, Clone, Default)]
 pub struct QTable {
-    values: HashMap<StateKey, Vec<f64>>,
-    visits: HashMap<StateKey, Vec<u32>>,
+    rows: HashMap<StateKey, QRow, PassthroughState>,
     num_actions: usize,
 }
 
@@ -23,30 +56,37 @@ impl QTable {
     /// Panics if `num_actions` is 0.
     pub fn new(num_actions: usize) -> Self {
         assert!(num_actions > 0, "need at least one action");
-        QTable { values: HashMap::new(), visits: HashMap::new(), num_actions }
+        QTable { rows: HashMap::default(), num_actions }
     }
 
     /// Q(s, a), defaulting to 0.0 for unvisited pairs.
     pub fn get(&self, state: StateKey, action: usize) -> f64 {
-        self.values.get(&state).map_or(0.0, |row| row[action])
+        self.rows.get(&state).map_or(0.0, |row| row.values[action])
     }
 
     /// All action values of a state (0.0 defaults).
     pub fn row(&self, state: StateKey) -> Vec<f64> {
-        self.values.get(&state).cloned().unwrap_or_else(|| vec![0.0; self.num_actions])
+        self.row_ref(state).map_or_else(|| vec![0.0; self.num_actions], <[f64]>::to_vec)
+    }
+
+    /// Borrowed action values of a state, `None` when unvisited (all
+    /// values implicitly 0.0). The allocation-free fast path for the
+    /// training loops' masked argmax scans.
+    pub fn row_ref(&self, state: StateKey) -> Option<&[f64]> {
+        self.rows.get(&state).map(|row| row.values.as_slice())
     }
 
     /// `max_a Q(s, a)`.
     pub fn max_value(&self, state: StateKey) -> f64 {
-        self.values
+        self.rows
             .get(&state)
-            .map_or(0.0, |row| row.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+            .map_or(0.0, |row| row.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
     }
 
     /// The greedy action of a state: the argmax with ties broken toward
     /// the lowest index (deterministic extraction).
     pub fn greedy_action(&self, state: StateKey) -> usize {
-        match self.values.get(&state) {
+        match self.row_ref(state) {
             None => 0,
             Some(row) => {
                 let mut best = 0usize;
@@ -62,7 +102,7 @@ impl QTable {
 
     /// Number of updates applied so far to `(state, action)`.
     pub fn visit_count(&self, state: StateKey, action: usize) -> u32 {
-        self.visits.get(&state).map_or(0, |row| row[action])
+        self.rows.get(&state).map_or(0, |row| row.visits[action])
     }
 
     /// Initializes a state's action values if the state has never been
@@ -77,10 +117,11 @@ impl QTable {
     ///
     /// Panics if `init` returns a row of the wrong width.
     pub fn ensure_row(&mut self, state: StateKey, init: impl FnOnce() -> Vec<f64>) {
-        if !self.values.contains_key(&state) {
-            let row = init();
-            assert_eq!(row.len(), self.num_actions, "prior row has the wrong width");
-            self.values.insert(state, row);
+        if !self.rows.contains_key(&state) {
+            let values = init();
+            assert_eq!(values.len(), self.num_actions, "prior row has the wrong width");
+            let visits = vec![0; self.num_actions];
+            self.rows.insert(state, QRow { values, visits });
         }
     }
 
@@ -92,15 +133,42 @@ impl QTable {
     /// Panics if `action` is out of range.
     pub fn update(&mut self, state: StateKey, action: usize, alpha: f64, target: f64) {
         assert!(action < self.num_actions, "action {action} out of range");
-        let row = self.values.entry(state).or_insert_with(|| vec![0.0; self.num_actions]);
-        row[action] += alpha * (target - row[action]);
-        let visits = self.visits.entry(state).or_insert_with(|| vec![0; self.num_actions]);
-        visits[action] = visits[action].saturating_add(1);
+        let row = self.rows.entry(state).or_insert_with(|| QRow {
+            values: vec![0.0; self.num_actions],
+            visits: vec![0; self.num_actions],
+        });
+        row.values[action] += alpha * (target - row.values[action]);
+        row.visits[action] = row.visits[action].saturating_add(1);
+    }
+
+    /// Like [`QTable::update`], but derives the step size from the
+    /// pair's *pre-update* visit count inside the same hash probe — the
+    /// `visit_count` + `update` pattern of the training loops fused into
+    /// one lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of range.
+    pub fn update_with(
+        &mut self,
+        state: StateKey,
+        action: usize,
+        alpha_of: impl FnOnce(u32) -> f64,
+        target: f64,
+    ) {
+        assert!(action < self.num_actions, "action {action} out of range");
+        let row = self.rows.entry(state).or_insert_with(|| QRow {
+            values: vec![0.0; self.num_actions],
+            visits: vec![0; self.num_actions],
+        });
+        let alpha = alpha_of(row.visits[action]);
+        row.values[action] += alpha * (target - row.values[action]);
+        row.visits[action] = row.visits[action].saturating_add(1);
     }
 
     /// Number of distinct states visited.
     pub fn num_states(&self) -> usize {
-        self.values.len()
+        self.rows.len()
     }
 }
 

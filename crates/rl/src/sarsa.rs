@@ -139,6 +139,9 @@ impl Sarsa {
             best = Some((seed_rollout, delay));
         }
 
+        // One assignment buffer for the whole run; every episode assigns
+        // every device, fully overwriting the previous episode.
+        let mut assignment = Assignment::unassigned(instance.num_devices(), mdp.num_actions());
         let mut episodes_run = 0usize;
         for episode in 0..cfg.episodes {
             if !meter.take() {
@@ -146,11 +149,10 @@ impl Sarsa {
             }
             let epsilon = cfg.epsilon.at(episode);
             mdp.reset();
-            let mut assignment = Assignment::unassigned(instance.num_devices(), mdp.num_actions());
             let mut episode_return = 0.0;
 
-            self.ensure_prior(instance, &mdp, &mut q);
             let mut state = mdp.state_key();
+            self.ensure_prior(instance, &mdp, &mut q, state);
             let mut action = self.pick(&mdp, &q, state, epsilon, &mut rng);
             loop {
                 let device = mdp.current_device();
@@ -159,16 +161,14 @@ impl Sarsa {
                 episode_return += reward;
 
                 if mdp.is_done() {
-                    let alpha = cfg.learning_rate.at(q.visit_count(state, action));
-                    q.update(state, action, alpha, reward);
+                    q.update_with(state, action, |v| cfg.learning_rate.at(v), reward);
                     break;
                 }
-                self.ensure_prior(instance, &mdp, &mut q);
                 let next_state = mdp.state_key();
+                self.ensure_prior(instance, &mdp, &mut q, next_state);
                 let next_action = self.pick(&mdp, &q, next_state, epsilon, &mut rng);
                 let target = reward + cfg.gamma * q.get(next_state, next_action);
-                let alpha = cfg.learning_rate.at(q.visit_count(state, action));
-                q.update(state, action, alpha, target);
+                q.update_with(state, action, |v| cfg.learning_rate.at(v), target);
                 state = next_state;
                 action = next_action;
             }
@@ -215,11 +215,17 @@ impl Sarsa {
         Ok((solution, report, guard))
     }
 
-    /// Initializes the current state's row with the delay prior.
-    fn ensure_prior(&self, instance: &GapInstance, mdp: &AssignmentMdp<'_>, q: &mut QTable) {
+    /// Initializes the current state's row with the delay prior. `key`
+    /// is the current state's key, computed once by the caller.
+    fn ensure_prior(
+        &self,
+        instance: &GapInstance,
+        mdp: &AssignmentMdp<'_>,
+        q: &mut QTable,
+        key: StateKey,
+    ) {
         if self.config.delay_prior && !mdp.is_done() {
             let device = mdp.current_device();
-            let key = mdp.state_key();
             q.ensure_row(key, || instance.delay_row(device).iter().map(|d| -d).collect());
         }
     }
@@ -235,8 +241,8 @@ impl Sarsa {
         let mut rollout = Assignment::unassigned(instance.num_devices(), mdp.num_actions());
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         while !mdp.is_done() {
-            self.ensure_prior(instance, mdp, q);
             let state = mdp.state_key();
+            self.ensure_prior(instance, mdp, q, state);
             let action = self.pick(mdp, q, state, 0.0, &mut rng);
             let device = mdp.current_device();
             mdp.apply(action);
@@ -257,20 +263,23 @@ impl Sarsa {
         let masking = self.config.action_masking;
         if epsilon > 0.0 && rng.random::<f64>() < epsilon {
             if masking {
-                let fitting: Vec<usize> = (0..m).filter(|&j| mdp.action_fits(j)).collect();
-                if !fitting.is_empty() {
-                    return fitting[rng.random_range(0..fitting.len())];
+                if let Some(j) = crate::qlearning::random_fitting(mdp, rng) {
+                    return j;
                 }
             }
             return rng.random_range(0..m);
         }
         if masking {
-            let row = q.row(state);
             let mut best: Option<usize> = None;
-            for (j, &value) in row.iter().enumerate().take(m) {
-                if mdp.action_fits(j) && best.map_or(true, |b| value > row[b]) {
-                    best = Some(j);
+            match q.row_ref(state) {
+                Some(row) => {
+                    for (j, &value) in row.iter().enumerate().take(m) {
+                        if mdp.action_fits(j) && best.map_or(true, |b| value > row[b]) {
+                            best = Some(j);
+                        }
+                    }
                 }
+                None => best = (0..m).find(|&j| mdp.action_fits(j)),
             }
             if let Some(j) = best {
                 return j;

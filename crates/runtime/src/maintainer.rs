@@ -19,7 +19,7 @@
 
 use serde::{Deserialize, Serialize};
 use tacc_topology::incremental::{SsspTree, UpdateStats};
-use tacc_topology::{DelayMatrix, DelayModel, LinkId, Topology};
+use tacc_topology::{DelayMatrix, DelayModel, DelayOracle, LinkId, Topology};
 
 /// Maintains per-server shortest-path trees and the delay matrix across
 /// topology changes. Serializes as part of runtime snapshots; the restored
@@ -247,6 +247,30 @@ impl DelayMaintainer {
     }
 }
 
+/// The maintainer answers delay queries straight from its per-server
+/// shortest-path trees — the same values as [`DelayMaintainer::matrix`]
+/// (the matrix *is* read out of the trees after every event), but
+/// available per entry without touching the materialized matrix. Online
+/// paths that only need a sliver of the matrix (one event's device, one
+/// query's sub-instance) go through this impl.
+impl DelayOracle for DelayMaintainer {
+    fn num_iot(&self) -> usize {
+        self.matrix.num_iot()
+    }
+
+    fn num_servers(&self) -> usize {
+        self.matrix.num_servers()
+    }
+
+    fn delay(&self, iot: usize, server: usize) -> f64 {
+        self.trees[server].distance(self.matrix.iot_node(iot))
+    }
+
+    fn materialize(&self) -> DelayMatrix {
+        self.matrix.clone()
+    }
+}
+
 /// Reads the matrix out of the trees. Columns of failed servers come out
 /// infinite because all their incident links do.
 fn matrix_from_trees(trees: &[SsspTree], topology: &Topology) -> DelayMatrix {
@@ -370,6 +394,30 @@ mod tests {
                 "incremental repair must not settle more than a rebuild"
             );
         }
+    }
+
+    #[test]
+    fn oracle_answers_match_the_maintained_matrix_bit_for_bit() {
+        let mut topo = topology();
+        let model = DelayModel::default();
+        let mut maintainer = DelayMaintainer::new(&topo, model, false);
+        let link = topo.graph().link_id(1);
+        topo.set_link_latency(link, 3.75).unwrap();
+        maintainer.drift(&topo, link);
+        maintainer.fail_server(&topo, 2);
+        let matrix = maintainer.matrix();
+        assert_eq!(DelayOracle::num_iot(&maintainer), matrix.num_iot());
+        assert_eq!(DelayOracle::num_servers(&maintainer), matrix.num_servers());
+        for i in 0..matrix.num_iot() {
+            for j in 0..matrix.num_servers() {
+                assert_eq!(
+                    DelayOracle::delay(&maintainer, i, j).to_bits(),
+                    matrix.get(i, j).to_bits(),
+                    "entry ({i}, {j})"
+                );
+            }
+        }
+        assert_eq!(&DelayOracle::materialize(&maintainer), matrix);
     }
 
     #[test]

@@ -63,13 +63,17 @@ impl PartialOrd for HeapEntry {
 }
 
 /// Reusable working memory for the CSR shortest-path kernels: the
-/// distance array and the binary heap survive across runs, so a sweep
-/// over many sources performs two allocations total (per worker), not
-/// two per source.
+/// distance array, the binary heap, and the circular bucket array all
+/// survive across runs, so a sweep over many sources performs a
+/// bounded number of allocations total (per worker), not per source.
 #[derive(Debug, Default)]
 pub struct SsspScratch {
     dist: Vec<f64>,
     heap: BinaryHeap<HeapEntry>,
+    /// Circular bucket array of the bucket-queue kernel; `buckets[k]`
+    /// holds nodes whose tentative distance maps to absolute bucket
+    /// index `≡ k (mod len)`.
+    buckets: Vec<Vec<u32>>,
 }
 
 impl SsspScratch {
@@ -117,6 +121,14 @@ pub struct CsrGraph {
     costs: Vec<f64>,
     /// The undirected [`LinkId`] each directed edge came from.
     links: Vec<u32>,
+    /// Bucket width of the bucket-queue kernel, chosen from the cost
+    /// distribution at construction; `0.0` means the weight range is
+    /// pathological (no finite positive cost) and [`CsrGraph::sssp_into`]
+    /// falls back to the binary heap.
+    bucket_delta: f64,
+    /// Circular bucket count (`ceil(c_max / delta) + 2`); see
+    /// [`CsrGraph::run_buckets`] for the window invariant it backs.
+    bucket_slots: u32,
 }
 
 impl CsrGraph {
@@ -149,6 +161,8 @@ impl CsrGraph {
             targets: Vec::with_capacity(directed),
             costs: Vec::with_capacity(directed),
             links: Vec::with_capacity(directed),
+            bucket_delta: 0.0,
+            bucket_slots: 0,
         };
         csr.offsets.push(0);
         for v in 0..n {
@@ -161,7 +175,28 @@ impl CsrGraph {
             }
             csr.offsets.push(csr.targets.len() as u32);
         }
+        let (delta, slots) = plan_buckets(&csr.costs);
+        csr.bucket_delta = delta;
+        csr.bucket_slots = slots;
         csr
+    }
+
+    /// Assembles a snapshot from pre-built CSR arrays (the
+    /// leaf-compression path in [`crate::compress`] filters rows
+    /// itself). `offsets` must have one entry per node plus a leading
+    /// zero, and the three edge arrays must be the same length.
+    pub(crate) fn from_raw_parts(
+        offsets: Vec<u32>,
+        targets: Vec<u32>,
+        costs: Vec<f64>,
+        links: Vec<u32>,
+    ) -> Self {
+        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
+        assert_eq!(*offsets.last().expect("non-empty") as usize, targets.len());
+        assert_eq!(targets.len(), costs.len());
+        assert_eq!(targets.len(), links.len());
+        let (delta, slots) = plan_buckets(&costs);
+        CsrGraph { offsets, targets, costs, links, bucket_delta: delta, bucket_slots: slots }
     }
 
     /// Number of nodes in the snapshot.
@@ -180,12 +215,67 @@ impl CsrGraph {
     /// [`crate::shortest_path::dijkstra`] under the snapshot's cost
     /// function.
     ///
+    /// Dispatches to the bucket-queue kernel when the snapshot's weight
+    /// range permits one (see [`CsrGraph::kernel_name`]) and to the
+    /// binary heap otherwise. Both kernels run strict-improvement
+    /// relaxation to the same unique fixpoint — every settled distance
+    /// is the minimum left-to-right `f64` path sum, and `f64` addition
+    /// is monotone — so the dispatch never changes a single bit of the
+    /// result (property-tested across all six topology families).
+    ///
     /// # Panics
     ///
     /// Panics if `source` is not a node of the snapshot.
     pub fn sssp_into<'a>(&self, source: NodeId, scratch: &'a mut SsspScratch) -> &'a [f64] {
+        if self.bucket_delta > 0.0 {
+            self.run_buckets(source, scratch);
+            &scratch.dist
+        } else {
+            self.sssp_heap_into(source, scratch)
+        }
+    }
+
+    /// The binary-heap kernel, regardless of what
+    /// [`CsrGraph::sssp_into`] would dispatch to — the reference lane of
+    /// the kernel benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a node of the snapshot.
+    pub fn sssp_heap_into<'a>(&self, source: NodeId, scratch: &'a mut SsspScratch) -> &'a [f64] {
         self.run(source, scratch, |_, _, _| {});
         &scratch.dist
+    }
+
+    /// The bucket-queue (Dial/delta-stepping) kernel. Falls back to the
+    /// heap when the weight range is pathological (no finite positive
+    /// cost), mirroring [`CsrGraph::sssp_into`]'s dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a node of the snapshot.
+    pub fn sssp_bucket_into<'a>(&self, source: NodeId, scratch: &'a mut SsspScratch) -> &'a [f64] {
+        if self.bucket_delta > 0.0 {
+            self.run_buckets(source, scratch);
+            &scratch.dist
+        } else {
+            self.sssp_heap_into(source, scratch)
+        }
+    }
+
+    /// The distance kernel [`CsrGraph::sssp_into`] dispatches to:
+    /// `"bucket"` when the cost distribution admits integer bucketing,
+    /// `"heap"` for the pathological fallback (all costs zero, or no
+    /// finite cost at all). Tree extraction
+    /// ([`CsrGraph::sssp_tree_into`]) always runs the heap: parents are
+    /// relaxation-*order*-dependent, so only the order-preserving kernel
+    /// may produce them.
+    pub fn kernel_name(&self) -> &'static str {
+        if self.bucket_delta > 0.0 {
+            "bucket"
+        } else {
+            "heap"
+        }
     }
 
     /// Like [`CsrGraph::sssp_into`], but also records each node's
@@ -249,6 +339,98 @@ impl CsrGraph {
             }
         }
     }
+
+    /// The bucket-queue relaxation loop: tentative distances are binned
+    /// into a circular array of `bucket_slots` buckets of width
+    /// `bucket_delta`, processed in increasing absolute bucket index.
+    ///
+    /// Correctness/bit-identity: the loop performs exactly the same
+    /// strict-improvement relaxations (`next < dist[t]`) as the heap
+    /// kernel and terminates only when no entry is pending, i.e. at the
+    /// relaxation fixpoint. Since every finite edge cost is
+    /// non-negative and `f64` addition is monotone, that fixpoint is
+    /// unique — `dist[v]` is the minimum left-to-right `f64` path sum
+    /// from the source — so the distances match the heap kernel bit for
+    /// bit even though the *order* of relaxations differs.
+    ///
+    /// Window invariant: while processing absolute bucket `cur`, every
+    /// pending entry has distance in `[cur·δ, (cur+1)·δ + c_max)`, so
+    /// absolute indices span at most `ceil(c_max/δ) + 2 = bucket_slots`
+    /// buckets and the circular array never aliases two live indices.
+    /// A node improved *within* the current bucket (zero or sub-δ cost
+    /// edges) re-enters the same slot and is drained in the same pass.
+    fn run_buckets(&self, source: NodeId, scratch: &mut SsspScratch) {
+        let n = self.node_count();
+        assert!(source.index() < n, "source {source} not in graph");
+        let delta = self.bucket_delta;
+        let slots = self.bucket_slots as usize;
+        scratch.dist.clear();
+        scratch.dist.resize(n, f64::INFINITY);
+        if scratch.buckets.len() < slots {
+            scratch.buckets.resize_with(slots, Vec::new);
+        }
+        for bucket in &mut scratch.buckets {
+            bucket.clear();
+        }
+        scratch.dist[source.index()] = 0.0;
+        scratch.buckets[0].push(source.0);
+        let mut pending = 1usize;
+        let mut cur = 0u64;
+        while pending > 0 {
+            let slot = (cur % slots as u64) as usize;
+            while let Some(node) = scratch.buckets[slot].pop() {
+                pending -= 1;
+                let d = scratch.dist[node as usize];
+                // Stale unless the node's current distance still maps to
+                // this absolute bucket (it was improved and re-binned,
+                // or already settled in an earlier bucket).
+                if (d / delta) as u64 != cur {
+                    continue;
+                }
+                let lo = self.offsets[node as usize] as usize;
+                let hi = self.offsets[node as usize + 1] as usize;
+                for e in lo..hi {
+                    let next = d + self.costs[e];
+                    let t = self.targets[e] as usize;
+                    if next < scratch.dist[t] {
+                        scratch.dist[t] = next;
+                        let bin = ((next / delta) as u64 % slots as u64) as usize;
+                        scratch.buckets[bin].push(t as u32);
+                        pending += 1;
+                    }
+                }
+            }
+            cur += 1;
+        }
+    }
+}
+
+/// Picks the bucket width and circular bucket count for a cost array.
+///
+/// `δ = max(c_min⁺, c_max / 1024)` — the smallest positive cost, floored
+/// so the absolute-index walk stays within ~1024 buckets per `c_max` of
+/// distance. Returns `(0.0, 0)` (heap fallback) when no finite positive
+/// cost exists: an all-zero or all-disabled graph gives the bucket
+/// kernel nothing to bin on.
+fn plan_buckets(costs: &[f64]) -> (f64, u32) {
+    let mut min_pos = f64::INFINITY;
+    let mut max_finite = 0.0f64;
+    for &c in costs {
+        if c.is_finite() {
+            if c > 0.0 && c < min_pos {
+                min_pos = c;
+            }
+            if c > max_finite {
+                max_finite = c;
+            }
+        }
+    }
+    if !min_pos.is_finite() || max_finite <= 0.0 {
+        return (0.0, 0);
+    }
+    let delta = min_pos.max(max_finite / 1024.0);
+    let slots = (max_finite / delta).ceil() as u32 + 2;
+    (delta, slots)
 }
 
 #[cfg(test)]
@@ -341,6 +523,84 @@ mod tests {
         assert_eq!(dist[a.index()], 0.0);
         assert!(dist[b.index()].is_infinite());
         assert!(dist[c.index()].is_infinite());
+    }
+
+    #[test]
+    fn bucket_kernel_matches_heap_bit_for_bit() {
+        let g = gnarly();
+        let csr = CsrGraph::from_graph(&g, |l| l.latency_ms());
+        assert_eq!(csr.kernel_name(), "bucket");
+        let mut heap_scratch = SsspScratch::new();
+        let mut bucket_scratch = SsspScratch::new();
+        for s in 0..g.node_count() {
+            let source = NodeId(s as u32);
+            let heap = csr.sssp_heap_into(source, &mut heap_scratch).to_vec();
+            let bucket = csr.sssp_bucket_into(source, &mut bucket_scratch);
+            for (v, (a, b)) in bucket.iter().zip(&heap).enumerate() {
+                assert!(a.to_bits() == b.to_bits(), "source {s}, node {v}: bucket {a} vs heap {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_scratch_reuse_does_not_leak_state() {
+        let g = gnarly();
+        let csr = CsrGraph::from_graph(&g, |l| l.latency_ms());
+        let mut reused = SsspScratch::new();
+        let first = csr.sssp_bucket_into(NodeId(0), &mut reused).to_vec();
+        let _ = csr.sssp_bucket_into(NodeId(4), &mut reused);
+        let again = csr.sssp_bucket_into(NodeId(0), &mut reused).to_vec();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn pathological_weight_ranges_fall_back_to_heap() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Router);
+        let b = g.add_node(NodeKind::Router);
+        let c = g.add_node(NodeKind::Router);
+        g.add_link(a, b, 1.0, 100.0).unwrap();
+        g.add_link(b, c, 1.0, 100.0).unwrap();
+        // All-zero costs: nothing to bin on.
+        let zero = CsrGraph::from_link_costs(&g, &[0.0, 0.0]);
+        assert_eq!(zero.kernel_name(), "heap");
+        let mut scratch = SsspScratch::new();
+        assert_eq!(zero.sssp_into(a, &mut scratch), &[0.0, 0.0, 0.0]);
+        // All links disabled: likewise.
+        let dead = CsrGraph::from_link_costs(&g, &[f64::INFINITY, f64::INFINITY]);
+        assert_eq!(dead.kernel_name(), "heap");
+        let dist = dead.sssp_into(a, &mut scratch);
+        assert_eq!(dist[0], 0.0);
+        assert!(dist[1].is_infinite() && dist[2].is_infinite());
+        // A zero-cost link alongside positive ones still buckets (the
+        // zero-cost edge re-enters the current bucket and is drained in
+        // the same pass).
+        let mixed = CsrGraph::from_link_costs(&g, &[0.0, 2.0]);
+        assert_eq!(mixed.kernel_name(), "bucket");
+        assert_eq!(mixed.sssp_into(a, &mut scratch), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn bucket_kernel_handles_disabled_links_and_wide_ranges() {
+        let mut g = Graph::new();
+        let n: Vec<_> = (0..5).map(|_| g.add_node(NodeKind::Router)).collect();
+        g.add_link(n[0], n[1], 1.0, 100.0).unwrap();
+        g.add_link(n[1], n[2], 1.0, 100.0).unwrap();
+        g.add_link(n[0], n[2], 1.0, 100.0).unwrap();
+        g.add_link(n[2], n[3], 1.0, 100.0).unwrap();
+        g.add_link(n[3], n[4], 1.0, 100.0).unwrap();
+        // A 1e6:1 weight spread (delta floors at c_max/1024) plus a
+        // disabled link.
+        let costs = [1e-3, 250.0, f64::INFINITY, 1e3, 0.125];
+        let csr = CsrGraph::from_link_costs(&g, &costs);
+        assert_eq!(csr.kernel_name(), "bucket");
+        let mut scratch = SsspScratch::new();
+        let bucket = csr.sssp_bucket_into(NodeId(0), &mut scratch).to_vec();
+        let heap = csr.sssp_heap_into(NodeId(0), &mut scratch).to_vec();
+        assert_eq!(
+            bucket.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+            heap.iter().map(|d| d.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

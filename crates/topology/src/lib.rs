@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod compress;
 pub mod csr;
 mod delay;
 mod error;
@@ -66,11 +67,14 @@ pub mod export;
 pub mod generators;
 mod graph;
 pub mod incremental;
+pub mod oracle;
 pub mod routing;
 pub mod shortest_path;
 mod topology;
 
+pub use compress::CompressedCore;
 pub use delay::{DelayMatrix, DelayModel};
 pub use error::TopologyError;
 pub use graph::{Graph, Link, LinkId, Neighbor, Node, NodeId, NodeKind, Point};
-pub use topology::Topology;
+pub use oracle::{AltOracle, DelayOracle};
+pub use topology::{MatrixKernel, Topology};
