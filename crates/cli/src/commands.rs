@@ -64,6 +64,22 @@ gen-trace only:
   --events N         events to generate         [default 200]
   --mean-gap-ms G    mean event inter-arrival   [default 250]
   --out FILE         write the trace here       [default stdout]
+  --surge            heavy-traffic mode: diurnal load curve + flash-crowd
+                     join waves + device mobility re-attachment, emitted
+                     as an ordinary format-v1 trace. Surge knobs:
+    --horizon-ms T         trace length            [default 60000]
+    --tick-ms T            load-curve sample step  [default 500]
+    --base-rate R          baseline active fraction [default 0.5]
+    --diurnal-amplitude A  sine swing around base  [default 0.3]
+    --diurnal-period-ms T  sine period             [default 20000]
+    --flash-crowds K       flash-crowd spikes      [default 1]
+    --flash-magnitude M    spike height            [default 0.45]
+    --flash-width-ms W     spike gaussian width    [default 1500]
+    --mobility-rate R      handovers/device/tick   [default 0.05]
+    --chaos-overlay NAME   compose the server-fault portion of a chaos
+                           profile on top (the surge trace owns the
+                           device timeline; overlay device churn is
+                           dropped, server fail/recover kept)
 
 run-trace only:
   --trace FILE       trace to replay (required)
@@ -118,8 +134,22 @@ serve only:
   --max-pending N    admission-control backlog cap          [default 4096]
   --query-budget N   default Solve work budget (units)      [default 2000]
   --snapshot-every N journal snapshot cadence (events)      [default 256]
+  --no-brownout      pin the overload ladder at `normal` (admission
+                     control and RetryAfter hints stay active)
+  --high-water R     backlog ratio counting as pressure     [default 0.75]
+  --low-water R      backlog ratio counting as calm         [default 0.25]
+  --recover-after N  calm observations per ladder step-down [default 3]
 
 client only (needs --connect ADDR or --uds PATH):
+  --client-timeout-ms T  connect + per-response timeout     [default 120000]
+  --retry N          re-send a shed/timed-out push up to N times with
+                     seeded jittered exponential backoff honoring the
+                     daemon's retry_after_ms hint; re-sends reuse the
+                     push sequence number, so the daemon deduplicates
+                     a burst whose ack was lost          [default 0 = off]
+  --retry-base-ms T  first backoff step                     [default 10]
+  --retry-max-ms T   backoff step ceiling                   [default 2000]
+  --retry-seed S     backoff jitter seed                    [default 0]
   --drive TRACE      scripted session: Init from the trace's scenario, push
                      its events in bursts, interleave queries, print stats
   --burst K          events per push while driving          [default 64]
@@ -472,12 +502,61 @@ fn gen_trace_json(args: &Args) -> Result<String, String> {
         load_factor: args.num_or("load", 0.7f64)?,
         seed,
     };
-    let trace = TraceGenerator::new(scenario)
-        .num_events(args.num_or("events", 200usize)?)
-        .mean_interarrival_ms(args.num_or("mean-gap-ms", 250.0f64)?)
+    let trace = if args.has("surge") {
+        surge_trace(args, scenario, seed)?
+    } else {
+        TraceGenerator::new(scenario)
+            .num_events(args.num_or("events", 200usize)?)
+            .mean_interarrival_ms(args.num_or("mean-gap-ms", 250.0f64)?)
+            .generate(seed)
+            .map_err(|e| e.to_string())?
+    };
+    Ok(trace.to_json())
+}
+
+/// The `gen-trace --surge` path: a heavy-traffic trace (diurnal load,
+/// flash crowds, mobility re-attachment) from [`SurgeGenerator`], with
+/// an optional `--chaos-overlay PROFILE` composed on top so recovery
+/// drills and load surges can hit the daemon in the same timeline.
+fn surge_trace(args: &Args, scenario: TraceScenario, seed: u64) -> Result<Trace, String> {
+    use tacc_core::workload::{compose_traces, SurgeGenerator};
+    let surge = SurgeGenerator::new(scenario.clone())
+        .horizon_ms(args.num_or("horizon-ms", 60_000.0f64)?)
+        .tick_ms(args.num_or("tick-ms", 500.0f64)?)
+        .base_rate(args.num_or("base-rate", 0.5f64)?)
+        .diurnal_amplitude(args.num_or("diurnal-amplitude", 0.3f64)?)
+        .diurnal_period_ms(args.num_or("diurnal-period-ms", 20_000.0f64)?)
+        .flash_crowds(args.num_or("flash-crowds", 1usize)?)
+        .flash_magnitude(args.num_or("flash-magnitude", 0.45f64)?)
+        .flash_width_ms(args.num_or("flash-width-ms", 1_500.0f64)?)
+        .mobility_rate(args.num_or("mobility-rate", 0.05f64)?)
         .generate(seed)
         .map_err(|e| e.to_string())?;
-    Ok(trace.to_json())
+    let Some(profile_name) = args.str_opt("chaos-overlay") else {
+        return Ok(surge);
+    };
+    let profile = ChaosProfile::from_name(profile_name).ok_or_else(|| {
+        let known: Vec<&str> = ChaosProfile::ALL.iter().map(|p| p.name()).collect();
+        format!("unknown chaos profile `{profile_name}` (one of: {})", known.join(", "))
+    })?;
+    let mut overlay = ChaosGenerator::new(scenario, profile)
+        .num_events(args.num_or("events", 40usize)?)
+        .mean_gap_ms(args.num_or("mean-gap-ms", 1_000.0f64)?)
+        .burst(args.num_or("burst", 3usize)?)
+        .generate(seed ^ 0x000c_4a05)
+        .map_err(|e| e.to_string())?;
+    // Chaos profiles churn devices too, but the surge trace already owns
+    // the device timeline — composing both would double-book join/leave
+    // state. Keep the overlay's server faults (the part surge cannot
+    // produce) and let the surge trace drive every device.
+    overlay.events.retain(|timed| {
+        matches!(
+            timed.event,
+            tacc_core::workload::TraceEvent::ServerFail { .. }
+                | tacc_core::workload::TraceEvent::ServerRecover { .. }
+        )
+    });
+    compose_traces(&surge, &overlay).map_err(|e| e.to_string())
 }
 
 /// `tacc run-trace`
@@ -725,6 +804,21 @@ fn chaos_report(args: &Args) -> Result<(String, bool), String> {
 
 fn serve_config_from(args: &Args) -> Result<tacc_serve::ServeConfig, String> {
     let defaults = tacc_serve::ServeConfig::default();
+    let surge = tacc_serve::SurgeConfig {
+        brownout: !args.has("no-brownout"),
+        high_water: args.num_or("high-water", defaults.surge.high_water)?,
+        low_water: args.num_or("low-water", defaults.surge.low_water)?,
+        recover_after: args.num_or("recover-after", defaults.surge.recover_after)?,
+    };
+    if !(0.0..=1.0).contains(&surge.low_water)
+        || !(0.0..=1.0).contains(&surge.high_water)
+        || surge.low_water > surge.high_water
+    {
+        return Err(format!(
+            "watermarks need 0 <= --low-water <= --high-water <= 1 (got {} / {})",
+            surge.low_water, surge.high_water
+        ));
+    }
     Ok(tacc_serve::ServeConfig {
         batch_size: args.num_or("batch-size", defaults.batch_size)?,
         max_pending: args.num_or("max-pending", defaults.max_pending)?,
@@ -734,6 +828,7 @@ fn serve_config_from(args: &Args) -> Result<tacc_serve::ServeConfig, String> {
         algorithm: args.str_or("algorithm", &defaults.algorithm).to_owned(),
         journal: args.str_opt("journal").map(std::path::PathBuf::from),
         obs_out: args.str_opt("obs-out").map(std::path::PathBuf::from),
+        surge,
     })
 }
 
@@ -776,11 +871,17 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
 /// budgeted solves — then any one-shot flags run in their listed order.
 pub fn client(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
+    let timeout_ms = args.num_or("client-timeout-ms", 120_000u64)?;
+    let cfg = tacc_serve::ClientConfig {
+        connect_timeout: std::time::Duration::from_millis(timeout_ms.max(1)),
+        read_timeout: std::time::Duration::from_millis(timeout_ms.max(1)),
+    };
     let mut client = match (args.str_opt("connect"), args.str_opt("uds")) {
-        (Some(addr), _) => tacc_serve::Client::connect_tcp(addr).map_err(|e| e.to_string())?,
-        (None, Some(path)) => {
-            tacc_serve::Client::connect_unix(Path::new(path)).map_err(|e| e.to_string())?
+        (Some(addr), _) => {
+            tacc_serve::Client::connect_tcp_with(addr, cfg).map_err(|e| e.to_string())?
         }
+        (None, Some(path)) => tacc_serve::Client::connect_unix_with(Path::new(path), cfg)
+            .map_err(|e| e.to_string())?,
         (None, None) => return Err("client needs --connect ADDR or --uds PATH".to_owned()),
     };
 
@@ -842,6 +943,13 @@ fn drive_session(
     let query_every = args.num_or("query-every", 5usize)?;
     let solve_every = args.num_or("solve-every", 0usize)?;
     let budget = args.num_or("budget", 0u64)?;
+    let retry_defaults = tacc_serve::RetryPolicy::default();
+    let retry = tacc_serve::RetryPolicy {
+        max_retries: args.num_or("retry", 0u32)?,
+        base_backoff_ms: args.num_or("retry-base-ms", retry_defaults.base_backoff_ms)?,
+        max_backoff_ms: args.num_or("retry-max-ms", retry_defaults.max_backoff_ms)?,
+        seed: args.num_or("retry-seed", 0u64)?,
+    };
 
     let shell = Trace { events: Vec::new(), ..trace.clone() };
     let devices = shell.scenario.num_iot;
@@ -852,8 +960,15 @@ fn drive_session(
     let mut queries = 0u64;
     let mut solves = 0u64;
     for (i, chunk) in trace.events.chunks(burst).enumerate() {
-        match client.push(chunk.to_vec()).map_err(|e| e.to_string())? {
+        match client.push_with_retry(chunk.to_vec(), &retry).map_err(|e| e.to_string())? {
             Response::Accepted { .. } => {}
+            Response::Overloaded { retry_after_ms, brownout, .. } => {
+                return Err(format!(
+                    "Push shed past the retry budget ({} retries; daemon at brownout `{brownout}`, \
+                     retry_after_ms {retry_after_ms}) — raise --retry or --max-pending",
+                    retry.max_retries
+                ));
+            }
             other => return Err(format!("Push answered {other:?}")),
         }
         if query_every > 0 && i % query_every == 0 && devices > 0 {
@@ -1108,7 +1223,7 @@ fn bench_serve(quick: bool, reps: usize) -> Result<serde_json::Value, String> {
         let mut session =
             tacc_serve::Session::start(shell.clone(), config.clone(), &cfg).expect("session");
         for chunk in trace.events.chunks(cfg.batch_size) {
-            session.push(chunk.to_vec()).expect("push");
+            session.push(chunk.to_vec(), 0).expect("push");
         }
         session.flush().expect("flush");
         session
@@ -1117,7 +1232,7 @@ fn bench_serve(quick: bool, reps: usize) -> Result<serde_json::Value, String> {
 
     // Query latency against the settled session.
     let mut session = tacc_serve::Session::start(shell, config, &cfg).map_err(|e| e.to_string())?;
-    session.push(trace.events.clone()).map_err(|e| e.to_string())?;
+    session.push(trace.events.clone(), 0).map_err(|e| e.to_string())?;
     session.flush().map_err(|e| e.to_string())?;
     let mut latencies_ms: Vec<f64> = (0..200)
         .map(|i| {

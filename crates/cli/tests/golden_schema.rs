@@ -216,6 +216,75 @@ fn solve_obs_stream_keeps_its_schema() {
 }
 
 #[test]
+fn serve_session_obs_stream_keeps_its_schema() {
+    use tacc_core::workload::{TimedEvent, Trace, TraceEvent, TraceScenario};
+    use tacc_runtime::RuntimeConfig;
+    use tacc_serve::{ServeConfig, Session};
+
+    let dir = temp_dir("stream-serve");
+    let out = dir.join("session.jsonl");
+    let scenario = TraceScenario { num_iot: 16, num_servers: 3, ..TraceScenario::default() };
+    let shell = Trace { version: Trace::FORMAT_VERSION, scenario, events: Vec::new() };
+    // A parking config with a tight cap, so one scripted session emits
+    // every record kind: push, overload, flush, solve, registry.
+    let cfg = ServeConfig {
+        batch_size: 1000,
+        max_pending: 8,
+        obs_out: Some(out.clone()),
+        ..ServeConfig::default()
+    };
+    tacc_obs::set_enabled(true);
+    let mut session = Session::start(shell, RuntimeConfig::default(), &cfg).unwrap();
+    let burst = |len: usize| -> Vec<TimedEvent> {
+        (0..len)
+            .map(|i| TimedEvent {
+                time_ms: 0.0,
+                event: TraceEvent::LinkLatencyDrift { link: 0, latency_ms: 1.0 + i as f64 },
+            })
+            .collect()
+    };
+    session.push(burst(8), 0).unwrap(); // accepted
+    session.push(burst(3), 0).unwrap(); // shed: 8 + 3 > 8
+    session.flush().unwrap();
+    session.solve(50).unwrap();
+    session.close().unwrap();
+
+    let text = std::fs::read_to_string(&out).unwrap();
+    let records: Vec<Value> = text.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+    assert_eq!(records.len(), 6, "meta + push + overload + flush + solve + registry");
+
+    assert_eq!(kind_of(&records[0]), "meta");
+    assert_eq!(
+        schema(&records[0]),
+        "{seq:uint,kind:str,stream_version:uint,source:str,family:str,num_iot:uint,\
+         num_servers:uint,scenario_seed:uint,policy:str,seed:uint,recovered:bool,\
+         start_cursor:uint}"
+    );
+    assert_eq!(kind_of(&records[1]), "push");
+    assert_eq!(schema(&records[1]), "{seq:uint,kind:str,push:uint,queued:uint,pending:uint}");
+    assert_eq!(kind_of(&records[2]), "overload");
+    assert_eq!(
+        schema(&records[2]),
+        "{seq:uint,kind:str,pending:uint,cap:uint,rejected:uint,retry_after_ms:uint,\
+         brownout:str}"
+    );
+    assert_eq!(kind_of(&records[3]), "flush");
+    assert_eq!(
+        schema(&records[3]),
+        "{seq:uint,kind:str,applied:uint,cursor:uint,active:uint,total_delay_ms:float}"
+    );
+    assert_eq!(kind_of(&records[4]), "solve");
+    assert_eq!(
+        schema(&records[4]),
+        "{seq:uint,kind:str,budget:uint,solver:str,degradation:str,objective:float,\
+         feasible:bool,brownout:str}"
+    );
+    assert_eq!(kind_of(&records[5]), "registry");
+    assert_registry_schema(&records[5]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn same_seed_streams_are_byte_identical() {
     let dir = temp_dir("stream-determinism");
     let trace_path = dir.join("trace.json");

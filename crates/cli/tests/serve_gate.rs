@@ -80,7 +80,7 @@ fn sigkill_at_an_event_boundary_recovers_byte_identically() {
         let mut session =
             Session::start(shell(&trace), RuntimeConfig::default(), &ServeConfig::default())
                 .unwrap();
-        session.push(trace.events.clone()).unwrap();
+        session.push(trace.events.clone(), 0).unwrap();
         session.flush().unwrap();
         session.snapshot_json().unwrap()
     };

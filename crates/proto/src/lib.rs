@@ -25,9 +25,20 @@
 //!   compatible (old peers answer `Malformed` to messages they do not
 //!   know, new peers keep reading old ones);
 //! - renaming or re-shaping an existing variant requires bumping
-//!   [`PROTOCOL_VERSION`];
+//!   [`PROTOCOL_VERSION`] *and* teaching the decoder to upgrade the old
+//!   shape — this build reads every version in
+//!   [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`], filling
+//!   version-2 fields (`Push.seq`, `Overloaded.retry_after_ms` /
+//!   `Overloaded.brownout`) with their conservative defaults when a v1
+//!   peer omits them;
 //! - frames larger than [`MAX_FRAME_LEN`] are rejected before
 //!   allocation, so a hostile length prefix cannot balloon memory.
+//!
+//! Version history: **v1** (PR 6) the original vocabulary; **v2** adds
+//! backpressure metadata — `Push` carries an idempotency sequence number
+//! and `Overloaded` carries a deterministic `retry_after_ms` hint plus
+//! the daemon's brownout level, so a shed client knows *why* and *when
+//! to come back*.
 //!
 //! Everything here is pure data + framing; the daemon logic lives in
 //! `tacc-serve`.
@@ -45,6 +56,12 @@ pub use message::{
     Request, RequestFrame, Response, ResponseFrame,
 };
 
-/// The wire-protocol version this build speaks. Peers reject any other
-/// version with [`ProtoError::UnsupportedVersion`].
-pub const PROTOCOL_VERSION: u32 = 1;
+/// The wire-protocol version this build writes. Peers reject versions
+/// outside [`MIN_PROTOCOL_VERSION`]`..=PROTOCOL_VERSION` with
+/// [`ProtoError::UnsupportedVersion`].
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The oldest wire-protocol version this build still reads; v1 payloads
+/// are upgraded in place (missing v2 fields take their documented
+/// defaults) before the typed parse.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;

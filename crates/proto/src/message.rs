@@ -5,7 +5,7 @@ use serde_json::Value;
 use tacc_runtime::RuntimeConfig;
 use tacc_workload::{TimedEvent, Trace};
 
-use crate::{ProtoError, PROTOCOL_VERSION};
+use crate::{ProtoError, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 
 /// What a client may ask the daemon.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,6 +32,12 @@ pub enum Request {
     Push {
         /// Time-ordered events, continuing the session's timeline.
         events: Vec<TimedEvent>,
+        /// Client-chosen idempotency sequence number (`0` = unsequenced,
+        /// since v1 peers cannot send one). A re-send of the most
+        /// recently *accepted* nonzero `seq` — after a timeout that lost
+        /// the ack, say — is answered with the recorded acknowledgement
+        /// instead of being journaled twice.
+        seq: u64,
     },
     /// Force-apply everything pending (an explicit event boundary).
     Flush,
@@ -121,14 +127,23 @@ pub enum Response {
         pending: usize,
     },
     /// Admission control shed the request: the pending backlog would
-    /// exceed the daemon's budget. Typed, so clients can back off.
+    /// exceed the daemon's budget. Typed, so clients can back off — and
+    /// since v2, told *when* to come back and *why* they were shed.
     Overloaded {
         /// Events currently pending application.
         pending: usize,
-        /// The configured backlog cap.
+        /// The admission cap the burst would have overflowed (the
+        /// daemon's `--max-pending`, possibly tightened by brownout).
         max_pending: usize,
         /// Events rejected from this burst (none were applied).
         rejected: usize,
+        /// Deterministic back-off hint in milliseconds — a function of
+        /// queue depth and brownout level, never of wall clock. `0`
+        /// means the peer spoke v1 and got no hint.
+        retry_after_ms: u64,
+        /// The daemon's brownout ladder level (`normal`, `l1-budget`,
+        /// `l2-alt-oracle`, `l3-tier-shed`; `off` from a v1 daemon).
+        brownout: String,
     },
     /// Pending events were applied.
     Flushed {
@@ -251,14 +266,20 @@ pub fn encode_response(id: u64, response: &Response) -> Vec<u8> {
 }
 
 /// Parses a payload into a JSON value and checks the envelope version
-/// before any shape-dependent parse.
-fn parse_envelope(payload: &[u8]) -> Result<Value, ProtoError> {
+/// before any shape-dependent parse. Returns the value together with
+/// the version it arrived as.
+fn parse_envelope(payload: &[u8]) -> Result<(Value, u32), ProtoError> {
     let text = std::str::from_utf8(payload)
         .map_err(|e| ProtoError::Malformed { reason: format!("payload is not UTF-8: {e}") })?;
     let value: Value = serde_json::from_str(text)
         .map_err(|e| ProtoError::Malformed { reason: format!("payload is not JSON: {e}") })?;
     match value.get("v") {
-        Some(Value::UInt(v)) if *v == u64::from(PROTOCOL_VERSION) => Ok(value),
+        Some(Value::UInt(v))
+            if (u64::from(MIN_PROTOCOL_VERSION)..=u64::from(PROTOCOL_VERSION)).contains(v) =>
+        {
+            let version = u32::try_from(*v).expect("bounded by PROTOCOL_VERSION");
+            Ok((value, version))
+        }
         Some(Value::UInt(v)) => {
             Err(ProtoError::UnsupportedVersion { got: *v, supported: PROTOCOL_VERSION })
         }
@@ -267,7 +288,51 @@ fn parse_envelope(payload: &[u8]) -> Result<Value, ProtoError> {
     }
 }
 
-/// Decodes a request payload, version-checking the envelope first.
+/// Inserts `key: value` into an object when the key is absent. No-op on
+/// non-objects (the typed parse reports those properly).
+fn fill_default(value: &mut Value, key: &str, default: Value) {
+    if let Value::Object(fields) = value {
+        if !fields.iter().any(|(k, _)| k == key) {
+            fields.push((key.to_owned(), default));
+        }
+    }
+}
+
+/// Mutable lookup of a variant body: `{"Outer": {"Variant": {...}}}`.
+fn variant_body_mut<'v>(value: &'v mut Value, outer: &str, variant: &str) -> Option<&'v mut Value> {
+    let Value::Object(fields) = value else { return None };
+    let body = fields.iter_mut().find(|(k, _)| k == outer).map(|(_, v)| v)?;
+    let Value::Object(inner) = body else { return None };
+    inner.iter_mut().find(|(k, _)| k == variant).map(|(_, v)| v)
+}
+
+/// Upgrades a v1 request value tree to the v2 shape in place: `Push`
+/// gains its idempotency `seq` (0 = unsequenced, exactly what a v1 peer
+/// means by not sending one).
+fn upgrade_request(value: &mut Value, version: u32) {
+    if version >= 2 {
+        return;
+    }
+    if let Some(push) = variant_body_mut(value, "request", "Push") {
+        fill_default(push, "seq", Value::UInt(0));
+    }
+}
+
+/// Upgrades a v1 response value tree to the v2 shape in place:
+/// `Overloaded` gains its backpressure metadata (no hint, brownout off).
+fn upgrade_response(value: &mut Value, version: u32) {
+    if version >= 2 {
+        return;
+    }
+    if let Some(overloaded) = variant_body_mut(value, "response", "Overloaded") {
+        fill_default(overloaded, "retry_after_ms", Value::UInt(0));
+        fill_default(overloaded, "brownout", Value::Str("off".to_owned()));
+    }
+}
+
+/// Decodes a request payload, version-checking the envelope first; v1
+/// payloads are upgraded in place before the typed parse, so the caller
+/// always sees the current vocabulary.
 ///
 /// # Errors
 ///
@@ -275,18 +340,21 @@ fn parse_envelope(payload: &[u8]) -> Result<Value, ProtoError> {
 /// [`ProtoError::Malformed`] for anything that is not a well-formed
 /// request envelope.
 pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, ProtoError> {
-    let value = parse_envelope(payload)?;
+    let (mut value, version) = parse_envelope(payload)?;
+    upgrade_request(&mut value, version);
     serde_json::from_value(&value)
         .map_err(|e| ProtoError::Malformed { reason: format!("request envelope: {e}") })
 }
 
-/// Decodes a response payload, version-checking the envelope first.
+/// Decodes a response payload, version-checking the envelope first; v1
+/// payloads are upgraded in place before the typed parse.
 ///
 /// # Errors
 ///
 /// As [`decode_request`], for response envelopes.
 pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, ProtoError> {
-    let value = parse_envelope(payload)?;
+    let (mut value, version) = parse_envelope(payload)?;
+    upgrade_response(&mut value, version);
     serde_json::from_value(&value)
         .map_err(|e| ProtoError::Malformed { reason: format!("response envelope: {e}") })
 }
@@ -299,7 +367,7 @@ mod tests {
     fn request_envelopes_round_trip() {
         let requests = [
             Request::Hello { client: "test".into() },
-            Request::Push { events: Vec::new() },
+            Request::Push { events: Vec::new(), seq: 3 },
             Request::Flush,
             Request::Query { device: 7 },
             Request::Solve { budget_units: 25 },
@@ -322,7 +390,13 @@ mod tests {
         let responses = [
             Response::Hello { server: "tacc-serve".into(), protocol: PROTOCOL_VERSION },
             Response::Accepted { queued: 3, pending: 9 },
-            Response::Overloaded { pending: 100, max_pending: 100, rejected: 5 },
+            Response::Overloaded {
+                pending: 100,
+                max_pending: 100,
+                rejected: 5,
+                retry_after_ms: 40,
+                brownout: "l1-budget".into(),
+            },
             Response::Device {
                 device: 2,
                 state: QueryState::Assigned,
@@ -348,6 +422,40 @@ mod tests {
         };
         assert_eq!(got, 99);
         assert_eq!(supported, PROTOCOL_VERSION);
+    }
+
+    #[test]
+    fn v1_requests_upgrade_to_the_current_vocabulary() {
+        // A v1 Push has no `seq`; the decoder fills the unsequenced 0.
+        let bytes = br#"{"v":1,"id":9,"request":{"Push":{"events":[]}}}"#;
+        let frame = decode_request(bytes).unwrap();
+        assert_eq!(frame.v, 1, "the arrival version is preserved");
+        assert_eq!(frame.request, Request::Push { events: Vec::new(), seq: 0 });
+        // Other v1 requests pass through untouched.
+        let bytes = br#"{"v":1,"id":1,"request":{"Stats":null}}"#;
+        assert_eq!(decode_request(bytes).unwrap().request, Request::Stats);
+    }
+
+    #[test]
+    fn v1_overloaded_responses_upgrade_with_conservative_defaults() {
+        let bytes = br#"{"v":1,"id":4,"response":{"Overloaded":{"pending":10,"max_pending":12,"rejected":5}}}"#;
+        let frame = decode_response(bytes).unwrap();
+        let Response::Overloaded { pending, max_pending, rejected, retry_after_ms, brownout } =
+            frame.response
+        else {
+            panic!("wrong shape");
+        };
+        assert_eq!((pending, max_pending, rejected), (10, 12, 5));
+        assert_eq!(retry_after_ms, 0, "a v1 daemon gave no hint");
+        assert_eq!(brownout, "off");
+    }
+
+    #[test]
+    fn v2_payloads_with_explicit_fields_are_untouched_by_the_upgrade() {
+        let original = Request::Push { events: Vec::new(), seq: 17 };
+        let frame = decode_request(&encode_request(1, &original)).unwrap();
+        assert_eq!(frame.v, PROTOCOL_VERSION);
+        assert_eq!(frame.request, original);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The client library the `tacc client` subcommand and the tests drive.
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use tacc_proto::{
@@ -14,12 +14,120 @@ use tacc_workload::{TimedEvent, Trace};
 
 use crate::ServeError;
 
+/// Connection tuning for [`Client`]: how long to wait for the dial and
+/// for each answer. Both default to the historical 120 s — generous
+/// enough that a busy single-threaded daemon finishing another
+/// connection never looks dead, finite so a hung one does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// TCP dial timeout (Unix sockets dial without one; the OS fails a
+    /// missing socket immediately anyway).
+    pub connect_timeout: Duration,
+    /// Per-response read timeout; also applied to writes.
+    pub read_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    /// 120 s to connect, 120 s per response.
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(120),
+            read_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Deterministic, jittered exponential backoff for retrying shed or
+/// timed-out pushes. The wait before retry `n` is
+/// `max(retry_after_ms, jitter(base · 2ⁿ))` with jitter drawn
+/// uniformly from the upper half of the exponential step by a seeded
+/// splitmix64 hash — two clients with different seeds de-synchronize
+/// instead of stampeding back in lockstep, and the same seed replays
+/// the same waits. `retry_after_ms` (the daemon's `Overloaded` hint) is
+/// always honored as a floor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retry budget: total re-sends allowed per push (0 = never retry).
+    pub max_retries: u32,
+    /// First backoff step in milliseconds; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Ceiling on the exponential step (the daemon hint may exceed it).
+    pub max_backoff_ms: u64,
+    /// Jitter seed; same seed ⇒ same backoff sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Eight retries, 10 ms doubling to a 2 s cap, seed 0.
+    fn default() -> Self {
+        RetryPolicy { max_retries: 8, base_backoff_ms: 10, max_backoff_ms: 2_000, seed: 0 }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait (ms) before retry `attempt` (0-based), given the
+    /// daemon's `retry_after_ms` hint (0 = none). Pure function of
+    /// `(seed, attempt, retry_after_ms)`.
+    pub fn backoff_ms(&self, attempt: u32, retry_after_ms: u64) -> u64 {
+        let exp = self
+            .base_backoff_ms
+            .max(1)
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_backoff_ms.max(1));
+        let r = splitmix64(self.seed ^ (u64::from(attempt) << 32) ^ retry_after_ms);
+        let jittered = exp / 2 + r % (exp / 2 + 1);
+        jittered.max(retry_after_ms)
+    }
+}
+
+/// SplitMix64: a tiny, seedable, statistically solid mixer — enough for
+/// backoff jitter without pulling an RNG crate into the client.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hands each [`Client`] in this process a distinct sequence-number
+/// namespace (high 32 bits), so two clients of the same daemon cannot
+/// collide on the dedup record with both counting 1, 2, 3, ...
+static NEXT_CLIENT_NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The first push sequence number for a fresh client: a process-unique
+/// nonce in the high 32 bits (pid ⊕ per-process counter, mixed), a
+/// running counter in the low 32.
+fn fresh_seq_base() -> u64 {
+    let nonce = NEXT_CLIENT_NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mixed = splitmix64(u64::from(std::process::id()) << 32 | nonce) & 0xFFFF_FFFF;
+    // Nonce 0 with counter 1 is still nonzero; seq 0 stays reserved for
+    // "unsequenced".
+    (mixed << 32) | 1
+}
+
+/// Where a [`Client`] dialed, kept so a broken connection can be
+/// re-dialed transparently during a retried push.
+#[derive(Debug, Clone)]
+enum Endpoint {
+    Tcp(String),
+    Unix(PathBuf),
+}
+
 /// A blocking protocol client over TCP or a Unix socket. One request in
 /// flight at a time; correlation ids are checked on every answer.
+///
+/// [`Client::push_with_retry`] adds the resilience layer: shed bursts
+/// re-send after a [`RetryPolicy`] backoff honoring the daemon's
+/// `retry_after_ms` hint, and transport failures reconnect and re-send
+/// under the same push sequence number, which the daemon deduplicates —
+/// an ack lost to a timeout cannot double-apply a burst.
 #[derive(Debug)]
 pub struct Client {
     transport: Transport,
+    endpoint: Endpoint,
+    config: ClientConfig,
     next_id: u64,
+    next_seq: u64,
 }
 
 #[derive(Debug)]
@@ -53,33 +161,86 @@ impl Write for Transport {
     }
 }
 
+/// Dials an endpoint and applies the configured timeouts.
+fn dial(endpoint: &Endpoint, config: &ClientConfig) -> Result<Transport, ServeError> {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let resolved = addr
+                .to_socket_addrs()
+                .map_err(|e| ServeError::io(&format!("resolving {addr}"), &e))?
+                .next()
+                .ok_or_else(|| ServeError::state(format!("`{addr}` resolves to no address")))?;
+            let stream = TcpStream::connect_timeout(&resolved, config.connect_timeout)
+                .map_err(|e| ServeError::io(&format!("connecting tcp {addr}"), &e))?;
+            stream
+                .set_read_timeout(Some(config.read_timeout))
+                .and_then(|()| stream.set_write_timeout(Some(config.read_timeout)))
+                .map_err(|e| ServeError::io("client timeout", &e))?;
+            Ok(Transport::Tcp(stream))
+        }
+        Endpoint::Unix(path) => {
+            let stream = UnixStream::connect(path)
+                .map_err(|e| ServeError::io(&format!("connecting uds {}", path.display()), &e))?;
+            stream
+                .set_read_timeout(Some(config.read_timeout))
+                .and_then(|()| stream.set_write_timeout(Some(config.read_timeout)))
+                .map_err(|e| ServeError::io("client timeout", &e))?;
+            Ok(Transport::Unix(stream))
+        }
+    }
+}
+
 impl Client {
-    /// Connects over TCP (`host:port`).
+    /// Connects over TCP (`host:port`) with default timeouts.
     ///
     /// # Errors
     ///
     /// [`ServeError::Io`] on connect failures.
     pub fn connect_tcp(addr: &str) -> Result<Client, ServeError> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| ServeError::io(&format!("connecting tcp {addr}"), &e))?;
-        stream
-            .set_read_timeout(Some(Duration::from_secs(120)))
-            .map_err(|e| ServeError::io("client timeout", &e))?;
-        Ok(Client { transport: Transport::Tcp(stream), next_id: 1 })
+        Client::connect_tcp_with(addr, ClientConfig::default())
     }
 
-    /// Connects over a Unix socket.
+    /// Connects over TCP (`host:port`) with explicit timeouts.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on connect failures.
+    pub fn connect_tcp_with(addr: &str, config: ClientConfig) -> Result<Client, ServeError> {
+        let endpoint = Endpoint::Tcp(addr.to_owned());
+        let transport = dial(&endpoint, &config)?;
+        Ok(Client { transport, endpoint, config, next_id: 1, next_seq: fresh_seq_base() })
+    }
+
+    /// Connects over a Unix socket with default timeouts.
     ///
     /// # Errors
     ///
     /// [`ServeError::Io`] on connect failures.
     pub fn connect_unix(path: &Path) -> Result<Client, ServeError> {
-        let stream = UnixStream::connect(path)
-            .map_err(|e| ServeError::io(&format!("connecting uds {}", path.display()), &e))?;
-        stream
-            .set_read_timeout(Some(Duration::from_secs(120)))
-            .map_err(|e| ServeError::io("client timeout", &e))?;
-        Ok(Client { transport: Transport::Unix(stream), next_id: 1 })
+        Client::connect_unix_with(path, ClientConfig::default())
+    }
+
+    /// Connects over a Unix socket with explicit timeouts.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on connect failures.
+    pub fn connect_unix_with(path: &Path, config: ClientConfig) -> Result<Client, ServeError> {
+        let endpoint = Endpoint::Unix(path.to_owned());
+        let transport = dial(&endpoint, &config)?;
+        Ok(Client { transport, endpoint, config, next_id: 1, next_seq: fresh_seq_base() })
+    }
+
+    /// Drops the (possibly broken) connection and dials the same
+    /// endpoint again. Correlation ids and push sequence numbers keep
+    /// counting — they identify requests, not connections.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on connect failures.
+    pub fn reconnect(&mut self) -> Result<(), ServeError> {
+        self.transport = dial(&self.endpoint, &self.config)?;
+        Ok(())
     }
 
     /// Sends one request and blocks for its answer, verifying that the
@@ -135,13 +296,74 @@ impl Client {
         self.request(&Request::Init { trace, config })
     }
 
-    /// Pushes a burst of events.
+    /// Pushes a burst of events, unsequenced and without retries: an
+    /// `Overloaded` answer comes straight back to the caller.
     ///
     /// # Errors
     ///
     /// As [`Client::request`].
     pub fn push(&mut self, events: Vec<TimedEvent>) -> Result<Response, ServeError> {
-        self.request(&Request::Push { events })
+        self.request(&Request::Push { events, seq: 0 })
+    }
+
+    /// Pushes a burst under the resilience layer: the burst gets a fresh
+    /// sequence number and is re-sent — after a [`RetryPolicy::backoff_ms`]
+    /// wait honoring the daemon's `retry_after_ms` hint — while the
+    /// daemon sheds it, and re-sent under the *same* sequence number
+    /// (reconnecting first) when the transport times out or drops, so a
+    /// lost acknowledgement is answered from the daemon's dedup record
+    /// instead of double-applying.
+    ///
+    /// Returns the final answer once the daemon accepts or rejects the
+    /// burst for a non-overload reason, or the last `Overloaded` when
+    /// the retry budget runs out.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], when a transport failure survives the
+    /// retry budget.
+    pub fn push_with_retry(
+        &mut self,
+        events: Vec<TimedEvent>,
+        policy: &RetryPolicy,
+    ) -> Result<Response, ServeError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let request = Request::Push { events, seq };
+        let mut attempt: u32 = 0;
+        loop {
+            match self.request(&request) {
+                Ok(Response::Overloaded {
+                    retry_after_ms,
+                    pending,
+                    max_pending,
+                    rejected,
+                    brownout,
+                }) if attempt < policy.max_retries => {
+                    let _ = (max_pending, rejected, brownout);
+                    std::thread::sleep(Duration::from_millis(
+                        policy.backoff_ms(attempt, retry_after_ms),
+                    ));
+                    // The daemon only applies its backlog when a batch
+                    // fills or someone asks — a backlog parked below the
+                    // batch size never drains on its own. Ask, so the
+                    // retry lands against a drained queue.
+                    if pending > 0 {
+                        let _ = self.request(&Request::Flush);
+                    }
+                    attempt += 1;
+                }
+                Ok(response) => return Ok(response),
+                Err(ServeError::Io { .. }) if attempt < policy.max_retries => {
+                    std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt, 0)));
+                    // The daemon may have processed the lost exchange;
+                    // the unchanged `seq` makes the re-send idempotent.
+                    self.reconnect()?;
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Forces a coalesced apply of everything pending.
@@ -225,5 +447,31 @@ impl Client {
                 reason: "server closed the connection mid-request".to_owned(),
             }),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_grows_and_honors_the_hint() {
+        let policy = RetryPolicy::default();
+        let a = policy.backoff_ms(0, 0);
+        let b = policy.backoff_ms(0, 0);
+        assert_eq!(a, b, "same (seed, attempt, hint) -> same wait");
+        assert!((5..=10).contains(&a), "attempt 0 jitters within [base/2, base]: {a}");
+        let late = policy.backoff_ms(6, 0);
+        assert!((320..=640).contains(&late), "attempt 6 jitters within [320, 640]: {late}");
+        assert_eq!(policy.backoff_ms(0, 1_000), 1_000, "the daemon hint is a floor");
+        assert!(policy.backoff_ms(30, 0) <= policy.max_backoff_ms, "exponential step is capped");
+    }
+
+    #[test]
+    fn different_seeds_desynchronize() {
+        let a = RetryPolicy { seed: 1, ..RetryPolicy::default() };
+        let b = RetryPolicy { seed: 2, ..RetryPolicy::default() };
+        let distinct = (0..16).any(|n| a.backoff_ms(n, 0) != b.backoff_ms(n, 0));
+        assert!(distinct, "two seeds should not produce identical backoff sequences");
     }
 }

@@ -2,6 +2,8 @@
 
 use std::path::PathBuf;
 
+use crate::surge::SurgeConfig;
+
 /// How the daemon batches, sheds, budgets and persists. Every knob has a
 /// deterministic effect — none of them trades correctness, only latency
 /// against throughput.
@@ -32,6 +34,9 @@ pub struct ServeConfig {
     pub journal: Option<PathBuf>,
     /// Deterministic JSONL event stream path (`None` = no stream).
     pub obs_out: Option<PathBuf>,
+    /// Brownout ladder tuning (watermarks, hysteresis, master switch);
+    /// see [`crate::SurgeController`].
+    pub surge: SurgeConfig,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +53,7 @@ impl Default for ServeConfig {
             algorithm: "q-learning".to_owned(),
             journal: None,
             obs_out: None,
+            surge: SurgeConfig::default(),
         }
     }
 }

@@ -19,9 +19,17 @@
 //!   [`tacc_guard::Budget`] and the full fallback ladder (anytime
 //!   primary → greedy → last-known-good), so a query is answered
 //!   feasibly within the budget or degrades explicitly — it never hangs.
-//! - **Admission control**: a `Push` that would grow the pending backlog
-//!   past [`ServeConfig::max_pending`] is shed with a typed
-//!   `Overloaded` response instead of being queued unboundedly.
+//! - **Admission control & brownout** ([`SurgeController`]): a `Push`
+//!   that would grow the pending backlog past
+//!   [`ServeConfig::max_pending`] is shed with a typed `Overloaded`
+//!   response carrying a deterministic `retry_after_ms` hint instead of
+//!   being queued unboundedly; sustained pressure walks a hysteretic
+//!   brownout ladder (shrunken solve budgets → ALT-bound solves →
+//!   low-tier shedding) that recovers once the backlog drains.
+//! - **Client resilience** ([`RetryPolicy`]): the bundled [`Client`]
+//!   honors `retry_after_ms` with seeded, jittered exponential backoff
+//!   and idempotent re-sends keyed on a push sequence number, so a shed
+//!   burst is delivered exactly once even across retries.
 //! - **Durability** ([`tacc_chaos::Journal`]): every accepted event is
 //!   write-ahead journaled (one fsync per burst) before it is
 //!   acknowledged, with periodic snapshots; a SIGKILLed daemon
@@ -46,10 +54,12 @@ mod error;
 mod server;
 mod session;
 mod signal;
+mod surge;
 
-pub use client::Client;
+pub use client::{Client, ClientConfig, RetryPolicy};
 pub use config::ServeConfig;
 pub use error::ServeError;
 pub use server::{Listener, Server};
 pub use session::{Session, SessionStats};
 pub use signal::{install_termination_handler, termination_requested};
+pub use surge::{SurgeConfig, SurgeController};

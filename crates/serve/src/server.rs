@@ -278,7 +278,7 @@ impl Server {
                     );
                 };
                 let result = match other {
-                    Request::Push { events } => session.push(events),
+                    Request::Push { events, seq } => session.push(events, seq),
                     Request::Flush => session
                         .flush()
                         .map(|(applied, cursor)| Response::Flushed { applied, cursor }),

@@ -8,9 +8,16 @@ use tacc_guard::{Budget, Supervisor, SupervisorConfig};
 use tacc_obs::StreamWriter;
 use tacc_proto::{ErrorCode, QueryState, Response};
 use tacc_runtime::{DeviceState, Runtime, RuntimeConfig};
+use tacc_topology::{AltOracle, DelayOracle};
 use tacc_workload::{TimedEvent, Trace, TraceEvent};
 
+use crate::surge::SurgeController;
 use crate::{ServeConfig, ServeError};
+
+/// Landmarks for the brownout ALT oracle: enough for useful bounds,
+/// cheap enough (`ALT_LANDMARKS + 1` core SSSP sweeps) that building it
+/// under pressure is still far below one exact-matrix refresh.
+const ALT_LANDMARKS: usize = 4;
 
 /// A live control-plane session: the growing trace of wire-accepted
 /// events, the runtime applying them, and the durability/observability
@@ -35,6 +42,15 @@ pub struct Session {
     pushes: u64,
     /// Cached Solve sub-instance; see [`SubCache`].
     sub_cache: Option<SubCache>,
+    /// The brownout ladder; fed one observation per admission decision.
+    surge: SurgeController,
+    /// Sequence number of the most recently *accepted* sequenced push
+    /// (`0` = none yet). A re-send of exactly this number is answered
+    /// from [`Session::last_ack`] without touching state — the
+    /// idempotency contract retrying clients rely on.
+    last_seq: u64,
+    /// The acknowledgement recorded for [`Session::last_seq`].
+    last_ack: Option<Response>,
 }
 
 /// The (active devices × alive servers) sub-instance a `Solve` query
@@ -44,10 +60,14 @@ pub struct Session {
 /// unchanged cursor means an unchanged sub-instance — repeated Solve
 /// queries between events stop re-materializing the delay sub-matrix.
 /// Reuse and rebuild are counted on the `fast.oracle_hits` /
-/// `fast.oracle_refines` obs counters.
+/// `fast.oracle_refines` obs counters. The `alt` flag is part of the
+/// key: exact and ALT-bound sub-instances differ, so a brownout
+/// transition between two solves forces a rebuild.
 #[derive(Debug)]
 struct SubCache {
     cursor: u64,
+    /// Whether the rows hold ALT bounds (brownout L2+) or exact delays.
+    alt: bool,
     /// Active device indices, in instance order (sub-instance rows).
     active: Vec<usize>,
     /// Alive server indices, in instance order (sub-instance columns).
@@ -133,6 +153,9 @@ impl Session {
             solves: 0,
             pushes: 0,
             sub_cache: None,
+            surge: SurgeController::new(cfg.surge.clone()),
+            last_seq: 0,
+            last_ack: None,
         })
     }
 
@@ -227,6 +250,9 @@ impl Session {
             solves: 0,
             pushes: 0,
             sub_cache: None,
+            surge: SurgeController::new(cfg.surge.clone()),
+            last_seq: 0,
+            last_ack: None,
         })
     }
 
@@ -240,6 +266,17 @@ impl Session {
         self.runtime.cursor()
     }
 
+    /// The current brownout-ladder label (`normal`, `l1-budget`,
+    /// `l2-alt-oracle`, `l3-tier-shed`).
+    pub fn brownout(&self) -> &'static str {
+        self.surge.label()
+    }
+
+    /// The current brownout-ladder level (0–3).
+    pub fn brownout_level(&self) -> u8 {
+        self.surge.level()
+    }
+
     /// The underlying runtime (read-only; tests and the server's
     /// `Initialized` response).
     pub fn runtime(&self) -> &Runtime {
@@ -249,25 +286,64 @@ impl Session {
     /// Accepts a burst: validates it whole, journals it durably (one
     /// fsync), queues it, and — once the backlog reaches
     /// [`ServeConfig::batch_size`] — applies everything in one coalesced
-    /// pass. A burst that would overflow [`ServeConfig::max_pending`] is
-    /// rejected atomically with `Overloaded`; an invalid burst with
-    /// `BadRequest`. Neither touches session state.
+    /// pass. A burst that would overflow the (brownout-adjusted)
+    /// admission cap is rejected atomically with `Overloaded` carrying a
+    /// deterministic retry hint; an invalid burst with `BadRequest`.
+    /// Neither touches session state.
+    ///
+    /// A nonzero `seq` makes the push idempotent: a re-send of the most
+    /// recently accepted sequence number is answered with the recorded
+    /// acknowledgement — no re-journal, no duplicate events — so a
+    /// client that lost the ack to a timeout can retry blindly.
+    /// Rejections are never recorded, so a shed sequence number retries
+    /// into real admission. `seq == 0` means unsequenced (v1 behavior).
+    ///
+    /// Every admission decision feeds the [`SurgeController`]; under
+    /// deep brownout (L2+) a burst carrying no top-tier device faces a
+    /// tightened cap — lowest tiers shed first, as deferral, never loss.
     ///
     /// # Errors
     ///
     /// [`ServeError::State`] only for journal or runtime failures —
     /// protocol-level rejections come back as `Ok(Response::...)`.
-    pub fn push(&mut self, events: Vec<TimedEvent>) -> Result<Response, ServeError> {
+    pub fn push(&mut self, events: Vec<TimedEvent>, seq: u64) -> Result<Response, ServeError> {
+        if seq != 0 && seq == self.last_seq {
+            if let Some(ack) = &self.last_ack {
+                tacc_obs::counter_add("serve.backpressure.dup_pushes", 1);
+                return Ok(ack.clone());
+            }
+        }
         if let Err(reason) = self.validate_burst(&events) {
             return Ok(Response::Error { code: ErrorCode::BadRequest, message: reason });
         }
         let pending = self.pending();
-        if pending + events.len() > self.cfg.max_pending {
+        let low_tier = self.burst_is_low_tier(&events);
+        let cap = self.surge.effective_cap(self.cfg.max_pending, low_tier);
+        if pending + events.len() > cap {
             tacc_obs::counter_add("serve.overloaded", 1);
+            tacc_obs::counter_add("serve.backpressure.rejects", 1);
+            if cap < self.cfg.max_pending {
+                tacc_obs::counter_add("serve.backpressure.tier_shed", 1);
+            }
+            self.surge.observe(pending, self.cfg.max_pending, true);
+            let retry_after_ms = self.surge.retry_after_ms(pending, self.cfg.batch_size);
+            let brownout = self.surge.label().to_owned();
+            self.record_stream(
+                "overload",
+                vec![
+                    ("pending".to_owned(), Value::UInt(pending as u64)),
+                    ("cap".to_owned(), Value::UInt(cap as u64)),
+                    ("rejected".to_owned(), Value::UInt(events.len() as u64)),
+                    ("retry_after_ms".to_owned(), Value::UInt(retry_after_ms)),
+                    ("brownout".to_owned(), Value::Str(brownout.clone())),
+                ],
+            )?;
             return Ok(Response::Overloaded {
                 pending,
-                max_pending: self.cfg.max_pending,
+                max_pending: cap,
                 rejected: events.len(),
+                retry_after_ms,
+                brownout,
             });
         }
 
@@ -292,6 +368,7 @@ impl Session {
         tacc_obs::counter_add("serve.events_accepted", queued as u64);
         let push_index = self.pushes;
         let pending_now = self.pending();
+        self.surge.observe(pending_now, self.cfg.max_pending, false);
         self.record_stream(
             "push",
             vec![
@@ -304,7 +381,31 @@ impl Session {
         if self.pending() >= self.cfg.batch_size {
             self.flush()?;
         }
-        Ok(Response::Accepted { queued, pending: self.pending() })
+        let response = Response::Accepted { queued, pending: self.pending() };
+        if seq != 0 {
+            self.last_seq = seq;
+            self.last_ack = Some(response.clone());
+        }
+        Ok(response)
+    }
+
+    /// Whether a burst carries *no* top-tier device event — the bursts
+    /// deep brownout sheds first. With no configured priorities (an
+    /// untiered session) nothing is ever low tier, and non-device events
+    /// (server failures, link drift) always count as top tier: shedding
+    /// can only ever defer explicitly low-priority device traffic.
+    fn burst_is_low_tier(&self, events: &[TimedEvent]) -> bool {
+        let priorities = &self.runtime.config().priorities;
+        if priorities.is_empty() || events.is_empty() {
+            return false;
+        }
+        let top = priorities.iter().copied().fold(f64::MIN, f64::max);
+        events.iter().all(|timed| match timed.event {
+            TraceEvent::DeviceJoin { device } | TraceEvent::DeviceLeave { device } => {
+                priorities.get(device).copied().unwrap_or(top) < top
+            }
+            _ => false,
+        })
     }
 
     /// Applies every pending event in one coalesced pass and journals
@@ -385,15 +486,27 @@ impl Session {
     /// budget, and the ladder guarantees a feasible assignment or a
     /// typed error — never a hang.
     ///
+    /// Under brownout the answer degrades further, explicitly: the
+    /// budget shrinks (÷4 at L1, ÷16 at L2+) and at L2+ the sub-instance
+    /// is built from [`AltOracle`] delay *bounds* instead of exact
+    /// maintained delays — a cheaper, admissible approximation. Solve
+    /// never mutates session state, so a degraded answer cannot perturb
+    /// the event timeline or the final snapshot.
+    ///
     /// # Errors
     ///
     /// [`ServeError::State`] on flush failures.
     pub fn solve(&mut self, budget_units: u64) -> Result<Response, ServeError> {
         self.flush()?;
-        let units = if budget_units == 0 { self.cfg.query_budget } else { budget_units };
+        let requested = if budget_units == 0 { self.cfg.query_budget } else { budget_units };
+        let units = self.surge.solve_budget(requested);
+        let alt = self.surge.use_alt_oracle();
+        if alt {
+            tacc_obs::counter_add("surge.alt_solves", 1);
+        }
 
         let cursor = self.runtime.cursor();
-        let cached = self.sub_cache.as_ref().is_some_and(|c| c.cursor == cursor);
+        let cached = self.sub_cache.as_ref().is_some_and(|c| c.cursor == cursor && c.alt == alt);
         if cached {
             tacc_obs::counter_add("fast.oracle_hits", 1);
         } else {
@@ -412,10 +525,22 @@ impl Session {
                     message: "nothing to solve: no active devices or no alive servers".to_owned(),
                 });
             }
-            let rows: Vec<Vec<f64>> = active
-                .iter()
-                .map(|&d| alive.iter().map(|&j| instance.delay(d, j)).collect())
-                .collect();
+            let rows: Vec<Vec<f64>> = if alt {
+                let oracle = AltOracle::new(
+                    self.runtime.topology(),
+                    self.runtime.maintainer().model(),
+                    ALT_LANDMARKS,
+                );
+                active
+                    .iter()
+                    .map(|&d| alive.iter().map(|&j| oracle.delay_bound(d, j)).collect())
+                    .collect()
+            } else {
+                active
+                    .iter()
+                    .map(|&d| alive.iter().map(|&j| instance.delay(d, j)).collect())
+                    .collect()
+            };
             let demands: Vec<f64> = active
                 .iter()
                 .flat_map(|&d| alive.iter().map(move |&j| instance.demand(d, j)))
@@ -426,7 +551,7 @@ impl Session {
                 .capacities(capacities)
                 .build()
                 .map_err(|e| ServeError::state(format!("sub-instance: {e}")))?;
-            self.sub_cache = Some(SubCache { cursor, active, alive, sub });
+            self.sub_cache = Some(SubCache { cursor, alt, active, alive, sub });
         }
         let cache = self.sub_cache.as_ref().expect("cache populated above");
         let (active, alive, sub) = (&cache.active, &cache.alive, &cache.sub);
@@ -468,6 +593,7 @@ impl Session {
                 ("degradation".to_owned(), Value::Str(guard.degradation.label().to_owned())),
                 ("objective".to_owned(), Value::Float(guard.objective)),
                 ("feasible".to_owned(), Value::Bool(guard.feasible)),
+                ("brownout".to_owned(), Value::Str(self.surge.label().to_owned())),
             ],
         )?;
         Ok(Response::Solution {
@@ -643,7 +769,7 @@ mod tests {
     #[test]
     fn solve_reuses_the_sub_instance_while_the_cursor_is_unchanged() {
         let (mut session, events) = session_with_trace(60);
-        session.push(events[..30].to_vec()).unwrap();
+        session.push(events[..30].to_vec(), 0).unwrap();
         session.flush().unwrap();
 
         assert!(session.sub_cache.is_none());
@@ -659,7 +785,7 @@ mod tests {
         assert_eq!(ptr_before, std::ptr::from_ref(&cache.sub), "cache entry survives");
 
         // New events move the cursor: the next solve rebuilds.
-        session.push(events[30..].to_vec()).unwrap();
+        session.push(events[30..].to_vec(), 0).unwrap();
         session.flush().unwrap();
         session.solve(200).unwrap();
         let cache = session.sub_cache.as_ref().unwrap();

@@ -141,6 +141,56 @@ fn garbage_bytes_never_kill_the_daemon() {
 }
 
 #[test]
+fn overload_answers_carry_the_decision_inputs_on_both_wire_versions() {
+    use tacc_runtime::RuntimeConfig;
+    use tacc_workload::{Trace, TraceGenerator, TraceScenario};
+
+    // A parking config: the backlog fills to the cap and stays there, so
+    // raw frames sent afterwards are guaranteed to shed.
+    let cfg = ServeConfig { batch_size: 1000, max_pending: 8, ..ServeConfig::default() };
+    let mut server = Server::bind(Some("127.0.0.1:0"), None, cfg).unwrap();
+    let addr = server.endpoints()[0].strip_prefix("tcp:").unwrap().to_owned();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    let scenario = TraceScenario { num_iot: 20, num_servers: 4, ..TraceScenario::default() };
+    let trace = TraceGenerator::new(scenario).num_events(80).generate(5).unwrap();
+    let shell = Trace { events: Vec::new(), ..trace.clone() };
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    client.init(shell, RuntimeConfig::default()).unwrap();
+    let response = client.push(trace.events[..8].to_vec()).unwrap();
+    assert!(matches!(response, Response::Accepted { pending: 8, .. }), "got {response:?}");
+
+    // One drift event, hand-serialized: a v1 frame (no seq field — the
+    // upgrade shim must default it) and a v2 frame. Both must be
+    // answered with the full five-field Overloaded — backlog, effective
+    // cap, rejected count, retry hint, brownout label.
+    let event = r#"{"time_ms":1e9,"event":{"LinkLatencyDrift":{"link":0,"latency_ms":1.5}}}"#;
+    for frame in [
+        format!(r#"{{"v":1,"id":7,"request":{{"Push":{{"events":[{event},{event}]}}}}}}"#),
+        format!(r#"{{"v":2,"id":8,"request":{{"Push":{{"events":[{event},{event}],"seq":0}}}}}}"#),
+    ] {
+        let response = client.send_raw(frame.as_bytes()).unwrap();
+        let Response::Overloaded { pending, max_pending, rejected, retry_after_ms, brownout } =
+            response
+        else {
+            panic!("{frame}: expected Overloaded, got {response:?}");
+        };
+        assert_eq!((pending, max_pending, rejected), (8, 8, 2), "{frame}");
+        assert!(retry_after_ms > 0, "{frame}: a shed burst carries a retry hint");
+        assert!(!brownout.is_empty(), "{frame}: a shed burst reports the brownout level");
+    }
+
+    // The connection survived the sheds, and the shed events left no
+    // trace: Stats drains the backlog, so exactly the 8 admitted events
+    // are applied — none of the rejected ones.
+    let Response::Stats { cursor, pending, .. } = client.stats().unwrap() else {
+        panic!("stats must answer Stats");
+    };
+    assert_eq!((cursor, pending), (8, 0), "rejected frames left no trace");
+    shutdown(client, handle);
+}
+
+#[test]
 fn an_attack_mid_session_leaves_the_session_intact() {
     use tacc_runtime::RuntimeConfig;
     use tacc_workload::{Trace, TraceGenerator, TraceScenario};

@@ -31,7 +31,7 @@ fn two_same_seed_sessions_emit_byte_identical_obs_streams() {
         tacc_obs::set_enabled(true);
         let mut session = Session::start(shell.clone(), config.clone(), &cfg).unwrap();
         for burst in trace.events.chunks(50) {
-            session.push(burst.to_vec()).unwrap();
+            session.push(burst.to_vec(), 0).unwrap();
         }
         session.flush().unwrap();
         session.solve(300).unwrap();

@@ -1,0 +1,236 @@
+//! Overload robustness, end to end: concurrent clients past the
+//! admission cap always get a typed answer (never a dropped
+//! connection), a retrying client converges on exactly the state an
+//! unthrottled session reaches, sequenced re-sends deduplicate, and
+//! deep brownout sheds the lowest tier first.
+
+use std::thread;
+use std::thread::JoinHandle;
+
+use tacc_proto::Response;
+use tacc_runtime::{ReassignPolicy, RuntimeConfig};
+use tacc_serve::{Client, RetryPolicy, ServeConfig, Server, Session};
+use tacc_workload::{SurgeGenerator, TimedEvent, Trace, TraceEvent, TraceScenario};
+
+fn scenario() -> TraceScenario {
+    TraceScenario { num_iot: 24, num_servers: 4, load_factor: 0.6, ..TraceScenario::default() }
+}
+
+fn shell(scenario: &TraceScenario) -> Trace {
+    Trace { version: Trace::FORMAT_VERSION, scenario: scenario.clone(), events: Vec::new() }
+}
+
+fn runtime_config() -> RuntimeConfig {
+    RuntimeConfig { policy: ReassignPolicy::Greedy, seed: 7, ..RuntimeConfig::default() }
+}
+
+fn boot(cfg: ServeConfig) -> (String, JoinHandle<()>) {
+    let mut server = Server::bind(Some("127.0.0.1:0"), None, cfg).unwrap();
+    let addr = server.endpoints()[0].strip_prefix("tcp:").unwrap().to_owned();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle)
+}
+
+/// A burst of link-latency drifts at t=0: valid from any session state
+/// and in any interleaving (time never goes backwards from 0), which is
+/// what lets concurrent writers hammer one session legally.
+fn drift_burst(len: usize, salt: usize) -> Vec<TimedEvent> {
+    (0..len)
+        .map(|i| TimedEvent {
+            time_ms: 0.0,
+            event: TraceEvent::LinkLatencyDrift {
+                link: 0,
+                latency_ms: 1.0 + (salt * len + i) as f64 * 0.01,
+            },
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_past_the_cap_never_lose_a_connection_or_an_event() {
+    // A parking config: nothing auto-applies (batch far above the cap),
+    // so the backlog genuinely fills and rejections are guaranteed once
+    // more than `max_pending` events are in flight.
+    let cfg = ServeConfig { batch_size: 1000, max_pending: 30, ..ServeConfig::default() };
+    let (addr, handle) = boot(cfg);
+    {
+        let mut client = Client::connect_tcp(&addr).unwrap();
+        let response = client.init(shell(&scenario()), runtime_config()).unwrap();
+        assert!(matches!(response, Response::Initialized { .. }), "got {response:?}");
+    } // dropped: the sequential daemon moves on to the writer connections
+
+    const THREADS: usize = 6;
+    const BURSTS: usize = 4;
+    const BURST_LEN: usize = 6;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let policy = RetryPolicy {
+                    max_retries: 100,
+                    base_backoff_ms: 2,
+                    max_backoff_ms: 40,
+                    seed: t as u64,
+                };
+                for b in 0..BURSTS {
+                    // One connection per burst: the daemon serves each
+                    // connection to completion, so fresh connections are
+                    // what actually interleaves the writers.
+                    let mut client = Client::connect_tcp(&addr).expect("connect never refused");
+                    let response = client
+                        .push_with_retry(drift_burst(BURST_LEN, t * BURSTS + b), &policy)
+                        .expect("connection never dropped mid-request");
+                    assert!(
+                        matches!(response, Response::Accepted { .. }),
+                        "thread {t} burst {b}: {response:?}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("no worker panicked");
+    }
+
+    // Every event landed exactly once: no loss to shedding, no
+    // duplication from retries.
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    client.flush().unwrap();
+    let Response::Stats { cursor, pending, .. } = client.stats().unwrap() else {
+        panic!("stats must answer Stats");
+    };
+    assert_eq!(cursor as usize, THREADS * BURSTS * BURST_LEN);
+    assert_eq!(pending, 0);
+    let Response::Bye = client.shutdown().unwrap() else { panic!("shutdown answers Bye") };
+    handle.join().unwrap();
+}
+
+#[test]
+fn a_retrying_client_converges_to_the_unthrottled_reference() {
+    // A flash-crowd surge trace, driven twice: once into an unthrottled
+    // in-process reference, once over the wire into a daemon whose cap
+    // rejects every other burst. The retry+drain client must end on the
+    // byte-identical snapshot.
+    let scenario =
+        TraceScenario { num_iot: 30, num_servers: 5, load_factor: 0.6, ..TraceScenario::default() };
+    let trace = SurgeGenerator::new(scenario.clone())
+        .horizon_ms(10_000.0)
+        .tick_ms(250.0)
+        .flash_crowds(2)
+        .mobility_rate(0.1)
+        .generate(13)
+        .unwrap();
+    assert!(trace.events.len() >= 100, "surge produced {} events", trace.events.len());
+
+    let expected = {
+        let mut reference =
+            Session::start(shell(&scenario), runtime_config(), &ServeConfig::default()).unwrap();
+        reference.push(trace.events.clone(), 0).unwrap();
+        reference.flush().unwrap();
+        reference.snapshot_json().unwrap()
+    };
+
+    let cfg = ServeConfig { batch_size: 1000, max_pending: 40, ..ServeConfig::default() };
+    let (addr, handle) = boot(cfg);
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    client.init(shell(&scenario), runtime_config()).unwrap();
+    let policy = RetryPolicy { max_retries: 30, base_backoff_ms: 1, max_backoff_ms: 20, seed: 99 };
+    for burst in trace.events.chunks(25) {
+        let response = client.push_with_retry(burst.to_vec(), &policy).unwrap();
+        assert!(matches!(response, Response::Accepted { .. }), "got {response:?}");
+    }
+    client.flush().unwrap();
+    let Response::Snapshot { snapshot_json } = client.snapshot().unwrap() else {
+        panic!("snapshot must answer Snapshot");
+    };
+    assert_eq!(snapshot_json, expected, "throttled + retried == unthrottled");
+    let Response::Bye = client.shutdown().unwrap() else { panic!("shutdown answers Bye") };
+    handle.join().unwrap();
+}
+
+#[test]
+fn a_resent_sequence_number_is_answered_from_the_dedup_record() {
+    let mut session =
+        Session::start(shell(&scenario()), runtime_config(), &ServeConfig::default()).unwrap();
+
+    let burst = drift_burst(5, 0);
+    let first = session.push(burst.clone(), 41).unwrap();
+    assert!(matches!(first, Response::Accepted { .. }));
+    let cursor = session.cursor();
+    let pending = session.pending();
+
+    // The re-send (an ack lost to a timeout): same recorded answer, no
+    // second application, no new events.
+    let replay = session.push(burst.clone(), 41).unwrap();
+    assert_eq!(replay, first, "the recorded ack is returned verbatim");
+    assert_eq!((session.cursor(), session.pending()), (cursor, pending), "state untouched");
+
+    // A new sequence number is new work.
+    let next = session.push(drift_burst(3, 1), 42).unwrap();
+    assert!(matches!(next, Response::Accepted { .. }));
+    assert_eq!(session.pending(), pending + 3);
+
+    // Rejections are never recorded: the same seq retries into real
+    // admission once the backlog drains.
+    let tight = ServeConfig { batch_size: 1000, max_pending: 4, ..ServeConfig::default() };
+    let mut tight_session = Session::start(shell(&scenario()), runtime_config(), &tight).unwrap();
+    tight_session.push(drift_burst(3, 2), 7).unwrap();
+    let shed = tight_session.push(drift_burst(3, 3), 8).unwrap();
+    assert!(matches!(shed, Response::Overloaded { .. }), "got {shed:?}");
+    tight_session.flush().unwrap();
+    let retried = tight_session.push(drift_burst(3, 3), 8).unwrap();
+    assert!(matches!(retried, Response::Accepted { .. }), "got {retried:?}");
+}
+
+#[test]
+fn deep_brownout_sheds_the_lowest_tier_first_and_only_as_deferral() {
+    let scenario = scenario();
+    let mut priorities = vec![1.0; scenario.num_iot];
+    priorities[0] = 2.0; // the one top-tier device
+    let config = RuntimeConfig { priorities, ..runtime_config() };
+    let cfg = ServeConfig { batch_size: 1000, max_pending: 10, ..ServeConfig::default() };
+    let mut session = Session::start(shell(&scenario), config, &cfg).unwrap();
+
+    // Three rejections walk the ladder to L3 (one level per pressured
+    // observation). Drift bursts are tier-neutral (top), so only the
+    // plain cap applies — 11 > 10 sheds every time.
+    for _ in 0..3 {
+        let response = session.push(drift_burst(11, 0), 0).unwrap();
+        assert!(matches!(response, Response::Overloaded { .. }), "got {response:?}");
+    }
+
+    // At L3 a burst with no top-tier device faces the halved cap.
+    let low_tier: Vec<TimedEvent> = (2..8)
+        .map(|device| TimedEvent { time_ms: 0.0, event: TraceEvent::DeviceLeave { device } })
+        .collect();
+    let Response::Overloaded { pending, max_pending, rejected, retry_after_ms, brownout } =
+        session.push(low_tier.clone(), 0).unwrap()
+    else {
+        panic!("six low-tier events past the halved cap of five must shed");
+    };
+    assert_eq!((pending, max_pending, rejected), (0, 5, 6), "the tightened cap is reported");
+    assert!(retry_after_ms > 0);
+    assert_eq!(brownout, "l3-tier-shed");
+
+    // The same-sized burst carrying the top-tier device gets the full
+    // cap and is admitted — lowest tiers shed first.
+    let top_tier: Vec<TimedEvent> = [0usize, 9, 10, 11, 12, 13]
+        .iter()
+        .map(|&device| TimedEvent { time_ms: 0.0, event: TraceEvent::DeviceLeave { device } })
+        .collect();
+    let response = session.push(top_tier, 0).unwrap();
+    assert!(matches!(response, Response::Accepted { .. }), "got {response:?}");
+
+    // Shedding was deferral, not loss — but recovery is hysteretic, so
+    // draining alone does not reopen the tier. Three calm observations
+    // (default `recover_after`) step the ladder down to L2, where the
+    // low-tier cap relaxes to 3/4 and the deferred burst is admitted.
+    session.flush().unwrap();
+    for salt in 100..103 {
+        let response = session.push(drift_burst(1, salt), 0).unwrap();
+        assert!(matches!(response, Response::Accepted { .. }), "got {response:?}");
+        session.flush().unwrap();
+    }
+    let response = session.push(low_tier, 0).unwrap();
+    assert!(matches!(response, Response::Accepted { .. }), "got {response:?}");
+}

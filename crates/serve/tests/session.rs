@@ -128,7 +128,7 @@ fn coalesced_state_matches_an_unbatched_replay_exactly() {
         )
         .unwrap();
         for burst in trace.events.chunks(burst_len) {
-            let response = session.push(burst.to_vec()).unwrap();
+            let response = session.push(burst.to_vec(), 0).unwrap();
             assert!(matches!(response, Response::Accepted { .. }), "got {response:?}");
         }
         session.flush().unwrap();
@@ -145,21 +145,26 @@ fn overload_is_shed_with_a_typed_response_and_no_state_change() {
     let mut session = Session::start(shell(&trace), runtime_config(), &cfg).unwrap();
 
     // Fill the backlog to the cap...
-    let response = session.push(trace.events[..50].to_vec()).unwrap();
+    let response = session.push(trace.events[..50].to_vec(), 0).unwrap();
     assert!(matches!(response, Response::Accepted { .. }));
     assert_eq!(session.pending(), 50);
 
-    // ...then one more event must shed, atomically.
-    let response = session.push(trace.events[50..60].to_vec()).unwrap();
-    let Response::Overloaded { pending, max_pending, rejected } = response else {
+    // ...then one more event must shed, atomically, with the decision
+    // inputs (backlog, cap) and the retry hint in the response.
+    let response = session.push(trace.events[50..60].to_vec(), 0).unwrap();
+    let Response::Overloaded { pending, max_pending, rejected, retry_after_ms, brownout } =
+        response
+    else {
         panic!("expected Overloaded, got {response:?}");
     };
     assert_eq!((pending, max_pending, rejected), (50, 50, 10));
+    assert!(retry_after_ms > 0, "a shed burst carries a retry hint");
+    assert!(!brownout.is_empty(), "a shed burst reports the brownout level");
     assert_eq!(session.pending(), 50, "the rejected burst left no trace");
 
     // Draining re-admits.
     session.flush().unwrap();
-    let response = session.push(trace.events[50..60].to_vec()).unwrap();
+    let response = session.push(trace.events[50..60].to_vec(), 0).unwrap();
     assert!(matches!(response, Response::Accepted { .. }));
 }
 
@@ -222,7 +227,7 @@ fn a_dropped_session_recovers_byte_identically_from_its_journal() {
     // Reference: an uninterrupted session over the same events.
     let mut reference =
         Session::start(shell(&trace), runtime_config(), &ServeConfig::default()).unwrap();
-    reference.push(trace.events.clone()).unwrap();
+    reference.push(trace.events.clone(), 0).unwrap();
     reference.flush().unwrap();
     let expected = reference.snapshot_json().unwrap();
 
@@ -232,7 +237,7 @@ fn a_dropped_session_recovers_byte_identically_from_its_journal() {
     {
         let mut session = Session::start(shell(&trace), runtime_config(), &cfg).unwrap();
         for burst in trace.events.chunks(17) {
-            let response = session.push(burst.to_vec()).unwrap();
+            let response = session.push(burst.to_vec(), 0).unwrap();
             assert!(matches!(response, Response::Accepted { .. }), "got {response:?}");
         }
         // Deliberately NOT flushed and NOT closed: pending events must
@@ -254,7 +259,7 @@ fn a_dropped_session_recovers_byte_identically_from_its_journal() {
             t
         })
         .collect();
-    let response = recovered.push(continuation).unwrap();
+    let response = recovered.push(continuation, 0).unwrap();
     assert!(matches!(response, Response::Accepted { .. }), "got {response:?}");
     recovered.flush().unwrap();
     recovered.close().unwrap();

@@ -33,11 +33,13 @@
 mod demand;
 mod error;
 mod scenario;
+mod surge;
 mod sweep;
 mod trace;
 
 pub use demand::DemandModel;
 pub use error::WorkloadError;
 pub use scenario::{Scenario, ScenarioBuilder, TopologyFamily};
+pub use surge::{compose_traces, tier_priorities, SurgeGenerator};
 pub use sweep::seeds;
 pub use trace::{TimedEvent, Trace, TraceEvent, TraceGenerator, TraceScenario};

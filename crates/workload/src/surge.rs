@@ -1,0 +1,518 @@
+//! Heavy-traffic workload generation: mobility, diurnal load and flash
+//! crowds.
+//!
+//! The polite [`crate::TraceGenerator`] samples independent churn; real
+//! traffic has *structure*. [`SurgeGenerator`] produces that structure —
+//! still emitted as ordinary format-v1 [`Trace`]s so the runtime, chaos
+//! journals and the serve daemon consume them unchanged:
+//!
+//! - **Load curves.** A deterministic intensity curve (diurnal sinusoid
+//!   plus Gaussian flash-crowd spikes) sets a target active-population
+//!   fraction per tick; the generator emits the `DeviceJoin`/
+//!   `DeviceLeave` waves that track it. A flash crowd is therefore a
+//!   *burst* of equal-timestamp joins — exactly the thundering herd an
+//!   admission controller must survive.
+//! - **Mobility.** Devices are topology leaves behind one radio access
+//!   link; a handover re-draws that link's latency (the device attached
+//!   at a different distance), emitted as `LinkLatencyDrift`. The
+//!   incremental delay maintainer then rewrites the device's whole delay
+//!   column — the same effect as re-attaching to a different gateway.
+//! - **Priority tiers.** [`tier_priorities`] derives a deterministic
+//!   per-device priority vector (bronze → gold) from a seed, ready for
+//!   the runtime's `RuntimeConfig::priorities` — the runtime and the
+//!   serve brownout ladder shed bronze first.
+//!
+//! Chaos composes on top: [`compose_traces`] merges a surge trace with a
+//! fault schedule over the same scenario into one consistent timeline.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{TimedEvent, Trace, TraceEvent, TraceScenario, WorkloadError};
+
+/// Seeded generator of surge [`Trace`]s (mobility + diurnal load + flash
+/// crowds).
+///
+/// The output is a pure function of the parameters and the `seed` passed
+/// to [`SurgeGenerator::generate`].
+///
+/// # Example
+///
+/// ```
+/// use tacc_workload::{SurgeGenerator, TraceScenario};
+///
+/// # fn main() -> Result<(), tacc_workload::WorkloadError> {
+/// let trace = SurgeGenerator::new(TraceScenario::default())
+///     .horizon_ms(10_000.0)
+///     .flash_crowds(1)
+///     .generate(7)?;
+/// trace.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SurgeGenerator {
+    scenario: TraceScenario,
+    horizon_ms: f64,
+    tick_ms: f64,
+    base_rate: f64,
+    diurnal_amplitude: f64,
+    diurnal_period_ms: f64,
+    flash_crowds: usize,
+    flash_magnitude: f64,
+    flash_width_ms: f64,
+    mobility_rate: f64,
+    mobility_factor: (f64, f64),
+}
+
+impl SurgeGenerator {
+    /// Starts a generator with defaults: a 60 s horizon sampled every
+    /// 500 ms, base load 0.5 of the fleet, diurnal amplitude 0.3 with a
+    /// 20 s period, one flash crowd of magnitude 0.45 and width 1.5 s,
+    /// 5 % of active devices handing over per tick with re-attach
+    /// latency factors in `[0.3, 3.0)`.
+    pub fn new(scenario: TraceScenario) -> Self {
+        SurgeGenerator {
+            scenario,
+            horizon_ms: 60_000.0,
+            tick_ms: 500.0,
+            base_rate: 0.5,
+            diurnal_amplitude: 0.3,
+            diurnal_period_ms: 20_000.0,
+            flash_crowds: 1,
+            flash_magnitude: 0.45,
+            flash_width_ms: 1_500.0,
+            mobility_rate: 0.05,
+            mobility_factor: (0.3, 3.0),
+        }
+    }
+
+    /// Total simulated span in milliseconds.
+    pub fn horizon_ms(mut self, ms: f64) -> Self {
+        self.horizon_ms = ms;
+        self
+    }
+
+    /// Load-curve sampling interval in milliseconds.
+    pub fn tick_ms(mut self, ms: f64) -> Self {
+        self.tick_ms = ms;
+        self
+    }
+
+    /// Baseline active fraction of the fleet, in `(0, 1]`.
+    pub fn base_rate(mut self, rate: f64) -> Self {
+        self.base_rate = rate;
+        self
+    }
+
+    /// Diurnal sinusoid amplitude (added to the base rate).
+    pub fn diurnal_amplitude(mut self, amplitude: f64) -> Self {
+        self.diurnal_amplitude = amplitude;
+        self
+    }
+
+    /// Diurnal sinusoid period in milliseconds.
+    pub fn diurnal_period_ms(mut self, ms: f64) -> Self {
+        self.diurnal_period_ms = ms;
+        self
+    }
+
+    /// Number of flash-crowd spikes spread across the horizon.
+    pub fn flash_crowds(mut self, n: usize) -> Self {
+        self.flash_crowds = n;
+        self
+    }
+
+    /// Peak extra active fraction each flash crowd adds.
+    pub fn flash_magnitude(mut self, magnitude: f64) -> Self {
+        self.flash_magnitude = magnitude;
+        self
+    }
+
+    /// Gaussian width (sigma, ms) of each flash crowd.
+    pub fn flash_width_ms(mut self, ms: f64) -> Self {
+        self.flash_width_ms = ms;
+        self
+    }
+
+    /// Fraction of active devices that hand over per tick.
+    pub fn mobility_rate(mut self, rate: f64) -> Self {
+        self.mobility_rate = rate;
+        self
+    }
+
+    /// Range of multipliers applied to an access link's *original*
+    /// latency on handover (relative to the base so latencies never
+    /// random-walk away).
+    pub fn mobility_factor(mut self, lo: f64, hi: f64) -> Self {
+        self.mobility_factor = (lo, hi);
+        self
+    }
+
+    /// The target active fraction at time `t` — the deterministic load
+    /// curve (base + diurnal sinusoid + flash-crowd Gaussians), clamped
+    /// to `[0, 1]`. Exposed so experiments can plot the curve they ran.
+    pub fn load_curve(&self, t_ms: f64) -> f64 {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let mut level = self.base_rate
+            + self.diurnal_amplitude * (two_pi * t_ms / self.diurnal_period_ms).sin();
+        for k in 0..self.flash_crowds {
+            // Spikes are spread evenly across the horizon interior.
+            let center = self.horizon_ms * (k as f64 + 1.0) / (self.flash_crowds as f64 + 1.0);
+            let z = (t_ms - center) / self.flash_width_ms;
+            level += self.flash_magnitude * (-z * z).exp();
+        }
+        level.clamp(0.0, 1.0)
+    }
+
+    /// Generates the surge trace: a pure function of the parameters and
+    /// `seed` (independent of the scenario seed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidConfig`] for non-positive horizon,
+    /// tick or period, rates outside `[0, 1]`, or an invalid mobility
+    /// factor range, and propagates scenario construction failures.
+    pub fn generate(&self, seed: u64) -> Result<Trace, WorkloadError> {
+        self.check_params()?;
+        // The topology fixes each device's access link (the radio hop a
+        // handover re-draws). A device that is not a degree-1 leaf keeps
+        // its first incident link as the access link.
+        let deployment = self.scenario.build()?;
+        let graph = deployment.topology().graph();
+        let iot = deployment.topology().iot_nodes();
+        let mut access_link: Vec<Option<(usize, f64)>> = vec![None; self.scenario.num_iot];
+        for (id, link) in graph.links() {
+            for (d, &node) in iot.iter().enumerate() {
+                if (link.a() == node || link.b() == node) && access_link[d].is_none() {
+                    access_link[d] = Some((id.index(), link.latency_ms()));
+                }
+            }
+        }
+
+        let (lo, hi) = self.mobility_factor;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut active = vec![true; self.scenario.num_iot];
+        let mut active_count = self.scenario.num_iot;
+        let mut events = Vec::new();
+
+        let ticks = (self.horizon_ms / self.tick_ms).ceil() as usize;
+        for tick in 0..=ticks {
+            let t = (tick as f64 * self.tick_ms).min(self.horizon_ms);
+            let target = ((self.load_curve(t) * self.scenario.num_iot as f64).round() as usize)
+                .min(self.scenario.num_iot);
+
+            // Join/leave wave tracking the curve; equal timestamps make a
+            // flash crowd an actual burst.
+            while active_count < target {
+                let pick = rng.random_range(0..self.scenario.num_iot - active_count);
+                let device = nth_with(&active, |a| !a, pick);
+                active[device] = true;
+                active_count += 1;
+                events.push(TimedEvent { time_ms: t, event: TraceEvent::DeviceJoin { device } });
+            }
+            while active_count > target {
+                let pick = rng.random_range(0..active_count);
+                let device = nth_with(&active, |a| a, pick);
+                active[device] = false;
+                active_count -= 1;
+                events.push(TimedEvent { time_ms: t, event: TraceEvent::DeviceLeave { device } });
+            }
+
+            // Mobility: a seeded sample of the active fleet re-draws its
+            // access-link latency (handover to a nearer/farther gateway).
+            let handovers = (self.mobility_rate * active_count as f64).floor() as usize
+                + usize::from(
+                    rng.random::<f64>() < (self.mobility_rate * active_count as f64).fract(),
+                );
+            for _ in 0..handovers {
+                if active_count == 0 {
+                    break;
+                }
+                let device = nth_with(&active, |a| a, rng.random_range(0..active_count));
+                if let Some((link, base)) = access_link[device] {
+                    let factor = rng.random_range(lo..hi);
+                    events.push(TimedEvent {
+                        time_ms: t,
+                        event: TraceEvent::LinkLatencyDrift { link, latency_ms: base * factor },
+                    });
+                }
+            }
+        }
+
+        let trace =
+            Trace { version: Trace::FORMAT_VERSION, scenario: self.scenario.clone(), events };
+        debug_assert!(trace.validate().is_ok());
+        Ok(trace)
+    }
+
+    fn check_params(&self) -> Result<(), WorkloadError> {
+        let invalid = |reason: String| Err(WorkloadError::InvalidConfig { reason });
+        if !self.horizon_ms.is_finite() || self.horizon_ms <= 0.0 {
+            return invalid(format!("horizon must be positive, got {}", self.horizon_ms));
+        }
+        if !self.tick_ms.is_finite() || self.tick_ms <= 0.0 {
+            return invalid(format!("tick must be positive, got {}", self.tick_ms));
+        }
+        if !self.diurnal_period_ms.is_finite() || self.diurnal_period_ms <= 0.0 {
+            return invalid(format!(
+                "diurnal period must be positive, got {}",
+                self.diurnal_period_ms
+            ));
+        }
+        for (name, v) in [
+            ("base rate", self.base_rate),
+            ("diurnal amplitude", self.diurnal_amplitude),
+            ("flash magnitude", self.flash_magnitude),
+            ("mobility rate", self.mobility_rate),
+        ] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return invalid(format!("{name} must be in [0, 1], got {v}"));
+            }
+        }
+        if !self.flash_width_ms.is_finite() || self.flash_width_ms <= 0.0 {
+            return invalid(format!("flash width must be positive, got {}", self.flash_width_ms));
+        }
+        let (lo, hi) = self.mobility_factor;
+        if !(lo.is_finite() && hi.is_finite()) || lo < 0.0 || hi <= lo {
+            return invalid(format!("mobility factor range [{lo}, {hi}) is invalid"));
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic per-device priority tiers: device `d` lands in one of
+/// `tiers` classes (priority `1.0` = bronze … `tiers as f64` = gold),
+/// sampled uniformly from `seed`. The result plugs straight into
+/// the runtime's `RuntimeConfig::priorities` — the runtime sheds the
+/// lowest value first, and the serve brownout ladder tightens admission
+/// for bronze-only bursts first.
+///
+/// `tiers == 0` or `tiers == 1` yields the uniform vector (all `1.0`).
+pub fn tier_priorities(num_iot: usize, tiers: usize, seed: u64) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5f3d_9e2b_7c41_a680);
+    (0..num_iot)
+        .map(|_| if tiers <= 1 { 1.0 } else { (rng.random_range(0..tiers) + 1) as f64 })
+        .collect()
+}
+
+/// Merges two traces over the *same scenario* into one time-ordered
+/// timeline (stable: at equal timestamps, `base` events precede
+/// `overlay` events) — the way a chaos fault schedule is composed on top
+/// of a surge workload. The merged trace is checked for structural
+/// validity *and* state consistency (devices only join while inactive,
+/// servers only fail while alive, …), so an impossible composition is a
+/// typed error, never a runtime surprise downstream.
+///
+/// # Errors
+///
+/// [`WorkloadError::InvalidConfig`] when the scenarios differ, either
+/// input is invalid, or the merged timeline is state-inconsistent.
+pub fn compose_traces(base: &Trace, overlay: &Trace) -> Result<Trace, WorkloadError> {
+    if base.scenario != overlay.scenario {
+        return Err(WorkloadError::InvalidConfig {
+            reason: "composed traces must share a scenario".to_owned(),
+        });
+    }
+    base.validate()?;
+    overlay.validate()?;
+
+    let mut events = Vec::with_capacity(base.events.len() + overlay.events.len());
+    let (mut i, mut j) = (0, 0);
+    while i < base.events.len() || j < overlay.events.len() {
+        let take_base = match (base.events.get(i), overlay.events.get(j)) {
+            (Some(a), Some(b)) => a.time_ms <= b.time_ms,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_base {
+            events.push(base.events[i].clone());
+            i += 1;
+        } else {
+            events.push(overlay.events[j].clone());
+            j += 1;
+        }
+    }
+
+    let trace = Trace { version: Trace::FORMAT_VERSION, scenario: base.scenario.clone(), events };
+    check_state_consistency(&trace)?;
+    Ok(trace)
+}
+
+/// Replays the timeline against the all-active / all-alive initial state
+/// and reports the first impossible transition.
+fn check_state_consistency(trace: &Trace) -> Result<(), WorkloadError> {
+    let invalid = |reason: String| Err(WorkloadError::InvalidConfig { reason });
+    let mut active = vec![true; trace.scenario.num_iot];
+    let mut alive = vec![true; trace.scenario.num_servers];
+    for (idx, timed) in trace.events.iter().enumerate() {
+        match timed.event {
+            TraceEvent::DeviceJoin { device } => {
+                if active[device] {
+                    return invalid(format!("event {idx}: device {device} joins while active"));
+                }
+                active[device] = true;
+            }
+            TraceEvent::DeviceLeave { device } => {
+                if !active[device] {
+                    return invalid(format!("event {idx}: device {device} leaves while inactive"));
+                }
+                active[device] = false;
+            }
+            TraceEvent::ServerFail { server } => {
+                if !alive[server] {
+                    return invalid(format!("event {idx}: server {server} fails while down"));
+                }
+                alive[server] = false;
+            }
+            TraceEvent::ServerRecover { server } => {
+                if alive[server] {
+                    return invalid(format!("event {idx}: server {server} recovers while alive"));
+                }
+                alive[server] = true;
+            }
+            TraceEvent::LinkLatencyDrift { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+/// Index of the `n`-th element (0-based) satisfying `pred`.
+fn nth_with(flags: &[bool], pred: impl Fn(bool) -> bool, n: usize) -> usize {
+    flags
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| pred(f))
+        .nth(n)
+        .map(|(i, _)| i)
+        .expect("candidate count tracked by caller")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> TraceScenario {
+        TraceScenario { num_iot: 30, num_servers: 4, ..TraceScenario::default() }
+    }
+
+    fn quick(s: TraceScenario) -> SurgeGenerator {
+        SurgeGenerator::new(s).horizon_ms(8_000.0).tick_ms(400.0).diurnal_period_ms(4_000.0)
+    }
+
+    #[test]
+    fn surge_traces_validate_and_are_deterministic() {
+        let g = quick(scenario());
+        let a = g.generate(42).unwrap();
+        let b = g.generate(42).unwrap();
+        assert_eq!(a, b);
+        a.validate().unwrap();
+        check_state_consistency(&a).unwrap();
+        assert_ne!(a, g.generate(43).unwrap());
+        assert!(!a.events.is_empty());
+    }
+
+    #[test]
+    fn flash_crowds_produce_join_bursts() {
+        let g = quick(scenario()).flash_crowds(1).flash_magnitude(0.45).base_rate(0.4);
+        let trace = g.generate(1).unwrap();
+        // Some timestamp carries a wave of simultaneous joins — the
+        // thundering herd the admission controller exists for.
+        let mut best = 0usize;
+        let mut current = 0usize;
+        let mut current_t = f64::NAN;
+        for timed in &trace.events {
+            if let TraceEvent::DeviceJoin { .. } = timed.event {
+                if timed.time_ms == current_t {
+                    current += 1;
+                } else {
+                    current = 1;
+                    current_t = timed.time_ms;
+                }
+                best = best.max(current);
+            }
+        }
+        assert!(best >= 5, "largest simultaneous join wave was {best}");
+    }
+
+    #[test]
+    fn load_curve_tracks_flash_crowd_centers() {
+        let g = quick(scenario()).flash_crowds(2).flash_magnitude(0.4).diurnal_amplitude(0.0);
+        // At a spike center the curve exceeds the base rate by most of
+        // the magnitude; far away it sits at the base rate.
+        let center = 8_000.0 / 3.0;
+        assert!(g.load_curve(center) > 0.8);
+        assert!((g.load_curve(100.0) - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn mobility_emits_access_link_drift() {
+        let g = quick(scenario()).mobility_rate(0.2);
+        let trace = g.generate(5).unwrap();
+        let drifts =
+            trace.events.iter().filter(|t| matches!(t.event, TraceEvent::LinkLatencyDrift { .. }));
+        assert!(drifts.count() > 0, "mobility produces drift events");
+    }
+
+    #[test]
+    fn tier_priorities_are_deterministic_and_tiered() {
+        let a = tier_priorities(100, 3, 7);
+        assert_eq!(a, tier_priorities(100, 3, 7));
+        assert_ne!(a, tier_priorities(100, 3, 8));
+        assert!(a.iter().all(|p| [1.0, 2.0, 3.0].contains(p)));
+        assert!(a.contains(&1.0) && a.contains(&3.0), "100 draws hit every tier");
+        assert_eq!(tier_priorities(10, 1, 7), vec![1.0; 10]);
+        assert_eq!(tier_priorities(10, 0, 7), vec![1.0; 10]);
+    }
+
+    #[test]
+    fn composition_merges_time_ordered_and_stays_consistent() {
+        // A hand-rolled partition overlay: fail two servers, recover
+        // them later. (The real chaos generator lives in a crate above
+        // this one; the composition contract is what matters here.)
+        let partition_overlay = |s: &TraceScenario| Trace {
+            version: Trace::FORMAT_VERSION,
+            scenario: s.clone(),
+            events: vec![
+                TimedEvent { time_ms: 1_000.0, event: TraceEvent::ServerFail { server: 0 } },
+                TimedEvent { time_ms: 1_000.0, event: TraceEvent::ServerFail { server: 1 } },
+                TimedEvent { time_ms: 4_000.0, event: TraceEvent::ServerRecover { server: 0 } },
+                TimedEvent { time_ms: 4_000.0, event: TraceEvent::ServerRecover { server: 1 } },
+            ],
+        };
+        let base = quick(scenario()).generate(3).unwrap();
+        let overlay = partition_overlay(&scenario());
+        let merged = compose_traces(&base, &overlay).unwrap();
+        assert_eq!(merged.events.len(), base.events.len() + overlay.events.len());
+        merged.validate().unwrap();
+        let times: Vec<f64> = merged.events.iter().map(|t| t.time_ms).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+
+        // Different scenarios refuse to compose.
+        let other = TraceScenario { num_iot: 31, ..scenario() };
+        let foreign = quick(other).generate(3).unwrap();
+        assert!(compose_traces(&base, &foreign).is_err());
+
+        // An inconsistent composition (double-fail) is a typed error.
+        let bad = Trace {
+            version: Trace::FORMAT_VERSION,
+            scenario: scenario(),
+            events: vec![
+                TimedEvent { time_ms: 0.5, event: TraceEvent::ServerFail { server: 2 } },
+                TimedEvent { time_ms: 0.6, event: TraceEvent::ServerFail { server: 2 } },
+            ],
+        };
+        assert!(compose_traces(&base, &bad).is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(quick(scenario()).horizon_ms(0.0).generate(0).is_err());
+        assert!(quick(scenario()).tick_ms(-1.0).generate(0).is_err());
+        assert!(quick(scenario()).base_rate(1.5).generate(0).is_err());
+        assert!(quick(scenario()).mobility_rate(f64::NAN).generate(0).is_err());
+        assert!(quick(scenario()).mobility_factor(2.0, 1.0).generate(0).is_err());
+        assert!(quick(scenario()).flash_width_ms(0.0).generate(0).is_err());
+        assert!(quick(scenario()).diurnal_period_ms(0.0).generate(0).is_err());
+    }
+}
