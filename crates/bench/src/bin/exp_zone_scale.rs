@@ -1,0 +1,216 @@
+//! E18: million-device cluster configuration through the zone
+//! decomposition (`tacc-zone`), proven against the global solver.
+//!
+//! Two legs, one table:
+//!
+//! - **scale** — a 1,000,000-device / 10,000-server / 200-zone
+//!   hierarchical-tree instance solved end to end by the zone pipeline.
+//!   The flat `devices × servers` delay matrix would be 80 GB; the
+//!   pipeline never materializes it — devices are routed on the
+//!   compressed per-zone summary and each zone solves its own
+//!   sub-instance. Peak RSS (`VmHWM` from `/proc/self/status`) is
+//!   measured in-process and, under `TACC_CHECK=1`, gated against
+//!   [`PEAK_RSS_CEILING_MB`].
+//!
+//! - **quality** — zone-vs-global objective ratio on instances small
+//!   enough for the global dense reference solve, up to 12800×128.
+//!   Under `TACC_CHECK=1` every ratio is gated against [`RATIO_BOUND`]
+//!   (the same bound the `tacc-zone` cross-validation tests pin) and
+//!   the one-zone run must reproduce the global objective bit-for-bit.
+//!
+//! Run: `cargo run --release -p tacc-bench --bin exp_zone_scale [--quick]`
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tacc_bench::{fmt3, fmt5, ExperimentContext};
+use tacc_core::metrics::Table;
+use tacc_core::workload::{ScenarioBuilder, TopologyFamily};
+use tacc_gap::Budget;
+use tacc_topology::generators::{HierarchicalTree, TopologyGenerator};
+use tacc_topology::DelayModel;
+use tacc_zone::{dense_solve, ZoneLayout, DEFAULT_ROUNDS};
+
+/// Worst zone-vs-global objective ratio the quality leg may produce —
+/// the same bound `crates/zone/tests/cross_validation.rs` pins.
+const RATIO_BOUND: f64 = 1.35;
+
+/// Peak-RSS ceiling for the full scale leg (1M devices, 10k servers,
+/// 200 zones). Measured peak on the reference machine: ~305 MB —
+/// dominated by the million-node graph, not by any delay matrix (the
+/// flat matrix alone would be 80 GB). The ceiling leaves ~2.5×
+/// headroom for allocator variation without ever admitting a
+/// flat-matrix regression.
+const PEAK_RSS_CEILING_MB: f64 = 768.0;
+
+/// `VmHWM` (peak resident set) of this process, in MiB.
+fn peak_rss_mb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse::<f64>().ok())
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+fn main() {
+    let check = std::env::var("TACC_CHECK").is_ok_and(|v| v == "1");
+    let ctx = ExperimentContext::from_args("exp_zone_scale", 1);
+    let seed = ctx.trial_seeds[0];
+
+    let mut table = Table::new(vec![
+        "leg".into(),
+        "devices".into(),
+        "servers".into(),
+        "zones".into(),
+        "partition_s".into(),
+        "solve_s".into(),
+        "mean_delay_ms".into(),
+        "objective_ratio".into(),
+        "feasible".into(),
+        "spills".into(),
+        "refinements".into(),
+        "peak_rss_mb".into(),
+    ]);
+
+    // ------------------------------------------------------------------
+    // Scale leg: 1M devices, 10k servers, 200 zones (quick: 100k/1k/40).
+    // ------------------------------------------------------------------
+    let (devices, servers, zones) =
+        if ctx.quick { (100_000, 1_000, 40) } else { (1_000_000, 10_000, 200) };
+    eprintln!("[exp_zone_scale] scale leg: {devices} devices, {servers} servers, {zones} zones");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let topology = HierarchicalTree::builder()
+        .num_iot(devices)
+        .num_servers(servers)
+        .levels(4)
+        .branching(8)
+        .build()
+        .expect("tree shape is valid")
+        .generate(&mut rng)
+        .expect("generation succeeds");
+    let demands: Vec<f64> = (0..devices).map(|_| rng.random_range(0.5..2.0)).collect();
+    let total_demand: f64 = demands.iter().sum();
+    let capacities: Vec<f64> = vec![total_demand / (0.7 * servers as f64); servers];
+
+    let start = std::time::Instant::now();
+    let layout = ZoneLayout::build(&topology, &DelayModel::default(), &capacities, zones);
+    let partition_s = start.elapsed().as_secs_f64();
+    // ~8 local-search rounds per zone on average; the point of this leg
+    // is memory and routing scale, not squeezing the last percent.
+    let start = std::time::Instant::now();
+    let routing = layout.route(topology.iot_nodes(), &demands, &Default::default());
+    let solution = {
+        let budgets = layout.split_rounds(&routing, &Budget::units(8 * zones as u64));
+        layout.solve_with(topology.iot_nodes(), &demands, &routing, &budgets, |_z, sub, rounds| {
+            dense_solve(sub, seed, rounds)
+        })
+    };
+    let solve_s = start.elapsed().as_secs_f64();
+    let rss = peak_rss_mb();
+    assert!(solution.feasible, "scale leg must stay feasible");
+    if check && !ctx.quick {
+        assert!(
+            rss <= PEAK_RSS_CEILING_MB,
+            "peak RSS {rss:.0} MB exceeds the {PEAK_RSS_CEILING_MB:.0} MB ceiling — \
+             is something materializing a flat matrix?"
+        );
+    }
+    table.push_row(vec![
+        "scale".into(),
+        devices.to_string(),
+        servers.to_string(),
+        zones.to_string(),
+        fmt3(partition_s),
+        fmt3(solve_s),
+        fmt5(solution.objective / devices as f64),
+        String::new(),
+        solution.feasible.to_string(),
+        routing.spills.to_string(),
+        solution.refinements.to_string(),
+        fmt3(rss),
+    ]);
+    eprintln!(
+        "[exp_zone_scale] scale leg done: partition {partition_s:.1}s, solve {solve_s:.1}s, \
+         peak RSS {rss:.0} MB"
+    );
+
+    // ------------------------------------------------------------------
+    // Quality leg: zoned vs global dense reference, plus the one-zone
+    // bitwise identity.
+    // ------------------------------------------------------------------
+    let sweep = ctx
+        .sizes(&[(1600usize, 32usize, 8usize), (6400, 64, 16), (12800, 128, 32)], &[(400, 16, 4)]);
+    for &(n, m, k) in sweep {
+        let scenario = ScenarioBuilder::new()
+            .family(TopologyFamily::Hierarchical)
+            .num_iot(n)
+            .num_servers(m)
+            .load_factor(0.7)
+            .build(seed)
+            .expect("scenario builds");
+        let instance = scenario.instance();
+        let demands: Vec<f64> = (0..n).map(|i| instance.demand(i, 0)).collect();
+        let global = dense_solve(instance, seed, DEFAULT_ROUNDS);
+
+        let start = std::time::Instant::now();
+        let layout = ZoneLayout::build(
+            scenario.topology(),
+            &DelayModel::default(),
+            instance.capacities(),
+            k,
+        );
+        let partition_s = start.elapsed().as_secs_f64();
+        let start = std::time::Instant::now();
+        let routing = layout.route(scenario.topology().iot_nodes(), &demands, &Default::default());
+        let zoned = {
+            let budgets = layout.split_rounds(&routing, &Budget::unlimited());
+            layout.solve_with(
+                scenario.topology().iot_nodes(),
+                &demands,
+                &routing,
+                &budgets,
+                |_z, sub, rounds| dense_solve(sub, seed, rounds),
+            )
+        };
+        let solve_s = start.elapsed().as_secs_f64();
+        let ratio = zoned.objective / global.objective;
+        assert!(zoned.feasible, "{n}x{m} z{k}: zoned solve infeasible");
+        if check {
+            assert!(
+                ratio <= RATIO_BOUND,
+                "{n}x{m} z{k}: ratio {ratio:.4} exceeds the {RATIO_BOUND} bound"
+            );
+        }
+
+        let one_zone = ZoneLayout::build(
+            scenario.topology(),
+            &DelayModel::default(),
+            instance.capacities(),
+            1,
+        )
+        .solve(scenario.topology().iot_nodes(), &demands, seed, &Budget::unlimited());
+        assert_eq!(
+            one_zone.objective.to_bits(),
+            global.objective.to_bits(),
+            "{n}x{m}: one zone must reproduce the global solve bit-for-bit"
+        );
+
+        table.push_row(vec![
+            "quality".into(),
+            n.to_string(),
+            m.to_string(),
+            k.to_string(),
+            fmt3(partition_s),
+            fmt3(solve_s),
+            fmt5(zoned.objective / n as f64),
+            fmt5(ratio),
+            zoned.feasible.to_string(),
+            routing.spills.to_string(),
+            zoned.refinements.to_string(),
+            fmt3(peak_rss_mb()),
+        ]);
+        eprintln!("[exp_zone_scale] quality {n}x{m} z{k}: ratio {ratio:.4}");
+    }
+
+    ctx.finish(&table);
+}

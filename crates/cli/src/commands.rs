@@ -13,6 +13,7 @@ use tacc_core::workload::{
 use tacc_core::{Algorithm, ClusterConfigurator};
 use tacc_guard::{validate, Budget, QuarantineReport, Supervisor, SupervisorConfig};
 use tacc_runtime::{ReassignPolicy, Runtime, RuntimeConfig, RuntimeSnapshot};
+use tacc_zone::{dense_solve, RouterConfig, ZoneLayout, ZoneRouting, ZonedSolution};
 
 use crate::args::Args;
 
@@ -54,6 +55,14 @@ solve only:
                      fallback ladder on failure, GuardReport in the output.
                      Requires an iterative algorithm (the RL learners,
                      simulated-annealing, tabu-search, genetic)
+  --zones K          hierarchical zone decomposition — partition the servers
+                     into K zones by gateway locality, route devices on the
+                     compressed delay summary, solve per-zone sub-instances
+                     in parallel, boundary-refine. --budget becomes total
+                     local-search rounds split across zones; --algorithm is
+                     ignored (the zone pipeline uses the dense reference
+                     solver). K = 1 reproduces the global dense solve
+                     bit-for-bit
 
 simulate only:
   --duration-ms D    simulated time             [default 30000]
@@ -247,6 +256,14 @@ fn solve_output(args: &Args) -> Result<String, String> {
         tacc_obs::reset();
     }
     let (scenario, seed) = scenario_from(args)?;
+    if let Some(zones) = args.str_opt("zones") {
+        let zones: usize =
+            zones.parse().map_err(|_| format!("--zones got `{zones}`, expected a number"))?;
+        if zones == 0 {
+            return Err("--zones needs at least one zone".to_owned());
+        }
+        return solve_zoned(args, &scenario, seed, zones, obs_out);
+    }
     let algorithm = algorithm_from(args)?;
     if let Some(units) = budget_from(args)? {
         return solve_supervised(args, &scenario, &algorithm, seed, units, obs_out);
@@ -366,6 +383,143 @@ fn write_supervised_stream(
         unreachable!("GuardReport serializes as an object")
     };
     stream.record("guard", fields)?;
+    stream.finish(&tacc_obs::registry_snapshot())
+}
+
+/// The `--zones` path: the hierarchical pipeline from `tacc-zone` —
+/// partition the servers by gateway locality, route devices on the
+/// compressed summary (no flat matrix), solve per-zone sub-instances in
+/// parallel under split budgets, boundary-refine. One zone reproduces
+/// the global dense reference solve bit-for-bit.
+fn solve_zoned(
+    args: &Args,
+    scenario: &Scenario,
+    seed: u64,
+    zones: usize,
+    obs_out: Option<&str>,
+) -> Result<String, String> {
+    let instance = scenario.instance();
+    let demands: Vec<f64> = (0..instance.num_devices()).map(|i| instance.demand(i, 0)).collect();
+    let layout = ZoneLayout::build(
+        scenario.topology(),
+        &tacc_core::topology::DelayModel::default(),
+        instance.capacities(),
+        zones,
+    );
+    let devices = scenario.topology().iot_nodes();
+    let routing = layout.route(devices, &demands, &RouterConfig::default());
+    let budget = budget_from(args)?.map_or_else(Budget::unlimited, Budget::units);
+    let budgets = layout.split_rounds(&routing, &budget);
+    let solution =
+        layout.solve_with(devices, &demands, &routing, &budgets, |_zone, sub, rounds| {
+            dense_solve(sub, seed, rounds)
+        });
+    if let Some(path) = obs_out {
+        write_zoned_stream(Path::new(path), &layout, &routing, &solution, &budgets, seed)
+            .map_err(|e| e.to_string())?;
+    }
+    let n = instance.num_devices();
+    let mean = if n > 0 { solution.objective / n as f64 } else { 0.0 };
+    if args.has("json") {
+        let zone_stats: Vec<serde_json::Value> = solution
+            .zones
+            .iter()
+            .map(|z| {
+                serde_json::json!({
+                    "zone": z.zone,
+                    "devices": z.devices,
+                    "servers": z.servers,
+                    "budget": z.budget,
+                    "objective_ms": z.objective,
+                    "feasible": z.feasible,
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "algorithm": "zoned:greedy-regret+shift",
+            "zones": layout.num_zones(),
+            "feasible": solution.feasible,
+            "total_delay_ms": solution.objective,
+            "mean_delay_ms": mean,
+            "router_spills": routing.spills,
+            "border_refinements": solution.refinements,
+            "zone_stats": zone_stats,
+            "assignment": solution.server_of_device,
+            "zone_of_device": solution.zone_of_device,
+        });
+        Ok(serde_json::to_string_pretty(&doc).expect("serializable"))
+    } else {
+        let mut out = format!(
+            "zoned solve: {} zone(s) over {} servers\n\
+             feasible: {}\n\
+             total delay: {:.3} ms (mean {:.3} ms)\n\
+             router spills: {}, border refinements: {}\n\
+             {:>4} {:>8} {:>8} {:>8} {:>14} {:>9}",
+            layout.num_zones(),
+            layout.num_servers(),
+            solution.feasible,
+            solution.objective,
+            mean,
+            routing.spills,
+            solution.refinements,
+            "zone",
+            "devices",
+            "servers",
+            "budget",
+            "delay(ms)",
+            "feasible",
+        );
+        for z in &solution.zones {
+            out.push_str(&format!(
+                "\n{:>4} {:>8} {:>8} {:>8} {:>14.3} {:>9}",
+                z.zone, z.devices, z.servers, z.budget, z.objective, z.feasible
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// The zoned-solve observability stream: meta, one `zones` record (the
+/// same shape `tacc serve` emits on its zone-decomposed Solve path),
+/// one `solution` record, and the closing registry — where the `zone.*`
+/// counters land.
+fn write_zoned_stream(
+    path: &Path,
+    layout: &ZoneLayout,
+    routing: &ZoneRouting,
+    solution: &ZonedSolution,
+    budgets: &[u64],
+    seed: u64,
+) -> std::io::Result<()> {
+    use serde_json::Value;
+    let devices = solution.server_of_device.len();
+    let mean = if devices > 0 { solution.objective / devices as f64 } else { 0.0 };
+    let mut stream = tacc_obs::StreamWriter::create(
+        path,
+        "solve-zoned",
+        vec![
+            ("seed".to_owned(), Value::UInt(seed)),
+            ("devices".to_owned(), Value::UInt(devices as u64)),
+            ("servers".to_owned(), Value::UInt(layout.num_servers() as u64)),
+        ],
+    )?;
+    stream.record(
+        "zones",
+        vec![
+            ("zones".to_owned(), Value::UInt(layout.num_zones() as u64)),
+            ("router_spills".to_owned(), Value::UInt(routing.spills as u64)),
+            ("border_refinements".to_owned(), Value::UInt(solution.refinements as u64)),
+            ("budget".to_owned(), Value::UInt(budgets.iter().sum())),
+        ],
+    )?;
+    stream.record(
+        "solution",
+        vec![
+            ("feasible".to_owned(), Value::Bool(solution.feasible)),
+            ("total_delay_ms".to_owned(), Value::Float(solution.objective)),
+            ("mean_delay_ms".to_owned(), Value::Float(mean)),
+        ],
+    )?;
     stream.finish(&tacc_obs::registry_snapshot())
 }
 
@@ -828,6 +982,7 @@ fn serve_config_from(args: &Args) -> Result<tacc_serve::ServeConfig, String> {
         algorithm: args.str_or("algorithm", &defaults.algorithm).to_owned(),
         journal: args.str_opt("journal").map(std::path::PathBuf::from),
         obs_out: args.str_opt("obs-out").map(std::path::PathBuf::from),
+        zones: args.num_or("zones", defaults.zones)?,
         surge,
     })
 }
@@ -1194,6 +1349,44 @@ fn bench_solvers(
         "identical": identical,
         "solvers": solvers,
         "serve": bench_serve(quick, reps)?,
+        "zones": bench_zones(quick, reps)?,
+    }))
+}
+
+/// The zone-decomposition section of `BENCH_solvers.json`: the zoned
+/// pipeline against the global dense reference solve on one scenario —
+/// wall time for both lanes, the objective ratio, and the one-zone
+/// strict-generalization check (bit-identical objective).
+fn bench_zones(quick: bool, reps: usize) -> Result<serde_json::Value, String> {
+    let (devices, servers, zones) = if quick { (100, 8, 2) } else { (1600, 32, 8) };
+    let scenario = ScenarioBuilder::new()
+        .num_iot(devices)
+        .num_servers(servers)
+        .load_factor(0.7)
+        .build(2022)
+        .map_err(|e| e.to_string())?;
+    let instance = scenario.instance();
+    let demands: Vec<f64> = (0..instance.num_devices()).map(|i| instance.demand(i, 0)).collect();
+    let model = tacc_core::topology::DelayModel::default();
+    let build = |k: usize| ZoneLayout::build(scenario.topology(), &model, instance.capacities(), k);
+    let run = |layout: &ZoneLayout| {
+        layout.solve(scenario.topology().iot_nodes(), &demands, 2022, &Budget::unlimited())
+    };
+    let (global_ms, global) =
+        best_of_ms(reps, || dense_solve(instance, 2022, tacc_zone::DEFAULT_ROUNDS));
+    let (zoned_ms, zoned) = best_of_ms(reps, || {
+        let layout = build(zones);
+        run(&layout)
+    });
+    let one_zone = run(&build(1));
+    Ok(serde_json::json!({
+        "devices": devices,
+        "servers": servers,
+        "zones": zones,
+        "zoned_ms": zoned_ms,
+        "global_ms": global_ms,
+        "objective_ratio": zoned.objective / global.objective,
+        "identical_at_one_zone": one_zone.objective.to_bits() == global.objective.to_bits(),
     }))
 }
 
@@ -1682,6 +1875,11 @@ mod tests {
         }
         let solvers = load("BENCH_solvers.json");
         assert_eq!(solvers.get("identical"), Some(&Value::Bool(true)));
+        let zones = solvers.get("zones").expect("zones section");
+        assert_eq!(zones.get("identical_at_one_zone"), Some(&Value::Bool(true)));
+        assert!(
+            matches!(zones.get("objective_ratio"), Some(Value::Float(r)) if *r > 0.5 && *r < 2.0)
+        );
     }
 
     #[test]

@@ -78,7 +78,9 @@ fn bench_reports_keep_their_schema() {
          solvers:[{name:str,wall_ms:float,moves:uint,moves_per_sec:float,\
          total_delay_ms:float}],\
          serve:{devices:uint,servers:uint,events:uint,seed:uint,ingest_ms:float,\
-         ingest_events_per_sec:float,query_p50_ms:float,query_p99_ms:float}}"
+         ingest_events_per_sec:float,query_p50_ms:float,query_p99_ms:float},\
+         zones:{devices:uint,servers:uint,zones:uint,zoned_ms:float,global_ms:float,\
+         objective_ratio:float,identical_at_one_zone:bool}}"
     );
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -212,6 +214,39 @@ fn solve_obs_stream_keeps_its_schema() {
     );
     assert_eq!(kind_of(&records[2]), "registry");
     assert_registry_schema(&records[2]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn zoned_solve_obs_stream_keeps_its_schema() {
+    let dir = temp_dir("stream-solve-zoned");
+    let records = stream_records(
+        &dir,
+        "solve",
+        &["--devices", "24", "--servers", "4", "--zones", "2", "--seed", "4"],
+    );
+    assert_eq!(records.len(), 4, "meta + zones + solution + registry");
+    assert_eq!(kind_of(&records[0]), "meta");
+    assert_eq!(
+        schema(&records[0]),
+        "{seq:uint,kind:str,stream_version:uint,source:str,seed:uint,devices:uint,\
+         servers:uint}"
+    );
+    // The `zones` record is the same shape `tacc serve` emits on its
+    // zone-decomposed Solve path — pinned once for both producers.
+    assert_eq!(kind_of(&records[1]), "zones");
+    assert_eq!(
+        schema(&records[1]),
+        "{seq:uint,kind:str,zones:uint,router_spills:uint,border_refinements:uint,\
+         budget:uint}"
+    );
+    assert_eq!(kind_of(&records[2]), "solution");
+    assert_eq!(
+        schema(&records[2]),
+        "{seq:uint,kind:str,feasible:bool,total_delay_ms:float,mean_delay_ms:float}"
+    );
+    assert_eq!(kind_of(&records[3]), "registry");
+    assert_registry_schema(&records[3]);
     std::fs::remove_dir_all(&dir).ok();
 }
 

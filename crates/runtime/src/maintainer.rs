@@ -50,16 +50,38 @@ pub struct DelayMaintainer {
 impl DelayMaintainer {
     /// Builds the trees and matrix for a healthy topology.
     pub fn new(topology: &Topology, model: DelayModel, full_mode: bool) -> Self {
+        let columns: Vec<usize> = (0..topology.num_servers()).collect();
+        Self::new_scoped(topology, model, full_mode, &columns)
+    }
+
+    /// Builds a maintainer that keeps trees and matrix columns only for
+    /// the listed server indices (a zone's members), in the given
+    /// order. Everything downstream — drift repair, failure handling,
+    /// the oracle impl — works in *column* space: column `c` is server
+    /// `columns[c]` of the topology. A scoped column is bit-identical
+    /// to the corresponding column of an unscoped maintainer fed the
+    /// same events, because each tree only depends on its own source
+    /// and the shared link costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty or any index is out of range.
+    pub fn new_scoped(
+        topology: &Topology,
+        model: DelayModel,
+        full_mode: bool,
+        columns: &[usize],
+    ) -> Self {
+        assert!(!columns.is_empty(), "a maintainer needs at least one server column");
         let graph = topology.graph();
         let base_costs: Vec<f64> =
             graph.links().map(|(_, link)| model.link_delay_ms(link)).collect();
         let costs = base_costs.clone();
         let mut baseline = UpdateStats::default();
-        let trees: Vec<SsspTree> = topology
-            .server_nodes()
+        let trees: Vec<SsspTree> = columns
             .iter()
             .map(|&server| {
-                let (tree, stats) = SsspTree::build(graph, server, &costs);
+                let (tree, stats) = SsspTree::build(graph, topology.server_nodes()[server], &costs);
                 baseline.absorb(stats);
                 tree
             })
@@ -72,7 +94,7 @@ impl DelayMaintainer {
             costs,
             trees,
             matrix,
-            failed: vec![false; topology.num_servers()],
+            failed: vec![false; columns.len()],
             full_mode,
             baseline,
         }
@@ -106,6 +128,14 @@ impl DelayMaintainer {
     /// each change would cost without incremental repair.
     pub fn full_rebuild_baseline(&self) -> UpdateStats {
         self.baseline
+    }
+
+    /// The effective per-link costs the trees currently run on (drifted
+    /// latencies, failed links at `∞`). This is the cost array a
+    /// [`tacc_topology::CompressedCore`] — and the zone layout on top
+    /// of it — takes to see exactly the delays this maintainer serves.
+    pub fn link_costs(&self) -> &[f64] {
+        &self.costs
     }
 
     /// Applies a latency drift that the caller has already written into
@@ -170,7 +200,9 @@ impl DelayMaintainer {
         server: usize,
         disable: bool,
     ) -> UpdateStats {
-        let node = topology.server_nodes()[server];
+        // Column space, not topology space: a scoped maintainer's
+        // column `server` may sit on any topology server node.
+        let node = self.matrix.server_node(server);
         let incident: Vec<LinkId> =
             topology.graph().neighbors(node).iter().map(|n| n.link).collect();
         let mut total = UpdateStats::default();
@@ -230,17 +262,29 @@ impl DelayMaintainer {
         let mut degraded = topology.clone();
         for (server, &failed) in self.failed.iter().enumerate() {
             if failed {
-                degraded = degraded.with_failed_node(topology.server_nodes()[server]);
+                degraded = degraded.with_failed_node(self.matrix.server_node(server));
             }
         }
         let fresh = degraded.delay_matrix(&self.model);
+        // Map each maintained column to its topology server index — the
+        // identity for an unscoped maintainer, the member list for a
+        // scoped one.
+        let global: Vec<usize> = (0..self.matrix.num_servers())
+            .map(|j| {
+                let node = self.matrix.server_node(j);
+                topology
+                    .server_nodes()
+                    .iter()
+                    .position(|&s| s == node)
+                    .expect("maintained columns are topology servers")
+            })
+            .collect();
         // with_failed_node reassigns link ids, so compare matrices (the
         // externally visible product), not trees.
-        let m = self.matrix.num_servers();
         (0..self.matrix.num_iot()).all(|i| {
-            (0..m).all(|j| {
+            global.iter().enumerate().all(|(j, &gj)| {
                 let a = self.matrix.get(i, j);
-                let b = fresh.get(i, j);
+                let b = fresh.get(i, gj);
                 a == b || (a.is_infinite() && b.is_infinite())
             })
         })
@@ -272,7 +316,8 @@ impl DelayOracle for DelayMaintainer {
 }
 
 /// Reads the matrix out of the trees. Columns of failed servers come out
-/// infinite because all their incident links do.
+/// infinite because all their incident links do. Column nodes come from
+/// the tree sources, so scoped maintainers get exactly their columns.
 fn matrix_from_trees(trees: &[SsspTree], topology: &Topology) -> DelayMatrix {
     let rows: Vec<Vec<f64>> = topology
         .iot_nodes()
@@ -282,7 +327,7 @@ fn matrix_from_trees(trees: &[SsspTree], topology: &Topology) -> DelayMatrix {
     DelayMatrix::from_rows_with_nodes(
         rows,
         topology.iot_nodes().to_vec(),
-        topology.server_nodes().to_vec(),
+        trees.iter().map(SsspTree::source).collect(),
     )
 }
 
@@ -418,6 +463,60 @@ mod tests {
             }
         }
         assert_eq!(&DelayOracle::materialize(&maintainer), matrix);
+    }
+
+    #[test]
+    fn scoped_columns_are_bitwise_equal_to_the_full_maintainer() {
+        let mut topo = topology();
+        let model = DelayModel::default();
+        let columns = [3usize, 1];
+        let mut full = DelayMaintainer::new(&topo, model.clone(), false);
+        let mut scoped = DelayMaintainer::new_scoped(&topo, model, false, &columns);
+        assert_eq!(scoped.matrix().num_servers(), columns.len());
+
+        let check = |full: &DelayMaintainer, scoped: &DelayMaintainer, what: &str| {
+            for (c, &j) in columns.iter().enumerate() {
+                assert_eq!(
+                    scoped.matrix().server_node(c),
+                    full.matrix().server_node(j),
+                    "{what}: column {c} node"
+                );
+                for i in 0..full.matrix().num_iot() {
+                    assert_eq!(
+                        scoped.matrix().get(i, c).to_bits(),
+                        full.matrix().get(i, j).to_bits(),
+                        "{what}: entry ({i}, {j})"
+                    );
+                }
+            }
+            assert!(
+                scoped
+                    .link_costs()
+                    .iter()
+                    .map(|c| c.to_bits())
+                    .eq(full.link_costs().iter().map(|c| c.to_bits())),
+                "{what}: link costs diverged"
+            );
+        };
+        check(&full, &scoped, "initial");
+
+        let link = topo.graph().link_id(2);
+        topo.set_link_latency(link, 6.5).unwrap();
+        full.drift(&topo, link);
+        scoped.drift(&topo, link);
+        check(&full, &scoped, "after drift");
+
+        // Server 3 is column 0 of the scoped maintainer.
+        full.fail_server(&topo, 3);
+        scoped.fail_server(&topo, 0);
+        assert!(scoped.is_failed(0));
+        assert!(scoped.matches_full_recompute(&topo));
+        check(&full, &scoped, "after failure");
+
+        full.recover_server(&topo, 3);
+        scoped.recover_server(&topo, 0);
+        assert!(scoped.matches_full_recompute(&topo));
+        check(&full, &scoped, "after recovery");
     }
 
     #[test]

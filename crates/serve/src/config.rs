@@ -34,6 +34,11 @@ pub struct ServeConfig {
     pub journal: Option<PathBuf>,
     /// Deterministic JSONL event stream path (`None` = no stream).
     pub obs_out: Option<PathBuf>,
+    /// Zone-decomposed Solve: `>= 2` partitions the alive servers into
+    /// this many zones and solves per-zone sub-instances under
+    /// per-zone budget shares that sum to the query budget; `0`/`1` =
+    /// the flat global sub-instance.
+    pub zones: usize,
     /// Brownout ladder tuning (watermarks, hysteresis, master switch);
     /// see [`crate::SurgeController`].
     pub surge: SurgeConfig,
@@ -53,6 +58,7 @@ impl Default for ServeConfig {
             algorithm: "q-learning".to_owned(),
             journal: None,
             obs_out: None,
+            zones: 0,
             surge: SurgeConfig::default(),
         }
     }

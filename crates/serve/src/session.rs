@@ -11,6 +11,10 @@ use tacc_runtime::{DeviceState, Runtime, RuntimeConfig};
 use tacc_topology::{AltOracle, DelayOracle};
 use tacc_workload::{TimedEvent, Trace, TraceEvent};
 
+use std::sync::Mutex;
+
+use tacc_zone::{RouterConfig, ZoneLayout};
+
 use crate::surge::SurgeController;
 use crate::{ServeConfig, ServeError};
 
@@ -504,6 +508,12 @@ impl Session {
         if alt {
             tacc_obs::counter_add("surge.alt_solves", 1);
         }
+        if self.cfg.zones >= 2 && !alt {
+            // Zone-decomposed path; under L2+ brownout the flat
+            // AltOracle-bounded path below stays in charge (its budget
+            // is already ÷16 — decomposition buys nothing there).
+            return self.solve_zoned(units);
+        }
 
         let cursor = self.runtime.cursor();
         let cached = self.sub_cache.as_ref().is_some_and(|c| c.cursor == cursor && c.alt == alt);
@@ -604,6 +614,122 @@ impl Session {
             spent: guard.spent,
             fallbacks: guard.fallbacks,
             panics_caught: guard.panics_caught,
+            assignment,
+        })
+    }
+
+    /// Zone-decomposed Solve: partitions the alive servers into
+    /// `cfg.zones` zones over the maintainer's *current* link costs,
+    /// routes active devices through the compressed summary, and
+    /// supervises one guard ladder per zone under budget shares that
+    /// sum exactly to the query budget. Merged answer: objective is
+    /// the device-order delay sum after border refinement, degradation
+    /// is the worst any zone reported. Read-only on session state,
+    /// like the flat path.
+    fn solve_zoned(&mut self, units: u64) -> Result<Response, ServeError> {
+        let instance = self.runtime.cluster().instance();
+        let active: Vec<usize> =
+            (0..instance.num_devices()).filter(|&d| self.runtime.cluster().is_active(d)).collect();
+        let alive: Vec<usize> = (0..instance.num_servers())
+            .filter(|&j| !self.runtime.maintainer().is_failed(j))
+            .collect();
+        if active.is_empty() || alive.is_empty() {
+            return Ok(Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "nothing to solve: no active devices or no alive servers".to_owned(),
+            });
+        }
+        let topology = self.runtime.topology();
+        let capacities: Vec<f64> = alive.iter().map(|&j| instance.capacity(j)).collect();
+        let layout = ZoneLayout::build_scoped(
+            topology,
+            self.runtime.maintainer().link_costs(),
+            &alive,
+            &capacities,
+            self.cfg.zones,
+        );
+        let devices: Vec<tacc_topology::NodeId> =
+            active.iter().map(|&d| topology.iot_nodes()[d]).collect();
+        let demands: Vec<f64> = active.iter().map(|&d| instance.demand(d, 0)).collect();
+        let routing = layout.route(&devices, &demands, &RouterConfig::default());
+        let budgets = layout.split_rounds(&routing, &Budget::units(units));
+
+        self.solves += 1;
+        let seed = self
+            .runtime
+            .config()
+            .seed
+            .wrapping_add(self.solves.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let algorithm =
+            Algorithm::by_name(&self.cfg.algorithm).expect("validated at session start");
+        // One guard ladder per zone; reports land in a zone-indexed
+        // side table so the parallel merge stays deterministic.
+        let reports: Mutex<Vec<Option<tacc_gap::GuardReport>>> =
+            Mutex::new(vec![None; layout.num_zones()]);
+        let zoned =
+            layout.solve_with(&devices, &demands, &routing, &budgets, |zone, sub, share| {
+                let primary =
+                    algorithm.anytime_solver(seed.wrapping_add(zone as u64)).expect("validated");
+                let mut supervisor = Supervisor::new(SupervisorConfig::default());
+                match supervisor.supervise(primary.as_ref(), sub, &Budget::units(share)) {
+                    Ok((solution, guard)) => {
+                        reports.lock().expect("report table")[zone] = Some(guard);
+                        solution
+                    }
+                    // The ladder is exhausted only when even greedy cannot
+                    // place the zone's devices; the reference dense solver
+                    // still yields a complete (possibly overloaded)
+                    // assignment, which the merge flags infeasible.
+                    Err(_) => tacc_zone::dense_solve(sub, seed.wrapping_add(zone as u64), 1),
+                }
+            });
+        let reports = reports.into_inner().expect("report table");
+        let (mut spent, mut fallbacks, mut panics_caught) = (0u64, 0u32, 0u32);
+        let mut degradation = tacc_gap::DegradationLevel::None;
+        for guard in reports.iter().flatten() {
+            spent += guard.spent;
+            fallbacks += guard.fallbacks;
+            panics_caught += guard.panics_caught;
+            degradation = degradation.max(guard.degradation);
+        }
+        let solver = format!("zoned:{}", self.cfg.algorithm);
+
+        self.record_stream(
+            "zones",
+            vec![
+                ("zones".to_owned(), Value::UInt(layout.num_zones() as u64)),
+                ("router_spills".to_owned(), Value::UInt(routing.spills as u64)),
+                ("border_refinements".to_owned(), Value::UInt(zoned.refinements as u64)),
+                ("budget".to_owned(), Value::UInt(units)),
+            ],
+        )?;
+        self.record_stream(
+            "solve",
+            vec![
+                ("budget".to_owned(), Value::UInt(units)),
+                ("solver".to_owned(), Value::Str(solver.clone())),
+                ("degradation".to_owned(), Value::Str(degradation.label().to_owned())),
+                ("objective".to_owned(), Value::Float(zoned.objective)),
+                ("feasible".to_owned(), Value::Bool(zoned.feasible)),
+                ("brownout".to_owned(), Value::Str(self.surge.label().to_owned())),
+            ],
+        )?;
+        let assignment: Vec<(usize, usize)> = active
+            .iter()
+            .enumerate()
+            .filter_map(|(row, &device)| {
+                let slot = zoned.server_of_device[row];
+                (slot != u32::MAX).then(|| (device, alive[slot as usize]))
+            })
+            .collect();
+        Ok(Response::Solution {
+            feasible: zoned.feasible,
+            objective: zoned.objective,
+            solver,
+            degradation: degradation.label().to_owned(),
+            spent,
+            fallbacks,
+            panics_caught,
             assignment,
         })
     }

@@ -1,0 +1,87 @@
+//! The zone-decomposed Solve path: answers stay feasible and target
+//! alive servers, budget shares sum to the query budget, and two
+//! same-seed zoned sessions are byte-identical — including the new
+//! `zones` stream records. Own binary because the obs registry is
+//! process-global.
+
+use std::path::PathBuf;
+
+use tacc_proto::Response;
+use tacc_runtime::{ReassignPolicy, RuntimeConfig};
+use tacc_serve::{ServeConfig, Session};
+use tacc_workload::{Trace, TraceGenerator, TraceScenario};
+
+fn fixtures() -> (Trace, Trace, RuntimeConfig) {
+    let scenario =
+        TraceScenario { num_iot: 30, num_servers: 6, load_factor: 0.6, ..TraceScenario::default() };
+    let trace = TraceGenerator::new(scenario).num_events(300).generate(91).unwrap();
+    let shell = Trace { events: Vec::new(), ..trace.clone() };
+    let config =
+        RuntimeConfig { policy: ReassignPolicy::Greedy, seed: 13, ..RuntimeConfig::default() };
+    (trace, shell, config)
+}
+
+#[test]
+fn zoned_solve_answers_are_feasible_and_deterministic() {
+    let (trace, shell, config) = fixtures();
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("tacc-serve-zoned-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut streams = Vec::new();
+    for run in 0..2 {
+        let out = dir.join(format!("run{run}.jsonl"));
+        let cfg = ServeConfig { zones: 3, obs_out: Some(out.clone()), ..ServeConfig::default() };
+        tacc_obs::reset();
+        tacc_obs::set_enabled(true);
+        let mut session = Session::start(shell.clone(), config.clone(), &cfg).unwrap();
+        for burst in trace.events.chunks(40) {
+            session.push(burst.to_vec(), 0).unwrap();
+        }
+        session.flush().unwrap();
+        let response = session.solve(400).unwrap();
+        match response {
+            Response::Solution { feasible, objective, solver, assignment, .. } => {
+                assert!(feasible, "zoned solve must respect capacities");
+                assert!(objective.is_finite() && objective > 0.0);
+                assert_eq!(solver, "zoned:q-learning");
+                assert!(!assignment.is_empty(), "active devices got servers");
+                for &(_, server) in &assignment {
+                    assert!(server < 6, "assigned server {server} out of range");
+                }
+            }
+            other => panic!("expected a solution, got {other:?}"),
+        }
+        session.close().unwrap();
+        streams.push(std::fs::read(&out).unwrap());
+    }
+    assert_eq!(streams[0], streams[1], "same seed, same bytes (zones on)");
+    let text = String::from_utf8(streams[0].clone()).unwrap();
+    assert!(text.contains("\"kind\":\"zones\""), "stream carries the zones record:\n{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn one_zone_config_stays_on_the_flat_path() {
+    let (trace, shell, config) = fixtures();
+    let mut flat = Session::start(shell.clone(), config.clone(), &ServeConfig::default()).unwrap();
+    let mut one =
+        Session::start(shell, config, &ServeConfig { zones: 1, ..ServeConfig::default() }).unwrap();
+    for burst in trace.events.chunks(40) {
+        flat.push(burst.to_vec(), 0).unwrap();
+        one.push(burst.to_vec(), 0).unwrap();
+    }
+    let a = flat.solve(200).unwrap();
+    let b = one.solve(200).unwrap();
+    match (a, b) {
+        (
+            Response::Solution { objective: oa, solver: sa, assignment: aa, .. },
+            Response::Solution { objective: ob, solver: sb, assignment: ab, .. },
+        ) => {
+            assert_eq!(oa.to_bits(), ob.to_bits(), "zones<=1 is the identical flat path");
+            assert_eq!(sa, sb);
+            assert_eq!(aa, ab);
+        }
+        other => panic!("expected two solutions, got {other:?}"),
+    }
+}

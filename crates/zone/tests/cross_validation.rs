@@ -1,0 +1,112 @@
+//! Cross-validation of the zoned pipeline against the global dense
+//! solver, on every topology family at sizes where the global solver
+//! runs comfortably.
+//!
+//! Two contracts:
+//! - with **one zone** the decomposition is a strict generalization:
+//!   assignment and objective match the global solve bit-for-bit;
+//! - with **several zones** the objective stays within a fixed ratio
+//!   bound of the global one (the same bound `exp_zone_scale` and the
+//!   CI `zone` job gate on).
+
+use tacc_gap::Budget;
+use tacc_workload::{ScenarioBuilder, TopologyFamily};
+use tacc_zone::{dense_solve, ZoneLayout, DEFAULT_ROUNDS};
+
+/// Worst zone-vs-global objective ratio the decomposition may produce
+/// on these sizes. Observed ratios sit well under 1.15; the bound
+/// leaves headroom for seed variation without hiding regressions.
+const RATIO_BOUND: f64 = 1.35;
+
+fn scenario(family: TopologyFamily, devices: usize, servers: usize) -> tacc_workload::Scenario {
+    ScenarioBuilder::new()
+        .family(family)
+        .num_iot(devices)
+        .num_servers(servers)
+        .load_factor(0.7)
+        .build(2024)
+        .expect("scenario builds")
+}
+
+/// Scalar per-device demands of a scenario instance (scenarios use
+/// server-independent demands).
+fn demands(instance: &tacc_gap::GapInstance) -> Vec<f64> {
+    (0..instance.num_devices()).map(|i| instance.demand(i, 0)).collect()
+}
+
+#[test]
+fn one_zone_is_bit_identical_to_the_global_solver_on_every_family() {
+    for family in TopologyFamily::ALL {
+        let sc = scenario(family, 120, 8);
+        let instance = sc.instance();
+        let global = dense_solve(instance, 7, DEFAULT_ROUNDS);
+        let layout = ZoneLayout::build(
+            sc.topology(),
+            &tacc_topology::DelayModel::default(),
+            instance.capacities(),
+            1,
+        );
+        let zoned =
+            layout.solve(sc.topology().iot_nodes(), &demands(instance), 7, &Budget::unlimited());
+        assert_eq!(
+            zoned.objective.to_bits(),
+            global.objective.to_bits(),
+            "{}: one-zone objective {} vs global {}",
+            family.name(),
+            zoned.objective,
+            global.objective
+        );
+        assert_eq!(zoned.feasible, global.feasible, "{}", family.name());
+        assert_eq!(zoned.refinements, 0, "{}", family.name());
+        for i in 0..instance.num_devices() {
+            assert_eq!(
+                zoned.server_of_device[i] as usize,
+                global.assignment.server_of(i).expect("global solve is complete"),
+                "{}: device {i} assigned differently",
+                family.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn zoned_objective_stays_within_the_ratio_bound_on_every_family() {
+    for family in TopologyFamily::ALL {
+        for (devices, servers, zones) in [(120usize, 8usize, 2usize), (240, 12, 4)] {
+            let sc = scenario(family, devices, servers);
+            let instance = sc.instance();
+            let global = dense_solve(instance, 7, DEFAULT_ROUNDS);
+            let layout = ZoneLayout::build(
+                sc.topology(),
+                &tacc_topology::DelayModel::default(),
+                instance.capacities(),
+                zones,
+            );
+            let zoned = layout.solve(
+                sc.topology().iot_nodes(),
+                &demands(instance),
+                7,
+                &Budget::unlimited(),
+            );
+            assert!(
+                zoned.feasible,
+                "{} {}x{} z{zones}: zoned solve infeasible",
+                family.name(),
+                devices,
+                servers
+            );
+            let ratio = zoned.objective / global.objective;
+            assert!(
+                ratio <= RATIO_BOUND,
+                "{} {}x{} z{zones}: ratio {ratio:.4} exceeds {RATIO_BOUND}",
+                family.name(),
+                devices,
+                servers
+            );
+            // The decomposition can beat the (heuristic) global solver,
+            // but never below a sanity floor — both optimize the same
+            // objective on the same data.
+            assert!(ratio > 0.5, "{}: suspicious ratio {ratio:.4}", family.name());
+        }
+    }
+}

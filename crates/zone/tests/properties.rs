@@ -1,0 +1,163 @@
+//! Property tests for the zone partitioner: routing covers every
+//! device exactly once, zone capacities partition the global capacity,
+//! the compressed summary is an admissible (in fact exact) bound
+//! against the flat delay matrix, and the whole partition is
+//! byte-identical across worker counts and repeat runs of a seed.
+
+use proptest::prelude::*;
+use tacc_topology::DelayModel;
+use tacc_workload::{ScenarioBuilder, TopologyFamily};
+use tacc_zone::{RouterConfig, ZoneLayout, NO_ZONE};
+
+/// 1 = forced serial, 4 = the worker count CI runs tests under.
+const THREADS: [usize; 2] = [1, 4];
+
+fn scenario(family: usize, seed: u64, n: usize, m: usize) -> tacc_workload::Scenario {
+    ScenarioBuilder::new()
+        .family(TopologyFamily::ALL[family])
+        .num_iot(n)
+        .num_servers(m)
+        .load_factor(0.7)
+        .build(seed)
+        .expect("scenario builds")
+}
+
+fn layout_of(sc: &tacc_workload::Scenario, zones: usize, threads: usize) -> ZoneLayout {
+    let model = DelayModel::default();
+    let costs: Vec<f64> =
+        sc.topology().graph().links().map(|(_, link)| model.link_delay_ms(link)).collect();
+    let servers: Vec<usize> = (0..sc.topology().num_servers()).collect();
+    ZoneLayout::build_with_threads(
+        sc.topology(),
+        &costs,
+        &servers,
+        sc.instance().capacities(),
+        zones,
+        threads,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every device is routed to exactly one valid zone, and the
+    /// per-zone routed loads re-sum from the per-device decisions.
+    #[test]
+    fn every_device_routes_to_exactly_one_zone(
+        family in 0usize..6,
+        seed in 0u64..200,
+        n in 20usize..60,
+        m in 3usize..9,
+        zones in 1usize..6,
+    ) {
+        let sc = scenario(family, seed, n, m);
+        let layout = layout_of(&sc, zones, 1);
+        let demands: Vec<f64> =
+            (0..n).map(|i| sc.instance().demand(i, 0)).collect();
+        let routing = layout.route(sc.topology().iot_nodes(), &demands, &RouterConfig::default());
+        prop_assert_eq!(routing.zone_of_device.len(), n);
+        let mut loads = vec![0.0f64; layout.num_zones()];
+        for (i, &z) in routing.zone_of_device.iter().enumerate() {
+            prop_assert!(z != NO_ZONE && (z as usize) < layout.num_zones(),
+                "device {} routed to invalid zone {}", i, z);
+            loads[z as usize] += demands[i];
+        }
+        for (z, &load) in loads.iter().enumerate() {
+            prop_assert!((load - routing.routed_load[z]).abs() <= 1e-9 * load.max(1.0),
+                "zone {} routed_load mismatch", z);
+        }
+    }
+
+    /// Zones disjointly cover the server set and the per-zone
+    /// capacities re-sum to the global capacity.
+    #[test]
+    fn zone_capacities_partition_global_capacity(
+        family in 0usize..6,
+        seed in 0u64..200,
+        m in 3usize..10,
+        zones in 1usize..8,
+    ) {
+        let sc = scenario(family, seed, 20, m);
+        let layout = layout_of(&sc, zones, 1);
+        let caps = sc.instance().capacities();
+        let mut owner = vec![usize::MAX; m];
+        let mut zone_total = 0.0f64;
+        for z in 0..layout.num_zones() {
+            prop_assert!(!layout.zone_servers(z).is_empty(), "zone {} is empty", z);
+            let mut member_sum = 0.0f64;
+            for &s in layout.zone_servers(z) {
+                prop_assert_eq!(owner[s], usize::MAX, "server {} owned twice", s);
+                owner[s] = z;
+                member_sum += caps[s];
+            }
+            prop_assert_eq!(member_sum.to_bits(), layout.zone_capacity(z).to_bits(),
+                "zone {} capacity is not the ascending member fold", z);
+            zone_total += layout.zone_capacity(z);
+        }
+        prop_assert!(owner.iter().all(|&o| o != usize::MAX), "some server has no zone");
+        let global: f64 = caps.iter().sum();
+        prop_assert!((zone_total - global).abs() <= 1e-9 * global,
+            "zone capacities {} do not partition global {}", zone_total, global);
+    }
+
+    /// The summary bound never exceeds any exact delay to a zone member
+    /// (admissible), and equals the zone minimum bit-for-bit.
+    #[test]
+    fn summary_is_an_admissible_exact_zone_bound(
+        family in 0usize..6,
+        seed in 0u64..200,
+        n in 10usize..40,
+        m in 3usize..8,
+        zones in 1usize..5,
+    ) {
+        let sc = scenario(family, seed, n, m);
+        let layout = layout_of(&sc, zones, 1);
+        let matrix = sc.topology().delay_matrix(&DelayModel::default());
+        for (i, &dev) in sc.topology().iot_nodes().iter().enumerate() {
+            for z in 0..layout.num_zones() {
+                let lb = layout.lower_bound(dev, z);
+                let mut exact_min = f64::INFINITY;
+                for &j in layout.zone_servers(z) {
+                    let exact = matrix.get(i, j);
+                    prop_assert!(lb <= exact,
+                        "device {} zone {}: bound {} above exact {}", i, z, lb, exact);
+                    exact_min = exact_min.min(exact);
+                }
+                prop_assert_eq!(lb.to_bits(), exact_min.to_bits(),
+                    "device {} zone {}: bound {} != zone min {}", i, z, lb, exact_min);
+            }
+        }
+    }
+
+    /// Partitioning is byte-identical across worker counts and across
+    /// repeat runs of the same seed.
+    #[test]
+    fn partition_is_deterministic_across_threads_and_reruns(
+        family in 0usize..6,
+        seed in 0u64..200,
+        m in 3usize..10,
+        zones in 1usize..6,
+    ) {
+        let sc = scenario(family, seed, 24, m);
+        let reference = layout_of(&sc, zones, THREADS[0]);
+        for &threads in &THREADS {
+            for run in 0..2 {
+                let again = layout_of(&sc, zones, threads);
+                for s in 0..m {
+                    prop_assert_eq!(reference.zone_of_server(s), again.zone_of_server(s),
+                        "threads {} run {}: server {} changed zone", threads, run, s);
+                }
+                for z in 0..reference.num_zones() {
+                    prop_assert_eq!(
+                        reference.zone_capacity(z).to_bits(),
+                        again.zone_capacity(z).to_bits(),
+                        "threads {} run {}: zone {} capacity drifted", threads, run, z);
+                    prop_assert!(
+                        reference.summary()[z].iter().map(|d| d.to_bits())
+                            .eq(again.summary()[z].iter().map(|d| d.to_bits())),
+                        "threads {} run {}: zone {} summary drifted", threads, run, z);
+                }
+            }
+        }
+    }
+}
