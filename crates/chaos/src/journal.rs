@@ -29,6 +29,21 @@
 //! without needing the trace up front, which is how a recovering daemon
 //! bootstraps. V1 and v2 journals remain readable.
 //!
+//! Format v4 adds the `SeqAck` record: the acknowledgement a wire-fed
+//! session returned for an idempotent `Push` sequence number, journaled
+//! in the *same* fsync as the burst's `Event` records. A recovered (or
+//! promoted-standby) daemon restores its seq-dedup state from the last
+//! `SeqAck`, so a client re-sending an acked burst after failover gets
+//! the recorded acknowledgement instead of a double-apply. V1–v3
+//! journals remain readable.
+//!
+//! [`Journal::open_append`] — the recovery/standby reopen path — first
+//! **truncates the torn tail**: any unterminated trailing bytes, plus a
+//! final newline-terminated line whose CRC frame fails to verify (what
+//! an ENOSPC or short write leaves behind). Without this, the next
+//! append would concatenate onto the torn fragment and turn a tolerated
+//! tail into hard mid-file corruption.
+//!
 //! Recovery damage tolerance is a [`RecoveryPolicy`]:
 //!
 //! - **Strict** ([`recover`]'s behavior): tolerates exactly a torn
@@ -56,8 +71,8 @@ use tacc_workload::{TimedEvent, Trace, TraceScenario};
 use crate::crc::crc32;
 use crate::ChaosError;
 
-/// The journal format this build writes. Reading accepts `1..=3`.
-pub const JOURNAL_VERSION: u32 = 3;
+/// The journal format this build writes. Reading accepts `1..=4`.
+pub const JOURNAL_VERSION: u32 = 4;
 
 /// One line of the journal.
 ///
@@ -111,6 +126,19 @@ pub enum JournalRecord {
         /// The event itself.
         timed: TimedEvent,
     },
+    /// (v4) The acknowledgement returned for an idempotent `Push`
+    /// sequence number, durable in the same fsync as the burst's `Event`
+    /// records. Recovery restores its seq-dedup state from the last one,
+    /// so an acked burst re-sent across a crash or failover is answered
+    /// from here instead of journaled twice.
+    SeqAck {
+        /// The client-chosen sequence number that was acknowledged.
+        seq: u64,
+        /// `Accepted::queued` of the recorded acknowledgement.
+        queued: u64,
+        /// `Accepted::pending` of the recorded acknowledgement.
+        pending: u64,
+    },
 }
 
 /// An open, append-only journal. Every [`Journal::append`] flushes and
@@ -133,6 +161,7 @@ impl Journal {
         trace: &Trace,
         config: &RuntimeConfig,
     ) -> Result<Journal, ChaosError> {
+        failpoint(path, "journal.create")?;
         let file = File::create(path).map_err(|e| ChaosError::io(path, &e))?;
         let mut journal = Journal { file, path: path.to_path_buf() };
         journal.append(&JournalRecord::Begin {
@@ -143,12 +172,31 @@ impl Journal {
         Ok(journal)
     }
 
-    /// Re-opens an existing journal for appending (the recovery path).
+    /// Creates (truncating) an *empty* journal with no `Begin` record —
+    /// the standby's receiving end, whose first shipped line IS the
+    /// primary's `Begin`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosError::Io`] on filesystem failures.
+    pub fn create_raw(path: &Path) -> Result<Journal, ChaosError> {
+        failpoint(path, "journal.create")?;
+        let file = File::create(path).map_err(|e| ChaosError::io(path, &e))?;
+        Ok(Journal { file, path: path.to_path_buf() })
+    }
+
+    /// Re-opens an existing journal for appending (the recovery and
+    /// standby-resync path), first truncating any torn tail — see the
+    /// module docs. Without the truncation, appending after a mid-write
+    /// kill or ENOSPC would concatenate onto the torn fragment and turn
+    /// a tolerated tail into hard mid-file corruption.
     ///
     /// # Errors
     ///
     /// Returns [`ChaosError::Io`] on filesystem failures.
     pub fn open_append(path: &Path) -> Result<Journal, ChaosError> {
+        failpoint(path, "journal.open")?;
+        truncate_torn_tail(path)?;
         let file =
             OpenOptions::new().append(true).open(path).map_err(|e| ChaosError::io(path, &e))?;
         Ok(Journal { file, path: path.to_path_buf() })
@@ -195,7 +243,46 @@ impl Journal {
                 .expect("writing to a String is infallible");
         }
         tacc_obs::counter_add("journal.records", records.len() as u64);
-        self.file.write_all(lines.as_bytes()).map_err(|e| ChaosError::io(&self.path, &e))?;
+        self.write_and_sync(lines.as_bytes())
+    }
+
+    /// Appends pre-framed journal lines (newline-stripped, exactly as
+    /// shipped by a replication stream) under a single fsync. The caller
+    /// is responsible for having CRC-verified each line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosError::Io`] on filesystem failures.
+    pub fn append_raw_lines(&mut self, lines: &[String]) -> Result<(), ChaosError> {
+        if lines.is_empty() {
+            return Ok(());
+        }
+        let mut buffer = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for line in lines {
+            buffer.push_str(line);
+            buffer.push('\n');
+        }
+        tacc_obs::counter_add("journal.records", lines.len() as u64);
+        self.write_and_sync(buffer.as_bytes())
+    }
+
+    /// The shared durable-write tail: one `write_all`, one `sync_data`,
+    /// both behind failpoints. A `short`-kind `journal.write` failpoint
+    /// writes a torn partial prefix first — exactly the damage ENOSPC
+    /// leaves — so harnesses can prove the reopen truncation heals it.
+    fn write_and_sync(&mut self, bytes: &[u8]) -> Result<(), ChaosError> {
+        if let Err(failure) = tacc_failpoints::check("journal.write") {
+            if failure.is_short_write() {
+                let torn = &bytes[..bytes.len() / 2];
+                let _ = self.file.write_all(torn);
+                let _ = self.file.sync_data();
+            }
+            return Err(ChaosError::io(&self.path, &failure.to_io_error()));
+        }
+        self.file.write_all(bytes).map_err(|e| ChaosError::io(&self.path, &e))?;
+        if let Err(failure) = tacc_failpoints::check("journal.fsync") {
+            return Err(ChaosError::io(&self.path, &failure.to_io_error()));
+        }
         if tacc_obs::enabled() {
             let started = std::time::Instant::now();
             let synced = self.file.sync_data();
@@ -204,6 +291,66 @@ impl Journal {
         } else {
             self.file.sync_data().map_err(|e| ChaosError::io(&self.path, &e))
         }
+    }
+}
+
+/// Probes a named failpoint, rendering a fired fault as the same typed
+/// [`ChaosError::Io`] a real filesystem failure would produce.
+fn failpoint(path: &Path, name: &'static str) -> Result<(), ChaosError> {
+    tacc_failpoints::check(name).map_err(|f| ChaosError::io(path, &f.to_io_error()))
+}
+
+/// Truncates the torn tail of a journal file in place: unterminated
+/// trailing bytes (a mid-write kill), then a final newline-terminated
+/// line that fails [`parse_journal_line`] (a torn CRC frame from ENOSPC
+/// or a short write). Bounded to the final line — damage any earlier is
+/// real corruption and stays visible to [`scan_journal`].
+fn truncate_torn_tail(path: &Path) -> Result<(), ChaosError> {
+    let bytes = std::fs::read(path).map_err(|e| ChaosError::io(path, &e))?;
+    let mut keep = bytes.len();
+
+    // Drop unterminated trailing bytes (no final newline).
+    if keep > 0 && bytes[keep - 1] != b'\n' {
+        keep = bytes[..keep].iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    }
+    // Drop a final complete line whose frame fails to verify, unless it
+    // is the only line (a damaged Begin is fatal, not truncatable — the
+    // scan must report it).
+    if keep > 0 {
+        let start = bytes[..keep - 1].iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+        if start > 0 {
+            let intact = std::str::from_utf8(&bytes[start..keep - 1])
+                .map_err(|e| e.to_string())
+                .and_then(|line| parse_journal_line(line).map(|_| ()));
+            if intact.is_err() {
+                keep = start;
+            }
+        }
+    }
+
+    if keep < bytes.len() {
+        tacc_obs::counter_add("journal.torn_tail_truncated", 1);
+        let file =
+            OpenOptions::new().write(true).open(path).map_err(|e| ChaosError::io(path, &e))?;
+        file.set_len(keep as u64).map_err(|e| ChaosError::io(path, &e))?;
+        file.sync_data().map_err(|e| ChaosError::io(path, &e))?;
+    }
+    Ok(())
+}
+
+/// Counts the intact journal lines currently in `path` (zero when the
+/// file does not exist) — how a standby re-learns its durable length
+/// after dropping a failed journal handle.
+///
+/// # Errors
+///
+/// Returns [`ChaosError::Io`] on any read failure other than the file
+/// not existing.
+pub fn journal_line_count(path: &Path) -> Result<u64, ChaosError> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(text.lines().filter(|l| !l.trim().is_empty()).count() as u64),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(ChaosError::io(path, &e)),
     }
 }
 
@@ -244,6 +391,17 @@ pub struct Recovery {
     /// 1-based line numbers of corrupt mid-file records that were
     /// skipped. Always empty under [`RecoveryPolicy::Strict`].
     pub corrupt_records: Vec<usize>,
+}
+
+/// Parses (and CRC-verifies) one journal line — v2+ CRC frame or v1
+/// plain record. This is how a replication standby validates each
+/// shipped line before making it durable.
+///
+/// # Errors
+///
+/// A human-readable reason when the line is not an intact record.
+pub fn parse_journal_line(line: &str) -> Result<JournalRecord, String> {
+    parse_line(line)
 }
 
 /// Parses one journal line, v2 CRC frame or v1 plain record.
@@ -410,7 +568,8 @@ pub fn recover_with(
             JournalRecord::Begin { .. }
             | JournalRecord::Recovered { .. }
             | JournalRecord::SessionScenario { .. }
-            | JournalRecord::Event { .. } => {}
+            | JournalRecord::Event { .. }
+            | JournalRecord::SeqAck { .. } => {}
         }
     }
 
@@ -675,6 +834,103 @@ mod tests {
         let rebuilt = Trace { scenario: scenario.unwrap(), events, ..shell };
         assert_eq!(rebuilt.fingerprint(), trace.fingerprint(), "byte-identical trace");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_truncates_an_unterminated_tail_before_appending() {
+        let trace = trace();
+        let config = RuntimeConfig::default();
+        let path = temp_path("reopen-unterminated");
+        let mut journal = Journal::create(&path, &trace, &config).unwrap();
+        journal.append(&JournalRecord::Step { index: 0 }).unwrap();
+        drop(journal);
+        let pristine = std::fs::read_to_string(&path).unwrap();
+
+        // A mid-write kill: unterminated fragment at the tail. Appending
+        // without truncation would concatenate onto it and corrupt the
+        // next record too.
+        std::fs::write(&path, format!("{pristine}{{\"crc32\":12,\"record\":{{\"St")).unwrap();
+        let mut journal = Journal::open_append(&path).unwrap();
+        journal.append(&JournalRecord::Step { index: 1 }).unwrap();
+        drop(journal);
+
+        let scan = scan_journal(&path, RecoveryPolicy::Strict).unwrap();
+        assert!(!scan.torn_tail, "the torn fragment is gone, not tolerated");
+        assert_eq!(scan.records.len(), 3, "Begin + step 0 + step 1");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_truncates_a_torn_crc_frame_on_the_final_line() {
+        let trace = trace();
+        let config = RuntimeConfig::default();
+        let path = temp_path("reopen-torn-frame");
+        let mut journal = Journal::create(&path, &trace, &config).unwrap();
+        journal.append(&JournalRecord::Step { index: 0 }).unwrap();
+        journal.append(&JournalRecord::Step { index: 1 }).unwrap();
+        drop(journal);
+
+        // ENOSPC-style damage: the final line is newline-terminated but
+        // its frame no longer verifies (valid JSON, wrong checksum).
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("\"index\":1", "\"index\":7")).unwrap();
+        let mut journal = Journal::open_append(&path).unwrap();
+        journal.append(&JournalRecord::Step { index: 1 }).unwrap();
+        drop(journal);
+
+        let scan = scan_journal(&path, RecoveryPolicy::Strict).unwrap();
+        assert_eq!(scan.records.len(), 3, "Begin + step 0 + re-appended step 1");
+        assert!(scan.corrupt_records.is_empty());
+
+        // But a damaged *Begin* is never truncated away: the scan must
+        // see and report it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let first = text.lines().next().unwrap().replace("crc32", "crc99");
+        std::fs::write(&path, format!("{first}\n")).unwrap();
+        Journal::open_append(&path).unwrap();
+        let err = scan_journal(&path, RecoveryPolicy::Lenient).unwrap_err();
+        assert!(matches!(err, ChaosError::Journal { .. }), "got {err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn raw_appends_ship_verbatim_lines_and_count_back() {
+        let trace = trace();
+        let config = RuntimeConfig::default();
+        let primary = temp_path("raw-primary");
+        let standby = temp_path("raw-standby");
+        let mut journal = Journal::create(&primary, &trace, &config).unwrap();
+        journal.append(&JournalRecord::Step { index: 0 }).unwrap();
+        journal.append(&JournalRecord::SeqAck { seq: 31, queued: 4, pending: 2 }).unwrap();
+        drop(journal);
+
+        // Ship the primary's lines verbatim; the standby file becomes
+        // byte-identical.
+        let lines: Vec<String> =
+            std::fs::read_to_string(&primary).unwrap().lines().map(str::to_owned).collect();
+        for line in &lines {
+            parse_journal_line(line).expect("shipped lines verify");
+        }
+        let mut replica = Journal::create_raw(&standby).unwrap();
+        replica.append_raw_lines(&lines).unwrap();
+        replica.append_raw_lines(&[]).unwrap();
+        drop(replica);
+        assert_eq!(
+            std::fs::read(&primary).unwrap(),
+            std::fs::read(&standby).unwrap(),
+            "replica file is byte-identical"
+        );
+        assert_eq!(journal_line_count(&standby).unwrap(), 3);
+        assert_eq!(journal_line_count(&temp_path("raw-nonexistent")).unwrap(), 0);
+
+        // The scan sees the SeqAck intact.
+        let scan = scan_journal(&standby, RecoveryPolicy::Strict).unwrap();
+        let Some(JournalRecord::SeqAck { seq, queued, pending }) = scan.records.last() else {
+            panic!("missing SeqAck");
+        };
+        assert_eq!((*seq, *queued, *pending), (31, 4, 2));
+        std::fs::remove_file(&primary).ok();
+        std::fs::remove_file(&standby).ok();
     }
 
     #[test]

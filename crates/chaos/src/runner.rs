@@ -401,6 +401,96 @@ pub fn corrupt_and_recover_everywhere(
     Ok(proven)
 }
 
+/// The ENOSPC/short-write gate: run the trace once fully journaled, cut
+/// the journal file at an arbitrary byte offset — mid-record, mid-frame,
+/// wherever `at_byte` lands — and prove the reopen path heals it: a
+/// torn tail is truncated to the last intact record boundary by
+/// [`Journal::open_append`], strict recovery accepts the healed journal,
+/// and finishing the trace from it is byte-identical to the
+/// uninterrupted reference. Returns the number of intact journal lines
+/// that survived the cut. The pristine journal is restored afterwards.
+///
+/// # Errors
+///
+/// Returns [`ChaosError::Journal`] when `at_byte` cuts into the `Begin`
+/// record (nothing can be trusted without it — recovery *must* fail, so
+/// there is nothing to prove), [`ChaosError::Mismatch`] when the healed
+/// run diverges from the reference, and propagates journal and runtime
+/// failures.
+pub fn truncate_and_recover(
+    trace: &Trace,
+    config: &RuntimeConfig,
+    snapshot_every: u64,
+    journal_path: &Path,
+    at_byte: u64,
+) -> Result<u64, ChaosError> {
+    quarantine(trace)?;
+    let (reference_report, reference_snapshot, _) = reference_run(trace, config)?;
+
+    // One complete journaled run; its bytes are the damage corpus.
+    let mut journal = Journal::create(journal_path, trace, config)?;
+    let mut runtime = Runtime::from_trace(trace, config.clone())?;
+    for index in 0..trace.events.len() {
+        runtime.step(index, &trace.events[index])?;
+        journal.append(&JournalRecord::Step { index: index as u64 })?;
+        if snapshot_every > 0 && runtime.cursor() % snapshot_every == 0 {
+            journal.append(&JournalRecord::Snapshot { snapshot: runtime.snapshot() })?;
+        }
+    }
+    drop(runtime);
+    drop(journal);
+    let pristine = std::fs::read(journal_path).map_err(|e| ChaosError::io(journal_path, &e))?;
+
+    let begin_end =
+        pristine.iter().position(|&b| b == b'\n').map_or(pristine.len() as u64, |p| p as u64 + 1);
+    if at_byte < begin_end {
+        return Err(ChaosError::Journal {
+            reason: format!(
+                "cut at byte {at_byte} severs the Begin record (ends at byte {begin_end}); \
+                 a journal without an intact Begin is unrecoverable by design"
+            ),
+        });
+    }
+
+    // The cut: everything past `at_byte` is gone, exactly what ENOSPC or
+    // a short write leaves behind.
+    let cut = (at_byte as usize).min(pristine.len());
+    std::fs::write(journal_path, &pristine[..cut]).map_err(|e| ChaosError::io(journal_path, &e))?;
+
+    // Healing: reopening truncates the torn tail to an intact record
+    // boundary, after which strict recovery accepts the journal...
+    drop(Journal::open_append(journal_path)?);
+    let surviving = crate::journal::journal_line_count(journal_path)?;
+    let recovery = recover_with(journal_path, trace, RecoveryPolicy::Strict)?;
+    if recovery.torn_tail || !recovery.corrupt_records.is_empty() {
+        return Err(ChaosError::Mismatch {
+            reason: format!(
+                "cut at byte {at_byte}: reopen left damage behind \
+                 (torn_tail={}, corrupt={:?})",
+                recovery.torn_tail, recovery.corrupt_records
+            ),
+        });
+    }
+
+    // ...and finishing the trace reproduces the reference exactly.
+    let mut runtime = recovery.runtime;
+    while (runtime.cursor() as usize) < trace.events.len() {
+        let index = runtime.cursor() as usize;
+        runtime.step(index, &trace.events[index])?;
+    }
+    let report =
+        serde_json::to_string(&runtime.report_json(false)).expect("reports are serializable");
+    if report != reference_report || runtime.snapshot() != reference_snapshot {
+        return Err(ChaosError::Mismatch {
+            reason: format!("cut at byte {at_byte}: healed run diverged from reference"),
+        });
+    }
+
+    // Restore the pristine journal so the caller can inspect it.
+    std::fs::write(journal_path, &pristine).map_err(|e| ChaosError::io(journal_path, &e))?;
+    Ok(surviving)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +543,31 @@ mod tests {
             corrupt_and_recover_everywhere(&trace, &RuntimeConfig::default(), 4, &path).unwrap();
         // 12 steps + 3 snapshots (after events 4, 8, 12); Begin is exempt.
         assert_eq!(proven, 15);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_gate_heals_any_cut_past_the_begin_record() {
+        let scenario = TraceScenario { num_iot: 10, num_servers: 3, ..TraceScenario::default() };
+        let trace =
+            ChaosGenerator::new(scenario, ChaosProfile::Mixed).num_events(12).generate(21).unwrap();
+        let path = temp_path("truncate-gate");
+        let config = RuntimeConfig::default();
+
+        // Build the corpus once to learn its size, then cut at a spread
+        // of offsets: record boundaries, mid-record, mid-frame, past EOF.
+        truncate_and_recover(&trace, &config, 4, &path, u64::MAX).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+        let begin_end = pristine.iter().position(|&b| b == b'\n').unwrap() as u64 + 1;
+        let len = pristine.len() as u64;
+        for at_byte in [begin_end, begin_end + 3, len / 2, len - 1, len, len + 100] {
+            let surviving = truncate_and_recover(&trace, &config, 4, &path, at_byte).unwrap();
+            assert!(surviving >= 1, "cut at {at_byte}: the Begin record always survives");
+        }
+
+        // Cutting into Begin itself is typed, not provable.
+        let err = truncate_and_recover(&trace, &config, 4, &path, begin_end - 1).unwrap_err();
+        assert!(matches!(err, ChaosError::Journal { .. }), "got {err:?}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -128,6 +128,10 @@ chaos only:
   --journal FILE     keep the journal here           [default temp, removed]
   --corrupt-records  additionally flip one byte at every journal record
                      offset and prove detection + byte-identical recovery
+  --truncate-at-byte N  additionally chop the journal to its first N bytes
+                     (a simulated ENOSPC / torn write), reopen — which
+                     truncates the torn tail — and prove the survivor
+                     still recovers and finishes byte-identically
   (plus --devices/--servers/--load/--family/--seed and the run-trace
    policy flags; exits non-zero unless recovery is byte-identical)
 
@@ -148,8 +152,21 @@ serve only:
   --high-water R     backlog ratio counting as pressure     [default 0.75]
   --low-water R      backlog ratio counting as calm         [default 0.25]
   --recover-after N  calm observations per ladder step-down [default 3]
+  --standby          boot as the hot standby of a primary/standby pair:
+                     accept journal replication into --journal (required)
+                     and serve only after a Promote promotes this daemon
+  --replicate-to A   boot as the primary of a pair: after every request,
+                     ship the newly journaled lines (--journal required)
+                     to the standby at A (host:port, or a /unix/socket
+                     path) and withdraw any ack it cannot hold
 
-client only (needs --connect ADDR or --uds PATH):
+client only (needs --connect ADDR, --uds PATH or --failover LIST):
+  --failover LIST    comma-separated addresses (host:port, or socket
+                     paths marked by a / or a .sock suffix) tried in
+                     order; on connection loss the client
+                     rotates to the next one, asks it to Promote, and
+                     re-sends under the same push sequence numbers so the
+                     new primary deduplicates anything already applied
   --client-timeout-ms T  connect + per-response timeout     [default 120000]
   --retry N          re-send a shed/timed-out push up to N times with
                      seeded jittered exponential backoff honoring the
@@ -165,16 +182,24 @@ client only (needs --connect ADDR or --uds PATH):
   --query-every N    device query every N bursts (0 = off)  [default 5]
   --solve-every N    budgeted solve every N bursts (0 = off) [default 0]
   --budget N         work budget for those solves (0 = server default)
-  --hello | --stats | --metrics | --snapshot | --flush | --shutdown
+  --hello | --promote | --stats | --metrics | --snapshot | --flush | --shutdown
                      one-shot requests (run in that order, after --drive
-                     when both are given); each response prints as JSON
+                     when both are given); each response prints as JSON.
+                     --promote asks a standby to take over (a no-op
+                     answered with was_primary on a serving daemon)
   --query D          one-shot device query
   --solve N          one-shot budgeted solve
 
 bench-report only:
   --out DIR          where to write BENCH_*.json [default .]
   --reps N           timing repetitions, best-of  [default 3]
-  --quick            smaller sizes for CI smoke runs";
+  --quick            smaller sizes for CI smoke runs
+
+ENVIRONMENT:
+  TACC_FAILPOINTS    deterministic fault injection: comma-separated
+                     `name@occurrence:kind` specs (kind: io | enospc |
+                     short | reset), e.g. `journal.fsync@2:enospc`.
+                     Unset, every probe is a single relaxed atomic load.";
 
 fn family_by_name(name: &str) -> Result<TopologyFamily, String> {
     TopologyFamily::ALL
@@ -949,6 +974,31 @@ fn chaos_report(args: &Args) -> Result<(String, bool), String> {
             fields.push(("corruption_offsets_proven".to_owned(), serde_json::Value::UInt(proven)));
         }
     }
+    if let Some(raw) = args.str_opt("truncate-at-byte") {
+        // The torn-tail gate: journal a fresh run, chop the file at the
+        // given byte (what an ENOSPC or power cut leaves behind), and
+        // prove reopen-heal + recovery still finishes byte-identically.
+        let at_byte: u64 = raw
+            .parse()
+            .map_err(|_| format!("--truncate-at-byte got `{raw}`, expected a number"))?;
+        let torn_path = journal_path.with_extension("torn.jsonl");
+        let surviving = tacc_chaos::truncate_and_recover(
+            &trace,
+            &plan.config,
+            plan.snapshot_every,
+            &torn_path,
+            at_byte,
+        )
+        .map_err(|e| e.to_string())?;
+        std::fs::remove_file(&torn_path).ok();
+        if let serde_json::Value::Object(fields) = &mut doc {
+            fields.push(("truncated_at_byte".to_owned(), serde_json::Value::UInt(at_byte)));
+            fields.push((
+                "truncation_surviving_lines".to_owned(),
+                serde_json::Value::UInt(surviving),
+            ));
+        }
+    }
     if !keep_journal {
         std::fs::remove_file(&journal_path).ok();
     }
@@ -993,6 +1043,8 @@ fn serve_config_from(args: &Args) -> Result<tacc_serve::ServeConfig, String> {
 /// (Unix socket) and serves the versioned wire protocol until a
 /// `Shutdown` request or SIGTERM/SIGINT — both drain the session
 /// cleanly: pending events applied, journal and obs stream finished.
+/// With `--standby` or `--replicate-to` the daemon boots as one half of
+/// a primary/standby pair (see `tacc-ha`).
 pub fn serve(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     let cfg = serve_config_from(&args)?;
@@ -1003,6 +1055,27 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
     if args.has("recover") && cfg.journal.is_none() {
         return Err("--recover needs --journal FILE".to_owned());
     }
+    if args.has("standby") && args.str_opt("replicate-to").is_some() {
+        return Err("--standby and --replicate-to are mutually exclusive".to_owned());
+    }
+    if args.has("standby") && args.has("recover") {
+        return Err("--standby and --recover are mutually exclusive (a standby's \
+                    journal is the primary's, shipped from line zero)"
+            .to_owned());
+    }
+    let mut hooks = if args.has("standby") {
+        let core = tacc_ha::StandbyCore::new(&cfg).map_err(|e| e.to_string())?;
+        Some(tacc_ha::HaHooks::standby(core))
+    } else if let Some(standby_addr) = args.str_opt("replicate-to") {
+        let Some(journal) = cfg.journal.clone() else {
+            return Err(
+                "--replicate-to needs --journal FILE (the journal is what ships)".to_owned()
+            );
+        };
+        Some(tacc_ha::HaHooks::primary(tacc_ha::Replicator::new(&journal, standby_addr)))
+    } else {
+        None
+    };
     let uds = args.str_opt("uds").map(std::path::PathBuf::from);
     let mut server = tacc_serve::Server::bind(args.str_opt("listen"), uds.as_deref(), cfg)
         .map_err(|e| e.to_string())?;
@@ -1015,7 +1088,10 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         // here while stdout stays free for structured output.
         eprintln!("[serve] listening on {endpoint}");
     }
-    server.run().map_err(|e| e.to_string())
+    match hooks.as_mut() {
+        Some(hooks) => server.run_with(hooks).map_err(|e| e.to_string()),
+        None => server.run().map_err(|e| e.to_string()),
+    }
 }
 
 /// `tacc client`
@@ -1031,13 +1107,19 @@ pub fn client(argv: &[String]) -> Result<(), String> {
         connect_timeout: std::time::Duration::from_millis(timeout_ms.max(1)),
         read_timeout: std::time::Duration::from_millis(timeout_ms.max(1)),
     };
-    let mut client = match (args.str_opt("connect"), args.str_opt("uds")) {
-        (Some(addr), _) => {
+    let mut client = match (args.str_opt("failover"), args.str_opt("connect"), args.str_opt("uds"))
+    {
+        (Some(list), _, _) => {
+            tacc_serve::Client::connect_failover_with(list, cfg).map_err(|e| e.to_string())?
+        }
+        (None, Some(addr), _) => {
             tacc_serve::Client::connect_tcp_with(addr, cfg).map_err(|e| e.to_string())?
         }
-        (None, Some(path)) => tacc_serve::Client::connect_unix_with(Path::new(path), cfg)
+        (None, None, Some(path)) => tacc_serve::Client::connect_unix_with(Path::new(path), cfg)
             .map_err(|e| e.to_string())?,
-        (None, None) => return Err("client needs --connect ADDR or --uds PATH".to_owned()),
+        (None, None, None) => {
+            return Err("client needs --connect ADDR, --uds PATH or --failover LIST".to_owned())
+        }
     };
 
     if let Some(trace_path) = args.str_opt("drive") {
@@ -1049,6 +1131,9 @@ pub fn client(argv: &[String]) -> Result<(), String> {
     };
     if args.has("hello") {
         print(&client.hello("tacc-cli").map_err(|e| e.to_string())?);
+    }
+    if args.has("promote") {
+        print(&client.request(&tacc_proto::Request::Promote).map_err(|e| e.to_string())?);
     }
     if let Some(raw) = args.str_opt("query") {
         let device: usize = raw.parse().map_err(|_| format!("--query got `{raw}`"))?;
@@ -1350,6 +1435,7 @@ fn bench_solvers(
         "solvers": solvers,
         "serve": bench_serve(quick, reps)?,
         "zones": bench_zones(quick, reps)?,
+        "ha": bench_ha(quick)?,
     }))
 }
 
@@ -1387,6 +1473,91 @@ fn bench_zones(quick: bool, reps: usize) -> Result<serde_json::Value, String> {
         "global_ms": global_ms,
         "objective_ratio": zoned.objective / global.objective,
         "identical_at_one_zone": one_zone.objective.to_bits() == global.objective.to_bits(),
+    }))
+}
+
+/// The high-availability section of `BENCH_solvers.json`: a full
+/// in-process primary → journal-tail → standby replication run under
+/// fixed seeds — per-burst replication lag percentiles (push durable on
+/// the primary → batch durable and applied on the standby) and the
+/// failover cost (promote + first answered query). The promoted state is
+/// deterministic; the `identical` field records the byte-compare against
+/// the primary's snapshot.
+fn bench_ha(quick: bool) -> Result<serde_json::Value, String> {
+    let (devices, servers, events) = if quick { (20, 4, 300) } else { (60, 8, 2000) };
+    let scenario = TraceScenario {
+        num_iot: devices,
+        num_servers: servers,
+        load_factor: 0.7,
+        seed: 2022,
+        ..TraceScenario::default()
+    };
+    let trace = TraceGenerator::new(scenario)
+        .num_events(events)
+        .generate(2022)
+        .map_err(|e| e.to_string())?;
+    let shell = Trace { events: Vec::new(), ..trace.clone() };
+
+    let dir = std::env::temp_dir().join(format!("tacc-bench-ha-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating `{}`: {e}", dir.display()))?;
+    let primary_journal = dir.join("primary.jsonl");
+    let standby_journal = dir.join("standby.jsonl");
+    std::fs::remove_file(&primary_journal).ok();
+    let primary_cfg = tacc_serve::ServeConfig {
+        journal: Some(primary_journal.clone()),
+        ..tacc_serve::ServeConfig::default()
+    };
+    let standby_cfg = tacc_serve::ServeConfig {
+        journal: Some(standby_journal),
+        ..tacc_serve::ServeConfig::default()
+    };
+
+    let config = RuntimeConfig { seed: 2022, ..RuntimeConfig::default() };
+    let mut primary =
+        tacc_serve::Session::start(shell, config, &primary_cfg).map_err(|e| e.to_string())?;
+    let mut tail = tacc_ha::JournalTail::new(&primary_journal);
+    let mut standby = tacc_ha::StandbyCore::new(&standby_cfg).map_err(|e| e.to_string())?;
+
+    // Per-burst replication lag: push durable on the primary, then tail
+    // + ship + standby fsync + apply — the window a failover could lose.
+    let mut shipped = 0u64;
+    let mut lags_ms: Vec<f64> = Vec::new();
+    for burst in trace.events.chunks(primary_cfg.batch_size) {
+        primary.push(burst.to_vec(), 0).map_err(|e| e.to_string())?;
+        let start = std::time::Instant::now();
+        let lines = tail.poll().map_err(|e| e.to_string())?;
+        if !lines.is_empty() {
+            shipped = standby.apply(shipped, &lines).map_err(|e| e.to_string())?;
+        }
+        lags_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    primary.flush().map_err(|e| e.to_string())?;
+    let lines = tail.poll().map_err(|e| e.to_string())?;
+    if !lines.is_empty() {
+        standby.apply(shipped, &lines).map_err(|e| e.to_string())?;
+    }
+    lags_ms.sort_by(f64::total_cmp);
+    let pct = |q: f64| lags_ms[((lags_ms.len() - 1) as f64 * q).round() as usize];
+    let (repl_lag_p50_ms, repl_lag_p99_ms) = (pct(0.50), pct(0.99));
+
+    // Failover: promote the standby and answer the first query.
+    let primary_snapshot = primary.snapshot_json().map_err(|e| e.to_string())?;
+    let start = std::time::Instant::now();
+    let mut promoted = standby.promote().map_err(|e| e.to_string())?;
+    promoted.query(0).map_err(|e| e.to_string())?;
+    let failover_ms = start.elapsed().as_secs_f64() * 1e3;
+    let identical = promoted.snapshot_json().map_err(|e| e.to_string())? == primary_snapshot;
+    std::fs::remove_dir_all(&dir).ok();
+
+    Ok(serde_json::json!({
+        "devices": devices,
+        "servers": servers,
+        "events": events,
+        "seed": 2022u64,
+        "repl_lag_p50_ms": repl_lag_p50_ms,
+        "repl_lag_p99_ms": repl_lag_p99_ms,
+        "failover_ms": failover_ms,
+        "identical": identical,
     }))
 }
 
@@ -1880,6 +2051,9 @@ mod tests {
         assert!(
             matches!(zones.get("objective_ratio"), Some(Value::Float(r)) if *r > 0.5 && *r < 2.0)
         );
+        let ha = solvers.get("ha").expect("ha section");
+        assert_eq!(ha.get("identical"), Some(&Value::Bool(true)));
+        assert!(matches!(ha.get("failover_ms"), Some(Value::Float(ms)) if *ms > 0.0));
     }
 
     #[test]

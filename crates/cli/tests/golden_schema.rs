@@ -80,7 +80,9 @@ fn bench_reports_keep_their_schema() {
          serve:{devices:uint,servers:uint,events:uint,seed:uint,ingest_ms:float,\
          ingest_events_per_sec:float,query_p50_ms:float,query_p99_ms:float},\
          zones:{devices:uint,servers:uint,zones:uint,zoned_ms:float,global_ms:float,\
-         objective_ratio:float,identical_at_one_zone:bool}}"
+         objective_ratio:float,identical_at_one_zone:bool},\
+         ha:{devices:uint,servers:uint,events:uint,seed:uint,repl_lag_p50_ms:float,\
+         repl_lag_p99_ms:float,failover_ms:float,identical:bool}}"
     );
     std::fs::remove_dir_all(&dir).ok();
 }

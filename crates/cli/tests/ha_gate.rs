@@ -1,0 +1,206 @@
+//! The high-availability gates, against the real `tacc` binary:
+//!
+//! * A primary/standby pair survives SIGKILL of the primary mid-stream:
+//!   the failover client rotates to the standby, promotes it, re-sends
+//!   under the same push sequence numbers, and finishes the workload —
+//!   no acknowledged push lost, none double-applied, and the final
+//!   snapshot *byte-identical* to an uninterrupted single-daemon run.
+//! * SIGTERM downs a standby cleanly: exit code 0, socket file removed.
+//!
+//! Both run the daemons as subprocesses over Unix sockets in a per-test
+//! temp dir, so the tests hold from any invocation directory and never
+//! collide on a port.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use tacc_core::workload::{Trace, TraceGenerator, TraceScenario};
+use tacc_proto::{Request, Response};
+use tacc_runtime::RuntimeConfig;
+use tacc_serve::{Client, ServeConfig, Session};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tacc-ha-gate-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn scripted_trace() -> Trace {
+    let scenario =
+        TraceScenario { num_iot: 24, num_servers: 4, load_factor: 0.6, ..TraceScenario::default() };
+    TraceGenerator::new(scenario).num_events(200).generate(29).unwrap()
+}
+
+fn shell(trace: &Trace) -> Trace {
+    Trace { events: Vec::new(), ..trace.clone() }
+}
+
+/// The role-specific extra flags a daemon boots with.
+enum Role<'a> {
+    Standby,
+    Primary { standby: &'a Path },
+}
+
+/// Spawns `tacc serve` on a Unix socket in the given role and waits for
+/// the socket to accept.
+// Every caller kills and/or waits the returned child; clippy cannot see
+// across the return.
+#[allow(clippy::zombie_processes)]
+fn spawn_daemon(socket: &Path, journal: &Path, role: &Role) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_tacc"));
+    cmd.args(["serve", "--uds", socket.to_str().unwrap(), "--journal", journal.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    match role {
+        Role::Standby => {
+            cmd.arg("--standby");
+        }
+        Role::Primary { standby } => {
+            cmd.args(["--replicate-to", standby.to_str().unwrap()]);
+        }
+    }
+    let mut child = cmd.spawn().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if socket.exists() && Client::connect_unix(socket).is_ok() {
+            return child;
+        }
+        if Instant::now() >= deadline {
+            // Reap the stuck daemon before failing — no zombies.
+            child.kill().ok();
+            child.wait().ok();
+            panic!("daemon never came up on {}", socket.display());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Pushes one explicitly-sequenced burst and asserts the daemon
+/// acknowledged it (which, on a replicating primary, means the standby
+/// holds it durably too).
+fn push_acked(client: &mut Client, events: &[tacc_core::workload::TimedEvent], seq: u64) {
+    let response = client.request(&Request::Push { events: events.to_vec(), seq }).unwrap();
+    assert!(matches!(response, Response::Accepted { .. }), "seq {seq} answered {response:?}");
+}
+
+#[test]
+fn sigkill_failover_loses_nothing_and_never_double_applies() {
+    let trace = scripted_trace();
+    let dir = temp_dir("failover");
+    let primary_sock = dir.join("primary.sock");
+    let standby_sock = dir.join("standby.sock");
+    let primary_journal = dir.join("primary.jsonl");
+    let standby_journal = dir.join("standby.jsonl");
+
+    // The uninterrupted reference, in-process: same events, same config
+    // as the daemons' defaults.
+    let expected = {
+        let mut session =
+            Session::start(shell(&trace), RuntimeConfig::default(), &ServeConfig::default())
+                .unwrap();
+        session.push(trace.events.clone(), 0).unwrap();
+        session.flush().unwrap();
+        session.snapshot_json().unwrap()
+    };
+
+    let mut standby = spawn_daemon(&standby_sock, &standby_journal, &Role::Standby);
+    let mut primary =
+        spawn_daemon(&primary_sock, &primary_journal, &Role::Primary { standby: &standby_sock });
+
+    let addrs = format!("{},{}", primary_sock.display(), standby_sock.display());
+    let mut client = Client::connect_failover(&addrs).unwrap();
+    let response = client.init(shell(&trace), RuntimeConfig::default()).unwrap();
+    assert!(matches!(response, Response::Initialized { .. }), "got {response:?}");
+
+    // Phase 1: four acknowledged bursts through the primary. Each
+    // Accepted is only written after the standby acked the journal
+    // lines, so all 120 events are durable on *both* sides.
+    let seq_base = (0x7Au64 << 32) | 1;
+    for (i, burst) in trace.events[..120].chunks(30).enumerate() {
+        push_acked(&mut client, burst, seq_base + i as u64);
+    }
+
+    // Phase 2: SIGKILL the primary mid-stream — no drop handlers, no
+    // farewell to the standby — and push the next burst into the dead
+    // socket. The transport error is the client's only notice.
+    primary.kill().unwrap();
+    primary.wait().unwrap();
+    let err = client
+        .request(&Request::Push { events: trace.events[120..150].to_vec(), seq: seq_base + 4 })
+        .unwrap_err();
+    assert!(err.is_disconnect(), "a killed daemon should read as a disconnect, got {err}");
+
+    // Phase 3: rotate to the standby. `reconnect` skips the corpse's
+    // stale socket, lands on the standby, and sends the Promote that
+    // turns it into the new primary (the OS already closed the dead
+    // replication connection, freeing the single-threaded daemon).
+    client.reconnect().unwrap();
+    let response = client.flush().unwrap();
+    assert!(matches!(response, Response::Flushed { .. }), "got {response:?}");
+    let Response::Stats { cursor, pending, .. } = client.stats().unwrap() else {
+        panic!("stats must answer Stats");
+    };
+    assert_eq!(
+        (cursor as usize, pending),
+        (120, 0),
+        "every acknowledged event survived the failover"
+    );
+
+    // Phase 4: a duplicate of the last acknowledged burst — the retry a
+    // client whose ack was lost would send — answers from the shipped
+    // dedup record without re-applying anything.
+    push_acked(&mut client, &trace.events[90..120], seq_base + 3);
+    client.flush().unwrap();
+    let Response::Stats { cursor, pending, .. } = client.stats().unwrap() else {
+        panic!("stats must answer Stats");
+    };
+    assert_eq!((cursor as usize, pending), (120, 0), "a re-sent burst must not double-apply");
+
+    // Phase 5: the in-flight burst re-sends under its original sequence
+    // number, the rest of the trace follows, and the final state is
+    // byte-identical to the uninterrupted reference.
+    push_acked(&mut client, &trace.events[120..150], seq_base + 4);
+    push_acked(&mut client, &trace.events[150..], seq_base + 5);
+    client.flush().unwrap();
+    let Response::Snapshot { snapshot_json } = client.snapshot().unwrap() else {
+        panic!("snapshot must answer Snapshot");
+    };
+    assert_eq!(snapshot_json, expected, "failover must land on byte-identical state");
+
+    let response = client.shutdown().unwrap();
+    assert!(matches!(response, Response::Bye), "got {response:?}");
+    assert!(standby.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigterm_downs_a_standby_cleanly() {
+    let dir = temp_dir("sigterm");
+    let socket = dir.join("standby.sock");
+    let journal = dir.join("standby.jsonl");
+
+    let mut child = spawn_daemon(&socket, &journal, &Role::Standby);
+    {
+        // A standby answers the pass-through vocabulary while fencing
+        // the rest behind promotion.
+        let mut client = Client::connect_unix(&socket).unwrap();
+        let response = client.hello("ha-gate").unwrap();
+        assert!(matches!(response, Response::Hello { .. }), "got {response:?}");
+        let response = client.stats().unwrap();
+        assert!(
+            matches!(response, Response::Error { .. }),
+            "an unpromoted standby must fence Stats, got {response:?}"
+        );
+    }
+
+    // SIGTERM (15), not SIGKILL: the serve loop latches it on the next
+    // idle tick and exits 0.
+    let status = Command::new("kill").args(["-TERM", &child.id().to_string()]).status().unwrap();
+    assert!(status.success());
+    let status = child.wait().unwrap();
+    assert!(status.success(), "SIGTERM exit must be clean, got {status:?}");
+    assert!(!socket.exists(), "clean shutdown removes the socket file");
+    std::fs::remove_dir_all(&dir).ok();
+}

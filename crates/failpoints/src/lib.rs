@@ -1,0 +1,335 @@
+//! Deterministic syscall-level fault injection for the TACC workspace.
+//!
+//! A **failpoint** is a named probe compiled into an I/O path — a journal
+//! write, an fsync, a snapshot save, a socket read. In normal operation
+//! every probe is a single relaxed atomic load (the same zero-cost gate
+//! pattern as `tacc-obs`). Armed via the [`FAILPOINTS_ENV`] environment
+//! variable — or programmatically via [`arm`] — a probe fires a typed
+//! [`Failure`] at an exact occurrence index, so a harness can sweep
+//! *every* registered failpoint at *every* occurrence and prove the
+//! system degrades to a typed error or fails over byte-identically,
+//! never corrupting state.
+//!
+//! # Spec syntax
+//!
+//! `TACC_FAILPOINTS` holds a comma-separated list of `name@n:kind`
+//! entries:
+//!
+//! - `name` — one of the registered probes in [`ALL`];
+//! - `n` — the 0-based occurrence at which to fire (each spec fires once);
+//! - `kind` — `io` (generic I/O error), `enospc` (no space left on
+//!   device), `short` (short write: the caller is expected to have
+//!   written a partial prefix), or `reset` (connection reset).
+//!
+//! The special spec `count` arms *counting-only* mode: every probe is
+//! tallied (see [`counts`]) but nothing fires. Harnesses use this to take
+//! a census of how many occurrences of each probe a scenario hits before
+//! sweeping them.
+//!
+//! # Example
+//!
+//! ```
+//! tacc_failpoints::arm("journal.fsync@1:enospc").unwrap();
+//! assert!(tacc_failpoints::check("journal.fsync").is_ok()); // occurrence 0
+//! let failure = tacc_failpoints::check("journal.fsync").unwrap_err();
+//! assert_eq!(failure.to_io_error().kind(), std::io::ErrorKind::StorageFull);
+//! assert!(tacc_failpoints::check("journal.fsync").is_ok()); // fires once
+//! tacc_failpoints::disarm();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::io;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable holding the failpoint spec list.
+pub const FAILPOINTS_ENV: &str = "TACC_FAILPOINTS";
+
+/// Every failpoint name compiled into the workspace. [`check`] asserts
+/// (in debug builds) that its name appears here, so the soak harness can
+/// enumerate this list and know the sweep is exhaustive.
+pub const ALL: &[&str] = &[
+    "journal.create",
+    "journal.open",
+    "journal.write",
+    "journal.fsync",
+    "snapshot.save",
+    "snapshot.load",
+    "socket.read",
+    "socket.write",
+    "repl.send",
+    "repl.apply",
+    "repl.promote",
+];
+
+/// 0 = unresolved, 1 = off, 2 = armed.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// The POSIX errno for "no space left on device".
+const ENOSPC: i32 = 28;
+
+/// The kind of fault a failpoint injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A generic I/O error (`ErrorKind::Other`).
+    Io,
+    /// No space left on device (`ErrorKind::StorageFull`).
+    Enospc,
+    /// A short write: the probe site wrote a partial prefix, then failed.
+    Short,
+    /// Connection reset by peer (`ErrorKind::ConnectionReset`).
+    Reset,
+}
+
+/// A fired failpoint, carrying enough context for a typed error message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// The probe that fired.
+    pub name: &'static str,
+    /// The 0-based occurrence index at which it fired.
+    pub occurrence: u64,
+    /// What kind of fault was injected.
+    pub kind: FailureKind,
+}
+
+impl Failure {
+    /// Renders this failure as an `std::io::Error` suitable for
+    /// propagating through existing I/O error paths.
+    pub fn to_io_error(&self) -> io::Error {
+        let kind = match self.kind {
+            FailureKind::Io | FailureKind::Short => io::ErrorKind::Other,
+            // Naming `ErrorKind::StorageFull` needs Rust 1.83; decoding
+            // it from the raw errno keeps the crate at the workspace
+            // MSRV while newer toolchains still see `StorageFull`.
+            FailureKind::Enospc => io::Error::from_raw_os_error(ENOSPC).kind(),
+            FailureKind::Reset => io::ErrorKind::ConnectionReset,
+        };
+        io::Error::new(
+            kind,
+            format!("failpoint {}@{} ({:?})", self.name, self.occurrence, self.kind),
+        )
+    }
+
+    /// Whether the probe site should simulate a torn partial write
+    /// before surfacing the error.
+    pub fn is_short_write(&self) -> bool {
+        self.kind == FailureKind::Short
+    }
+}
+
+struct Spec {
+    name: String,
+    at: u64,
+    kind: FailureKind,
+    fired: bool,
+}
+
+#[derive(Default)]
+struct Table {
+    specs: Vec<Spec>,
+    /// Per-name probe tallies, recorded for every probe while armed.
+    counts: Vec<(&'static str, u64)>,
+}
+
+fn table() -> &'static Mutex<Table> {
+    static TABLE: Mutex<Table> = Mutex::new(Table { specs: Vec::new(), counts: Vec::new() });
+    &TABLE
+}
+
+/// Whether any failpoint spec is armed. A single relaxed atomic load on
+/// the hot path — the entire cost of every probe when fault injection is
+/// off.
+#[inline]
+pub fn armed() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        0 => resolve_from_env(),
+        state => state == 2,
+    }
+}
+
+#[cold]
+fn resolve_from_env() -> bool {
+    let spec = std::env::var(FAILPOINTS_ENV).unwrap_or_default();
+    let armed = if spec.trim().is_empty() {
+        false
+    } else {
+        match parse_specs(&spec) {
+            Ok(specs) => {
+                let mut guard = table().lock().unwrap();
+                guard.specs = specs;
+                guard.counts.clear();
+                true
+            }
+            Err(reason) => {
+                eprintln!(
+                    "tacc-failpoints: ignoring malformed {FAILPOINTS_ENV}={spec:?}: {reason}"
+                );
+                false
+            }
+        }
+    };
+    // First writer wins so the answer stays stable under races.
+    let _ =
+        STATE.compare_exchange(0, if armed { 2 } else { 1 }, Ordering::Relaxed, Ordering::Relaxed);
+    STATE.load(Ordering::Relaxed) == 2
+}
+
+fn parse_kind(kind: &str) -> Result<FailureKind, String> {
+    match kind {
+        "io" | "err" => Ok(FailureKind::Io),
+        "enospc" => Ok(FailureKind::Enospc),
+        "short" => Ok(FailureKind::Short),
+        "reset" => Ok(FailureKind::Reset),
+        other => Err(format!("unknown failure kind {other:?} (want io|enospc|short|reset)")),
+    }
+}
+
+fn parse_specs(spec: &str) -> Result<Vec<Spec>, String> {
+    let mut specs = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        if entry == "count" {
+            // Counting-only mode: armed, but no spec ever fires.
+            continue;
+        }
+        let (name, rest) = entry
+            .split_once('@')
+            .ok_or_else(|| format!("spec {entry:?} missing '@' (want name@n:kind)"))?;
+        let (at, kind) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("spec {entry:?} missing ':' (want name@n:kind)"))?;
+        if !ALL.contains(&name) {
+            return Err(format!("unknown failpoint {name:?}"));
+        }
+        let at: u64 =
+            at.parse().map_err(|_| format!("spec {entry:?} has non-numeric occurrence {at:?}"))?;
+        specs.push(Spec { name: name.to_string(), at, kind: parse_kind(kind)?, fired: false });
+    }
+    Ok(specs)
+}
+
+/// Arms the given spec string for the rest of the process (resetting all
+/// occurrence counters and tallies), overriding [`FAILPOINTS_ENV`].
+/// Returns `Err` with a human-readable reason on a malformed spec, in
+/// which case the previous arming state is unchanged.
+pub fn arm(spec: &str) -> Result<(), String> {
+    let specs = parse_specs(spec)?;
+    let mut guard = table().lock().unwrap();
+    guard.specs = specs;
+    guard.counts.clear();
+    STATE.store(2, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Disarms all failpoints for the rest of the process, overriding
+/// [`FAILPOINTS_ENV`]. Probes return to the single-load fast path.
+pub fn disarm() {
+    STATE.store(1, Ordering::Relaxed);
+    let mut guard = table().lock().unwrap();
+    guard.specs.clear();
+    guard.counts.clear();
+}
+
+/// A snapshot of per-name probe tallies recorded since the last
+/// [`arm`]. Sorted by name for deterministic output.
+pub fn counts() -> Vec<(&'static str, u64)> {
+    let guard = table().lock().unwrap();
+    let mut out = guard.counts.clone();
+    out.sort_by_key(|&(name, _)| name);
+    out
+}
+
+/// Probes the named failpoint. Returns `Err(Failure)` when an armed spec
+/// matches this name at the current occurrence index; each spec fires at
+/// most once. When nothing is armed this is a single relaxed atomic
+/// load.
+///
+/// Debug builds assert `name` is registered in [`ALL`] so the soak
+/// sweep's census stays exhaustive.
+#[inline]
+pub fn check(name: &'static str) -> Result<(), Failure> {
+    debug_assert!(ALL.contains(&name), "unregistered failpoint {name:?}");
+    if !armed() {
+        return Ok(());
+    }
+    check_slow(name)
+}
+
+#[cold]
+fn check_slow(name: &'static str) -> Result<(), Failure> {
+    let mut guard = table().lock().unwrap();
+    let occurrence = match guard.counts.iter_mut().find(|(n, _)| *n == name) {
+        Some((_, count)) => {
+            let occurrence = *count;
+            *count += 1;
+            occurrence
+        }
+        None => {
+            guard.counts.push((name, 1));
+            0
+        }
+    };
+    for spec in guard.specs.iter_mut() {
+        if !spec.fired && spec.name == name && spec.at == occurrence {
+            spec.fired = true;
+            let kind = spec.kind;
+            // Release the table lock before touching obs.
+            drop(guard);
+            tacc_obs::counter_add("failpoints.fired", 1);
+            return Err(Failure { name, occurrence, kind });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Process-global state: exercise arming in a single test so the
+    // default-parallel harness can't race the table.
+    #[test]
+    fn arm_fire_count_disarm() {
+        // Malformed specs are rejected without changing state.
+        assert!(arm("nonsense").is_err());
+        assert!(arm("no.such.point@0:io").is_err());
+        assert!(arm("journal.write@x:io").is_err());
+        assert!(arm("journal.write@0:frobnicate").is_err());
+
+        // Fires exactly once at the requested occurrence.
+        arm("journal.write@1:enospc").unwrap();
+        assert!(check("journal.write").is_ok());
+        let failure = check("journal.write").unwrap_err();
+        assert_eq!(failure.name, "journal.write");
+        assert_eq!(failure.occurrence, 1);
+        assert_eq!(failure.kind, FailureKind::Enospc);
+        assert_eq!(failure.to_io_error().kind(), io::ErrorKind::StorageFull);
+        assert!(!failure.is_short_write());
+        assert!(check("journal.write").is_ok());
+
+        // Counting-only mode tallies every probe, fires nothing.
+        arm("count").unwrap();
+        for _ in 0..3 {
+            assert!(check("journal.fsync").is_ok());
+        }
+        assert!(check("socket.read").is_ok());
+        let tallies = counts();
+        assert_eq!(tallies, vec![("journal.fsync", 3), ("socket.read", 1)]);
+
+        // Multiple specs, short kind, comma separation.
+        arm("journal.write@0:short, socket.read@0:reset").unwrap();
+        let failure = check("journal.write").unwrap_err();
+        assert!(failure.is_short_write());
+        let failure = check("socket.read").unwrap_err();
+        assert_eq!(failure.to_io_error().kind(), io::ErrorKind::ConnectionReset);
+
+        disarm();
+        assert!(check("journal.write").is_ok());
+        assert!(counts().is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Tailing the primary's write-ahead journal for shipping.
+
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+use tacc_serve::ServeError;
+
+use crate::failpoint;
+
+/// An incremental reader over an append-only journal file: each
+/// [`JournalTail::poll`] returns the *complete* lines appended since the
+/// previous poll, never a partial line. The journal fsyncs whole lines
+/// (a torn tail only exists after a crash, and reopen truncates it), so
+/// every line the tail yields is durable on the primary.
+#[derive(Debug)]
+pub struct JournalTail {
+    path: PathBuf,
+    /// Byte offset of the first not-yet-yielded byte; always lands on a
+    /// line boundary.
+    offset: u64,
+}
+
+impl JournalTail {
+    /// A tail positioned at the start of `path` (which may not exist
+    /// yet — the daemon creates its journal on `Init`).
+    pub fn new(path: &Path) -> JournalTail {
+        JournalTail { path: path.to_path_buf(), offset: 0 }
+    }
+
+    /// Bytes of the journal already yielded.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reads every complete line appended since the last poll. A
+    /// missing file yields no lines (the journal just hasn't been
+    /// created yet); an unterminated tail stays unread until its final
+    /// newline lands.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on filesystem failures (including an armed
+    /// `repl.send` failpoint).
+    pub fn poll(&mut self) -> Result<Vec<String>, ServeError> {
+        failpoint("repl.send")?;
+        let mut file = match std::fs::File::open(&self.path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(ServeError::io("opening journal for tailing", &e)),
+        };
+        let mut bytes = Vec::new();
+        if self.offset > 0 {
+            use std::io::Seek;
+            file.seek(std::io::SeekFrom::Start(self.offset))
+                .map_err(|e| ServeError::io("seeking journal tail", &e))?;
+        }
+        file.read_to_end(&mut bytes).map_err(|e| ServeError::io("reading journal tail", &e))?;
+        // Only whole lines ship; a trailing fragment waits for the rest.
+        let Some(last_newline) = bytes.iter().rposition(|&b| b == b'\n') else {
+            return Ok(Vec::new());
+        };
+        let complete = &bytes[..=last_newline];
+        let text = std::str::from_utf8(complete).map_err(|e| {
+            ServeError::state(format!("journal tail is not UTF-8 at offset {}: {e}", self.offset))
+        })?;
+        let lines: Vec<String> =
+            text.lines().filter(|l| !l.is_empty()).map(str::to_owned).collect();
+        self.offset += complete.len() as u64;
+        Ok(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_only_complete_lines_and_resumes_where_it_left_off() {
+        let path = std::env::temp_dir().join(format!("tacc-ha-tail-{}.jsonl", std::process::id()));
+        let mut tail = JournalTail::new(&path);
+        assert!(tail.poll().unwrap().is_empty(), "a missing journal yields nothing");
+
+        std::fs::write(&path, "alpha\nbeta\ngam").unwrap();
+        assert_eq!(tail.poll().unwrap(), vec!["alpha".to_owned(), "beta".to_owned()]);
+        assert!(tail.poll().unwrap().is_empty(), "the torn fragment must wait");
+
+        std::fs::write(&path, "alpha\nbeta\ngamma\n").unwrap();
+        assert_eq!(tail.poll().unwrap(), vec!["gamma".to_owned()]);
+        assert!(tail.poll().unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -38,7 +38,12 @@
 //! backpressure metadata — `Push` carries an idempotency sequence number
 //! and `Overloaded` carries a deterministic `retry_after_ms` hint plus
 //! the daemon's brownout level, so a shed client knows *why* and *when
-//! to come back*.
+//! to come back*; **v3** adds the high-availability vocabulary — the
+//! primary ships journal lines to a standby with `Replicate` /
+//! `ReplicaAck`, and `Promote` / `Promoted` turn a standby into the
+//! primary. The v3 additions are pure new variants, so v1 and v2 peers
+//! are untouched by the upgrade shim — their payloads decode exactly as
+//! before.
 //!
 //! Everything here is pure data + framing; the daemon logic lives in
 //! `tacc-serve`.
@@ -59,7 +64,7 @@ pub use message::{
 /// The wire-protocol version this build writes. Peers reject versions
 /// outside [`MIN_PROTOCOL_VERSION`]`..=PROTOCOL_VERSION` with
 /// [`ProtoError::UnsupportedVersion`].
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// The oldest wire-protocol version this build still reads; v1 payloads
 /// are upgraded in place (missing v2 fields take their documented

@@ -62,6 +62,23 @@ pub enum Request {
     Snapshot,
     /// Stop the daemon cleanly after answering.
     Shutdown,
+    /// (v3) Ship a run of journal lines to a standby. `base` is the
+    /// number of lines the sender believes the standby already holds, so
+    /// an idempotent re-ship after a lost ack overlaps instead of
+    /// double-applying. Only a daemon started as a standby accepts this;
+    /// anyone else answers a typed `BadRequest`.
+    Replicate {
+        /// Journal line count preceding `lines` (the standby's expected
+        /// current length).
+        base: u64,
+        /// CRC-framed journal lines, newline-stripped, in journal order.
+        lines: Vec<String>,
+    },
+    /// (v3) Ask a standby to take over as primary: it rebuilds its
+    /// session through the journal recovery path and starts answering
+    /// the full vocabulary. A primary (or solo daemon) treats this as a
+    /// no-op acknowledgement so failover clients may probe blindly.
+    Promote,
 }
 
 /// Machine-readable failure categories carried by [`Response::Error`].
@@ -216,6 +233,21 @@ pub enum Response {
     Snapshot {
         /// `RuntimeSnapshot::to_json()` of the current state.
         snapshot_json: String,
+    },
+    /// (v3) Answer to [`Request::Replicate`]: the standby's durable
+    /// journal length after applying (and fsyncing) the shipped lines.
+    ReplicaAck {
+        /// Total journal lines the standby now holds.
+        acked: u64,
+    },
+    /// (v3) Answer to [`Request::Promote`].
+    Promoted {
+        /// Events applied by the (possibly freshly rebuilt) session.
+        cursor: u64,
+        /// `true` when the answering daemon was already the primary (the
+        /// promote was a no-op); `false` when a standby actually took
+        /// over.
+        was_primary: bool,
     },
     /// The daemon is shutting down cleanly.
     Bye,
@@ -375,6 +407,8 @@ mod tests {
             Request::Metrics,
             Request::Snapshot,
             Request::Shutdown,
+            Request::Replicate { base: 12, lines: vec!["{\"crc32\":1,\"record\":null}".into()] },
+            Request::Promote,
         ];
         for (i, request) in requests.iter().enumerate() {
             let bytes = encode_request(i as u64, request);
@@ -403,6 +437,8 @@ mod tests {
                 server: Some(1),
                 delay_ms: Some(3.25),
             },
+            Response::ReplicaAck { acked: 42 },
+            Response::Promoted { cursor: 17, was_primary: false },
             Response::Bye,
             Response::Error { code: ErrorCode::NotInitialized, message: "send Init".into() },
         ];
@@ -456,6 +492,22 @@ mod tests {
         let frame = decode_request(&encode_request(1, &original)).unwrap();
         assert_eq!(frame.v, PROTOCOL_VERSION);
         assert_eq!(frame.request, original);
+    }
+
+    #[test]
+    fn v2_payloads_decode_unchanged_under_a_v3_build() {
+        // A v2 peer's Push already carries seq; the v3 decoder must not
+        // touch it (the v3 additions are pure new variants).
+        let bytes = br#"{"v":2,"id":5,"request":{"Push":{"events":[],"seq":11}}}"#;
+        let frame = decode_request(bytes).unwrap();
+        assert_eq!(frame.v, 2);
+        assert_eq!(frame.request, Request::Push { events: Vec::new(), seq: 11 });
+        let bytes = br#"{"v":2,"id":5,"response":{"Overloaded":{"pending":1,"max_pending":2,"rejected":1,"retry_after_ms":8,"brownout":"normal"}}}"#;
+        let frame = decode_response(bytes).unwrap();
+        let Response::Overloaded { retry_after_ms, brownout, .. } = frame.response else {
+            panic!("wrong shape");
+        };
+        assert_eq!((retry_after_ms, brownout.as_str()), (8, "normal"));
     }
 
     #[test]

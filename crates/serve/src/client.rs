@@ -113,6 +113,18 @@ enum Endpoint {
     Unix(PathBuf),
 }
 
+/// Parses one element of a failover address list: anything containing a
+/// `/` or ending in `.sock` is a Unix socket path, everything else is
+/// `host:port` TCP. (The `.sock` rule lets a relative `standby.sock`
+/// work as written; no hostname ends in `.sock`.)
+fn parse_endpoint(addr: &str) -> Endpoint {
+    if addr.contains('/') || addr.ends_with(".sock") {
+        Endpoint::Unix(PathBuf::from(addr))
+    } else {
+        Endpoint::Tcp(addr.to_owned())
+    }
+}
+
 /// A blocking protocol client over TCP or a Unix socket. One request in
 /// flight at a time; correlation ids are checked on every answer.
 ///
@@ -124,7 +136,8 @@ enum Endpoint {
 #[derive(Debug)]
 pub struct Client {
     transport: Transport,
-    endpoint: Endpoint,
+    endpoints: Vec<Endpoint>,
+    active: usize,
     config: ClientConfig,
     next_id: u64,
     next_seq: u64,
@@ -206,9 +219,7 @@ impl Client {
     ///
     /// [`ServeError::Io`] on connect failures.
     pub fn connect_tcp_with(addr: &str, config: ClientConfig) -> Result<Client, ServeError> {
-        let endpoint = Endpoint::Tcp(addr.to_owned());
-        let transport = dial(&endpoint, &config)?;
-        Ok(Client { transport, endpoint, config, next_id: 1, next_seq: fresh_seq_base() })
+        Client::connect_endpoints(vec![Endpoint::Tcp(addr.to_owned())], config)
     }
 
     /// Connects over a Unix socket with default timeouts.
@@ -226,21 +237,101 @@ impl Client {
     ///
     /// [`ServeError::Io`] on connect failures.
     pub fn connect_unix_with(path: &Path, config: ClientConfig) -> Result<Client, ServeError> {
-        let endpoint = Endpoint::Unix(path.to_owned());
-        let transport = dial(&endpoint, &config)?;
-        Ok(Client { transport, endpoint, config, next_id: 1, next_seq: fresh_seq_base() })
+        Client::connect_endpoints(vec![Endpoint::Unix(path.to_owned())], config)
     }
 
-    /// Drops the (possibly broken) connection and dials the same
-    /// endpoint again. Correlation ids and push sequence numbers keep
+    /// Connects to the first reachable address of a comma-separated
+    /// failover list (elements containing `/` or ending in `.sock` are
+    /// Unix socket paths, the rest TCP `host:port`) with default
+    /// timeouts. See
+    /// [`Client::connect_failover_with`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::State`] on an empty list, [`ServeError::Io`] when
+    /// no listed address accepts a connection.
+    pub fn connect_failover(addrs: &str) -> Result<Client, ServeError> {
+        Client::connect_failover_with(addrs, ClientConfig::default())
+    }
+
+    /// Connects to the first reachable address of a comma-separated
+    /// failover list with explicit timeouts. A client holding more than
+    /// one address rotates to the next on [`Client::reconnect`] — and
+    /// sends a best-effort `Promote` when it lands on a *different*
+    /// daemon, so a hot standby takes over before the re-sent request
+    /// arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::State`] on an empty list, [`ServeError::Io`] when
+    /// no listed address accepts a connection.
+    pub fn connect_failover_with(addrs: &str, config: ClientConfig) -> Result<Client, ServeError> {
+        let endpoints: Vec<Endpoint> =
+            addrs.split(',').map(str::trim).filter(|a| !a.is_empty()).map(parse_endpoint).collect();
+        if endpoints.is_empty() {
+            return Err(ServeError::state("failover address list is empty".to_owned()));
+        }
+        Client::connect_endpoints(endpoints, config)
+    }
+
+    /// Dials the endpoint list in order; the first that answers becomes
+    /// the active endpoint.
+    fn connect_endpoints(
+        endpoints: Vec<Endpoint>,
+        config: ClientConfig,
+    ) -> Result<Client, ServeError> {
+        let mut last_err = None;
+        for (i, endpoint) in endpoints.iter().enumerate() {
+            match dial(endpoint, &config) {
+                Ok(transport) => {
+                    return Ok(Client {
+                        transport,
+                        endpoints,
+                        active: i,
+                        config,
+                        next_id: 1,
+                        next_seq: fresh_seq_base(),
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("endpoint list verified non-empty"))
+    }
+
+    /// Drops the (possibly broken) connection and dials again, starting
+    /// from the active endpoint and rotating through the failover list
+    /// until one answers. When the reconnect lands on a *different*
+    /// endpoint than before, a best-effort `Promote` is sent first so a
+    /// hot standby finishes taking over before the caller's re-sent
+    /// request arrives. Correlation ids and push sequence numbers keep
     /// counting — they identify requests, not connections.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] on connect failures.
+    /// [`ServeError::Io`] when no listed endpoint accepts a connection.
     pub fn reconnect(&mut self) -> Result<(), ServeError> {
-        self.transport = dial(&self.endpoint, &self.config)?;
-        Ok(())
+        let previous = self.active;
+        let mut last_err = None;
+        for step in 0..self.endpoints.len() {
+            let i = (previous + step) % self.endpoints.len();
+            match dial(&self.endpoints[i], &self.config) {
+                Ok(transport) => {
+                    self.transport = transport;
+                    self.active = i;
+                    if i != previous {
+                        // On a primary (or an already-promoted standby)
+                        // Promote is an acknowledged no-op, so probing
+                        // blindly is safe; a failed probe just means the
+                        // next real request finds out instead.
+                        let _ = self.request(&Request::Promote);
+                    }
+                    return Ok(());
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("endpoint list is never empty"))
     }
 
     /// Sends one request and blocks for its answer, verifying that the
@@ -354,7 +445,7 @@ impl Client {
                     attempt += 1;
                 }
                 Ok(response) => return Ok(response),
-                Err(ServeError::Io { .. }) if attempt < policy.max_retries => {
+                Err(ref e) if e.is_disconnect() && attempt < policy.max_retries => {
                     std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt, 0)));
                     // The daemon may have processed the lost exchange;
                     // the unchanged `seq` makes the re-send idempotent.

@@ -50,4 +50,19 @@ impl ServeError {
     pub fn state(reason: impl Into<String>) -> ServeError {
         ServeError::State { reason: reason.into() }
     }
+
+    /// Whether this failure means the *connection* (not the request) is
+    /// gone — a socket error, a mid-frame disconnect, a write into a
+    /// closed pipe. Such a failure says nothing about whether the peer
+    /// processed the request, so a caller holding an idempotent request
+    /// (a sequenced push, a `Replicate` with its base cursor) may
+    /// transparently reconnect — possibly to a failover peer — and
+    /// re-send.
+    pub fn is_disconnect(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Io { .. }
+                | ServeError::Proto(ProtoError::Io { .. } | ProtoError::Truncated { .. })
+        )
+    }
 }

@@ -13,8 +13,53 @@ use tacc_proto::{
 };
 use tacc_runtime::Runtime;
 
+use crate::session::failpoint;
 use crate::signal::termination_requested;
 use crate::{ServeConfig, ServeError, Session};
+
+/// Role-specific interception around the dispatcher, the seam the
+/// high-availability layer plugs into without the core daemon knowing
+/// about replication:
+///
+/// - a **standby** implements [`ServerHooks::pre_dispatch`] to consume
+///   `Replicate`/`Promote` (and fence the normal vocabulary until
+///   promoted);
+/// - a **primary** implements [`ServerHooks::post_dispatch`] to ship
+///   freshly journaled lines after each request — and to *downgrade* an
+///   acknowledgement whose replication failed, so nothing is acked that
+///   the standby does not hold.
+///
+/// The default implementations are the identity; [`Server::run`] uses
+/// [`NoHooks`].
+pub trait ServerHooks {
+    /// Runs before the dispatcher. Return `Ok` to answer the request
+    /// yourself (short-circuiting dispatch), or give the request back
+    /// with `Err` to let normal dispatch proceed. The `bool` asks the
+    /// serve loop to stop.
+    // The `Err` variant *is* the request, handed back by value so the
+    // dispatcher can consume it without a clone — its size is the point.
+    #[allow(clippy::result_large_err)]
+    fn pre_dispatch(
+        &mut self,
+        request: Request,
+        _session: &mut Option<Session>,
+        _cfg: &ServeConfig,
+    ) -> Result<(Response, bool), Request> {
+        Err(request)
+    }
+
+    /// Runs after the dispatcher, before the response is written to the
+    /// wire. May replace the response.
+    fn post_dispatch(&mut self, response: Response, _session: &mut Option<Session>) -> Response {
+        response
+    }
+}
+
+/// The identity hooks: a plain single daemon.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHooks;
+
+impl ServerHooks for NoHooks {}
 
 /// One bound endpoint the daemon accepts on.
 #[derive(Debug)]
@@ -112,11 +157,21 @@ impl Server {
     /// [`ServeError::Io`] on accept failures that are not transient, and
     /// session-close failures at shutdown.
     pub fn run(&mut self) -> Result<(), ServeError> {
+        self.run_with(&mut NoHooks)
+    }
+
+    /// [`Server::run`] with role-specific [`ServerHooks`] — how a
+    /// primary ships its journal and a standby consumes it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::run`].
+    pub fn run_with<H: ServerHooks>(&mut self, hooks: &mut H) -> Result<(), ServeError> {
         while !self.stop && !termination_requested() {
             match self.accept_one()? {
                 Some(mut conn) => {
                     tacc_obs::counter_add("serve.connections", 1);
-                    self.serve_connection(&mut conn);
+                    self.serve_connection(&mut conn, hooks);
                 }
                 None => std::thread::sleep(Duration::from_millis(5)),
             }
@@ -165,13 +220,24 @@ impl Server {
     }
 
     /// Serves one connection until it closes, breaks framing, or the
-    /// daemon is asked to stop. Never propagates connection damage.
-    fn serve_connection(&mut self, conn: &mut Connection) {
+    /// daemon is asked to stop. Never propagates connection damage —
+    /// including injected `socket.read`/`socket.write` faults, which
+    /// cost exactly the connection (the client's seq-dedup retry makes
+    /// that loss safe).
+    fn serve_connection<H: ServerHooks>(&mut self, conn: &mut Connection, hooks: &mut H) {
         loop {
+            if failpoint("socket.read").is_err() {
+                tacc_obs::counter_add("serve.wire_errors", 1);
+                return;
+            }
             match read_frame_event(conn) {
                 Ok(FrameEvent::Frame(payload)) => {
                     tacc_obs::counter_add("serve.frames", 1);
-                    let (response_bytes, shutdown) = self.handle_payload(&payload);
+                    let (response_bytes, shutdown) = self.handle_payload(&payload, hooks);
+                    if failpoint("socket.write").is_err() {
+                        tacc_obs::counter_add("serve.wire_errors", 1);
+                        return;
+                    }
                     if write_frame(conn, &response_bytes).is_err() {
                         return; // peer vanished mid-answer; their loss
                     }
@@ -200,7 +266,7 @@ impl Server {
     /// Decodes, dispatches and encodes one request. Always produces an
     /// answerable response — protocol and session failures become typed
     /// `Error` responses, never daemon deaths.
-    fn handle_payload(&mut self, payload: &[u8]) -> (Vec<u8>, bool) {
+    fn handle_payload<H: ServerHooks>(&mut self, payload: &[u8], hooks: &mut H) -> (Vec<u8>, bool) {
         let frame = match decode_request(payload) {
             Ok(frame) => frame,
             Err(ProtoError::UnsupportedVersion { got, supported }) => {
@@ -220,95 +286,133 @@ impl Server {
                 return (encode_response(salvage_id(payload), &response), false);
             }
         };
-        let (response, shutdown) = self.handle_request(frame.request);
+        let (response, shutdown) =
+            match hooks.pre_dispatch(frame.request, &mut self.session, &self.cfg) {
+                Ok(answered) => answered,
+                Err(request) => {
+                    let (response, shutdown) =
+                        dispatch_request(&mut self.session, &self.cfg, request);
+                    (hooks.post_dispatch(response, &mut self.session), shutdown)
+                }
+            };
+        if shutdown {
+            // `stop` is also set by serve_connection; setting it here too
+            // keeps hook-answered shutdowns honest.
+            self.stop = true;
+        }
         (encode_response(frame.id, &response), shutdown)
     }
+}
 
-    /// The request dispatcher; the `bool` asks the serve loop to stop.
-    fn handle_request(&mut self, request: Request) -> (Response, bool) {
-        match request {
-            Request::Hello { client: _ } => (
-                Response::Hello {
-                    server: format!("tacc-serve/{}", env!("CARGO_PKG_VERSION")),
-                    protocol: PROTOCOL_VERSION,
-                },
-                false,
-            ),
-            Request::Init { trace, config } => {
-                if self.session.is_some() {
-                    return (
-                        Response::Error {
-                            code: ErrorCode::AlreadyInitialized,
-                            message: "a session is already live".to_owned(),
-                        },
-                        false,
-                    );
+/// The request dispatcher, shared by [`Server::run`] and the
+/// high-availability hooks (a freshly promoted standby dispatches
+/// through this exact function, so primary and standby answer every
+/// request identically). The `bool` asks the serve loop to stop.
+pub fn dispatch_request(
+    session: &mut Option<Session>,
+    cfg: &ServeConfig,
+    request: Request,
+) -> (Response, bool) {
+    match request {
+        Request::Hello { client: _ } => (
+            Response::Hello {
+                server: format!("tacc-serve/{}", env!("CARGO_PKG_VERSION")),
+                protocol: PROTOCOL_VERSION,
+            },
+            false,
+        ),
+        Request::Init { trace, config } => {
+            if session.is_some() {
+                return (
+                    Response::Error {
+                        code: ErrorCode::AlreadyInitialized,
+                        message: "a session is already live".to_owned(),
+                    },
+                    false,
+                );
+            }
+            match Session::start(trace, config, cfg) {
+                Ok(started) => {
+                    let runtime = started.runtime();
+                    let response = Response::Initialized {
+                        devices: runtime.cluster().instance().num_devices(),
+                        servers: runtime.cluster().instance().num_servers(),
+                        active: runtime.cluster().active_count(),
+                        recovered: false,
+                        cursor: runtime.cursor(),
+                    };
+                    *session = Some(started);
+                    (response, false)
                 }
-                match Session::start(trace, config, &self.cfg) {
-                    Ok(session) => {
-                        let runtime = session.runtime();
-                        let response = Response::Initialized {
-                            devices: runtime.cluster().instance().num_devices(),
-                            servers: runtime.cluster().instance().num_servers(),
-                            active: runtime.cluster().active_count(),
-                            recovered: false,
-                            cursor: runtime.cursor(),
-                        };
-                        self.session = Some(session);
-                        (response, false)
-                    }
-                    Err(e) => (
-                        Response::Error { code: ErrorCode::BadRequest, message: e.to_string() },
-                        false,
-                    ),
+                Err(e) => {
+                    (Response::Error { code: ErrorCode::BadRequest, message: e.to_string() }, false)
                 }
             }
-            Request::Shutdown => (Response::Bye, true),
-            Request::Metrics => {
-                (Response::Metrics { text: tacc_obs::registry_snapshot().to_text() }, false)
-            }
-            other => {
-                let Some(session) = self.session.as_mut() else {
-                    return (
-                        Response::Error {
-                            code: ErrorCode::NotInitialized,
-                            message: "no session; send Init first".to_owned(),
-                        },
-                        false,
-                    );
-                };
-                let result = match other {
-                    Request::Push { events, seq } => session.push(events, seq),
-                    Request::Flush => session
-                        .flush()
-                        .map(|(applied, cursor)| Response::Flushed { applied, cursor }),
-                    Request::Query { device } => session.query(device),
-                    Request::Solve { budget_units } => session.solve(budget_units),
-                    Request::Stats => session.stats().map(|s| Response::Stats {
-                        cursor: s.cursor,
-                        pending: s.pending,
-                        active_devices: s.active_devices,
-                        shed_devices: s.shed_devices,
-                        unreachable_devices: s.unreachable_devices,
-                        departed_devices: s.departed_devices,
-                        alive_servers: s.alive_servers,
-                        total_delay_ms: s.total_delay_ms,
-                        feasible: s.feasible,
-                    }),
-                    Request::Snapshot => session
-                        .snapshot_json()
-                        .map(|snapshot_json| Response::Snapshot { snapshot_json }),
-                    Request::Hello { .. }
-                    | Request::Init { .. }
-                    | Request::Metrics
-                    | Request::Shutdown => unreachable!("handled above"),
-                };
-                match result {
-                    Ok(response) => (response, false),
-                    Err(e) => (
-                        Response::Error { code: ErrorCode::Internal, message: e.to_string() },
-                        false,
-                    ),
+        }
+        Request::Shutdown => (Response::Bye, true),
+        Request::Metrics => {
+            (Response::Metrics { text: tacc_obs::registry_snapshot().to_text() }, false)
+        }
+        // A primary (or solo daemon) is already what a Promote asks for;
+        // answering the no-op lets a failover client probe blindly.
+        Request::Promote => (
+            Response::Promoted {
+                cursor: session.as_ref().map_or(0, Session::cursor),
+                was_primary: true,
+            },
+            false,
+        ),
+        // Only a daemon started as a standby consumes the replication
+        // stream (its hooks intercept before dispatch).
+        Request::Replicate { .. } => (
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "this daemon is not a standby".to_owned(),
+            },
+            false,
+        ),
+        other => {
+            let Some(session) = session.as_mut() else {
+                return (
+                    Response::Error {
+                        code: ErrorCode::NotInitialized,
+                        message: "no session; send Init first".to_owned(),
+                    },
+                    false,
+                );
+            };
+            let result = match other {
+                Request::Push { events, seq } => session.push(events, seq),
+                Request::Flush => {
+                    session.flush().map(|(applied, cursor)| Response::Flushed { applied, cursor })
+                }
+                Request::Query { device } => session.query(device),
+                Request::Solve { budget_units } => session.solve(budget_units),
+                Request::Stats => session.stats().map(|s| Response::Stats {
+                    cursor: s.cursor,
+                    pending: s.pending,
+                    active_devices: s.active_devices,
+                    shed_devices: s.shed_devices,
+                    unreachable_devices: s.unreachable_devices,
+                    departed_devices: s.departed_devices,
+                    alive_servers: s.alive_servers,
+                    total_delay_ms: s.total_delay_ms,
+                    feasible: s.feasible,
+                }),
+                Request::Snapshot => session
+                    .snapshot_json()
+                    .map(|snapshot_json| Response::Snapshot { snapshot_json }),
+                Request::Hello { .. }
+                | Request::Init { .. }
+                | Request::Metrics
+                | Request::Shutdown
+                | Request::Promote
+                | Request::Replicate { .. } => unreachable!("handled above"),
+            };
+            match result {
+                Ok(response) => (response, false),
+                Err(e) => {
+                    (Response::Error { code: ErrorCode::Internal, message: e.to_string() }, false)
                 }
             }
         }

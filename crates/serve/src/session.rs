@@ -18,6 +18,12 @@ use tacc_zone::{RouterConfig, ZoneLayout};
 use crate::surge::SurgeController;
 use crate::{ServeConfig, ServeError};
 
+/// Probes a named failpoint, rendering a fired fault as the typed
+/// [`ServeError::Io`] a real I/O failure on the same path would produce.
+pub(crate) fn failpoint(name: &'static str) -> Result<(), ServeError> {
+    tacc_failpoints::check(name).map_err(|f| ServeError::io(name, &f.to_io_error()))
+}
+
 /// Landmarks for the brownout ALT oracle: enough for useful bounds,
 /// cheap enough (`ALT_LANDMARKS + 1` core SSSP sweeps) that building it
 /// under pressure is still far below one exact-matrix refresh.
@@ -184,6 +190,7 @@ impl Session {
         let mut scenario = None;
         let mut events: Vec<TimedEvent> = Vec::new();
         let mut last_snapshot = None;
+        let mut last_seq_ack: Option<(u64, u64, u64)> = None;
         for record in scan.records {
             match record {
                 JournalRecord::SessionScenario { scenario: s } => scenario = Some(s),
@@ -197,6 +204,9 @@ impl Session {
                     events.push(timed);
                 }
                 JournalRecord::Snapshot { snapshot } => last_snapshot = Some(snapshot),
+                JournalRecord::SeqAck { seq, queued, pending } => {
+                    last_seq_ack = Some((seq, queued, pending));
+                }
                 JournalRecord::Begin { .. }
                 | JournalRecord::Step { .. }
                 | JournalRecord::Recovered { .. } => {}
@@ -218,6 +228,7 @@ impl Session {
             )));
         }
 
+        failpoint("snapshot.load")?;
         let mut runtime = match last_snapshot {
             Some(snapshot) => {
                 Runtime::restore(snapshot, &trace).map_err(|e| ServeError::state(e.to_string()))?
@@ -243,6 +254,16 @@ impl Session {
 
         let stream = open_stream(cfg, &trace, &runtime, true)?;
         tacc_obs::counter_add("serve.recoveries", 1);
+        // Restore the seq-dedup state from the journaled acknowledgement:
+        // an acked burst re-sent across the crash (or a failover) is
+        // answered from here instead of journaled twice.
+        let (last_seq, last_ack) = match last_seq_ack {
+            Some((seq, queued, pending)) => (
+                seq,
+                Some(Response::Accepted { queued: queued as usize, pending: pending as usize }),
+            ),
+            None => (0, None),
+        };
         Ok(Session {
             trace,
             runtime,
@@ -255,8 +276,8 @@ impl Session {
             pushes: 0,
             sub_cache: None,
             surge: SurgeController::new(cfg.surge.clone()),
-            last_seq: 0,
-            last_ack: None,
+            last_seq,
+            last_ack,
         })
     }
 
@@ -352,10 +373,14 @@ impl Session {
         }
 
         // Write-ahead: durable before acknowledged, all-or-nothing per
-        // burst (one fsync).
+        // burst (one fsync). A sequenced burst's acknowledgement rides
+        // the same fsync as its events (the pending count is predicted
+        // across the possible batch-triggered flush below), so recovery
+        // and failover restore the dedup state atomically with the
+        // events it guards.
         if let Some(journal) = self.journal.as_mut() {
             let base = self.trace.events.len() as u64;
-            let records: Vec<JournalRecord> = events
+            let mut records: Vec<JournalRecord> = events
                 .iter()
                 .enumerate()
                 .map(|(i, timed)| JournalRecord::Event {
@@ -363,6 +388,16 @@ impl Session {
                     timed: timed.clone(),
                 })
                 .collect();
+            if seq != 0 {
+                let pending_after = pending + events.len();
+                let final_pending =
+                    if pending_after >= self.cfg.batch_size { 0 } else { pending_after };
+                records.push(JournalRecord::SeqAck {
+                    seq,
+                    queued: events.len() as u64,
+                    pending: final_pending as u64,
+                });
+            }
             journal.append_batch(&records).map_err(|e| ServeError::state(e.to_string()))?;
         }
 
@@ -440,6 +475,7 @@ impl Session {
             let mut records = vec![JournalRecord::Step { index: cursor - 1 }];
             if self.cfg.snapshot_every > 0 && self.applied_since_snapshot >= self.cfg.snapshot_every
             {
+                failpoint("snapshot.save")?;
                 records.push(JournalRecord::Snapshot { snapshot: self.runtime.snapshot() });
                 self.applied_since_snapshot = 0;
             }
@@ -775,6 +811,7 @@ impl Session {
     pub fn close(mut self) -> Result<(), ServeError> {
         self.flush()?;
         if let Some(journal) = self.journal.as_mut() {
+            failpoint("snapshot.save")?;
             journal
                 .append(&JournalRecord::Snapshot { snapshot: self.runtime.snapshot() })
                 .map_err(|e| ServeError::state(e.to_string()))?;
